@@ -1,0 +1,111 @@
+// Command mqo-bench regenerates the tables and figures of the paper's
+// evaluation (Section 7). Each experiment prints the same rows or series
+// the paper reports; QA times are modeled annealer time (376 µs per run),
+// classical times are wall-clock.
+//
+// Usage:
+//
+//	mqo-bench -experiment all
+//	mqo-bench -experiment fig4 -instances 20 -budget 100s   # paper protocol
+//	mqo-bench -experiment table1 -instances 5 -budget 5s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/mqo"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all", "fig4|fig5|fig6|fig7|table1|all")
+	instances := flag.Int("instances", 3, "instances per class (paper: 20)")
+	budget := flag.Duration("budget", 2*time.Second, "classical solver budget (paper: 100s)")
+	runs := flag.Int("runs", 1000, "annealing runs per instance (paper: 1000)")
+	seed := flag.Int64("seed", 1, "workload seed")
+	flag.Parse()
+
+	cfg := harness.DefaultConfig()
+	cfg.Instances = *instances
+	cfg.Budget = *budget
+	cfg.QARuns = *runs
+	cfg.Seed = *seed
+
+	if err := run(cfg, *experiment); err != nil {
+		fmt.Fprintln(os.Stderr, "mqo-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cfg harness.Config, experiment string) error {
+	classFig4 := mqo.Class{Queries: 537, PlansPerQuery: 2}
+	classFig5 := mqo.Class{Queries: 108, PlansPerQuery: 5}
+
+	anytime := func(class mqo.Class, figure string) (*harness.AnytimeResult, error) {
+		fmt.Printf("=== %s ===\n", figure)
+		res, err := cfg.RunAnytime(class)
+		if err != nil {
+			return nil, err
+		}
+		harness.RenderAnytime(os.Stdout, res, cfg.SolverNames())
+		fmt.Println()
+		return res, nil
+	}
+
+	switch experiment {
+	case "fig4":
+		_, err := anytime(classFig4, "Figure 4 (537 queries, 2 plans)")
+		return err
+	case "fig5":
+		_, err := anytime(classFig5, "Figure 5 (108 queries, 5 plans)")
+		return err
+	case "fig6":
+		var results []*harness.AnytimeResult
+		for _, class := range mqo.PaperClasses {
+			r, err := cfg.RunAnytime(class)
+			if err != nil {
+				return err
+			}
+			results = append(results, r)
+		}
+		harness.RenderFig6(os.Stdout, harness.RunFig6(results))
+		return nil
+	case "fig7":
+		harness.RenderFig7(os.Stdout, harness.RunFig7(harness.DefaultFig7Plans()))
+		return nil
+	case "table1":
+		rows, err := cfg.RunTable1(mqo.PaperClasses)
+		if err != nil {
+			return err
+		}
+		harness.RenderTable1(os.Stdout, rows)
+		return nil
+	case "all":
+		var results []*harness.AnytimeResult
+		for i, class := range mqo.PaperClasses {
+			r, err := anytime(class, fmt.Sprintf("Anytime class %d: %s", i+1, class))
+			if err != nil {
+				return err
+			}
+			results = append(results, r)
+		}
+		fmt.Println("=== Table 1 ===")
+		rows, err := cfg.RunTable1(mqo.PaperClasses)
+		if err != nil {
+			return err
+		}
+		harness.RenderTable1(os.Stdout, rows)
+		fmt.Println()
+		fmt.Println("=== Figure 6 ===")
+		harness.RenderFig6(os.Stdout, harness.RunFig6(results))
+		fmt.Println()
+		fmt.Println("=== Figure 7 ===")
+		harness.RenderFig7(os.Stdout, harness.RunFig7(harness.DefaultFig7Plans()))
+		return nil
+	default:
+		return fmt.Errorf("unknown experiment %q", experiment)
+	}
+}

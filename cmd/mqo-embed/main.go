@@ -1,0 +1,83 @@
+// Command mqo-embed inspects the physical mapping machinery: it renders
+// the Chimera hardware graph (a textual Figure 1), reports TRIAD pattern
+// sizes (Figure 2), and shows clustered-embedding footprints and
+// capacities (Figure 3 and the qubit analysis of Section 6).
+//
+// Usage:
+//
+//	mqo-embed -show-graph -broken 55
+//	mqo-embed -triad 5,8,12
+//	mqo-embed -clusters 4 -plans 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/chimera"
+	"repro/internal/embedding"
+)
+
+func main() {
+	showGraph := flag.Bool("show-graph", false, "render the hardware graph cells")
+	broken := flag.Int("broken", 0, "broken qubits (paper machine: 55)")
+	seed := flag.Int64("seed", 42, "fault map seed")
+	triad := flag.String("triad", "", "comma-separated TRIAD sizes to report, e.g. 5,8,12")
+	clusters := flag.Int("clusters", 0, "number of clusters for a clustered embedding report")
+	plans := flag.Int("plans", 4, "plans per cluster")
+	flag.Parse()
+
+	if err := run(*showGraph, *broken, *seed, *triad, *clusters, *plans); err != nil {
+		fmt.Fprintln(os.Stderr, "mqo-embed:", err)
+		os.Exit(1)
+	}
+}
+
+func run(showGraph bool, broken int, seed int64, triad string, clusters, plans int) error {
+	g := chimera.DWave2X(broken, seed)
+	did := false
+	if showGraph {
+		fmt.Print(g.Render())
+		did = true
+	}
+	if triad != "" {
+		fmt.Println("TRIAD pattern (Choi): chains of length m+1 for m = ⌈n/4⌉")
+		fmt.Printf("%-10s %8s %12s %16s\n", "variables", "size m", "qubits", "qubits/variable")
+		for _, part := range strings.Split(triad, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				return fmt.Errorf("bad TRIAD size %q", part)
+			}
+			emb, err := embedding.Triad(g, n)
+			if err != nil {
+				return err
+			}
+			m, _ := embedding.TriadSize(n)
+			fmt.Printf("%-10d %8d %12d %16.2f\n", n, m, emb.NumQubits(), emb.QubitsPerVariable())
+		}
+		did = true
+	}
+	if clusters > 0 {
+		sizes := make([]int, clusters)
+		for i := range sizes {
+			sizes[i] = plans
+		}
+		emb, err := embedding.Clustered(g, sizes)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Clustered embedding: %d clusters × %d plans\n", clusters, plans)
+		fmt.Printf("qubits used:        %d\n", emb.NumQubits())
+		fmt.Printf("qubits/variable:    %.2f\n", emb.QubitsPerVariable())
+		fmt.Printf("max chain length:   %d\n", emb.MaxChainLength())
+		fmt.Printf("graph capacity:     %d clusters of this size\n", embedding.Capacity(g, plans))
+		did = true
+	}
+	if !did {
+		flag.Usage()
+	}
+	return nil
+}

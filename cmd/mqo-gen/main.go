@@ -1,0 +1,52 @@
+// Command mqo-gen emits a random MQO instance as JSON. With -embeddable
+// (the default) the instance's work-sharing links are restricted to plan
+// pairs the clustered Chimera embedding can realize, like the test cases
+// of the paper's evaluation.
+//
+// Usage:
+//
+//	mqo-gen -queries 108 -plans 5 > instance.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/chimera"
+	"repro/internal/core"
+	"repro/internal/mqo"
+)
+
+func main() {
+	queries := flag.Int("queries", 50, "number of queries")
+	plans := flag.Int("plans", 2, "plans per query")
+	seed := flag.Int64("seed", 1, "random seed")
+	embeddable := flag.Bool("embeddable", true, "restrict savings to annealer-couplable plan pairs")
+	broken := flag.Int("broken", 0, "broken qubits on the target annealer")
+	flag.Parse()
+
+	if err := run(*queries, *plans, *seed, *embeddable, *broken); err != nil {
+		fmt.Fprintln(os.Stderr, "mqo-gen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(queries, plans int, seed int64, embeddable bool, broken int) error {
+	rng := rand.New(rand.NewSource(seed))
+	class := mqo.Class{Queries: queries, PlansPerQuery: plans}
+	cfg := mqo.DefaultGeneratorConfig()
+	var p *mqo.Problem
+	if embeddable {
+		g := chimera.DWave2X(broken, seed)
+		var err error
+		p, err = core.GenerateEmbeddable(rng, g, class, cfg)
+		if err != nil {
+			return err
+		}
+	} else {
+		p = mqo.Generate(rng, class, cfg)
+	}
+	return p.Write(os.Stdout)
+}

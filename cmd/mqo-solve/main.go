@@ -1,0 +1,111 @@
+// Command mqo-solve optimizes one MQO instance, read as JSON from a file
+// or stdin, with any of the implemented solvers.
+//
+// Usage:
+//
+//	mqo-gen -queries 50 -plans 3 | mqo-solve -solver qa
+//	mqo-solve -in instance.json -solver lin-mqo -budget 10s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/decompose"
+	"repro/internal/mqo"
+	"repro/internal/solvers"
+	"repro/internal/trace"
+)
+
+func main() {
+	in := flag.String("in", "-", "input file (JSON; - for stdin)")
+	solverName := flag.String("solver", "qa", "qa|qa-series|lin-mqo|lin-qub|climb|ga50|ga200|greedy")
+	budget := flag.Duration("budget", 2*time.Second, "optimization budget (modeled time for qa)")
+	seed := flag.Int64("seed", 1, "random seed")
+	verbose := flag.Bool("v", false, "print the anytime trace")
+	flag.Parse()
+
+	if err := run(*in, *solverName, *budget, *seed, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "mqo-solve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in, solverName string, budget time.Duration, seed int64, verbose bool) error {
+	r := os.Stdin
+	if in != "-" {
+		f, err := os.Open(in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	p, err := mqo.Read(r)
+	if err != nil {
+		return fmt.Errorf("reading instance: %w", err)
+	}
+
+	if strings.EqualFold(solverName, "qa-series") {
+		// The decomposition path (paper future work): a series of
+		// annealer-sized QUBO problems for instances of arbitrary size.
+		res, err := decompose.Solve(p, decompose.Options{}, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("solver: QA-SERIES (%d windows, %d sweeps)\ncost: %g\n",
+			res.Windows, res.Sweeps, res.Cost)
+		return nil
+	}
+
+	var solver solvers.Solver
+	switch strings.ToLower(solverName) {
+	case "qa":
+		solver = &core.QASolver{}
+	case "lin-mqo":
+		solver = &solvers.BranchAndBound{}
+	case "lin-qub":
+		solver = solvers.QUBOBranchAndBound{}
+	case "climb":
+		solver = solvers.HillClimb{}
+	case "ga50":
+		solver = solvers.NewGenetic(50)
+	case "ga200":
+		solver = solvers.NewGenetic(200)
+	case "greedy":
+		solver = solvers.Greedy{}
+	default:
+		return fmt.Errorf("unknown solver %q", solverName)
+	}
+
+	var tr trace.Trace
+	sol := solver.Solve(p, budget, rand.New(rand.NewSource(seed)), &tr)
+	if sol == nil || !p.Valid(sol) {
+		return fmt.Errorf("%s produced no valid solution (instance may exceed the annealer)", solver.Name())
+	}
+	cost, err := p.Cost(sol)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("solver: %s\ncost: %g\n", solver.Name(), cost)
+	fmt.Printf("plans:")
+	for q, pl := range sol {
+		if q > 0 && q%16 == 0 {
+			fmt.Printf("\n      ")
+		}
+		fmt.Printf(" %d", pl)
+	}
+	fmt.Println()
+	if verbose {
+		fmt.Println("trace:")
+		for _, pt := range tr.Points() {
+			fmt.Printf("  %12v  %g\n", pt.T, pt.Cost)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,8 @@
+// Package repro reproduces "Multiple Query Optimization on the D-Wave 2X
+// Adiabatic Quantum Computer" (Trummer and Koch, VLDB 2016) as a Go
+// library: the MQO→QUBO logical mapping, the Chimera-graph physical
+// mapping (TRIAD and clustered embedding patterns with Choi chain
+// strengths), a simulated D-Wave 2X device, the classical baselines of
+// the paper's evaluation, and a harness regenerating every table and
+// figure. See README.md and DESIGN.md for the system inventory.
+package repro

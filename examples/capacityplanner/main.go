@@ -1,0 +1,81 @@
+// Capacity planner: Figure 7 as a user-facing tool.
+//
+// Given an annealer generation (qubit count and fault rate), report which
+// MQO batch shapes fit: the maximal number of queries per plans-per-query,
+// the embedding overhead, and whether a concrete target workload fits.
+//
+//	go run ./examples/capacityplanner -target-queries 300 -target-plans 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/chimera"
+	"repro/internal/embedding"
+)
+
+func main() {
+	rows := flag.Int("rows", 12, "unit-cell rows of the annealer")
+	cols := flag.Int("cols", 12, "unit-cell columns of the annealer")
+	broken := flag.Int("broken", 0, "broken qubits (paper machine: 55)")
+	targetQueries := flag.Int("target-queries", 0, "workload to check (0 = skip)")
+	targetPlans := flag.Int("target-plans", 2, "plans per query of the target workload")
+	flag.Parse()
+
+	g := chimera.NewGraph(*rows, *cols)
+	if *broken > 0 {
+		g = faulty(*rows, *cols, *broken)
+	}
+	fmt.Printf("annealer: %d×%d cells, %d qubits (%d working)\n\n",
+		*rows, *cols, g.NumQubits(), g.NumWorkingQubits())
+
+	fmt.Printf("%-14s %14s %18s\n", "plans/query", "max queries", "qubits/variable")
+	for l := 2; l <= 8; l++ {
+		capacity := embedding.Capacity(g, l)
+		qpv := "-"
+		if capacity > 0 {
+			sizes := make([]int, capacity)
+			for i := range sizes {
+				sizes[i] = l
+			}
+			if emb, err := embedding.Clustered(g, sizes); err == nil {
+				qpv = fmt.Sprintf("%.2f", emb.QubitsPerVariable())
+			}
+		}
+		fmt.Printf("%-14d %14d %18s\n", l, capacity, qpv)
+	}
+
+	if *targetQueries > 0 {
+		fmt.Println()
+		sizes := make([]int, *targetQueries)
+		for i := range sizes {
+			sizes[i] = *targetPlans
+		}
+		if _, err := embedding.Clustered(g, sizes); err != nil {
+			fmt.Printf("target %d queries × %d plans: DOES NOT FIT (%v)\n",
+				*targetQueries, *targetPlans, err)
+			os.Exit(1)
+		}
+		fmt.Printf("target %d queries × %d plans: fits\n", *targetQueries, *targetPlans)
+	}
+}
+
+func faulty(rows, cols, broken int) *chimera.Graph {
+	g := chimera.NewGraph(rows, cols)
+	// Deterministic fault pattern: spread over the matrix like DWave2X.
+	full := chimera.DWave2X(broken, 42)
+	if rows == 12 && cols == 12 {
+		return full
+	}
+	// For non-2X sizes, break every k-th qubit.
+	step := g.NumQubits() / broken
+	if step < 1 {
+		step = 1
+	}
+	for q, n := 0, 0; q < g.NumQubits() && n < broken; q, n = q+step, n+1 {
+		g.BreakQubit(q)
+	}
+	return g
+}

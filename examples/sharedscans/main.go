@@ -1,0 +1,102 @@
+// Shared scans: a SharedDB-style reporting workload, the scenario the
+// paper's introduction motivates ("recently released systems batching
+// hundreds of queries to reduce execution cost via shared computation").
+//
+// A batch of reporting queries runs against the same fact table. Every
+// query has two plans: an index-based plan (cheap in isolation, shares
+// nothing) and a scan-based plan (more expensive alone, but consecutive
+// dashboard queries can share most of the scan). The right choice flips
+// with the sharing opportunity, which is exactly the trade-off MQO
+// optimizes. The example compares the simulated quantum annealer against
+// the exact branch-and-bound baseline and the greedy heuristic.
+//
+//	go run ./examples/sharedscans
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mqo"
+	"repro/internal/solvers"
+	"repro/internal/trace"
+)
+
+func main() {
+		// 20 queries × 2 plans = 40 logical variables: scan-to-scan sharing
+	// links are arbitrary pairs, which the clustered pattern cannot
+	// realize, so the pipeline falls back to a 40-chain TRIAD — the
+	// general pattern supporting any QUBO — which still fits the 12×12
+	// qubit matrix (40 chains of length 11).
+	const queries = 20
+	rng := rand.New(rand.NewSource(7))
+
+	// Plan 2q: index plan. Plan 2q+1: scan plan.
+	queryPlans := make([][]int, queries)
+	costs := make([]float64, 2*queries)
+	for q := 0; q < queries; q++ {
+		queryPlans[q] = []int{2 * q, 2*q + 1}
+		costs[2*q] = 10 + float64(rng.Intn(5))   // index: 10-14
+		costs[2*q+1] = 16 + float64(rng.Intn(5)) // scan: 16-20
+	}
+	// Consecutive dashboard queries share the scan: picking both scan
+	// plans saves most of the second scan.
+	var savings []mqo.Saving
+	for q := 0; q+1 < queries; q++ {
+		savings = append(savings, mqo.Saving{
+			P1:    2*q + 1,
+			P2:    2*(q+1) + 1,
+			Value: 10 + float64(rng.Intn(3)),
+		})
+	}
+	problem, err := mqo.New(queryPlans, costs, savings)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	_, optimum, err := problem.Optimum()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload: %d reporting queries, index vs. shared-scan plans\n", queries)
+	fmt.Printf("exact optimum: %g\n\n", optimum)
+
+	qa := &core.QASolver{}
+	baselines := []solvers.Solver{&solvers.BranchAndBound{}, solvers.Greedy{}, solvers.HillClimb{}}
+
+	var tr trace.Trace
+	sol := qa.Solve(problem, 376*time.Millisecond /* 1000 runs of modeled time */, rng, &tr)
+	report(problem, qa.Name(), sol, optimum, "modeled "+firstImprovement(&tr))
+	for _, s := range baselines {
+		var tr trace.Trace
+		sol := s.Solve(problem, 500*time.Millisecond, rng, &tr)
+		report(problem, s.Name(), sol, optimum, firstImprovement(&tr))
+	}
+	scans := 0
+	for q := 0; q < queries; q++ {
+		if sol[q] == 2*q+1 {
+			scans++
+		}
+	}
+	fmt.Printf("\nQA picked the scan plan for %d/%d queries — sharing dominates isolated index access.\n",
+		scans, queries)
+}
+
+func report(p *mqo.Problem, name string, sol mqo.Solution, optimum float64, firstAt string) {
+	cost, err := p.Cost(sol)
+	if err != nil {
+		log.Fatalf("%s: invalid solution: %v", name, err)
+	}
+	fmt.Printf("%-10s cost %8g  (+%5.2f%% over optimum, first solution after %s)\n",
+		name, cost, 100*(cost-optimum)/optimum, firstAt)
+}
+
+func firstImprovement(tr *trace.Trace) string {
+	if tr.Len() == 0 {
+		return "n/a"
+	}
+	return tr.Points()[0].T.String()
+}

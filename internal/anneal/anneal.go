@@ -1,0 +1,216 @@
+// Package anneal provides annealing samplers over Ising problems. These
+// stand in for the D-Wave 2X hardware, which this reproduction cannot
+// access: classical simulated annealing (SA) and simulated quantum
+// annealing (SQA, path-integral Monte Carlo with a transverse-field
+// schedule) both consume the identical physical Ising input produced by
+// the embedding and return one spin read-out per run, exactly like a
+// hardware annealing cycle followed by a read-out.
+package anneal
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/ising"
+)
+
+// Sampler draws one read-out from an annealing run on a physical Ising
+// problem. Implementations must be deterministic given the rng.
+type Sampler interface {
+	// Sample runs one anneal and returns the resulting spins.
+	Sample(p *Compiled, rng *rand.Rand) []int8
+	// Name identifies the sampler in reports.
+	Name() string
+}
+
+// Compiled is a CSR-form Ising problem optimized for sweep inner loops.
+// Compile once per problem, sample many times.
+type Compiled struct {
+	N   int
+	H   []float64
+	Off []int32 // CSR offsets into Nbr/W, length N+1
+	Nbr []int32
+	W   []float64
+	// Offset is carried through so energies remain comparable.
+	Offset float64
+}
+
+// Compile converts an Ising problem into CSR form.
+func Compile(p *ising.Problem) *Compiled {
+	n := p.N()
+	c := &Compiled{N: n, H: make([]float64, n), Off: make([]int32, n+1), Offset: p.Offset}
+	total := 0
+	for i := 0; i < n; i++ {
+		c.H[i] = p.Field(i)
+		total += len(p.Neighbors(i))
+	}
+	c.Nbr = make([]int32, 0, total)
+	c.W = make([]float64, 0, total)
+	for i := 0; i < n; i++ {
+		c.Off[i] = int32(len(c.Nbr))
+		for _, t := range p.Neighbors(i) {
+			c.Nbr = append(c.Nbr, int32(t.Other))
+			c.W = append(c.W, t.W)
+		}
+	}
+	c.Off[n] = int32(len(c.Nbr))
+	return c
+}
+
+// LocalField returns h_i + Σ_j J_ij·s_j, the effective field on spin i.
+func (c *Compiled) LocalField(s []int8, i int) float64 {
+	f := c.H[i]
+	for k := c.Off[i]; k < c.Off[i+1]; k++ {
+		f += c.W[k] * float64(s[c.Nbr[k]])
+	}
+	return f
+}
+
+// FlipDelta returns the energy change from flipping spin i.
+func (c *Compiled) FlipDelta(s []int8, i int) float64 {
+	return -2 * float64(s[i]) * c.LocalField(s, i)
+}
+
+// Energy evaluates the Hamiltonian.
+func (c *Compiled) Energy(s []int8) float64 {
+	e := c.Offset
+	for i := 0; i < c.N; i++ {
+		e += c.H[i] * float64(s[i])
+		for k := c.Off[i]; k < c.Off[i+1]; k++ {
+			if j := int(c.Nbr[k]); j > i {
+				e += c.W[k] * float64(s[i]) * float64(s[j])
+			}
+		}
+	}
+	return e
+}
+
+// RandomSpins draws a uniform spin state.
+func RandomSpins(rng *rand.Rand, n int) []int8 {
+	s := make([]int8, n)
+	for i := range s {
+		if rng.Intn(2) == 1 {
+			s[i] = 1
+		} else {
+			s[i] = -1
+		}
+	}
+	return s
+}
+
+// SimulatedAnnealer is a classical Metropolis annealer with a geometric
+// inverse-temperature schedule. It is both a baseline sampler and the
+// cheap surrogate for hardware annealing runs.
+type SimulatedAnnealer struct {
+	// Sweeps is the number of full-lattice Metropolis sweeps per run.
+	Sweeps int
+	// BetaStart and BetaEnd bound the geometric β schedule.
+	BetaStart, BetaEnd float64
+}
+
+// DefaultSA returns the sampler configuration used by the harness: enough
+// sweeps to land near-optimal read-outs on embedded MQO instances while
+// keeping a 1000-run batch affordable offline.
+func DefaultSA() *SimulatedAnnealer {
+	return &SimulatedAnnealer{Sweeps: 64, BetaStart: 0.1, BetaEnd: 8}
+}
+
+// Name implements Sampler.
+func (sa *SimulatedAnnealer) Name() string { return "SA" }
+
+// Sample implements Sampler.
+func (sa *SimulatedAnnealer) Sample(c *Compiled, rng *rand.Rand) []int8 {
+	s := RandomSpins(rng, c.N)
+	if sa.Sweeps <= 0 || c.N == 0 {
+		return s
+	}
+	ratio := 1.0
+	if sa.Sweeps > 1 {
+		ratio = math.Pow(sa.BetaEnd/sa.BetaStart, 1/float64(sa.Sweeps-1))
+	}
+	beta := sa.BetaStart
+	for sweep := 0; sweep < sa.Sweeps; sweep++ {
+		for i := 0; i < c.N; i++ {
+			d := c.FlipDelta(s, i)
+			if d <= 0 || rng.Float64() < math.Exp(-beta*d) {
+				s[i] = -s[i]
+			}
+		}
+		beta *= ratio
+	}
+	return s
+}
+
+// SQA is a simulated quantum annealer: path-integral Monte Carlo over P
+// Trotter replicas of the spin system with a decreasing transverse field
+// Γ. Replicas are ferromagnetically coupled with strength
+// J⊥ = −(1/(2·βP))·ln(tanh(βP·Γ)) where βP = β/P, which grows as Γ → 0
+// and freezes the replicas into a common classical state. The best
+// replica is read out, mirroring a hardware annealing cycle.
+type SQA struct {
+	// Slices is the Trotter number P.
+	Slices int
+	// Sweeps is the number of full sweeps over all replicas.
+	Sweeps int
+	// Beta is the (fixed) inverse temperature.
+	Beta float64
+	// GammaStart and GammaEnd bound the linearly decreasing transverse
+	// field schedule.
+	GammaStart, GammaEnd float64
+}
+
+// DefaultSQA returns the configuration used for the sampler ablation.
+func DefaultSQA() *SQA {
+	return &SQA{Slices: 8, Sweeps: 48, Beta: 8, GammaStart: 3, GammaEnd: 0.05}
+}
+
+// Name implements Sampler.
+func (q *SQA) Name() string { return "SQA" }
+
+// Sample implements Sampler.
+func (q *SQA) Sample(c *Compiled, rng *rand.Rand) []int8 {
+	if c.N == 0 {
+		return nil
+	}
+	p := q.Slices
+	if p < 2 {
+		p = 2
+	}
+	betaP := q.Beta / float64(p)
+	replicas := make([][]int8, p)
+	for k := range replicas {
+		replicas[k] = RandomSpins(rng, c.N)
+	}
+	for sweep := 0; sweep < q.Sweeps; sweep++ {
+		frac := 0.0
+		if q.Sweeps > 1 {
+			frac = float64(sweep) / float64(q.Sweeps-1)
+		}
+		gamma := q.GammaStart + (q.GammaEnd-q.GammaStart)*frac
+		jPerp := -0.5 / betaP * math.Log(math.Tanh(betaP*gamma))
+		for k := 0; k < p; k++ {
+			up := replicas[(k+1)%p]
+			down := replicas[(k-1+p)%p]
+			cur := replicas[k]
+			for i := 0; i < c.N; i++ {
+				// Problem term is divided across slices; the replica
+				// coupling is ferromagnetic between neighbors in the
+				// Trotter ring.
+				d := c.FlipDelta(cur, i) / float64(p)
+				d += 2 * jPerp * float64(cur[i]) * float64(up[i]+down[i])
+				if d <= 0 || rng.Float64() < math.Exp(-q.Beta*d) {
+					cur[i] = -cur[i]
+				}
+			}
+		}
+	}
+	best := replicas[0]
+	bestE := c.Energy(best)
+	for _, r := range replicas[1:] {
+		if e := c.Energy(r); e < bestE {
+			bestE = e
+			best = r
+		}
+	}
+	return best
+}

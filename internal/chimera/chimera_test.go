@@ -1,0 +1,212 @@
+package chimera
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestDimensions(t *testing.T) {
+	g := NewGraph(12, 12)
+	if g.NumQubits() != 1152 {
+		t.Errorf("NumQubits = %d, want 1152 (D-Wave 2X)", g.NumQubits())
+	}
+	if g.NumWorkingQubits() != 1152 {
+		t.Errorf("NumWorkingQubits = %d, want 1152", g.NumWorkingQubits())
+	}
+}
+
+func TestDegreeAtMostSix(t *testing.T) {
+	// "Each qubit is hence connected to at most six other qubits."
+	g := NewGraph(4, 4)
+	for q := 0; q < g.NumQubits(); q++ {
+		if d := len(g.Neighbors(q)); d > 6 {
+			t.Fatalf("qubit %d has degree %d > 6", q, d)
+		}
+	}
+}
+
+func TestInteriorDegreeExactlySix(t *testing.T) {
+	g := NewGraph(3, 3)
+	// Center cell (1,1): every qubit has 4 in-cell + 2 inter-cell couplers.
+	for k := 0; k < CellSize; k++ {
+		q := g.QubitAt(1, 1, k)
+		if d := len(g.Neighbors(q)); d != 6 {
+			t.Errorf("interior qubit %d degree = %d, want 6", q, d)
+		}
+	}
+}
+
+func TestIntraCellIsK44(t *testing.T) {
+	g := NewGraph(1, 1)
+	for a := 0; a < Half; a++ {
+		for b := Half; b < CellSize; b++ {
+			if !g.HasCoupler(a, b) {
+				t.Errorf("missing intra-cell coupler %d-%d", a, b)
+			}
+		}
+	}
+	// No same-colon couplers.
+	for a := 0; a < Half; a++ {
+		for b := a + 1; b < Half; b++ {
+			if g.HasCoupler(a, b) {
+				t.Errorf("unexpected same-colon coupler %d-%d", a, b)
+			}
+		}
+	}
+}
+
+func TestInterCellCouplers(t *testing.T) {
+	g := NewGraph(2, 2)
+	// Left colon couples vertically between cells (0,0) and (1,0).
+	for k := 0; k < Half; k++ {
+		a, b := g.QubitAt(0, 0, k), g.QubitAt(1, 0, k)
+		if !g.HasCoupler(a, b) {
+			t.Errorf("missing vertical coupler at k=%d", k)
+		}
+	}
+	// Right colon couples horizontally between cells (0,0) and (0,1).
+	for k := Half; k < CellSize; k++ {
+		a, b := g.QubitAt(0, 0, k), g.QubitAt(0, 1, k)
+		if !g.HasCoupler(a, b) {
+			t.Errorf("missing horizontal coupler at k=%d", k)
+		}
+	}
+	// The reverse orientations must not exist.
+	if g.HasCoupler(g.QubitAt(0, 0, 0), g.QubitAt(0, 1, 0)) {
+		t.Error("left-colon qubits must not couple horizontally")
+	}
+	if g.HasCoupler(g.QubitAt(0, 0, 4), g.QubitAt(1, 0, 4)) {
+		t.Error("right-colon qubits must not couple vertically")
+	}
+	// Different in-cell indices never couple across cells.
+	if g.HasCoupler(g.QubitAt(0, 0, 0), g.QubitAt(1, 0, 1)) {
+		t.Error("inter-cell coupler must link identical in-cell indices")
+	}
+}
+
+func TestCouplerSymmetry(t *testing.T) {
+	g := NewGraph(3, 3)
+	check := func(a, b int) bool {
+		a = ((a % g.NumQubits()) + g.NumQubits()) % g.NumQubits()
+		b = ((b % g.NumQubits()) + g.NumQubits()) % g.NumQubits()
+		return g.HasCoupler(a, b) == g.HasCoupler(b, a)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNeighborsMatchHasCoupler(t *testing.T) {
+	g := NewGraph(3, 3)
+	for q := 0; q < g.NumQubits(); q++ {
+		fromList := map[int]bool{}
+		for _, o := range g.Neighbors(q) {
+			fromList[o] = true
+		}
+		for o := 0; o < g.NumQubits(); o++ {
+			if g.HasCoupler(q, o) != fromList[o] {
+				t.Fatalf("Neighbors/HasCoupler disagree for %d-%d", q, o)
+			}
+		}
+	}
+}
+
+func TestBrokenQubit(t *testing.T) {
+	g := NewGraph(2, 2)
+	q := g.QubitAt(0, 0, 0)
+	n := g.Neighbors(q)
+	if len(n) == 0 {
+		t.Fatal("expected neighbors")
+	}
+	g.BreakQubit(n[0])
+	if g.Working(n[0]) {
+		t.Error("broken qubit still working")
+	}
+	if g.HasCoupler(q, n[0]) {
+		t.Error("coupler to broken qubit still present")
+	}
+	if g.NumWorkingQubits() != g.NumQubits()-1 {
+		t.Errorf("NumWorkingQubits = %d, want %d", g.NumWorkingQubits(), g.NumQubits()-1)
+	}
+	if got := g.Neighbors(n[0]); got != nil {
+		t.Errorf("broken qubit has neighbors %v", got)
+	}
+}
+
+func TestBrokenCoupler(t *testing.T) {
+	g := NewGraph(1, 1)
+	g.BreakCoupler(0, 4)
+	if g.HasCoupler(0, 4) || g.HasCoupler(4, 0) {
+		t.Error("broken coupler still present")
+	}
+	if !g.HasCoupler(0, 5) {
+		t.Error("unrelated coupler vanished")
+	}
+	if !g.Working(0) || !g.Working(4) {
+		t.Error("breaking a coupler must not break its qubits")
+	}
+}
+
+func TestBreakCouplerPanicsOnNonEdge(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewGraph(1, 1).BreakCoupler(0, 1) // same colon: no coupler
+}
+
+func TestDWave2XPreset(t *testing.T) {
+	g := DWave2X(PaperBrokenQubits, 42)
+	if g.NumQubits() != 1152 {
+		t.Errorf("NumQubits = %d, want 1152", g.NumQubits())
+	}
+	if g.NumWorkingQubits() != 1097 {
+		t.Errorf("NumWorkingQubits = %d, want 1097 (paper)", g.NumWorkingQubits())
+	}
+	// Deterministic for a fixed seed.
+	g2 := DWave2X(PaperBrokenQubits, 42)
+	for q := 0; q < g.NumQubits(); q++ {
+		if g.Working(q) != g2.Working(q) {
+			t.Fatal("DWave2X fault map is not deterministic")
+		}
+	}
+}
+
+func TestCellRoundTrip(t *testing.T) {
+	g := NewGraph(5, 7)
+	for r := 0; r < g.Rows; r++ {
+		for c := 0; c < g.Cols; c++ {
+			for k := 0; k < CellSize; k++ {
+				q := g.QubitAt(r, c, k)
+				gr, gc := g.Cell(q)
+				if gr != r || gc != c || g.InCellIndex(q) != k {
+					t.Fatalf("round trip failed for (%d,%d,%d)", r, c, k)
+				}
+			}
+		}
+	}
+}
+
+func TestCouplerCount(t *testing.T) {
+	// A fault-free M×N Chimera has 16·M·N intra-cell couplers,
+	// 4·(M−1)·N vertical and 4·M·(N−1) horizontal inter-cell couplers.
+	g := NewGraph(3, 4)
+	want := 16*3*4 + 4*2*4 + 4*3*3
+	if got := g.NumCouplers(); got != want {
+		t.Errorf("NumCouplers = %d, want %d", got, want)
+	}
+}
+
+func TestRender(t *testing.T) {
+	g := NewGraph(2, 2)
+	g.BreakQubit(0)
+	out := g.Render()
+	if !strings.Contains(out, "[7]") || !strings.Contains(out, "[8]") {
+		t.Errorf("Render missing cell counts:\n%s", out)
+	}
+	if !strings.Contains(out, "31 working") {
+		t.Errorf("Render missing working count:\n%s", out)
+	}
+}

@@ -1,0 +1,287 @@
+// Package core implements Algorithm 1 of the paper: solving a multiple
+// query optimization problem on an (simulated) adiabatic quantum annealer.
+//
+//	lef ← LogicalMapping(M)        // MQO → logical energy formula (QUBO)
+//	pef ← PhysicalMapping(lef)     // QUBO → qubit weights via embedding
+//	bi  ← QuantumAnnealing(pef)    // annealing runs + read-outs
+//	Xp  ← PhysicalMapping⁻¹(bi)    // chain read-out (majority vote)
+//	Pe  ← LogicalMapping⁻¹(Xp)     // plan selection per query
+//
+// The annealer is a simulated device (internal/dwave) charging the paper's
+// hardware timing constants to a modeled clock; everything else runs on
+// the classical host exactly as in the paper.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/anneal"
+	"repro/internal/chimera"
+	"repro/internal/dwave"
+	"repro/internal/embedding"
+	"repro/internal/ising"
+	"repro/internal/logical"
+	"repro/internal/mqo"
+	"repro/internal/trace"
+)
+
+// Options configure the QuantumMQO pipeline. The zero value selects the
+// paper's setup: a fault-free D-Wave 2X topology, classical simulated
+// annealing as the hardware surrogate, 1000 runs in batches of 100 per
+// gauge, and ε = 0.25 penalty slacks.
+type Options struct {
+	// Graph is the hardware topology; nil selects a fault-free D-Wave 2X.
+	Graph *chimera.Graph
+	// Sampler is the annealing surrogate; nil selects simulated annealing.
+	Sampler anneal.Sampler
+	// Runs is the number of annealing runs; 0 selects the paper's 1000.
+	Runs int
+	// Epsilon is the penalty/chain-strength slack; 0 selects 0.25.
+	Epsilon float64
+	// DisablePostprocess turns off the classical descent applied to
+	// read-outs with broken chains. Real D-Wave systems offer the same
+	// optimization post-processing; here it also compensates for the
+	// classical annealing surrogate leaving domain walls in long chains
+	// that true quantum annealing would not.
+	DisablePostprocess bool
+	// DisableGauges samples in the identity gauge (gauge ablation).
+	DisableGauges bool
+	// UniformChainStrength, when positive, replaces Choi's per-chain
+	// bound with a single global chain strength (chain-strength
+	// ablation).
+	UniformChainStrength float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Graph == nil {
+		o.Graph = chimera.DWave2X(0, 0)
+	}
+	if o.Sampler == nil {
+		o.Sampler = dwave.DefaultSampler()
+	}
+	if o.Runs <= 0 {
+		o.Runs = dwave.PaperTotalRuns
+	}
+	if o.Epsilon <= 0 {
+		o.Epsilon = logical.DefaultEpsilon
+	}
+	return o
+}
+
+// Result is the outcome of a QuantumMQO invocation together with the
+// artifacts the evaluation reports on.
+type Result struct {
+	// Solution is the best decoded plan selection.
+	Solution mqo.Solution
+	// Cost is its execution cost C(Pe).
+	Cost float64
+	// Trace records best-cost-so-far against modeled annealer time
+	// (376 µs per run as in Section 7.1).
+	Trace trace.Trace
+	// QubitsUsed is the number of physical qubits consumed.
+	QubitsUsed int
+	// QubitsPerVariable is the embedding overhead (x-axis of Figure 6).
+	QubitsPerVariable float64
+	// PreprocessTime is the wall time of the logical and physical
+	// mappings (the paper reports 112-135 ms per test case).
+	PreprocessTime time.Duration
+	// Runs is the number of annealing runs performed.
+	Runs int
+	// BrokenChainRate is the fraction of read-outs with at least one
+	// inconsistent chain.
+	BrokenChainRate float64
+	// UsedTriadFallback reports that the clustered pattern could not
+	// realize the instance and the general TRIAD pattern was used.
+	UsedTriadFallback bool
+}
+
+// QuantumMQO solves an MQO problem on the simulated annealer.
+func QuantumMQO(p *mqo.Problem, opt Options, rng *rand.Rand) (*Result, error) {
+	opt = opt.withDefaults()
+	prepStart := time.Now()
+
+	mapping := logical.Map(p)
+	emb, fallback, err := EmbedProblem(opt.Graph, p, mapping)
+	if err != nil {
+		return nil, err
+	}
+	var phys *embedding.Physical
+	if opt.UniformChainStrength > 0 {
+		phys, err = embedding.PhysicalMapUniform(emb, mapping.QUBO, opt.Epsilon, opt.UniformChainStrength)
+	} else {
+		phys, err = embedding.PhysicalMap(emb, mapping.QUBO, opt.Epsilon)
+	}
+	if err != nil {
+		return nil, err
+	}
+	isingProblem := ising.FromQUBO(phys.QUBO)
+	prep := time.Since(prepStart)
+
+	res := &Result{
+		QubitsUsed:        emb.NumQubits(),
+		QubitsPerVariable: emb.QubitsPerVariable(),
+		PreprocessTime:    prep,
+		Runs:              opt.Runs,
+		UsedTriadFallback: fallback,
+	}
+	device := dwave.NewDWave2X(opt.Sampler)
+	device.DisableGauges = opt.DisableGauges
+	broken := 0
+	bestCost := 0.0
+	haveBest := false
+	device.SampleIsing(isingProblem, opt.Runs, rng, func(s dwave.Sample) {
+		bits := ising.SpinsToBits(s.Spins)
+		logicalBits := phys.Unembed(bits)
+		if phys.BrokenChains(bits) > 0 {
+			broken++
+		}
+		if !opt.DisablePostprocess {
+			// Single-bit descent on the logical formula removes
+			// majority-vote artifacts of broken chains (a domain wall
+			// inside a chain is single-flip stable at the physical
+			// level, so descending there would not help).
+			mapping.QUBO.FirstImprovementDescent(logicalBits, 16)
+		}
+		sol := mapping.Decode(logicalBits)
+		if !opt.DisablePostprocess {
+			// Optimization post-processing as offered by the production
+			// device API: local search over plan swaps on the decoded
+			// solution. Penalty terms put barriers of height ≈ wM
+			// between valid selections, which quantum tunneling crosses
+			// but the classical sampling surrogate cannot; the swap
+			// descent restores the read-out quality the paper reports
+			// for hardware (final gaps well under 1%).
+			swapDescent(p, sol)
+		}
+		cost, err := p.Cost(sol)
+		if err != nil {
+			return // repair failed; skip the read-out
+		}
+		res.Trace.Record(s.Elapsed, cost)
+		if !haveBest || cost < bestCost {
+			bestCost = cost
+			res.Solution = sol
+			res.Cost = cost
+			haveBest = true
+		}
+	})
+	if !haveBest {
+		return nil, fmt.Errorf("core: no annealing run produced a decodable solution")
+	}
+	res.BrokenChainRate = float64(broken) / float64(opt.Runs)
+	return res, nil
+}
+
+// swapDescent runs first-improvement local search over single-query plan
+// swaps until a local optimum is reached, mutating sol in place.
+func swapDescent(p *mqo.Problem, sol mqo.Solution) {
+	selected := make([]bool, p.NumPlans())
+	for _, pl := range sol {
+		if pl >= 0 {
+			selected[pl] = true
+		}
+	}
+	delta := func(q, cand int) float64 {
+		cur := sol[q]
+		d := p.Costs[cand] - p.Costs[cur]
+		for _, sv := range p.SavingsOf(cur) {
+			other := sv.P1
+			if other == cur {
+				other = sv.P2
+			}
+			if other != cand && selected[other] {
+				d += sv.Value
+			}
+		}
+		for _, sv := range p.SavingsOf(cand) {
+			other := sv.P1
+			if other == cand {
+				other = sv.P2
+			}
+			if other != cur && selected[other] {
+				d -= sv.Value
+			}
+		}
+		return d
+	}
+	for {
+		improved := false
+		for q := range sol {
+			for _, cand := range p.QueryPlans[q] {
+				if cand == sol[q] {
+					continue
+				}
+				if delta(q, cand) < -1e-9 {
+					selected[sol[q]] = false
+					selected[cand] = true
+					sol[q] = cand
+					improved = true
+				}
+			}
+		}
+		if !improved {
+			return
+		}
+	}
+}
+
+// EmbedProblem chooses the physical mapping for an MQO instance: the
+// clustered pattern (Figure 3) when it realizes every coupling of the
+// logical formula, otherwise the general TRIAD pattern (Figure 2), which
+// supports arbitrary QUBO problems at a quadratic qubit cost. The
+// returned embedding indexes chains by plan id.
+func EmbedProblem(g *chimera.Graph, p *mqo.Problem, mapping *logical.Mapping) (*embedding.Embedding, bool, error) {
+	if emb, err := clusteredByPlan(g, p); err == nil {
+		if mapping.QUBO.N() == emb.NumVariables() && emb.Validate(mapping.QUBO) == nil {
+			return emb, false, nil
+		}
+	}
+	emb, err := embedding.Triad(g, p.NumPlans())
+	if err != nil {
+		return nil, false, fmt.Errorf("core: instance does not fit the annealer: %w", err)
+	}
+	if err := emb.Validate(mapping.QUBO); err != nil {
+		return nil, false, err
+	}
+	return emb, true, nil
+}
+
+// clusteredByPlan builds the clustered embedding and permutes its chains
+// from cluster-major variable order into plan-id order.
+func clusteredByPlan(g *chimera.Graph, p *mqo.Problem) (*embedding.Embedding, error) {
+	// Group queries by cluster, preserving query order within clusters.
+	clusterQueries := map[int][]int{}
+	var clusterIDs []int
+	for q := 0; q < p.NumQueries(); q++ {
+		c := p.ClusterOf(q)
+		if _, seen := clusterQueries[c]; !seen {
+			clusterIDs = append(clusterIDs, c)
+		}
+		clusterQueries[c] = append(clusterQueries[c], q)
+	}
+	sizes := make([]int, len(clusterIDs))
+	for i, c := range clusterIDs {
+		for _, q := range clusterQueries[c] {
+			sizes[i] += len(p.QueryPlans[q])
+		}
+	}
+	emb, err := embedding.Clustered(g, sizes)
+	if err != nil {
+		return nil, err
+	}
+	// Chain i of the clustered embedding corresponds to the i-th plan in
+	// cluster-major, query-major, plan-major order; re-index by plan id.
+	chains := make([]embedding.Chain, p.NumPlans())
+	v := 0
+	for _, c := range clusterIDs {
+		for _, q := range clusterQueries[c] {
+			for _, pl := range p.QueryPlans[q] {
+				chains[pl] = emb.Chains[v]
+				v++
+			}
+		}
+	}
+	return embedding.NewEmbedding(g, chains)
+}

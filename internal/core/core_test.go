@@ -1,0 +1,226 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/anneal"
+	"repro/internal/chimera"
+	"repro/internal/dwave"
+	"repro/internal/mqo"
+	"repro/internal/trace"
+)
+
+func example1() *mqo.Problem {
+	return mqo.MustNew(
+		[][]int{{0, 1}, {2, 3}},
+		[]float64{2, 4, 3, 1},
+		[]mqo.Saving{{P1: 1, P2: 2, Value: 5}},
+	)
+}
+
+func TestQuantumMQOExample1(t *testing.T) {
+	res, err := QuantumMQO(example1(), Options{Runs: 50}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost != 2 {
+		t.Errorf("cost = %v, want 2 (plans p2 and p3)", res.Cost)
+	}
+	if res.Solution[0] != 1 || res.Solution[1] != 2 {
+		t.Errorf("solution = %v, want [1 2]", res.Solution)
+	}
+}
+
+func TestQuantumMQOFindsOptimaOnSmallInstances(t *testing.T) {
+	cfg := mqo.DefaultGeneratorConfig()
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		class := mqo.Class{Queries: 3 + rng.Intn(5), PlansPerQuery: 2 + rng.Intn(2)}
+		p := mqo.Generate(rng, class, cfg)
+		res, err := QuantumMQO(p, Options{Runs: 200}, rng)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		_, want, err := p.Optimum()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(res.Cost-want) > 1e-9 {
+			t.Errorf("seed %d: QA cost %v, optimal %v", seed, res.Cost, want)
+		}
+		if !p.Valid(res.Solution) {
+			t.Errorf("seed %d: invalid solution", seed)
+		}
+	}
+}
+
+func TestQuantumMQOModeledTimeAxis(t *testing.T) {
+	p := example1()
+	res, err := QuantumMQO(p, Options{Runs: 100}, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := res.Trace.Points()
+	if len(pts) == 0 {
+		t.Fatal("empty trace")
+	}
+	per := dwave.PaperAnnealTime + dwave.PaperReadoutTime
+	if pts[0].T < per {
+		t.Errorf("first point at %v, want ≥ %v (one run)", pts[0].T, per)
+	}
+	if last := pts[len(pts)-1].T; last > 100*per {
+		t.Errorf("last point at %v beyond 100 runs (%v)", last, 100*per)
+	}
+}
+
+func TestGenerateEmbeddablePaperClasses(t *testing.T) {
+	g := chimera.DWave2X(0, 0)
+	cfg := mqo.DefaultGeneratorConfig()
+	for _, class := range mqo.PaperClasses {
+		rng := rand.New(rand.NewSource(11))
+		p, err := GenerateEmbeddable(rng, g, class, cfg)
+		if err != nil {
+			t.Fatalf("class %v: %v", class, err)
+		}
+		if p.NumQueries() != class.Queries || p.NumPlans() != class.Queries*class.PlansPerQuery {
+			t.Fatalf("class %v: wrong dimensions", class)
+		}
+		if len(p.Savings) == 0 {
+			t.Fatalf("class %v: no savings generated", class)
+		}
+		// The instance must embed on the clustered pattern (no fallback).
+		res, err := QuantumMQO(p, Options{Runs: 1, Graph: g}, rng)
+		if err != nil {
+			t.Fatalf("class %v: pipeline failed: %v", class, err)
+		}
+		if res.UsedTriadFallback {
+			t.Errorf("class %v: clustered embedding rejected its own instance", class)
+		}
+	}
+}
+
+func TestGenerateEmbeddableQubitsPerVariable(t *testing.T) {
+	// Figure 6's x-axis: ≈1 qubit/variable for 2 plans, ≈1.6 for 5 plans.
+	g := chimera.DWave2X(0, 0)
+	cfg := mqo.DefaultGeneratorConfig()
+	rng := rand.New(rand.NewSource(13))
+	p2, err := GenerateEmbeddable(rng, g, mqo.Class{Queries: 537, PlansPerQuery: 2}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := QuantumMQO(p2, Options{Runs: 1, Graph: g}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.QubitsPerVariable != 1.0 {
+		t.Errorf("2 plans: qubits/variable = %v, want 1.0", r2.QubitsPerVariable)
+	}
+	p5, err := GenerateEmbeddable(rng, g, mqo.Class{Queries: 108, PlansPerQuery: 5}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r5, err := QuantumMQO(p5, Options{Runs: 1, Graph: g}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r5.QubitsPerVariable != 1.6 {
+		t.Errorf("5 plans: qubits/variable = %v, want 1.6", r5.QubitsPerVariable)
+	}
+	if r5.QubitsUsed != 108*8 {
+		t.Errorf("5 plans: qubits used = %d, want %d", r5.QubitsUsed, 108*8)
+	}
+}
+
+func TestTriadFallbackForUnstructuredInstances(t *testing.T) {
+	// Savings between non-adjacent queries defeat the clustered pattern;
+	// the pipeline must fall back to a TRIAD and still find the optimum.
+	p := mqo.MustNew(
+		[][]int{{0, 1}, {2, 3}, {4, 5}},
+		[]float64{5, 6, 4, 7, 6, 5},
+		[]mqo.Saving{{P1: 0, P2: 4, Value: 6}}, // query 0 ↔ query 2
+	)
+	res, err := QuantumMQO(p, Options{Runs: 100}, rand.New(rand.NewSource(17)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.UsedTriadFallback {
+		t.Error("expected TRIAD fallback for non-chain savings")
+	}
+	_, want, err := p.Optimum()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Cost-want) > 1e-9 {
+		t.Errorf("cost %v, want %v", res.Cost, want)
+	}
+}
+
+func TestQuantumMQOTooLargeForGraph(t *testing.T) {
+	g := chimera.NewGraph(1, 1)
+	rng := rand.New(rand.NewSource(19))
+	p := mqo.Generate(rng, mqo.Class{Queries: 20, PlansPerQuery: 4}, mqo.DefaultGeneratorConfig())
+	if _, err := QuantumMQO(p, Options{Graph: g, Runs: 1}, rng); err == nil {
+		t.Error("oversized instance accepted")
+	}
+}
+
+func TestQASolverInterface(t *testing.T) {
+	p := example1()
+	qa := &QASolver{Opt: Options{Runs: 100}}
+	if qa.Name() != "QA" {
+		t.Errorf("Name = %q", qa.Name())
+	}
+	var tr trace.Trace
+	sol := qa.Solve(p, 10*time.Millisecond, rand.New(rand.NewSource(23)), &tr)
+	if !p.Valid(sol) {
+		t.Fatal("QASolver returned invalid solution")
+	}
+	if tr.Len() == 0 {
+		t.Fatal("QASolver recorded no trace")
+	}
+	// 10 ms at 376 µs per run admits at most 26 runs.
+	if last := tr.Points()[tr.Len()-1].T; last > 10*time.Millisecond {
+		t.Errorf("trace extends to %v beyond the 10 ms budget", last)
+	}
+}
+
+func TestQASolverBudgetCapsRuns(t *testing.T) {
+	p := example1()
+	qa := &QASolver{Opt: Options{Runs: 1000}}
+	var tr trace.Trace
+	start := time.Now()
+	qa.Solve(p, 1*time.Millisecond, rand.New(rand.NewSource(29)), &tr)
+	if time.Since(start) > 5*time.Second {
+		t.Error("1 ms modeled budget took implausibly long")
+	}
+}
+
+func TestQuantumMQOWithSQASampler(t *testing.T) {
+	p := example1()
+	res, err := QuantumMQO(p, Options{Runs: 30, Sampler: anneal.DefaultSQA()}, rand.New(rand.NewSource(31)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost != 2 {
+		t.Errorf("SQA cost = %v, want 2", res.Cost)
+	}
+}
+
+func TestPreprocessTimeReported(t *testing.T) {
+	g := chimera.DWave2X(0, 0)
+	rng := rand.New(rand.NewSource(37))
+	p, err := GenerateEmbeddable(rng, g, mqo.Class{Queries: 108, PlansPerQuery: 5}, mqo.DefaultGeneratorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := QuantumMQO(p, Options{Runs: 1, Graph: g}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PreprocessTime <= 0 {
+		t.Error("preprocess time not measured")
+	}
+}

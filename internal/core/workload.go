@@ -1,0 +1,68 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/chimera"
+	"repro/internal/embedding"
+	"repro/internal/mqo"
+)
+
+// GenerateEmbeddable builds a random instance of the given class whose
+// work-sharing links are guaranteed realizable on the clustered embedding
+// of graph g. This mirrors the paper's setup: "We consider test cases that
+// map well to the quantum annealer" — connections between plans in
+// different clusters can only represent sharing opportunities that the
+// sparse inter-cluster couplers support, so savings are drawn from the
+// plan pairs of consecutive queries that actually share a coupler.
+func GenerateEmbeddable(rng *rand.Rand, g *chimera.Graph, class mqo.Class, cfg mqo.GeneratorConfig) (*mqo.Problem, error) {
+	if class.Queries <= 0 || class.PlansPerQuery <= 0 {
+		return nil, fmt.Errorf("core: invalid class %+v", class)
+	}
+	sizes := make([]int, class.Queries)
+	for i := range sizes {
+		sizes[i] = class.PlansPerQuery
+	}
+	emb, err := embedding.Clustered(g, sizes)
+	if err != nil {
+		return nil, fmt.Errorf("core: class %v does not fit the annealer: %w", class, err)
+	}
+	off := embedding.ClusterOffsets(sizes)
+
+	nPlans := class.Queries * class.PlansPerQuery
+	queryPlans := make([][]int, class.Queries)
+	costs := make([]float64, nPlans)
+	next := 0
+	for q := 0; q < class.Queries; q++ {
+		plans := make([]int, class.PlansPerQuery)
+		for i := range plans {
+			plans[i] = next
+			costs[next] = float64(cfg.CostMin + rng.Intn(cfg.CostMax-cfg.CostMin+1))
+			next++
+		}
+		queryPlans[q] = plans
+	}
+
+	var savings []mqo.Saving
+	for q := 0; q+1 < class.Queries; q++ {
+		// Collect the couplable plan pairs between consecutive queries.
+		var pairs [][2]int
+		for i := 0; i < class.PlansPerQuery; i++ {
+			for j := 0; j < class.PlansPerQuery; j++ {
+				if emb.CanCouple(off[q]+i, off[q+1]+j) {
+					pairs = append(pairs, [2]int{queryPlans[q][i], queryPlans[q+1][j]})
+				}
+			}
+		}
+		want := cfg.InterPairs
+		if want > len(pairs) {
+			want = len(pairs)
+		}
+		for _, k := range rng.Perm(len(pairs))[:want] {
+			value := cfg.SavingsScale * float64(1+rng.Intn(2))
+			savings = append(savings, mqo.Saving{P1: pairs[k][0], P2: pairs[k][1], Value: value})
+		}
+	}
+	return mqo.New(queryPlans, costs, savings)
+}

@@ -1,0 +1,223 @@
+// Package decompose implements the paper's future-work proposal of
+// mapping one MQO problem into a SERIES of QUBO problems (Section 9:
+// "We will explore approaches that map one MQO problem instance into a
+// series of QUBO problems in future work which should in principle allow
+// to treat larger problem instances").
+//
+// The decomposition slides a window over the query sequence. Each window
+// becomes a sub-instance whose plan costs absorb the savings toward plans
+// already fixed outside the window, so optimizing the window in isolation
+// accounts exactly for its interactions with the frozen remainder. Every
+// window is solved on the annealer via core.QuantumMQO (TRIAD embedding:
+// windows are small, arbitrary coupling structure is fine), and
+// back-and-forth sweeps repeat until no sweep improves the incumbent.
+// Chain-structured workloads converge to near-optimal solutions even when
+// the full instance needs many times the available qubits.
+package decompose
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/mqo"
+)
+
+// Options configure the decomposition.
+type Options struct {
+	// WindowQueries is the number of consecutive queries per
+	// sub-instance. Its plan count must fit the annealer's TRIAD
+	// capacity (48 variables on a fault-free 12×12 graph); 0 selects a
+	// window automatically.
+	WindowQueries int
+	// Overlap is the number of queries shared between consecutive
+	// windows (default: half the window).
+	Overlap int
+	// MaxSweeps bounds the number of left-right passes (default 4).
+	MaxSweeps int
+	// Core configures the per-window annealer pipeline.
+	Core core.Options
+}
+
+// Result of a decomposed solve.
+type Result struct {
+	Solution mqo.Solution
+	Cost     float64
+	// Windows is the number of sub-instances solved on the annealer.
+	Windows int
+	// Sweeps is the number of passes performed.
+	Sweeps int
+}
+
+// Solve optimizes an MQO instance of arbitrary size through a series of
+// annealer-sized QUBO problems.
+func Solve(p *mqo.Problem, opt Options, rng *rand.Rand) (*Result, error) {
+	nq := p.NumQueries()
+	if nq == 0 {
+		return &Result{Solution: mqo.Solution{}}, nil
+	}
+	window := opt.WindowQueries
+	if window <= 0 {
+		// Keep window plan counts within a conservative TRIAD budget.
+		maxL := 1
+		for _, plans := range p.QueryPlans {
+			if len(plans) > maxL {
+				maxL = len(plans)
+			}
+		}
+		window = 32 / maxL
+		if window < 1 {
+			window = 1
+		}
+	}
+	if window > nq {
+		window = nq
+	}
+	overlap := opt.Overlap
+	if overlap <= 0 || overlap >= window {
+		overlap = window / 2
+	}
+	step := window - overlap
+	if step < 1 {
+		step = 1
+	}
+	maxSweeps := opt.MaxSweeps
+	if maxSweeps <= 0 {
+		maxSweeps = 4
+	}
+
+	// Start from the greedy solution; windows only ever improve it.
+	sol := p.Repair(make(mqo.Solution, nq))
+	cost := p.CostOfSet(sol)
+	res := &Result{}
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		res.Sweeps = sweep + 1
+		improvedSweep := false
+		starts := windowStarts(nq, window, step, sweep%2 == 1)
+		for _, a := range starts {
+			b := a + window
+			if b > nq {
+				b = nq
+			}
+			improved, err := solveWindow(p, sol, a, b, opt.Core, rng)
+			if err != nil {
+				return nil, err
+			}
+			res.Windows++
+			if improved {
+				improvedSweep = true
+			}
+		}
+		newCost := p.CostOfSet(sol)
+		if newCost > cost+1e-9 {
+			return nil, fmt.Errorf("decompose: window pass worsened the solution (%v -> %v)", cost, newCost)
+		}
+		cost = newCost
+		if !improvedSweep {
+			break
+		}
+	}
+	res.Solution = sol
+	res.Cost = cost
+	return res, nil
+}
+
+// windowStarts enumerates window anchor positions, right-to-left on
+// reverse sweeps.
+func windowStarts(nq, window, step int, reverse bool) []int {
+	var starts []int
+	for a := 0; ; a += step {
+		if a+window >= nq {
+			starts = append(starts, nq-window)
+			break
+		}
+		starts = append(starts, a)
+	}
+	if reverse {
+		for i, j := 0, len(starts)-1; i < j; i, j = i+1, j-1 {
+			starts[i], starts[j] = starts[j], starts[i]
+		}
+	}
+	return starts
+}
+
+// solveWindow extracts queries [a, b) into a sub-instance, folds savings
+// toward the frozen remainder into plan costs, solves it on the annealer,
+// and writes the window's selection back when it improves the incumbent.
+func solveWindow(p *mqo.Problem, sol mqo.Solution, a, b int, opt core.Options, rng *rand.Rand) (bool, error) {
+	selected := make([]bool, p.NumPlans())
+	inWindow := make([]bool, p.NumPlans())
+	for q, pl := range sol {
+		if q < a || q >= b {
+			selected[pl] = true
+		}
+	}
+	// Build the sub-instance: local plan ids 0..k-1.
+	var (
+		subPlans  [][]int
+		subCosts  []float64
+		local     = map[int]int{}
+		globalOf  []int
+		minNonNeg float64
+	)
+	for q := a; q < b; q++ {
+		plans := make([]int, len(p.QueryPlans[q]))
+		for i, pl := range p.QueryPlans[q] {
+			id := len(globalOf)
+			local[pl] = id
+			globalOf = append(globalOf, pl)
+			// Fold savings to frozen external selections into the cost.
+			c := p.Costs[pl]
+			for _, sv := range p.SavingsOf(pl) {
+				other := sv.P1
+				if other == pl {
+					other = sv.P2
+				}
+				if selected[other] {
+					c -= sv.Value
+				}
+			}
+			if c < minNonNeg {
+				minNonNeg = c
+			}
+			plans[i] = id
+			subCosts = append(subCosts, c)
+			inWindow[pl] = true
+		}
+		subPlans = append(subPlans, plans)
+	}
+	// The MQO model requires non-negative costs; shift uniformly per
+	// sub-instance (a per-plan constant cannot change the argmin within
+	// a query... it can, so shift ALL plans by the same amount instead).
+	if minNonNeg < 0 {
+		for i := range subCosts {
+			subCosts[i] -= minNonNeg
+		}
+	}
+	var subSavings []mqo.Saving
+	for _, sv := range p.Savings {
+		if inWindow[sv.P1] && inWindow[sv.P2] {
+			subSavings = append(subSavings, mqo.Saving{P1: local[sv.P1], P2: local[sv.P2], Value: sv.Value})
+		}
+	}
+	sub, err := mqo.New(subPlans, subCosts, subSavings)
+	if err != nil {
+		return false, fmt.Errorf("decompose: building window [%d,%d): %w", a, b, err)
+	}
+	subRes, err := core.QuantumMQO(sub, opt, rng)
+	if err != nil {
+		return false, fmt.Errorf("decompose: window [%d,%d): %w", a, b, err)
+	}
+	// Accept only improvements against the incumbent window assignment.
+	before := p.CostOfSet(sol)
+	candidate := append(mqo.Solution(nil), sol...)
+	for i, localPl := range subRes.Solution {
+		candidate[a+i] = globalOf[localPl]
+	}
+	after := p.CostOfSet(candidate)
+	if after < before-1e-9 {
+		copy(sol, candidate)
+		return true, nil
+	}
+	return false, nil
+}

@@ -1,0 +1,162 @@
+package decompose
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/chimera"
+	"repro/internal/core"
+	"repro/internal/mqo"
+)
+
+func TestSolveMatchesOptimumOnSmallInstances(t *testing.T) {
+	cfg := mqo.DefaultGeneratorConfig()
+	for seed := int64(0); seed < 6; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		p := mqo.Generate(rng, mqo.Class{Queries: 10, PlansPerQuery: 2}, cfg)
+		res, err := Solve(p, Options{WindowQueries: 4, Core: core.Options{Runs: 60}}, rng)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !p.Valid(res.Solution) {
+			t.Fatalf("seed %d: invalid solution", seed)
+		}
+		_, want, err := p.Optimum()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(res.Cost-want) > 1e-9 {
+			t.Errorf("seed %d: decomposed cost %v, optimal %v", seed, res.Cost, want)
+		}
+	}
+}
+
+// TestSolveBeyondAnnealerCapacity is the headline property: the
+// decomposition treats instances whose single-QUBO mapping exceeds the
+// qubit budget (the paper's future-work motivation). A 2000-query
+// instance needs ≈4000 qubits as one QUBO — far beyond 1152 — yet windows
+// of 16 queries fit comfortably.
+func TestSolveBeyondAnnealerCapacity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p := mqo.Generate(rng, mqo.Class{Queries: 2000, PlansPerQuery: 2}, mqo.DefaultGeneratorConfig())
+	// Confirm the monolithic pipeline rejects it.
+	if _, err := core.QuantumMQO(p, core.Options{Runs: 1}, rng); err == nil {
+		t.Fatal("2000-query instance unexpectedly fit the annealer as one QUBO")
+	}
+	res, err := Solve(p, Options{WindowQueries: 16, Core: core.Options{Runs: 40}}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Valid(res.Solution) {
+		t.Fatal("invalid solution")
+	}
+	_, want, err := p.Optimum()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gap := (res.Cost - want) / want
+	if gap < 0 {
+		t.Fatalf("cost %v below optimum %v", res.Cost, want)
+	}
+	if gap > 0.01 {
+		t.Errorf("decomposed gap %.3f%% exceeds 1%% on a chain instance", gap*100)
+	}
+	if res.Windows == 0 || res.Sweeps == 0 {
+		t.Error("no windows solved")
+	}
+}
+
+func TestSolveImprovesOverGreedy(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	p := mqo.Generate(rng, mqo.Class{Queries: 200, PlansPerQuery: 3}, mqo.DefaultGeneratorConfig())
+	greedy := p.Repair(make(mqo.Solution, p.NumQueries()))
+	greedyCost := p.CostOfSet(greedy)
+	res, err := Solve(p, Options{Core: core.Options{Runs: 40}}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost > greedyCost+1e-9 {
+		t.Errorf("decomposition (%v) worse than greedy (%v)", res.Cost, greedyCost)
+	}
+}
+
+func TestSolveHandlesDegenerateShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	// Single query.
+	p := mqo.MustNew([][]int{{0, 1}}, []float64{3, 1}, nil)
+	res, err := Solve(p, Options{Core: core.Options{Runs: 20}}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost != 1 {
+		t.Errorf("single query: cost %v, want 1", res.Cost)
+	}
+	// Window larger than the instance.
+	p2 := mqo.Generate(rng, mqo.Class{Queries: 3, PlansPerQuery: 2}, mqo.DefaultGeneratorConfig())
+	if _, err := Solve(p2, Options{WindowQueries: 50, Core: core.Options{Runs: 20}}, rng); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWindowStarts(t *testing.T) {
+	fwd := windowStarts(10, 4, 2, false)
+	want := []int{0, 2, 4, 6}
+	if len(fwd) != len(want) {
+		t.Fatalf("starts = %v, want %v", fwd, want)
+	}
+	for i := range want {
+		if fwd[i] != want[i] {
+			t.Fatalf("starts = %v, want %v", fwd, want)
+		}
+	}
+	rev := windowStarts(10, 4, 2, true)
+	if rev[0] != 6 || rev[len(rev)-1] != 0 {
+		t.Errorf("reverse starts = %v", rev)
+	}
+	// Window == instance.
+	if got := windowStarts(4, 4, 2, false); len(got) != 1 || got[0] != 0 {
+		t.Errorf("full-window starts = %v", got)
+	}
+}
+
+// TestNegativeFoldedCostsShifted checks the cost-shift path: folding
+// external savings can push a plan's adjusted cost below zero, which the
+// MQO model rejects; the uniform shift must preserve the window optimum.
+func TestNegativeFoldedCostsShifted(t *testing.T) {
+	// Query 1's plan 2 saves 10 against query 0's plan 0 but costs 4:
+	// folded cost −6 when plan 0 is frozen.
+	p := mqo.MustNew(
+		[][]int{{0}, {1, 2}, {3}},
+		[]float64{5, 5, 4, 2},
+		[]mqo.Saving{{P1: 0, P2: 2, Value: 10}},
+	)
+	rng := rand.New(rand.NewSource(9))
+	res, err := Solve(p, Options{WindowQueries: 1, Core: core.Options{Runs: 30}}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, want, err := p.Optimum()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Cost-want) > 1e-9 {
+		t.Errorf("cost %v, want %v", res.Cost, want)
+	}
+	if res.Solution[1] != 2 {
+		t.Errorf("window missed the folded saving: %v", res.Solution)
+	}
+}
+
+func TestSolveOnFaultyGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	p := mqo.Generate(rng, mqo.Class{Queries: 60, PlansPerQuery: 2}, mqo.DefaultGeneratorConfig())
+	g := chimera.DWave2X(chimera.PaperBrokenQubits, 1)
+	res, err := Solve(p, Options{WindowQueries: 8, Core: core.Options{Runs: 30, Graph: g}}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Valid(res.Solution) {
+		t.Fatal("invalid solution on faulty graph")
+	}
+}

@@ -1,0 +1,116 @@
+// Package dwave simulates the D-Wave 2X device interface used in the
+// paper's evaluation (Section 7.1): batched annealing runs with one random
+// gauge transformation per batch, a fixed per-run annealing time of 129 µs
+// and read-out time of 247 µs, and one spin read-out per run.
+//
+// The real hardware is unavailable to this reproduction, so the annealing
+// cycle itself is performed by a sampler from internal/anneal (simulated
+// annealing or simulated quantum annealing) on the identical physical
+// Ising input. Elapsed device time is modeled: every run advances a
+// modeled clock by the hardware constants, preserving the time axis of
+// the paper's figures independently of simulation wall-clock time.
+package dwave
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/anneal"
+	"repro/internal/ising"
+)
+
+// Paper timing constants (Section 7.1).
+const (
+	// PaperAnnealTime is the default annealing time per run.
+	PaperAnnealTime = 129 * time.Microsecond
+	// PaperReadoutTime is the read-out time per run.
+	PaperReadoutTime = 247 * time.Microsecond
+	// PaperRunsPerGauge is the number of annealing runs per gauge
+	// transformation (10 batches of 100 runs = 1000 runs per test case).
+	PaperRunsPerGauge = 100
+	// PaperTotalRuns is the number of annealing runs per test case.
+	PaperTotalRuns = 1000
+)
+
+// Device is a simulated quantum annealer.
+type Device struct {
+	// Sampler performs the annealing cycle.
+	Sampler anneal.Sampler
+	// AnnealTime and ReadoutTime are charged to the modeled clock per run.
+	AnnealTime, ReadoutTime time.Duration
+	// RunsPerGauge is the batch size between gauge transformations.
+	RunsPerGauge int
+	// DisableGauges samples every run in the identity gauge (used by the
+	// gauge ablation; the paper uses 10 random gauges per test case to
+	// cancel qubit biases).
+	DisableGauges bool
+}
+
+// DefaultSampler returns the annealing surrogate used by default:
+// classical simulated annealing (the SQA surrogate is available for the
+// sampler ablation).
+func DefaultSampler() anneal.Sampler { return anneal.DefaultSA() }
+
+// NewDWave2X returns a device with the paper's timing and batching
+// parameters.
+func NewDWave2X(s anneal.Sampler) *Device {
+	return &Device{
+		Sampler:      s,
+		AnnealTime:   PaperAnnealTime,
+		ReadoutTime:  PaperReadoutTime,
+		RunsPerGauge: PaperRunsPerGauge,
+	}
+}
+
+// TimePerSample is the modeled device time per annealing run + read-out.
+func (d *Device) TimePerSample() time.Duration { return d.AnnealTime + d.ReadoutTime }
+
+// Sample is one read-out: the spins (in the problem's original gauge) and
+// their energy.
+type Sample struct {
+	Spins  []int8
+	Energy float64
+	// Elapsed is the modeled device time when this read-out completed.
+	Elapsed time.Duration
+}
+
+// SampleIsing performs runs annealing cycles on p, applying a fresh random
+// gauge transformation every RunsPerGauge runs ("a gauge transformation
+// selects for each qubit the physical state representing a one randomly").
+// The onSample callback, if non-nil, observes every read-out in order;
+// the best sample is returned.
+func (d *Device) SampleIsing(p *ising.Problem, runs int, rng *rand.Rand, onSample func(Sample)) Sample {
+	if runs <= 0 {
+		runs = PaperTotalRuns
+	}
+	batch := d.RunsPerGauge
+	if batch <= 0 {
+		batch = PaperRunsPerGauge
+	}
+	original := anneal.Compile(p)
+	var elapsed time.Duration
+	best := Sample{}
+	haveBest := false
+	for done := 0; done < runs; {
+		gauge := ising.RandomGauge(rng, p.N())
+		if d.DisableGauges {
+			gauge = ising.IdentityGauge(p.N())
+		}
+		compiled := anneal.Compile(p.ApplyGauge(gauge))
+		for b := 0; b < batch && done < runs; b++ {
+			spins := d.Sampler.Sample(compiled, rng)
+			orig := gauge.UndoSpins(spins)
+			elapsed += d.TimePerSample()
+			s := Sample{Spins: orig, Energy: original.Energy(orig), Elapsed: elapsed}
+			if onSample != nil {
+				onSample(s)
+			}
+			if !haveBest || s.Energy < best.Energy {
+				best = s
+				haveBest = true
+			}
+			done++
+		}
+	}
+	return best
+}

@@ -1,0 +1,109 @@
+package dwave
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/anneal"
+	"repro/internal/ising"
+	"repro/internal/qubo"
+)
+
+func trivialProblem(n int) *ising.Problem {
+	q := qubo.New(n)
+	for i := 0; i < n; i++ {
+		q.AddLinear(i, -1)
+	}
+	return ising.FromQUBO(q)
+}
+
+func TestTimingModel(t *testing.T) {
+	d := NewDWave2X(DefaultSampler())
+	if d.TimePerSample() != 376*time.Microsecond {
+		t.Errorf("TimePerSample = %v, want 376µs (129 anneal + 247 readout)", d.TimePerSample())
+	}
+	p := trivialProblem(4)
+	rng := rand.New(rand.NewSource(1))
+	var elapsed []time.Duration
+	d.SampleIsing(p, 5, rng, func(s Sample) {
+		elapsed = append(elapsed, s.Elapsed)
+	})
+	if len(elapsed) != 5 {
+		t.Fatalf("observed %d samples, want 5", len(elapsed))
+	}
+	for i, e := range elapsed {
+		if want := time.Duration(i+1) * 376 * time.Microsecond; e != want {
+			t.Errorf("sample %d elapsed %v, want %v", i, e, want)
+		}
+	}
+}
+
+func TestFindsTrivialGroundState(t *testing.T) {
+	d := NewDWave2X(DefaultSampler())
+	p := trivialProblem(10)
+	best := d.SampleIsing(p, 20, rand.New(rand.NewSource(2)), nil)
+	// Ground: all spins +1, energy = offset-adjusted -10.
+	want := math.Inf(1)
+	c := anneal.Compile(p)
+	all1 := make([]int8, 10)
+	for i := range all1 {
+		all1[i] = 1
+	}
+	want = c.Energy(all1)
+	if math.Abs(best.Energy-want) > 1e-9 {
+		t.Errorf("best energy %v, want %v", best.Energy, want)
+	}
+}
+
+func TestGaugeBatching(t *testing.T) {
+	// With RunsPerGauge = 2 and 5 runs, three gauges are drawn. The
+	// returned energies must all be evaluated in the ORIGINAL frame:
+	// verify each sample's energy matches its spins.
+	d := NewDWave2X(DefaultSampler())
+	d.RunsPerGauge = 2
+	p := trivialProblem(6)
+	c := anneal.Compile(p)
+	rng := rand.New(rand.NewSource(3))
+	n := 0
+	d.SampleIsing(p, 5, rng, func(s Sample) {
+		n++
+		if math.Abs(c.Energy(s.Spins)-s.Energy) > 1e-9 {
+			t.Errorf("sample energy %v does not match spins (%v)", s.Energy, c.Energy(s.Spins))
+		}
+	})
+	if n != 5 {
+		t.Errorf("callback saw %d samples, want 5", n)
+	}
+}
+
+func TestBestSampleIsMinimum(t *testing.T) {
+	d := NewDWave2X(&anneal.SimulatedAnnealer{Sweeps: 2, BetaStart: 0.1, BetaEnd: 1})
+	rng := rand.New(rand.NewSource(4))
+	q := qubo.New(8)
+	for i := 0; i < 8; i++ {
+		q.AddLinear(i, rng.NormFloat64())
+		for j := i + 1; j < 8; j++ {
+			q.AddQuadratic(i, j, rng.NormFloat64())
+		}
+	}
+	p := ising.FromQUBO(q)
+	var seen []float64
+	best := d.SampleIsing(p, 30, rng, func(s Sample) { seen = append(seen, s.Energy) })
+	for _, e := range seen {
+		if e < best.Energy-1e-12 {
+			t.Errorf("best %v not minimal (saw %v)", best.Energy, e)
+		}
+	}
+}
+
+func TestDefaultRunsApplied(t *testing.T) {
+	d := NewDWave2X(&anneal.SimulatedAnnealer{Sweeps: 1, BetaStart: 1, BetaEnd: 1})
+	p := trivialProblem(2)
+	n := 0
+	d.SampleIsing(p, 0, rand.New(rand.NewSource(5)), func(Sample) { n++ })
+	if n != PaperTotalRuns {
+		t.Errorf("default runs = %d, want %d", n, PaperTotalRuns)
+	}
+}

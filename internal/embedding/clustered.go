@@ -1,0 +1,274 @@
+package embedding
+
+import (
+	"fmt"
+
+	"repro/internal/chimera"
+)
+
+// Clustered embeds one complete graph per query cluster (Figure 3). Sizes
+// lists the number of logical variables (query plans) per cluster; the
+// returned embedding numbers variables cluster-major: cluster c owns the
+// contiguous variable range [offset_c, offset_c + sizes[c]).
+//
+// Clusters of up to five variables use a dense single-cell scheme: l−2
+// two-qubit chains {L_i, R_i} plus one left-colon and one right-colon
+// single, all pairwise coupled through the cell's K4,4 (for l = 5 this
+// packs K5 into a single 8-qubit cell). Larger clusters use a TRIAD block
+// of size ⌈l/4⌉. Cells are visited in boustrophedon (snake) order so that
+// consecutive clusters sit in adjacent cells and inter-cluster couplers
+// exist for work-sharing terms; qubits per variable stay constant in the
+// cluster count, which is how the clustered pattern achieves the
+// Θ(n·(m·l)²) bound of Theorem 3 instead of the quadratic-in-total-plans
+// cost of a single TRIAD.
+//
+// Broken qubits shrink a cell's capacity; cells that cannot host the next
+// cluster are skipped. ErrGraphTooSmall is returned when the graph is
+// exhausted before every cluster is placed.
+func Clustered(g *chimera.Graph, sizes []int) (*Embedding, error) {
+	if len(sizes) == 0 {
+		return nil, fmt.Errorf("embedding: no clusters to embed")
+	}
+	for c, l := range sizes {
+		if l <= 0 {
+			return nil, fmt.Errorf("embedding: cluster %d has non-positive size %d", c, l)
+		}
+	}
+	alloc := newAllocator(g)
+	var chains []Chain
+	for c, l := range sizes {
+		cl, err := alloc.placeCluster(l)
+		if err != nil {
+			return nil, fmt.Errorf("embedding: placing cluster %d (size %d): %w", c, l, err)
+		}
+		chains = append(chains, cl...)
+	}
+	return NewEmbedding(g, chains)
+}
+
+// ClusterOffsets returns the first variable index of each cluster for the
+// cluster-major numbering used by Clustered.
+func ClusterOffsets(sizes []int) []int {
+	off := make([]int, len(sizes))
+	sum := 0
+	for i, l := range sizes {
+		off[i] = sum
+		sum += l
+	}
+	return off
+}
+
+// allocator walks the unit cells of a graph in snake order, handing out
+// working qubits to cluster tiles.
+type allocator struct {
+	g *chimera.Graph
+	// order is the snake sequence of (row, col) cells.
+	order []cellRef
+	// pos is the index of the current cell in order.
+	pos int
+	// remaining working qubits of the current cell, split by colon.
+	lefts, rights []int
+	// usedCell marks cells consumed by TRIAD blocks.
+	usedCell map[cellRef]bool
+	// taken marks individual qubits handed to chains.
+	taken map[int]bool
+}
+
+type cellRef struct{ row, col int }
+
+func newAllocator(g *chimera.Graph) *allocator {
+	a := &allocator{g: g, usedCell: map[cellRef]bool{}, taken: map[int]bool{}}
+	for r := 0; r < g.Rows; r++ {
+		if r%2 == 0 {
+			for c := 0; c < g.Cols; c++ {
+				a.order = append(a.order, cellRef{r, c})
+			}
+		} else {
+			for c := g.Cols - 1; c >= 0; c-- {
+				a.order = append(a.order, cellRef{r, c})
+			}
+		}
+	}
+	a.loadCell()
+	return a
+}
+
+// loadCell refreshes the working-qubit lists for the cell at a.pos.
+func (a *allocator) loadCell() {
+	a.lefts = a.lefts[:0]
+	a.rights = a.rights[:0]
+	if a.pos >= len(a.order) {
+		return
+	}
+	ref := a.order[a.pos]
+	if a.usedCell[ref] {
+		return
+	}
+	// Alternate the in-cell allocation direction with the snake position:
+	// the last cluster of an even cell and the first cluster of the
+	// following odd cell then occupy the same in-cell index k, which is
+	// exactly the condition for an inter-cell coupler (couplers join equal
+	// k only), so consecutive clusters always share a coupler.
+	for i := 0; i < chimera.Half; i++ {
+		k := i
+		if a.pos%2 == 1 {
+			k = chimera.Half - 1 - i
+		}
+		if q := a.g.QubitAt(ref.row, ref.col, k); a.g.Working(q) && !a.taken[q] {
+			a.lefts = append(a.lefts, q)
+		}
+		if q := a.g.QubitAt(ref.row, ref.col, chimera.Half+k); a.g.Working(q) && !a.taken[q] {
+			a.rights = append(a.rights, q)
+		}
+	}
+}
+
+// advance moves to the next cell in snake order.
+func (a *allocator) advance() {
+	a.pos++
+	a.loadCell()
+}
+
+// placeCluster returns the chains of a cluster with l variables.
+func (a *allocator) placeCluster(l int) ([]Chain, error) {
+	if l <= 5 {
+		return a.placeSingleCell(l)
+	}
+	return a.placeTriadBlock(l)
+}
+
+// placeSingleCell hosts a K_l (l ≤ 5) inside one unit cell using l−2
+// paired chains plus one left and one right single (all schemes degrade to
+// fewer pairs for l ≤ 2). Every pair of chains shares an intra-cell
+// coupler because each chain contains a left or a right qubit and the cell
+// is complete bipartite.
+func (a *allocator) placeSingleCell(l int) ([]Chain, error) {
+	needL, needR := singleCellNeed(l)
+	for a.pos < len(a.order) {
+		if len(a.lefts) >= needL && len(a.rights) >= needR {
+			return a.takeSingleCell(l), nil
+		}
+		a.advance()
+	}
+	return nil, ErrGraphTooSmall
+}
+
+// singleCellNeed returns the number of left- and right-colon qubits a
+// K_l single-cell tile consumes.
+func singleCellNeed(l int) (needL, needR int) {
+	switch {
+	case l == 1:
+		return 1, 0
+	default:
+		// l−2 pairs (one left + one right each) + one left single + one
+		// right single.
+		return l - 1, l - 1
+	}
+}
+
+func (a *allocator) takeSingleCell(l int) []Chain {
+	takeL := func() int {
+		q := a.lefts[0]
+		a.lefts = a.lefts[1:]
+		a.taken[q] = true
+		return q
+	}
+	takeR := func() int {
+		q := a.rights[0]
+		a.rights = a.rights[1:]
+		a.taken[q] = true
+		return q
+	}
+	chains := make([]Chain, 0, l)
+	if l == 1 {
+		chains = append(chains, Chain{takeL()})
+		return chains
+	}
+	for i := 0; i < l-2; i++ {
+		chains = append(chains, Chain{takeL(), takeR()})
+	}
+	chains = append(chains, Chain{takeL()}, Chain{takeR()})
+	return chains
+}
+
+// placeTriadBlock hosts a K_l (l ≥ 6) on a TRIAD block of m = ⌈l/4⌉ × m
+// cells. The block is aligned to the snake cursor; blocks whose chains are
+// hit by faults are grown or skipped.
+func (a *allocator) placeTriadBlock(l int) ([]Chain, error) {
+	m := (l + 3) / 4
+	for a.pos < len(a.order) {
+		ref := a.order[a.pos]
+		if a.blockFree(ref, m) {
+			chains := make([]Chain, 0, l)
+			for i := 0; i < 4*m && len(chains) < l; i++ {
+				ch := triadChain(a.g, ref.row, ref.col, m, i)
+				if chainIntact(a.g, ch) {
+					chains = append(chains, ch)
+				}
+			}
+			if len(chains) == l {
+				for _, ch := range chains {
+					for _, q := range ch {
+						a.taken[q] = true
+					}
+				}
+				a.markBlock(ref, m)
+				a.loadCell()
+				return chains, nil
+			}
+		}
+		a.advance()
+	}
+	return nil, ErrGraphTooSmall
+}
+
+// blockFree reports whether an m×m cell block anchored at ref fits the
+// graph, is unconsumed, and (for the anchor cell) has not been partially
+// used by single-cell tiles.
+func (a *allocator) blockFree(ref cellRef, m int) bool {
+	if ref.row+m > a.g.Rows || ref.col+m > a.g.Cols {
+		return false
+	}
+	for r := ref.row; r < ref.row+m; r++ {
+		for c := ref.col; c < ref.col+m; c++ {
+			if a.usedCell[cellRef{r, c}] {
+				return false
+			}
+			// Cells partially consumed by single-cell tiles would collide
+			// with the TRIAD chains.
+			for k := 0; k < chimera.CellSize; k++ {
+				if a.taken[a.g.QubitAt(r, c, k)] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+func (a *allocator) markBlock(ref cellRef, m int) {
+	for r := ref.row; r < ref.row+m; r++ {
+		for c := ref.col; c < ref.col+m; c++ {
+			a.usedCell[cellRef{r, c}] = true
+		}
+	}
+	// Skip past any cells of the block that lie ahead in snake order by
+	// letting loadCell see usedCell; advancing happens lazily.
+	if a.pos < len(a.order) && a.usedCell[a.order[a.pos]] {
+		a.advance()
+	}
+}
+
+// Capacity returns the maximal number of equal-size clusters (l variables
+// each) that Clustered can place on g. This function generates Figure 7:
+// the problem-dimension frontier for a given qubit budget.
+func Capacity(g *chimera.Graph, l int) int {
+	alloc := newAllocator(g)
+	n := 0
+	for {
+		if _, err := alloc.placeCluster(l); err != nil {
+			return n
+		}
+		n++
+	}
+}

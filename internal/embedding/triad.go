@@ -1,0 +1,83 @@
+package embedding
+
+import (
+	"fmt"
+
+	"repro/internal/chimera"
+)
+
+// triadChain builds the path of physical qubits for chain index i of a
+// TRIAD pattern of size m (m·4 chains max) anchored at unit cell
+// (row0, col0). Chain i with block b = i/4 and in-cell index k = i%4 runs
+// horizontally along right-colon qubits of row b from column 0 to b, turns
+// at the diagonal cell (b, b), and runs vertically down left-colon qubits
+// of column b to row m−1. Its length is m+1, and any two chains meet in
+// exactly one unit cell where an intra-cell coupler joins them.
+func triadChain(g *chimera.Graph, row0, col0, m, i int) Chain {
+	b, k := i/4, i%4
+	ch := make(Chain, 0, m+1)
+	for c := 0; c <= b; c++ {
+		ch = append(ch, g.QubitAt(row0+b, col0+c, chimera.Half+k))
+	}
+	for r := b; r < m; r++ {
+		ch = append(ch, g.QubitAt(row0+r, col0+b, k))
+	}
+	return ch
+}
+
+// chainIntact reports whether every qubit of ch works and every
+// consecutive pair is joined by a working coupler. A chain containing a
+// broken qubit is unusable in its entirety (Figure 2d).
+func chainIntact(g *chimera.Graph, ch Chain) bool {
+	for _, q := range ch {
+		if !g.Working(q) {
+			return false
+		}
+	}
+	for i := 0; i+1 < len(ch); i++ {
+		if !g.HasCoupler(ch[i], ch[i+1]) {
+			return false
+		}
+	}
+	return true
+}
+
+// ErrGraphTooSmall reports that the hardware graph cannot host the
+// requested pattern.
+var ErrGraphTooSmall = fmt.Errorf("embedding: hardware graph too small for pattern")
+
+// Triad embeds n pairwise-connected logical variables (a complete graph
+// K_n, hence an arbitrary QUBO over n variables) into g using Choi's
+// TRIAD pattern anchored at the top-left unit cell. Chains hit by broken
+// qubits are skipped, growing the pattern as needed, so the embedding
+// degrades gracefully on faulty hardware (Figure 2d).
+func Triad(g *chimera.Graph, n int) (*Embedding, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("embedding: need a positive variable count, got %d", n)
+	}
+	maxM := g.Rows
+	if g.Cols < maxM {
+		maxM = g.Cols
+	}
+	for m := (n + 3) / 4; m <= maxM; m++ {
+		chains := make([]Chain, 0, n)
+		for i := 0; i < 4*m && len(chains) < n; i++ {
+			ch := triadChain(g, 0, 0, m, i)
+			if chainIntact(g, ch) {
+				chains = append(chains, ch)
+			}
+		}
+		if len(chains) == n {
+			return NewEmbedding(g, chains)
+		}
+	}
+	return nil, fmt.Errorf("%w: TRIAD for %d variables on %dx%d cells", ErrGraphTooSmall, n, g.Rows, g.Cols)
+}
+
+// TriadSize returns the TRIAD block size m = ⌈n/4⌉ and the qubit count
+// n·(m+1) consumed by a fault-free TRIAD for n variables. The quadratic
+// growth in n is the content of Theorem 3 for a single cluster.
+func TriadSize(n int) (m, qubits int) {
+	m = (n + 3) / 4
+	return m, n * (m + 1)
+}

@@ -1,0 +1,112 @@
+package embedding
+
+import (
+	"testing"
+
+	"repro/internal/chimera"
+)
+
+func TestTriadCompleteConnectivity(t *testing.T) {
+	g := chimera.NewGraph(4, 4)
+	for _, n := range []int{2, 4, 5, 8, 12, 16} {
+		e, err := Triad(g, n)
+		if err != nil {
+			t.Fatalf("Triad(%d): %v", n, err)
+		}
+		if e.NumVariables() != n {
+			t.Fatalf("Triad(%d) placed %d chains", n, e.NumVariables())
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if !e.CanCouple(i, j) {
+					t.Errorf("Triad(%d): chains %d and %d not coupled", n, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestTriadQubitCount(t *testing.T) {
+	// Fault-free TRIAD consumes n·(⌈n/4⌉+1) qubits.
+	g := chimera.NewGraph(4, 4)
+	for _, n := range []int{4, 8, 12, 16} {
+		e, err := Triad(g, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, want := TriadSize(n)
+		if got := e.NumQubits(); got != want {
+			t.Errorf("Triad(%d) uses %d qubits, want %d", n, got, want)
+		}
+		if got, want := e.MaxChainLength(), (n+3)/4+1; got != want {
+			t.Errorf("Triad(%d) max chain length %d, want %d", n, got, want)
+		}
+	}
+}
+
+// TestTriadQuadraticGrowth verifies Theorem 3's shape: qubits grow
+// quadratically in the number of chains (within a single cluster,
+// n = m·l plans).
+func TestTriadQuadraticGrowth(t *testing.T) {
+	_, q8 := TriadSize(8)
+	_, q16 := TriadSize(16)
+	_, q32 := TriadSize(32)
+	// Doubling chains should roughly quadruple qubits: 8→16 gives
+	// 24→80 (×3.33), 16→32 gives 80→288 (×3.6), tending to ×4.
+	if r := float64(q16) / float64(q8); r < 3 || r > 4.5 {
+		t.Errorf("qubit growth 8→16 = %.2f, want ≈4 (quadratic)", r)
+	}
+	if r := float64(q32) / float64(q16); r < 3 || r > 4.5 {
+		t.Errorf("qubit growth 16→32 = %.2f, want ≈4 (quadratic)", r)
+	}
+}
+
+func TestTriadSkipsBrokenChains(t *testing.T) {
+	// Break a qubit inside the pattern area: the affected chain is
+	// unusable and the pattern must compensate (Figure 2d).
+	g := chimera.NewGraph(4, 4)
+	g.BreakQubit(g.QubitAt(0, 0, chimera.Half)) // right qubit 0 of cell (0,0)
+	e, err := Triad(g, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.NumVariables() != 8 {
+		t.Fatalf("got %d chains, want 8", e.NumVariables())
+	}
+	for i := 0; i < 8; i++ {
+		for j := i + 1; j < 8; j++ {
+			if !e.CanCouple(i, j) {
+				t.Errorf("chains %d and %d not coupled after fault", i, j)
+			}
+		}
+	}
+	for _, ch := range e.Chains {
+		for _, q := range ch {
+			if !g.Working(q) {
+				t.Fatalf("chain uses broken qubit %d", q)
+			}
+		}
+	}
+}
+
+func TestTriadGraphTooSmall(t *testing.T) {
+	g := chimera.NewGraph(1, 1)
+	if _, err := Triad(g, 8); err == nil {
+		t.Error("Triad(8) on one cell should fail (needs m=2)")
+	}
+	if _, err := Triad(g, 0); err == nil {
+		t.Error("Triad(0) should fail")
+	}
+}
+
+func TestTriadOnDWave2X(t *testing.T) {
+	// The full 12x12 graph hosts a 48-chain TRIAD fault-free.
+	g := chimera.DWave2X(0, 0)
+	e, err := Triad(g, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.NumQubits() != 48*13 {
+		t.Errorf("48-chain TRIAD uses %d qubits, want %d", e.NumQubits(), 48*13)
+	}
+}

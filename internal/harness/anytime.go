@@ -1,0 +1,106 @@
+package harness
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/mqo"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// AnytimeResult holds the data behind one of the cost-versus-time figures
+// (Figure 4: 537 queries × 2 plans; Figure 5: 108 queries × 5 plans):
+// for each solver, the mean scaled cost at each checkpoint, averaged over
+// instances. Costs are scaled as (cost − optimum) / optimum, so 0 is the
+// exact optimum, matching the figures' normalized cost axis.
+type AnytimeResult struct {
+	Class       mqo.Class
+	Checkpoints []time.Duration
+	// MeanScaledCost[solver][k] is the average scaled cost at
+	// Checkpoints[k]; +Inf means no solution by then on some instance.
+	MeanScaledCost map[string][]float64
+	// Traces retains the raw per-instance traces for downstream analyses
+	// (Figure 6 speedups reuse them).
+	Traces []map[string]*trace.Trace
+	// Optima are the exact per-instance optima.
+	Optima []float64
+}
+
+// RunAnytime executes the full solver set on every instance of class and
+// samples the anytime curves at the paper's checkpoints (truncated to the
+// configured budget).
+func (c Config) RunAnytime(class mqo.Class) (*AnytimeResult, error) {
+	cfg := c.withDefaults()
+	instances, err := cfg.Generate(class)
+	if err != nil {
+		return nil, err
+	}
+	res := &AnytimeResult{
+		Class:          class,
+		Checkpoints:    trace.ScaledCheckpoints(cfg.Budget),
+		MeanScaledCost: make(map[string][]float64),
+	}
+	for i, inst := range instances {
+		traces := cfg.runAll(inst, cfg.Seed*1000+int64(i))
+		res.Traces = append(res.Traces, traces)
+		res.Optima = append(res.Optima, inst.Optimum)
+	}
+	for _, name := range cfg.SolverNames() {
+		curve := make([]float64, len(res.Checkpoints))
+		for k, cp := range res.Checkpoints {
+			vals := make([]float64, 0, len(res.Traces))
+			for i, traces := range res.Traces {
+				tr, ok := traces[name]
+				if !ok {
+					continue
+				}
+				vals = append(vals, scaledCost(tr.BestAt(cp), res.Optima[i]))
+			}
+			curve[k] = meanAllowingInf(vals)
+		}
+		res.MeanScaledCost[name] = curve
+	}
+	return res, nil
+}
+
+// scaledCost normalizes an absolute cost against the instance optimum.
+func scaledCost(cost, optimum float64) float64 {
+	if math.IsInf(cost, 1) {
+		return math.Inf(1)
+	}
+	if optimum == 0 {
+		return cost
+	}
+	return (cost - optimum) / math.Abs(optimum)
+}
+
+// meanAllowingInf averages values, propagating +Inf (a solver with no
+// solution yet on any instance has no meaningful mean).
+func meanAllowingInf(vals []float64) float64 {
+	for _, v := range vals {
+		if math.IsInf(v, 1) {
+			return math.Inf(1)
+		}
+	}
+	return stats.Mean(vals)
+}
+
+// FinalGapQA returns the mean scaled cost of QA's final solution, the
+// paper's "average cost overhead of 0.4%" observation, and the mean
+// scaled cost after the first annealing run (paper: within 1.5% of the
+// final run).
+func (r *AnytimeResult) FinalGapQA() (first, final float64) {
+	perSample := 376 * time.Microsecond
+	firsts := make([]float64, 0, len(r.Traces))
+	finals := make([]float64, 0, len(r.Traces))
+	for i, traces := range r.Traces {
+		tr, ok := traces["QA"]
+		if !ok || tr.Len() == 0 {
+			continue
+		}
+		firsts = append(firsts, scaledCost(tr.BestAt(perSample), r.Optima[i]))
+		finals = append(finals, scaledCost(tr.Final(), r.Optima[i]))
+	}
+	return stats.Mean(firsts), stats.Mean(finals)
+}

@@ -1,0 +1,51 @@
+package harness
+
+import (
+	"repro/internal/chimera"
+	"repro/internal/embedding"
+)
+
+// Fig7Point is one point of Figure 7: the maximal number of queries
+// (clusters) representable with a given qubit budget for each number of
+// plans per query.
+type Fig7Point struct {
+	Qubits     int
+	PlansPer   int
+	MaxQueries int
+}
+
+// Fig7Budgets are the qubit counts the paper projects: the D-Wave 2X and
+// two generations of doubling.
+var Fig7Budgets = []int{1152, 2304, 4608}
+
+// RunFig7 computes the capacity frontier by simulating the clustered
+// embedding's allocation on fault-free Chimera grids of the given sizes
+// ("assuming no broken qubits", as in the paper).
+func RunFig7(plansRange []int) []Fig7Point {
+	grids := map[int]*chimera.Graph{
+		1152: chimera.NewGraph(12, 12),
+		2304: chimera.NewGraph(12, 24),
+		4608: chimera.NewGraph(24, 24),
+	}
+	var out []Fig7Point
+	for _, qubits := range Fig7Budgets {
+		g := grids[qubits]
+		for _, l := range plansRange {
+			out = append(out, Fig7Point{
+				Qubits:     qubits,
+				PlansPer:   l,
+				MaxQueries: embedding.Capacity(g, l),
+			})
+		}
+	}
+	return out
+}
+
+// DefaultFig7Plans is the plans-per-query axis of Figure 7 (5 to 20).
+func DefaultFig7Plans() []int {
+	var out []int
+	for l := 2; l <= 20; l++ {
+		out = append(out, l)
+	}
+	return out
+}

@@ -1,0 +1,162 @@
+// Package harness drives the paper's experimental evaluation (Section 7):
+// it generates annealer-embeddable test cases for the four problem
+// classes, runs the quantum-annealer pipeline and the classical baselines
+// under identical anytime measurement, and renders every table and figure
+// of the evaluation as text.
+//
+// Scaling note: the paper uses 20 instances per class and observes
+// classical solvers for up to 100 seconds. Those values are configurable;
+// the offline defaults are smaller so the full suite completes in minutes.
+// QA time is MODELED device time (376 µs per annealing run), classical
+// solver time is wall-clock, exactly mirroring the paper's comparison of
+// annealer time against commodity-hardware time.
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/chimera"
+	"repro/internal/core"
+	"repro/internal/mqo"
+	"repro/internal/solvers"
+	"repro/internal/trace"
+)
+
+// Config parameterizes an experiment run.
+type Config struct {
+	// Instances per class (paper: 20).
+	Instances int
+	// Budget is the classical-solver observation window (paper: 100 s).
+	Budget time.Duration
+	// QARuns is the number of annealing runs per instance (paper: 1000).
+	QARuns int
+	// Seed makes instance generation reproducible.
+	Seed int64
+	// Graph is the annealer topology; nil selects a fault-free D-Wave 2X.
+	Graph *chimera.Graph
+	// GenCfg controls workload generation.
+	GenCfg mqo.GeneratorConfig
+	// GAPopulations lists the genetic-algorithm population sizes
+	// (paper: 50 and 200).
+	GAPopulations []int
+}
+
+// DefaultConfig returns the offline defaults: 3 instances per class, a
+// 2-second classical window, and 1000 annealing runs.
+func DefaultConfig() Config {
+	return Config{
+		Instances:     3,
+		Budget:        2 * time.Second,
+		QARuns:        1000,
+		Seed:          1,
+		GenCfg:        mqo.DefaultGeneratorConfig(),
+		GAPopulations: []int{50, 200},
+	}
+}
+
+// PaperConfig returns the paper's protocol (20 instances, 100 s window).
+func PaperConfig() Config {
+	c := DefaultConfig()
+	c.Instances = 20
+	c.Budget = 100 * time.Second
+	return c
+}
+
+func (c Config) withDefaults() Config {
+	if c.Instances <= 0 {
+		c.Instances = 3
+	}
+	if c.Budget <= 0 {
+		c.Budget = 2 * time.Second
+	}
+	if c.QARuns <= 0 {
+		c.QARuns = 1000
+	}
+	if c.Graph == nil {
+		c.Graph = chimera.DWave2X(0, 0)
+	}
+	if c.GenCfg == (mqo.GeneratorConfig{}) {
+		c.GenCfg = mqo.DefaultGeneratorConfig()
+	}
+	if len(c.GAPopulations) == 0 {
+		c.GAPopulations = []int{50, 200}
+	}
+	return c
+}
+
+// Instance is a generated test case with its exact optimum, used to scale
+// costs the way the paper's figures do.
+type Instance struct {
+	Problem *mqo.Problem
+	Optimum float64
+}
+
+// Generate builds the configured number of embeddable instances of class.
+func (c Config) Generate(class mqo.Class) ([]Instance, error) {
+	cfg := c.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	out := make([]Instance, cfg.Instances)
+	for i := range out {
+		p, err := core.GenerateEmbeddable(rng, cfg.Graph, class, cfg.GenCfg)
+		if err != nil {
+			return nil, fmt.Errorf("harness: generating %v instance %d: %w", class, i, err)
+		}
+		_, opt, err := p.Optimum()
+		if err != nil {
+			return nil, fmt.Errorf("harness: exact optimum for %v instance %d: %w", class, i, err)
+		}
+		out[i] = Instance{Problem: p, Optimum: opt}
+	}
+	return out, nil
+}
+
+// ClassicalSolvers returns the paper's baseline set: LIN-MQO, LIN-QUB,
+// CLIMB, and one GA per configured population size.
+func (c Config) ClassicalSolvers() []solvers.Solver {
+	cfg := c.withDefaults()
+	out := []solvers.Solver{
+		&solvers.BranchAndBound{},
+		solvers.QUBOBranchAndBound{},
+		solvers.HillClimb{},
+	}
+	for _, pop := range cfg.GAPopulations {
+		out = append(out, solvers.NewGenetic(pop))
+	}
+	return out
+}
+
+// QASolver returns the annealer pipeline wrapped as a solver.
+func (c Config) QASolver() *core.QASolver {
+	cfg := c.withDefaults()
+	return &core.QASolver{Opt: core.Options{Graph: cfg.Graph, Runs: cfg.QARuns}}
+}
+
+// runAll executes every solver on one instance, returning traces by
+// solver name.
+func (c Config) runAll(inst Instance, seed int64) map[string]*trace.Trace {
+	cfg := c.withDefaults()
+	traces := make(map[string]*trace.Trace)
+	qa := cfg.QASolver()
+	qaBudget := time.Duration(cfg.QARuns) * 376 * time.Microsecond
+	tr := &trace.Trace{}
+	qa.Solve(inst.Problem, qaBudget, rand.New(rand.NewSource(seed)), tr)
+	traces[qa.Name()] = tr
+	for i, s := range cfg.ClassicalSolvers() {
+		tr := &trace.Trace{}
+		s.Solve(inst.Problem, cfg.Budget, rand.New(rand.NewSource(seed+int64(i)+1)), tr)
+		traces[s.Name()] = tr
+	}
+	return traces
+}
+
+// SolverNames lists the series of Figures 4 and 5 in presentation order.
+func (c Config) SolverNames() []string {
+	cfg := c.withDefaults()
+	names := []string{"LIN-MQO", "LIN-QUB", "QA", "CLIMB"}
+	for _, pop := range cfg.GAPopulations {
+		names = append(names, fmt.Sprintf("GA(%d)", pop))
+	}
+	return names
+}

@@ -1,0 +1,220 @@
+package harness
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/mqo"
+)
+
+// quickConfig keeps harness tests fast: tiny classes, short budgets.
+func quickConfig() Config {
+	c := DefaultConfig()
+	c.Instances = 2
+	c.Budget = 150 * time.Millisecond
+	c.QARuns = 120
+	c.GAPopulations = []int{10}
+	return c
+}
+
+func TestGenerateProducesSolvableInstances(t *testing.T) {
+	cfg := quickConfig()
+	instances, err := cfg.Generate(mqo.Class{Queries: 30, PlansPerQuery: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(instances) != 2 {
+		t.Fatalf("got %d instances, want 2", len(instances))
+	}
+	for i, inst := range instances {
+		if math.IsInf(inst.Optimum, 0) || math.IsNaN(inst.Optimum) {
+			t.Errorf("instance %d: bad optimum %v", i, inst.Optimum)
+		}
+		if inst.Problem.NumQueries() != 30 {
+			t.Errorf("instance %d: wrong query count", i)
+		}
+	}
+}
+
+func TestRunAnytimeSmallClass(t *testing.T) {
+	cfg := quickConfig()
+	class := mqo.Class{Queries: 25, PlansPerQuery: 2}
+	res, err := cfg.RunAnytime(class)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := cfg.SolverNames()
+	for _, n := range names {
+		curve, ok := res.MeanScaledCost[n]
+		if !ok {
+			t.Fatalf("no curve for solver %s", n)
+		}
+		if len(curve) != len(res.Checkpoints) {
+			t.Fatalf("%s: curve length %d != %d checkpoints", n, len(curve), len(res.Checkpoints))
+		}
+		// Curves are monotone non-increasing (anytime property).
+		for k := 1; k < len(curve); k++ {
+			if !math.IsInf(curve[k-1], 1) && curve[k] > curve[k-1]+1e-9 {
+				t.Errorf("%s: curve increased at checkpoint %d", n, k)
+			}
+		}
+		// The final value must be finite and non-negative for every
+		// solver (scaled costs are ≥ 0 by optimality of the reference).
+		last := curve[len(curve)-1]
+		if math.IsInf(last, 1) {
+			t.Errorf("%s: no solution by final checkpoint", n)
+		} else if last < -1e-9 {
+			t.Errorf("%s: scaled cost %v below zero (optimum not optimal?)", n, last)
+		}
+	}
+	// On a 25-query instance the exact solver must reach the optimum.
+	lin := res.MeanScaledCost["LIN-MQO"]
+	if got := lin[len(lin)-1]; got > 1e-9 {
+		t.Errorf("LIN-MQO final scaled cost %v, want 0 (proven optimum)", got)
+	}
+	// QA's modeled clock means it has solutions at the 1 ms checkpoint.
+	qa := res.MeanScaledCost["QA"]
+	if math.IsInf(qa[0], 1) {
+		t.Error("QA has no solution at the first checkpoint (2+ runs fit in 1 ms)")
+	}
+}
+
+func TestRunTable1(t *testing.T) {
+	cfg := quickConfig()
+	rows, err := cfg.RunTable1([]mqo.Class{
+		{Queries: 15, PlansPerQuery: 2},
+		{Queries: 10, PlansPerQuery: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, row := range rows {
+		if row.SolvedInstances != row.GeneratedInstances {
+			t.Errorf("class %v: only %d/%d instances solved to optimality",
+				row.Class, row.SolvedInstances, row.GeneratedInstances)
+		}
+		if row.Min > row.Median || row.Median > row.Max {
+			t.Errorf("class %v: min/median/max out of order: %v %v %v",
+				row.Class, row.Min, row.Median, row.Max)
+		}
+	}
+}
+
+func TestRunFig6(t *testing.T) {
+	cfg := quickConfig()
+	var results []*AnytimeResult
+	for _, class := range []mqo.Class{
+		{Queries: 20, PlansPerQuery: 2},
+		{Queries: 12, PlansPerQuery: 3},
+	} {
+		r, err := cfg.RunAnytime(class)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, r)
+	}
+	points := RunFig6(results)
+	if len(points) != 2 {
+		t.Fatalf("got %d points", len(points))
+	}
+	if points[0].QubitsPerVariable != 1.0 {
+		t.Errorf("2-plan class qubits/var = %v, want 1.0", points[0].QubitsPerVariable)
+	}
+	if points[1].QubitsPerVariable <= points[0].QubitsPerVariable {
+		t.Error("qubits/variable must grow with plans per query")
+	}
+}
+
+func TestRunFig7(t *testing.T) {
+	points := RunFig7([]int{2, 5, 8})
+	if len(points) != 9 {
+		t.Fatalf("got %d points, want 9 (3 budgets × 3 plan counts)", len(points))
+	}
+	byBudget := map[int]map[int]int{}
+	for _, p := range points {
+		if byBudget[p.Qubits] == nil {
+			byBudget[p.Qubits] = map[int]int{}
+		}
+		byBudget[p.Qubits][p.PlansPer] = p.MaxQueries
+	}
+	// More qubits → more queries; more plans → fewer queries.
+	for _, l := range []int{2, 5, 8} {
+		if !(byBudget[1152][l] < byBudget[2304][l] && byBudget[2304][l] < byBudget[4608][l]) {
+			t.Errorf("capacity not increasing in qubits for l=%d: %d %d %d",
+				l, byBudget[1152][l], byBudget[2304][l], byBudget[4608][l])
+		}
+	}
+	for _, b := range Fig7Budgets {
+		if !(byBudget[b][2] > byBudget[b][5] && byBudget[b][5] > byBudget[b][8]) {
+			t.Errorf("capacity not decreasing in plans for %d qubits", b)
+		}
+	}
+	// The 1152-qubit grid matches the known fault-free capacities.
+	if byBudget[1152][2] != 576 {
+		t.Errorf("1152 qubits, 2 plans: capacity %d, want 576", byBudget[1152][2])
+	}
+}
+
+func TestRenderers(t *testing.T) {
+	cfg := quickConfig()
+	res, err := cfg.RunAnytime(mqo.Class{Queries: 10, PlansPerQuery: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	RenderAnytime(&buf, res, cfg.SolverNames())
+	out := buf.String()
+	for _, want := range []string{"LIN-MQO", "QA", "CLIMB", "GA(10)", "scaled cost", "10 queries"} {
+		if !strings.Contains(strings.ToLower(out), strings.ToLower(want)) {
+			t.Errorf("RenderAnytime output missing %q:\n%s", want, out)
+		}
+	}
+
+	rows, err := cfg.RunTable1([]mqo.Class{{Queries: 8, PlansPerQuery: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	RenderTable1(&buf, rows)
+	if !strings.Contains(buf.String(), "Table 1") || !strings.Contains(buf.String(), "8") {
+		t.Errorf("RenderTable1 output:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	RenderFig6(&buf, RunFig6([]*AnytimeResult{res}))
+	if !strings.Contains(buf.String(), "Figure 6") {
+		t.Errorf("RenderFig6 output:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	RenderFig7(&buf, RunFig7([]int{2, 3}))
+	if !strings.Contains(buf.String(), "Figure 7") || !strings.Contains(buf.String(), "1152 qubits") {
+		t.Errorf("RenderFig7 output:\n%s", buf.String())
+	}
+}
+
+func TestPaperConfig(t *testing.T) {
+	c := PaperConfig()
+	if c.Instances != 20 || c.Budget != 100*time.Second {
+		t.Errorf("PaperConfig = %+v", c)
+	}
+}
+
+func TestSolverNames(t *testing.T) {
+	names := DefaultConfig().SolverNames()
+	want := []string{"LIN-MQO", "LIN-QUB", "QA", "CLIMB", "GA(50)", "GA(200)"}
+	if len(names) != len(want) {
+		t.Fatalf("SolverNames = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("SolverNames = %v, want %v", names, want)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"time"
+)
+
+// RenderAnytime prints an anytime result as the table behind Figure 4/5:
+// one row per checkpoint, one column per solver, values are mean scaled
+// execution cost ((cost − optimum) / optimum; 0 = exact optimum).
+func RenderAnytime(w io.Writer, r *AnytimeResult, names []string) {
+	fmt.Fprintf(w, "Solution cost vs. optimization time — %s (%d instances)\n",
+		r.Class, len(r.Traces))
+	fmt.Fprintf(w, "Scaled cost = (cost − optimum) / optimum; QA time is modeled annealer time.\n")
+	fmt.Fprintf(w, "%-12s", "time")
+	for _, n := range names {
+		fmt.Fprintf(w, "%12s", n)
+	}
+	fmt.Fprintln(w)
+	for k, cp := range r.Checkpoints {
+		fmt.Fprintf(w, "%-12s", formatDuration(cp))
+		for _, n := range names {
+			curve, ok := r.MeanScaledCost[n]
+			if !ok || k >= len(curve) || math.IsInf(curve[k], 1) {
+				fmt.Fprintf(w, "%12s", "—")
+				continue
+			}
+			fmt.Fprintf(w, "%12.4f", curve[k])
+		}
+		fmt.Fprintln(w)
+	}
+	first, final := r.FinalGapQA()
+	fmt.Fprintf(w, "QA: first-run mean gap %.2f%%, final mean gap %.2f%% (paper: ≈1.9%%, ≈0.4%%)\n",
+		first*100, final*100)
+}
+
+// RenderTable1 prints the time-until-optimal aggregates.
+func RenderTable1(w io.Writer, rows []Table1Row) {
+	fmt.Fprintln(w, "Table 1: milliseconds until LIN-MQO finds the optimal solution")
+	fmt.Fprintf(w, "%-10s %12s %12s %12s %10s\n", "# Queries", "Minimum", "Median", "Maximum", "solved")
+	for _, row := range rows {
+		fmt.Fprintf(w, "%-10d %12.2f %12.2f %12.2f %6d/%d\n",
+			row.Class.Queries, row.Min, row.Median, row.Max,
+			row.SolvedInstances, row.GeneratedInstances)
+	}
+}
+
+// RenderFig6 prints the speedup-versus-embedding-overhead points.
+func RenderFig6(w io.Writer, points []Fig6Point) {
+	fmt.Fprintln(w, "Figure 6: average quantum speedup vs. qubits per variable")
+	fmt.Fprintf(w, "%-28s %18s %12s\n", "class", "qubits/variable", "speedup")
+	for _, p := range points {
+		if p.Speedup == 0 {
+			fmt.Fprintf(w, "%-28s %18.2f %12s\n", p.Class, p.QubitsPerVariable, "> budget")
+			continue
+		}
+		fmt.Fprintf(w, "%-28s %18.2f %12.0f\n", p.Class, p.QubitsPerVariable, p.Speedup)
+	}
+}
+
+// RenderFig7 prints the capacity frontier grouped by qubit budget.
+func RenderFig7(w io.Writer, points []Fig7Point) {
+	fmt.Fprintln(w, "Figure 7: maximal problem dimensions per qubit budget")
+	byBudget := map[int][]Fig7Point{}
+	var budgets []int
+	for _, p := range points {
+		if _, ok := byBudget[p.Qubits]; !ok {
+			budgets = append(budgets, p.Qubits)
+		}
+		byBudget[p.Qubits] = append(byBudget[p.Qubits], p)
+	}
+	sort.Ints(budgets)
+	for _, b := range budgets {
+		fmt.Fprintf(w, "%d qubits:\n", b)
+		fmt.Fprintf(w, "  %-14s %12s\n", "plans/query", "max queries")
+		for _, p := range byBudget[b] {
+			fmt.Fprintf(w, "  %-14d %12d\n", p.PlansPer, p.MaxQueries)
+		}
+	}
+}
+
+func formatDuration(d time.Duration) string {
+	switch {
+	case d < time.Millisecond:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	case d < time.Second:
+		return fmt.Sprintf("%dms", d.Milliseconds())
+	default:
+		return fmt.Sprintf("%.3gs", d.Seconds())
+	}
+}

@@ -1,0 +1,51 @@
+package harness
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/mqo"
+	"repro/internal/solvers"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Table1Row aggregates, for one class, the milliseconds until the LIN-MQO
+// solver first reaches the optimal solution (Table 1 of the paper reports
+// minimum, median, and maximum over 20 instances).
+type Table1Row struct {
+	Class               mqo.Class
+	Min, Median, Max    float64 // milliseconds
+	SolvedInstances     int
+	GeneratedInstances  int
+}
+
+// RunTable1 measures time-to-optimal for LIN-MQO on every class.
+func (c Config) RunTable1(classes []mqo.Class) ([]Table1Row, error) {
+	cfg := c.withDefaults()
+	rows := make([]Table1Row, 0, len(classes))
+	for _, class := range classes {
+		instances, err := cfg.Generate(class)
+		if err != nil {
+			return nil, err
+		}
+		var times []float64
+		for i, inst := range instances {
+			tr := &trace.Trace{}
+			s := &solvers.BranchAndBound{}
+			s.Solve(inst.Problem, cfg.Budget, rand.New(rand.NewSource(cfg.Seed+int64(i))), tr)
+			if d, ok := tr.FirstBelow(inst.Optimum); ok {
+				times = append(times, float64(d)/float64(time.Millisecond))
+			}
+		}
+		rows = append(rows, Table1Row{
+			Class:              class,
+			Min:                stats.Min(times),
+			Median:             stats.Median(times),
+			Max:                stats.Max(times),
+			SolvedInstances:    len(times),
+			GeneratedInstances: len(instances),
+		})
+	}
+	return rows, nil
+}

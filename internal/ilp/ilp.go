@@ -1,0 +1,213 @@
+// Package ilp implements 0/1 integer linear programming by LP-relaxation
+// branch-and-bound over the internal/simplex solver, together with the two
+// model formulations the paper benchmarks:
+//
+//   - LIN-MQO: the MQO problem modeled directly (one binary per plan,
+//     exactly-one-per-query rows, one linearization variable per saving),
+//   - LIN-QUB: the QUBO energy formula linearized per Dash's note on
+//     Chimera QUBO instances (one variable per quadratic term with
+//     y ≥ x_i + x_j − 1 / y ≤ x_i / y ≤ x_j rows as the signs require).
+//
+// The solver reports every incumbent improvement through a callback so the
+// harness can record anytime behavior, and it proves optimality by tree
+// exhaustion like the commercial solver used in the paper.
+package ilp
+
+import (
+	"errors"
+	"math"
+	"time"
+
+	"repro/internal/simplex"
+)
+
+// Model is a 0/1 integer program: minimize C·x subject to the rows, with
+// every variable binary.
+type Model struct {
+	// C is the objective (length = number of variables).
+	C []float64
+	// Rows are the linear constraints.
+	Rows []simplex.Constraint
+}
+
+// NumVars returns the variable count.
+func (m *Model) NumVars() int { return len(m.C) }
+
+// AddRow appends a constraint.
+func (m *Model) AddRow(coeffs map[int]float64, rel simplex.Relation, b float64) {
+	cp := make(map[int]float64, len(coeffs))
+	for k, v := range coeffs {
+		cp[k] = v
+	}
+	m.Rows = append(m.Rows, simplex.Constraint{Coeffs: cp, Rel: rel, B: b})
+}
+
+// Objective evaluates C·x for a binary assignment.
+func (m *Model) Objective(x []bool) float64 {
+	o := 0.0
+	for j, on := range x {
+		if on {
+			o += m.C[j]
+		}
+	}
+	return o
+}
+
+// Feasible reports whether the binary assignment satisfies every row.
+func (m *Model) Feasible(x []bool) bool {
+	for _, r := range m.Rows {
+		lhs := 0.0
+		for j, v := range r.Coeffs {
+			if x[j] {
+				lhs += v
+			}
+		}
+		switch r.Rel {
+		case simplex.LE:
+			if lhs > r.B+1e-9 {
+				return false
+			}
+		case simplex.GE:
+			if lhs < r.B-1e-9 {
+				return false
+			}
+		case simplex.EQ:
+			if math.Abs(lhs-r.B) > 1e-9 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Options control the branch-and-bound search.
+type Options struct {
+	// Deadline stops the search when exceeded; zero means no limit.
+	Deadline time.Duration
+	// OnIncumbent observes every improving solution with the elapsed
+	// wall time. May be nil.
+	OnIncumbent func(x []bool, obj float64, elapsed time.Duration)
+	// NodeLimit caps explored nodes; zero means no limit.
+	NodeLimit int
+}
+
+// Result of a solve.
+type Result struct {
+	X         []bool
+	Objective float64
+	// Proven reports whether optimality was proven (tree exhausted) as
+	// opposed to the search stopping on a limit.
+	Proven bool
+	Nodes  int
+}
+
+// ErrNoSolution reports an infeasible integer program.
+var ErrNoSolution = errors.New("ilp: no feasible binary solution")
+
+// Solve runs best-effort depth-first branch-and-bound with LP bounds.
+func (m *Model) Solve(opt Options) (*Result, error) {
+	start := time.Now()
+	res := &Result{Objective: math.Inf(1), Proven: true}
+
+	fixed := make([]int8, m.NumVars()) // -1 free is 0; we use 0=free,1=zero,2=one
+	var rec func() bool               // returns false when limits hit
+	rec = func() bool {
+		res.Nodes++
+		if opt.NodeLimit > 0 && res.Nodes > opt.NodeLimit {
+			res.Proven = false
+			return false
+		}
+		if opt.Deadline > 0 && time.Since(start) > opt.Deadline {
+			res.Proven = false
+			return false
+		}
+		lp := m.relaxation(fixed)
+		sol, err := lp.Solve()
+		if err != nil {
+			// Infeasible subtree (or numerically stuck): prune. Iteration
+			// limits are treated as prune-with-unproven.
+			if errors.Is(err, simplex.ErrIterLimit) {
+				res.Proven = false
+			}
+			return true
+		}
+		if sol.Objective >= res.Objective-1e-9 {
+			return true // bound prune
+		}
+		// Find the most fractional variable.
+		branch := -1
+		bestFrac := 1e-6
+		for j, v := range sol.X {
+			if fixed[j] != 0 {
+				continue
+			}
+			f := math.Abs(v - math.Round(v))
+			if f > bestFrac {
+				bestFrac = f
+				branch = j
+			}
+		}
+		if branch == -1 {
+			// Integral LP solution: new incumbent.
+			x := make([]bool, m.NumVars())
+			for j, v := range sol.X {
+				if fixed[j] == 2 || (fixed[j] == 0 && v > 0.5) {
+					x[j] = true
+				}
+			}
+			if obj := m.Objective(x); obj < res.Objective-1e-9 && m.Feasible(x) {
+				res.Objective = obj
+				res.X = x
+				if opt.OnIncumbent != nil {
+					opt.OnIncumbent(x, obj, time.Since(start))
+				}
+			}
+			return true
+		}
+		// Branch: try the rounded-up side first (dive toward integrality).
+		order := []int8{2, 1}
+		if sol.X[branch] < 0.5 {
+			order = []int8{1, 2}
+		}
+		for _, side := range order {
+			fixed[branch] = side
+			if !rec() {
+				fixed[branch] = 0
+				return false
+			}
+		}
+		fixed[branch] = 0
+		return true
+	}
+	rec()
+	if res.X == nil {
+		if res.Proven {
+			return nil, ErrNoSolution
+		}
+		return nil, errors.New("ilp: no solution found within limits")
+	}
+	return res, nil
+}
+
+// relaxation builds the LP relaxation with the current fixings applied via
+// bound rows.
+func (m *Model) relaxation(fixed []int8) *simplex.Problem {
+	lp := simplex.NewProblem(m.NumVars())
+	for j, c := range m.C {
+		lp.SetObjective(j, c)
+	}
+	for _, r := range m.Rows {
+		lp.AddConstraint(r.Coeffs, r.Rel, r.B)
+	}
+	for j, f := range fixed {
+		switch f {
+		case 0:
+			lp.AddUpperBound(j, 1)
+		case 1:
+			lp.AddUpperBound(j, 0)
+		case 2:
+			lp.AddConstraint(map[int]float64{j: 1}, simplex.EQ, 1)
+		}
+	}
+	return lp
+}

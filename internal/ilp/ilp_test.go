@@ -1,0 +1,193 @@
+package ilp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/logical"
+	"repro/internal/mqo"
+	"repro/internal/qubo"
+	"repro/internal/simplex"
+)
+
+func TestKnapsackStyle(t *testing.T) {
+	// min -(5x0 + 4x1 + 3x2) s.t. 2x0 + 3x1 + x2 <= 4: best is x0,x2 = -8.
+	m := &Model{C: []float64{-5, -4, -3}}
+	m.AddRow(map[int]float64{0: 2, 1: 3, 2: 1}, simplex.LE, 4)
+	r, err := m.Solve(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Proven {
+		t.Error("small solve not proven optimal")
+	}
+	if math.Abs(r.Objective-(-8)) > 1e-6 {
+		t.Errorf("objective = %v, want -8", r.Objective)
+	}
+	if !r.X[0] || r.X[1] || !r.X[2] {
+		t.Errorf("x = %v, want [true false true]", r.X)
+	}
+}
+
+func TestInfeasibleModel(t *testing.T) {
+	m := &Model{C: []float64{1}}
+	m.AddRow(map[int]float64{0: 1}, simplex.GE, 2) // binary can't reach 2
+	if _, err := m.Solve(Options{}); err == nil {
+		t.Error("infeasible model solved")
+	}
+}
+
+func TestIncumbentCallback(t *testing.T) {
+	m := &Model{C: []float64{-1, -1, -1}}
+	m.AddRow(map[int]float64{0: 1, 1: 1, 2: 1}, simplex.LE, 2)
+	var objs []float64
+	r, err := m.Solve(Options{OnIncumbent: func(x []bool, obj float64, _ time.Duration) {
+		objs = append(objs, obj)
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) == 0 {
+		t.Fatal("no incumbents reported")
+	}
+	for i := 1; i < len(objs); i++ {
+		if objs[i] >= objs[i-1] {
+			t.Error("incumbents not strictly improving")
+		}
+	}
+	if objs[len(objs)-1] != r.Objective {
+		t.Error("last incumbent differs from final objective")
+	}
+}
+
+func TestNodeLimit(t *testing.T) {
+	// An odd-cycle packing LP has the fractional optimum (1/2, 1/2, 1/2),
+	// so the root node must branch; a one-node limit cannot prove
+	// optimality.
+	m := &Model{C: []float64{-1, -1, -1}}
+	m.AddRow(map[int]float64{0: 1, 1: 1}, simplex.LE, 1)
+	m.AddRow(map[int]float64{1: 1, 2: 1}, simplex.LE, 1)
+	m.AddRow(map[int]float64{0: 1, 2: 1}, simplex.LE, 1)
+	r, err := m.Solve(Options{NodeLimit: 1})
+	if err == nil && r.Proven {
+		t.Error("one-node search claimed proof on a fractional root")
+	}
+	// Without the limit the same model solves to -1.
+	r, err = m.Solve(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Proven || math.Abs(r.Objective-(-1)) > 1e-6 {
+		t.Errorf("objective = %v (proven=%v), want -1 proven", r.Objective, r.Proven)
+	}
+}
+
+func TestBuildMQOMatchesExact(t *testing.T) {
+	cfg := mqo.DefaultGeneratorConfig()
+	for seed := int64(0); seed < 12; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		class := mqo.Class{Queries: 2 + rng.Intn(5), PlansPerQuery: 1 + rng.Intn(3)}
+		p := mqo.Generate(rng, class, cfg)
+		m := BuildMQO(p)
+		r, err := m.Solve(Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		sol := m.DecodeSolution(r.X)
+		got, err := p.Cost(sol)
+		if err != nil {
+			t.Fatalf("seed %d: decoded invalid solution: %v", seed, err)
+		}
+		_, want, err := p.Optimum()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 1e-6 {
+			t.Errorf("seed %d: ILP cost %v, optimal %v", seed, got, want)
+		}
+		if math.Abs(r.Objective-want) > 1e-6 {
+			t.Errorf("seed %d: ILP objective %v, optimal %v", seed, r.Objective, want)
+		}
+	}
+}
+
+func TestBuildQUBOMatchesExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 8; trial++ {
+		n := 2 + rng.Intn(8)
+		q := qubo.New(n)
+		for i := 0; i < n; i++ {
+			q.AddLinear(i, rng.NormFloat64()*3)
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.5 {
+					q.AddQuadratic(i, j, rng.NormFloat64()*3)
+				}
+			}
+		}
+		m := BuildQUBO(q)
+		r, err := m.Solve(Options{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		_, want, err := q.SolveExhaustive(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := m.Energy(r.X)
+		if math.Abs(got-want) > 1e-6 {
+			t.Errorf("trial %d: LIN-QUB energy %v, exhaustive %v", trial, got, want)
+		}
+	}
+}
+
+// TestLinQUBSolvesLogicalMapping ties the chain together: the linearized
+// QUBO of a logical MQO mapping must reach the true MQO optimum.
+func TestLinQUBSolvesLogicalMapping(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	p := mqo.Generate(rng, mqo.Class{Queries: 3, PlansPerQuery: 2}, mqo.DefaultGeneratorConfig())
+	mapping := logical.Map(p)
+	m := BuildQUBO(mapping.QUBO)
+	r, err := m.Solve(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, valid := mapping.DecodeStrict(m.DecodeVariables(r.X))
+	if !valid {
+		t.Fatal("LIN-QUB minimizer is not a valid MQO solution")
+	}
+	got, err := p.Cost(sol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, want, err := p.Optimum()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 1e-6 {
+		t.Errorf("LIN-QUB cost %v, optimal %v", got, want)
+	}
+}
+
+func TestDeadlineRespected(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	p := mqo.Generate(rng, mqo.Class{Queries: 30, PlansPerQuery: 3}, mqo.DefaultGeneratorConfig())
+	m := BuildMQO(p)
+	start := time.Now()
+	_, _ = m.Solve(Options{Deadline: 50 * time.Millisecond})
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Errorf("solve took %v despite 50ms deadline", elapsed)
+	}
+}
+
+func TestFeasible(t *testing.T) {
+	m := &Model{C: []float64{0, 0}}
+	m.AddRow(map[int]float64{0: 1, 1: 1}, simplex.EQ, 1)
+	if m.Feasible([]bool{true, true}) {
+		t.Error("violating assignment judged feasible")
+	}
+	if !m.Feasible([]bool{true, false}) {
+		t.Error("satisfying assignment judged infeasible")
+	}
+}

@@ -1,0 +1,96 @@
+package ilp
+
+import (
+	"repro/internal/mqo"
+	"repro/internal/qubo"
+	"repro/internal/simplex"
+)
+
+// MQOModel is the direct integer-programming formulation of an MQO
+// instance (the paper's LIN-MQO baseline): a binary X_p per plan, an
+// exactly-one row per query, and one linearization variable y per saving
+// with y ≤ X_p1 and y ≤ X_p2 rows. Savings enter the objective with a
+// negative sign, so the minimizer sets y = 1 whenever both plans run and
+// no y ≥ X_p1 + X_p2 − 1 rows are needed.
+type MQOModel struct {
+	Model
+	Problem *mqo.Problem
+	// YOffset is the index of the first linearization variable.
+	YOffset int
+}
+
+// BuildMQO constructs the LIN-MQO model.
+func BuildMQO(p *mqo.Problem) *MQOModel {
+	n := p.NumPlans()
+	m := &MQOModel{Problem: p, YOffset: n}
+	m.C = make([]float64, n+len(p.Savings))
+	copy(m.C, p.Costs)
+	for i, s := range p.Savings {
+		m.C[n+i] = -s.Value
+		m.AddRow(map[int]float64{n + i: 1, s.P1: -1}, simplex.LE, 0)
+		m.AddRow(map[int]float64{n + i: 1, s.P2: -1}, simplex.LE, 0)
+	}
+	for _, plans := range p.QueryPlans {
+		row := make(map[int]float64, len(plans))
+		for _, pl := range plans {
+			row[pl] = 1
+		}
+		m.AddRow(row, simplex.EQ, 1)
+	}
+	return m
+}
+
+// DecodeSolution converts a binary model assignment into an MQO solution.
+func (m *MQOModel) DecodeSolution(x []bool) mqo.Solution {
+	return m.Problem.Repair(m.Problem.SolutionFromVector(x[:m.Problem.NumPlans()]))
+}
+
+// QUBOModel is the linearized QUBO formulation (the paper's LIN-QUB
+// baseline, using the linear reformulation that is "more suitable for
+// integer programming solvers"): one binary per QUBO variable and one per
+// quadratic term, with the McCormick rows matching the term's sign.
+// Negative-weight terms need only y ≤ x_i and y ≤ x_j (the objective pulls
+// y up); positive-weight terms need only y ≥ x_i + x_j − 1 (the objective
+// pushes y down).
+type QUBOModel struct {
+	Model
+	QUBO *qubo.Problem
+	// YOffset is the index of the first product variable.
+	YOffset int
+}
+
+// BuildQUBO constructs the LIN-QUB model.
+func BuildQUBO(q *qubo.Problem) *QUBOModel {
+	n := q.N()
+	couplings := q.Couplings()
+	m := &QUBOModel{QUBO: q, YOffset: n}
+	m.C = make([]float64, n+len(couplings))
+	for i := 0; i < n; i++ {
+		m.C[i] = q.Linear(i)
+	}
+	for k, c := range couplings {
+		y := n + k
+		m.C[y] = c.W
+		if c.W < 0 {
+			m.AddRow(map[int]float64{y: 1, c.I: -1}, simplex.LE, 0)
+			m.AddRow(map[int]float64{y: 1, c.J: -1}, simplex.LE, 0)
+		} else {
+			m.AddRow(map[int]float64{y: 1, c.I: -1, c.J: -1}, simplex.GE, -1)
+		}
+	}
+	return m
+}
+
+// Energy returns the QUBO energy of the decoded variables, including the
+// problem offset (the model objective omits it).
+func (m *QUBOModel) Energy(x []bool) float64 {
+	return m.QUBO.Energy(x[:m.QUBO.N()])
+}
+
+// DecodeVariables returns the QUBO variable assignment from a model
+// assignment.
+func (m *QUBOModel) DecodeVariables(x []bool) []bool {
+	out := make([]bool, m.QUBO.N())
+	copy(out, x[:m.QUBO.N()])
+	return out
+}

@@ -1,0 +1,193 @@
+package ising
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/qubo"
+)
+
+func randomQUBO(rng *rand.Rand, n int) *qubo.Problem {
+	q := qubo.New(n)
+	q.Offset = rng.NormFloat64()
+	for i := 0; i < n; i++ {
+		q.AddLinear(i, rng.NormFloat64()*3)
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < 0.5 {
+				q.AddQuadratic(i, j, rng.NormFloat64()*3)
+			}
+		}
+	}
+	return q
+}
+
+func randomSpins(rng *rand.Rand, n int) []int8 {
+	s := make([]int8, n)
+	for i := range s {
+		if rng.Intn(2) == 1 {
+			s[i] = 1
+		} else {
+			s[i] = -1
+		}
+	}
+	return s
+}
+
+func TestFromQUBOPreservesEnergy(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(10)
+		q := randomQUBO(rng, n)
+		p := FromQUBO(q)
+		s := randomSpins(rng, n)
+		x := SpinsToBits(s)
+		return math.Abs(q.Energy(x)-p.Energy(s)) < 1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestToQUBORoundTrip(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(10)
+		q := randomQUBO(rng, n)
+		back := FromQUBO(q).ToQUBO()
+		x := make([]bool, n)
+		for i := range x {
+			x[i] = rng.Intn(2) == 1
+		}
+		return math.Abs(q.Energy(x)-back.Energy(x)) < 1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFlipDeltaMatchesEnergyDifference(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(10)
+		p := FromQUBO(randomQUBO(rng, n))
+		s := randomSpins(rng, n)
+		i := rng.Intn(n)
+		before := p.Energy(s)
+		d := p.FlipDelta(s, i)
+		s[i] = -s[i]
+		after := p.Energy(s)
+		if math.Abs((after-before)-d) > 1e-9 {
+			t.Fatalf("trial %d: FlipDelta %v != energy difference %v", trial, d, after-before)
+		}
+	}
+}
+
+func TestGaugePreservesSpectrum(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(10)
+		p := FromQUBO(randomQUBO(rng, n))
+		g := RandomGauge(rng, n)
+		gp := p.ApplyGauge(g)
+		s := randomSpins(rng, n)
+		// State s in the gauge frame corresponds to UndoSpins(s) originally.
+		if got, want := gp.Energy(s), p.Energy(g.UndoSpins(s)); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d: gauge energy %v != original %v", trial, got, want)
+		}
+	}
+}
+
+func TestIdentityGauge(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	p := FromQUBO(randomQUBO(rng, 6))
+	g := IdentityGauge(6)
+	gp := p.ApplyGauge(g)
+	s := randomSpins(rng, 6)
+	if math.Abs(gp.Energy(s)-p.Energy(s)) > 1e-9 {
+		t.Error("identity gauge changed energies")
+	}
+	if got := g.UndoSpins(s); got[0] != s[0] {
+		t.Error("identity gauge changed spins")
+	}
+}
+
+func TestGaugeUndoInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g := RandomGauge(rng, 8)
+	s := randomSpins(rng, 8)
+	twice := g.UndoSpins(g.UndoSpins(s))
+	for i := range s {
+		if twice[i] != s[i] {
+			t.Fatal("applying UndoSpins twice is not the identity")
+		}
+	}
+}
+
+func TestScaleToRange(t *testing.T) {
+	p := New(2)
+	p.AddField(0, 8)
+	p.AddField(1, -4)
+	p.AddCoupling(0, 1, -3)
+	scaled, factor := p.ScaleToRange(DWave2XRange)
+	if factor <= 0 || factor > 1 {
+		t.Fatalf("factor = %v, want in (0, 1]", factor)
+	}
+	if h := scaled.Field(0); h > DWave2XRange.HMax+1e-12 {
+		t.Errorf("scaled h0 = %v exceeds range", h)
+	}
+	if j := scaled.Coupling(0, 1); j < DWave2XRange.JMin-1e-12 {
+		t.Errorf("scaled J = %v below range", j)
+	}
+	// Ground state must be preserved: compare argmin over all 4 states.
+	best := func(pr *Problem) [2]int8 {
+		bestE := math.Inf(1)
+		var bestS [2]int8
+		for _, s0 := range []int8{-1, 1} {
+			for _, s1 := range []int8{-1, 1} {
+				if e := pr.Energy([]int8{s0, s1}); e < bestE {
+					bestE = e
+					bestS = [2]int8{s0, s1}
+				}
+			}
+		}
+		return bestS
+	}
+	if best(p) != best(scaled) {
+		t.Error("scaling changed the ground state")
+	}
+}
+
+func TestScaleToRangeNoOpWhenInside(t *testing.T) {
+	p := New(2)
+	p.AddField(0, 0.5)
+	p.AddCoupling(0, 1, -0.25)
+	_, factor := p.ScaleToRange(DWave2XRange)
+	if factor != 1 {
+		t.Errorf("factor = %v, want 1 for in-range weights", factor)
+	}
+}
+
+func TestSpinBitConversions(t *testing.T) {
+	s := []int8{1, -1, 1}
+	x := SpinsToBits(s)
+	if !x[0] || x[1] || !x[2] {
+		t.Errorf("SpinsToBits(%v) = %v", s, x)
+	}
+	back := BitsToSpins(x)
+	for i := range s {
+		if back[i] != s[i] {
+			t.Fatalf("BitsToSpins round trip failed at %d", i)
+		}
+	}
+}
+
+func TestSelfCouplingPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on self-coupling")
+		}
+	}()
+	New(2).AddCoupling(1, 1, 1)
+}

@@ -1,0 +1,274 @@
+package logical
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mqo"
+)
+
+// example1 reproduces Example 1 from the paper.
+func example1(t testing.TB) *mqo.Problem {
+	t.Helper()
+	return mqo.MustNew(
+		[][]int{{0, 1}, {2, 3}},
+		[]float64{2, 4, 3, 1},
+		[]mqo.Saving{{P1: 1, P2: 2, Value: 5}},
+	)
+}
+
+func TestExample1Weights(t *testing.T) {
+	m := Map(example1(t))
+	// Paper: wL = 4 + ε and wM = wL + 5 (we add another ε slack, which
+	// still satisfies wM > wL + max savings).
+	if want := 4 + DefaultEpsilon; m.WL != want {
+		t.Errorf("wL = %v, want %v", m.WL, want)
+	}
+	if m.WM <= m.WL+5 {
+		t.Errorf("wM = %v, want > wL + 5 = %v", m.WM, m.WL+5)
+	}
+}
+
+func TestExample1Terms(t *testing.T) {
+	m := Map(example1(t))
+	q := m.QUBO
+	// Linear weights: c_p − wL.
+	wantLinear := []float64{2 - m.WL, 4 - m.WL, 3 - m.WL, 1 - m.WL}
+	for i, want := range wantLinear {
+		if got := q.Linear(i); math.Abs(got-want) > 1e-12 {
+			t.Errorf("linear[%d] = %v, want %v", i, got, want)
+		}
+	}
+	// EM couplings within queries, ES coupling across.
+	if got := q.Quadratic(0, 1); got != m.WM {
+		t.Errorf("w(0,1) = %v, want wM = %v", got, m.WM)
+	}
+	if got := q.Quadratic(2, 3); got != m.WM {
+		t.Errorf("w(2,3) = %v, want wM = %v", got, m.WM)
+	}
+	if got := q.Quadratic(1, 2); got != -5 {
+		t.Errorf("w(1,2) = %v, want -5", got)
+	}
+	if got := q.Quadratic(0, 3); got != 0 {
+		t.Errorf("w(0,3) = %v, want 0", got)
+	}
+}
+
+func TestExample1Minimizer(t *testing.T) {
+	// "The variable assignment X1=0, X2=1, X3=1, X4=0 minimizes the energy
+	// formula and represents the optimal solution to the MQO problem."
+	m := Map(example1(t))
+	x, _, err := m.QUBO.SolveExhaustive(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []bool{false, true, true, false}
+	for i := range want {
+		if x[i] != want[i] {
+			t.Fatalf("QUBO minimizer = %v, want %v", x, want)
+		}
+	}
+	sol, valid := m.DecodeStrict(x)
+	if !valid {
+		t.Fatal("minimizer decoded as invalid")
+	}
+	cost, err := m.Problem.Cost(sol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 2 {
+		t.Errorf("decoded cost = %v, want 2", cost)
+	}
+}
+
+// TestTheorem1 verifies on random small instances that the QUBO minimum
+// decodes to an optimal MQO solution (the paper's correctness theorem).
+func TestTheorem1(t *testing.T) {
+	cfg := mqo.DefaultGeneratorConfig()
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		class := mqo.Class{Queries: 2 + rng.Intn(4), PlansPerQuery: 1 + rng.Intn(3)}
+		p := mqo.Generate(rng, class, cfg)
+		if p.NumPlans() > 16 {
+			continue
+		}
+		m := Map(p)
+		x, e, err := m.QUBO.SolveExhaustive(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sol, valid := m.DecodeStrict(x)
+		if !valid {
+			t.Fatalf("seed %d: QUBO minimum decodes to invalid solution %v", seed, sol)
+		}
+		got, err := p.Cost(sol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, want, err := p.Optimum()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("seed %d: QUBO minimum costs %v, optimal is %v", seed, got, want)
+		}
+		// Energy/cost relation of Theorem 1's proof.
+		if gotCost := m.CostFromEnergy(e); math.Abs(gotCost-want) > 1e-9 {
+			t.Errorf("seed %d: CostFromEnergy(%v) = %v, want %v", seed, e, gotCost, want)
+		}
+	}
+}
+
+// TestLemma1 verifies that no QUBO minimizer selects two plans for one
+// query, and TestLemma2 that none selects zero plans.
+func TestLemmata(t *testing.T) {
+	cfg := mqo.GeneratorConfig{CostMin: 1, CostMax: 5, SavingsScale: 4, InterPairs: 2}
+	for seed := int64(100); seed < 130; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		p := mqo.Generate(rng, mqo.Class{Queries: 3, PlansPerQuery: 2}, cfg)
+		m := Map(p)
+		x, _, err := m.QUBO.SolveExhaustive(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		perQuery := make([]int, p.NumQueries())
+		for pl, on := range x {
+			if on {
+				perQuery[p.QueryOf(pl)]++
+			}
+		}
+		for q, n := range perQuery {
+			if n != 1 {
+				t.Errorf("seed %d: query %d has %d selected plans in the QUBO minimum", seed, q, n)
+			}
+		}
+	}
+}
+
+func TestEnergyOfValidSolutionsDiffersByConstant(t *testing.T) {
+	p := example1(t)
+	m := Map(p)
+	for _, s := range []mqo.Solution{{0, 2}, {0, 3}, {1, 2}, {1, 3}} {
+		cost, err := p.Cost(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := m.CostFromEnergy(m.EnergyOf(s)); math.Abs(got-cost) > 1e-9 {
+			t.Errorf("solution %v: CostFromEnergy = %v, want %v", s, got, cost)
+		}
+	}
+}
+
+func TestInvalidAssignmentsHaveHigherEnergy(t *testing.T) {
+	// Every invalid assignment must have strictly higher energy than the
+	// best valid one (this is what the penalty weights guarantee).
+	p := example1(t)
+	m := Map(p)
+	bestValid := math.Inf(1)
+	worstRelevant := math.Inf(-1)
+	n := p.NumPlans()
+	x := make([]bool, n)
+	for mask := 0; mask < 1<<n; mask++ {
+		for i := range x {
+			x[i] = mask&(1<<i) != 0
+		}
+		_, valid := m.DecodeStrict(x)
+		e := m.QUBO.Energy(x)
+		if valid {
+			if e < bestValid {
+				bestValid = e
+			}
+		} else if e > worstRelevant {
+			// Track the minimum invalid energy instead.
+			_ = e
+		}
+	}
+	// Recompute minimum invalid energy explicitly.
+	minInvalid := math.Inf(1)
+	for mask := 0; mask < 1<<n; mask++ {
+		for i := range x {
+			x[i] = mask&(1<<i) != 0
+		}
+		if _, valid := m.DecodeStrict(x); !valid {
+			if e := m.QUBO.Energy(x); e < minInvalid {
+				minInvalid = e
+			}
+		}
+	}
+	if minInvalid <= bestValid {
+		t.Errorf("an invalid assignment (E=%v) beats the best valid one (E=%v)", minInvalid, bestValid)
+	}
+}
+
+func TestDecodeRepairsInvalid(t *testing.T) {
+	p := example1(t)
+	m := Map(p)
+	// No plan selected for query 1.
+	sol := m.Decode([]bool{true, false, false, false})
+	if !p.Valid(sol) {
+		t.Fatalf("Decode returned invalid solution %v", sol)
+	}
+	if sol[0] != 0 {
+		t.Errorf("Decode changed the valid part: %v", sol)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	p := example1(t)
+	m := Map(p)
+	s := mqo.Solution{1, 2}
+	sol, valid := m.DecodeStrict(m.Encode(s))
+	if !valid || sol[0] != 1 || sol[1] != 2 {
+		t.Errorf("round trip = %v (valid=%v), want %v", sol, valid, s)
+	}
+}
+
+func TestMapEpsilonPanics(t *testing.T) {
+	p := example1(t)
+	for _, eps := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("MapEpsilon(%v) did not panic", eps)
+				}
+			}()
+			MapEpsilon(p, eps)
+		}()
+	}
+}
+
+// TestEpsilonSensitivity checks that correctness holds across a range of ε
+// values (the ablation DESIGN.md calls out).
+func TestEpsilonSensitivity(t *testing.T) {
+	p := example1(t)
+	for _, eps := range []float64{1e-6, 0.25, 1, 100} {
+		m := MapEpsilon(p, eps)
+		x, _, err := m.QUBO.SolveExhaustive(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sol, valid := m.DecodeStrict(x)
+		if !valid {
+			t.Errorf("eps=%v: minimizer invalid", eps)
+			continue
+		}
+		if cost, _ := p.Cost(sol); cost != 2 {
+			t.Errorf("eps=%v: minimizer cost %v, want 2", eps, cost)
+		}
+	}
+}
+
+// TestQuadraticTermCount checks the term counts used in Theorem 4's
+// complexity analysis: EM contributes Σ_q C(l,2) couplings and ES one per
+// saving.
+func TestQuadraticTermCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	p := mqo.Generate(rng, mqo.Class{Queries: 10, PlansPerQuery: 4}, mqo.DefaultGeneratorConfig())
+	m := Map(p)
+	wantEM := 10 * (4 * 3 / 2)
+	want := wantEM + len(p.Savings)
+	if got := m.QUBO.NumQuadratic(); got != want {
+		t.Errorf("NumQuadratic = %d, want %d", got, want)
+	}
+}

@@ -1,0 +1,103 @@
+package logical
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mqo"
+)
+
+// TestPerQueryTheorem1 verifies that the per-query-weight mapping remains
+// correct: the QUBO minimum decodes to an optimal MQO solution.
+func TestPerQueryTheorem1(t *testing.T) {
+	cfg := mqo.DefaultGeneratorConfig()
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		class := mqo.Class{Queries: 2 + rng.Intn(4), PlansPerQuery: 1 + rng.Intn(3)}
+		p := mqo.Generate(rng, class, cfg)
+		if p.NumPlans() > 16 {
+			continue
+		}
+		m := MapPerQuery(p)
+		x, e, err := m.QUBO.SolveExhaustive(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sol, valid := m.DecodeStrict(x)
+		if !valid {
+			t.Fatalf("seed %d: per-query QUBO minimum decodes invalid", seed)
+		}
+		got, err := p.Cost(sol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, want, err := p.Optimum()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("seed %d: per-query minimum costs %v, optimal %v", seed, got, want)
+		}
+		if gotCost := m.CostFromEnergy(e); math.Abs(gotCost-want) > 1e-9 {
+			t.Errorf("seed %d: CostFromEnergy = %v, want %v", seed, gotCost, want)
+		}
+	}
+}
+
+// TestPerQueryWeightsNeverExceedGlobal checks the point of the refinement:
+// per-query weights are bounded by the global ones, usually strictly
+// smaller on heterogeneous instances, shrinking the weight range.
+func TestPerQueryWeightsNeverExceedGlobal(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	p := mqo.Generate(rng, mqo.Class{Queries: 30, PlansPerQuery: 3}, mqo.DefaultGeneratorConfig())
+	global := Map(p)
+	perQuery := MapPerQuery(p)
+	strictlySmaller := 0
+	for q := range perQuery.WLByQuery {
+		if perQuery.WLByQuery[q] > global.WL+1e-9 {
+			t.Errorf("query %d: per-query wL %v exceeds global %v", q, perQuery.WLByQuery[q], global.WL)
+		}
+		if perQuery.WMByQuery[q] > global.WM+1e-9 {
+			t.Errorf("query %d: per-query wM %v exceeds global %v", q, perQuery.WMByQuery[q], global.WM)
+		}
+		if perQuery.WLByQuery[q] < global.WL-1e-9 {
+			strictlySmaller++
+		}
+	}
+	if strictlySmaller == 0 {
+		t.Error("no query had a strictly smaller weight (costs in [10,30] should vary)")
+	}
+	if perQuery.QUBO.MaxAbsWeight() > global.QUBO.MaxAbsWeight()+1e-9 {
+		t.Errorf("per-query weight range %v exceeds global %v",
+			perQuery.QUBO.MaxAbsWeight(), global.QUBO.MaxAbsWeight())
+	}
+}
+
+// TestPerQueryEnergyShift verifies C(Pe) = Energy + Σ_q wL_q for valid
+// solutions under the per-query mapping.
+func TestPerQueryEnergyShift(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	p := mqo.Generate(rng, mqo.Class{Queries: 8, PlansPerQuery: 2}, mqo.DefaultGeneratorConfig())
+	m := MapPerQuery(p)
+	for trial := 0; trial < 10; trial++ {
+		sol := p.RandomSolution(rng)
+		cost, err := p.Cost(sol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := m.CostFromEnergy(m.EnergyOf(sol)); math.Abs(got-cost) > 1e-9 {
+			t.Fatalf("trial %d: CostFromEnergy = %v, want %v", trial, got, cost)
+		}
+	}
+}
+
+func TestPerQueryPanicsOnBadEpsilon(t *testing.T) {
+	p := mqo.MustNew([][]int{{0}}, []float64{1}, nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	MapPerQueryEpsilon(p, -1)
+}

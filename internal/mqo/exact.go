@@ -1,0 +1,120 @@
+package mqo
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrTooLarge reports that an exact solver was invoked on an instance whose
+// search space exceeds the solver's safety bound.
+var ErrTooLarge = errors.New("mqo: instance too large for exact solver")
+
+// ErrNotChain reports that SolveChainDP was invoked on an instance whose
+// inter-query savings are not restricted to consecutive queries.
+var ErrNotChain = errors.New("mqo: instance is not chain-structured")
+
+// SolveExhaustive enumerates every valid solution and returns an optimal
+// one with its cost. The search space Π_q |P_q| must not exceed maxStates
+// (use 0 for the default bound of 2^22).
+func (p *Problem) SolveExhaustive(maxStates int) (Solution, float64, error) {
+	if maxStates <= 0 {
+		maxStates = 1 << 22
+	}
+	states := 1
+	for _, plans := range p.QueryPlans {
+		states *= len(plans)
+		if states > maxStates || states < 0 {
+			return nil, 0, ErrTooLarge
+		}
+	}
+	cur := make(Solution, p.NumQueries())
+	best := make(Solution, p.NumQueries())
+	bestCost := math.Inf(1)
+	var recurse func(q int)
+	recurse = func(q int) {
+		if q == p.NumQueries() {
+			c := p.CostOfSet(cur)
+			if c < bestCost {
+				bestCost = c
+				copy(best, cur)
+			}
+			return
+		}
+		for _, pl := range p.QueryPlans[q] {
+			cur[q] = pl
+			recurse(q + 1)
+		}
+	}
+	recurse(0)
+	return best, bestCost, nil
+}
+
+// SolveChainDP computes the exact optimum for chain-structured instances
+// (savings only between plans of consecutive queries) by dynamic
+// programming over queries in O(|Q| · l²) time. This is the structure
+// emitted by Generate, so the harness can scale figures by true optima even
+// for the paper's largest class (537 queries).
+func (p *Problem) SolveChainDP() (Solution, float64, error) {
+	if !p.IsChainStructured() {
+		return nil, 0, ErrNotChain
+	}
+	nq := p.NumQueries()
+	if nq == 0 {
+		return Solution{}, 0, nil
+	}
+	// dp[i] is the minimal cost of queries 0..q given query q picked its
+	// i-th plan; choice[q][i] records the argmin for query q-1.
+	prev := make([]float64, len(p.QueryPlans[0]))
+	for i, pl := range p.QueryPlans[0] {
+		prev[i] = p.Costs[pl]
+	}
+	choice := make([][]int, nq)
+	for q := 1; q < nq; q++ {
+		cur := make([]float64, len(p.QueryPlans[q]))
+		choice[q] = make([]int, len(p.QueryPlans[q]))
+		for i, pl := range p.QueryPlans[q] {
+			best := math.Inf(1)
+			arg := 0
+			for j, prevPl := range p.QueryPlans[q-1] {
+				c := prev[j]
+				if s, ok := p.SavingBetween(prevPl, pl); ok {
+					c -= s
+				}
+				if c < best {
+					best = c
+					arg = j
+				}
+			}
+			cur[i] = best + p.Costs[pl]
+			choice[q][i] = arg
+		}
+		prev = cur
+	}
+	bestCost := math.Inf(1)
+	bestIdx := 0
+	for i, c := range prev {
+		if c < bestCost {
+			bestCost = c
+			bestIdx = i
+		}
+	}
+	sol := make(Solution, nq)
+	idx := bestIdx
+	for q := nq - 1; q >= 0; q-- {
+		sol[q] = p.QueryPlans[q][idx]
+		if q > 0 {
+			idx = choice[q][idx]
+		}
+	}
+	return sol, bestCost, nil
+}
+
+// Optimum returns the exact optimal cost using the cheapest applicable
+// exact method: chain DP when the structure allows, exhaustive enumeration
+// otherwise. It returns ErrTooLarge when neither applies.
+func (p *Problem) Optimum() (Solution, float64, error) {
+	if s, c, err := p.SolveChainDP(); err == nil {
+		return s, c, nil
+	}
+	return p.SolveExhaustive(0)
+}

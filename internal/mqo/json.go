@@ -1,0 +1,55 @@
+package mqo
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonProblem is the on-disk representation used by cmd/mqo-gen and
+// cmd/mqo-solve.
+type jsonProblem struct {
+	QueryPlans [][]int   `json:"queryPlans"`
+	Costs      []float64 `json:"costs"`
+	Savings    []Saving  `json:"savings"`
+	Clusters   []int     `json:"clusters,omitempty"`
+}
+
+// MarshalJSON encodes the problem in a stable schema.
+func (p *Problem) MarshalJSON() ([]byte, error) {
+	return json.Marshal(jsonProblem{
+		QueryPlans: p.QueryPlans,
+		Costs:      p.Costs,
+		Savings:    p.Savings,
+		Clusters:   p.Clusters,
+	})
+}
+
+// UnmarshalJSON decodes and validates a problem.
+func (p *Problem) UnmarshalJSON(data []byte) error {
+	var jp jsonProblem
+	if err := json.Unmarshal(data, &jp); err != nil {
+		return fmt.Errorf("mqo: decoding problem: %w", err)
+	}
+	p.QueryPlans = jp.QueryPlans
+	p.Costs = jp.Costs
+	p.Savings = jp.Savings
+	p.Clusters = jp.Clusters
+	return p.init()
+}
+
+// Read decodes a problem from r.
+func Read(r io.Reader) (*Problem, error) {
+	var p Problem
+	if err := json.NewDecoder(r).Decode(&p); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// Write encodes the problem to w with indentation.
+func (p *Problem) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p)
+}

@@ -1,0 +1,49 @@
+package mqo
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	p := Generate(rand.New(rand.NewSource(11)), Class{Queries: 12, PlansPerQuery: 3}, DefaultGeneratorConfig())
+	var buf bytes.Buffer
+	if err := p.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumQueries() != p.NumQueries() || back.NumPlans() != p.NumPlans() {
+		t.Fatalf("round trip changed dimensions: %d/%d -> %d/%d",
+			p.NumQueries(), p.NumPlans(), back.NumQueries(), back.NumPlans())
+	}
+	for i := range p.Costs {
+		if p.Costs[i] != back.Costs[i] {
+			t.Fatalf("cost %d changed in round trip", i)
+		}
+	}
+	if len(back.Savings) != len(p.Savings) {
+		t.Fatalf("savings count changed: %d -> %d", len(p.Savings), len(back.Savings))
+	}
+	// The decoded problem must have working indices.
+	if _, ok := back.SavingBetween(p.Savings[0].P1, p.Savings[0].P2); !ok {
+		t.Error("decoded problem lost savings index")
+	}
+}
+
+func TestReadRejectsInvalid(t *testing.T) {
+	cases := []string{
+		`{`, // malformed JSON
+		`{"queryPlans":[[0,1]],"costs":[1],"savings":[]}`,            // plan out of range
+		`{"queryPlans":[[0],[1]],"costs":[1,2],"savings":[{"P1":0,"P2":1,"Value":-3}]}`, // bad saving
+	}
+	for i, c := range cases {
+		if _, err := Read(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d: Read accepted invalid input", i)
+		}
+	}
+}

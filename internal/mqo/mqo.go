@@ -1,0 +1,377 @@
+// Package mqo models the multiple query optimization (MQO) problem as
+// defined in Section 3 of Trummer and Koch, "Multiple Query Optimization
+// on the D-Wave 2X Adiabatic Quantum Computer" (VLDB 2016).
+//
+// An MQO instance consists of a set Q of queries, a set of alternative
+// plans P_q for each query q, an execution cost c_p for every plan p, and
+// pairwise cost savings s_{p1,p2} > 0 for plans that can share intermediate
+// results. A solution selects exactly one plan per query; its cost is
+//
+//	C(Pe) = Σ_{p∈Pe} c_p − Σ_{{p1,p2}⊆Pe} s_{p1,p2}
+//
+// and an optimal solution minimizes C over all valid selections.
+package mqo
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Saving records that plans P1 and P2 (global plan indices) can share
+// intermediate results, reducing the joint cost by Value if both execute.
+type Saving struct {
+	P1, P2 int
+	Value  float64
+}
+
+// Problem is an immutable MQO problem instance. Plans are identified by
+// global indices 0..NumPlans()-1; each query owns a contiguous or arbitrary
+// subset of them.
+type Problem struct {
+	// QueryPlans[q] lists the global plan indices available for query q.
+	QueryPlans [][]int
+	// Costs[p] is the execution cost c_p of plan p.
+	Costs []float64
+	// Savings lists all pairwise sharing opportunities with P1 < P2.
+	Savings []Saving
+	// Clusters[q] assigns query q to a cluster; queries in different
+	// clusters rarely share work (Section 5). May be nil, in which case
+	// every query forms its own cluster as in the paper's experiments.
+	Clusters []int
+
+	planQuery []int           // plan -> owning query
+	savingAdj [][]Saving      // plan -> incident savings
+	savingIdx map[[2]int]int  // canonical pair -> index into Savings
+}
+
+// New assembles a Problem and builds its internal indices. It validates the
+// instance and returns an error describing the first violation found.
+func New(queryPlans [][]int, costs []float64, savings []Saving) (*Problem, error) {
+	p := &Problem{QueryPlans: queryPlans, Costs: costs, Savings: savings}
+	if err := p.init(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustNew is like New but panics on invalid input. Intended for tests and
+// examples where the instance is known to be well formed.
+func MustNew(queryPlans [][]int, costs []float64, savings []Saving) *Problem {
+	p, err := New(queryPlans, costs, savings)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func (p *Problem) init() error {
+	n := len(p.Costs)
+	p.planQuery = make([]int, n)
+	for i := range p.planQuery {
+		p.planQuery[i] = -1
+	}
+	for q, plans := range p.QueryPlans {
+		if len(plans) == 0 {
+			return fmt.Errorf("mqo: query %d has no plans", q)
+		}
+		for _, pl := range plans {
+			if pl < 0 || pl >= n {
+				return fmt.Errorf("mqo: query %d references plan %d out of range [0,%d)", q, pl, n)
+			}
+			if p.planQuery[pl] != -1 {
+				return fmt.Errorf("mqo: plan %d assigned to both query %d and query %d", pl, p.planQuery[pl], q)
+			}
+			p.planQuery[pl] = q
+		}
+	}
+	for pl, q := range p.planQuery {
+		if q == -1 {
+			return fmt.Errorf("mqo: plan %d belongs to no query", pl)
+		}
+	}
+	for i := range p.Costs {
+		if p.Costs[i] < 0 || math.IsNaN(p.Costs[i]) || math.IsInf(p.Costs[i], 0) {
+			return fmt.Errorf("mqo: plan %d has invalid cost %v", i, p.Costs[i])
+		}
+	}
+	p.savingAdj = make([][]Saving, n)
+	p.savingIdx = make(map[[2]int]int, len(p.Savings))
+	for i, s := range p.Savings {
+		if s.P1 == s.P2 {
+			return fmt.Errorf("mqo: saving %d links plan %d to itself", i, s.P1)
+		}
+		if s.P1 < 0 || s.P1 >= n || s.P2 < 0 || s.P2 >= n {
+			return fmt.Errorf("mqo: saving %d references plan out of range", i)
+		}
+		if s.Value <= 0 || math.IsNaN(s.Value) || math.IsInf(s.Value, 0) {
+			return fmt.Errorf("mqo: saving %d has non-positive or invalid value %v", i, s.Value)
+		}
+		a, b := s.P1, s.P2
+		if a > b {
+			a, b = b, a
+		}
+		key := [2]int{a, b}
+		if _, dup := p.savingIdx[key]; dup {
+			return fmt.Errorf("mqo: duplicate saving between plans %d and %d", a, b)
+		}
+		p.savingIdx[key] = i
+		p.savingAdj[s.P1] = append(p.savingAdj[s.P1], s)
+		p.savingAdj[s.P2] = append(p.savingAdj[s.P2], s)
+	}
+	if p.Clusters != nil && len(p.Clusters) != len(p.QueryPlans) {
+		return fmt.Errorf("mqo: %d cluster labels for %d queries", len(p.Clusters), len(p.QueryPlans))
+	}
+	return nil
+}
+
+// NumQueries returns |Q|.
+func (p *Problem) NumQueries() int { return len(p.QueryPlans) }
+
+// NumPlans returns |P| = Σ_q |P_q|.
+func (p *Problem) NumPlans() int { return len(p.Costs) }
+
+// QueryOf returns the query owning plan pl.
+func (p *Problem) QueryOf(pl int) int { return p.planQuery[pl] }
+
+// ClusterOf returns the cluster of query q; with no explicit clustering each
+// query forms its own cluster, as in the paper's experimental setup.
+func (p *Problem) ClusterOf(q int) int {
+	if p.Clusters == nil {
+		return q
+	}
+	return p.Clusters[q]
+}
+
+// NumClusters returns the number of distinct clusters.
+func (p *Problem) NumClusters() int {
+	if p.Clusters == nil {
+		return len(p.QueryPlans)
+	}
+	seen := map[int]bool{}
+	for _, c := range p.Clusters {
+		seen[c] = true
+	}
+	return len(seen)
+}
+
+// SavingBetween returns s_{a,b} and true if a saving links plans a and b.
+func (p *Problem) SavingBetween(a, b int) (float64, bool) {
+	if a > b {
+		a, b = b, a
+	}
+	i, ok := p.savingIdx[[2]int{a, b}]
+	if !ok {
+		return 0, false
+	}
+	return p.Savings[i].Value, true
+}
+
+// SavingsOf returns all savings incident to plan pl. The returned slice is
+// shared; callers must not modify it.
+func (p *Problem) SavingsOf(pl int) []Saving { return p.savingAdj[pl] }
+
+// MaxCost returns max_p c_p, the bound underlying the wL penalty weight.
+func (p *Problem) MaxCost() float64 {
+	m := 0.0
+	for _, c := range p.Costs {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// MaxSavingsOfAnyPlan returns max_{p1} Σ_{p2} s_{p1,p2}, the bound
+// underlying the wM penalty weight (Section 4).
+func (p *Problem) MaxSavingsOfAnyPlan() float64 {
+	m := 0.0
+	for pl := range p.Costs {
+		sum := 0.0
+		for _, s := range p.savingAdj[pl] {
+			sum += s.Value
+		}
+		if sum > m {
+			m = sum
+		}
+	}
+	return m
+}
+
+// Solution assigns each query the global index of its selected plan.
+// Solution[q] == -1 means no plan selected (invalid but representable, since
+// QUBO decodings may produce such states before repair).
+type Solution []int
+
+// ErrInvalidSolution reports a solution that does not pick exactly one plan
+// per query.
+var ErrInvalidSolution = errors.New("mqo: solution does not select exactly one plan per query")
+
+// Valid reports whether s selects exactly one plan per query and every
+// selected plan belongs to the query it is assigned to.
+func (p *Problem) Valid(s Solution) bool {
+	if len(s) != p.NumQueries() {
+		return false
+	}
+	for q, pl := range s {
+		if pl < 0 || pl >= p.NumPlans() || p.planQuery[pl] != q {
+			return false
+		}
+	}
+	return true
+}
+
+// Cost computes C(Pe) for a valid solution. It returns ErrInvalidSolution
+// when s is not valid.
+func (p *Problem) Cost(s Solution) (float64, error) {
+	if !p.Valid(s) {
+		return 0, ErrInvalidSolution
+	}
+	return p.CostOfSet(s), nil
+}
+
+// CostOfSet computes Σ c_p − Σ s_{p1,p2} over the given plan set without
+// validity checking. Plans listed multiple times are counted once. Entries
+// equal to -1 are skipped.
+func (p *Problem) CostOfSet(plans []int) float64 {
+	selected := make([]bool, p.NumPlans())
+	total := 0.0
+	for _, pl := range plans {
+		if pl < 0 || selected[pl] {
+			continue
+		}
+		selected[pl] = true
+		total += p.Costs[pl]
+	}
+	for _, s := range p.Savings {
+		if selected[s.P1] && selected[s.P2] {
+			total -= s.Value
+		}
+	}
+	return total
+}
+
+// SelectionVector converts a solution into the binary plan-selection vector
+// X_p used by the QUBO representation: x[p] is true iff plan p executes.
+func (p *Problem) SelectionVector(s Solution) []bool {
+	x := make([]bool, p.NumPlans())
+	for _, pl := range s {
+		if pl >= 0 {
+			x[pl] = true
+		}
+	}
+	return x
+}
+
+// SolutionFromVector decodes a plan-selection vector into a Solution,
+// preferring the cheapest selected plan when a query has several plans set
+// (a repaired decoding of an invalid QUBO state) and -1 when none is set.
+func (p *Problem) SolutionFromVector(x []bool) Solution {
+	s := make(Solution, p.NumQueries())
+	for q := range s {
+		s[q] = -1
+	}
+	for pl, on := range x {
+		if !on {
+			continue
+		}
+		q := p.planQuery[pl]
+		if s[q] == -1 || p.Costs[pl] < p.Costs[s[q]] {
+			s[q] = pl
+		}
+	}
+	return s
+}
+
+// Repair turns an arbitrary (possibly invalid) solution into a valid one by
+// assigning, for every query with no selected plan, the plan with the best
+// marginal cost given the current selection. It mutates and returns s.
+func (p *Problem) Repair(s Solution) Solution {
+	if len(s) != p.NumQueries() {
+		ns := make(Solution, p.NumQueries())
+		copy(ns, s)
+		for q := len(s); q < len(ns); q++ {
+			ns[q] = -1
+		}
+		s = ns
+	}
+	selected := make([]bool, p.NumPlans())
+	for q, pl := range s {
+		if pl >= 0 && pl < p.NumPlans() && p.planQuery[pl] == q {
+			selected[pl] = true
+		} else {
+			s[q] = -1
+		}
+	}
+	for q, pl := range s {
+		if pl != -1 {
+			continue
+		}
+		best, bestCost := -1, math.Inf(1)
+		for _, cand := range p.QueryPlans[q] {
+			c := p.marginalCost(cand, selected)
+			if c < bestCost {
+				best, bestCost = cand, c
+			}
+		}
+		s[q] = best
+		selected[best] = true
+	}
+	return s
+}
+
+// marginalCost is c_p minus savings realizable against already-selected plans.
+func (p *Problem) marginalCost(pl int, selected []bool) float64 {
+	c := p.Costs[pl]
+	for _, sv := range p.savingAdj[pl] {
+		other := sv.P1
+		if other == pl {
+			other = sv.P2
+		}
+		if selected[other] {
+			c -= sv.Value
+		}
+	}
+	return c
+}
+
+// InteractionQueries returns the sorted list of query pairs (a<b) linked by
+// at least one saving. Chain-structured instances (savings only between
+// consecutive queries) admit an exact dynamic-programming solution.
+func (p *Problem) InteractionQueries() [][2]int {
+	set := map[[2]int]bool{}
+	for _, s := range p.Savings {
+		a, b := p.planQuery[s.P1], p.planQuery[s.P2]
+		if a == b {
+			continue
+		}
+		if a > b {
+			a, b = b, a
+		}
+		set[[2]int{a, b}] = true
+	}
+	out := make([][2]int, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// IsChainStructured reports whether all inter-query savings connect
+// consecutive queries (q, q+1), the structure produced by the paper-style
+// workload generator in this package.
+func (p *Problem) IsChainStructured() bool {
+	for _, pair := range p.InteractionQueries() {
+		if pair[1] != pair[0]+1 {
+			return false
+		}
+	}
+	return true
+}

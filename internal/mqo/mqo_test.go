@@ -1,0 +1,279 @@
+package mqo
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// example1 is the instance from Example 1 of the paper: four plans with
+// costs 2, 4, 3, 1; plans 0,1 generate q1 and plans 2,3 generate q2; plans
+// 1 and 2 share an intermediate result worth 5 cost units.
+func example1(t testing.TB) *Problem {
+	t.Helper()
+	p, err := New(
+		[][]int{{0, 1}, {2, 3}},
+		[]float64{2, 4, 3, 1},
+		[]Saving{{P1: 1, P2: 2, Value: 5}},
+	)
+	if err != nil {
+		t.Fatalf("example1: %v", err)
+	}
+	return p
+}
+
+func TestExample1Cost(t *testing.T) {
+	p := example1(t)
+	cases := []struct {
+		sol  Solution
+		want float64
+	}{
+		{Solution{0, 2}, 5}, // 2 + 3
+		{Solution{0, 3}, 3}, // 2 + 1
+		{Solution{1, 2}, 2}, // 4 + 3 - 5: the optimum
+		{Solution{1, 3}, 5}, // 4 + 1
+	}
+	for _, c := range cases {
+		got, err := p.Cost(c.sol)
+		if err != nil {
+			t.Fatalf("Cost(%v): %v", c.sol, err)
+		}
+		if got != c.want {
+			t.Errorf("Cost(%v) = %v, want %v", c.sol, got, c.want)
+		}
+	}
+}
+
+func TestExample1Optimum(t *testing.T) {
+	p := example1(t)
+	sol, cost, err := p.SolveExhaustive(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 2 {
+		t.Errorf("optimal cost = %v, want 2", cost)
+	}
+	if sol[0] != 1 || sol[1] != 2 {
+		t.Errorf("optimal solution = %v, want [1 2]", sol)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		qp      [][]int
+		costs   []float64
+		savings []Saving
+	}{
+		{"empty query", [][]int{{}}, nil, nil},
+		{"plan out of range", [][]int{{0, 5}}, []float64{1, 2}, nil},
+		{"plan in two queries", [][]int{{0}, {0}}, []float64{1}, nil},
+		{"orphan plan", [][]int{{0}}, []float64{1, 2}, nil},
+		{"negative cost", [][]int{{0}}, []float64{-1}, nil},
+		{"self saving", [][]int{{0, 1}}, []float64{1, 2}, []Saving{{0, 0, 1}}},
+		{"non-positive saving", [][]int{{0}, {1}}, []float64{1, 2}, []Saving{{0, 1, 0}}},
+		{"duplicate saving", [][]int{{0}, {1}}, []float64{1, 2}, []Saving{{0, 1, 1}, {1, 0, 2}}},
+		{"saving out of range", [][]int{{0}}, []float64{1}, []Saving{{0, 9, 1}}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := New(c.qp, c.costs, c.savings); err == nil {
+				t.Errorf("New accepted invalid instance %q", c.name)
+			}
+		})
+	}
+}
+
+func TestValidSolution(t *testing.T) {
+	p := example1(t)
+	valid := []Solution{{0, 2}, {1, 3}}
+	invalid := []Solution{{0}, {0, 0}, {2, 0}, {0, 1}, {-1, 2}, {0, 9}}
+	for _, s := range valid {
+		if !p.Valid(s) {
+			t.Errorf("Valid(%v) = false, want true", s)
+		}
+	}
+	for _, s := range invalid {
+		if p.Valid(s) {
+			t.Errorf("Valid(%v) = true, want false", s)
+		}
+	}
+	if _, err := p.Cost(Solution{0, 0}); err != ErrInvalidSolution {
+		t.Errorf("Cost on invalid solution: err = %v, want ErrInvalidSolution", err)
+	}
+}
+
+func TestSelectionVectorRoundTrip(t *testing.T) {
+	p := example1(t)
+	s := Solution{1, 2}
+	x := p.SelectionVector(s)
+	want := []bool{false, true, true, false}
+	for i := range want {
+		if x[i] != want[i] {
+			t.Fatalf("SelectionVector(%v) = %v, want %v", s, x, want)
+		}
+	}
+	back := p.SolutionFromVector(x)
+	if back[0] != 1 || back[1] != 2 {
+		t.Errorf("SolutionFromVector round trip = %v, want %v", back, s)
+	}
+}
+
+func TestSolutionFromVectorPrefersCheapest(t *testing.T) {
+	p := example1(t)
+	// Both plans of query 0 set: plan 0 (cost 2) should win over plan 1 (4).
+	back := p.SolutionFromVector([]bool{true, true, false, true})
+	if back[0] != 0 {
+		t.Errorf("decoded plan for query 0 = %d, want 0 (cheapest)", back[0])
+	}
+	if back[1] != 3 {
+		t.Errorf("decoded plan for query 1 = %d, want 3", back[1])
+	}
+}
+
+func TestRepair(t *testing.T) {
+	p := example1(t)
+	s := p.Repair(Solution{-1, -1})
+	if !p.Valid(s) {
+		t.Fatalf("Repair produced invalid solution %v", s)
+	}
+	// Repair keeps already-valid assignments.
+	s2 := p.Repair(Solution{1, -1})
+	if s2[0] != 1 {
+		t.Errorf("Repair overwrote valid assignment: %v", s2)
+	}
+	if !p.Valid(s2) {
+		t.Errorf("Repair produced invalid solution %v", s2)
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	class := Class{Queries: 40, PlansPerQuery: 3}
+	cfg := DefaultGeneratorConfig()
+	p := Generate(rng, class, cfg)
+	if p.NumQueries() != 40 {
+		t.Fatalf("NumQueries = %d, want 40", p.NumQueries())
+	}
+	if p.NumPlans() != 120 {
+		t.Fatalf("NumPlans = %d, want 120", p.NumPlans())
+	}
+	for q, plans := range p.QueryPlans {
+		if len(plans) != 3 {
+			t.Fatalf("query %d has %d plans, want 3", q, len(plans))
+		}
+	}
+	if !p.IsChainStructured() {
+		t.Error("generated instance is not chain-structured")
+	}
+	for _, s := range p.Savings {
+		if s.Value != 5 && s.Value != 10 {
+			t.Errorf("saving value %v not in {5, 10}", s.Value)
+		}
+		qa, qb := p.QueryOf(s.P1), p.QueryOf(s.P2)
+		if qb-qa != 1 && qa-qb != 1 {
+			t.Errorf("saving links non-adjacent queries %d and %d", qa, qb)
+		}
+	}
+	for _, c := range p.Costs {
+		if c < 10 || c > 30 {
+			t.Errorf("cost %v outside [10, 30]", c)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	class := Class{Queries: 20, PlansPerQuery: 2}
+	cfg := DefaultGeneratorConfig()
+	a := Generate(rand.New(rand.NewSource(7)), class, cfg)
+	b := Generate(rand.New(rand.NewSource(7)), class, cfg)
+	if len(a.Savings) != len(b.Savings) {
+		t.Fatal("same seed produced different savings counts")
+	}
+	for i := range a.Costs {
+		if a.Costs[i] != b.Costs[i] {
+			t.Fatalf("same seed produced different costs at plan %d", i)
+		}
+	}
+}
+
+func TestChainDPMatchesExhaustive(t *testing.T) {
+	cfg := DefaultGeneratorConfig()
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		class := Class{Queries: 2 + rng.Intn(8), PlansPerQuery: 1 + rng.Intn(4)}
+		p := Generate(rng, class, cfg)
+		dpSol, dpCost, err := p.SolveChainDP()
+		if err != nil {
+			t.Fatalf("seed %d: SolveChainDP: %v", seed, err)
+		}
+		exSol, exCost, err := p.SolveExhaustive(0)
+		if err != nil {
+			t.Fatalf("seed %d: SolveExhaustive: %v", seed, err)
+		}
+		if dpCost != exCost {
+			t.Errorf("seed %d: DP cost %v != exhaustive cost %v", seed, dpCost, exCost)
+		}
+		if !p.Valid(dpSol) || !p.Valid(exSol) {
+			t.Errorf("seed %d: exact solver returned invalid solution", seed)
+		}
+		if got, _ := p.Cost(dpSol); got != dpCost {
+			t.Errorf("seed %d: DP reported cost %v but solution costs %v", seed, dpCost, got)
+		}
+	}
+}
+
+func TestChainDPRejectsNonChain(t *testing.T) {
+	p := MustNew(
+		[][]int{{0}, {1}, {2}},
+		[]float64{1, 1, 1},
+		[]Saving{{P1: 0, P2: 2, Value: 1}}, // skips query 1
+	)
+	if _, _, err := p.SolveChainDP(); err != ErrNotChain {
+		t.Errorf("SolveChainDP err = %v, want ErrNotChain", err)
+	}
+}
+
+func TestExhaustiveTooLarge(t *testing.T) {
+	class := Class{Queries: 40, PlansPerQuery: 4}
+	p := Generate(rand.New(rand.NewSource(3)), class, DefaultGeneratorConfig())
+	if _, _, err := p.SolveExhaustive(1 << 10); err != ErrTooLarge {
+		t.Errorf("SolveExhaustive err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestPenaltyBounds(t *testing.T) {
+	p := example1(t)
+	if got := p.MaxCost(); got != 4 {
+		t.Errorf("MaxCost = %v, want 4", got)
+	}
+	if got := p.MaxSavingsOfAnyPlan(); got != 5 {
+		t.Errorf("MaxSavingsOfAnyPlan = %v, want 5", got)
+	}
+}
+
+func TestSavingBetween(t *testing.T) {
+	p := example1(t)
+	if v, ok := p.SavingBetween(2, 1); !ok || v != 5 {
+		t.Errorf("SavingBetween(2,1) = %v,%v want 5,true", v, ok)
+	}
+	if _, ok := p.SavingBetween(0, 3); ok {
+		t.Error("SavingBetween(0,3) reported a saving that does not exist")
+	}
+}
+
+func TestClusters(t *testing.T) {
+	p := example1(t)
+	if p.NumClusters() != 2 {
+		t.Errorf("default NumClusters = %d, want 2 (one per query)", p.NumClusters())
+	}
+	p.Clusters = []int{0, 0}
+	if err := p.init(); err != nil {
+		t.Fatal(err)
+	}
+	if p.NumClusters() != 1 {
+		t.Errorf("NumClusters = %d, want 1", p.NumClusters())
+	}
+	if p.ClusterOf(1) != 0 {
+		t.Errorf("ClusterOf(1) = %d, want 0", p.ClusterOf(1))
+	}
+}

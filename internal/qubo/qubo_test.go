@@ -1,0 +1,227 @@
+package qubo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomProblem(rng *rand.Rand, n int, density float64) *Problem {
+	p := New(n)
+	for i := 0; i < n; i++ {
+		p.AddLinear(i, rng.NormFloat64()*3)
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < density {
+				p.AddQuadratic(i, j, rng.NormFloat64()*3)
+			}
+		}
+	}
+	return p
+}
+
+func TestEnergyBruteForceAgreement(t *testing.T) {
+	// Energy via the sparse representation must equal the naive dense sum.
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(10)
+		p := randomProblem(rng, n, 0.5)
+		p.Offset = rng.NormFloat64()
+		x := make([]bool, n)
+		for i := range x {
+			x[i] = rng.Intn(2) == 1
+		}
+		want := p.Offset
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				w := p.Quadratic(i, j)
+				xi, xj := 0.0, 0.0
+				if x[i] {
+					xi = 1
+				}
+				if x[j] {
+					xj = 1
+				}
+				want += w * xi * xj
+			}
+		}
+		if got := p.Energy(x); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d: Energy = %v, want %v", trial, got, want)
+		}
+	}
+}
+
+func TestFlipDeltaMatchesEnergyDifference(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(12)
+		p := randomProblem(rng, n, 0.6)
+		x := make([]bool, n)
+		for i := range x {
+			x[i] = rng.Intn(2) == 1
+		}
+		i := rng.Intn(n)
+		before := p.Energy(x)
+		d := p.FlipDelta(x, i)
+		x[i] = !x[i]
+		after := p.Energy(x)
+		return math.Abs((after-before)-d) < 1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddQuadraticAccumulates(t *testing.T) {
+	p := New(3)
+	p.AddQuadratic(0, 2, 1.5)
+	p.AddQuadratic(2, 0, 2.5) // order-insensitive
+	if got := p.Quadratic(0, 2); got != 4 {
+		t.Errorf("Quadratic(0,2) = %v, want 4", got)
+	}
+	if got := p.Quadratic(2, 0); got != 4 {
+		t.Errorf("Quadratic(2,0) = %v, want 4", got)
+	}
+	// Adjacency stays consistent after accumulation.
+	found := false
+	for _, term := range p.Neighbors(0) {
+		if term.Other == 2 {
+			found = true
+			if term.W != 4 {
+				t.Errorf("adjacency weight = %v, want 4", term.W)
+			}
+		}
+	}
+	if !found {
+		t.Error("adjacency missing coupling (0,2)")
+	}
+	if p.NumQuadratic() != 1 {
+		t.Errorf("NumQuadratic = %d, want 1", p.NumQuadratic())
+	}
+}
+
+func TestAddQuadraticDiagonalFoldsToLinear(t *testing.T) {
+	p := New(2)
+	p.AddQuadratic(1, 1, 3)
+	if got := p.Linear(1); got != 3 {
+		t.Errorf("Linear(1) = %v, want 3 (x² = x for binary x)", got)
+	}
+}
+
+func TestSolveExhaustiveKnownMinimum(t *testing.T) {
+	// E = -x0 - x1 + 3·x0·x1: minimum at exactly one variable set, E = -1.
+	p := New(2)
+	p.AddLinear(0, -1)
+	p.AddLinear(1, -1)
+	p.AddQuadratic(0, 1, 3)
+	x, e, err := p.SolveExhaustive(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e != -1 {
+		t.Errorf("min energy = %v, want -1", e)
+	}
+	if x[0] == x[1] {
+		t.Errorf("minimizer = %v, want exactly one bit set", x)
+	}
+}
+
+func TestSolveExhaustiveMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		n := 1 + rng.Intn(12)
+		p := randomProblem(rng, n, 0.5)
+		_, got, err := p.SolveExhaustive(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Naive enumeration without Gray codes.
+		want := math.Inf(1)
+		x := make([]bool, n)
+		for mask := 0; mask < 1<<n; mask++ {
+			for i := range x {
+				x[i] = mask&(1<<i) != 0
+			}
+			if e := p.Energy(x); e < want {
+				want = e
+			}
+		}
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d: exhaustive min %v != naive min %v", trial, got, want)
+		}
+	}
+}
+
+func TestSolveExhaustiveTooLarge(t *testing.T) {
+	p := New(30)
+	if _, _, err := p.SolveExhaustive(0); err != ErrTooLarge {
+		t.Errorf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestLowerBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 10; trial++ {
+		p := randomProblem(rng, 1+rng.Intn(10), 0.5)
+		_, e, err := p.SolveExhaustive(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lb := p.LowerBound(); lb > e+1e-9 {
+			t.Fatalf("trial %d: LowerBound %v exceeds true minimum %v", trial, lb, e)
+		}
+	}
+}
+
+func TestGreedyDescentReachesLocalMinimum(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	p := randomProblem(rng, 15, 0.4)
+	x := make([]bool, 15)
+	for i := range x {
+		x[i] = rng.Intn(2) == 1
+	}
+	e := p.GreedyDescent(x)
+	for i := 0; i < p.N(); i++ {
+		if d := p.FlipDelta(x, i); d < -1e-9 {
+			t.Fatalf("descent left improving flip at %d (delta %v)", i, d)
+		}
+	}
+	if math.Abs(e-p.Energy(x)) > 1e-9 {
+		t.Errorf("returned energy %v != recomputed %v", e, p.Energy(x))
+	}
+}
+
+func TestClone(t *testing.T) {
+	p := New(3)
+	p.AddLinear(0, 1)
+	p.AddQuadratic(0, 1, -2)
+	p.Offset = 7
+	c := p.Clone()
+	c.AddLinear(0, 5)
+	c.AddQuadratic(0, 1, 5)
+	if p.Linear(0) != 1 || p.Quadratic(0, 1) != -2 {
+		t.Error("Clone is not independent of original")
+	}
+	if c.Offset != 7 {
+		t.Errorf("Clone lost offset: %v", c.Offset)
+	}
+}
+
+func TestPanicsOnBadInput(t *testing.T) {
+	p := New(2)
+	for name, fn := range map[string]func(){
+		"linear out of range": func() { p.AddLinear(2, 1) },
+		"quad out of range":   func() { p.AddQuadratic(0, -1, 1) },
+		"energy wrong length": func() { p.Energy([]bool{true}) },
+		"negative size":       func() { New(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

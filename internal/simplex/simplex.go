@@ -1,0 +1,379 @@
+// Package simplex implements a dense two-phase primal simplex solver for
+// linear programs in the form
+//
+//	minimize    c·x
+//	subject to  A_i·x (≤ | = | ≥) b_i    for each row i
+//	            0 ≤ x_j ≤ u_j            (u_j may be +Inf)
+//
+// It is the linear-programming substrate beneath internal/ilp, standing in
+// for the commercial solver used by the paper's LIN-MQO and LIN-QUB
+// baselines. Bland's anti-cycling rule kicks in after a pivot budget;
+// upper bounds are handled by explicit rows during model construction so
+// the core tableau logic stays simple and auditable.
+package simplex
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Relation is the sense of a constraint row.
+type Relation int
+
+// Constraint senses.
+const (
+	LE Relation = iota // ≤
+	EQ                 // =
+	GE                 // ≥
+)
+
+// Constraint is one row A·x rel B.
+type Constraint struct {
+	Coeffs map[int]float64
+	Rel    Relation
+	B      float64
+}
+
+// Problem is an LP under construction.
+type Problem struct {
+	numVars     int
+	obj         []float64
+	constraints []Constraint
+}
+
+// NewProblem creates an LP with n non-negative variables and a zero
+// objective.
+func NewProblem(n int) *Problem {
+	return &Problem{numVars: n, obj: make([]float64, n)}
+}
+
+// NumVars returns the variable count.
+func (p *Problem) NumVars() int { return p.numVars }
+
+// SetObjective sets the coefficient of variable j in the minimized
+// objective.
+func (p *Problem) SetObjective(j int, c float64) {
+	p.obj[j] = c
+}
+
+// AddConstraint appends a row. Coefficient maps are copied.
+func (p *Problem) AddConstraint(coeffs map[int]float64, rel Relation, b float64) {
+	cp := make(map[int]float64, len(coeffs))
+	for j, v := range coeffs {
+		if j < 0 || j >= p.numVars {
+			panic(fmt.Sprintf("simplex: variable %d out of range", j))
+		}
+		cp[j] = v
+	}
+	p.constraints = append(p.constraints, Constraint{Coeffs: cp, Rel: rel, B: b})
+}
+
+// AddUpperBound adds x_j ≤ u as an explicit row.
+func (p *Problem) AddUpperBound(j int, u float64) {
+	p.AddConstraint(map[int]float64{j: 1}, LE, u)
+}
+
+// Result of an LP solve.
+type Result struct {
+	// X is the optimal assignment (length NumVars).
+	X []float64
+	// Objective is c·X.
+	Objective float64
+}
+
+// Solver failure modes.
+var (
+	ErrInfeasible = errors.New("simplex: problem is infeasible")
+	ErrUnbounded  = errors.New("simplex: problem is unbounded")
+	ErrIterLimit  = errors.New("simplex: iteration limit exceeded")
+)
+
+const eps = 1e-9
+
+// Solve runs two-phase primal simplex and returns an optimal solution.
+func (p *Problem) Solve() (*Result, error) {
+	t := newTableau(p)
+	if err := t.phase1(); err != nil {
+		return nil, err
+	}
+	if err := t.phase2(); err != nil {
+		return nil, err
+	}
+	x := t.extract()
+	obj := 0.0
+	for j, c := range p.obj {
+		obj += c * x[j]
+	}
+	return &Result{X: x, Objective: obj}, nil
+}
+
+// tableau is the dense simplex tableau. Columns: structural variables,
+// then one slack/surplus per inequality row, then one artificial variable
+// per row needing one. The last column is the RHS.
+type tableau struct {
+	p          *Problem
+	m, n       int // rows, structural vars
+	slackOf    []int
+	artOf      []int
+	totalCols  int
+	a          [][]float64 // m rows × totalCols+1 (RHS last)
+	basis      []int       // basic variable per row
+	numArt     int
+	iterBudget int
+}
+
+func newTableau(p *Problem) *tableau {
+	m := len(p.constraints)
+	t := &tableau{p: p, m: m, n: p.numVars, slackOf: make([]int, m), artOf: make([]int, m)}
+	col := p.numVars
+	for i, c := range p.constraints {
+		t.slackOf[i] = -1
+		if c.Rel != EQ {
+			t.slackOf[i] = col
+			col++
+		}
+	}
+	for i, c := range p.constraints {
+		t.artOf[i] = -1
+		// Normalize rows to non-negative RHS first; decide artificials
+		// after normalization in build below.
+		_ = c
+	}
+	// Build rows with normalized sign, then assign artificials where the
+	// slack cannot serve as the initial basic variable.
+	rows := make([][]float64, m)
+	needArt := make([]bool, m)
+	for i, c := range p.constraints {
+		row := make([]float64, col)
+		for j, v := range c.Coeffs {
+			row[j] = v
+		}
+		b := c.B
+		rel := c.Rel
+		if b < 0 {
+			for j := range row {
+				row[j] = -row[j]
+			}
+			b = -b
+			switch rel {
+			case LE:
+				rel = GE
+			case GE:
+				rel = LE
+			}
+		}
+		switch rel {
+		case LE:
+			row[t.slackOf[i]] = 1
+			needArt[i] = false
+		case GE:
+			row[t.slackOf[i]] = -1
+			needArt[i] = true
+		case EQ:
+			needArt[i] = true
+		}
+		rows[i] = append(row, b)
+	}
+	for i := range needArt {
+		if needArt[i] {
+			t.artOf[i] = col
+			col++
+			t.numArt++
+		}
+	}
+	t.totalCols = col
+	t.a = make([][]float64, m)
+	t.basis = make([]int, m)
+	for i := 0; i < m; i++ {
+		row := make([]float64, col+1)
+		copy(row, rows[i][:len(rows[i])-1])
+		row[col] = rows[i][len(rows[i])-1]
+		if t.artOf[i] >= 0 {
+			row[t.artOf[i]] = 1
+			t.basis[i] = t.artOf[i]
+		} else {
+			t.basis[i] = t.slackOf[i]
+		}
+		t.a[i] = row
+	}
+	t.iterBudget = 200 * (m + col + 10)
+	return t
+}
+
+// reducedCosts computes z_j - c_j for objective vector c over all columns.
+func (t *tableau) reducedCosts(c []float64) []float64 {
+	r := make([]float64, t.totalCols)
+	// y_i = c_basis[i]; r_j = Σ_i y_i a_ij − c_j
+	for j := 0; j < t.totalCols; j++ {
+		sum := 0.0
+		for i := 0; i < t.m; i++ {
+			cb := 0.0
+			if t.basis[i] < len(c) {
+				cb = c[t.basis[i]]
+			}
+			if cb != 0 {
+				sum += cb * t.a[i][j]
+			}
+		}
+		cj := 0.0
+		if j < len(c) {
+			cj = c[j]
+		}
+		r[j] = sum - cj
+	}
+	return r
+}
+
+// pivot performs a standard pivot on (row, col).
+func (t *tableau) pivot(row, col int) {
+	pv := t.a[row][col]
+	for j := 0; j <= t.totalCols; j++ {
+		t.a[row][j] /= pv
+	}
+	for i := 0; i < t.m; i++ {
+		if i == row {
+			continue
+		}
+		f := t.a[i][col]
+		if f == 0 {
+			continue
+		}
+		for j := 0; j <= t.totalCols; j++ {
+			t.a[i][j] -= f * t.a[row][j]
+		}
+	}
+	t.basis[row] = col
+}
+
+// optimize runs primal simplex for the objective c (length ≤ totalCols;
+// missing entries are zero). forbid marks columns that may not enter.
+func (t *tableau) optimize(c []float64, forbid func(j int) bool) error {
+	iters := 0
+	for {
+		iters++
+		if iters > t.iterBudget {
+			return ErrIterLimit
+		}
+		r := t.reducedCosts(c)
+		// Dantzig rule with Bland fallback after a budget of pivots.
+		bland := iters > t.iterBudget/2
+		enter := -1
+		bestR := eps
+		for j := 0; j < t.totalCols; j++ {
+			if forbid != nil && forbid(j) {
+				continue
+			}
+			if r[j] > bestR {
+				if bland {
+					enter = j
+					break
+				}
+				if enter == -1 || r[j] > bestR {
+					enter = j
+					bestR = r[j]
+				}
+			}
+		}
+		if enter == -1 {
+			return nil // optimal
+		}
+		// Ratio test.
+		leave := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < t.m; i++ {
+			if t.a[i][enter] > eps {
+				ratio := t.a[i][t.totalCols] / t.a[i][enter]
+				if ratio < bestRatio-eps || (ratio < bestRatio+eps && (leave == -1 || t.basis[i] < t.basis[leave])) {
+					bestRatio = ratio
+					leave = i
+				}
+			}
+		}
+		if leave == -1 {
+			return ErrUnbounded
+		}
+		t.pivot(leave, enter)
+	}
+}
+
+// phase1 drives artificial variables to zero.
+func (t *tableau) phase1() error {
+	if t.numArt == 0 {
+		return nil
+	}
+	// Phase-1 objective: minimize sum of artificials, i.e. maximize
+	// −Σ art; we pass c with −1 on artificial columns... the optimize
+	// loop maximizes z−c reduction for minimization of c·x, so set
+	// c_art = 1 and zero elsewhere.
+	c := make([]float64, t.totalCols)
+	for i := 0; i < t.m; i++ {
+		if t.artOf[i] >= 0 {
+			c[t.artOf[i]] = 1
+		}
+	}
+	if err := t.optimize(c, nil); err != nil {
+		if errors.Is(err, ErrUnbounded) {
+			return ErrInfeasible // phase 1 is never unbounded in exact arithmetic
+		}
+		return err
+	}
+	// Check artificial sum.
+	sum := 0.0
+	for i := 0; i < t.m; i++ {
+		if t.artOf[i] >= 0 && t.basis[i] == t.artOf[i] {
+			sum += t.a[i][t.totalCols]
+		}
+	}
+	if sum > 1e-6 {
+		return ErrInfeasible
+	}
+	// Pivot remaining artificials out of the basis where possible.
+	for i := 0; i < t.m; i++ {
+		if t.artOf[i] >= 0 && t.basis[i] == t.artOf[i] {
+			for j := 0; j < t.totalCols; j++ {
+				if t.isArtificial(j) {
+					continue
+				}
+				if math.Abs(t.a[i][j]) > eps {
+					t.pivot(i, j)
+					break
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (t *tableau) isArtificial(j int) bool {
+	for i := 0; i < t.m; i++ {
+		if t.artOf[i] == j {
+			return true
+		}
+	}
+	return false
+}
+
+// phase2 minimizes the true objective with artificials forbidden.
+func (t *tableau) phase2() error {
+	c := make([]float64, t.totalCols)
+	copy(c, t.p.obj)
+	return t.optimize(c, t.isArtificial)
+}
+
+// extract reads the structural solution from the tableau.
+func (t *tableau) extract() []float64 {
+	x := make([]float64, t.n)
+	for i, b := range t.basis {
+		if b < t.n {
+			x[b] = t.a[i][t.totalCols]
+		}
+	}
+	// Clean tiny negatives from roundoff.
+	for j := range x {
+		if x[j] < 0 && x[j] > -1e-7 {
+			x[j] = 0
+		}
+	}
+	return x
+}

@@ -1,0 +1,229 @@
+package simplex
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestSimpleLE(t *testing.T) {
+	// min -x0 - 2x1  s.t.  x0 + x1 <= 4,  x1 <= 3.  Opt: x=(1,3), obj -7.
+	p := NewProblem(2)
+	p.SetObjective(0, -1)
+	p.SetObjective(1, -2)
+	p.AddConstraint(map[int]float64{0: 1, 1: 1}, LE, 4)
+	p.AddConstraint(map[int]float64{1: 1}, LE, 3)
+	r, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(r.Objective, -7) {
+		t.Errorf("objective = %v, want -7", r.Objective)
+	}
+	if !approx(r.X[0], 1) || !approx(r.X[1], 3) {
+		t.Errorf("x = %v, want [1 3]", r.X)
+	}
+}
+
+func TestEquality(t *testing.T) {
+	// min x0 + x1  s.t.  x0 + x1 = 2,  x0 - x1 = 0.  Opt: (1,1), obj 2.
+	p := NewProblem(2)
+	p.SetObjective(0, 1)
+	p.SetObjective(1, 1)
+	p.AddConstraint(map[int]float64{0: 1, 1: 1}, EQ, 2)
+	p.AddConstraint(map[int]float64{0: 1, 1: -1}, EQ, 0)
+	r, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(r.X[0], 1) || !approx(r.X[1], 1) {
+		t.Errorf("x = %v, want [1 1]", r.X)
+	}
+}
+
+func TestGE(t *testing.T) {
+	// min 2x0 + 3x1  s.t.  x0 + x1 >= 4,  x0 >= 1.  Opt: (4,0), obj 8.
+	p := NewProblem(2)
+	p.SetObjective(0, 2)
+	p.SetObjective(1, 3)
+	p.AddConstraint(map[int]float64{0: 1, 1: 1}, GE, 4)
+	p.AddConstraint(map[int]float64{0: 1}, GE, 1)
+	r, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(r.Objective, 8) {
+		t.Errorf("objective = %v, want 8", r.Objective)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := NewProblem(1)
+	p.AddConstraint(map[int]float64{0: 1}, GE, 5)
+	p.AddConstraint(map[int]float64{0: 1}, LE, 3)
+	if _, err := p.Solve(); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := NewProblem(1)
+	p.SetObjective(0, -1)
+	if _, err := p.Solve(); !errors.Is(err, ErrUnbounded) {
+		t.Errorf("err = %v, want ErrUnbounded", err)
+	}
+}
+
+func TestNegativeRHS(t *testing.T) {
+	// min x0  s.t.  -x0 <= -3  (i.e. x0 >= 3).
+	p := NewProblem(1)
+	p.SetObjective(0, 1)
+	p.AddConstraint(map[int]float64{0: -1}, LE, -3)
+	r, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(r.X[0], 3) {
+		t.Errorf("x0 = %v, want 3", r.X[0])
+	}
+}
+
+func TestUpperBounds(t *testing.T) {
+	// min -x0 - x1 with x0,x1 <= 1: opt (1,1).
+	p := NewProblem(2)
+	p.SetObjective(0, -1)
+	p.SetObjective(1, -1)
+	p.AddUpperBound(0, 1)
+	p.AddUpperBound(1, 1)
+	r, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(r.Objective, -2) {
+		t.Errorf("objective = %v, want -2", r.Objective)
+	}
+}
+
+func TestDegenerate(t *testing.T) {
+	// Degenerate vertex: several constraints meet at the optimum.
+	p := NewProblem(2)
+	p.SetObjective(0, -1)
+	p.SetObjective(1, -1)
+	p.AddConstraint(map[int]float64{0: 1, 1: 1}, LE, 2)
+	p.AddConstraint(map[int]float64{0: 1}, LE, 2)
+	p.AddConstraint(map[int]float64{1: 1}, LE, 2)
+	p.AddConstraint(map[int]float64{0: 1, 1: 2}, LE, 4)
+	r, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(r.Objective, -2) {
+		t.Errorf("objective = %v, want -2", r.Objective)
+	}
+}
+
+// TestAssignmentLPIsIntegral exercises the structure of the MQO relaxation:
+// a pure assignment LP (one plan per query, no savings) has an integral
+// optimal vertex.
+func TestAssignmentLPIsIntegral(t *testing.T) {
+	// Two queries, two plans each; costs 2,4 and 3,1.
+	p := NewProblem(4)
+	costs := []float64{2, 4, 3, 1}
+	for j, c := range costs {
+		p.SetObjective(j, c)
+	}
+	p.AddConstraint(map[int]float64{0: 1, 1: 1}, EQ, 1)
+	p.AddConstraint(map[int]float64{2: 1, 3: 1}, EQ, 1)
+	r, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(r.Objective, 3) { // plans 0 and 3
+		t.Errorf("objective = %v, want 3", r.Objective)
+	}
+	for j, v := range r.X {
+		if !approx(v, 0) && !approx(v, 1) {
+			t.Errorf("x[%d] = %v, want integral", j, v)
+		}
+	}
+}
+
+// TestRandomLPsAgainstEnumeration compares LP optima of small random
+// bounded LPs against brute-force enumeration over a fine grid of the
+// vertices (all subsets of tight constraints is overkill; since all our
+// variables are bounded in [0,1] and objectives linear, the optimum over
+// the box without other constraints is at a corner).
+func TestRandomBoxLPs(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(5)
+		p := NewProblem(n)
+		want := 0.0
+		for j := 0; j < n; j++ {
+			c := rng.NormFloat64()
+			p.SetObjective(j, c)
+			p.AddUpperBound(j, 1)
+			if c < 0 {
+				want += c // corner: x_j = 1 when c_j < 0
+			}
+		}
+		r, err := p.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !approx(r.Objective, want) {
+			t.Errorf("trial %d: objective %v, want %v", trial, r.Objective, want)
+		}
+	}
+}
+
+// TestLPLowerBoundsILP verifies the relaxation property on random MQO-like
+// models: the LP optimum never exceeds the best integral solution found by
+// enumeration.
+func TestLPLowerBoundsEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 10; trial++ {
+		// Three queries × two plans with a random shared-savings term
+		// linearized via y <= x variables.
+		p := NewProblem(7) // 6 x vars + 1 y var
+		costs := make([]float64, 6)
+		for j := range costs {
+			costs[j] = 1 + rng.Float64()*5
+			p.SetObjective(j, costs[j])
+		}
+		s := 1 + rng.Float64()*4
+		p.SetObjective(6, -s)
+		for q := 0; q < 3; q++ {
+			p.AddConstraint(map[int]float64{2 * q: 1, 2*q + 1: 1}, EQ, 1)
+		}
+		// y <= x0, y <= x2 (sharing between plan 0 and plan 2).
+		p.AddConstraint(map[int]float64{6: 1, 0: -1}, LE, 0)
+		p.AddConstraint(map[int]float64{6: 1, 2: -1}, LE, 0)
+		p.AddUpperBound(6, 1)
+		r, err := p.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Enumerate integral solutions.
+		best := math.Inf(1)
+		for a := 0; a < 2; a++ {
+			for b := 0; b < 2; b++ {
+				for c := 0; c < 2; c++ {
+					cost := costs[a] + costs[2+b] + costs[4+c]
+					if a == 0 && b == 0 {
+						cost -= s
+					}
+					if cost < best {
+						best = cost
+					}
+				}
+			}
+		}
+		if r.Objective > best+1e-6 {
+			t.Errorf("trial %d: LP bound %v exceeds integral optimum %v", trial, r.Objective, best)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package solvers
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/mqo"
+	"repro/internal/trace"
+)
+
+// HillClimb is the paper's CLIMB baseline: it "iteratively generates plan
+// selections randomly and improves them via hill climbing until a local
+// optimum is reached", restarting until the budget is exhausted. The
+// descent move is the best single-query plan swap.
+type HillClimb struct{}
+
+// Name implements Solver.
+func (HillClimb) Name() string { return "CLIMB" }
+
+// Solve implements Solver.
+func (HillClimb) Solve(p *mqo.Problem, budget time.Duration, rng *rand.Rand, tr *trace.Trace) mqo.Solution {
+	clock := trace.NewWallClock()
+	in := newIncumbent(p, tr, clock)
+	for clock.Elapsed() < budget || !in.has {
+		sol := p.RandomSolution(rng)
+		cost := p.CostOfSet(sol)
+		cost = descend(p, sol, cost, clock, budget)
+		in.offer(sol, cost)
+		if clock.Elapsed() >= budget {
+			break
+		}
+	}
+	return in.solution()
+}
+
+// descend performs steepest-descent plan swaps in place until a local
+// optimum (or the budget) is reached and returns the final cost.
+func descend(p *mqo.Problem, sol mqo.Solution, cost float64, clock trace.Clock, budget time.Duration) float64 {
+	for {
+		bestQ, bestPlan := -1, -1
+		bestDelta := -1e-9
+		for q, cur := range sol {
+			for _, cand := range p.QueryPlans[q] {
+				if cand == cur {
+					continue
+				}
+				if d := swapDelta(p, sol, q, cand); d < bestDelta {
+					bestDelta = d
+					bestQ, bestPlan = q, cand
+				}
+			}
+		}
+		if bestQ == -1 || clock.Elapsed() >= budget {
+			return cost
+		}
+		sol[bestQ] = bestPlan
+		cost += bestDelta
+	}
+}
+
+// swapDelta computes the cost change from switching query q to plan cand.
+func swapDelta(p *mqo.Problem, sol mqo.Solution, q, cand int) float64 {
+	cur := sol[q]
+	delta := p.Costs[cand] - p.Costs[cur]
+	for _, sv := range p.SavingsOf(cur) {
+		other := sv.P1
+		if other == cur {
+			other = sv.P2
+		}
+		if other != cand && selected(p, sol, other) {
+			delta += sv.Value // lose this saving
+		}
+	}
+	for _, sv := range p.SavingsOf(cand) {
+		other := sv.P1
+		if other == cand {
+			other = sv.P2
+		}
+		if other != cur && selected(p, sol, other) {
+			delta -= sv.Value // gain this saving
+		}
+	}
+	return delta
+}
+
+// selected reports whether plan pl is currently chosen by its query.
+func selected(p *mqo.Problem, sol mqo.Solution, pl int) bool {
+	return sol[p.QueryOf(pl)] == pl
+}

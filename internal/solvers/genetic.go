@@ -1,0 +1,111 @@
+package solvers
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/mqo"
+	"repro/internal/trace"
+)
+
+// Genetic is the paper's GA baseline, configured like the Java Genetic
+// Algorithms Package defaults used in Section 7.1: single-point crossover
+// at rate 0.35, per-gene mutation at rate 1/12, and a top-n ("best
+// chromosomes") selection strategy. A chromosome assigns every query the
+// index of one of its plans.
+type Genetic struct {
+	// Population is the population size (the paper runs 50 and 200).
+	Population int
+	// CrossoverRate is the fraction of the population size used as the
+	// number of crossover pairs per generation.
+	CrossoverRate float64
+	// MutationRate is the per-gene mutation probability.
+	MutationRate float64
+}
+
+// NewGenetic returns a GA with the paper's operator rates.
+func NewGenetic(population int) *Genetic {
+	return &Genetic{Population: population, CrossoverRate: 0.35, MutationRate: 1.0 / 12.0}
+}
+
+// Name implements Solver.
+func (g *Genetic) Name() string { return fmt.Sprintf("GA(%d)", g.Population) }
+
+type chromosome struct {
+	genes mqo.Solution
+	cost  float64
+}
+
+// Solve implements Solver.
+func (g *Genetic) Solve(p *mqo.Problem, budget time.Duration, rng *rand.Rand, tr *trace.Trace) mqo.Solution {
+	clock := trace.NewWallClock()
+	in := newIncumbent(p, tr, clock)
+	popSize := g.Population
+	if popSize < 2 {
+		popSize = 2
+	}
+	pop := make([]chromosome, popSize)
+	for i := range pop {
+		genes := p.RandomSolution(rng)
+		pop[i] = chromosome{genes: genes, cost: p.CostOfSet(genes)}
+	}
+	sortPop(pop)
+	in.offer(pop[0].genes, pop[0].cost)
+
+	pairs := int(float64(popSize) * g.CrossoverRate)
+	if pairs < 1 {
+		pairs = 1
+	}
+	for clock.Elapsed() < budget {
+		// Offspring via single-point crossover of uniformly drawn parents.
+		offspring := make([]chromosome, 0, 2*pairs)
+		for k := 0; k < pairs; k++ {
+			a := pop[rng.Intn(popSize)]
+			b := pop[rng.Intn(popSize)]
+			c1, c2 := crossover(a.genes, b.genes, rng)
+			mutate(p, c1, g.MutationRate, rng)
+			mutate(p, c2, g.MutationRate, rng)
+			offspring = append(offspring,
+				chromosome{genes: c1, cost: p.CostOfSet(c1)},
+				chromosome{genes: c2, cost: p.CostOfSet(c2)})
+		}
+		// Top-n selection over parents and offspring.
+		pop = append(pop, offspring...)
+		sortPop(pop)
+		pop = pop[:popSize]
+		in.offer(pop[0].genes, pop[0].cost)
+	}
+	return in.solution()
+}
+
+func sortPop(pop []chromosome) {
+	sort.SliceStable(pop, func(i, j int) bool { return pop[i].cost < pop[j].cost })
+}
+
+// crossover performs single-point crossover, returning two children.
+func crossover(a, b mqo.Solution, rng *rand.Rand) (mqo.Solution, mqo.Solution) {
+	n := len(a)
+	point := 1
+	if n > 1 {
+		point = 1 + rng.Intn(n-1)
+	}
+	c1 := make(mqo.Solution, n)
+	c2 := make(mqo.Solution, n)
+	copy(c1, a[:point])
+	copy(c1[point:], b[point:])
+	copy(c2, b[:point])
+	copy(c2[point:], a[point:])
+	return c1, c2
+}
+
+// mutate resamples each gene with the configured probability.
+func mutate(p *mqo.Problem, genes mqo.Solution, rate float64, rng *rand.Rand) {
+	for q := range genes {
+		if rng.Float64() < rate {
+			plans := p.QueryPlans[q]
+			genes[q] = plans[rng.Intn(len(plans))]
+		}
+	}
+}

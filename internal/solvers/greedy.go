@@ -1,0 +1,40 @@
+package solvers
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/mqo"
+	"repro/internal/trace"
+)
+
+// Greedy constructs a solution query by query, always taking the plan with
+// the smallest marginal cost against the selection so far. It is the
+// simplest baseline and the seed for the randomized solvers.
+type Greedy struct{}
+
+// Name implements Solver.
+func (Greedy) Name() string { return "GREEDY" }
+
+// Solve implements Solver. The budget is ignored: construction is a single
+// linear pass.
+func (Greedy) Solve(p *mqo.Problem, _ time.Duration, _ *rand.Rand, tr *trace.Trace) mqo.Solution {
+	clock := trace.NewWallClock()
+	in := newIncumbent(p, tr, clock)
+	sol := GreedySolution(p)
+	cost, err := p.Cost(sol)
+	if err != nil {
+		panic("solvers: greedy produced invalid solution: " + err.Error())
+	}
+	in.offer(sol, cost)
+	return in.solution()
+}
+
+// GreedySolution builds the greedy plan selection without tracing.
+func GreedySolution(p *mqo.Problem) mqo.Solution {
+	sol := make(mqo.Solution, p.NumQueries())
+	for q := range sol {
+		sol[q] = -1
+	}
+	return p.Repair(sol)
+}

@@ -1,0 +1,57 @@
+// Package solvers implements the classical MQO baselines the paper
+// compares against (Section 7.1): integer-programming branch-and-bound on
+// the direct MQO model (LIN-MQO) and on the linearized QUBO model
+// (LIN-QUB), a genetic algorithm with the JGAP default operators (GA), and
+// iterated hill climbing (CLIMB), plus a greedy constructor used for
+// seeds. All solvers run against a wall-clock budget and record every
+// incumbent improvement into a trace, which is how the paper's
+// cost-versus-time figures are produced.
+package solvers
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/mqo"
+	"repro/internal/trace"
+)
+
+// Solver is an anytime MQO optimizer.
+type Solver interface {
+	// Name identifies the solver in figures (e.g. "LIN-MQO", "GA(50)").
+	Name() string
+	// Solve optimizes p for at most budget wall-clock time, recording
+	// every incumbent improvement in tr, and returns the best solution
+	// found. Implementations must be deterministic given rng.
+	Solve(p *mqo.Problem, budget time.Duration, rng *rand.Rand, tr *trace.Trace) mqo.Solution
+}
+
+// record stores an improving solution in the trace, tracking the best.
+type incumbent struct {
+	clock trace.Clock
+	tr    *trace.Trace
+	p     *mqo.Problem
+	best  mqo.Solution
+	cost  float64
+	has   bool
+}
+
+func newIncumbent(p *mqo.Problem, tr *trace.Trace, clock trace.Clock) *incumbent {
+	return &incumbent{clock: clock, tr: tr, p: p}
+}
+
+// offer records sol if it improves the incumbent. It assumes sol is valid
+// and cost is its true cost; sol is copied.
+func (in *incumbent) offer(sol mqo.Solution, cost float64) {
+	if in.has && cost >= in.cost {
+		return
+	}
+	in.best = append(mqo.Solution(nil), sol...)
+	in.cost = cost
+	in.has = true
+	if in.tr != nil {
+		in.tr.Record(in.clock.Elapsed(), cost)
+	}
+}
+
+func (in *incumbent) solution() mqo.Solution { return in.best }

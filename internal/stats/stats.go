@@ -1,0 +1,86 @@
+// Package stats provides the small set of aggregate statistics used by the
+// experiment harness (Table 1 reports minimum, median, and maximum; the
+// figures report means).
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Min returns the smallest value; NaN for empty input.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest value; NaN for empty input.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Mean returns the arithmetic mean; NaN for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Median returns the middle value (average of the two middle values for
+// even length); NaN for empty input. The input is not modified.
+func Median(xs []float64) float64 {
+	return Quantile(xs, 0.5)
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) using midpoint interpolation
+// for the median case and nearest-rank otherwise; NaN for empty input.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 || math.IsNaN(q) || q < 0 || q > 1 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if q == 0.5 && len(s)%2 == 0 {
+		return (s[len(s)/2-1] + s[len(s)/2]) / 2
+	}
+	idx := int(q * float64(len(s)-1))
+	return s[idx]
+}
+
+// GeoMean returns the geometric mean of positive values; NaN if any value
+// is non-positive or the input is empty. Used for speedup aggregation.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return math.NaN()
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}

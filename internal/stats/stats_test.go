@@ -1,0 +1,68 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBasics(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3}
+	if got := Min(xs); got != 1 {
+		t.Errorf("Min = %v, want 1", got)
+	}
+	if got := Max(xs); got != 5 {
+		t.Errorf("Max = %v, want 5", got)
+	}
+	if got := Mean(xs); got != 3 {
+		t.Errorf("Mean = %v, want 3", got)
+	}
+	if got := Median(xs); got != 3 {
+		t.Errorf("Median = %v, want 3", got)
+	}
+}
+
+func TestMedianEven(t *testing.T) {
+	if got := Median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Errorf("Median = %v, want 2.5", got)
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("Median mutated input: %v", xs)
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	for name, f := range map[string]func([]float64) float64{
+		"Min": Min, "Max": Max, "Mean": Mean, "Median": Median, "GeoMean": GeoMean,
+	} {
+		if got := f(nil); !math.IsNaN(got) {
+			t.Errorf("%s(nil) = %v, want NaN", name, got)
+		}
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 100}); math.Abs(got-10) > 1e-9 {
+		t.Errorf("GeoMean = %v, want 10", got)
+	}
+	if got := GeoMean([]float64{1, -1}); !math.IsNaN(got) {
+		t.Errorf("GeoMean with negative = %v, want NaN", got)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50}
+	if got := Quantile(xs, 0); got != 10 {
+		t.Errorf("Quantile(0) = %v, want 10", got)
+	}
+	if got := Quantile(xs, 1); got != 50 {
+		t.Errorf("Quantile(1) = %v, want 50", got)
+	}
+	if got := Quantile(xs, 2); !math.IsNaN(got) {
+		t.Errorf("Quantile(2) = %v, want NaN", got)
+	}
+}

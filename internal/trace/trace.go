@@ -1,0 +1,139 @@
+// Package trace records anytime solver progress: the best solution cost
+// found as a function of elapsed optimization time. Section 7.2 of the
+// paper compares solvers by "how solution quality ... evolves as a function
+// of optimization time", sampled at 1, 10, 100, 10³, 10⁴ and 10⁵ ms; this
+// package is the shared recording substrate for all solvers.
+package trace
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// Point is one improvement event: at time T the incumbent cost became Cost.
+type Point struct {
+	T    time.Duration
+	Cost float64
+}
+
+// Trace is a monotone sequence of incumbent improvements. The zero value
+// is ready to use.
+type Trace struct {
+	points []Point
+}
+
+// Record notes that cost was achieved at elapsed time t. Non-improving
+// records are dropped so the trace stays monotone decreasing in cost.
+func (tr *Trace) Record(t time.Duration, cost float64) {
+	if n := len(tr.points); n > 0 {
+		if cost >= tr.points[n-1].Cost {
+			return
+		}
+		if t < tr.points[n-1].T {
+			t = tr.points[n-1].T
+		}
+	}
+	tr.points = append(tr.points, Point{T: t, Cost: cost})
+}
+
+// Points returns the recorded improvements in order. The slice is shared.
+func (tr *Trace) Points() []Point { return tr.points }
+
+// Len returns the number of recorded improvements.
+func (tr *Trace) Len() int { return len(tr.points) }
+
+// BestAt returns the incumbent cost at elapsed time t, or +Inf when no
+// solution had been found by t.
+func (tr *Trace) BestAt(t time.Duration) float64 {
+	// Binary search for the last point with T <= t.
+	i := sort.Search(len(tr.points), func(i int) bool { return tr.points[i].T > t })
+	if i == 0 {
+		return math.Inf(1)
+	}
+	return tr.points[i-1].Cost
+}
+
+// Final returns the last recorded cost, or +Inf for an empty trace.
+func (tr *Trace) Final() float64 {
+	if len(tr.points) == 0 {
+		return math.Inf(1)
+	}
+	return tr.points[len(tr.points)-1].Cost
+}
+
+// FirstBelow returns the earliest time at which the incumbent cost reached
+// target or better, and ok=false if it never did. Figure 6's speedups are
+// ratios of such times.
+func (tr *Trace) FirstBelow(target float64) (time.Duration, bool) {
+	for _, p := range tr.points {
+		if p.Cost <= target+1e-9 {
+			return p.T, true
+		}
+	}
+	return 0, false
+}
+
+// Sample evaluates the trace at each checkpoint, producing the rows the
+// paper's figures plot.
+func (tr *Trace) Sample(checkpoints []time.Duration) []float64 {
+	out := make([]float64, len(checkpoints))
+	for i, c := range checkpoints {
+		out[i] = tr.BestAt(c)
+	}
+	return out
+}
+
+// PaperCheckpoints are the measurement times from Section 7.2:
+// 1, 10, 100, 10³, 10⁴, 10⁵ milliseconds.
+func PaperCheckpoints() []time.Duration {
+	return []time.Duration{
+		1 * time.Millisecond,
+		10 * time.Millisecond,
+		100 * time.Millisecond,
+		1000 * time.Millisecond,
+		10000 * time.Millisecond,
+		100000 * time.Millisecond,
+	}
+}
+
+// ScaledCheckpoints returns the paper's logarithmic grid capped at limit,
+// used by the offline harness to keep runtimes bounded.
+func ScaledCheckpoints(limit time.Duration) []time.Duration {
+	var out []time.Duration
+	for _, c := range PaperCheckpoints() {
+		if c <= limit {
+			out = append(out, c)
+		}
+	}
+	if len(out) == 0 || out[len(out)-1] != limit {
+		out = append(out, limit)
+	}
+	return out
+}
+
+// Clock abstracts elapsed-time measurement so solvers can run against the
+// wall clock while the simulated annealer charges modeled hardware time.
+type Clock interface {
+	// Elapsed returns time since the clock started.
+	Elapsed() time.Duration
+}
+
+// WallClock measures real elapsed time from its creation.
+type WallClock struct{ start time.Time }
+
+// NewWallClock starts a wall clock now.
+func NewWallClock() *WallClock { return &WallClock{start: time.Now()} }
+
+// Elapsed implements Clock.
+func (c *WallClock) Elapsed() time.Duration { return time.Since(c.start) }
+
+// ModeledClock accumulates externally charged time; the simulated annealer
+// advances it by 376 µs per sample regardless of simulation wall time.
+type ModeledClock struct{ t time.Duration }
+
+// Advance adds d to the modeled elapsed time.
+func (c *ModeledClock) Advance(d time.Duration) { c.t += d }
+
+// Elapsed implements Clock.
+func (c *ModeledClock) Elapsed() time.Duration { return c.t }

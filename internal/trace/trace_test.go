@@ -1,0 +1,129 @@
+package trace
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func ms(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+
+func TestRecordMonotone(t *testing.T) {
+	var tr Trace
+	tr.Record(ms(1), 10)
+	tr.Record(ms(2), 12) // worse: dropped
+	tr.Record(ms(3), 8)
+	tr.Record(ms(4), 8) // equal: dropped
+	if tr.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tr.Len())
+	}
+	if tr.Final() != 8 {
+		t.Errorf("Final = %v, want 8", tr.Final())
+	}
+}
+
+func TestRecordClampsTime(t *testing.T) {
+	var tr Trace
+	tr.Record(ms(5), 10)
+	tr.Record(ms(3), 7) // earlier timestamp: clamped to 5ms
+	pts := tr.Points()
+	if pts[1].T != ms(5) {
+		t.Errorf("second point T = %v, want clamped to 5ms", pts[1].T)
+	}
+}
+
+func TestBestAt(t *testing.T) {
+	var tr Trace
+	tr.Record(ms(10), 100)
+	tr.Record(ms(50), 40)
+	if got := tr.BestAt(ms(5)); !math.IsInf(got, 1) {
+		t.Errorf("BestAt(5ms) = %v, want +Inf", got)
+	}
+	if got := tr.BestAt(ms(10)); got != 100 {
+		t.Errorf("BestAt(10ms) = %v, want 100", got)
+	}
+	if got := tr.BestAt(ms(49)); got != 100 {
+		t.Errorf("BestAt(49ms) = %v, want 100", got)
+	}
+	if got := tr.BestAt(ms(1000)); got != 40 {
+		t.Errorf("BestAt(1s) = %v, want 40", got)
+	}
+}
+
+func TestFirstBelow(t *testing.T) {
+	var tr Trace
+	tr.Record(ms(10), 100)
+	tr.Record(ms(50), 40)
+	if d, ok := tr.FirstBelow(100); !ok || d != ms(10) {
+		t.Errorf("FirstBelow(100) = %v,%v want 10ms,true", d, ok)
+	}
+	if d, ok := tr.FirstBelow(50); !ok || d != ms(50) {
+		t.Errorf("FirstBelow(50) = %v,%v want 50ms,true", d, ok)
+	}
+	if _, ok := tr.FirstBelow(10); ok {
+		t.Error("FirstBelow(10) = true, want false")
+	}
+}
+
+func TestSample(t *testing.T) {
+	var tr Trace
+	tr.Record(ms(2), 9)
+	got := tr.Sample([]time.Duration{ms(1), ms(10)})
+	if !math.IsInf(got[0], 1) || got[1] != 9 {
+		t.Errorf("Sample = %v", got)
+	}
+}
+
+func TestPaperCheckpoints(t *testing.T) {
+	cp := PaperCheckpoints()
+	if len(cp) != 6 || cp[0] != ms(1) || cp[5] != ms(100000) {
+		t.Errorf("PaperCheckpoints = %v", cp)
+	}
+}
+
+func TestScaledCheckpoints(t *testing.T) {
+	got := ScaledCheckpoints(ms(500))
+	want := []time.Duration{ms(1), ms(10), ms(100), ms(500)}
+	if len(got) != len(want) {
+		t.Fatalf("ScaledCheckpoints = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ScaledCheckpoints = %v, want %v", got, want)
+		}
+	}
+	// Exact match at a paper checkpoint must not duplicate it.
+	got = ScaledCheckpoints(ms(100))
+	if len(got) != 3 || got[2] != ms(100) {
+		t.Errorf("ScaledCheckpoints(100ms) = %v", got)
+	}
+}
+
+func TestModeledClock(t *testing.T) {
+	var c ModeledClock
+	if c.Elapsed() != 0 {
+		t.Error("fresh modeled clock not at zero")
+	}
+	c.Advance(376 * time.Microsecond)
+	c.Advance(376 * time.Microsecond)
+	if c.Elapsed() != 752*time.Microsecond {
+		t.Errorf("Elapsed = %v, want 752µs", c.Elapsed())
+	}
+}
+
+func TestWallClock(t *testing.T) {
+	c := NewWallClock()
+	if c.Elapsed() < 0 {
+		t.Error("wall clock went backwards")
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	var tr Trace
+	if !math.IsInf(tr.Final(), 1) {
+		t.Error("empty Final should be +Inf")
+	}
+	if !math.IsInf(tr.BestAt(ms(10)), 1) {
+		t.Error("empty BestAt should be +Inf")
+	}
+}
