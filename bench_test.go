@@ -9,6 +9,7 @@
 package repro
 
 import (
+	"context"
 	"io"
 	"math/rand"
 	"os"
@@ -53,7 +54,7 @@ func BenchmarkFigure4(b *testing.B) {
 	cfg := benchConfig()
 	class := mqo.Class{Queries: 537, PlansPerQuery: 2}
 	for i := 0; i < b.N; i++ {
-		res, err := cfg.RunAnytime(class)
+		res, err := cfg.RunAnytime(context.Background(), class)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -67,7 +68,7 @@ func BenchmarkFigure5(b *testing.B) {
 	cfg := benchConfig()
 	class := mqo.Class{Queries: 108, PlansPerQuery: 5}
 	for i := 0; i < b.N; i++ {
-		res, err := cfg.RunAnytime(class)
+		res, err := cfg.RunAnytime(context.Background(), class)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -81,7 +82,7 @@ func BenchmarkTable1(b *testing.B) {
 	cfg := benchConfig()
 	cfg.Budget = 2 * time.Second
 	for i := 0; i < b.N; i++ {
-		rows, err := cfg.RunTable1(mqo.PaperClasses)
+		rows, err := cfg.RunTable1(context.Background(), mqo.PaperClasses)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -96,7 +97,7 @@ func BenchmarkFigure6(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		var results []*harness.AnytimeResult
 		for _, class := range mqo.PaperClasses {
-			r, err := cfg.RunAnytime(class)
+			r, err := cfg.RunAnytime(context.Background(), class)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -139,7 +140,7 @@ func BenchmarkAblationSamplers(b *testing.B) {
 	for _, sampler := range []anneal.Sampler{anneal.DefaultSA(), anneal.DefaultSQA()} {
 		b.Run(sampler.Name(), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				res, err := core.QuantumMQO(p, core.Options{Runs: 50, Sampler: sampler},
+				res, err := core.QuantumMQO(context.Background(), p, core.Options{Runs: 50, Sampler: sampler},
 					rand.New(rand.NewSource(int64(i))))
 				if err != nil {
 					b.Fatal(err)
@@ -160,7 +161,7 @@ func BenchmarkAblationChainStrength(b *testing.B) {
 	}
 	run := func(b *testing.B, uniform float64) {
 		for i := 0; i < b.N; i++ {
-			res, err := core.QuantumMQO(p, core.Options{Runs: 50, UniformChainStrength: uniform},
+			res, err := core.QuantumMQO(context.Background(), p, core.Options{Runs: 50, UniformChainStrength: uniform},
 				rand.New(rand.NewSource(int64(i))))
 			if err != nil {
 				b.Fatal(err)
@@ -183,7 +184,7 @@ func BenchmarkAblationGauges(b *testing.B) {
 		}
 		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				_, err := core.QuantumMQO(p, core.Options{Runs: 50, DisableGauges: disable},
+				_, err := core.QuantumMQO(context.Background(), p, core.Options{Runs: 50, DisableGauges: disable},
 					rand.New(rand.NewSource(int64(i))))
 				if err != nil {
 					b.Fatal(err)
@@ -205,7 +206,7 @@ func BenchmarkAblationEmbedding(b *testing.B) {
 	mapping := logical.Map(p)
 	b.Run("clustered", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			emb, _, err := core.EmbedProblem(g, p, mapping)
+			emb, _, err := core.EmbedProblem(g, p, mapping, core.PatternAuto)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -266,7 +267,7 @@ func BenchmarkDecomposition(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := decompose.Solve(p, decompose.Options{WindowQueries: 16,
+		res, err := decompose.Solve(context.Background(), p, decompose.Options{WindowQueries: 16,
 			Core: core.Options{Runs: 40}}, rand.New(rand.NewSource(int64(i))))
 		if err != nil {
 			b.Fatal(err)
@@ -301,7 +302,7 @@ func BenchmarkPhysicalMapping(b *testing.B) {
 	mapping := logical.Map(p)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		emb, _, err := core.EmbedProblem(g, p, mapping)
+		emb, _, err := core.EmbedProblem(g, p, mapping, core.PatternAuto)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -322,7 +323,7 @@ func BenchmarkAnnealingRun(b *testing.B) {
 		b.Fatal(err)
 	}
 	mapping := logical.Map(p)
-	emb, _, err := core.EmbedProblem(g, p, mapping)
+	emb, _, err := core.EmbedProblem(g, p, mapping, core.PatternAuto)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -366,7 +367,7 @@ func BenchmarkSolvers(b *testing.B) {
 		b.Run(s.Name(), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				var tr trace.Trace
-				s.Solve(p, 50*time.Millisecond, rand.New(rand.NewSource(int64(i))), &tr)
+				s.Solve(context.Background(), p, 50*time.Millisecond, rand.New(rand.NewSource(int64(i))), &tr)
 			}
 		})
 	}

@@ -1,7 +1,8 @@
 // Command mqo-bench regenerates the tables and figures of the paper's
 // evaluation (Section 7). Each experiment prints the same rows or series
 // the paper reports; QA times are modeled annealer time (376 µs per run),
-// classical times are wall-clock.
+// classical times are wall-clock. Interrupting the run (SIGINT) cancels
+// the experiment cleanly.
 //
 // Usage:
 //
@@ -11,13 +12,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
-	"repro/internal/harness"
-	"repro/internal/mqo"
+	"repro/mqopt"
+	"repro/mqopt/bench"
 )
 
 func main() {
@@ -28,29 +31,32 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload seed")
 	flag.Parse()
 
-	cfg := harness.DefaultConfig()
+	cfg := bench.DefaultConfig()
 	cfg.Instances = *instances
 	cfg.Budget = *budget
 	cfg.QARuns = *runs
 	cfg.Seed = *seed
 
-	if err := run(cfg, *experiment); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	if err := run(ctx, cfg, *experiment); err != nil {
 		fmt.Fprintln(os.Stderr, "mqo-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(cfg harness.Config, experiment string) error {
-	classFig4 := mqo.Class{Queries: 537, PlansPerQuery: 2}
-	classFig5 := mqo.Class{Queries: 108, PlansPerQuery: 5}
+func run(ctx context.Context, cfg bench.Config, experiment string) error {
+	classFig4 := mqopt.Class{Queries: 537, PlansPerQuery: 2}
+	classFig5 := mqopt.Class{Queries: 108, PlansPerQuery: 5}
 
-	anytime := func(class mqo.Class, figure string) (*harness.AnytimeResult, error) {
+	anytime := func(class mqopt.Class, figure string) (*bench.AnytimeResult, error) {
 		fmt.Printf("=== %s ===\n", figure)
-		res, err := cfg.RunAnytime(class)
+		res, err := bench.RunAnytime(ctx, cfg, class)
 		if err != nil {
 			return nil, err
 		}
-		harness.RenderAnytime(os.Stdout, res, cfg.SolverNames())
+		bench.RenderAnytime(os.Stdout, res, bench.SolverNames(cfg))
 		fmt.Println()
 		return res, nil
 	}
@@ -63,29 +69,29 @@ func run(cfg harness.Config, experiment string) error {
 		_, err := anytime(classFig5, "Figure 5 (108 queries, 5 plans)")
 		return err
 	case "fig6":
-		var results []*harness.AnytimeResult
-		for _, class := range mqo.PaperClasses {
-			r, err := cfg.RunAnytime(class)
+		var results []*bench.AnytimeResult
+		for _, class := range bench.PaperClasses {
+			r, err := bench.RunAnytime(ctx, cfg, class)
 			if err != nil {
 				return err
 			}
 			results = append(results, r)
 		}
-		harness.RenderFig6(os.Stdout, harness.RunFig6(results))
+		bench.RenderFig6(os.Stdout, bench.RunFig6(results))
 		return nil
 	case "fig7":
-		harness.RenderFig7(os.Stdout, harness.RunFig7(harness.DefaultFig7Plans()))
+		bench.RenderFig7(os.Stdout, bench.RunFig7(bench.DefaultFig7Plans()))
 		return nil
 	case "table1":
-		rows, err := cfg.RunTable1(mqo.PaperClasses)
+		rows, err := bench.RunTable1(ctx, cfg, bench.PaperClasses)
 		if err != nil {
 			return err
 		}
-		harness.RenderTable1(os.Stdout, rows)
+		bench.RenderTable1(os.Stdout, rows)
 		return nil
 	case "all":
-		var results []*harness.AnytimeResult
-		for i, class := range mqo.PaperClasses {
+		var results []*bench.AnytimeResult
+		for i, class := range bench.PaperClasses {
 			r, err := anytime(class, fmt.Sprintf("Anytime class %d: %s", i+1, class))
 			if err != nil {
 				return err
@@ -93,17 +99,17 @@ func run(cfg harness.Config, experiment string) error {
 			results = append(results, r)
 		}
 		fmt.Println("=== Table 1 ===")
-		rows, err := cfg.RunTable1(mqo.PaperClasses)
+		rows, err := bench.RunTable1(ctx, cfg, bench.PaperClasses)
 		if err != nil {
 			return err
 		}
-		harness.RenderTable1(os.Stdout, rows)
+		bench.RenderTable1(os.Stdout, rows)
 		fmt.Println()
 		fmt.Println("=== Figure 6 ===")
-		harness.RenderFig6(os.Stdout, harness.RunFig6(results))
+		bench.RenderFig6(os.Stdout, bench.RunFig6(results))
 		fmt.Println()
 		fmt.Println("=== Figure 7 ===")
-		harness.RenderFig7(os.Stdout, harness.RunFig7(harness.DefaultFig7Plans()))
+		bench.RenderFig7(os.Stdout, bench.RunFig7(bench.DefaultFig7Plans()))
 		return nil
 	default:
 		return fmt.Errorf("unknown experiment %q", experiment)

@@ -17,8 +17,7 @@ import (
 	"strconv"
 	"strings"
 
-	"repro/internal/chimera"
-	"repro/internal/embedding"
+	"repro/mqopt"
 )
 
 func main() {
@@ -37,10 +36,10 @@ func main() {
 }
 
 func run(showGraph bool, broken int, seed int64, triad string, clusters, plans int) error {
-	g := chimera.DWave2X(broken, seed)
+	t := mqopt.DWave2X(broken, seed)
 	did := false
 	if showGraph {
-		fmt.Print(g.Render())
+		fmt.Print(t.Render())
 		did = true
 	}
 	if triad != "" {
@@ -51,12 +50,11 @@ func run(showGraph bool, broken int, seed int64, triad string, clusters, plans i
 			if err != nil {
 				return fmt.Errorf("bad TRIAD size %q", part)
 			}
-			emb, err := embedding.Triad(g, n)
+			rep, err := mqopt.TriadReport(t, n)
 			if err != nil {
 				return err
 			}
-			m, _ := embedding.TriadSize(n)
-			fmt.Printf("%-10d %8d %12d %16.2f\n", n, m, emb.NumQubits(), emb.QubitsPerVariable())
+			fmt.Printf("%-10d %8d %12d %16.2f\n", n, rep.ChainSize, rep.Qubits, rep.QubitsPerVariable)
 		}
 		did = true
 	}
@@ -65,15 +63,15 @@ func run(showGraph bool, broken int, seed int64, triad string, clusters, plans i
 		for i := range sizes {
 			sizes[i] = plans
 		}
-		emb, err := embedding.Clustered(g, sizes)
+		rep, err := mqopt.ClusteredReport(t, sizes)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("Clustered embedding: %d clusters × %d plans\n", clusters, plans)
-		fmt.Printf("qubits used:        %d\n", emb.NumQubits())
-		fmt.Printf("qubits/variable:    %.2f\n", emb.QubitsPerVariable())
-		fmt.Printf("max chain length:   %d\n", emb.MaxChainLength())
-		fmt.Printf("graph capacity:     %d clusters of this size\n", embedding.Capacity(g, plans))
+		fmt.Printf("qubits used:        %d\n", rep.Qubits)
+		fmt.Printf("qubits/variable:    %.2f\n", rep.QubitsPerVariable)
+		fmt.Printf("max chain length:   %d\n", rep.MaxChainLength)
+		fmt.Printf("graph capacity:     %d clusters of this size\n", mqopt.ClusterCapacity(t, plans))
 		did = true
 	}
 	if !did {

@@ -11,12 +11,9 @@ package main
 import (
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
 
-	"repro/internal/chimera"
-	"repro/internal/core"
-	"repro/internal/mqo"
+	"repro/mqopt"
 )
 
 func main() {
@@ -34,19 +31,17 @@ func main() {
 }
 
 func run(queries, plans int, seed int64, embeddable bool, broken int) error {
-	rng := rand.New(rand.NewSource(seed))
-	class := mqo.Class{Queries: queries, PlansPerQuery: plans}
-	cfg := mqo.DefaultGeneratorConfig()
-	var p *mqo.Problem
+	class := mqopt.Class{Queries: queries, PlansPerQuery: plans}
+	cfg := mqopt.DefaultGeneratorConfig()
+	var p *mqopt.Problem
 	if embeddable {
-		g := chimera.DWave2X(broken, seed)
 		var err error
-		p, err = core.GenerateEmbeddable(rng, g, class, cfg)
+		p, err = mqopt.GenerateEmbeddable(seed, mqopt.DWave2X(broken, seed), class, cfg)
 		if err != nil {
 			return err
 		}
 	} else {
-		p = mqo.Generate(rng, class, cfg)
+		p = mqopt.Generate(seed, class, cfg)
 	}
 	return p.Write(os.Stdout)
 }

@@ -1,42 +1,52 @@
 // Command mqo-solve optimizes one MQO instance, read as JSON from a file
-// or stdin, with any of the implemented solvers.
+// or stdin, with any solver registered in the mqopt solver registry.
 //
 // Usage:
 //
 //	mqo-gen -queries 50 -plans 3 | mqo-solve -solver qa
 //	mqo-solve -in instance.json -solver lin-mqo -budget 10s
+//	mqo-solve -list-solvers
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/decompose"
-	"repro/internal/mqo"
-	"repro/internal/solvers"
-	"repro/internal/trace"
+	"repro/mqopt"
+	"repro/mqopt/solverreg"
 )
 
 func main() {
 	in := flag.String("in", "-", "input file (JSON; - for stdin)")
-	solverName := flag.String("solver", "qa", "qa|qa-series|lin-mqo|lin-qub|climb|ga50|ga200|greedy")
+	solverName := flag.String("solver", "qa", "registered solver name (see -list-solvers)")
 	budget := flag.Duration("budget", 2*time.Second, "optimization budget (modeled time for qa)")
 	seed := flag.Int64("seed", 1, "random seed")
 	verbose := flag.Bool("v", false, "print the anytime trace")
+	listSolvers := flag.Bool("list-solvers", false, "list registered solvers and exit")
 	flag.Parse()
 
-	if err := run(*in, *solverName, *budget, *seed, *verbose); err != nil {
+	if *listSolvers {
+		fmt.Println(strings.Join(solverreg.Names(), "\n"))
+		return
+	}
+
+	// Interrupt cancels the solve; anytime backends stop at the next
+	// iteration of their budget loop.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	if err := run(ctx, *in, *solverName, *budget, *seed, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "mqo-solve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, solverName string, budget time.Duration, seed int64, verbose bool) error {
+func run(ctx context.Context, in, solverName string, budget time.Duration, seed int64, verbose bool) error {
 	r := os.Stdin
 	if in != "-" {
 		f, err := os.Open(in)
@@ -46,65 +56,43 @@ func run(in, solverName string, budget time.Duration, seed int64, verbose bool) 
 		defer f.Close()
 		r = f
 	}
-	p, err := mqo.Read(r)
+	p, err := mqopt.ReadProblem(r)
 	if err != nil {
 		return fmt.Errorf("reading instance: %w", err)
 	}
 
-	if strings.EqualFold(solverName, "qa-series") {
-		// The decomposition path (paper future work): a series of
-		// annealer-sized QUBO problems for instances of arbitrary size.
-		res, err := decompose.Solve(p, decompose.Options{}, rand.New(rand.NewSource(seed)))
-		if err != nil {
+	res, err := solverreg.Solve(ctx, solverName, p,
+		mqopt.WithBudget(budget),
+		mqopt.WithSeed(seed))
+	if err != nil {
+		// A cancelled anytime solve still hands back its best incumbent;
+		// print it instead of discarding minutes of progress.
+		if res == nil || ctx.Err() == nil {
 			return err
 		}
-		fmt.Printf("solver: QA-SERIES (%d windows, %d sweeps)\ncost: %g\n",
-			res.Windows, res.Sweeps, res.Cost)
-		return nil
+		fmt.Fprintf(os.Stderr, "mqo-solve: %v; reporting the best incumbent found\n", err)
 	}
 
-	var solver solvers.Solver
-	switch strings.ToLower(solverName) {
-	case "qa":
-		solver = &core.QASolver{}
-	case "lin-mqo":
-		solver = &solvers.BranchAndBound{}
-	case "lin-qub":
-		solver = solvers.QUBOBranchAndBound{}
-	case "climb":
-		solver = solvers.HillClimb{}
-	case "ga50":
-		solver = solvers.NewGenetic(50)
-	case "ga200":
-		solver = solvers.NewGenetic(200)
-	case "greedy":
-		solver = solvers.Greedy{}
-	default:
-		return fmt.Errorf("unknown solver %q", solverName)
+	fmt.Printf("solver: %s\ncost: %g\n", res.Solver, res.Cost)
+	if d := res.Decomposition; d != nil {
+		fmt.Printf("windows: %d\nsweeps: %d\n", d.Windows, d.Sweeps)
 	}
-
-	var tr trace.Trace
-	sol := solver.Solve(p, budget, rand.New(rand.NewSource(seed)), &tr)
-	if sol == nil || !p.Valid(sol) {
-		return fmt.Errorf("%s produced no valid solution (instance may exceed the annealer)", solver.Name())
-	}
-	cost, err := p.Cost(sol)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("solver: %s\ncost: %g\n", solver.Name(), cost)
 	fmt.Printf("plans:")
-	for q, pl := range sol {
+	for q, pl := range res.Solution {
 		if q > 0 && q%16 == 0 {
 			fmt.Printf("\n      ")
 		}
 		fmt.Printf(" %d", pl)
 	}
 	fmt.Println()
+	if a := res.Annealer; a != nil && verbose {
+		fmt.Printf("qubits: %d (%.2f per variable), %d runs, %.1f%% broken chains\n",
+			a.QubitsUsed, a.QubitsPerVariable, a.Runs, 100*a.BrokenChainRate)
+	}
 	if verbose {
 		fmt.Println("trace:")
-		for _, pt := range tr.Points() {
-			fmt.Printf("  %12v  %g\n", pt.T, pt.Cost)
+		for _, in := range res.Incumbents {
+			fmt.Printf("  %12v  %g\n", in.Elapsed, in.Cost)
 		}
 	}
 	return nil

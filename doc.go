@@ -4,5 +4,19 @@
 // mapping (TRIAD and clustered embedding patterns with Choi chain
 // strengths), a simulated D-Wave 2X device, the classical baselines of
 // the paper's evaluation, and a harness regenerating every table and
-// figure. See README.md and DESIGN.md for the system inventory.
+// figure.
+//
+// The supported API surface is the public facade:
+//
+//   - repro/mqopt — problem construction, validation, generation, and
+//     the context-aware Solver interface with functional options and
+//     streaming anytime results;
+//   - repro/mqopt/solverreg — the name→factory solver registry through
+//     which backends self-register and callers dispatch by name;
+//   - repro/mqopt/bench — the experiment harness regenerating the
+//     paper's tables and figures.
+//
+// Packages under internal/ are implementation detail and may change
+// without notice. See README.md for a quickstart and DESIGN.md for the
+// mapping from packages to paper sections.
 package repro

@@ -3,6 +3,8 @@
 // Given an annealer generation (qubit count and fault rate), report which
 // MQO batch shapes fit: the maximal number of queries per plans-per-query,
 // the embedding overhead, and whether a concrete target workload fits.
+// All topology and embedding questions go through the public mqopt
+// facade.
 //
 //	go run ./examples/capacityplanner -target-queries 300 -target-plans 3
 package main
@@ -12,8 +14,7 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/chimera"
-	"repro/internal/embedding"
+	"repro/mqopt"
 )
 
 func main() {
@@ -24,24 +25,24 @@ func main() {
 	targetPlans := flag.Int("target-plans", 2, "plans per query of the target workload")
 	flag.Parse()
 
-	g := chimera.NewGraph(*rows, *cols)
+	t := mqopt.NewTopology(*rows, *cols)
 	if *broken > 0 {
-		g = faulty(*rows, *cols, *broken)
+		t = faulty(*rows, *cols, *broken)
 	}
 	fmt.Printf("annealer: %d×%d cells, %d qubits (%d working)\n\n",
-		*rows, *cols, g.NumQubits(), g.NumWorkingQubits())
+		*rows, *cols, t.NumQubits(), t.NumWorkingQubits())
 
 	fmt.Printf("%-14s %14s %18s\n", "plans/query", "max queries", "qubits/variable")
 	for l := 2; l <= 8; l++ {
-		capacity := embedding.Capacity(g, l)
+		capacity := mqopt.ClusterCapacity(t, l)
 		qpv := "-"
 		if capacity > 0 {
 			sizes := make([]int, capacity)
 			for i := range sizes {
 				sizes[i] = l
 			}
-			if emb, err := embedding.Clustered(g, sizes); err == nil {
-				qpv = fmt.Sprintf("%.2f", emb.QubitsPerVariable())
+			if rep, err := mqopt.ClusteredReport(t, sizes); err == nil {
+				qpv = fmt.Sprintf("%.2f", rep.QubitsPerVariable)
 			}
 		}
 		fmt.Printf("%-14d %14d %18s\n", l, capacity, qpv)
@@ -53,7 +54,7 @@ func main() {
 		for i := range sizes {
 			sizes[i] = *targetPlans
 		}
-		if _, err := embedding.Clustered(g, sizes); err != nil {
+		if _, err := mqopt.ClusteredReport(t, sizes); err != nil {
 			fmt.Printf("target %d queries × %d plans: DOES NOT FIT (%v)\n",
 				*targetQueries, *targetPlans, err)
 			os.Exit(1)
@@ -62,20 +63,19 @@ func main() {
 	}
 }
 
-func faulty(rows, cols, broken int) *chimera.Graph {
-	g := chimera.NewGraph(rows, cols)
+func faulty(rows, cols, broken int) *mqopt.Topology {
+	t := mqopt.NewTopology(rows, cols)
 	// Deterministic fault pattern: spread over the matrix like DWave2X.
-	full := chimera.DWave2X(broken, 42)
 	if rows == 12 && cols == 12 {
-		return full
+		return mqopt.DWave2X(broken, 42)
 	}
 	// For non-2X sizes, break every k-th qubit.
-	step := g.NumQubits() / broken
+	step := t.NumQubits() / broken
 	if step < 1 {
 		step = 1
 	}
-	for q, n := 0, 0; q < g.NumQubits() && n < broken; q, n = q+step, n+1 {
-		g.BreakQubit(q)
+	for q, n := 0, 0; q < t.NumQubits() && n < broken; q, n = q+step, n+1 {
+		t.BreakQubit(q)
 	}
-	return g
+	return t
 }

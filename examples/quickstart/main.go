@@ -1,5 +1,6 @@
 // Quickstart: build a tiny multiple-query-optimization instance by hand
-// and solve it on the simulated quantum annealer via Algorithm 1.
+// and solve it on the simulated quantum annealer through the public
+// mqopt facade.
 //
 // The instance is Example 1 from the paper: two queries with two plans
 // each, where the expensive plans of both queries can share an
@@ -10,21 +11,21 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
-	"math/rand"
 
-	"repro/internal/core"
-	"repro/internal/mqo"
+	"repro/mqopt"
+	"repro/mqopt/solverreg"
 )
 
 func main() {
 	// Plans are numbered globally: query 0 owns plans 0 and 1, query 1
 	// owns plans 2 and 3. Costs follow Example 1 of the paper.
-	problem, err := mqo.New(
+	problem, err := mqopt.NewProblem(
 		[][]int{{0, 1}, {2, 3}},
 		[]float64{2, 4, 3, 1},
-		[]mqo.Saving{{P1: 1, P2: 2, Value: 5}},
+		[]mqopt.Saving{{P1: 1, P2: 2, Value: 5}},
 	)
 	if err != nil {
 		log.Fatal(err)
@@ -32,8 +33,9 @@ func main() {
 
 	// Solve on the simulated D-Wave 2X with the default setup: logical
 	// mapping → clustered/TRIAD embedding → 1000 annealing runs in
-	// batches of 100 per gauge transformation → chain read-out.
-	result, err := core.QuantumMQO(problem, core.Options{}, rand.New(rand.NewSource(1)))
+	// batches of 100 per gauge transformation → chain read-out. The
+	// registry resolves "qa" to the annealer pipeline.
+	result, err := solverreg.Solve(context.Background(), "qa", problem, mqopt.WithSeed(1))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -41,10 +43,13 @@ func main() {
 	fmt.Printf("best plan selection: %v\n", result.Solution)
 	fmt.Printf("execution cost:      %g\n", result.Cost)
 	fmt.Printf("qubits used:         %d (%.2f per plan variable)\n",
-		result.QubitsUsed, result.QubitsPerVariable)
-	fmt.Printf("annealing runs:      %d (first improvement after %v of modeled device time)\n",
-		result.Runs, result.Trace.Points()[0].T)
-	fmt.Printf("preprocessing:       %v (logical + physical mapping)\n", result.PreprocessTime)
+		result.Annealer.QubitsUsed, result.Annealer.QubitsPerVariable)
+	if first, ok := result.FirstIncumbent(); ok {
+		fmt.Printf("annealing runs:      %d (first improvement after %v of modeled device time)\n",
+			result.Annealer.Runs, first.Elapsed)
+	}
+	fmt.Printf("preprocessing:       %v (logical + physical mapping)\n",
+		result.Annealer.PreprocessTime)
 
 	if result.Cost == 2 {
 		fmt.Println("→ found the optimum: share the intermediate result between p2 and p3")

@@ -8,25 +8,25 @@
 // dashboard queries can share most of the scan). The right choice flips
 // with the sharing opportunity, which is exactly the trade-off MQO
 // optimizes. The example compares the simulated quantum annealer against
-// the exact branch-and-bound baseline and the greedy heuristic.
+// the exact branch-and-bound baseline and the greedy heuristic, all
+// resolved by name from the mqopt solver registry.
 //
 //	go run ./examples/sharedscans
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/mqo"
-	"repro/internal/solvers"
-	"repro/internal/trace"
+	"repro/mqopt"
+	"repro/mqopt/solverreg"
 )
 
 func main() {
-		// 20 queries × 2 plans = 40 logical variables: scan-to-scan sharing
+	// 20 queries × 2 plans = 40 logical variables: scan-to-scan sharing
 	// links are arbitrary pairs, which the clustered pattern cannot
 	// realize, so the pipeline falls back to a 40-chain TRIAD — the
 	// general pattern supporting any QUBO — which still fits the 12×12
@@ -44,15 +44,15 @@ func main() {
 	}
 	// Consecutive dashboard queries share the scan: picking both scan
 	// plans saves most of the second scan.
-	var savings []mqo.Saving
+	var savings []mqopt.Saving
 	for q := 0; q+1 < queries; q++ {
-		savings = append(savings, mqo.Saving{
+		savings = append(savings, mqopt.Saving{
 			P1:    2*q + 1,
 			P2:    2*(q+1) + 1,
 			Value: 10 + float64(rng.Intn(3)),
 		})
 	}
-	problem, err := mqo.New(queryPlans, costs, savings)
+	problem, err := mqopt.NewProblem(queryPlans, costs, savings)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -64,20 +64,26 @@ func main() {
 	fmt.Printf("workload: %d reporting queries, index vs. shared-scan plans\n", queries)
 	fmt.Printf("exact optimum: %g\n\n", optimum)
 
-	qa := &core.QASolver{}
-	baselines := []solvers.Solver{&solvers.BranchAndBound{}, solvers.Greedy{}, solvers.HillClimb{}}
-
-	var tr trace.Trace
-	sol := qa.Solve(problem, 376*time.Millisecond /* 1000 runs of modeled time */, rng, &tr)
-	report(problem, qa.Name(), sol, optimum, "modeled "+firstImprovement(&tr))
-	for _, s := range baselines {
-		var tr trace.Trace
-		sol := s.Solve(problem, 500*time.Millisecond, rng, &tr)
-		report(problem, s.Name(), sol, optimum, firstImprovement(&tr))
+	ctx := context.Background()
+	qa, err := solverreg.Solve(ctx, "qa", problem,
+		mqopt.WithBudget(mqopt.ModeledAnnealingBudget(1000)),
+		mqopt.WithSeed(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	report(qa, optimum, "modeled ")
+	for _, name := range []string{"lin-mqo", "greedy", "climb"} {
+		res, err := solverreg.Solve(ctx, name, problem,
+			mqopt.WithBudget(500*time.Millisecond),
+			mqopt.WithSeed(7))
+		if err != nil {
+			log.Fatal(err)
+		}
+		report(res, optimum, "")
 	}
 	scans := 0
 	for q := 0; q < queries; q++ {
-		if sol[q] == 2*q+1 {
+		if qa.Solution[q] == 2*q+1 {
 			scans++
 		}
 	}
@@ -85,18 +91,11 @@ func main() {
 		scans, queries)
 }
 
-func report(p *mqo.Problem, name string, sol mqo.Solution, optimum float64, firstAt string) {
-	cost, err := p.Cost(sol)
-	if err != nil {
-		log.Fatalf("%s: invalid solution: %v", name, err)
+func report(res *mqopt.Result, optimum float64, clockKind string) {
+	firstAt := "n/a"
+	if first, ok := res.FirstIncumbent(); ok {
+		firstAt = clockKind + first.Elapsed.String()
 	}
 	fmt.Printf("%-10s cost %8g  (+%5.2f%% over optimum, first solution after %s)\n",
-		name, cost, 100*(cost-optimum)/optimum, firstAt)
-}
-
-func firstImprovement(tr *trace.Trace) string {
-	if tr.Len() == 0 {
-		return "n/a"
-	}
-	return tr.Points()[0].T.String()
+		res.Solver, res.Cost, 100*(res.Cost-optimum)/optimum, firstAt)
 }

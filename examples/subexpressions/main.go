@@ -12,17 +12,20 @@
 // either run standalone or consume a shared pre-aggregated intermediate.
 // Materializing costs extra once, but pays off across consumers — the
 // optimizer must decide both whether to materialize and who consumes.
+// Everything runs through the public mqopt facade; the streaming
+// WithOnImprovement option prints each incumbent as the annealer finds
+// it.
 //
 //	go run ./examples/subexpressions
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
-	"math/rand"
 
-	"repro/internal/core"
-	"repro/internal/mqo"
+	"repro/mqopt"
+	"repro/mqopt/solverreg"
 )
 
 func main() {
@@ -32,7 +35,7 @@ func main() {
 	// (cost 18), plan 1 skips it (cost 0 — intermediates are optional).
 	queryPlans := [][]int{{0, 1}}
 	costs := []float64{18, 0}
-	var savings []mqo.Saving
+	var savings []mqopt.Saving
 
 	// Queries 1..consumers: each report query has a standalone plan and a
 	// consume plan. The consume plan is priced as if it had to build the
@@ -43,14 +46,18 @@ func main() {
 		consume := standalone + 1
 		queryPlans = append(queryPlans, []int{standalone, consume})
 		costs = append(costs, 20, 24)
-		savings = append(savings, mqo.Saving{P1: 0, P2: consume, Value: 16})
+		savings = append(savings, mqopt.Saving{P1: 0, P2: consume, Value: 16})
 	}
-	problem, err := mqo.New(queryPlans, costs, savings)
+	problem, err := mqopt.NewProblem(queryPlans, costs, savings)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	result, err := core.QuantumMQO(problem, core.Options{}, rand.New(rand.NewSource(3)))
+	result, err := solverreg.Solve(context.Background(), "qa", problem,
+		mqopt.WithSeed(3),
+		mqopt.WithOnImprovement(func(in mqopt.Incumbent) {
+			fmt.Printf("  incumbent: cost %g after %v of device time\n", in.Cost, in.Elapsed)
+		}))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -70,7 +77,7 @@ func main() {
 	fmt.Printf("consumers using it:        %d/%d\n", consumed, consumers)
 	fmt.Printf("total cost:                %g (optimum %g)\n", result.Cost, optimum)
 	fmt.Printf("embedding:                 %d qubits, TRIAD fallback: %v\n",
-		result.QubitsUsed, result.UsedTriadFallback)
+		result.Annealer.QubitsUsed, result.Annealer.UsedTriadFallback)
 
 	// Economics: standalone everyone = 6×20 = 120. Materialize + all
 	// consume = 18 + 6×24 − 6×16 = 66.

@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -46,7 +47,7 @@ func TestEndToEndAllSolversAgreeOnOptimum(t *testing.T) {
 	}
 
 	// Quantum pipeline.
-	res, err := core.QuantumMQO(p, core.Options{Runs: 300, Graph: g}, rng)
+	res, err := core.QuantumMQO(context.Background(), p, core.Options{Runs: 300, Graph: g}, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +59,7 @@ func TestEndToEndAllSolversAgreeOnOptimum(t *testing.T) {
 	// only gets a quality tolerance here.
 	{
 		var tr trace.Trace
-		sol := (&solvers.BranchAndBound{}).Solve(p, 10*time.Second, rand.New(rand.NewSource(1)), &tr)
+		sol := (&solvers.BranchAndBound{}).Solve(context.Background(), p, 10*time.Second, rand.New(rand.NewSource(1)), &tr)
 		cost, err := p.Cost(sol)
 		if err != nil {
 			t.Fatal(err)
@@ -67,7 +68,7 @@ func TestEndToEndAllSolversAgreeOnOptimum(t *testing.T) {
 	}
 	{
 		var tr trace.Trace
-		sol := solvers.QUBOBranchAndBound{}.Solve(p, 3*time.Second, rand.New(rand.NewSource(1)), &tr)
+		sol := solvers.QUBOBranchAndBound{}.Solve(context.Background(), p, 3*time.Second, rand.New(rand.NewSource(1)), &tr)
 		cost, err := p.Cost(sol)
 		if err != nil {
 			t.Fatal(err)
@@ -86,7 +87,7 @@ func TestEndToEndAllSolversAgreeOnOptimum(t *testing.T) {
 	// Heuristics get a small tolerance.
 	for _, s := range []solvers.Solver{solvers.NewGenetic(50), solvers.HillClimb{}} {
 		var tr trace.Trace
-		sol := s.Solve(p, 300*time.Millisecond, rand.New(rand.NewSource(2)), &tr)
+		sol := s.Solve(context.Background(), p, 300*time.Millisecond, rand.New(rand.NewSource(2)), &tr)
 		cost, err := p.Cost(sol)
 		if err != nil {
 			t.Fatalf("%s: %v", s.Name(), err)
@@ -107,7 +108,7 @@ func TestEndToEndPhysicalEnergyAccounting(t *testing.T) {
 		t.Fatal(err)
 	}
 	mapping := logical.Map(p)
-	emb, fallback, err := core.EmbedProblem(g, p, mapping)
+	emb, fallback, err := core.EmbedProblem(g, p, mapping, core.PatternAuto)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +150,7 @@ func TestEndToEndFaultyHardware(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := core.QuantumMQO(p, core.Options{Runs: 100, Graph: g}, rng)
+	res, err := core.QuantumMQO(context.Background(), p, core.Options{Runs: 100, Graph: g}, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,11 +177,11 @@ func TestAblationPostprocess(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	with, err := core.QuantumMQO(p, core.Options{Runs: 60, Graph: g}, rand.New(rand.NewSource(1)))
+	with, err := core.QuantumMQO(context.Background(), p, core.Options{Runs: 60, Graph: g}, rand.New(rand.NewSource(1)))
 	if err != nil {
 		t.Fatal(err)
 	}
-	without, err := core.QuantumMQO(p, core.Options{Runs: 60, Graph: g, DisablePostprocess: true},
+	without, err := core.QuantumMQO(context.Background(), p, core.Options{Runs: 60, Graph: g, DisablePostprocess: true},
 		rand.New(rand.NewSource(1)))
 	if err != nil {
 		t.Fatal(err)
@@ -201,7 +202,7 @@ func TestAblationUniformChainStrength(t *testing.T) {
 		[]float64{2, 4, 3, 1},
 		[]mqo.Saving{{P1: 1, P2: 2, Value: 5}},
 	)
-	res, err := core.QuantumMQO(p, core.Options{Runs: 100, UniformChainStrength: 50},
+	res, err := core.QuantumMQO(context.Background(), p, core.Options{Runs: 100, UniformChainStrength: 50},
 		rand.New(rand.NewSource(1)))
 	if err != nil {
 		t.Fatal(err)
@@ -218,7 +219,7 @@ func TestAblationGaugesOff(t *testing.T) {
 		[]float64{2, 4, 3, 1},
 		[]mqo.Saving{{P1: 1, P2: 2, Value: 5}},
 	)
-	res, err := core.QuantumMQO(p, core.Options{Runs: 100, DisableGauges: true},
+	res, err := core.QuantumMQO(context.Background(), p, core.Options{Runs: 100, DisableGauges: true},
 		rand.New(rand.NewSource(1)))
 	if err != nil {
 		t.Fatal(err)
@@ -240,7 +241,7 @@ func TestBranchAndBoundPolishAblation(t *testing.T) {
 	for _, disable := range []bool{false, true} {
 		s := &solvers.BranchAndBound{DisablePolish: disable}
 		var tr trace.Trace
-		sol := s.Solve(p, 5*time.Second, rand.New(rand.NewSource(1)), &tr)
+		sol := s.Solve(context.Background(), p, 5*time.Second, rand.New(rand.NewSource(1)), &tr)
 		cost, err := p.Cost(sol)
 		if err != nil {
 			t.Fatal(err)

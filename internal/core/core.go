@@ -13,6 +13,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -25,6 +26,19 @@ import (
 	"repro/internal/logical"
 	"repro/internal/mqo"
 	"repro/internal/trace"
+)
+
+// Pattern selects the physical mapping strategy.
+type Pattern string
+
+const (
+	// PatternAuto tries the clustered pattern and falls back to TRIAD.
+	PatternAuto Pattern = ""
+	// PatternClustered forces the clustered pattern (Figure 3) and fails
+	// when it cannot realize every coupling of the logical formula.
+	PatternClustered Pattern = "clustered"
+	// PatternTriad forces the general TRIAD pattern (Figure 2).
+	PatternTriad Pattern = "triad"
 )
 
 // Options configure the QuantumMQO pipeline. The zero value selects the
@@ -52,6 +66,12 @@ type Options struct {
 	// bound with a single global chain strength (chain-strength
 	// ablation).
 	UniformChainStrength float64
+	// Pattern selects the embedding pattern; PatternAuto prefers the
+	// clustered pattern and falls back to TRIAD.
+	Pattern Pattern
+	// OnImprovement, if non-nil, observes every incumbent improvement as
+	// it is recorded into the result trace, in nonincreasing cost order.
+	OnImprovement func(trace.Point)
 }
 
 func (o Options) withDefaults() Options {
@@ -97,13 +117,22 @@ type Result struct {
 	UsedTriadFallback bool
 }
 
-// QuantumMQO solves an MQO problem on the simulated annealer.
-func QuantumMQO(p *mqo.Problem, opt Options, rng *rand.Rand) (*Result, error) {
+// QuantumMQO solves an MQO problem on the simulated annealer. It checks
+// ctx between annealing runs: a cancelled context aborts the remaining
+// runs, returning the partial result when at least one run decoded (with
+// a nil error) and (nil, ctx.Err()) otherwise.
+func QuantumMQO(ctx context.Context, p *mqo.Problem, opt Options, rng *rand.Rand) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	opt = opt.withDefaults()
 	prepStart := time.Now()
 
 	mapping := logical.Map(p)
-	emb, fallback, err := EmbedProblem(opt.Graph, p, mapping)
+	emb, fallback, err := EmbedProblem(opt.Graph, p, mapping, opt.Pattern)
 	if err != nil {
 		return nil, err
 	}
@@ -126,12 +155,17 @@ func QuantumMQO(p *mqo.Problem, opt Options, rng *rand.Rand) (*Result, error) {
 		Runs:              opt.Runs,
 		UsedTriadFallback: fallback,
 	}
+	if opt.OnImprovement != nil {
+		res.Trace.Observe(opt.OnImprovement)
+	}
 	device := dwave.NewDWave2X(opt.Sampler)
 	device.DisableGauges = opt.DisableGauges
 	broken := 0
 	bestCost := 0.0
 	haveBest := false
-	device.SampleIsing(isingProblem, opt.Runs, rng, func(s dwave.Sample) {
+	performed := 0
+	device.SampleIsing(isingProblem, opt.Runs, rng, func(s dwave.Sample) bool {
+		performed++
 		bits := ising.SpinsToBits(s.Spins)
 		logicalBits := phys.Unembed(bits)
 		if phys.BrokenChains(bits) > 0 {
@@ -157,7 +191,7 @@ func QuantumMQO(p *mqo.Problem, opt Options, rng *rand.Rand) (*Result, error) {
 		}
 		cost, err := p.Cost(sol)
 		if err != nil {
-			return // repair failed; skip the read-out
+			return ctx.Err() == nil // repair failed; skip the read-out
 		}
 		res.Trace.Record(s.Elapsed, cost)
 		if !haveBest || cost < bestCost {
@@ -166,11 +200,16 @@ func QuantumMQO(p *mqo.Problem, opt Options, rng *rand.Rand) (*Result, error) {
 			res.Cost = cost
 			haveBest = true
 		}
+		return ctx.Err() == nil
 	})
 	if !haveBest {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		return nil, fmt.Errorf("core: no annealing run produced a decodable solution")
 	}
-	res.BrokenChainRate = float64(broken) / float64(opt.Runs)
+	res.Runs = performed
+	res.BrokenChainRate = float64(broken) / float64(performed)
 	return res, nil
 }
 
@@ -227,15 +266,25 @@ func swapDescent(p *mqo.Problem, sol mqo.Solution) {
 	}
 }
 
-// EmbedProblem chooses the physical mapping for an MQO instance: the
-// clustered pattern (Figure 3) when it realizes every coupling of the
-// logical formula, otherwise the general TRIAD pattern (Figure 2), which
-// supports arbitrary QUBO problems at a quadratic qubit cost. The
-// returned embedding indexes chains by plan id.
-func EmbedProblem(g *chimera.Graph, p *mqo.Problem, mapping *logical.Mapping) (*embedding.Embedding, bool, error) {
-	if emb, err := clusteredByPlan(g, p); err == nil {
-		if mapping.QUBO.N() == emb.NumVariables() && emb.Validate(mapping.QUBO) == nil {
-			return emb, false, nil
+// EmbedProblem chooses the physical mapping for an MQO instance according
+// to pattern. With PatternAuto it uses the clustered pattern (Figure 3)
+// when it realizes every coupling of the logical formula, otherwise the
+// general TRIAD pattern (Figure 2), which supports arbitrary QUBO problems
+// at a quadratic qubit cost. PatternClustered and PatternTriad force one
+// strategy and fail when it cannot realize the instance. The returned
+// embedding indexes chains by plan id; the bool reports whether TRIAD was
+// chosen as a fallback from the clustered pattern.
+func EmbedProblem(g *chimera.Graph, p *mqo.Problem, mapping *logical.Mapping, pattern Pattern) (*embedding.Embedding, bool, error) {
+	if pattern == PatternAuto || pattern == PatternClustered {
+		if emb, err := clusteredByPlan(g, p); err == nil {
+			if mapping.QUBO.N() == emb.NumVariables() && emb.Validate(mapping.QUBO) == nil {
+				return emb, false, nil
+			}
+		} else if pattern == PatternClustered {
+			return nil, false, fmt.Errorf("core: clustered pattern cannot realize the instance: %w", err)
+		}
+		if pattern == PatternClustered {
+			return nil, false, fmt.Errorf("core: clustered pattern cannot realize every coupling of the instance")
 		}
 	}
 	emb, err := embedding.Triad(g, p.NumPlans())
@@ -245,7 +294,7 @@ func EmbedProblem(g *chimera.Graph, p *mqo.Problem, mapping *logical.Mapping) (*
 	if err := emb.Validate(mapping.QUBO); err != nil {
 		return nil, false, err
 	}
-	return emb, true, nil
+	return emb, pattern == PatternAuto, nil
 }
 
 // clusteredByPlan builds the clustered embedding and permutes its chains

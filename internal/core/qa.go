@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"time"
 
@@ -27,20 +28,30 @@ type QASolver struct {
 // Name implements solvers.Solver.
 func (q *QASolver) Name() string { return "QA" }
 
-// Solve implements solvers.Solver.
-func (q *QASolver) Solve(p *mqo.Problem, budget time.Duration, rng *rand.Rand, tr *trace.Trace) mqo.Solution {
-	opt := q.Opt.withDefaults()
-	perSample := dwave.PaperAnnealTime + dwave.PaperReadoutTime
-	runs := int(budget / perSample)
+// RunsForBudget converts a modeled-time budget into an annealing run
+// count: one run per 376 µs (anneal + read-out), at least one, capped at
+// limit (non-positive limit selects the paper's 1000-run protocol). It is
+// the single budget-to-runs policy shared by every annealer entry point.
+func RunsForBudget(budget time.Duration, limit int) int {
+	if limit <= 0 {
+		limit = dwave.PaperTotalRuns
+	}
+	runs := int(budget / (dwave.PaperAnnealTime + dwave.PaperReadoutTime))
 	if runs < 1 {
 		runs = 1
 	}
-	if runs > opt.Runs {
-		runs = opt.Runs
+	if runs > limit {
+		runs = limit
 	}
-	opt.Runs = runs
-	res, err := QuantumMQO(p, opt, rng)
-	if err != nil {
+	return runs
+}
+
+// Solve implements solvers.Solver.
+func (q *QASolver) Solve(ctx context.Context, p *mqo.Problem, budget time.Duration, rng *rand.Rand, tr *trace.Trace) mqo.Solution {
+	opt := q.Opt.withDefaults()
+	opt.Runs = RunsForBudget(budget, opt.Runs)
+	res, err := QuantumMQO(ctx, p, opt, rng)
+	if err != nil || res == nil {
 		// The instance does not fit the annealer: report nothing, like a
 		// hardware reject. Callers compare against an empty trace.
 		return nil

@@ -16,11 +16,15 @@
 package decompose
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/dwave"
 	"repro/internal/mqo"
+	"repro/internal/trace"
 )
 
 // Options configure the decomposition.
@@ -37,6 +41,11 @@ type Options struct {
 	MaxSweeps int
 	// Core configures the per-window annealer pipeline.
 	Core core.Options
+	// OnImprovement, if non-nil, observes the greedy starting incumbent
+	// and every accepted window improvement as they happen, in strictly
+	// decreasing cost order. Point times are cumulative modeled annealer
+	// time across all windows solved so far.
+	OnImprovement func(trace.Point)
 }
 
 // Result of a decomposed solve.
@@ -47,11 +56,24 @@ type Result struct {
 	Windows int
 	// Sweeps is the number of passes performed.
 	Sweeps int
+	// Runs is the total number of annealing runs across all windows.
+	Runs int
+	// ModeledTime is the modeled annealer time those runs consumed.
+	ModeledTime time.Duration
 }
 
 // Solve optimizes an MQO instance of arbitrary size through a series of
-// annealer-sized QUBO problems.
-func Solve(p *mqo.Problem, opt Options, rng *rand.Rand) (*Result, error) {
+// annealer-sized QUBO problems. It checks ctx between windows: a
+// cancelled context stops the sweep and the incumbent found so far is
+// returned together with ctx.Err() (the incumbent is always valid, since
+// sweeps start from the greedy solution).
+func Solve(ctx context.Context, p *mqo.Problem, opt Options, rng *rand.Rand) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	nq := p.NumQueries()
 	if nq == 0 {
 		return &Result{Solution: mqo.Solution{}}, nil
@@ -90,22 +112,33 @@ func Solve(p *mqo.Problem, opt Options, rng *rand.Rand) (*Result, error) {
 	sol := p.Repair(make(mqo.Solution, nq))
 	cost := p.CostOfSet(sol)
 	res := &Result{}
-	for sweep := 0; sweep < maxSweeps; sweep++ {
+	if opt.OnImprovement != nil {
+		opt.OnImprovement(trace.Point{T: 0, Cost: cost})
+	}
+	for sweep := 0; sweep < maxSweeps && ctx.Err() == nil; sweep++ {
 		res.Sweeps = sweep + 1
 		improvedSweep := false
 		starts := windowStarts(nq, window, step, sweep%2 == 1)
 		for _, a := range starts {
+			if ctx.Err() != nil {
+				break
+			}
 			b := a + window
 			if b > nq {
 				b = nq
 			}
-			improved, err := solveWindow(p, sol, a, b, opt.Core, rng)
+			improved, runs, err := solveWindow(ctx, p, sol, a, b, opt.Core, rng)
 			if err != nil {
 				return nil, err
 			}
 			res.Windows++
+			res.Runs += runs
+			res.ModeledTime += time.Duration(runs) * (dwave.PaperAnnealTime + dwave.PaperReadoutTime)
 			if improved {
 				improvedSweep = true
+				if opt.OnImprovement != nil {
+					opt.OnImprovement(trace.Point{T: res.ModeledTime, Cost: p.CostOfSet(sol)})
+				}
 			}
 		}
 		newCost := p.CostOfSet(sol)
@@ -119,6 +152,9 @@ func Solve(p *mqo.Problem, opt Options, rng *rand.Rand) (*Result, error) {
 	}
 	res.Solution = sol
 	res.Cost = cost
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
 	return res, nil
 }
 
@@ -144,7 +180,7 @@ func windowStarts(nq, window, step int, reverse bool) []int {
 // solveWindow extracts queries [a, b) into a sub-instance, folds savings
 // toward the frozen remainder into plan costs, solves it on the annealer,
 // and writes the window's selection back when it improves the incumbent.
-func solveWindow(p *mqo.Problem, sol mqo.Solution, a, b int, opt core.Options, rng *rand.Rand) (bool, error) {
+func solveWindow(ctx context.Context, p *mqo.Problem, sol mqo.Solution, a, b int, opt core.Options, rng *rand.Rand) (improved bool, runs int, err error) {
 	selected := make([]bool, p.NumPlans())
 	inWindow := make([]bool, p.NumPlans())
 	for q, pl := range sol {
@@ -202,11 +238,14 @@ func solveWindow(p *mqo.Problem, sol mqo.Solution, a, b int, opt core.Options, r
 	}
 	sub, err := mqo.New(subPlans, subCosts, subSavings)
 	if err != nil {
-		return false, fmt.Errorf("decompose: building window [%d,%d): %w", a, b, err)
+		return false, 0, fmt.Errorf("decompose: building window [%d,%d): %w", a, b, err)
 	}
-	subRes, err := core.QuantumMQO(sub, opt, rng)
+	subRes, err := core.QuantumMQO(ctx, sub, opt, rng)
 	if err != nil {
-		return false, fmt.Errorf("decompose: window [%d,%d): %w", a, b, err)
+		if ctx.Err() != nil {
+			return false, 0, nil // cancelled mid-window: keep the incumbent
+		}
+		return false, 0, fmt.Errorf("decompose: window [%d,%d): %w", a, b, err)
 	}
 	// Accept only improvements against the incumbent window assignment.
 	before := p.CostOfSet(sol)
@@ -217,7 +256,7 @@ func solveWindow(p *mqo.Problem, sol mqo.Solution, a, b int, opt core.Options, r
 	after := p.CostOfSet(candidate)
 	if after < before-1e-9 {
 		copy(sol, candidate)
-		return true, nil
+		return true, subRes.Runs, nil
 	}
-	return false, nil
+	return false, subRes.Runs, nil
 }

@@ -78,8 +78,10 @@ type Sample struct {
 // gauge transformation every RunsPerGauge runs ("a gauge transformation
 // selects for each qubit the physical state representing a one randomly").
 // The onSample callback, if non-nil, observes every read-out in order;
-// the best sample is returned.
-func (d *Device) SampleIsing(p *ising.Problem, runs int, rng *rand.Rand, onSample func(Sample)) Sample {
+// returning false aborts the remaining runs (the hook context-aware
+// callers use to cancel a batch mid-flight). The best sample seen is
+// returned.
+func (d *Device) SampleIsing(p *ising.Problem, runs int, rng *rand.Rand, onSample func(Sample) bool) Sample {
 	if runs <= 0 {
 		runs = PaperTotalRuns
 	}
@@ -102,14 +104,18 @@ func (d *Device) SampleIsing(p *ising.Problem, runs int, rng *rand.Rand, onSampl
 			orig := gauge.UndoSpins(spins)
 			elapsed += d.TimePerSample()
 			s := Sample{Spins: orig, Energy: original.Energy(orig), Elapsed: elapsed}
+			keepGoing := true
 			if onSample != nil {
-				onSample(s)
+				keepGoing = onSample(s)
 			}
 			if !haveBest || s.Energy < best.Energy {
 				best = s
 				haveBest = true
 			}
 			done++
+			if !keepGoing {
+				return best
+			}
 		}
 	}
 	return best

@@ -27,8 +27,9 @@ func TestTimingModel(t *testing.T) {
 	p := trivialProblem(4)
 	rng := rand.New(rand.NewSource(1))
 	var elapsed []time.Duration
-	d.SampleIsing(p, 5, rng, func(s Sample) {
+	d.SampleIsing(p, 5, rng, func(s Sample) bool {
 		elapsed = append(elapsed, s.Elapsed)
+		return true
 	})
 	if len(elapsed) != 5 {
 		t.Fatalf("observed %d samples, want 5", len(elapsed))
@@ -67,11 +68,12 @@ func TestGaugeBatching(t *testing.T) {
 	c := anneal.Compile(p)
 	rng := rand.New(rand.NewSource(3))
 	n := 0
-	d.SampleIsing(p, 5, rng, func(s Sample) {
+	d.SampleIsing(p, 5, rng, func(s Sample) bool {
 		n++
 		if math.Abs(c.Energy(s.Spins)-s.Energy) > 1e-9 {
 			t.Errorf("sample energy %v does not match spins (%v)", s.Energy, c.Energy(s.Spins))
 		}
+		return true
 	})
 	if n != 5 {
 		t.Errorf("callback saw %d samples, want 5", n)
@@ -90,7 +92,7 @@ func TestBestSampleIsMinimum(t *testing.T) {
 	}
 	p := ising.FromQUBO(q)
 	var seen []float64
-	best := d.SampleIsing(p, 30, rng, func(s Sample) { seen = append(seen, s.Energy) })
+	best := d.SampleIsing(p, 30, rng, func(s Sample) bool { seen = append(seen, s.Energy); return true })
 	for _, e := range seen {
 		if e < best.Energy-1e-12 {
 			t.Errorf("best %v not minimal (saw %v)", best.Energy, e)
@@ -102,8 +104,21 @@ func TestDefaultRunsApplied(t *testing.T) {
 	d := NewDWave2X(&anneal.SimulatedAnnealer{Sweeps: 1, BetaStart: 1, BetaEnd: 1})
 	p := trivialProblem(2)
 	n := 0
-	d.SampleIsing(p, 0, rand.New(rand.NewSource(5)), func(Sample) { n++ })
+	d.SampleIsing(p, 0, rand.New(rand.NewSource(5)), func(Sample) bool { n++; return true })
 	if n != PaperTotalRuns {
 		t.Errorf("default runs = %d, want %d", n, PaperTotalRuns)
+	}
+}
+
+func TestSampleIsingAbortsWhenCallbackReturnsFalse(t *testing.T) {
+	d := NewDWave2X(&anneal.SimulatedAnnealer{Sweeps: 1, BetaStart: 1, BetaEnd: 1})
+	p := trivialProblem(2)
+	n := 0
+	d.SampleIsing(p, 100, rand.New(rand.NewSource(6)), func(Sample) bool {
+		n++
+		return n < 7
+	})
+	if n != 7 {
+		t.Errorf("callback ran %d times after requesting abort at 7", n)
 	}
 }

@@ -118,10 +118,10 @@ func TestClusteredCapacityPaperScale(t *testing.T) {
 		capacity int
 		paper    int
 	}{
-		{2, 576, 537},  // 4 clusters per cell × 144 cells
-		{3, 288, 253},  // 2 per cell
-		{4, 144, 140},  // 1 per cell (6 of 8 qubits)
-		{5, 144, 108},  // 1 per cell (8 of 8 qubits)
+		{2, 576, 537}, // 4 clusters per cell × 144 cells
+		{3, 288, 253}, // 2 per cell
+		{4, 144, 140}, // 1 per cell (6 of 8 qubits)
+		{5, 144, 108}, // 1 per cell (8 of 8 qubits)
 	}
 	for _, c := range cases {
 		got := Capacity(g, c.l)

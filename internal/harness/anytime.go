@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"math"
 	"time"
 
@@ -29,8 +30,11 @@ type AnytimeResult struct {
 
 // RunAnytime executes the full solver set on every instance of class and
 // samples the anytime curves at the paper's checkpoints (truncated to the
-// configured budget).
-func (c Config) RunAnytime(class mqo.Class) (*AnytimeResult, error) {
+// configured budget). Cancelling ctx aborts the experiment with ctx.Err().
+func (c Config) RunAnytime(ctx context.Context, class mqo.Class) (*AnytimeResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	cfg := c.withDefaults()
 	instances, err := cfg.Generate(class)
 	if err != nil {
@@ -42,9 +46,17 @@ func (c Config) RunAnytime(class mqo.Class) (*AnytimeResult, error) {
 		MeanScaledCost: make(map[string][]float64),
 	}
 	for i, inst := range instances {
-		traces := cfg.runAll(inst, cfg.Seed*1000+int64(i))
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		traces := cfg.runAll(ctx, inst, cfg.Seed*1000+int64(i))
 		res.Traces = append(res.Traces, traces)
 		res.Optima = append(res.Optima, inst.Optimum)
+	}
+	// Cancellation during the last instance leaves truncated traces;
+	// surface it rather than averaging them into a bogus figure.
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	for _, name := range cfg.SolverNames() {
 		curve := make([]float64, len(res.Checkpoints))

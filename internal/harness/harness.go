@@ -13,6 +13,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -134,18 +135,19 @@ func (c Config) QASolver() *core.QASolver {
 }
 
 // runAll executes every solver on one instance, returning traces by
-// solver name.
-func (c Config) runAll(inst Instance, seed int64) map[string]*trace.Trace {
+// solver name. Cancelling ctx stops the remaining solvers promptly;
+// already-collected traces are returned as-is.
+func (c Config) runAll(ctx context.Context, inst Instance, seed int64) map[string]*trace.Trace {
 	cfg := c.withDefaults()
 	traces := make(map[string]*trace.Trace)
 	qa := cfg.QASolver()
 	qaBudget := time.Duration(cfg.QARuns) * 376 * time.Microsecond
 	tr := &trace.Trace{}
-	qa.Solve(inst.Problem, qaBudget, rand.New(rand.NewSource(seed)), tr)
+	qa.Solve(ctx, inst.Problem, qaBudget, rand.New(rand.NewSource(seed)), tr)
 	traces[qa.Name()] = tr
 	for i, s := range cfg.ClassicalSolvers() {
 		tr := &trace.Trace{}
-		s.Solve(inst.Problem, cfg.Budget, rand.New(rand.NewSource(seed+int64(i)+1)), tr)
+		s.Solve(ctx, inst.Problem, cfg.Budget, rand.New(rand.NewSource(seed+int64(i)+1)), tr)
 		traces[s.Name()] = tr
 	}
 	return traces

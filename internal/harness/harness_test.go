@@ -2,6 +2,7 @@ package harness
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -42,7 +43,7 @@ func TestGenerateProducesSolvableInstances(t *testing.T) {
 func TestRunAnytimeSmallClass(t *testing.T) {
 	cfg := quickConfig()
 	class := mqo.Class{Queries: 25, PlansPerQuery: 2}
-	res, err := cfg.RunAnytime(class)
+	res, err := cfg.RunAnytime(context.Background(), class)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +85,7 @@ func TestRunAnytimeSmallClass(t *testing.T) {
 
 func TestRunTable1(t *testing.T) {
 	cfg := quickConfig()
-	rows, err := cfg.RunTable1([]mqo.Class{
+	rows, err := cfg.RunTable1(context.Background(), []mqo.Class{
 		{Queries: 15, PlansPerQuery: 2},
 		{Queries: 10, PlansPerQuery: 3},
 	})
@@ -113,7 +114,7 @@ func TestRunFig6(t *testing.T) {
 		{Queries: 20, PlansPerQuery: 2},
 		{Queries: 12, PlansPerQuery: 3},
 	} {
-		r, err := cfg.RunAnytime(class)
+		r, err := cfg.RunAnytime(context.Background(), class)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -163,7 +164,7 @@ func TestRunFig7(t *testing.T) {
 
 func TestRenderers(t *testing.T) {
 	cfg := quickConfig()
-	res, err := cfg.RunAnytime(mqo.Class{Queries: 10, PlansPerQuery: 2})
+	res, err := cfg.RunAnytime(context.Background(), mqo.Class{Queries: 10, PlansPerQuery: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,7 +177,7 @@ func TestRenderers(t *testing.T) {
 		}
 	}
 
-	rows, err := cfg.RunTable1([]mqo.Class{{Queries: 8, PlansPerQuery: 2}})
+	rows, err := cfg.RunTable1(context.Background(), []mqo.Class{{Queries: 8, PlansPerQuery: 2}})
 	if err != nil {
 		t.Fatal(err)
 	}

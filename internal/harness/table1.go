@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"math/rand"
 	"time"
 
@@ -14,17 +15,24 @@ import (
 // solver first reaches the optimal solution (Table 1 of the paper reports
 // minimum, median, and maximum over 20 instances).
 type Table1Row struct {
-	Class               mqo.Class
-	Min, Median, Max    float64 // milliseconds
-	SolvedInstances     int
-	GeneratedInstances  int
+	Class              mqo.Class
+	Min, Median, Max   float64 // milliseconds
+	SolvedInstances    int
+	GeneratedInstances int
 }
 
 // RunTable1 measures time-to-optimal for LIN-MQO on every class.
-func (c Config) RunTable1(classes []mqo.Class) ([]Table1Row, error) {
+// Cancelling ctx aborts the experiment with ctx.Err().
+func (c Config) RunTable1(ctx context.Context, classes []mqo.Class) ([]Table1Row, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	cfg := c.withDefaults()
 	rows := make([]Table1Row, 0, len(classes))
 	for _, class := range classes {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		instances, err := cfg.Generate(class)
 		if err != nil {
 			return nil, err
@@ -33,7 +41,12 @@ func (c Config) RunTable1(classes []mqo.Class) ([]Table1Row, error) {
 		for i, inst := range instances {
 			tr := &trace.Trace{}
 			s := &solvers.BranchAndBound{}
-			s.Solve(inst.Problem, cfg.Budget, rand.New(rand.NewSource(cfg.Seed+int64(i))), tr)
+			s.Solve(ctx, inst.Problem, cfg.Budget, rand.New(rand.NewSource(cfg.Seed+int64(i))), tr)
+			// An interrupted solve leaves a truncated trace; reporting it
+			// as "unsolved" would corrupt the row's statistics.
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			if d, ok := tr.FirstBelow(inst.Optimum); ok {
 				times = append(times, float64(d)/float64(time.Millisecond))
 			}

@@ -110,7 +110,7 @@ func (m *Model) Solve(opt Options) (*Result, error) {
 	res := &Result{Objective: math.Inf(1), Proven: true}
 
 	fixed := make([]int8, m.NumVars()) // -1 free is 0; we use 0=free,1=zero,2=one
-	var rec func() bool               // returns false when limits hit
+	var rec func() bool                // returns false when limits hit
 	rec = func() bool {
 		res.Nodes++
 		if opt.NodeLimit > 0 && res.Nodes > opt.NodeLimit {

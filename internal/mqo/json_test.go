@@ -38,7 +38,7 @@ func TestJSONRoundTrip(t *testing.T) {
 func TestReadRejectsInvalid(t *testing.T) {
 	cases := []string{
 		`{`, // malformed JSON
-		`{"queryPlans":[[0,1]],"costs":[1],"savings":[]}`,            // plan out of range
+		`{"queryPlans":[[0,1]],"costs":[1],"savings":[]}`,                               // plan out of range
 		`{"queryPlans":[[0],[1]],"costs":[1,2],"savings":[{"P1":0,"P2":1,"Value":-3}]}`, // bad saving
 	}
 	for i, c := range cases {

@@ -41,9 +41,9 @@ type Problem struct {
 	// every query forms its own cluster as in the paper's experiments.
 	Clusters []int
 
-	planQuery []int           // plan -> owning query
-	savingAdj [][]Saving      // plan -> incident savings
-	savingIdx map[[2]int]int  // canonical pair -> index into Savings
+	planQuery []int          // plan -> owning query
+	savingAdj [][]Saving     // plan -> incident savings
+	savingIdx map[[2]int]int // canonical pair -> index into Savings
 }
 
 // New assembles a Problem and builds its internal indices. It validates the

@@ -1,6 +1,7 @@
 package solvers
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"sort"
@@ -40,7 +41,8 @@ func (b *BranchAndBound) Name() string {
 
 // Solve implements Solver. It returns the proven optimum when the budget
 // allows exhausting the tree.
-func (b *BranchAndBound) Solve(p *mqo.Problem, budget time.Duration, rng *rand.Rand, tr *trace.Trace) mqo.Solution {
+func (b *BranchAndBound) Solve(ctx context.Context, p *mqo.Problem, budget time.Duration, rng *rand.Rand, tr *trace.Trace) mqo.Solution {
+	ctx = orBackground(ctx)
 	clock := trace.NewWallClock()
 	in := newIncumbent(p, tr, clock)
 	nq := p.NumQueries()
@@ -104,7 +106,7 @@ func (b *BranchAndBound) Solve(p *mqo.Problem, budget time.Duration, rng *rand.R
 		if frac <= 0 || frac >= 1 {
 			frac = 0.5
 		}
-		b.polish(p, in, clock, time.Duration(float64(budget)*frac), rng)
+		b.polish(ctx, p, in, clock, time.Duration(float64(budget)*frac), rng)
 	}
 
 	// Phase 3: branch-and-bound proof.
@@ -115,7 +117,7 @@ func (b *BranchAndBound) Solve(p *mqo.Problem, budget time.Duration, rng *rand.R
 			return
 		}
 		checkEvery++
-		if checkEvery&1023 == 0 && clock.Elapsed() > budget {
+		if checkEvery&1023 == 0 && (clock.Elapsed() > budget || ctx.Err() != nil) {
 			deadlineHit = true
 			return
 		}
@@ -149,7 +151,7 @@ func (b *BranchAndBound) Solve(p *mqo.Problem, budget time.Duration, rng *rand.R
 		}
 	}
 	rec(0, 0)
-	if !in.has {
+	if !in.has && ctx.Err() == nil {
 		// Budget too small to reach a leaf: fall back to greedy.
 		g := GreedySolution(p)
 		in.offer(g, p.CostOfSet(g))
@@ -163,7 +165,7 @@ func (b *BranchAndBound) Solve(p *mqo.Problem, budget time.Duration, rng *rand.R
 // the fixed remainder, recording every improvement. Windows of width up to
 // four keep the enumeration cheap while covering the local defects greedy
 // dives leave on chain-structured instances.
-func (b *BranchAndBound) polish(p *mqo.Problem, in *incumbent, clock trace.Clock, until time.Duration, rng *rand.Rand) {
+func (b *BranchAndBound) polish(ctx context.Context, p *mqo.Problem, in *incumbent, clock trace.Clock, until time.Duration, rng *rand.Rand) {
 	nq := p.NumQueries()
 	sol := GreedySolution(p)
 	cost := p.CostOfSet(sol)
@@ -208,7 +210,7 @@ func (b *BranchAndBound) polish(p *mqo.Problem, in *incumbent, clock trace.Clock
 	// proof phase takes over then.
 	maxStall := 32 * (nq + 1)
 	maxKicks := 24
-	for clock.Elapsed() < until && kicks < maxKicks {
+	for clock.Elapsed() < until && kicks < maxKicks && ctx.Err() == nil {
 		if stall >= maxStall {
 			// Iterated local search: perturb a few queries at random and
 			// continue polishing from there. Only improvements are ever
@@ -287,7 +289,8 @@ type QUBOBranchAndBound struct{}
 func (QUBOBranchAndBound) Name() string { return "LIN-QUB" }
 
 // Solve implements Solver.
-func (QUBOBranchAndBound) Solve(p *mqo.Problem, budget time.Duration, rng *rand.Rand, tr *trace.Trace) mqo.Solution {
+func (QUBOBranchAndBound) Solve(ctx context.Context, p *mqo.Problem, budget time.Duration, rng *rand.Rand, tr *trace.Trace) mqo.Solution {
+	ctx = orBackground(ctx)
 	clock := trace.NewWallClock()
 	in := newIncumbent(p, tr, clock)
 	mapping := logical.Map(p)
@@ -317,7 +320,7 @@ func (QUBOBranchAndBound) Solve(p *mqo.Problem, budget time.Duration, rng *rand.
 			return
 		}
 		steps++
-		if steps&1023 == 0 && clock.Elapsed() > budget {
+		if steps&1023 == 0 && (clock.Elapsed() > budget || ctx.Err() != nil) {
 			deadlineHit = true
 			return
 		}
@@ -361,7 +364,7 @@ func (QUBOBranchAndBound) Solve(p *mqo.Problem, budget time.Duration, rng *rand.
 		}
 	}
 	rec(0, q.Offset)
-	if !in.has {
+	if !in.has && ctx.Err() == nil {
 		g := GreedySolution(p)
 		in.offer(g, p.CostOfSet(g))
 	}

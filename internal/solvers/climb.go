@@ -1,6 +1,7 @@
 package solvers
 
 import (
+	"context"
 	"math/rand"
 	"time"
 
@@ -18,13 +19,14 @@ type HillClimb struct{}
 func (HillClimb) Name() string { return "CLIMB" }
 
 // Solve implements Solver.
-func (HillClimb) Solve(p *mqo.Problem, budget time.Duration, rng *rand.Rand, tr *trace.Trace) mqo.Solution {
+func (HillClimb) Solve(ctx context.Context, p *mqo.Problem, budget time.Duration, rng *rand.Rand, tr *trace.Trace) mqo.Solution {
+	ctx = orBackground(ctx)
 	clock := trace.NewWallClock()
 	in := newIncumbent(p, tr, clock)
-	for clock.Elapsed() < budget || !in.has {
+	for ctx.Err() == nil && (clock.Elapsed() < budget || !in.has) {
 		sol := p.RandomSolution(rng)
 		cost := p.CostOfSet(sol)
-		cost = descend(p, sol, cost, clock, budget)
+		cost = descend(ctx, p, sol, cost, clock, budget)
 		in.offer(sol, cost)
 		if clock.Elapsed() >= budget {
 			break
@@ -34,8 +36,9 @@ func (HillClimb) Solve(p *mqo.Problem, budget time.Duration, rng *rand.Rand, tr 
 }
 
 // descend performs steepest-descent plan swaps in place until a local
-// optimum (or the budget) is reached and returns the final cost.
-func descend(p *mqo.Problem, sol mqo.Solution, cost float64, clock trace.Clock, budget time.Duration) float64 {
+// optimum (or the budget, or cancellation) is reached and returns the
+// final cost.
+func descend(ctx context.Context, p *mqo.Problem, sol mqo.Solution, cost float64, clock trace.Clock, budget time.Duration) float64 {
 	for {
 		bestQ, bestPlan := -1, -1
 		bestDelta := -1e-9
@@ -50,7 +53,7 @@ func descend(p *mqo.Problem, sol mqo.Solution, cost float64, clock trace.Clock, 
 				}
 			}
 		}
-		if bestQ == -1 || clock.Elapsed() >= budget {
+		if bestQ == -1 || clock.Elapsed() >= budget || ctx.Err() != nil {
 			return cost
 		}
 		sol[bestQ] = bestPlan

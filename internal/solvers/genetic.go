@@ -1,6 +1,7 @@
 package solvers
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -39,7 +40,8 @@ type chromosome struct {
 }
 
 // Solve implements Solver.
-func (g *Genetic) Solve(p *mqo.Problem, budget time.Duration, rng *rand.Rand, tr *trace.Trace) mqo.Solution {
+func (g *Genetic) Solve(ctx context.Context, p *mqo.Problem, budget time.Duration, rng *rand.Rand, tr *trace.Trace) mqo.Solution {
+	ctx = orBackground(ctx)
 	clock := trace.NewWallClock()
 	in := newIncumbent(p, tr, clock)
 	popSize := g.Population
@@ -58,7 +60,7 @@ func (g *Genetic) Solve(p *mqo.Problem, budget time.Duration, rng *rand.Rand, tr
 	if pairs < 1 {
 		pairs = 1
 	}
-	for clock.Elapsed() < budget {
+	for clock.Elapsed() < budget && ctx.Err() == nil {
 		// Offspring via single-point crossover of uniformly drawn parents.
 		offspring := make([]chromosome, 0, 2*pairs)
 		for k := 0; k < pairs; k++ {

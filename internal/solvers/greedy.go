@@ -1,6 +1,7 @@
 package solvers
 
 import (
+	"context"
 	"math/rand"
 	"time"
 
@@ -18,7 +19,10 @@ func (Greedy) Name() string { return "GREEDY" }
 
 // Solve implements Solver. The budget is ignored: construction is a single
 // linear pass.
-func (Greedy) Solve(p *mqo.Problem, _ time.Duration, _ *rand.Rand, tr *trace.Trace) mqo.Solution {
+func (Greedy) Solve(ctx context.Context, p *mqo.Problem, _ time.Duration, _ *rand.Rand, tr *trace.Trace) mqo.Solution {
+	if orBackground(ctx).Err() != nil {
+		return nil
+	}
 	clock := trace.NewWallClock()
 	in := newIncumbent(p, tr, clock)
 	sol := GreedySolution(p)

@@ -9,6 +9,7 @@
 package solvers
 
 import (
+	"context"
 	"math/rand"
 	"time"
 
@@ -22,8 +23,19 @@ type Solver interface {
 	Name() string
 	// Solve optimizes p for at most budget wall-clock time, recording
 	// every incumbent improvement in tr, and returns the best solution
-	// found. Implementations must be deterministic given rng.
-	Solve(p *mqo.Problem, budget time.Duration, rng *rand.Rand, tr *trace.Trace) mqo.Solution
+	// found so far. Implementations must be deterministic given rng and
+	// must stop promptly — between iterations of their budget loop — when
+	// ctx is cancelled, returning the best incumbent (possibly nil).
+	Solve(ctx context.Context, p *mqo.Problem, budget time.Duration, rng *rand.Rand, tr *trace.Trace) mqo.Solution
+}
+
+// orBackground normalizes a nil context so solvers can check ctx.Err()
+// unconditionally inside hot loops.
+func orBackground(ctx context.Context) context.Context {
+	if ctx == nil {
+		return context.Background()
+	}
+	return ctx
 }
 
 // record stores an improving solution in the trace, tracking the best.

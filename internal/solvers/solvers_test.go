@@ -1,6 +1,7 @@
 package solvers
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -31,7 +32,7 @@ func TestAllSolversReturnValidSolutions(t *testing.T) {
 	for _, s := range allSolvers() {
 		rng := rand.New(rand.NewSource(2))
 		var tr trace.Trace
-		sol := s.Solve(p, 100*time.Millisecond, rng, &tr)
+		sol := s.Solve(context.Background(), p, 100*time.Millisecond, rng, &tr)
 		if !p.Valid(sol) {
 			t.Errorf("%s returned invalid solution", s.Name())
 		}
@@ -50,7 +51,7 @@ func TestBranchAndBoundFindsOptimum(t *testing.T) {
 	for seed := int64(0); seed < 10; seed++ {
 		p := smallInstance(seed, 4+int(seed), 2+int(seed)%3)
 		var tr trace.Trace
-		sol := (&BranchAndBound{}).Solve(p, 5*time.Second, rand.New(rand.NewSource(seed)), &tr)
+		sol := (&BranchAndBound{}).Solve(context.Background(), p, 5*time.Second, rand.New(rand.NewSource(seed)), &tr)
 		got, err := p.Cost(sol)
 		if err != nil {
 			t.Fatal(err)
@@ -69,7 +70,7 @@ func TestQUBOBranchAndBoundFindsOptimum(t *testing.T) {
 	for seed := int64(0); seed < 6; seed++ {
 		p := smallInstance(seed, 5, 2)
 		var tr trace.Trace
-		sol := QUBOBranchAndBound{}.Solve(p, 5*time.Second, rand.New(rand.NewSource(seed)), &tr)
+		sol := QUBOBranchAndBound{}.Solve(context.Background(), p, 5*time.Second, rand.New(rand.NewSource(seed)), &tr)
 		got, err := p.Cost(sol)
 		if err != nil {
 			t.Fatal(err)
@@ -91,7 +92,7 @@ func TestBranchAndBoundMatchesILP(t *testing.T) {
 	for seed := int64(20); seed < 28; seed++ {
 		p := smallInstance(seed, 6, 2)
 		var tr trace.Trace
-		sol := (&BranchAndBound{}).Solve(p, 5*time.Second, rand.New(rand.NewSource(seed)), &tr)
+		sol := (&BranchAndBound{}).Solve(context.Background(), p, 5*time.Second, rand.New(rand.NewSource(seed)), &tr)
 		bnbCost, err := p.Cost(sol)
 		if err != nil {
 			t.Fatal(err)
@@ -110,7 +111,7 @@ func TestBranchAndBoundMatchesILP(t *testing.T) {
 func TestHillClimbImprovesOverGreedyStart(t *testing.T) {
 	p := smallInstance(3, 30, 3)
 	var tr trace.Trace
-	sol := HillClimb{}.Solve(p, 200*time.Millisecond, rand.New(rand.NewSource(4)), &tr)
+	sol := HillClimb{}.Solve(context.Background(), p, 200*time.Millisecond, rand.New(rand.NewSource(4)), &tr)
 	cost, err := p.Cost(sol)
 	if err != nil {
 		t.Fatal(err)
@@ -156,7 +157,7 @@ func TestGeneticConvergesOnSmallInstance(t *testing.T) {
 		t.Fatal(err)
 	}
 	var tr trace.Trace
-	sol := NewGenetic(50).Solve(p, 300*time.Millisecond, rand.New(rand.NewSource(8)), &tr)
+	sol := NewGenetic(50).Solve(context.Background(), p, 300*time.Millisecond, rand.New(rand.NewSource(8)), &tr)
 	got, err := p.Cost(sol)
 	if err != nil {
 		t.Fatal(err)
@@ -170,7 +171,7 @@ func TestGeneticDeterministic(t *testing.T) {
 	p := smallInstance(9, 10, 3)
 	run := func() float64 {
 		var tr trace.Trace
-		sol := NewGenetic(30).Solve(p, 50*time.Millisecond, rand.New(rand.NewSource(10)), &tr)
+		sol := NewGenetic(30).Solve(context.Background(), p, 50*time.Millisecond, rand.New(rand.NewSource(10)), &tr)
 		c, _ := p.Cost(sol)
 		return c
 	}
@@ -187,7 +188,7 @@ func TestTracesAreMonotone(t *testing.T) {
 	p := smallInstance(11, 20, 3)
 	for _, s := range allSolvers() {
 		var tr trace.Trace
-		s.Solve(p, 100*time.Millisecond, rand.New(rand.NewSource(12)), &tr)
+		s.Solve(context.Background(), p, 100*time.Millisecond, rand.New(rand.NewSource(12)), &tr)
 		pts := tr.Points()
 		for i := 1; i < len(pts); i++ {
 			if pts[i].Cost >= pts[i-1].Cost {
@@ -208,7 +209,7 @@ func TestBudgetsRespected(t *testing.T) {
 		}
 		start := time.Now()
 		var tr trace.Trace
-		s.Solve(p, 50*time.Millisecond, rand.New(rand.NewSource(14)), &tr)
+		s.Solve(context.Background(), p, 50*time.Millisecond, rand.New(rand.NewSource(14)), &tr)
 		if elapsed := time.Since(start); elapsed > 2*time.Second {
 			t.Errorf("%s ran %v on a 50ms budget", s.Name(), elapsed)
 		}

@@ -20,8 +20,15 @@ type Point struct {
 // Trace is a monotone sequence of incumbent improvements. The zero value
 // is ready to use.
 type Trace struct {
-	points []Point
+	points   []Point
+	observer func(Point)
 }
+
+// Observe installs fn to be called for every accepted improvement, in
+// record order. Because Record drops non-improving entries, observers see
+// a strictly decreasing cost sequence — the streaming substrate behind
+// anytime-result callbacks.
+func (tr *Trace) Observe(fn func(Point)) { tr.observer = fn }
 
 // Record notes that cost was achieved at elapsed time t. Non-improving
 // records are dropped so the trace stays monotone decreasing in cost.
@@ -34,7 +41,11 @@ func (tr *Trace) Record(t time.Duration, cost float64) {
 			t = tr.points[n-1].T
 		}
 	}
-	tr.points = append(tr.points, Point{T: t, Cost: cost})
+	pt := Point{T: t, Cost: cost}
+	tr.points = append(tr.points, pt)
+	if tr.observer != nil {
+		tr.observer(pt)
+	}
 }
 
 // Points returns the recorded improvements in order. The slice is shared.

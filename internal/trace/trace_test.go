@@ -127,3 +127,18 @@ func TestEmptyTrace(t *testing.T) {
 		t.Error("empty BestAt should be +Inf")
 	}
 }
+
+func TestObserverSeesOnlyAcceptedImprovements(t *testing.T) {
+	var tr Trace
+	var seen []Point
+	tr.Observe(func(pt Point) { seen = append(seen, pt) })
+	tr.Record(1*time.Millisecond, 10)
+	tr.Record(2*time.Millisecond, 12) // non-improving: dropped
+	tr.Record(3*time.Millisecond, 7)
+	if len(seen) != 2 {
+		t.Fatalf("observer saw %d points, want 2", len(seen))
+	}
+	if seen[0].Cost != 10 || seen[1].Cost != 7 {
+		t.Errorf("observer points = %v", seen)
+	}
+}

@@ -1,0 +1,236 @@
+package mqopt
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/decompose"
+	"repro/internal/dwave"
+	"repro/internal/solvers"
+	"repro/internal/trace"
+)
+
+// NewBranchAndBoundSolver returns the LIN-MQO baseline: exact anytime
+// branch-and-bound on the direct MQO model with a solution-polishing
+// heuristic phase.
+func NewBranchAndBoundSolver() Solver {
+	return &classicalSolver{impl: &solvers.BranchAndBound{}}
+}
+
+// NewQUBOBranchAndBoundSolver returns the LIN-QUB baseline: the same
+// exact search applied to the QUBO reformulation of the instance.
+func NewQUBOBranchAndBoundSolver() Solver {
+	return &classicalSolver{impl: solvers.QUBOBranchAndBound{}}
+}
+
+// NewHillClimbSolver returns the CLIMB baseline: random restarts with
+// steepest-descent plan swaps.
+func NewHillClimbSolver() Solver {
+	return &classicalSolver{impl: solvers.HillClimb{}}
+}
+
+// NewGeneticSolver returns the GA baseline with the paper's operator
+// rates and the given population size (the paper runs 50 and 200).
+func NewGeneticSolver(population int) Solver {
+	return &classicalSolver{impl: solvers.NewGenetic(population)}
+}
+
+// NewGreedySolver returns the greedy constructor used to seed the
+// randomized solvers: a single pass taking the cheapest marginal plan.
+func NewGreedySolver() Solver {
+	return &classicalSolver{impl: solvers.Greedy{}}
+}
+
+// NewQASolver returns the quantum-annealer pipeline (Algorithm 1 on the
+// simulated D-Wave 2X). The budget is modeled device time: each annealing
+// run plus read-out costs 376 µs. WithDecomposition switches it to the
+// QUBO-series mode for instances beyond the device's qubit budget.
+func NewQASolver() Solver { return &qaSolver{} }
+
+// NewQASeriesSolver returns the annealer pipeline with decomposition
+// enabled by default: the instance is solved as a series of
+// annealer-sized QUBO windows, so arbitrary sizes fit. The WithBudget
+// run count applies per window; Result.Decomposition.Runs reports the
+// total annealing runs actually spent.
+func NewQASeriesSolver() Solver { return &qaSolver{series: true} }
+
+// recorder collects the anytime trace once, fanning each improvement out
+// to the caller's streaming callback.
+type recorder struct {
+	incumbents []Incumbent
+	stream     func(Incumbent)
+}
+
+func (r *recorder) observe(pt trace.Point) {
+	in := Incumbent{Elapsed: pt.T, Cost: pt.Cost}
+	r.incumbents = append(r.incumbents, in)
+	if r.stream != nil {
+		r.stream(in)
+	}
+}
+
+// solvePrologue applies the facade entry contract shared by every
+// backend: nil-ctx normalization, problem validation, the prompt
+// pre-cancellation check, option resolution, and streaming setup.
+func solvePrologue(ctx context.Context, p *Problem, opts []Option) (context.Context, solveConfig, *recorder, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if p == nil {
+		return ctx, solveConfig{}, nil, fmt.Errorf("mqopt: nil problem")
+	}
+	if err := ctx.Err(); err != nil {
+		return ctx, solveConfig{}, nil, err
+	}
+	cfg := newSolveConfig(opts)
+	return ctx, cfg, &recorder{stream: cfg.onImprovement}, nil
+}
+
+// classicalSolver adapts an internal anytime solver to the facade
+// contract.
+type classicalSolver struct {
+	impl solvers.Solver
+}
+
+// Name implements Solver.
+func (s *classicalSolver) Name() string { return s.impl.Name() }
+
+// Solve implements Solver.
+func (s *classicalSolver) Solve(ctx context.Context, p *Problem, opts ...Option) (*Result, error) {
+	ctx, cfg, rec, err := solvePrologue(ctx, p, opts)
+	if err != nil {
+		return nil, err
+	}
+	tr := &trace.Trace{}
+	tr.Observe(rec.observe)
+	sol := s.impl.Solve(ctx, p.unwrap(), cfg.budget, rand.New(rand.NewSource(cfg.seed)), tr)
+
+	var res *Result
+	if sol != nil && p.unwrap().Valid(sol) {
+		cost, err := p.unwrap().Cost(sol)
+		if err != nil {
+			return nil, err
+		}
+		res = &Result{Solver: s.Name(), Solution: sol, Cost: cost, Incumbents: rec.incumbents}
+	}
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
+	if res == nil {
+		return nil, fmt.Errorf("mqopt: %s produced no valid solution", s.Name())
+	}
+	return res, nil
+}
+
+// qaSolver adapts the annealer pipeline (and its decomposed QUBO-series
+// variant) to the facade contract.
+type qaSolver struct {
+	series bool
+}
+
+// Name implements Solver.
+func (s *qaSolver) Name() string {
+	if s.series {
+		return "QA-SERIES"
+	}
+	return "QA"
+}
+
+// corePattern translates the facade embedding option.
+func corePattern(e Embedding) (core.Pattern, error) {
+	switch e {
+	case EmbeddingAuto, "":
+		return core.PatternAuto, nil
+	case EmbeddingClustered:
+		return core.PatternClustered, nil
+	case EmbeddingTriad:
+		return core.PatternTriad, nil
+	}
+	return core.PatternAuto, fmt.Errorf("mqopt: unknown embedding pattern %q", e)
+}
+
+// annealingRuns converts the modeled-time budget into a run count, capped
+// by WithAnnealingRuns (default: the paper's 1000-run protocol). The
+// policy lives in core.RunsForBudget so the facade and the internal
+// harness cannot drift apart.
+func annealingRuns(cfg solveConfig) int {
+	return core.RunsForBudget(cfg.budget, cfg.runs)
+}
+
+// Solve implements Solver.
+func (s *qaSolver) Solve(ctx context.Context, p *Problem, opts ...Option) (*Result, error) {
+	ctx, cfg, rec, err := solvePrologue(ctx, p, opts)
+	if err != nil {
+		return nil, err
+	}
+	pattern, err := corePattern(cfg.embedding)
+	if err != nil {
+		return nil, err
+	}
+	copt := core.Options{
+		Graph:   cfg.topology.graph(),
+		Runs:    annealingRuns(cfg),
+		Pattern: pattern,
+	}
+	rng := rand.New(rand.NewSource(cfg.seed))
+
+	dec := cfg.decompose
+	if s.series && dec == nil {
+		dec = &Decomposition{}
+	}
+	if dec != nil {
+		// Incumbent times of a decomposed solve are cumulative modeled
+		// annealer time across windows (the greedy start streams at 0).
+		dres, err := decompose.Solve(ctx, p.unwrap(), decompose.Options{
+			WindowQueries: dec.WindowQueries,
+			Overlap:       dec.Overlap,
+			MaxSweeps:     dec.MaxSweeps,
+			Core:          copt,
+			OnImprovement: rec.observe,
+		}, rng)
+		if dres == nil {
+			return nil, err
+		}
+		return &Result{
+			Solver:        s.Name(),
+			Solution:      dres.Solution,
+			Cost:          dres.Cost,
+			Incumbents:    rec.incumbents,
+			Decomposition: &DecompositionInfo{Windows: dres.Windows, Sweeps: dres.Sweeps, Runs: dres.Runs},
+		}, err
+	}
+
+	copt.OnImprovement = rec.observe
+	cres, err := core.QuantumMQO(ctx, p.unwrap(), copt, rng)
+	if cres == nil {
+		return nil, err
+	}
+	res := &Result{
+		Solver:     s.Name(),
+		Solution:   cres.Solution,
+		Cost:       cres.Cost,
+		Incumbents: rec.incumbents,
+		Annealer: &AnnealerInfo{
+			QubitsUsed:        cres.QubitsUsed,
+			QubitsPerVariable: cres.QubitsPerVariable,
+			Runs:              cres.Runs,
+			BrokenChainRate:   cres.BrokenChainRate,
+			PreprocessTime:    cres.PreprocessTime,
+			UsedTriadFallback: cres.UsedTriadFallback,
+		},
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		return res, cerr
+	}
+	return res, err
+}
+
+// ModeledAnnealingBudget converts a run count into the modeled device
+// time the paper charges for it (376 µs per run) — the natural WithBudget
+// value when a caller thinks in annealing runs.
+func ModeledAnnealingBudget(runs int) time.Duration {
+	return time.Duration(runs) * (dwave.PaperAnnealTime + dwave.PaperReadoutTime)
+}

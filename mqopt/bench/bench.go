@@ -1,0 +1,83 @@
+// Package bench is the public facade over the experiment harness: it
+// regenerates the tables and figures of the paper's evaluation
+// (Section 7) without exposing internal packages. The types are aliases
+// of the internal harness so results flow between the two without
+// conversion; the only supported entry points for external code are the
+// names exported here.
+package bench
+
+import (
+	"context"
+	"io"
+
+	"repro/internal/harness"
+	"repro/mqopt"
+)
+
+// Config parameterizes an experiment run: instances per class, the
+// classical-solver observation window, annealing runs, seed, and GA
+// population sizes.
+type Config = harness.Config
+
+// AnytimeResult holds one cost-versus-time figure (Figures 4 and 5).
+type AnytimeResult = harness.AnytimeResult
+
+// Table1Row aggregates time-to-optimal statistics for one class.
+type Table1Row = harness.Table1Row
+
+// Fig6Point relates embedding overhead to classical-solver speedup.
+type Fig6Point = harness.Fig6Point
+
+// Fig7Point reports annealer capacity per plans-per-query.
+type Fig7Point = harness.Fig7Point
+
+// PaperClasses are the four problem classes of the evaluation.
+var PaperClasses = mqopt.PaperClasses
+
+// DefaultConfig returns the offline defaults: 3 instances per class, a
+// 2-second classical window, 1000 annealing runs.
+func DefaultConfig() Config { return harness.DefaultConfig() }
+
+// PaperConfig returns the paper's protocol: 20 instances per class and a
+// 100-second observation window.
+func PaperConfig() Config { return harness.PaperConfig() }
+
+// RunAnytime executes the full solver set on every instance of class
+// under cfg and samples the anytime curves at the paper's checkpoints.
+// Cancelling ctx aborts the experiment with ctx.Err().
+func RunAnytime(ctx context.Context, cfg Config, class mqopt.Class) (*AnytimeResult, error) {
+	return cfg.RunAnytime(ctx, class)
+}
+
+// RunTable1 measures time-to-optimal for LIN-MQO on every class.
+func RunTable1(ctx context.Context, cfg Config, classes []mqopt.Class) ([]Table1Row, error) {
+	return cfg.RunTable1(ctx, classes)
+}
+
+// RunFig6 derives the speedup-versus-overhead points from anytime runs.
+func RunFig6(results []*AnytimeResult) []Fig6Point { return harness.RunFig6(results) }
+
+// RunFig7 computes annealer capacities for the given plans-per-query
+// range (DefaultFig7Plans reproduces the paper's).
+func RunFig7(plansRange []int) []Fig7Point { return harness.RunFig7(plansRange) }
+
+// DefaultFig7Plans is the plans-per-query range of Figure 7.
+func DefaultFig7Plans() []int { return harness.DefaultFig7Plans() }
+
+// SolverNames lists the solver series of the anytime figures in
+// presentation order.
+func SolverNames(cfg Config) []string { return cfg.SolverNames() }
+
+// RenderAnytime writes an anytime figure as text.
+func RenderAnytime(w io.Writer, r *AnytimeResult, names []string) {
+	harness.RenderAnytime(w, r, names)
+}
+
+// RenderTable1 writes Table 1 as text.
+func RenderTable1(w io.Writer, rows []Table1Row) { harness.RenderTable1(w, rows) }
+
+// RenderFig6 writes Figure 6 as text.
+func RenderFig6(w io.Writer, points []Fig6Point) { harness.RenderFig6(w, points) }
+
+// RenderFig7 writes Figure 7 as text.
+func RenderFig7(w io.Writer, points []Fig7Point) { harness.RenderFig7(w, points) }

@@ -1,0 +1,46 @@
+package bench_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/mqopt"
+	"repro/mqopt/bench"
+)
+
+func TestFig7ThroughFacade(t *testing.T) {
+	points := bench.RunFig7(bench.DefaultFig7Plans())
+	if len(points) == 0 {
+		t.Fatal("no Figure 7 points")
+	}
+	var buf strings.Builder
+	bench.RenderFig7(&buf, points)
+	if !strings.Contains(buf.String(), "2") {
+		t.Errorf("render produced no content: %q", buf.String())
+	}
+}
+
+func TestRunTable1ThroughFacade(t *testing.T) {
+	cfg := bench.DefaultConfig()
+	cfg.Instances = 1
+	cfg.Budget = 300 * time.Millisecond
+	rows, err := bench.RunTable1(context.Background(), cfg,
+		[]mqopt.Class{{Queries: 8, PlansPerQuery: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].SolvedInstances != 1 {
+		t.Errorf("rows = %+v", rows)
+	}
+}
+
+func TestRunTable1HonorsCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := bench.DefaultConfig()
+	if _, err := bench.RunTable1(ctx, cfg, bench.PaperClasses); err != context.Canceled {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}

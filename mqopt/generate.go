@@ -1,0 +1,52 @@
+package mqopt
+
+import (
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/mqo"
+)
+
+// Class describes a workload shape: a number of queries and a number of
+// alternative plans per query.
+type Class = mqo.Class
+
+// GeneratorConfig controls synthetic workload generation; see
+// DefaultGeneratorConfig for the paper's parameters.
+type GeneratorConfig = mqo.GeneratorConfig
+
+// PaperClasses are the four test-case classes of the paper's evaluation:
+// the maximal query counts representable on 1097 working qubits for two
+// to five plans per query.
+var PaperClasses = mqo.PaperClasses
+
+// DefaultGeneratorConfig returns the generation parameters of the
+// paper's evaluation: integer costs in [10, 30], savings in {5, 10}, and
+// two sharing links between consecutive queries.
+func DefaultGeneratorConfig() GeneratorConfig { return mqo.DefaultGeneratorConfig() }
+
+// Generate builds a random chain-structured instance of the given class:
+// savings link only plans of consecutive queries. A zero cfg selects
+// DefaultGeneratorConfig.
+func Generate(seed int64, class Class, cfg GeneratorConfig) *Problem {
+	if cfg == (GeneratorConfig{}) {
+		cfg = DefaultGeneratorConfig()
+	}
+	return wrapProblem(mqo.Generate(rand.New(rand.NewSource(seed)), class, cfg))
+}
+
+// GenerateEmbeddable builds a random instance of the given class whose
+// work-sharing links are guaranteed realizable on the clustered embedding
+// of topology t (nil selects a fault-free D-Wave 2X), mirroring the
+// paper's "test cases that map well to the quantum annealer". It fails
+// when the class does not fit the topology.
+func GenerateEmbeddable(seed int64, t *Topology, class Class, cfg GeneratorConfig) (*Problem, error) {
+	if cfg == (GeneratorConfig{}) {
+		cfg = DefaultGeneratorConfig()
+	}
+	p, err := core.GenerateEmbeddable(rand.New(rand.NewSource(seed)), t.graph(), class, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return wrapProblem(p), nil
+}

@@ -1,0 +1,141 @@
+// Package mqopt is the public facade of this repository: a stable,
+// context-aware API over the multiple-query-optimization (MQO) pipeline
+// of Trummer and Koch, "Multiple Query Optimization on the D-Wave 2X
+// Adiabatic Quantum Computer" (VLDB 2016).
+//
+// The package wraps the internal layers — the MQO problem model, the
+// MQO→QUBO logical mapping, the Chimera-graph physical mapping, the
+// simulated annealer, and the classical baselines — behind three ideas:
+//
+//   - Problem: construction, validation, generation, and JSON I/O of MQO
+//     instances.
+//   - Solver: a context-aware anytime optimizer. Solve(ctx, p, opts...)
+//     honors ctx cancellation between iterations of the solver's budget
+//     loop, and functional options (WithBudget, WithSeed, WithEmbedding,
+//     WithDecomposition, WithOnImprovement, ...) configure a run without
+//     widening the interface.
+//   - Registry: repro/mqopt/solverreg maps solver names to factories so
+//     callers dispatch by name instead of hardcoding backends.
+//
+// A minimal end-to-end use:
+//
+//	p, err := mqopt.NewProblem(
+//		[][]int{{0, 1}, {2, 3}},
+//		[]float64{2, 4, 3, 1},
+//		[]mqopt.Saving{{P1: 1, P2: 2, Value: 5}},
+//	)
+//	// handle err
+//	res, err := solverreg.Solve(context.Background(), "qa", p,
+//		mqopt.WithSeed(1),
+//		mqopt.WithOnImprovement(func(in mqopt.Incumbent) {
+//			log.Printf("cost %g after %v", in.Cost, in.Elapsed)
+//		}))
+//	// handle err; res.Solution holds one plan index per query
+//
+// Streaming anytime results: every solver records each incumbent
+// improvement; WithOnImprovement delivers them as they happen, in
+// strictly decreasing cost order, and Result.Incumbents retains the full
+// sequence afterwards.
+package mqopt
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/mqo"
+)
+
+// Saving records that plans P1 and P2 (global plan indices) can share
+// intermediate results, reducing the joint cost by Value if both execute.
+type Saving = mqo.Saving
+
+// Solution assigns each query the global index of its selected plan; -1
+// means no plan selected (representable but invalid).
+type Solution = mqo.Solution
+
+// Problem is a validated, immutable MQO problem instance: a set of
+// queries, alternative plans per query with execution costs, and pairwise
+// cost savings between plans that can share intermediate results.
+type Problem struct {
+	inner *mqo.Problem
+}
+
+// NewProblem assembles and validates a Problem. queryPlans[q] lists the
+// global plan indices available for query q, costs[p] is the execution
+// cost of plan p, and savings lists the pairwise sharing opportunities.
+// It returns an error describing the first violation found.
+func NewProblem(queryPlans [][]int, costs []float64, savings []Saving) (*Problem, error) {
+	p, err := mqo.New(queryPlans, costs, savings)
+	if err != nil {
+		return nil, err
+	}
+	return &Problem{inner: p}, nil
+}
+
+// MustProblem is like NewProblem but panics on invalid input. Intended
+// for tests and examples where the instance is known to be well formed.
+func MustProblem(queryPlans [][]int, costs []float64, savings []Saving) *Problem {
+	p, err := NewProblem(queryPlans, costs, savings)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// ReadProblem parses a JSON-encoded instance (the format emitted by
+// Write and the mqo-gen command) and validates it.
+func ReadProblem(r io.Reader) (*Problem, error) {
+	p, err := mqo.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Problem{inner: p}, nil
+}
+
+// Write emits the instance as JSON, the format ReadProblem parses.
+func (p *Problem) Write(w io.Writer) error { return p.inner.Write(w) }
+
+// NumQueries returns the number of queries |Q|.
+func (p *Problem) NumQueries() int { return p.inner.NumQueries() }
+
+// NumPlans returns the total number of plans across all queries.
+func (p *Problem) NumPlans() int { return p.inner.NumPlans() }
+
+// QueryPlans returns the global plan indices available for query q. The
+// returned slice is shared; callers must not modify it.
+func (p *Problem) QueryPlans(q int) []int { return p.inner.QueryPlans[q] }
+
+// PlanCost returns the execution cost of plan pl.
+func (p *Problem) PlanCost(pl int) float64 { return p.inner.Costs[pl] }
+
+// Valid reports whether s selects exactly one plan per query and every
+// selected plan belongs to the query it is assigned to.
+func (p *Problem) Valid(s Solution) bool { return p.inner.Valid(s) }
+
+// Cost computes the execution cost C(Pe) of a valid solution: the sum of
+// selected plan costs minus all realized savings. It returns an error
+// when s is not valid.
+func (p *Problem) Cost(s Solution) (float64, error) { return p.inner.Cost(s) }
+
+// Optimum computes the exact optimal solution and its cost via dynamic
+// programming on chain-structured instances or exhaustive search on small
+// ones. It fails on instances too large for either exact method.
+func (p *Problem) Optimum() (Solution, float64, error) { return p.inner.Optimum() }
+
+// IsChainStructured reports whether all inter-query savings connect
+// consecutive queries, the structure the paper's workload generator
+// produces (such instances admit an exact DP solution).
+func (p *Problem) IsChainStructured() bool { return p.inner.IsChainStructured() }
+
+// String summarizes the instance shape.
+func (p *Problem) String() string {
+	return fmt.Sprintf("mqopt.Problem(%d queries, %d plans, %d savings)",
+		p.inner.NumQueries(), p.inner.NumPlans(), len(p.inner.Savings))
+}
+
+// unwrap exposes the internal representation to sibling facade files and
+// keeps the rest of the package honest about the single crossing point.
+func (p *Problem) unwrap() *mqo.Problem { return p.inner }
+
+// wrapProblem adopts an already-validated internal instance.
+func wrapProblem(inner *mqo.Problem) *Problem { return &Problem{inner: inner} }

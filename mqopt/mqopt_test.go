@@ -1,0 +1,388 @@
+package mqopt
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+// example1 is Example 1 of the paper: optimum cost 2 (plans 1 and 2).
+func example1(t *testing.T) *Problem {
+	t.Helper()
+	p, err := NewProblem(
+		[][]int{{0, 1}, {2, 3}},
+		[]float64{2, 4, 3, 1},
+		[]Saving{{P1: 1, P2: 2, Value: 5}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNewProblemValidates(t *testing.T) {
+	if _, err := NewProblem([][]int{{0}, {}}, []float64{1}, nil); err == nil {
+		t.Error("query with no plans accepted")
+	}
+	if _, err := NewProblem([][]int{{0, 1}}, []float64{1, 2},
+		[]Saving{{P1: 0, P2: 1, Value: -3}}); err == nil {
+		t.Error("negative saving accepted")
+	}
+	p := example1(t)
+	if p.NumQueries() != 2 || p.NumPlans() != 4 {
+		t.Errorf("shape = (%d, %d), want (2, 4)", p.NumQueries(), p.NumPlans())
+	}
+	if cost, err := p.Cost(Solution{1, 2}); err != nil || cost != 2 {
+		t.Errorf("Cost([1 2]) = (%v, %v), want (2, nil)", cost, err)
+	}
+	if p.Valid(Solution{0, 0}) {
+		t.Error("solution assigning a foreign plan accepted")
+	}
+}
+
+func TestProblemJSONRoundTrip(t *testing.T) {
+	p := example1(t)
+	var buf strings.Builder
+	if err := p.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadProblem(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumQueries() != 2 || back.NumPlans() != 4 {
+		t.Errorf("round trip changed shape: %v", back)
+	}
+}
+
+func TestOptionDefaults(t *testing.T) {
+	cfg := newSolveConfig(nil)
+	if cfg.budget != DefaultBudget {
+		t.Errorf("default budget = %v, want %v", cfg.budget, DefaultBudget)
+	}
+	if cfg.seed != DefaultSeed {
+		t.Errorf("default seed = %d, want %d", cfg.seed, DefaultSeed)
+	}
+	if cfg.embedding != EmbeddingAuto {
+		t.Errorf("default embedding = %q, want %q", cfg.embedding, EmbeddingAuto)
+	}
+	if cfg.runs != 0 || cfg.decompose != nil || cfg.topology != nil || cfg.onImprovement != nil {
+		t.Errorf("zero-value options not zero: %+v", cfg)
+	}
+}
+
+func TestOptionsApply(t *testing.T) {
+	dec := Decomposition{WindowQueries: 8, Overlap: 2, MaxSweeps: 3}
+	cfg := newSolveConfig([]Option{
+		WithBudget(5 * time.Second),
+		WithSeed(42),
+		WithAnnealingRuns(77),
+		WithEmbedding(EmbeddingTriad),
+		WithDecomposition(dec),
+		nil, // nil options are tolerated
+	})
+	if cfg.budget != 5*time.Second || cfg.seed != 42 || cfg.runs != 77 {
+		t.Errorf("options not applied: %+v", cfg)
+	}
+	if cfg.embedding != EmbeddingTriad {
+		t.Errorf("embedding = %q, want triad", cfg.embedding)
+	}
+	if cfg.decompose == nil || *cfg.decompose != dec {
+		t.Errorf("decomposition = %+v, want %+v", cfg.decompose, dec)
+	}
+	// The config owns a copy: mutating the caller's struct must not leak.
+	dec.WindowQueries = 99
+	if cfg.decompose.WindowQueries != 8 {
+		t.Error("WithDecomposition aliased the caller's struct")
+	}
+	// Invalid values fall back to defaults rather than poisoning the run.
+	cfg = newSolveConfig([]Option{WithBudget(-1), WithAnnealingRuns(0), WithEmbedding("")})
+	if cfg.budget != DefaultBudget || cfg.runs != 0 || cfg.embedding != EmbeddingAuto {
+		t.Errorf("invalid option values not ignored: %+v", cfg)
+	}
+}
+
+func TestAnnealingRunsFromBudget(t *testing.T) {
+	// 10 ms of modeled time admits 26 runs of 376 µs.
+	cfg := newSolveConfig([]Option{WithBudget(10 * time.Millisecond)})
+	if got := annealingRuns(cfg); got != 26 {
+		t.Errorf("annealingRuns(10ms) = %d, want 26", got)
+	}
+	// The paper's 1000-run protocol caps budget-derived counts...
+	cfg = newSolveConfig([]Option{WithBudget(time.Hour)})
+	if got := annealingRuns(cfg); got != 1000 {
+		t.Errorf("annealingRuns(1h) = %d, want 1000", got)
+	}
+	// ...unless WithAnnealingRuns raises or lowers the cap.
+	cfg = newSolveConfig([]Option{WithBudget(time.Hour), WithAnnealingRuns(20)})
+	if got := annealingRuns(cfg); got != 20 {
+		t.Errorf("annealingRuns(1h, cap 20) = %d, want 20", got)
+	}
+	// Tiny budgets still admit one run.
+	cfg = newSolveConfig([]Option{WithBudget(time.Nanosecond)})
+	if got := annealingRuns(cfg); got != 1 {
+		t.Errorf("annealingRuns(1ns) = %d, want 1", got)
+	}
+}
+
+func TestSolversFindExample1Optimum(t *testing.T) {
+	p := example1(t)
+	for _, s := range []Solver{
+		NewQASolver(),
+		NewQASeriesSolver(),
+		NewBranchAndBoundSolver(),
+		NewQUBOBranchAndBoundSolver(),
+		NewHillClimbSolver(),
+		NewGeneticSolver(20),
+	} {
+		res, err := s.Solve(context.Background(), p,
+			mqoptTestBudget(s), WithSeed(1))
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if res.Cost != 2 {
+			t.Errorf("%s: cost %v, want 2", s.Name(), res.Cost)
+		}
+		if !p.Valid(res.Solution) {
+			t.Errorf("%s: invalid solution %v", s.Name(), res.Solution)
+		}
+		if res.Solver != s.Name() {
+			t.Errorf("Result.Solver = %q, want %q", res.Solver, s.Name())
+		}
+	}
+}
+
+// mqoptTestBudget keeps the table test fast: classical solvers get a
+// short wall-clock window, annealer backends a 100-run modeled window.
+func mqoptTestBudget(s Solver) Option {
+	switch s.Name() {
+	case "QA", "QA-SERIES":
+		return WithBudget(ModeledAnnealingBudget(100))
+	}
+	return WithBudget(100 * time.Millisecond)
+}
+
+func TestGreedySolverReturnsValidResult(t *testing.T) {
+	p := Generate(5, Class{Queries: 30, PlansPerQuery: 3}, GeneratorConfig{})
+	res, err := NewGreedySolver().Solve(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Valid(res.Solution) {
+		t.Fatalf("greedy produced invalid solution %v", res.Solution)
+	}
+	if len(res.Incumbents) == 0 {
+		t.Error("greedy recorded no incumbents")
+	}
+}
+
+func TestQAResultCarriesAnnealerInfo(t *testing.T) {
+	p := example1(t)
+	res, err := NewQASolver().Solve(context.Background(), p,
+		WithBudget(ModeledAnnealingBudget(50)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := res.Annealer
+	if a == nil {
+		t.Fatal("QA result missing AnnealerInfo")
+	}
+	if a.QubitsUsed <= 0 || a.QubitsPerVariable <= 0 || a.Runs != 50 {
+		t.Errorf("implausible annealer info: %+v", a)
+	}
+	if res.Decomposition != nil {
+		t.Error("monolithic solve reported decomposition info")
+	}
+}
+
+func TestQASeriesReportsDecomposition(t *testing.T) {
+	// 200 queries × 2 plans needs ~400 variables as one QUBO — beyond the
+	// 1152-qubit TRIAD ceiling — so only the series variant solves it.
+	p := Generate(3, Class{Queries: 200, PlansPerQuery: 2}, GeneratorConfig{})
+	if _, err := NewQASolver().Solve(context.Background(), p,
+		WithBudget(ModeledAnnealingBudget(10))); err == nil {
+		t.Fatal("monolithic QA unexpectedly fit a 400-variable instance")
+	}
+	res, err := NewQASeriesSolver().Solve(context.Background(), p,
+		WithBudget(ModeledAnnealingBudget(30)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Decomposition == nil || res.Decomposition.Windows == 0 || res.Decomposition.Runs == 0 {
+		t.Fatalf("series solve missing decomposition info: %+v", res.Decomposition)
+	}
+	if !p.Valid(res.Solution) {
+		t.Error("series solve produced invalid solution")
+	}
+	// The greedy start streams at time 0 and window improvements follow
+	// in strictly decreasing cost order, ending at the result cost.
+	if len(res.Incumbents) == 0 {
+		t.Fatal("series solve recorded no incumbents")
+	}
+	if res.Incumbents[0].Elapsed != 0 {
+		t.Errorf("first incumbent at %v, want 0 (greedy start)", res.Incumbents[0].Elapsed)
+	}
+	for i := 1; i < len(res.Incumbents); i++ {
+		if res.Incumbents[i].Cost >= res.Incumbents[i-1].Cost {
+			t.Errorf("series incumbent %d not improving: %+v", i, res.Incumbents)
+		}
+	}
+	if last := res.Incumbents[len(res.Incumbents)-1]; last.Cost != res.Cost {
+		t.Errorf("final incumbent %g != result cost %g", last.Cost, res.Cost)
+	}
+}
+
+func TestForcedEmbeddingPatterns(t *testing.T) {
+	p := example1(t)
+	// Example 1 is clustered-embeddable, so both forced patterns work.
+	for _, e := range []Embedding{EmbeddingClustered, EmbeddingTriad} {
+		res, err := NewQASolver().Solve(context.Background(), p,
+			WithBudget(ModeledAnnealingBudget(50)), WithEmbedding(e))
+		if err != nil {
+			t.Fatalf("embedding %q: %v", e, err)
+		}
+		wantFallback := false
+		if got := res.Annealer.UsedTriadFallback; got != wantFallback {
+			t.Errorf("embedding %q: UsedTriadFallback = %v", e, got)
+		}
+	}
+	if _, err := NewQASolver().Solve(context.Background(), p,
+		WithEmbedding("hexagonal")); err == nil {
+		t.Error("unknown embedding pattern accepted")
+	}
+}
+
+func TestSolveWithCancelledContextReturnsPromptly(t *testing.T) {
+	p := example1(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, s := range []Solver{
+		NewQASolver(),
+		NewQASeriesSolver(),
+		NewBranchAndBoundSolver(),
+		NewHillClimbSolver(),
+		NewGreedySolver(),
+	} {
+		start := time.Now()
+		res, err := s.Solve(ctx, p, WithBudget(time.Hour))
+		if err != context.Canceled {
+			t.Errorf("%s: err = %v, want context.Canceled", s.Name(), err)
+		}
+		if res != nil {
+			t.Errorf("%s: pre-cancelled solve returned a result", s.Name())
+		}
+		if d := time.Since(start); d > time.Second {
+			t.Errorf("%s: pre-cancelled solve took %v", s.Name(), d)
+		}
+	}
+}
+
+func TestCancellationMidSolveStopsBudgetLoop(t *testing.T) {
+	p := Generate(11, Class{Queries: 60, PlansPerQuery: 3}, GeneratorConfig{})
+	for _, s := range []Solver{
+		NewHillClimbSolver(),
+		NewGeneticSolver(30),
+		NewBranchAndBoundSolver(),
+	} {
+		ctx, cancel := context.WithCancel(context.Background())
+		go func() {
+			time.Sleep(50 * time.Millisecond)
+			cancel()
+		}()
+		start := time.Now()
+		res, err := s.Solve(ctx, p, WithBudget(time.Hour))
+		elapsed := time.Since(start)
+		cancel()
+		if err != context.Canceled {
+			t.Errorf("%s: err = %v, want context.Canceled", s.Name(), err)
+		}
+		if elapsed > 5*time.Second {
+			t.Errorf("%s: cancellation took %v against a 1h budget", s.Name(), elapsed)
+		}
+		// Anytime contract: the incumbent found before cancellation is
+		// still handed back.
+		if res != nil && !p.Valid(res.Solution) {
+			t.Errorf("%s: partial result invalid", s.Name())
+		}
+	}
+}
+
+func TestOnImprovementStreamsInNondecreasingQuality(t *testing.T) {
+	p, err := GenerateEmbeddable(13, nil, Class{Queries: 40, PlansPerQuery: 3}, GeneratorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []Solver{NewHillClimbSolver(), NewQASolver()} {
+		var streamed []Incumbent
+		opts := []Option{
+			WithSeed(2),
+			WithOnImprovement(func(in Incumbent) { streamed = append(streamed, in) }),
+		}
+		if s.Name() == "QA" {
+			opts = append(opts, WithBudget(ModeledAnnealingBudget(200)))
+		} else {
+			opts = append(opts, WithBudget(150*time.Millisecond))
+		}
+		res, err := s.Solve(context.Background(), p, opts...)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if len(streamed) == 0 {
+			t.Fatalf("%s: no incumbents streamed", s.Name())
+		}
+		for i := 1; i < len(streamed); i++ {
+			if streamed[i].Cost >= streamed[i-1].Cost {
+				t.Errorf("%s: incumbent %d (%g) not better than %d (%g)",
+					s.Name(), i, streamed[i].Cost, i-1, streamed[i-1].Cost)
+			}
+			if streamed[i].Elapsed < streamed[i-1].Elapsed {
+				t.Errorf("%s: incumbent %d went back in time", s.Name(), i)
+			}
+		}
+		if len(streamed) != len(res.Incumbents) {
+			t.Errorf("%s: streamed %d incumbents, result retains %d",
+				s.Name(), len(streamed), len(res.Incumbents))
+		}
+		if last := streamed[len(streamed)-1]; last.Cost != res.Cost {
+			t.Errorf("%s: final streamed cost %g != result cost %g",
+				s.Name(), last.Cost, res.Cost)
+		}
+	}
+}
+
+func TestGenerateEmbeddableRespectsTopology(t *testing.T) {
+	p, err := GenerateEmbeddable(1, nil, Class{Queries: 50, PlansPerQuery: 2}, GeneratorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.IsChainStructured() {
+		t.Error("embeddable instance not chain-structured")
+	}
+	// A 2×2-cell graph cannot host 50 two-plan clusters.
+	if _, err := GenerateEmbeddable(1, NewTopology(2, 2),
+		Class{Queries: 50, PlansPerQuery: 2}, GeneratorConfig{}); err == nil {
+		t.Error("oversized class fit a 2×2 topology")
+	}
+}
+
+func TestEmbeddingReports(t *testing.T) {
+	topo := DWave2X(0, 0)
+	rep, err := TriadReport(topo, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Variables != 12 || rep.ChainSize != 3 || rep.Qubits != 48 {
+		t.Errorf("TRIAD(12) report = %+v", rep)
+	}
+	crep, err := ClusteredReport(topo, []int{4, 4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crep.Variables != 12 || crep.Qubits <= 0 {
+		t.Errorf("clustered report = %+v", crep)
+	}
+	if c := ClusterCapacity(topo, 2); c <= 0 {
+		t.Errorf("ClusterCapacity(2) = %d", c)
+	}
+}

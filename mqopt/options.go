@@ -1,0 +1,149 @@
+package mqopt
+
+import (
+	"time"
+)
+
+// Defaults applied when the corresponding option is not given.
+const (
+	// DefaultBudget is the optimization budget: wall-clock time for
+	// classical solvers, modeled device time for the annealer.
+	DefaultBudget = 2 * time.Second
+	// DefaultSeed seeds the solver's random stream.
+	DefaultSeed int64 = 1
+)
+
+// Embedding selects the physical mapping pattern for annealer backends.
+type Embedding string
+
+const (
+	// EmbeddingAuto tries the clustered pattern (Figure 3) and falls
+	// back to the general TRIAD pattern (Figure 2).
+	EmbeddingAuto Embedding = "auto"
+	// EmbeddingClustered forces the clustered pattern and fails when it
+	// cannot realize every coupling of the instance.
+	EmbeddingClustered Embedding = "clustered"
+	// EmbeddingTriad forces the TRIAD pattern, which supports arbitrary
+	// coupling structure at a quadratic qubit cost.
+	EmbeddingTriad Embedding = "triad"
+)
+
+// Decomposition configures solving through a series of annealer-sized
+// QUBO windows (the paper's future-work proposal), enabling instances far
+// beyond the device's qubit budget. The zero value selects automatic
+// window sizing, half-window overlap, and at most four sweeps.
+type Decomposition struct {
+	// WindowQueries is the number of consecutive queries per
+	// sub-instance; 0 sizes windows to the annealer's TRIAD capacity.
+	WindowQueries int
+	// Overlap is the number of queries shared between consecutive
+	// windows (default: half the window).
+	Overlap int
+	// MaxSweeps bounds the number of left-right passes (default 4).
+	MaxSweeps int
+}
+
+// Incumbent is one streamed anytime improvement: at Elapsed time into the
+// solve, the best known cost became Cost. For annealer backends Elapsed
+// is modeled device time; for classical backends it is wall-clock.
+type Incumbent struct {
+	Elapsed time.Duration
+	Cost    float64
+}
+
+// Option configures a single Solve invocation.
+type Option func(*solveConfig)
+
+// solveConfig is the resolved option set a Solver sees.
+type solveConfig struct {
+	budget        time.Duration
+	seed          int64
+	runs          int
+	embedding     Embedding
+	decompose     *Decomposition
+	topology      *Topology
+	onImprovement func(Incumbent)
+}
+
+// newSolveConfig applies opts over the documented defaults.
+func newSolveConfig(opts []Option) solveConfig {
+	cfg := solveConfig{
+		budget:    DefaultBudget,
+		seed:      DefaultSeed,
+		embedding: EmbeddingAuto,
+	}
+	for _, opt := range opts {
+		if opt != nil {
+			opt(&cfg)
+		}
+	}
+	return cfg
+}
+
+// WithBudget bounds the optimization effort: wall-clock time for
+// classical solvers, modeled device time (376 µs per annealing run) for
+// the annealer. Decomposed solves (WithDecomposition, qa-series) apply
+// the derived run count to EACH window, so their total modeled time
+// scales with the number of windows and sweeps — use WithAnnealingRuns
+// to tune per-window effort, and Result.Decomposition.Runs to read the
+// total spent. Non-positive values fall back to DefaultBudget.
+func WithBudget(d time.Duration) Option {
+	return func(c *solveConfig) {
+		if d > 0 {
+			c.budget = d
+		}
+	}
+}
+
+// WithSeed fixes the solver's random stream, making runs reproducible.
+func WithSeed(seed int64) Option {
+	return func(c *solveConfig) { c.seed = seed }
+}
+
+// WithAnnealingRuns caps the number of annealing runs for annealer
+// backends (the paper's protocol uses 1000). Classical backends ignore
+// it.
+func WithAnnealingRuns(runs int) Option {
+	return func(c *solveConfig) {
+		if runs > 0 {
+			c.runs = runs
+		}
+	}
+}
+
+// WithEmbedding selects the physical mapping pattern for annealer
+// backends. Classical backends ignore it.
+func WithEmbedding(e Embedding) Option {
+	return func(c *solveConfig) {
+		if e != "" {
+			c.embedding = e
+		}
+	}
+}
+
+// WithDecomposition solves through a series of annealer-sized QUBO
+// windows instead of one monolithic embedding, lifting the instance-size
+// ceiling of the device. Only annealer backends honor it.
+func WithDecomposition(d Decomposition) Option {
+	return func(c *solveConfig) {
+		dd := d
+		c.decompose = &dd
+	}
+}
+
+// WithTopology runs annealer backends against t instead of the default
+// fault-free D-Wave 2X. Classical backends ignore it.
+func WithTopology(t *Topology) Option {
+	return func(c *solveConfig) { c.topology = t }
+}
+
+// WithOnImprovement streams anytime results: fn is called synchronously
+// for every incumbent improvement, in strictly decreasing cost order,
+// while the solve is still running. The final improvement equals the
+// returned Result's cost when the solve completes uncancelled. For
+// decomposed solves the incumbents are the greedy start (at time 0) and
+// every accepted window improvement, timed in cumulative modeled
+// annealer time across windows.
+func WithOnImprovement(fn func(Incumbent)) Option {
+	return func(c *solveConfig) { c.onImprovement = fn }
+}

@@ -1,0 +1,81 @@
+package mqopt
+
+import (
+	"context"
+	"time"
+)
+
+// Solver is a context-aware anytime MQO optimizer. Implementations are
+// obtained from the registry (repro/mqopt/solverreg) or from the New*
+// constructors in this package.
+type Solver interface {
+	// Name identifies the solver in output and figures (e.g. "LIN-MQO",
+	// "GA(50)", "QA").
+	Name() string
+	// Solve optimizes p under the given options. It is deterministic for
+	// a fixed seed. Cancellation contract: a Solve launched with an
+	// already-cancelled ctx returns (nil, ctx.Err()) promptly without
+	// optimizing; when ctx is cancelled mid-solve, the solver stops at
+	// the next iteration of its budget loop and returns the best
+	// incumbent found so far (nil if none) together with ctx.Err().
+	Solve(ctx context.Context, p *Problem, opts ...Option) (*Result, error)
+}
+
+// Result is the outcome of one Solve invocation.
+type Result struct {
+	// Solver is the name of the backend that produced the result.
+	Solver string
+	// Solution assigns each query the global index of its selected plan.
+	Solution Solution
+	// Cost is the solution's execution cost C(Pe).
+	Cost float64
+	// Incumbents is the anytime trace: every incumbent improvement in
+	// order, ending with the returned solution's cost. The same sequence
+	// is streamed live through WithOnImprovement.
+	Incumbents []Incumbent
+	// Annealer holds device-side details; nil for classical backends.
+	Annealer *AnnealerInfo
+	// Decomposition holds window-series details; nil unless the solve
+	// ran decomposed (WithDecomposition or the qa-series backend).
+	Decomposition *DecompositionInfo
+}
+
+// AnnealerInfo reports the physical-mapping and sampling artifacts of an
+// annealer-backed solve.
+type AnnealerInfo struct {
+	// QubitsUsed is the number of physical qubits consumed.
+	QubitsUsed int
+	// QubitsPerVariable is the embedding overhead (Figure 6's x-axis).
+	QubitsPerVariable float64
+	// Runs is the number of annealing runs performed.
+	Runs int
+	// BrokenChainRate is the fraction of read-outs with at least one
+	// inconsistent chain.
+	BrokenChainRate float64
+	// PreprocessTime is the wall time of the logical and physical
+	// mappings.
+	PreprocessTime time.Duration
+	// UsedTriadFallback reports that the clustered pattern could not
+	// realize the instance and the general TRIAD pattern was used.
+	UsedTriadFallback bool
+}
+
+// DecompositionInfo reports the shape of a decomposed (QUBO-series)
+// solve.
+type DecompositionInfo struct {
+	// Windows is the number of sub-instances solved on the annealer.
+	Windows int
+	// Sweeps is the number of passes over the query sequence.
+	Sweeps int
+	// Runs is the total number of annealing runs across all windows.
+	Runs int
+}
+
+// FirstIncumbent returns the first improvement of the anytime trace and
+// false when the trace is empty.
+func (r *Result) FirstIncumbent() (Incumbent, bool) {
+	if r == nil || len(r.Incumbents) == 0 {
+		return Incumbent{}, false
+	}
+	return r.Incumbents[0], true
+}

@@ -1,0 +1,14 @@
+package solverreg
+
+import "repro/mqopt"
+
+// The classical baselines of the paper's evaluation (Section 7.1)
+// self-register under the names the figures use.
+func init() {
+	Register("lin-mqo", mqopt.NewBranchAndBoundSolver)
+	Register("lin-qub", mqopt.NewQUBOBranchAndBoundSolver)
+	Register("climb", mqopt.NewHillClimbSolver)
+	Register("greedy", mqopt.NewGreedySolver)
+	Register("ga50", func() mqopt.Solver { return mqopt.NewGeneticSolver(50) })
+	Register("ga200", func() mqopt.Solver { return mqopt.NewGeneticSolver(200) })
+}

@@ -1,0 +1,11 @@
+package solverreg
+
+import "repro/mqopt"
+
+// The annealer backends self-register: "qa" is the monolithic pipeline
+// of Algorithm 1, "qa-series" the decomposed variant that maps one MQO
+// instance into a series of annealer-sized QUBO problems.
+func init() {
+	Register("qa", mqopt.NewQASolver)
+	Register("qa-series", mqopt.NewQASeriesSolver)
+}

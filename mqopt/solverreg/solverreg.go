@@ -1,0 +1,106 @@
+// Package solverreg is the solver registry of the mqopt facade: a
+// name→factory map through which backends self-register (in the manner of
+// database/sql drivers) and callers dispatch by name instead of
+// hardcoding switch statements.
+//
+// All built-in backends — the annealer pipeline, its QUBO-series variant,
+// and the paper's classical baselines — register themselves when this
+// package is imported:
+//
+//	solver, err := solverreg.New("lin-mqo")
+//	// or in one step:
+//	res, err := solverreg.Solve(ctx, "qa", problem, mqopt.WithSeed(7))
+//
+// External backends register a factory from their own init function:
+//
+//	func init() { solverreg.Register("my-solver", newMySolver) }
+package solverreg
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/mqopt"
+)
+
+// Factory constructs a fresh Solver instance.
+type Factory func() mqopt.Solver
+
+var (
+	mu        sync.RWMutex
+	factories = map[string]Factory{}
+)
+
+// Register makes a solver available under name (case-insensitive). It
+// panics when name is empty, factory is nil, or the name is taken —
+// registration happens at init time, where misconfiguration should fail
+// loudly.
+func Register(name string, factory Factory) {
+	key := strings.ToLower(strings.TrimSpace(name))
+	if key == "" {
+		panic("solverreg: Register with empty solver name")
+	}
+	if factory == nil {
+		panic(fmt.Sprintf("solverreg: Register(%q) with nil factory", name))
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if _, dup := factories[key]; dup {
+		panic(fmt.Sprintf("solverreg: Register(%q) called twice", name))
+	}
+	factories[key] = factory
+}
+
+// UnknownSolverError reports a lookup of an unregistered solver name; its
+// message enumerates every registered name.
+type UnknownSolverError struct {
+	// Name is the name that failed to resolve.
+	Name string
+	// Known lists the registered names, sorted.
+	Known []string
+}
+
+// Error implements error.
+func (e *UnknownSolverError) Error() string {
+	return fmt.Sprintf("solverreg: unknown solver %q (registered: %s)",
+		e.Name, strings.Join(e.Known, ", "))
+}
+
+// New returns a fresh instance of the named solver. Names are
+// case-insensitive. Unknown names yield an *UnknownSolverError listing
+// the registered alternatives.
+func New(name string) (mqopt.Solver, error) {
+	key := strings.ToLower(strings.TrimSpace(name))
+	mu.RLock()
+	factory, ok := factories[key]
+	mu.RUnlock()
+	if !ok {
+		return nil, &UnknownSolverError{Name: name, Known: Names()}
+	}
+	return factory(), nil
+}
+
+// Names lists the registered solver names, sorted.
+func Names() []string {
+	mu.RLock()
+	defer mu.RUnlock()
+	out := make([]string, 0, len(factories))
+	for name := range factories {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Solve resolves name and runs it on p in one step — the common path for
+// CLIs and services.
+func Solve(ctx context.Context, name string, p *mqopt.Problem, opts ...mqopt.Option) (*mqopt.Result, error) {
+	solver, err := New(name)
+	if err != nil {
+		return nil, err
+	}
+	return solver.Solve(ctx, p, opts...)
+}

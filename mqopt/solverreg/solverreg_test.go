@@ -1,0 +1,135 @@
+package solverreg_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/mqopt"
+	"repro/mqopt/solverreg"
+)
+
+// builtins are the backends the facade ships; every one must
+// self-register on import.
+var builtins = []string{
+	"climb", "ga200", "ga50", "greedy", "lin-mqo", "lin-qub", "qa", "qa-series",
+}
+
+func TestBuiltinsRegistered(t *testing.T) {
+	names := solverreg.Names()
+	have := map[string]bool{}
+	for _, n := range names {
+		have[n] = true
+	}
+	for _, want := range builtins {
+		if !have[want] {
+			t.Errorf("builtin %q not registered (have %v)", want, names)
+		}
+	}
+	// Names must come back sorted for stable CLI output.
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Errorf("Names() not sorted: %v", names)
+		}
+	}
+}
+
+func TestLookupIsCaseInsensitive(t *testing.T) {
+	for _, name := range []string{"qa", "QA", " Lin-MQO "} {
+		s, err := solverreg.New(name)
+		if err != nil {
+			t.Errorf("New(%q): %v", name, err)
+			continue
+		}
+		if s == nil {
+			t.Errorf("New(%q) returned nil solver", name)
+		}
+	}
+}
+
+func TestLookupReturnsFreshInstances(t *testing.T) {
+	a, _ := solverreg.New("ga50")
+	b, _ := solverreg.New("ga50")
+	if a == b {
+		t.Error("registry returned a shared solver instance")
+	}
+}
+
+func TestUnknownSolverErrorEnumeratesNames(t *testing.T) {
+	_, err := solverreg.New("does-not-exist")
+	if err == nil {
+		t.Fatal("unknown solver lookup succeeded")
+	}
+	var unknown *solverreg.UnknownSolverError
+	if !errors.As(err, &unknown) {
+		t.Fatalf("error type %T, want *UnknownSolverError", err)
+	}
+	if unknown.Name != "does-not-exist" {
+		t.Errorf("Name = %q", unknown.Name)
+	}
+	for _, want := range builtins {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error message %q does not mention %q", err.Error(), want)
+		}
+	}
+}
+
+func TestRegisterRejectsMisuse(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	factory := func() mqopt.Solver { return mqopt.NewGreedySolver() }
+	mustPanic("empty name", func() { solverreg.Register("", factory) })
+	mustPanic("nil factory", func() { solverreg.Register("x-nil-factory", nil) })
+	mustPanic("duplicate", func() { solverreg.Register("qa", factory) })
+}
+
+func TestSolveDispatchesByName(t *testing.T) {
+	p := mqopt.MustProblem(
+		[][]int{{0, 1}, {2, 3}},
+		[]float64{2, 4, 3, 1},
+		[]mqopt.Saving{{P1: 1, P2: 2, Value: 5}},
+	)
+	res, err := solverreg.Solve(context.Background(), "greedy", p,
+		mqopt.WithBudget(50*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Solver != "GREEDY" || !p.Valid(res.Solution) {
+		t.Errorf("dispatched result = %+v", res)
+	}
+	if _, err := solverreg.Solve(context.Background(), "nope", p); err == nil {
+		t.Error("Solve with unknown name succeeded")
+	}
+}
+
+func TestSolveHonorsCancelledContext(t *testing.T) {
+	p := mqopt.MustProblem(
+		[][]int{{0, 1}, {2, 3}},
+		[]float64{2, 4, 3, 1},
+		[]mqopt.Saving{{P1: 1, P2: 2, Value: 5}},
+	)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, name := range builtins {
+		start := time.Now()
+		res, err := solverreg.Solve(ctx, name, p, mqopt.WithBudget(time.Hour))
+		if err != context.Canceled {
+			t.Errorf("%s: err = %v, want context.Canceled", name, err)
+		}
+		if res != nil {
+			t.Errorf("%s: cancelled solve returned a result", name)
+		}
+		if d := time.Since(start); d > time.Second {
+			t.Errorf("%s: cancelled solve took %v", name, d)
+		}
+	}
+}

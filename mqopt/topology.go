@@ -1,0 +1,108 @@
+package mqopt
+
+import (
+	"repro/internal/chimera"
+	"repro/internal/embedding"
+)
+
+// PaperBrokenQubits is the number of inoperable qubits on the paper's
+// D-Wave 2X machine (1152 physical, 1097 working).
+const PaperBrokenQubits = chimera.PaperBrokenQubits
+
+// Topology is an annealer hardware graph: a Chimera lattice of 8-qubit
+// unit cells, possibly with broken qubits. The zero value is not usable;
+// construct via DWave2X or NewTopology.
+type Topology struct {
+	g *chimera.Graph
+}
+
+// DWave2X returns the paper's 12×12-cell machine with the given number of
+// broken qubits placed pseudo-randomly from seed (the paper's device has
+// PaperBrokenQubits of them).
+func DWave2X(brokenQubits int, seed int64) *Topology {
+	return &Topology{g: chimera.DWave2X(brokenQubits, seed)}
+}
+
+// NewTopology returns a fault-free Chimera graph with the given unit-cell
+// dimensions (the D-Wave 2X is 12×12).
+func NewTopology(rows, cols int) *Topology {
+	return &Topology{g: chimera.NewGraph(rows, cols)}
+}
+
+// BreakQubit marks qubit q inoperable; embeddings route around it.
+func (t *Topology) BreakQubit(q int) { t.g.BreakQubit(q) }
+
+// NumQubits returns the number of physical qubits, working or not.
+func (t *Topology) NumQubits() int { return t.g.NumQubits() }
+
+// NumWorkingQubits returns the number of operable qubits.
+func (t *Topology) NumWorkingQubits() int { return t.g.NumWorkingQubits() }
+
+// Render draws the unit-cell grid as text (a textual Figure 1).
+func (t *Topology) Render() string { return t.g.Render() }
+
+// graph returns the wrapped hardware graph, defaulting to a fault-free
+// D-Wave 2X when t is nil — the facade-wide convention for the topology
+// option.
+func (t *Topology) graph() *chimera.Graph {
+	if t == nil {
+		return chimera.DWave2X(0, 0)
+	}
+	return t.g
+}
+
+// EmbeddingReport summarizes the physical footprint of mapping a problem
+// shape onto a Topology (the data behind Figures 2, 3, and 6).
+type EmbeddingReport struct {
+	// Variables is the number of logical QUBO variables embedded.
+	Variables int
+	// Qubits is the number of physical qubits consumed.
+	Qubits int
+	// QubitsPerVariable is the embedding overhead.
+	QubitsPerVariable float64
+	// MaxChainLength is the length of the longest qubit chain.
+	MaxChainLength int
+	// ChainSize is the TRIAD chain parameter m (0 for clustered
+	// embeddings): TRIAD chains have length m+1 for m = ⌈n/4⌉.
+	ChainSize int
+}
+
+// TriadReport computes the footprint of embedding n variables with the
+// general TRIAD pattern (Figure 2) on t, which supports arbitrary QUBO
+// coupling structure at a quadratic qubit cost.
+func TriadReport(t *Topology, n int) (*EmbeddingReport, error) {
+	emb, err := embedding.Triad(t.graph(), n)
+	if err != nil {
+		return nil, err
+	}
+	m, _ := embedding.TriadSize(n)
+	return &EmbeddingReport{
+		Variables:         emb.NumVariables(),
+		Qubits:            emb.NumQubits(),
+		QubitsPerVariable: emb.QubitsPerVariable(),
+		MaxChainLength:    emb.MaxChainLength(),
+		ChainSize:         m,
+	}, nil
+}
+
+// ClusteredReport computes the footprint of the clustered pattern
+// (Figure 3) for the given cluster sizes (plans per cluster) on t. It
+// fails when the clusters do not fit the graph.
+func ClusteredReport(t *Topology, clusterSizes []int) (*EmbeddingReport, error) {
+	emb, err := embedding.Clustered(t.graph(), clusterSizes)
+	if err != nil {
+		return nil, err
+	}
+	return &EmbeddingReport{
+		Variables:         emb.NumVariables(),
+		Qubits:            emb.NumQubits(),
+		QubitsPerVariable: emb.QubitsPerVariable(),
+		MaxChainLength:    emb.MaxChainLength(),
+	}, nil
+}
+
+// ClusterCapacity returns how many clusters of l plans each fit on t —
+// the maximal number of queries per plans-per-query (Figure 7).
+func ClusterCapacity(t *Topology, l int) int {
+	return embedding.Capacity(t.graph(), l)
+}
