@@ -10,9 +10,11 @@ package repro
 
 import (
 	"context"
+	"fmt"
 	"io"
 	"math/rand"
 	"os"
+	"runtime"
 	"testing"
 	"time"
 
@@ -115,6 +117,68 @@ func BenchmarkFigure7(b *testing.B) {
 	}
 }
 
+// --- Execution engine ----------------------------------------------------
+
+// BenchmarkPipeline measures the QuantumMQO hot path — gauge-batch
+// sampling plus read-out decoding — sequentially and fanned out across
+// all cores. The two sub-benchmarks produce BIT-IDENTICAL results (see
+// TestQuantumMQODeterministicAcrossParallelism); only wall-clock differs,
+// so their ratio is the execution engine's speedup on this machine.
+func BenchmarkPipeline(b *testing.B) {
+	g := chimera.DWave2X(0, 0)
+	p, err := core.GenerateEmbeddable(rand.New(rand.NewSource(2)), g,
+		mqo.Class{Queries: 537, PlansPerQuery: 2}, mqo.DefaultGeneratorConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, bc := range []struct {
+		name string
+		par  int
+	}{
+		{"sequential", 1},
+		{fmt.Sprintf("parallel-%d", runtime.GOMAXPROCS(0)), runtime.GOMAXPROCS(0)},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := core.QuantumMQO(context.Background(), p,
+					core.Options{Runs: 400, Graph: g, Parallelism: bc.par}, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Runs != 400 {
+					b.Fatalf("performed %d runs, want 400", res.Runs)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkHarnessAnytime measures one full anytime experiment (the unit
+// behind Figures 4 and 5) sequentially versus pooled: instances, the
+// solver panel, and gauge batches all fan out under Config.Parallelism.
+func BenchmarkHarnessAnytime(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Budget = 200 * time.Millisecond
+	class := mqo.Class{Queries: 108, PlansPerQuery: 5}
+	for _, bc := range []struct {
+		name string
+		par  int
+	}{
+		{"sequential", 1},
+		{fmt.Sprintf("parallel-%d", runtime.GOMAXPROCS(0)), runtime.GOMAXPROCS(0)},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			c := cfg
+			c.Parallelism = bc.par
+			for i := 0; i < b.N; i++ {
+				if _, err := c.RunAnytime(context.Background(), class); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // --- Ablations -----------------------------------------------------------
 
 // ablationInstance is a mid-size embeddable instance shared by ablations.
@@ -140,8 +204,7 @@ func BenchmarkAblationSamplers(b *testing.B) {
 	for _, sampler := range []anneal.Sampler{anneal.DefaultSA(), anneal.DefaultSQA()} {
 		b.Run(sampler.Name(), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				res, err := core.QuantumMQO(context.Background(), p, core.Options{Runs: 50, Sampler: sampler},
-					rand.New(rand.NewSource(int64(i))))
+				res, err := core.QuantumMQO(context.Background(), p, core.Options{Runs: 50, Sampler: sampler}, int64(i))
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -161,8 +224,7 @@ func BenchmarkAblationChainStrength(b *testing.B) {
 	}
 	run := func(b *testing.B, uniform float64) {
 		for i := 0; i < b.N; i++ {
-			res, err := core.QuantumMQO(context.Background(), p, core.Options{Runs: 50, UniformChainStrength: uniform},
-				rand.New(rand.NewSource(int64(i))))
+			res, err := core.QuantumMQO(context.Background(), p, core.Options{Runs: 50, UniformChainStrength: uniform}, int64(i))
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -184,8 +246,7 @@ func BenchmarkAblationGauges(b *testing.B) {
 		}
 		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				_, err := core.QuantumMQO(context.Background(), p, core.Options{Runs: 50, DisableGauges: disable},
-					rand.New(rand.NewSource(int64(i))))
+				_, err := core.QuantumMQO(context.Background(), p, core.Options{Runs: 50, DisableGauges: disable}, int64(i))
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -268,7 +329,7 @@ func BenchmarkDecomposition(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := decompose.Solve(context.Background(), p, decompose.Options{WindowQueries: 16,
-			Core: core.Options{Runs: 40}}, rand.New(rand.NewSource(int64(i))))
+			Core: core.Options{Runs: 40}}, int64(i))
 		if err != nil {
 			b.Fatal(err)
 		}

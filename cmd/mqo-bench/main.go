@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
 	"time"
 
 	"repro/mqopt"
@@ -29,6 +30,8 @@ func main() {
 	budget := flag.Duration("budget", 2*time.Second, "classical solver budget (paper: 100s)")
 	runs := flag.Int("runs", 1000, "annealing runs per instance (paper: 1000)")
 	seed := flag.Int64("seed", 1, "workload seed")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
+		"worker count for instances, solvers, and gauge batches (QA output is identical at any value)")
 	flag.Parse()
 
 	cfg := bench.DefaultConfig()
@@ -36,6 +39,7 @@ func main() {
 	cfg.Budget = *budget
 	cfg.QARuns = *runs
 	cfg.Seed = *seed
+	cfg.Parallelism = *parallel
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()

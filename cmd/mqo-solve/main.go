@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"time"
 
@@ -26,6 +27,8 @@ func main() {
 	solverName := flag.String("solver", "qa", "registered solver name (see -list-solvers)")
 	budget := flag.Duration("budget", 2*time.Second, "optimization budget (modeled time for qa)")
 	seed := flag.Int64("seed", 1, "random seed")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
+		"worker count for annealer gauge batches (output is identical at any value)")
 	verbose := flag.Bool("v", false, "print the anytime trace")
 	listSolvers := flag.Bool("list-solvers", false, "list registered solvers and exit")
 	flag.Parse()
@@ -40,13 +43,13 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	if err := run(ctx, *in, *solverName, *budget, *seed, *verbose); err != nil {
+	if err := run(ctx, *in, *solverName, *budget, *seed, *parallel, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "mqo-solve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ctx context.Context, in, solverName string, budget time.Duration, seed int64, verbose bool) error {
+func run(ctx context.Context, in, solverName string, budget time.Duration, seed int64, parallel int, verbose bool) error {
 	r := os.Stdin
 	if in != "-" {
 		f, err := os.Open(in)
@@ -63,7 +66,8 @@ func run(ctx context.Context, in, solverName string, budget time.Duration, seed 
 
 	res, err := solverreg.Solve(ctx, solverName, p,
 		mqopt.WithBudget(budget),
-		mqopt.WithSeed(seed))
+		mqopt.WithSeed(seed),
+		mqopt.WithParallelism(parallel))
 	if err != nil {
 		// A cancelled anytime solve still hands back its best incumbent;
 		// print it instead of discarding minutes of progress.

@@ -47,7 +47,7 @@ func TestEndToEndAllSolversAgreeOnOptimum(t *testing.T) {
 	}
 
 	// Quantum pipeline.
-	res, err := core.QuantumMQO(context.Background(), p, core.Options{Runs: 300, Graph: g}, rng)
+	res, err := core.QuantumMQO(context.Background(), p, core.Options{Runs: 300, Graph: g}, rng.Int63())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +150,7 @@ func TestEndToEndFaultyHardware(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := core.QuantumMQO(context.Background(), p, core.Options{Runs: 100, Graph: g}, rng)
+	res, err := core.QuantumMQO(context.Background(), p, core.Options{Runs: 100, Graph: g}, rng.Int63())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,12 +177,11 @@ func TestAblationPostprocess(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	with, err := core.QuantumMQO(context.Background(), p, core.Options{Runs: 60, Graph: g}, rand.New(rand.NewSource(1)))
+	with, err := core.QuantumMQO(context.Background(), p, core.Options{Runs: 60, Graph: g}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	without, err := core.QuantumMQO(context.Background(), p, core.Options{Runs: 60, Graph: g, DisablePostprocess: true},
-		rand.New(rand.NewSource(1)))
+	without, err := core.QuantumMQO(context.Background(), p, core.Options{Runs: 60, Graph: g, DisablePostprocess: true}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,8 +201,7 @@ func TestAblationUniformChainStrength(t *testing.T) {
 		[]float64{2, 4, 3, 1},
 		[]mqo.Saving{{P1: 1, P2: 2, Value: 5}},
 	)
-	res, err := core.QuantumMQO(context.Background(), p, core.Options{Runs: 100, UniformChainStrength: 50},
-		rand.New(rand.NewSource(1)))
+	res, err := core.QuantumMQO(context.Background(), p, core.Options{Runs: 100, UniformChainStrength: 50}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,8 +217,7 @@ func TestAblationGaugesOff(t *testing.T) {
 		[]float64{2, 4, 3, 1},
 		[]mqo.Saving{{P1: 1, P2: 2, Value: 5}},
 	)
-	res, err := core.QuantumMQO(context.Background(), p, core.Options{Runs: 100, DisableGauges: true},
-		rand.New(rand.NewSource(1)))
+	res, err := core.QuantumMQO(context.Background(), p, core.Options{Runs: 100, DisableGauges: true}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -15,13 +15,13 @@ package core
 import (
 	"context"
 	"fmt"
-	"math/rand"
 	"time"
 
 	"repro/internal/anneal"
 	"repro/internal/chimera"
 	"repro/internal/dwave"
 	"repro/internal/embedding"
+	"repro/internal/exec"
 	"repro/internal/ising"
 	"repro/internal/logical"
 	"repro/internal/mqo"
@@ -69,6 +69,10 @@ type Options struct {
 	// Pattern selects the embedding pattern; PatternAuto prefers the
 	// clustered pattern and falls back to TRIAD.
 	Pattern Pattern
+	// Parallelism bounds how many gauge batches are sampled and decoded
+	// concurrently; non-positive uses one worker per CPU. For a fixed
+	// seed the result is bit-identical at every setting.
+	Parallelism int
 	// OnImprovement, if non-nil, observes every incumbent improvement as
 	// it is recorded into the result trace, in nonincreasing cost order.
 	OnImprovement func(trace.Point)
@@ -117,11 +121,34 @@ type Result struct {
 	UsedTriadFallback bool
 }
 
-// QuantumMQO solves an MQO problem on the simulated annealer. It checks
-// ctx between annealing runs: a cancelled context aborts the remaining
-// runs, returning the partial result when at least one run decoded (with
-// a nil error) and (nil, ctx.Err()) otherwise.
-func QuantumMQO(ctx context.Context, p *mqo.Problem, opt Options, rng *rand.Rand) (*Result, error) {
+// readout is one decoded annealing run: its cost (when the read-out
+// decoded to a valid solution) at its modeled completion time.
+type readout struct {
+	elapsed time.Duration
+	cost    float64
+	ok      bool
+	broken  bool
+}
+
+// batchResult is everything one gauge batch contributes to the merge:
+// its per-run read-outs in run order plus the batch incumbent (the
+// earliest run achieving the batch's minimal cost).
+type batchResult struct {
+	outs     []readout
+	bestSol  mqo.Solution
+	bestCost float64
+	have     bool
+}
+
+// QuantumMQO solves an MQO problem on the simulated annealer. Gauge
+// batches are sampled and decoded concurrently under opt.Parallelism,
+// each from a private random stream split off seed, and merged back in
+// run order — so the incumbent trace, solution, and modeled clock are
+// bit-identical at any worker count. It checks ctx between batches: a
+// cancelled context aborts the remaining runs, returning the partial
+// result when at least one run decoded (with a nil error) and
+// (nil, ctx.Err()) otherwise.
+func QuantumMQO(ctx context.Context, p *mqo.Problem, opt Options, seed int64) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -160,48 +187,82 @@ func QuantumMQO(ctx context.Context, p *mqo.Problem, opt Options, rng *rand.Rand
 	}
 	device := dwave.NewDWave2X(opt.Sampler)
 	device.DisableGauges = opt.DisableGauges
+	batches := device.Batches(opt.Runs, seed)
+	original := anneal.Compile(isingProblem)
+
 	broken := 0
 	bestCost := 0.0
 	haveBest := false
 	performed := 0
-	device.SampleIsing(isingProblem, opt.Runs, rng, func(s dwave.Sample) bool {
-		performed++
-		bits := ising.SpinsToBits(s.Spins)
-		logicalBits := phys.Unembed(bits)
-		if phys.BrokenChains(bits) > 0 {
-			broken++
-		}
-		if !opt.DisablePostprocess {
-			// Single-bit descent on the logical formula removes
-			// majority-vote artifacts of broken chains (a domain wall
-			// inside a chain is single-flip stable at the physical
-			// level, so descending there would not help).
-			mapping.QUBO.FirstImprovementDescent(logicalBits, 16)
-		}
-		sol := mapping.Decode(logicalBits)
-		if !opt.DisablePostprocess {
-			// Optimization post-processing as offered by the production
-			// device API: local search over plan swaps on the decoded
-			// solution. Penalty terms put barriers of height ≈ wM
-			// between valid selections, which quantum tunneling crosses
-			// but the classical sampling surrogate cannot; the swap
-			// descent restores the read-out quality the paper reports
-			// for hardware (final gaps well under 1%).
-			swapDescent(p, sol)
-		}
-		cost, err := p.Cost(sol)
-		if err != nil {
-			return ctx.Err() == nil // repair failed; skip the read-out
-		}
-		res.Trace.Record(s.Elapsed, cost)
-		if !haveBest || cost < bestCost {
-			bestCost = cost
-			res.Solution = sol
-			res.Cost = cost
-			haveBest = true
-		}
-		return ctx.Err() == nil
-	})
+	// Fan out: each worker samples one gauge batch AND decodes its
+	// read-outs (chain majority vote, descents, cost) — the whole hot
+	// path scales with cores. Merge: batch results return in run order,
+	// so recording them sequentially yields a single nondecreasing
+	// modeled-time trace and OnImprovement still streams strictly
+	// improving incumbents.
+	ferr := exec.ForEachOrdered(ctx, opt.Parallelism, len(batches),
+		func(tctx context.Context, i int) (*batchResult, error) {
+			samples := device.SampleBatch(tctx, isingProblem, original, batches[i])
+			br := &batchResult{outs: make([]readout, 0, len(samples))}
+			for _, s := range samples {
+				bits := ising.SpinsToBits(s.Spins)
+				logicalBits := phys.Unembed(bits)
+				ro := readout{elapsed: s.Elapsed, broken: phys.BrokenChains(bits) > 0}
+				if !opt.DisablePostprocess {
+					// Single-bit descent on the logical formula removes
+					// majority-vote artifacts of broken chains (a domain
+					// wall inside a chain is single-flip stable at the
+					// physical level, so descending there would not help).
+					mapping.QUBO.FirstImprovementDescent(logicalBits, 16)
+				}
+				sol := mapping.Decode(logicalBits)
+				if !opt.DisablePostprocess {
+					// Optimization post-processing as offered by the
+					// production device API: local search over plan swaps
+					// on the decoded solution. Penalty terms put barriers
+					// of height ≈ wM between valid selections, which
+					// quantum tunneling crosses but the classical sampling
+					// surrogate cannot; the swap descent restores the
+					// read-out quality the paper reports for hardware
+					// (final gaps well under 1%).
+					swapDescent(p, sol)
+				}
+				if cost, cerr := p.Cost(sol); cerr == nil {
+					ro.ok = true
+					ro.cost = cost
+					if !br.have || cost < br.bestCost {
+						br.have = true
+						br.bestCost = cost
+						br.bestSol = sol
+					}
+				} // else: repair failed; skip the read-out
+				br.outs = append(br.outs, ro)
+			}
+			return br, nil
+		},
+		func(_ int, br *batchResult) bool {
+			for _, ro := range br.outs {
+				performed++
+				if ro.broken {
+					broken++
+				}
+				if ro.ok {
+					res.Trace.Record(ro.elapsed, ro.cost)
+				}
+			}
+			if br.have && (!haveBest || br.bestCost < bestCost) {
+				bestCost = br.bestCost
+				res.Solution = br.bestSol
+				res.Cost = br.bestCost
+				haveBest = true
+			}
+			return ctx.Err() == nil
+		})
+	if ferr != nil && ctx.Err() == nil {
+		// A worker failure that is not a cancellation (e.g. a captured
+		// panic) invalidates the run even if a prefix decoded.
+		return nil, ferr
+	}
 	if !haveBest {
 		if err := ctx.Err(); err != nil {
 			return nil, err

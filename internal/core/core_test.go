@@ -23,7 +23,7 @@ func example1() *mqo.Problem {
 }
 
 func TestQuantumMQOExample1(t *testing.T) {
-	res, err := QuantumMQO(context.Background(), example1(), Options{Runs: 50}, rand.New(rand.NewSource(1)))
+	res, err := QuantumMQO(context.Background(), example1(), Options{Runs: 50}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,7 +41,7 @@ func TestQuantumMQOFindsOptimaOnSmallInstances(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		class := mqo.Class{Queries: 3 + rng.Intn(5), PlansPerQuery: 2 + rng.Intn(2)}
 		p := mqo.Generate(rng, class, cfg)
-		res, err := QuantumMQO(context.Background(), p, Options{Runs: 200}, rng)
+		res, err := QuantumMQO(context.Background(), p, Options{Runs: 200}, rng.Int63())
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -60,7 +60,7 @@ func TestQuantumMQOFindsOptimaOnSmallInstances(t *testing.T) {
 
 func TestQuantumMQOModeledTimeAxis(t *testing.T) {
 	p := example1()
-	res, err := QuantumMQO(context.Background(), p, Options{Runs: 100}, rand.New(rand.NewSource(3)))
+	res, err := QuantumMQO(context.Background(), p, Options{Runs: 100}, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +93,7 @@ func TestGenerateEmbeddablePaperClasses(t *testing.T) {
 			t.Fatalf("class %v: no savings generated", class)
 		}
 		// The instance must embed on the clustered pattern (no fallback).
-		res, err := QuantumMQO(context.Background(), p, Options{Runs: 1, Graph: g}, rng)
+		res, err := QuantumMQO(context.Background(), p, Options{Runs: 1, Graph: g}, rng.Int63())
 		if err != nil {
 			t.Fatalf("class %v: pipeline failed: %v", class, err)
 		}
@@ -112,7 +112,7 @@ func TestGenerateEmbeddableQubitsPerVariable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := QuantumMQO(context.Background(), p2, Options{Runs: 1, Graph: g}, rng)
+	r2, err := QuantumMQO(context.Background(), p2, Options{Runs: 1, Graph: g}, rng.Int63())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +123,7 @@ func TestGenerateEmbeddableQubitsPerVariable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r5, err := QuantumMQO(context.Background(), p5, Options{Runs: 1, Graph: g}, rng)
+	r5, err := QuantumMQO(context.Background(), p5, Options{Runs: 1, Graph: g}, rng.Int63())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +143,7 @@ func TestTriadFallbackForUnstructuredInstances(t *testing.T) {
 		[]float64{5, 6, 4, 7, 6, 5},
 		[]mqo.Saving{{P1: 0, P2: 4, Value: 6}}, // query 0 ↔ query 2
 	)
-	res, err := QuantumMQO(context.Background(), p, Options{Runs: 100}, rand.New(rand.NewSource(17)))
+	res, err := QuantumMQO(context.Background(), p, Options{Runs: 100}, 17)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +163,7 @@ func TestQuantumMQOTooLargeForGraph(t *testing.T) {
 	g := chimera.NewGraph(1, 1)
 	rng := rand.New(rand.NewSource(19))
 	p := mqo.Generate(rng, mqo.Class{Queries: 20, PlansPerQuery: 4}, mqo.DefaultGeneratorConfig())
-	if _, err := QuantumMQO(context.Background(), p, Options{Graph: g, Runs: 1}, rng); err == nil {
+	if _, err := QuantumMQO(context.Background(), p, Options{Graph: g, Runs: 1}, rng.Int63()); err == nil {
 		t.Error("oversized instance accepted")
 	}
 }
@@ -201,7 +201,7 @@ func TestQASolverBudgetCapsRuns(t *testing.T) {
 
 func TestQuantumMQOWithSQASampler(t *testing.T) {
 	p := example1()
-	res, err := QuantumMQO(context.Background(), p, Options{Runs: 30, Sampler: anneal.DefaultSQA()}, rand.New(rand.NewSource(31)))
+	res, err := QuantumMQO(context.Background(), p, Options{Runs: 30, Sampler: anneal.DefaultSQA()}, 31)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -217,7 +217,7 @@ func TestPreprocessTimeReported(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := QuantumMQO(context.Background(), p, Options{Runs: 1, Graph: g}, rng)
+	res, err := QuantumMQO(context.Background(), p, Options{Runs: 1, Graph: g}, rng.Int63())
 	if err != nil {
 		t.Fatal(err)
 	}

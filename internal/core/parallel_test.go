@@ -1,0 +1,143 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"repro/internal/chimera"
+	"repro/internal/mqo"
+	"repro/internal/trace"
+)
+
+// determinismInstance is a mid-size embeddable instance with enough runs
+// to span several gauge batches.
+func determinismInstance(t *testing.T) *mqo.Problem {
+	t.Helper()
+	rng := rand.New(rand.NewSource(21))
+	p, err := GenerateEmbeddable(rng, chimera.DWave2X(0, 0), mqo.Class{Queries: 40, PlansPerQuery: 3}, mqo.DefaultGeneratorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestQuantumMQODeterministicAcrossParallelism is the determinism
+// contract of the execution engine: with a fixed seed the incumbent
+// trace, final plan, and device statistics are byte-identical whether the
+// gauge batches run sequentially or on every core.
+func TestQuantumMQODeterministicAcrossParallelism(t *testing.T) {
+	p := determinismInstance(t)
+	run := func(par int) (*Result, []trace.Point) {
+		var streamed []trace.Point
+		res, err := QuantumMQO(context.Background(), p, Options{
+			Runs:          400,
+			Parallelism:   par,
+			OnImprovement: func(pt trace.Point) { streamed = append(streamed, pt) },
+		}, 77)
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		return res, streamed
+	}
+	want, wantStream := run(1)
+	for _, par := range []int{4, runtime.GOMAXPROCS(0)} {
+		got, gotStream := run(par)
+		if !reflect.DeepEqual(got.Solution, want.Solution) {
+			t.Errorf("parallelism %d: solution %v != sequential %v", par, got.Solution, want.Solution)
+		}
+		if got.Cost != want.Cost {
+			t.Errorf("parallelism %d: cost %v != %v", par, got.Cost, want.Cost)
+		}
+		if !reflect.DeepEqual(got.Trace.Points(), want.Trace.Points()) {
+			t.Errorf("parallelism %d: incumbent trace diverges from sequential run", par)
+		}
+		if !reflect.DeepEqual(gotStream, wantStream) {
+			t.Errorf("parallelism %d: OnImprovement stream diverges", par)
+		}
+		if got.Runs != want.Runs || got.BrokenChainRate != want.BrokenChainRate {
+			t.Errorf("parallelism %d: runs/broken-chain stats diverge (%d/%v vs %d/%v)",
+				par, got.Runs, got.BrokenChainRate, want.Runs, want.BrokenChainRate)
+		}
+	}
+}
+
+// TestQuantumMQOSeedChangesResult guards against the degenerate
+// implementation where every batch ignores its split seed.
+func TestQuantumMQOSeedChangesResult(t *testing.T) {
+	p := determinismInstance(t)
+	a, err := QuantumMQO(context.Background(), p, Options{Runs: 100}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := QuantumMQO(context.Background(), p, Options{Runs: 100}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Trace.Points(), b.Trace.Points()) {
+		t.Error("seeds 1 and 2 produced identical incumbent traces")
+	}
+}
+
+// TestQuantumMQOStreamStrictlyImproves verifies the OnImprovement
+// contract survives the parallel merge: costs strictly decrease and
+// modeled times never go backwards.
+func TestQuantumMQOStreamStrictlyImproves(t *testing.T) {
+	p := determinismInstance(t)
+	var pts []trace.Point
+	_, err := QuantumMQO(context.Background(), p, Options{
+		Runs:          400,
+		Parallelism:   4,
+		OnImprovement: func(pt trace.Point) { pts = append(pts, pt) },
+	}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) == 0 {
+		t.Fatal("no improvements streamed")
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Cost >= pts[i-1].Cost {
+			t.Errorf("stream not strictly improving at %d: %v then %v", i, pts[i-1].Cost, pts[i].Cost)
+		}
+		if pts[i].T < pts[i-1].T {
+			t.Errorf("modeled time went backwards at %d: %v then %v", i, pts[i-1].T, pts[i].T)
+		}
+	}
+}
+
+// TestQuantumMQOCancellationMidFanOut cancels after the first streamed
+// improvement: the pipeline must stop early and still return the
+// best-so-far incumbent (the facade layers attach ctx.Err()).
+func TestQuantumMQOCancellationMidFanOut(t *testing.T) {
+	p := determinismInstance(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	res, err := QuantumMQO(ctx, p, Options{
+		Runs:          1000,
+		Parallelism:   4,
+		OnImprovement: func(trace.Point) { cancel() },
+	}, 13)
+	if err != nil {
+		t.Fatalf("cancelled run with an incumbent must return it, got error %v", err)
+	}
+	if !p.Valid(res.Solution) {
+		t.Error("cancelled run returned an invalid incumbent")
+	}
+	if res.Runs >= 1000 {
+		t.Errorf("cancellation did not abort the fan-out (%d runs performed)", res.Runs)
+	}
+}
+
+// TestQuantumMQOPreCancelled keeps the prompt-return contract.
+func TestQuantumMQOPreCancelled(t *testing.T) {
+	p := determinismInstance(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := QuantumMQO(ctx, p, Options{Runs: 100, Parallelism: 4}, 3)
+	if err == nil || res != nil {
+		t.Fatalf("pre-cancelled solve returned (%v, %v), want (nil, ctx.Err())", res, err)
+	}
+}

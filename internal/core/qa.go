@@ -46,11 +46,13 @@ func RunsForBudget(budget time.Duration, limit int) int {
 	return runs
 }
 
-// Solve implements solvers.Solver.
+// Solve implements solvers.Solver. The interface threads a rand.Rand;
+// the pipeline itself is seed-split per gauge batch, so the stream's
+// first draw becomes the session seed.
 func (q *QASolver) Solve(ctx context.Context, p *mqo.Problem, budget time.Duration, rng *rand.Rand, tr *trace.Trace) mqo.Solution {
 	opt := q.Opt.withDefaults()
 	opt.Runs = RunsForBudget(budget, opt.Runs)
-	res, err := QuantumMQO(ctx, p, opt, rng)
+	res, err := QuantumMQO(ctx, p, opt, rng.Int63())
 	if err != nil || res == nil {
 		// The instance does not fit the annealer: report nothing, like a
 		// hardware reject. Callers compare against an empty trace.

@@ -18,12 +18,12 @@ package decompose
 import (
 	"context"
 	"fmt"
-	"math/rand"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/dwave"
 	"repro/internal/mqo"
+	"repro/internal/splitmix"
 	"repro/internal/trace"
 )
 
@@ -63,11 +63,13 @@ type Result struct {
 }
 
 // Solve optimizes an MQO instance of arbitrary size through a series of
-// annealer-sized QUBO problems. It checks ctx between windows: a
-// cancelled context stops the sweep and the incumbent found so far is
-// returned together with ctx.Err() (the incumbent is always valid, since
-// sweeps start from the greedy solution).
-func Solve(ctx context.Context, p *mqo.Problem, opt Options, rng *rand.Rand) (*Result, error) {
+// annealer-sized QUBO problems. Each window solve draws its private
+// random stream by splitting seed with the window's global position, so
+// the series is reproducible at any annealer parallelism. It checks ctx
+// between windows: a cancelled context stops the sweep and the incumbent
+// found so far is returned together with ctx.Err() (the incumbent is
+// always valid, since sweeps start from the greedy solution).
+func Solve(ctx context.Context, p *mqo.Problem, opt Options, seed int64) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -127,7 +129,7 @@ func Solve(ctx context.Context, p *mqo.Problem, opt Options, rng *rand.Rand) (*R
 			if b > nq {
 				b = nq
 			}
-			improved, runs, err := solveWindow(ctx, p, sol, a, b, opt.Core, rng)
+			improved, runs, err := solveWindow(ctx, p, sol, a, b, opt.Core, splitmix.Split(seed, int64(res.Windows)))
 			if err != nil {
 				return nil, err
 			}
@@ -180,7 +182,7 @@ func windowStarts(nq, window, step int, reverse bool) []int {
 // solveWindow extracts queries [a, b) into a sub-instance, folds savings
 // toward the frozen remainder into plan costs, solves it on the annealer,
 // and writes the window's selection back when it improves the incumbent.
-func solveWindow(ctx context.Context, p *mqo.Problem, sol mqo.Solution, a, b int, opt core.Options, rng *rand.Rand) (improved bool, runs int, err error) {
+func solveWindow(ctx context.Context, p *mqo.Problem, sol mqo.Solution, a, b int, opt core.Options, seed int64) (improved bool, runs int, err error) {
 	selected := make([]bool, p.NumPlans())
 	inWindow := make([]bool, p.NumPlans())
 	for q, pl := range sol {
@@ -240,7 +242,7 @@ func solveWindow(ctx context.Context, p *mqo.Problem, sol mqo.Solution, a, b int
 	if err != nil {
 		return false, 0, fmt.Errorf("decompose: building window [%d,%d): %w", a, b, err)
 	}
-	subRes, err := core.QuantumMQO(ctx, sub, opt, rng)
+	subRes, err := core.QuantumMQO(ctx, sub, opt, seed)
 	if err != nil {
 		if ctx.Err() != nil {
 			return false, 0, nil // cancelled mid-window: keep the incumbent

@@ -16,7 +16,7 @@ func TestSolveMatchesOptimumOnSmallInstances(t *testing.T) {
 	for seed := int64(0); seed < 6; seed++ {
 		rng := rand.New(rand.NewSource(seed))
 		p := mqo.Generate(rng, mqo.Class{Queries: 10, PlansPerQuery: 2}, cfg)
-		res, err := Solve(context.Background(), p, Options{WindowQueries: 4, Core: core.Options{Runs: 60}}, rng)
+		res, err := Solve(context.Background(), p, Options{WindowQueries: 4, Core: core.Options{Runs: 60}}, rng.Int63())
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -42,10 +42,10 @@ func TestSolveBeyondAnnealerCapacity(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	p := mqo.Generate(rng, mqo.Class{Queries: 2000, PlansPerQuery: 2}, mqo.DefaultGeneratorConfig())
 	// Confirm the monolithic pipeline rejects it.
-	if _, err := core.QuantumMQO(context.Background(), p, core.Options{Runs: 1}, rng); err == nil {
+	if _, err := core.QuantumMQO(context.Background(), p, core.Options{Runs: 1}, rng.Int63()); err == nil {
 		t.Fatal("2000-query instance unexpectedly fit the annealer as one QUBO")
 	}
-	res, err := Solve(context.Background(), p, Options{WindowQueries: 16, Core: core.Options{Runs: 40}}, rng)
+	res, err := Solve(context.Background(), p, Options{WindowQueries: 16, Core: core.Options{Runs: 40}}, rng.Int63())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +73,7 @@ func TestSolveImprovesOverGreedy(t *testing.T) {
 	p := mqo.Generate(rng, mqo.Class{Queries: 200, PlansPerQuery: 3}, mqo.DefaultGeneratorConfig())
 	greedy := p.Repair(make(mqo.Solution, p.NumQueries()))
 	greedyCost := p.CostOfSet(greedy)
-	res, err := Solve(context.Background(), p, Options{Core: core.Options{Runs: 40}}, rng)
+	res, err := Solve(context.Background(), p, Options{Core: core.Options{Runs: 40}}, rng.Int63())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +86,7 @@ func TestSolveHandlesDegenerateShapes(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	// Single query.
 	p := mqo.MustNew([][]int{{0, 1}}, []float64{3, 1}, nil)
-	res, err := Solve(context.Background(), p, Options{Core: core.Options{Runs: 20}}, rng)
+	res, err := Solve(context.Background(), p, Options{Core: core.Options{Runs: 20}}, rng.Int63())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +95,7 @@ func TestSolveHandlesDegenerateShapes(t *testing.T) {
 	}
 	// Window larger than the instance.
 	p2 := mqo.Generate(rng, mqo.Class{Queries: 3, PlansPerQuery: 2}, mqo.DefaultGeneratorConfig())
-	if _, err := Solve(context.Background(), p2, Options{WindowQueries: 50, Core: core.Options{Runs: 20}}, rng); err != nil {
+	if _, err := Solve(context.Background(), p2, Options{WindowQueries: 50, Core: core.Options{Runs: 20}}, rng.Int63()); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -133,7 +133,7 @@ func TestNegativeFoldedCostsShifted(t *testing.T) {
 		[]mqo.Saving{{P1: 0, P2: 2, Value: 10}},
 	)
 	rng := rand.New(rand.NewSource(9))
-	res, err := Solve(context.Background(), p, Options{WindowQueries: 1, Core: core.Options{Runs: 30}}, rng)
+	res, err := Solve(context.Background(), p, Options{WindowQueries: 1, Core: core.Options{Runs: 30}}, rng.Int63())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +153,7 @@ func TestSolveOnFaultyGraph(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
 	p := mqo.Generate(rng, mqo.Class{Queries: 60, PlansPerQuery: 2}, mqo.DefaultGeneratorConfig())
 	g := chimera.DWave2X(chimera.PaperBrokenQubits, 1)
-	res, err := Solve(context.Background(), p, Options{WindowQueries: 8, Core: core.Options{Runs: 30, Graph: g}}, rng)
+	res, err := Solve(context.Background(), p, Options{WindowQueries: 8, Core: core.Options{Runs: 30, Graph: g}}, rng.Int63())
 	if err != nil {
 		t.Fatal(err)
 	}

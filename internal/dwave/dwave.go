@@ -9,14 +9,25 @@
 // Ising input. Elapsed device time is modeled: every run advances a
 // modeled clock by the hardware constants, preserving the time axis of
 // the paper's figures independently of simulation wall-clock time.
+//
+// Gauge batches are independent by construction — the paper's protocol
+// draws a fresh random gauge every RunsPerGauge runs precisely so batches
+// decorrelate — which makes them the natural unit of parallelism. Each
+// batch samples from its own random stream derived by SplitMix64 from the
+// session seed and the batch index, so spins, energies, and the modeled
+// device clock are bit-identical at any worker count.
 package dwave
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"time"
 
 	"repro/internal/anneal"
+	"repro/internal/exec"
 	"repro/internal/ising"
+	"repro/internal/splitmix"
 )
 
 // Paper timing constants (Section 7.1).
@@ -34,7 +45,9 @@ const (
 
 // Device is a simulated quantum annealer.
 type Device struct {
-	// Sampler performs the annealing cycle.
+	// Sampler performs the annealing cycle. It must be safe for
+	// concurrent use with distinct rand.Rand instances (the built-in
+	// samplers are configuration-only and qualify).
 	Sampler anneal.Sampler
 	// AnnealTime and ReadoutTime are charged to the modeled clock per run.
 	AnnealTime, ReadoutTime time.Duration
@@ -44,6 +57,10 @@ type Device struct {
 	// gauge ablation; the paper uses 10 random gauges per test case to
 	// cancel qubit biases).
 	DisableGauges bool
+	// Parallelism bounds how many gauge batches sample concurrently;
+	// non-positive uses one worker per CPU. Output is identical at every
+	// setting — only wall-clock changes.
+	Parallelism int
 }
 
 // DefaultSampler returns the annealing surrogate used by default:
@@ -74,49 +91,126 @@ type Sample struct {
 	Elapsed time.Duration
 }
 
-// SampleIsing performs runs annealing cycles on p, applying a fresh random
-// gauge transformation every RunsPerGauge runs ("a gauge transformation
-// selects for each qubit the physical state representing a one randomly").
-// The onSample callback, if non-nil, observes every read-out in order;
-// returning false aborts the remaining runs (the hook context-aware
-// callers use to cancel a batch mid-flight). The best sample seen is
-// returned.
-func (d *Device) SampleIsing(p *ising.Problem, runs int, rng *rand.Rand, onSample func(Sample) bool) Sample {
+// Batch describes one gauge batch of a sampling session: Runs annealing
+// runs under a single gauge transformation, drawn from the batch's
+// private random stream.
+type Batch struct {
+	// Index is the batch position within the session.
+	Index int
+	// Start is the global run index of the batch's first run; run
+	// Start+j completes at modeled time (Start+j+1)·TimePerSample.
+	Start int
+	// Runs is the number of annealing runs in this batch.
+	Runs int
+	// Seed seeds the batch's private random stream (gauge + anneals).
+	Seed int64
+}
+
+// Batches splits a session of runs annealing runs (non-positive selects
+// the paper's 1000) into gauge batches of RunsPerGauge runs each, with
+// per-batch sub-seeds split from seed. The split is position-based, so
+// the schedule — and therefore every downstream read-out — is independent
+// of how many batches later execute concurrently.
+func (d *Device) Batches(runs int, seed int64) []Batch {
 	if runs <= 0 {
 		runs = PaperTotalRuns
 	}
-	batch := d.RunsPerGauge
-	if batch <= 0 {
-		batch = PaperRunsPerGauge
+	size := d.RunsPerGauge
+	if size <= 0 {
+		size = PaperRunsPerGauge
 	}
+	batches := make([]Batch, 0, (runs+size-1)/size)
+	for start := 0; start < runs; start += size {
+		n := size
+		if start+n > runs {
+			n = runs - start
+		}
+		batches = append(batches, Batch{
+			Index: len(batches),
+			Start: start,
+			Runs:  n,
+			Seed:  splitmix.Split(seed, int64(len(batches))),
+		})
+	}
+	return batches
+}
+
+// SampleBatch executes one gauge batch sequentially and returns its
+// read-outs in run order, spins and energies expressed in the problem's
+// original gauge. original is p compiled in the identity gauge; sessions
+// compile it once and share it across batches (nil compiles on the
+// spot). The batch is deterministic in b alone, which is what lets it
+// run on any worker without changing results. A cancelled ctx stops
+// between runs, returning the read-outs completed so far.
+func (d *Device) SampleBatch(ctx context.Context, p *ising.Problem, original *anneal.Compiled, b Batch) []Sample {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	rng := rand.New(rand.NewSource(b.Seed))
+	gauge := ising.RandomGauge(rng, p.N())
+	if d.DisableGauges {
+		gauge = ising.IdentityGauge(p.N())
+	}
+	if original == nil {
+		original = anneal.Compile(p)
+	}
+	compiled := anneal.Compile(p.ApplyGauge(gauge))
+	out := make([]Sample, 0, b.Runs)
+	for j := 0; j < b.Runs; j++ {
+		if ctx.Err() != nil {
+			return out
+		}
+		spins := d.Sampler.Sample(compiled, rng)
+		orig := gauge.UndoSpins(spins)
+		out = append(out, Sample{
+			Spins:   orig,
+			Energy:  original.Energy(orig),
+			Elapsed: time.Duration(b.Start+j+1) * d.TimePerSample(),
+		})
+	}
+	return out
+}
+
+// SampleIsing performs runs annealing cycles on p (non-positive selects
+// the paper's 1000), applying a fresh random gauge transformation every
+// RunsPerGauge runs ("a gauge transformation selects for each qubit the
+// physical state representing a one randomly"). Batches are sampled
+// concurrently under d.Parallelism; the onSample callback, if non-nil,
+// still observes every read-out in strict run order — returning false
+// aborts the undelivered remainder (the hook context-aware callers use to
+// cancel mid-flight), and a cancelled ctx stops scheduling promptly. The
+// best sample seen is returned; for a fixed seed it is bit-identical at
+// any parallelism.
+func (d *Device) SampleIsing(ctx context.Context, p *ising.Problem, runs int, seed int64, onSample func(Sample) bool) Sample {
+	batches := d.Batches(runs, seed)
 	original := anneal.Compile(p)
-	var elapsed time.Duration
 	best := Sample{}
 	haveBest := false
-	for done := 0; done < runs; {
-		gauge := ising.RandomGauge(rng, p.N())
-		if d.DisableGauges {
-			gauge = ising.IdentityGauge(p.N())
-		}
-		compiled := anneal.Compile(p.ApplyGauge(gauge))
-		for b := 0; b < batch && done < runs; b++ {
-			spins := d.Sampler.Sample(compiled, rng)
-			orig := gauge.UndoSpins(spins)
-			elapsed += d.TimePerSample()
-			s := Sample{Spins: orig, Energy: original.Energy(orig), Elapsed: elapsed}
-			keepGoing := true
-			if onSample != nil {
-				keepGoing = onSample(s)
+	err := exec.ForEachOrdered(ctx, d.Parallelism, len(batches),
+		func(tctx context.Context, i int) ([]Sample, error) {
+			return d.SampleBatch(tctx, p, original, batches[i]), nil
+		},
+		func(_ int, samples []Sample) bool {
+			for _, s := range samples {
+				keepGoing := true
+				if onSample != nil {
+					keepGoing = onSample(s)
+				}
+				if !haveBest || s.Energy < best.Energy {
+					best = s
+					haveBest = true
+				}
+				if !keepGoing {
+					return false
+				}
 			}
-			if !haveBest || s.Energy < best.Energy {
-				best = s
-				haveBest = true
-			}
-			done++
-			if !keepGoing {
-				return best
-			}
-		}
+			return true
+		})
+	if err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+		// The batch tasks never return errors, so anything besides a
+		// cancellation is a captured worker panic; re-raise it rather
+		// than silently returning a zero-value best sample.
+		panic(err)
 	}
 	return best
 }

@@ -1,8 +1,11 @@
 package dwave
 
 import (
+	"context"
 	"math"
 	"math/rand"
+	"reflect"
+	"runtime"
 	"testing"
 	"time"
 
@@ -25,9 +28,8 @@ func TestTimingModel(t *testing.T) {
 		t.Errorf("TimePerSample = %v, want 376µs (129 anneal + 247 readout)", d.TimePerSample())
 	}
 	p := trivialProblem(4)
-	rng := rand.New(rand.NewSource(1))
 	var elapsed []time.Duration
-	d.SampleIsing(p, 5, rng, func(s Sample) bool {
+	d.SampleIsing(context.Background(), p, 5, 1, func(s Sample) bool {
 		elapsed = append(elapsed, s.Elapsed)
 		return true
 	})
@@ -44,15 +46,14 @@ func TestTimingModel(t *testing.T) {
 func TestFindsTrivialGroundState(t *testing.T) {
 	d := NewDWave2X(DefaultSampler())
 	p := trivialProblem(10)
-	best := d.SampleIsing(p, 20, rand.New(rand.NewSource(2)), nil)
+	best := d.SampleIsing(context.Background(), p, 20, 2, nil)
 	// Ground: all spins +1, energy = offset-adjusted -10.
-	want := math.Inf(1)
 	c := anneal.Compile(p)
 	all1 := make([]int8, 10)
 	for i := range all1 {
 		all1[i] = 1
 	}
-	want = c.Energy(all1)
+	want := c.Energy(all1)
 	if math.Abs(best.Energy-want) > 1e-9 {
 		t.Errorf("best energy %v, want %v", best.Energy, want)
 	}
@@ -66,9 +67,8 @@ func TestGaugeBatching(t *testing.T) {
 	d.RunsPerGauge = 2
 	p := trivialProblem(6)
 	c := anneal.Compile(p)
-	rng := rand.New(rand.NewSource(3))
 	n := 0
-	d.SampleIsing(p, 5, rng, func(s Sample) bool {
+	d.SampleIsing(context.Background(), p, 5, 3, func(s Sample) bool {
 		n++
 		if math.Abs(c.Energy(s.Spins)-s.Energy) > 1e-9 {
 			t.Errorf("sample energy %v does not match spins (%v)", s.Energy, c.Energy(s.Spins))
@@ -77,6 +77,31 @@ func TestGaugeBatching(t *testing.T) {
 	})
 	if n != 5 {
 		t.Errorf("callback saw %d samples, want 5", n)
+	}
+}
+
+func TestBatchesSchedule(t *testing.T) {
+	d := NewDWave2X(DefaultSampler())
+	d.RunsPerGauge = 100
+	batches := d.Batches(250, 7)
+	if len(batches) != 3 {
+		t.Fatalf("got %d batches, want 3", len(batches))
+	}
+	wantRuns := []int{100, 100, 50}
+	start := 0
+	seeds := map[int64]bool{}
+	for i, b := range batches {
+		if b.Index != i || b.Start != start || b.Runs != wantRuns[i] {
+			t.Errorf("batch %d = %+v, want Start %d Runs %d", i, b, start, wantRuns[i])
+		}
+		if seeds[b.Seed] {
+			t.Errorf("batch %d reuses seed %d", i, b.Seed)
+		}
+		seeds[b.Seed] = true
+		start += b.Runs
+	}
+	if d.Batches(0, 7)[0].Runs != PaperRunsPerGauge {
+		t.Error("default session not split into paper-size batches")
 	}
 }
 
@@ -92,7 +117,7 @@ func TestBestSampleIsMinimum(t *testing.T) {
 	}
 	p := ising.FromQUBO(q)
 	var seen []float64
-	best := d.SampleIsing(p, 30, rng, func(s Sample) bool { seen = append(seen, s.Energy); return true })
+	best := d.SampleIsing(context.Background(), p, 30, 4, func(s Sample) bool { seen = append(seen, s.Energy); return true })
 	for _, e := range seen {
 		if e < best.Energy-1e-12 {
 			t.Errorf("best %v not minimal (saw %v)", best.Energy, e)
@@ -104,21 +129,95 @@ func TestDefaultRunsApplied(t *testing.T) {
 	d := NewDWave2X(&anneal.SimulatedAnnealer{Sweeps: 1, BetaStart: 1, BetaEnd: 1})
 	p := trivialProblem(2)
 	n := 0
-	d.SampleIsing(p, 0, rand.New(rand.NewSource(5)), func(Sample) bool { n++; return true })
+	d.SampleIsing(context.Background(), p, 0, 5, func(Sample) bool { n++; return true })
 	if n != PaperTotalRuns {
 		t.Errorf("default runs = %d, want %d", n, PaperTotalRuns)
 	}
 }
 
 func TestSampleIsingAbortsWhenCallbackReturnsFalse(t *testing.T) {
+	for _, par := range []int{1, 4} {
+		d := NewDWave2X(&anneal.SimulatedAnnealer{Sweeps: 1, BetaStart: 1, BetaEnd: 1})
+		d.RunsPerGauge = 10
+		d.Parallelism = par
+		p := trivialProblem(2)
+		n := 0
+		d.SampleIsing(context.Background(), p, 100, 6, func(Sample) bool {
+			n++
+			return n < 7
+		})
+		if n != 7 {
+			t.Errorf("parallelism %d: callback ran %d times after requesting abort at 7", par, n)
+		}
+	}
+}
+
+// collectSession runs a full session and returns every read-out in
+// delivery order.
+func collectSession(d *Device, p *ising.Problem, runs int, seed int64) []Sample {
+	var out []Sample
+	d.SampleIsing(context.Background(), p, runs, seed, func(s Sample) bool {
+		cp := s
+		cp.Spins = append([]int8(nil), s.Spins...)
+		out = append(out, cp)
+		return true
+	})
+	return out
+}
+
+func TestSampleIsingDeterministicAcrossParallelism(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	q := qubo.New(12)
+	for i := 0; i < 12; i++ {
+		q.AddLinear(i, rng.NormFloat64())
+		for j := i + 1; j < 12; j++ {
+			q.AddQuadratic(i, j, rng.NormFloat64())
+		}
+	}
+	p := ising.FromQUBO(q)
+
+	reference := func(par int) []Sample {
+		d := NewDWave2X(&anneal.SimulatedAnnealer{Sweeps: 4, BetaStart: 0.1, BetaEnd: 4})
+		d.RunsPerGauge = 25
+		d.Parallelism = par
+		return collectSession(d, p, 130, 42)
+	}
+	want := reference(1)
+	if len(want) != 130 {
+		t.Fatalf("sequential session yielded %d samples", len(want))
+	}
+	for _, par := range []int{4, runtime.GOMAXPROCS(0)} {
+		got := reference(par)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("parallelism %d: spins/energies/clock diverge from sequential run", par)
+		}
+	}
+	// A different seed must change the stream (the split is not constant).
+	d := NewDWave2X(&anneal.SimulatedAnnealer{Sweeps: 4, BetaStart: 0.1, BetaEnd: 4})
+	d.RunsPerGauge = 25
+	if other := collectSession(d, p, 130, 43); reflect.DeepEqual(other, want) {
+		t.Error("seed 42 and 43 produced identical sessions")
+	}
+}
+
+func TestSampleIsingCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
 	d := NewDWave2X(&anneal.SimulatedAnnealer{Sweeps: 1, BetaStart: 1, BetaEnd: 1})
+	d.RunsPerGauge = 10
+	d.Parallelism = 4
 	p := trivialProblem(2)
 	n := 0
-	d.SampleIsing(p, 100, rand.New(rand.NewSource(6)), func(Sample) bool {
+	best := d.SampleIsing(ctx, p, 1000, 8, func(Sample) bool {
 		n++
-		return n < 7
+		if n == 25 {
+			cancel()
+		}
+		return true
 	})
-	if n != 7 {
-		t.Errorf("callback ran %d times after requesting abort at 7", n)
+	if n >= 1000 {
+		t.Errorf("cancellation did not stop the session (saw %d read-outs)", n)
+	}
+	if len(best.Spins) == 0 {
+		t.Error("cancelled session lost the best-so-far sample")
 	}
 }

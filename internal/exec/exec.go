@@ -1,0 +1,203 @@
+// Package exec is the execution engine of the pipeline: bounded parallel
+// fan-out with deterministic, in-order result delivery. The annealer's
+// gauge batches, the harness's per-instance solver runs, and the
+// experiment tables all funnel through it, so wall-clock scales with
+// cores while output stays bit-identical at any worker count.
+//
+// The determinism contract: task i's result is consumed strictly after
+// task i-1's, regardless of completion order, and each task receives only
+// its index (callers derive per-task random streams with
+// internal/splitmix). Consequently ForEachOrdered(parallelism=N) observes
+// exactly the sequence a plain sequential loop would produce.
+//
+// Worker panics are captured and surfaced as *PanicError instead of
+// tearing down the process, and a cancelled context stops scheduling
+// promptly while already-consumed results stand.
+package exec
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// PanicError wraps a panic recovered from a worker task.
+type PanicError struct {
+	// Index is the task index that panicked.
+	Index int
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("exec: task %d panicked: %v\n%s", e.Index, e.Value, e.Stack)
+}
+
+// Parallelism normalizes a worker-count setting: non-positive selects one
+// worker per available CPU.
+func Parallelism(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// runTask invokes task(ctx, i), converting a panic into a *PanicError so
+// one bad read-out cannot crash a thousand-run experiment.
+func runTask[T any](ctx context.Context, task func(context.Context, int) (T, error), i int) (v T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Index: i, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return task(ctx, i)
+}
+
+// indexed carries one completed task result to the consumer.
+type indexed[T any] struct {
+	i   int
+	v   T
+	err error
+}
+
+// ForEachOrdered runs tasks 0..n-1 with at most parallelism workers and
+// delivers each result to consume in strict index order, as soon as the
+// next-in-order task completes (later tasks may already be in flight —
+// streaming consumers never wait for the whole fan-out). consume
+// returning false stops the remaining tasks and returns nil, mirroring a
+// sequential loop's break.
+//
+// Errors are delivered in the same deterministic order: the error of the
+// lowest-indexed failing task is returned and everything after it is
+// cancelled; results consumed before it stand. A cancelled ctx returns
+// ctx.Err() promptly. parallelism <= 0 selects one worker per CPU.
+func ForEachOrdered[T any](ctx context.Context, parallelism, n int, task func(context.Context, int) (T, error), consume func(int, T) bool) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if n <= 0 {
+		return nil
+	}
+	parallelism = Parallelism(parallelism)
+	if parallelism > n {
+		parallelism = n
+	}
+	if parallelism == 1 {
+		// Sequential fast path: no goroutines, identical semantics.
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			v, err := runTask(ctx, task, i)
+			if err != nil {
+				return err
+			}
+			if !consume(i, v) {
+				return nil
+			}
+		}
+		return nil
+	}
+
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// Workers claim monotonically increasing task indexes, gated by a
+	// token window of 2×parallelism claimed-but-undelivered tasks. The
+	// window backpressures fast workers when one slow task blocks
+	// in-order delivery, bounding buffered results at O(parallelism)
+	// instead of O(n); since claims are ordered, the next-in-order task
+	// is always inside the window, so delivery cannot deadlock.
+	window := 2 * parallelism
+	tokens := make(chan struct{}, window)
+	for i := 0; i < window; i++ {
+		tokens <- struct{}{}
+	}
+	results := make(chan indexed[T], parallelism)
+	var nextTask atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-tokens:
+				case <-cctx.Done():
+					return
+				}
+				i := int(nextTask.Add(1) - 1)
+				if i >= n || cctx.Err() != nil {
+					return
+				}
+				v, err := runTask(cctx, task, i)
+				select {
+				case results <- indexed[T]{i: i, v: v, err: err}:
+				case <-cctx.Done():
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	// Re-sequence out-of-order completions; deliver strictly in order.
+	pending := make(map[int]indexed[T], parallelism)
+	want := 0
+	for want < n {
+		r, ok := <-results
+		if !ok {
+			// Workers exited without delivering everything: only possible
+			// after cancellation.
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			return cctx.Err()
+		}
+		pending[r.i] = r
+		for {
+			s, ready := pending[want]
+			if !ready {
+				break
+			}
+			delete(pending, want)
+			tokens <- struct{}{} // delivered: reopen the claim window
+			if s.err != nil {
+				return s.err
+			}
+			if !consume(want, s.v) {
+				return nil
+			}
+			want++
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Map runs tasks 0..n-1 with bounded parallelism and returns their
+// results in index order — the parallel equivalent of building a slice in
+// a loop. On error the returned slice holds the results of every task
+// consumed before the deterministically-first failure.
+func Map[T any](ctx context.Context, parallelism, n int, task func(context.Context, int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEachOrdered(ctx, parallelism, n, task, func(i int, v T) bool {
+		out[i] = v
+		return true
+	})
+	return out, err
+}

@@ -1,0 +1,251 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapPreservesOrder(t *testing.T) {
+	for _, par := range []int{1, 3, 16} {
+		out, err := Map(context.Background(), par, 50, func(_ context.Context, i int) (int, error) {
+			// Finish later tasks first to stress re-sequencing.
+			time.Sleep(time.Duration(50-i) * 100 * time.Microsecond)
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("par=%d: %v", par, err)
+		}
+		if len(out) != 50 {
+			t.Fatalf("par=%d: %d results", par, len(out))
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("par=%d: out[%d] = %d, want %d", par, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestForEachOrderedDeliversInOrder(t *testing.T) {
+	var got []int
+	err := ForEachOrdered(context.Background(), 8, 40, func(_ context.Context, i int) (int, error) {
+		time.Sleep(time.Duration((i*7)%5) * time.Millisecond)
+		return i, nil
+	}, func(i, v int) bool {
+		if i != v {
+			t.Errorf("index %d carried value %d", i, v)
+		}
+		got = append(got, i)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("delivery order %v not sequential", got)
+		}
+	}
+}
+
+func TestBoundedParallelism(t *testing.T) {
+	const limit = 3
+	var active, peak atomic.Int64
+	_, err := Map(context.Background(), limit, 64, func(_ context.Context, i int) (int, error) {
+		cur := active.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		active.Add(-1)
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > limit {
+		t.Errorf("observed %d concurrent tasks, limit %d", p, limit)
+	}
+}
+
+func TestPanicCapturedAsError(t *testing.T) {
+	for _, par := range []int{1, 4} {
+		_, err := Map(context.Background(), par, 10, func(_ context.Context, i int) (int, error) {
+			if i == 4 {
+				panic("boom")
+			}
+			return i, nil
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("par=%d: err = %v, want *PanicError", par, err)
+		}
+		if pe.Index != 4 || pe.Value != "boom" || len(pe.Stack) == 0 {
+			t.Errorf("par=%d: PanicError = {Index:%d Value:%v stack:%d bytes}", par, pe.Index, pe.Value, len(pe.Stack))
+		}
+	}
+}
+
+func TestLowestIndexedErrorWins(t *testing.T) {
+	// Task 2 fails fast, task 7 fails slower; regardless of completion
+	// order the consumer must see task 2's error (deterministic across
+	// worker counts).
+	for _, par := range []int{1, 8} {
+		consumed := 0
+		err := ForEachOrdered(context.Background(), par, 10, func(_ context.Context, i int) (int, error) {
+			if i == 7 {
+				return 0, errors.New("late error 7")
+			}
+			if i == 2 {
+				time.Sleep(5 * time.Millisecond)
+				return 0, errors.New("error 2")
+			}
+			return i, nil
+		}, func(i, v int) bool {
+			consumed++
+			return true
+		})
+		if err == nil || err.Error() != "error 2" {
+			t.Fatalf("par=%d: err = %v, want error 2", par, err)
+		}
+		if consumed != 2 {
+			t.Errorf("par=%d: consumed %d results before the error, want 2", par, consumed)
+		}
+	}
+}
+
+func TestConsumeFalseStopsEarly(t *testing.T) {
+	for _, par := range []int{1, 6} {
+		var started atomic.Int64
+		consumed := 0
+		err := ForEachOrdered(context.Background(), par, 1000, func(_ context.Context, i int) (int, error) {
+			started.Add(1)
+			return i, nil
+		}, func(i, v int) bool {
+			consumed++
+			return consumed < 5
+		})
+		if err != nil {
+			t.Fatalf("par=%d: %v", par, err)
+		}
+		if consumed != 5 {
+			t.Errorf("par=%d: consumed %d, want 5", par, consumed)
+		}
+		if s := started.Load(); s == 1000 {
+			t.Errorf("par=%d: early stop still ran all 1000 tasks", par)
+		}
+	}
+}
+
+func TestClaimWindowBoundsRunahead(t *testing.T) {
+	// While task 0 blocks in-order delivery, fast workers may run ahead
+	// only within the claim window (2×parallelism), not through all n
+	// tasks — the re-sequencing buffer stays O(parallelism).
+	const par = 3
+	release := make(chan struct{})
+	var claimed atomic.Int64
+	go func() {
+		// Give the fast workers ample time to run as far ahead as the
+		// window permits before task 0 completes.
+		time.Sleep(50 * time.Millisecond)
+		close(release)
+	}()
+	err := ForEachOrdered(context.Background(), par, 1000, func(_ context.Context, i int) (int, error) {
+		claimed.Add(1)
+		if i == 0 {
+			<-release
+		}
+		return i, nil
+	}, func(i, v int) bool {
+		if i == 0 {
+			// Everything claimed before the first delivery is bounded by
+			// the window plus the workers' in-flight claims.
+			if c := claimed.Load(); c > 3*par {
+				t.Errorf("%d tasks claimed while task 0 blocked delivery (window %d)", c, 2*par)
+			}
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPreCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	err := ForEachOrdered(ctx, 4, 10, func(_ context.Context, i int) (int, error) {
+		ran = true
+		return i, nil
+	}, func(int, int) bool { return true })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran {
+		t.Error("task ran under a pre-cancelled context")
+	}
+}
+
+func TestCancellationMidFanOut(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	consumed := 0
+	err := ForEachOrdered(ctx, 4, 1000, func(tctx context.Context, i int) (int, error) {
+		select {
+		case <-tctx.Done():
+		case <-time.After(200 * time.Microsecond):
+		}
+		return i, nil
+	}, func(i, v int) bool {
+		consumed++
+		if consumed == 3 {
+			cancel()
+		}
+		return true
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if consumed < 3 || consumed == 1000 {
+		t.Errorf("consumed %d results, want a proper prefix of at least 3", consumed)
+	}
+}
+
+func TestZeroTasks(t *testing.T) {
+	out, err := Map(context.Background(), 4, 0, func(_ context.Context, i int) (int, error) { return i, nil })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("Map over 0 tasks: out=%v err=%v", out, err)
+	}
+}
+
+func TestNilContextNormalized(t *testing.T) {
+	//lint:ignore SA1012 exercising the nil-ctx normalization on purpose
+	out, err := Map(nil, 2, 3, func(_ context.Context, i int) (int, error) { return i + 1, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(out) != "[1 2 3]" {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+func TestParallelismNormalization(t *testing.T) {
+	if got := Parallelism(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Parallelism(0) = %d, want GOMAXPROCS", got)
+	}
+	if got := Parallelism(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Parallelism(-3) = %d, want GOMAXPROCS", got)
+	}
+	if got := Parallelism(5); got != 5 {
+		t.Errorf("Parallelism(5) = %d", got)
+	}
+}

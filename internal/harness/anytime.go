@@ -5,7 +5,9 @@ import (
 	"math"
 	"time"
 
+	"repro/internal/exec"
 	"repro/internal/mqo"
+	"repro/internal/splitmix"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -30,7 +32,13 @@ type AnytimeResult struct {
 
 // RunAnytime executes the full solver set on every instance of class and
 // samples the anytime curves at the paper's checkpoints (truncated to the
-// configured budget). Cancelling ctx aborts the experiment with ctx.Err().
+// configured budget). The experiment flattens to (instance, solver)
+// tasks over ONE worker pool bounded by cfg.Parallelism — no nested
+// pools, so the worker bound is exact. Every task derives its private
+// random stream by splitting cfg.Seed with the instance index and panel
+// slot, and traces are collected back in instance order; seeded results
+// do not depend on the worker count. Cancelling ctx aborts the
+// experiment with ctx.Err().
 func (c Config) RunAnytime(ctx context.Context, class mqo.Class) (*AnytimeResult, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -45,18 +53,33 @@ func (c Config) RunAnytime(ctx context.Context, class mqo.Class) (*AnytimeResult
 		Checkpoints:    trace.ScaledCheckpoints(cfg.Budget),
 		MeanScaledCost: make(map[string][]float64),
 	}
-	for i, inst := range instances {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		traces := cfg.runAll(ctx, inst, cfg.Seed*1000+int64(i))
-		res.Traces = append(res.Traces, traces)
-		res.Optima = append(res.Optima, inst.Optimum)
+	factories := cfg.panelFactories()
+	panelSize := len(factories)
+	flat, err := exec.Map(ctx, cfg.Parallelism, len(instances)*panelSize,
+		func(tctx context.Context, t int) (*trace.Trace, error) {
+			i, slot := t/panelSize, t%panelSize
+			return cfg.runPanelTask(tctx, instances[i],
+				splitmix.Split(cfg.Seed, int64(i)), slot), nil
+		})
+	// Cancellation leaves truncated traces; surface it rather than
+	// averaging them into a bogus figure.
+	if err != nil {
+		return nil, err
 	}
-	// Cancellation during the last instance leaves truncated traces;
-	// surface it rather than averaging them into a bogus figure.
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	names := make([]string, panelSize)
+	for slot, f := range factories {
+		names[slot] = f().Name()
+	}
+	for i, inst := range instances {
+		traces := make(map[string]*trace.Trace, panelSize)
+		for slot := 0; slot < panelSize; slot++ {
+			traces[names[slot]] = flat[i*panelSize+slot]
+		}
+		res.Traces = append(res.Traces, traces)
+		res.Optima = append(res.Optima, inst.Optimum)
 	}
 	for _, name := range cfg.SolverNames() {
 		curve := make([]float64, len(res.Checkpoints))

@@ -22,6 +22,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/mqo"
 	"repro/internal/solvers"
+	"repro/internal/splitmix"
 	"repro/internal/trace"
 )
 
@@ -42,6 +43,17 @@ type Config struct {
 	// GAPopulations lists the genetic-algorithm population sizes
 	// (paper: 50 and 200).
 	GAPopulations []int
+	// Parallelism bounds how many (instance, solver) tasks run
+	// concurrently; non-positive uses one worker per CPU. The experiment
+	// loops pool at task granularity only — QA samples its gauge batches
+	// sequentially inside its task — so the bound is exact, never
+	// multiplied across layers. Every task derives its private random
+	// stream by splitting Seed, so seeded results do not depend on the
+	// worker count. Note that classical baselines are measured against a
+	// WALL-CLOCK budget, so co-scheduling them changes how much work fits
+	// inside the window (the paper's comparison of annealer time against
+	// commodity-hardware time is unaffected: QA time stays modeled).
+	Parallelism int
 }
 
 // DefaultConfig returns the offline defaults: 3 instances per class, a
@@ -113,44 +125,69 @@ func (c Config) Generate(class mqo.Class) ([]Instance, error) {
 	return out, nil
 }
 
+// panelFactories returns one constructor per panel slot in presentation
+// order: QA first, then the classical baselines. Factories let pooled
+// tasks build exactly the solver they run — fresh per task, never shared
+// across workers. QA's inner batch parallelism is pinned to 1: the
+// harness pools at task granularity, and nesting pools would multiply
+// the worker bound (tasks × batches) past Parallelism.
+func (c Config) panelFactories() []func() solvers.Solver {
+	cfg := c.withDefaults()
+	fs := []func() solvers.Solver{
+		func() solvers.Solver {
+			return &core.QASolver{Opt: core.Options{Graph: cfg.Graph, Runs: cfg.QARuns, Parallelism: 1}}
+		},
+		func() solvers.Solver { return &solvers.BranchAndBound{} },
+		func() solvers.Solver { return solvers.QUBOBranchAndBound{} },
+		func() solvers.Solver { return solvers.HillClimb{} },
+	}
+	for _, pop := range cfg.GAPopulations {
+		fs = append(fs, func() solvers.Solver { return solvers.NewGenetic(pop) })
+	}
+	return fs
+}
+
 // ClassicalSolvers returns the paper's baseline set: LIN-MQO, LIN-QUB,
 // CLIMB, and one GA per configured population size.
 func (c Config) ClassicalSolvers() []solvers.Solver {
-	cfg := c.withDefaults()
-	out := []solvers.Solver{
-		&solvers.BranchAndBound{},
-		solvers.QUBOBranchAndBound{},
-		solvers.HillClimb{},
-	}
-	for _, pop := range cfg.GAPopulations {
-		out = append(out, solvers.NewGenetic(pop))
+	fs := c.panelFactories()[1:]
+	out := make([]solvers.Solver, len(fs))
+	for i, f := range fs {
+		out[i] = f()
 	}
 	return out
 }
 
-// QASolver returns the annealer pipeline wrapped as a solver.
+// QASolver returns the annealer pipeline wrapped as a solver, fanning
+// gauge batches out under cfg.Parallelism. Intended for standalone use;
+// the experiment loops build their panels via panel(), where the
+// (instance, solver) task is the unit of parallelism and QA samples its
+// batches sequentially inside its task.
 func (c Config) QASolver() *core.QASolver {
 	cfg := c.withDefaults()
-	return &core.QASolver{Opt: core.Options{Graph: cfg.Graph, Runs: cfg.QARuns}}
+	return &core.QASolver{Opt: core.Options{Graph: cfg.Graph, Runs: cfg.QARuns, Parallelism: cfg.Parallelism}}
 }
 
-// runAll executes every solver on one instance, returning traces by
-// solver name. Cancelling ctx stops the remaining solvers promptly;
-// already-collected traces are returned as-is.
-func (c Config) runAll(ctx context.Context, inst Instance, seed int64) map[string]*trace.Trace {
+// qaBudget is the modeled device time of the configured annealing runs.
+func (c Config) qaBudget() time.Duration {
+	return time.Duration(c.withDefaults().QARuns) * 376 * time.Microsecond
+}
+
+// runPanelTask constructs panel slot `slot` fresh and executes it on one
+// instance with the slot's private random stream split off seed. QA
+// solvers get the modeled-device-time budget (identified by type, so
+// panel order is not load-bearing); everything else burns the
+// wall-clock window.
+func (c Config) runPanelTask(ctx context.Context, inst Instance, seed int64, slot int) *trace.Trace {
 	cfg := c.withDefaults()
-	traces := make(map[string]*trace.Trace)
-	qa := cfg.QASolver()
-	qaBudget := time.Duration(cfg.QARuns) * 376 * time.Microsecond
+	s := cfg.panelFactories()[slot]()
 	tr := &trace.Trace{}
-	qa.Solve(ctx, inst.Problem, qaBudget, rand.New(rand.NewSource(seed)), tr)
-	traces[qa.Name()] = tr
-	for i, s := range cfg.ClassicalSolvers() {
-		tr := &trace.Trace{}
-		s.Solve(ctx, inst.Problem, cfg.Budget, rand.New(rand.NewSource(seed+int64(i)+1)), tr)
-		traces[s.Name()] = tr
+	budget := cfg.Budget
+	if _, isQA := s.(*core.QASolver); isQA {
+		budget = cfg.qaBudget()
 	}
-	return traces
+	s.Solve(ctx, inst.Problem, budget, splitmix.New(seed, int64(slot)), tr)
+	return tr
 }
 
 // SolverNames lists the series of Figures 4 and 5 in presentation order.

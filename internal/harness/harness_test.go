@@ -4,11 +4,14 @@ import (
 	"bytes"
 	"context"
 	"math"
+	"reflect"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/mqo"
+	"repro/internal/trace"
 )
 
 // quickConfig keeps harness tests fast: tiny classes, short budgets.
@@ -204,6 +207,76 @@ func TestPaperConfig(t *testing.T) {
 	c := PaperConfig()
 	if c.Instances != 20 || c.Budget != 100*time.Second {
 		t.Errorf("PaperConfig = %+v", c)
+	}
+}
+
+// TestRunAnytimeQADeterministicAcrossParallelism pins the harness half
+// of the determinism contract: QA runs against a MODELED clock, so its
+// per-instance traces must be byte-identical whether the experiment's
+// (instance, solver) tasks execute serially or fanned out (classical
+// baselines run wall-clock budgets and are exempt by design).
+func TestRunAnytimeQADeterministicAcrossParallelism(t *testing.T) {
+	cfg := quickConfig()
+	class := mqo.Class{Queries: 12, PlansPerQuery: 2}
+	qaTraces := func(par int) [][]trace.Point {
+		c := cfg
+		c.Parallelism = par
+		res, err := c.RunAnytime(context.Background(), class)
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		out := make([][]trace.Point, len(res.Traces))
+		for i, traces := range res.Traces {
+			qa, ok := traces["QA"]
+			if !ok || qa.Len() == 0 {
+				t.Fatalf("parallelism %d: instance %d has no QA trace", par, i)
+			}
+			out[i] = qa.Points()
+		}
+		return out
+	}
+	want := qaTraces(1)
+	for _, par := range []int{4, runtime.GOMAXPROCS(0)} {
+		if got := qaTraces(par); !reflect.DeepEqual(got, want) {
+			t.Errorf("parallelism %d: QA traces diverge from the sequential experiment", par)
+		}
+	}
+}
+
+// TestRunAnytimeParallel exercises the fully fanned-out experiment path
+// (instances × solvers) under the pool and checks the figure invariants
+// still hold.
+func TestRunAnytimeParallel(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Parallelism = 4
+	res, err := cfg.RunAnytime(context.Background(), mqo.Class{Queries: 15, PlansPerQuery: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Traces) != cfg.Instances {
+		t.Fatalf("collected %d trace sets, want %d", len(res.Traces), cfg.Instances)
+	}
+	for _, name := range cfg.SolverNames() {
+		curve, ok := res.MeanScaledCost[name]
+		if !ok || len(curve) != len(res.Checkpoints) {
+			t.Fatalf("solver %s: missing or malformed curve", name)
+		}
+	}
+}
+
+// TestRunAnytimeCancelledMidExperiment verifies the pool surfaces
+// cancellation instead of averaging truncated traces.
+func TestRunAnytimeCancelledMidExperiment(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Parallelism = 4
+	cfg.Budget = 10 * time.Second // long enough that cancel strikes first
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	if _, err := cfg.RunAnytime(ctx, mqo.Class{Queries: 15, PlansPerQuery: 2}); err == nil {
+		t.Fatal("cancelled experiment returned a result")
 	}
 }
 

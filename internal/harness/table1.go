@@ -2,11 +2,13 @@ package harness
 
 import (
 	"context"
-	"math/rand"
+	"math"
 	"time"
 
+	"repro/internal/exec"
 	"repro/internal/mqo"
 	"repro/internal/solvers"
+	"repro/internal/splitmix"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -22,7 +24,10 @@ type Table1Row struct {
 }
 
 // RunTable1 measures time-to-optimal for LIN-MQO on every class.
-// Cancelling ctx aborts the experiment with ctx.Err().
+// Instances fan out through the worker pool under cfg.Parallelism, each
+// solving with a private random stream split off cfg.Seed; per-class
+// statistics are aggregated in instance order. Cancelling ctx aborts the
+// experiment with ctx.Err().
 func (c Config) RunTable1(ctx context.Context, classes []mqo.Class) ([]Table1Row, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -37,18 +42,28 @@ func (c Config) RunTable1(ctx context.Context, classes []mqo.Class) ([]Table1Row
 		if err != nil {
 			return nil, err
 		}
+		millis, err := exec.Map(ctx, cfg.Parallelism, len(instances),
+			func(tctx context.Context, i int) (float64, error) {
+				tr := &trace.Trace{}
+				s := &solvers.BranchAndBound{}
+				s.Solve(tctx, instances[i].Problem, cfg.Budget, splitmix.New(cfg.Seed, int64(i)), tr)
+				if d, ok := tr.FirstBelow(instances[i].Optimum); ok {
+					return float64(d) / float64(time.Millisecond), nil
+				}
+				return math.NaN(), nil // unsolved within the budget
+			})
+		// An interrupted solve leaves truncated traces; reporting them
+		// as "unsolved" would corrupt the row's statistics.
+		if err != nil {
+			return nil, err
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		var times []float64
-		for i, inst := range instances {
-			tr := &trace.Trace{}
-			s := &solvers.BranchAndBound{}
-			s.Solve(ctx, inst.Problem, cfg.Budget, rand.New(rand.NewSource(cfg.Seed+int64(i))), tr)
-			// An interrupted solve leaves a truncated trace; reporting it
-			// as "unsolved" would corrupt the row's statistics.
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-			if d, ok := tr.FirstBelow(inst.Optimum); ok {
-				times = append(times, float64(d)/float64(time.Millisecond))
+		for _, ms := range millis {
+			if !math.IsNaN(ms) {
+				times = append(times, ms)
 			}
 		}
 		rows = append(rows, Table1Row{

@@ -1,0 +1,37 @@
+// Package splitmix derives statistically independent sub-seeds from a
+// base seed with SplitMix64 (Steele, Lea & Flood, "Fast Splittable
+// Pseudorandom Number Generators", OOPSLA 2014). It is the single
+// seed-splitting policy of the repository: every component that fans work
+// out — gauge batches on the simulated annealer, per-window decomposition
+// solves, per-task harness runs — derives its private random stream as
+// Split(base, index), so results are bit-identical at any worker count
+// and never depend on the order in which concurrent tasks touch a shared
+// generator.
+package splitmix
+
+import "math/rand"
+
+// gamma is the 64-bit golden-ratio increment of the SplitMix64 stream.
+const gamma = 0x9E3779B97F4A7C15
+
+// mix64 is the SplitMix64 finalizer: a bijective avalanche function whose
+// output stream over consecutive inputs passes BigCrush.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Split returns the index-th sub-seed of base: the (index+1)-th output of
+// a SplitMix64 generator seeded with base. Distinct (base, index) pairs
+// yield decorrelated seeds, replacing ad-hoc seed+i arithmetic (which
+// makes neighboring tasks' rand.Rand streams overlap after a few draws).
+func Split(base, index int64) int64 {
+	return int64(mix64(uint64(base) + uint64(index+1)*gamma))
+}
+
+// New returns a rand.Rand over the index-th sub-seed of base. Each call
+// returns a fresh, unshared generator, safe to hand to one worker.
+func New(base, index int64) *rand.Rand {
+	return rand.New(rand.NewSource(Split(base, index)))
+}

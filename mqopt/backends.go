@@ -171,11 +171,11 @@ func (s *qaSolver) Solve(ctx context.Context, p *Problem, opts ...Option) (*Resu
 		return nil, err
 	}
 	copt := core.Options{
-		Graph:   cfg.topology.graph(),
-		Runs:    annealingRuns(cfg),
-		Pattern: pattern,
+		Graph:       cfg.topology.graph(),
+		Runs:        annealingRuns(cfg),
+		Pattern:     pattern,
+		Parallelism: cfg.parallelism,
 	}
-	rng := rand.New(rand.NewSource(cfg.seed))
 
 	dec := cfg.decompose
 	if s.series && dec == nil {
@@ -190,7 +190,7 @@ func (s *qaSolver) Solve(ctx context.Context, p *Problem, opts ...Option) (*Resu
 			MaxSweeps:     dec.MaxSweeps,
 			Core:          copt,
 			OnImprovement: rec.observe,
-		}, rng)
+		}, cfg.seed)
 		if dres == nil {
 			return nil, err
 		}
@@ -204,7 +204,7 @@ func (s *qaSolver) Solve(ctx context.Context, p *Problem, opts ...Option) (*Resu
 	}
 
 	copt.OnImprovement = rec.observe
-	cres, err := core.QuantumMQO(ctx, p.unwrap(), copt, rng)
+	cres, err := core.QuantumMQO(ctx, p.unwrap(), copt, cfg.seed)
 	if cres == nil {
 		return nil, err
 	}

@@ -59,6 +59,7 @@ type solveConfig struct {
 	budget        time.Duration
 	seed          int64
 	runs          int
+	parallelism   int
 	embedding     Embedding
 	decompose     *Decomposition
 	topology      *Topology
@@ -109,6 +110,17 @@ func WithAnnealingRuns(runs int) Option {
 			c.runs = runs
 		}
 	}
+}
+
+// WithParallelism bounds how many workers the annealer backends fan out
+// to (gauge batches sample and decode concurrently); non-positive — the
+// default — uses one worker per CPU. The determinism contract holds at
+// every setting: for a fixed seed, the incumbent trace, final plan, and
+// all reported statistics are bit-identical whether n is 1 or the
+// machine's core count. Classical baselines are single-threaded search
+// loops and ignore it.
+func WithParallelism(n int) Option {
+	return func(c *solveConfig) { c.parallelism = n }
 }
 
 // WithEmbedding selects the physical mapping pattern for annealer

@@ -1,0 +1,112 @@
+package mqopt
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+// determinismProblem generates a chain-structured instance large enough
+// to spread annealing runs across several gauge batches.
+func determinismProblem(t *testing.T) *Problem {
+	t.Helper()
+	p, err := GenerateEmbeddable(3, nil, Class{Queries: 30, PlansPerQuery: 3}, DefaultGeneratorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestSolveDeterministicAcrossParallelism is the facade half of the
+// determinism contract (the acceptance bar of the execution engine):
+// with a fixed seed, Solve output — final plan, cost, and the full
+// incumbent trace — is byte-identical for WithParallelism(1), 4, and
+// GOMAXPROCS.
+func TestSolveDeterministicAcrossParallelism(t *testing.T) {
+	p := determinismProblem(t)
+	solve := func(par int) *Result {
+		res, err := NewQASolver().Solve(context.Background(), p,
+			WithSeed(7),
+			WithAnnealingRuns(400),
+			WithBudget(ModeledAnnealingBudget(400)),
+			WithParallelism(par))
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		return res
+	}
+	want := solve(1)
+	for _, par := range []int{4, runtime.GOMAXPROCS(0)} {
+		got := solve(par)
+		if !reflect.DeepEqual(got.Solution, want.Solution) {
+			t.Errorf("parallelism %d: plan %v != sequential %v", par, got.Solution, want.Solution)
+		}
+		if got.Cost != want.Cost {
+			t.Errorf("parallelism %d: cost %v != %v", par, got.Cost, want.Cost)
+		}
+		if !reflect.DeepEqual(got.Incumbents, want.Incumbents) {
+			t.Errorf("parallelism %d: incumbent trace diverges:\n  got  %v\n  want %v",
+				par, got.Incumbents, want.Incumbents)
+		}
+		if got.Annealer == nil || want.Annealer == nil ||
+			got.Annealer.Runs != want.Annealer.Runs ||
+			got.Annealer.BrokenChainRate != want.Annealer.BrokenChainRate {
+			t.Errorf("parallelism %d: annealer stats diverge", par)
+		}
+	}
+}
+
+// TestSeriesSolveDeterministicAcrossParallelism extends the contract to
+// the decomposed QUBO-series backend, whose windows split per-window
+// seeds off WithSeed.
+func TestSeriesSolveDeterministicAcrossParallelism(t *testing.T) {
+	p := determinismProblem(t)
+	solve := func(par int) *Result {
+		res, err := NewQASeriesSolver().Solve(context.Background(), p,
+			WithSeed(11),
+			WithAnnealingRuns(40),
+			WithParallelism(par))
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		return res
+	}
+	want := solve(1)
+	got := solve(4)
+	if !reflect.DeepEqual(got.Solution, want.Solution) || got.Cost != want.Cost {
+		t.Errorf("series solve diverges across parallelism: %v/%v vs %v/%v",
+			got.Solution, got.Cost, want.Solution, want.Cost)
+	}
+	if !reflect.DeepEqual(got.Incumbents, want.Incumbents) {
+		t.Error("series incumbent trace diverges across parallelism")
+	}
+}
+
+// TestParallelCancellationReturnsBestSoFar cancels mid-fan-out: the
+// facade must hand back the best incumbent found so far together with
+// ctx.Err().
+func TestParallelCancellationReturnsBestSoFar(t *testing.T) {
+	p := determinismProblem(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	res, err := NewQASolver().Solve(ctx, p,
+		WithSeed(13),
+		WithAnnealingRuns(1000),
+		WithBudget(ModeledAnnealingBudget(1000)),
+		WithParallelism(4),
+		WithOnImprovement(func(Incumbent) { cancel() }))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil {
+		t.Fatal("cancelled solve discarded the best-so-far incumbent")
+	}
+	if !p.Valid(res.Solution) {
+		t.Error("cancelled solve returned an invalid plan")
+	}
+	if len(res.Incumbents) == 0 {
+		t.Error("cancelled solve lost its incumbent trace")
+	}
+}

@@ -1,6 +1,20 @@
 package solverreg
 
-import "repro/mqopt"
+import (
+	"fmt"
+
+	"repro/mqopt"
+)
+
+// gaPopulations are the genetic-algorithm population sizes of the
+// paper's evaluation (Section 7.1); each registers as "ga<population>".
+var gaPopulations = []int{50, 200}
+
+// geneticFactory parameterizes the GA registration over its population
+// size, so every configured population shares one registration path.
+func geneticFactory(population int) Factory {
+	return func() mqopt.Solver { return mqopt.NewGeneticSolver(population) }
+}
 
 // The classical baselines of the paper's evaluation (Section 7.1)
 // self-register under the names the figures use.
@@ -9,6 +23,7 @@ func init() {
 	Register("lin-qub", mqopt.NewQUBOBranchAndBoundSolver)
 	Register("climb", mqopt.NewHillClimbSolver)
 	Register("greedy", mqopt.NewGreedySolver)
-	Register("ga50", func() mqopt.Solver { return mqopt.NewGeneticSolver(50) })
-	Register("ga200", func() mqopt.Solver { return mqopt.NewGeneticSolver(200) })
+	for _, pop := range gaPopulations {
+		Register(fmt.Sprintf("ga%d", pop), geneticFactory(pop))
+	}
 }
