@@ -15,9 +15,11 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"time"
 
 	"repro/mqopt"
@@ -32,6 +34,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload seed")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
 		"worker count for instances, solvers, and gauge batches (QA output is identical at any value)")
+	portfolio := flag.String("portfolio", "",
+		"comma-separated member solvers (qa, lin-mqo, lin-qub, climb, greedy, ga<population>); adds a portfolio column to the experiments")
 	flag.Parse()
 
 	cfg := bench.DefaultConfig()
@@ -40,28 +44,31 @@ func main() {
 	cfg.QARuns = *runs
 	cfg.Seed = *seed
 	cfg.Parallelism = *parallel
+	if *portfolio != "" {
+		cfg.Portfolio = strings.Split(*portfolio, ",")
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	if err := run(ctx, cfg, *experiment); err != nil {
+	if err := run(ctx, cfg, *experiment, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "mqo-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ctx context.Context, cfg bench.Config, experiment string) error {
+func run(ctx context.Context, cfg bench.Config, experiment string, w io.Writer) error {
 	classFig4 := mqopt.Class{Queries: 537, PlansPerQuery: 2}
 	classFig5 := mqopt.Class{Queries: 108, PlansPerQuery: 5}
 
 	anytime := func(class mqopt.Class, figure string) (*bench.AnytimeResult, error) {
-		fmt.Printf("=== %s ===\n", figure)
+		fmt.Fprintf(w, "=== %s ===\n", figure)
 		res, err := bench.RunAnytime(ctx, cfg, class)
 		if err != nil {
 			return nil, err
 		}
-		bench.RenderAnytime(os.Stdout, res, bench.SolverNames(cfg))
-		fmt.Println()
+		bench.RenderAnytime(w, res, bench.SolverNames(cfg))
+		fmt.Fprintln(w)
 		return res, nil
 	}
 
@@ -81,17 +88,17 @@ func run(ctx context.Context, cfg bench.Config, experiment string) error {
 			}
 			results = append(results, r)
 		}
-		bench.RenderFig6(os.Stdout, bench.RunFig6(results))
+		bench.RenderFig6(w, bench.RunFig6(results))
 		return nil
 	case "fig7":
-		bench.RenderFig7(os.Stdout, bench.RunFig7(bench.DefaultFig7Plans()))
+		bench.RenderFig7(w, bench.RunFig7(bench.DefaultFig7Plans()))
 		return nil
 	case "table1":
 		rows, err := bench.RunTable1(ctx, cfg, bench.PaperClasses)
 		if err != nil {
 			return err
 		}
-		bench.RenderTable1(os.Stdout, rows)
+		bench.RenderTable1(w, rows)
 		return nil
 	case "all":
 		var results []*bench.AnytimeResult
@@ -102,18 +109,18 @@ func run(ctx context.Context, cfg bench.Config, experiment string) error {
 			}
 			results = append(results, r)
 		}
-		fmt.Println("=== Table 1 ===")
+		fmt.Fprintln(w, "=== Table 1 ===")
 		rows, err := bench.RunTable1(ctx, cfg, bench.PaperClasses)
 		if err != nil {
 			return err
 		}
-		bench.RenderTable1(os.Stdout, rows)
-		fmt.Println()
-		fmt.Println("=== Figure 6 ===")
-		bench.RenderFig6(os.Stdout, bench.RunFig6(results))
-		fmt.Println()
-		fmt.Println("=== Figure 7 ===")
-		bench.RenderFig7(os.Stdout, bench.RunFig7(bench.DefaultFig7Plans()))
+		bench.RenderTable1(w, rows)
+		fmt.Fprintln(w)
+		fmt.Fprintln(w, "=== Figure 6 ===")
+		bench.RenderFig6(w, bench.RunFig6(results))
+		fmt.Fprintln(w)
+		fmt.Fprintln(w, "=== Figure 7 ===")
+		bench.RenderFig7(w, bench.RunFig7(bench.DefaultFig7Plans()))
 		return nil
 	default:
 		return fmt.Errorf("unknown experiment %q", experiment)

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/mqopt"
+	"repro/mqopt/bench"
+)
+
+// update regenerates the golden files instead of comparing against them:
+//
+//	go test ./cmd/mqo-bench -update
+var update = flag.Bool("update", false, "rewrite testdata/golden files")
+
+type golden struct {
+	Description string `json:"description"`
+	Output      string `json:"output"`
+}
+
+// TestGoldenFig7 pins the capacity-frontier experiment, the one fully
+// deterministic mqo-bench output (pure embedding arithmetic, no solver
+// clocks). The anytime and Table-1 experiments measure classical solvers
+// against wall clocks and can never be golden.
+func TestGoldenFig7(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(context.Background(), bench.DefaultConfig(), "fig7", &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	path := filepath.Join("testdata", "golden", "fig7.json")
+	if *update {
+		data, err := json.MarshalIndent(golden{
+			Description: "mqo-bench -experiment fig7 (annealer capacity per plans-per-query)",
+			Output:      buf.String(),
+		}, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run `go test ./cmd/mqo-bench -update`): %v", err)
+	}
+	var want golden
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatalf("corrupt golden file: %v", err)
+	}
+	if got := buf.String(); got != want.Output {
+		t.Errorf("fig7 output diverges:\n--- got ---\n%s\n--- want ---\n%s", got, want.Output)
+	}
+}
+
+// TestBenchPortfolioColumnRendered: the -portfolio wiring — Config
+// .Portfolio through the bench facade — produces a rendered portfolio
+// row in the Table-1 output.
+func TestBenchPortfolioColumnRendered(t *testing.T) {
+	cfg := bench.DefaultConfig()
+	cfg.Instances = 1
+	cfg.QARuns = 60
+	cfg.Budget = 100 * time.Millisecond
+	cfg.Portfolio = []string{"greedy", "climb"}
+	rows, err := bench.RunTable1(context.Background(), cfg,
+		[]mqopt.Class{{Queries: 8, PlansPerQuery: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	bench.RenderTable1(&buf, rows)
+	if !strings.Contains(buf.String(), "PORTFOLIO(GREEDY+CLIMB)") {
+		t.Errorf("Table 1 output missing the portfolio row:\n%s", buf.String())
+	}
+}

@@ -5,6 +5,7 @@
 //
 //	mqo-gen -queries 50 -plans 3 | mqo-solve -solver qa
 //	mqo-solve -in instance.json -solver lin-mqo -budget 10s
+//	mqo-solve -in instance.json -solver portfolio -members qa,climb,ga50
 //	mqo-solve -list-solvers
 package main
 
@@ -12,6 +13,8 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
+	"math"
 	"os"
 	"os/signal"
 	"runtime"
@@ -22,14 +25,31 @@ import (
 	"repro/mqopt/solverreg"
 )
 
+// options collects one invocation's flags, so tests drive run directly.
+type options struct {
+	in      string
+	solver  string
+	members string
+	budget  time.Duration
+	seed    int64
+	target  float64
+	paral   int
+	verbose bool
+}
+
 func main() {
-	in := flag.String("in", "-", "input file (JSON; - for stdin)")
-	solverName := flag.String("solver", "qa", "registered solver name (see -list-solvers)")
-	budget := flag.Duration("budget", 2*time.Second, "optimization budget (modeled time for qa)")
-	seed := flag.Int64("seed", 1, "random seed")
-	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
-		"worker count for annealer gauge batches (output is identical at any value)")
-	verbose := flag.Bool("v", false, "print the anytime trace")
+	opts := options{}
+	flag.StringVar(&opts.in, "in", "-", "input file (JSON; - for stdin)")
+	flag.StringVar(&opts.solver, "solver", "qa", "registered solver name (see -list-solvers)")
+	flag.StringVar(&opts.members, "members", "",
+		"comma-separated member solvers for -solver portfolio (default: qa,climb,ga50)")
+	flag.DurationVar(&opts.budget, "budget", 2*time.Second, "optimization budget (modeled time for qa)")
+	flag.Int64Var(&opts.seed, "seed", 1, "random seed")
+	flag.Float64Var(&opts.target, "target", math.NaN(),
+		"stop successfully once the incumbent reaches this cost (portfolio: first member to reach it cancels the rest; trades the bit-identical-output guarantee for wall-clock racing)")
+	flag.IntVar(&opts.paral, "parallel", runtime.GOMAXPROCS(0),
+		"worker count for annealer gauge batches and racing portfolio members (without -target, output is identical at any value)")
+	flag.BoolVar(&opts.verbose, "v", false, "print the anytime trace")
 	listSolvers := flag.Bool("list-solvers", false, "list registered solvers and exit")
 	flag.Parse()
 
@@ -43,16 +63,16 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	if err := run(ctx, *in, *solverName, *budget, *seed, *parallel, *verbose); err != nil {
+	if err := run(ctx, opts, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "mqo-solve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ctx context.Context, in, solverName string, budget time.Duration, seed int64, parallel int, verbose bool) error {
+func run(ctx context.Context, opts options, out io.Writer) error {
 	r := os.Stdin
-	if in != "-" {
-		f, err := os.Open(in)
+	if opts.in != "-" {
+		f, err := os.Open(opts.in)
 		if err != nil {
 			return err
 		}
@@ -64,10 +84,19 @@ func run(ctx context.Context, in, solverName string, budget time.Duration, seed 
 		return fmt.Errorf("reading instance: %w", err)
 	}
 
-	res, err := solverreg.Solve(ctx, solverName, p,
-		mqopt.WithBudget(budget),
-		mqopt.WithSeed(seed),
-		mqopt.WithParallelism(parallel))
+	solveOpts := []mqopt.Option{
+		mqopt.WithBudget(opts.budget),
+		mqopt.WithSeed(opts.seed),
+		mqopt.WithParallelism(opts.paral),
+	}
+	if opts.members != "" {
+		solveOpts = append(solveOpts, mqopt.WithPortfolio(strings.Split(opts.members, ",")...))
+	}
+	if !math.IsNaN(opts.target) {
+		solveOpts = append(solveOpts, mqopt.WithTargetCost(opts.target))
+	}
+
+	res, err := solverreg.Solve(ctx, opts.solver, p, solveOpts...)
 	if err != nil {
 		// A cancelled anytime solve still hands back its best incumbent;
 		// print it instead of discarding minutes of progress.
@@ -77,26 +106,41 @@ func run(ctx context.Context, in, solverName string, budget time.Duration, seed 
 		fmt.Fprintf(os.Stderr, "mqo-solve: %v; reporting the best incumbent found\n", err)
 	}
 
-	fmt.Printf("solver: %s\ncost: %g\n", res.Solver, res.Cost)
+	fmt.Fprintf(out, "solver: %s\ncost: %g\n", res.Solver, res.Cost)
 	if d := res.Decomposition; d != nil {
-		fmt.Printf("windows: %d\nsweeps: %d\n", d.Windows, d.Sweeps)
+		fmt.Fprintf(out, "windows: %d\nsweeps: %d\n", d.Windows, d.Sweeps)
 	}
-	fmt.Printf("plans:")
+	if pf := res.Portfolio; pf != nil {
+		fmt.Fprintf(out, "members: %s\nwinner: %s\n", strings.Join(pf.Members, ","), pf.Winner)
+		if pf.TargetReached {
+			fmt.Fprintln(out, "target: reached")
+		}
+		for i, merr := range pf.MemberErrors {
+			if merr != nil {
+				fmt.Fprintf(out, "member %s failed: %v\n", pf.Members[i], merr)
+			}
+		}
+	}
+	fmt.Fprintf(out, "plans:")
 	for q, pl := range res.Solution {
 		if q > 0 && q%16 == 0 {
-			fmt.Printf("\n      ")
+			fmt.Fprintf(out, "\n      ")
 		}
-		fmt.Printf(" %d", pl)
+		fmt.Fprintf(out, " %d", pl)
 	}
-	fmt.Println()
-	if a := res.Annealer; a != nil && verbose {
-		fmt.Printf("qubits: %d (%.2f per variable), %d runs, %.1f%% broken chains\n",
+	fmt.Fprintln(out)
+	if a := res.Annealer; a != nil && opts.verbose {
+		fmt.Fprintf(out, "qubits: %d (%.2f per variable), %d runs, %.1f%% broken chains\n",
 			a.QubitsUsed, a.QubitsPerVariable, a.Runs, 100*a.BrokenChainRate)
 	}
-	if verbose {
-		fmt.Println("trace:")
+	if opts.verbose {
+		fmt.Fprintln(out, "trace:")
 		for _, in := range res.Incumbents {
-			fmt.Printf("  %12v  %g\n", in.Elapsed, in.Cost)
+			if in.Source != "" {
+				fmt.Fprintf(out, "  %12v  %-10g %s\n", in.Elapsed, in.Cost, in.Source)
+				continue
+			}
+			fmt.Fprintf(out, "  %12v  %g\n", in.Elapsed, in.Cost)
 		}
 	}
 	return nil

@@ -1,0 +1,134 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// update regenerates the golden files instead of comparing against them:
+//
+//	go test ./cmd/mqo-solve -update
+var update = flag.Bool("update", false, "rewrite testdata/golden files")
+
+// goldenCase is one fixed-seed CLI invocation whose full rendered output
+// is pinned. Every case must be deterministic: modeled-clock solvers
+// only (qa, qa-series, and portfolios of them) — wall-clock baselines
+// can never be golden.
+type goldenCase struct {
+	Name        string
+	Description string
+	Opts        options
+}
+
+// golden is the committed form: the invocation description plus the
+// exact output.
+type golden struct {
+	Description string `json:"description"`
+	Output      string `json:"output"`
+}
+
+func goldenCases() []goldenCase {
+	return []goldenCase{
+		{
+			Name:        "qa",
+			Description: "monolithic annealer pipeline, 20 ms modeled budget, verbose trace",
+			Opts: options{
+				in: "testdata/instance.json", solver: "qa",
+				budget: 20 * time.Millisecond, seed: 7, target: math.NaN(),
+				paral: 2, verbose: true,
+			},
+		},
+		{
+			Name:        "qa-series",
+			Description: "decomposed QUBO-series backend, 5 ms per-window budget",
+			Opts: options{
+				in: "testdata/instance.json", solver: "qa-series",
+				budget: 5 * time.Millisecond, seed: 3, target: math.NaN(),
+				paral: 1, verbose: false,
+			},
+		},
+		{
+			Name:        "portfolio",
+			Description: "portfolio of the two modeled-clock backends with attributed trace",
+			Opts: options{
+				in: "testdata/instance.json", solver: "portfolio", members: "qa,qa-series",
+				budget: 10 * time.Millisecond, seed: 5, target: math.NaN(),
+				paral: 2, verbose: true,
+			},
+		},
+	}
+}
+
+// TestGoldenTraces pins fixed-seed CLI output against the committed
+// golden files — the regression net over the whole pipeline's rendered
+// behavior (costs, plans, traces, attribution). Regenerate deliberately
+// with -update after an intended output change.
+func TestGoldenTraces(t *testing.T) {
+	for _, tc := range goldenCases() {
+		t.Run(tc.Name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := run(context.Background(), tc.Opts, &buf); err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			path := filepath.Join("testdata", "golden", tc.Name+".json")
+			if *update {
+				data, err := json.MarshalIndent(golden{Description: tc.Description, Output: buf.String()}, "", "  ")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run `go test ./cmd/mqo-solve -update`): %v", err)
+			}
+			var want golden
+			if err := json.Unmarshal(data, &want); err != nil {
+				t.Fatalf("corrupt golden file %s: %v", path, err)
+			}
+			if got := buf.String(); got != want.Output {
+				t.Errorf("output diverges from %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want.Output)
+			}
+		})
+	}
+}
+
+// TestGoldenTracesStableAcrossParallelism re-runs every golden case at
+// parallelism 1 and checks the output byte-identical with the committed
+// file — the CLI-level face of the determinism contract.
+func TestGoldenTracesStableAcrossParallelism(t *testing.T) {
+	if *update {
+		t.Skip("golden files being rewritten")
+	}
+	for _, tc := range goldenCases() {
+		t.Run(tc.Name, func(t *testing.T) {
+			opts := tc.Opts
+			opts.paral = 1
+			var buf bytes.Buffer
+			if err := run(context.Background(), opts, &buf); err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			data, err := os.ReadFile(filepath.Join("testdata", "golden", tc.Name+".json"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var want golden
+			if err := json.Unmarshal(data, &want); err != nil {
+				t.Fatal(err)
+			}
+			if got := buf.String(); got != want.Output {
+				t.Errorf("parallelism 1 output diverges from golden %s:\n%s", tc.Name, got)
+			}
+		})
+	}
+}

@@ -66,6 +66,49 @@ type indexed[T any] struct {
 	err error
 }
 
+// runAndDeliver executes task i and delivers its result to results, no
+// matter how the task ends. Delivery MUST happen from a defer: a result
+// sent only after a normal return starves the claim window when the task
+// aborts its goroutine without returning — a panic is recovered, but
+// runtime.Goexit (what t.FailNow and log.Fatal-style helpers use) is not
+// a panic, unwinds straight through recover(), and would otherwise leave
+// the task's claimed index undeliverable. With the index never delivered,
+// the consumer stops refilling claim tokens, the remaining workers block
+// on an empty token channel, and the whole pool deadlocks — the
+// claim-window starvation this defer exists to prevent. sent reports
+// whether the result was handed to the consumer (false when ctx was
+// cancelled first); on Goexit the goroutine still dies after the defer
+// runs, but by then the error is already on the wire.
+//
+// This conversion is a parallel-path concern only: the sequential fast
+// path runs tasks on the caller's goroutine, where Goexit unwinds the
+// caller exactly as it would in a plain loop (and cannot be intercepted
+// — only recover stops unwinding, and only for panics). There is no
+// pool to starve there, so plain-loop semantics are the correct ones.
+func runAndDeliver[T any](ctx context.Context, task func(context.Context, int) (T, error), i int, results chan<- indexed[T]) (sent bool) {
+	r := indexed[T]{i: i}
+	finished := false
+	defer func() {
+		if !finished {
+			if rec := recover(); rec != nil {
+				r.err = &PanicError{Index: i, Value: rec, Stack: debug.Stack()}
+			} else {
+				// No panic to recover, yet the task never returned: its
+				// goroutine is unwinding via runtime.Goexit.
+				r.err = &PanicError{Index: i, Value: "task aborted without result (runtime.Goexit)", Stack: debug.Stack()}
+			}
+		}
+		select {
+		case results <- r:
+			sent = true
+		case <-ctx.Done():
+		}
+	}()
+	r.v, r.err = task(ctx, i)
+	finished = true
+	return
+}
+
 // ForEachOrdered runs tasks 0..n-1 with at most parallelism workers and
 // delivers each result to consume in strict index order, as soon as the
 // next-in-order task completes (later tasks may already be in flight —
@@ -139,10 +182,7 @@ func ForEachOrdered[T any](ctx context.Context, parallelism, n int, task func(co
 				if i >= n || cctx.Err() != nil {
 					return
 				}
-				v, err := runTask(cctx, task, i)
-				select {
-				case results <- indexed[T]{i: i, v: v, err: err}:
-				case <-cctx.Done():
+				if !runAndDeliver(cctx, task, i, results) {
 					return
 				}
 			}
@@ -160,11 +200,16 @@ func ForEachOrdered[T any](ctx context.Context, parallelism, n int, task func(co
 		r, ok := <-results
 		if !ok {
 			// Workers exited without delivering everything: only possible
-			// after cancellation.
+			// after cancellation — in this parallel path every abnormal
+			// task exit (panic, runtime.Goexit) delivers an error first.
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			return cctx.Err()
+			if err := cctx.Err(); err != nil {
+				return err
+			}
+			// Defensive: never report a truncated delivery as success.
+			return fmt.Errorf("exec: workers exited before delivering all results")
 		}
 		pending[r.i] = r
 		for {

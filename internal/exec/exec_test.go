@@ -94,6 +94,62 @@ func TestPanicCapturedAsError(t *testing.T) {
 	}
 }
 
+// TestGoexitWhileHoldingLowestIndexDoesNotStarve is the regression test
+// for the claim-window starvation fix: a task that aborts its goroutine
+// via runtime.Goexit (as t.FailNow does) while holding the lowest
+// undelivered index used to vanish without a result — its claim token was
+// never returned, in-order delivery stalled at its index, the window
+// drained, and every worker plus the consumer deadlocked. The pool must
+// instead surface the aborted task as a *PanicError.
+func TestGoexitWhileHoldingLowestIndexDoesNotStarve(t *testing.T) {
+	done := make(chan error, 1)
+	go func() {
+		done <- ForEachOrdered(context.Background(), 3, 100,
+			func(_ context.Context, i int) (int, error) {
+				if i == 0 {
+					// Let the fast tasks saturate the claim window first so
+					// the starvation, if reintroduced, is total.
+					time.Sleep(5 * time.Millisecond)
+					runtime.Goexit()
+				}
+				return i, nil
+			},
+			func(i, v int) bool { return true })
+	}()
+	select {
+	case err := <-done:
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("err = %v, want *PanicError for the aborted task", err)
+		}
+		if pe.Index != 0 {
+			t.Errorf("PanicError.Index = %d, want 0", pe.Index)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("ForEachOrdered starved: Goexit task never delivered a result")
+	}
+}
+
+// TestGoexitCapturedAsError pins the simpler half of the contract: an
+// aborted task at any index is reported like a panic, deterministically.
+func TestGoexitCapturedAsError(t *testing.T) {
+	for _, par := range []int{2, 4} {
+		_, err := Map(context.Background(), par, 10, func(_ context.Context, i int) (int, error) {
+			if i == 4 {
+				runtime.Goexit()
+			}
+			return i, nil
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("par=%d: err = %v, want *PanicError", par, err)
+		}
+		if pe.Index != 4 || len(pe.Stack) == 0 {
+			t.Errorf("par=%d: PanicError = {Index:%d stack:%d bytes}", par, pe.Index, len(pe.Stack))
+		}
+	}
+}
+
 func TestLowestIndexedErrorWins(t *testing.T) {
 	// Task 2 fails fast, task 7 fails slower; regardless of completion
 	// order the consumer must see task 2's error (deterministic across

@@ -44,6 +44,9 @@ func (c Config) RunAnytime(ctx context.Context, class mqo.Class) (*AnytimeResult
 		ctx = context.Background()
 	}
 	cfg := c.withDefaults()
+	if err := cfg.validatePortfolio(); err != nil {
+		return nil, err
+	}
 	instances, err := cfg.Generate(class)
 	if err != nil {
 		return nil, err

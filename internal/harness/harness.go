@@ -16,11 +16,14 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/chimera"
 	"repro/internal/core"
 	"repro/internal/mqo"
+	"repro/internal/portfolio"
 	"repro/internal/solvers"
 	"repro/internal/splitmix"
 	"repro/internal/trace"
@@ -54,6 +57,14 @@ type Config struct {
 	// inside the window (the paper's comparison of annealer time against
 	// commodity-hardware time is unaffected: QA time stays modeled).
 	Parallelism int
+	// Portfolio, when non-empty, appends a portfolio column to the
+	// experiments: the named members (qa, lin-mqo, lin-qub, climb,
+	// greedy, ga<population>) race on every instance and the column
+	// reports their merged anytime incumbent. Members run sequentially
+	// inside the portfolio's task so Parallelism stays an exact worker
+	// bound; the merged trace charges each member its private clock, so
+	// the column reads as a race regardless.
+	Portfolio []string
 }
 
 // DefaultConfig returns the offline defaults: 3 instances per class, a
@@ -125,32 +136,116 @@ func (c Config) Generate(class mqo.Class) ([]Instance, error) {
 	return out, nil
 }
 
-// panelFactories returns one constructor per panel slot in presentation
-// order: QA first, then the classical baselines. Factories let pooled
-// tasks build exactly the solver they run — fresh per task, never shared
-// across workers. QA's inner batch parallelism is pinned to 1: the
-// harness pools at task granularity, and nesting pools would multiply
-// the worker bound (tasks × batches) past Parallelism.
-func (c Config) panelFactories() []func() solvers.Solver {
+// basePanelFactories returns one constructor per paper panel slot in
+// presentation order: QA first, then the classical baselines. Slots
+// resolve through the same name-keyed solverFactory the portfolio
+// members use, so the panel lineup and the portfolio member inventory
+// cannot drift apart. Factories let pooled tasks build exactly the
+// solver they run — fresh per task, never shared across workers.
+func (c Config) basePanelFactories() []func() solvers.Solver {
 	cfg := c.withDefaults()
-	fs := []func() solvers.Solver{
-		func() solvers.Solver {
-			return &core.QASolver{Opt: core.Options{Graph: cfg.Graph, Runs: cfg.QARuns, Parallelism: 1}}
-		},
-		func() solvers.Solver { return &solvers.BranchAndBound{} },
-		func() solvers.Solver { return solvers.QUBOBranchAndBound{} },
-		func() solvers.Solver { return solvers.HillClimb{} },
-	}
+	names := []string{"qa", "lin-mqo", "lin-qub", "climb"}
 	for _, pop := range cfg.GAPopulations {
-		fs = append(fs, func() solvers.Solver { return solvers.NewGenetic(pop) })
+		names = append(names, fmt.Sprintf("ga%d", pop))
+	}
+	fs := make([]func() solvers.Solver, len(names))
+	for i, name := range names {
+		f, err := cfg.solverFactory(name)
+		if err != nil {
+			panic(err) // unreachable: the slot names above are all known
+		}
+		fs[i] = f
 	}
 	return fs
+}
+
+// panelFactories appends the configured portfolio column (if any) to the
+// paper panel. Entry points validate cfg.Portfolio before fanning out, so
+// the panic inside portfolioFactory is unreachable from RunAnytime and
+// RunTable1 — it only fires on direct misuse with unvalidated names.
+func (c Config) panelFactories() []func() solvers.Solver {
+	fs := c.basePanelFactories()
+	if len(c.withDefaults().Portfolio) > 0 {
+		pf, err := c.portfolioFactory()
+		if err != nil {
+			panic(err)
+		}
+		fs = append(fs, func() solvers.Solver { return pf() })
+	}
+	return fs
+}
+
+// solverFactory resolves a solver name to its constructor — the single
+// name-keyed inventory behind both the paper panel slots and the
+// portfolio members. Names are case-insensitive and tolerate the display
+// forms of the figures ("LIN-MQO", "GA(50)"). QA's inner batch
+// parallelism is pinned to 1: the harness pools at task granularity, and
+// nesting pools would multiply the worker bound (tasks × batches) past
+// Parallelism.
+func (c Config) solverFactory(name string) (func() solvers.Solver, error) {
+	cfg := c.withDefaults()
+	key := strings.NewReplacer("(", "", ")", "").Replace(strings.ToLower(strings.TrimSpace(name)))
+	switch {
+	case key == "qa":
+		return func() solvers.Solver {
+			return &core.QASolver{Opt: core.Options{Graph: cfg.Graph, Runs: cfg.QARuns, Parallelism: 1}}
+		}, nil
+	case key == "lin-mqo":
+		return func() solvers.Solver { return &solvers.BranchAndBound{} }, nil
+	case key == "lin-qub":
+		return func() solvers.Solver { return solvers.QUBOBranchAndBound{} }, nil
+	case key == "climb":
+		return func() solvers.Solver { return solvers.HillClimb{} }, nil
+	case key == "greedy":
+		return func() solvers.Solver { return solvers.Greedy{} }, nil
+	case strings.HasPrefix(key, "ga"):
+		pop, err := strconv.Atoi(key[2:])
+		if err != nil || pop <= 0 {
+			return nil, fmt.Errorf("harness: bad GA population in solver name %q", name)
+		}
+		return func() solvers.Solver { return solvers.NewGenetic(pop) }, nil
+	}
+	return nil, fmt.Errorf("harness: unknown solver %q (known: qa, lin-mqo, lin-qub, climb, greedy, ga<population>)", name)
+}
+
+// portfolioFactory builds the portfolio column's constructor: fresh
+// member instances per task, members raced sequentially inside the task
+// (Parallelism 1) so the experiment's worker bound stays exact.
+func (c Config) portfolioFactory() (func() *portfolio.Solver, error) {
+	cfg := c.withDefaults()
+	memberFactories := make([]func() solvers.Solver, len(cfg.Portfolio))
+	for i, name := range cfg.Portfolio {
+		f, err := cfg.solverFactory(name)
+		if err != nil {
+			return nil, err
+		}
+		memberFactories[i] = f
+	}
+	return func() *portfolio.Solver {
+		members := make([]solvers.Solver, len(memberFactories))
+		for i, f := range memberFactories {
+			members[i] = f()
+		}
+		s := portfolio.New(members...)
+		s.Parallelism = 1
+		return s
+	}, nil
+}
+
+// validatePortfolio surfaces bad member names as an error before any
+// fan-out begins.
+func (c Config) validatePortfolio() error {
+	if len(c.withDefaults().Portfolio) == 0 {
+		return nil
+	}
+	_, err := c.portfolioFactory()
+	return err
 }
 
 // ClassicalSolvers returns the paper's baseline set: LIN-MQO, LIN-QUB,
 // CLIMB, and one GA per configured population size.
 func (c Config) ClassicalSolvers() []solvers.Solver {
-	fs := c.panelFactories()[1:]
+	fs := c.basePanelFactories()[1:]
 	out := make([]solvers.Solver, len(fs))
 	for i, f := range fs {
 		out[i] = f()
@@ -190,12 +285,18 @@ func (c Config) runPanelTask(ctx context.Context, inst Instance, seed int64, slo
 	return tr
 }
 
-// SolverNames lists the series of Figures 4 and 5 in presentation order.
+// SolverNames lists the series of Figures 4 and 5 in presentation order,
+// plus the portfolio column when one is configured.
 func (c Config) SolverNames() []string {
 	cfg := c.withDefaults()
 	names := []string{"LIN-MQO", "LIN-QUB", "QA", "CLIMB"}
 	for _, pop := range cfg.GAPopulations {
 		names = append(names, fmt.Sprintf("GA(%d)", pop))
+	}
+	if len(cfg.Portfolio) > 0 {
+		if pf, err := cfg.portfolioFactory(); err == nil {
+			names = append(names, pf().Name())
+		}
 	}
 	return names
 }

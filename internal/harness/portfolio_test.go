@@ -1,0 +1,174 @@
+package harness
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mqo"
+	"repro/internal/portfolio"
+	"repro/internal/splitmix"
+	"repro/internal/trace"
+)
+
+// TestPortfolioColumnInAnytime: configuring Config.Portfolio adds a
+// portfolio series to the anytime experiment with the same invariants as
+// every other column.
+func TestPortfolioColumnInAnytime(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Portfolio = []string{"qa", "climb"}
+	names := cfg.SolverNames()
+	want := "PORTFOLIO(QA+CLIMB)"
+	if names[len(names)-1] != want {
+		t.Fatalf("SolverNames = %v, want trailing %q", names, want)
+	}
+	res, err := cfg.RunAnytime(context.Background(), mqo.Class{Queries: 12, PlansPerQuery: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	curve, ok := res.MeanScaledCost[want]
+	if !ok || len(curve) != len(res.Checkpoints) {
+		t.Fatalf("portfolio column missing or malformed: %v", curve)
+	}
+	last := curve[len(curve)-1]
+	if math.IsInf(last, 1) || last < -1e-9 {
+		t.Errorf("portfolio final scaled cost %v", last)
+	}
+	for k := 1; k < len(curve); k++ {
+		if !math.IsInf(curve[k-1], 1) && curve[k] > curve[k-1]+1e-9 {
+			t.Errorf("portfolio curve increased at checkpoint %d: %v", k, curve)
+		}
+	}
+}
+
+// TestPortfolioRacingHelps is the racing acceptance bar: on a canned
+// harness instance class, the portfolio's time-to-best-cost is no worse
+// than the best single member's. Members are two deterministic
+// modeled-clock annealer variants, so the comparison replays exactly:
+// the standalone runs below use the same SplitMix sub-seeds the portfolio
+// hands its members.
+func TestPortfolioRacingHelps(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Instances = 1
+	instances, err := cfg.Generate(mqo.Class{Queries: 14, PlansPerQuery: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := instances[0]
+	newMembers := func() (*core.QASolver, *core.QASolver) {
+		return &core.QASolver{Opt: core.Options{Runs: 150, Parallelism: 1}},
+			&core.QASolver{Opt: core.Options{Runs: 60, Pattern: core.PatternTriad, Parallelism: 1}}
+	}
+
+	const sessionSeed = 7
+	budget := time.Second
+	m0, m1 := newMembers()
+	ps := portfolio.New(m0, m1)
+	ps.Parallelism = 1
+	ptr := &trace.Trace{}
+	sol := ps.Solve(context.Background(), inst.Problem, budget, rand.New(rand.NewSource(sessionSeed)), ptr)
+	if sol == nil || ptr.Len() == 0 {
+		t.Fatal("portfolio produced no solution or trace")
+	}
+
+	// Standalone member runs with the sub-seeds the portfolio used:
+	// base = first Int63 of the session stream, member i = Split(base, i).
+	base := rand.New(rand.NewSource(sessionSeed)).Int63()
+	s0, s1 := newMembers()
+	memberTraces := make([]*trace.Trace, 2)
+	for i, m := range []*core.QASolver{s0, s1} {
+		tr := &trace.Trace{}
+		if got := m.Solve(context.Background(), inst.Problem, budget,
+			rand.New(rand.NewSource(splitmix.Split(base, int64(i)))), tr); got == nil {
+			t.Fatalf("standalone member %d produced no solution", i)
+		}
+		memberTraces[i] = tr
+	}
+
+	bestFinal := math.Min(memberTraces[0].Final(), memberTraces[1].Final())
+	if got := ptr.Final(); got != bestFinal {
+		t.Errorf("portfolio final cost %v, want best member final %v", got, bestFinal)
+	}
+	portfolioTTB, ok := ptr.FirstBelow(bestFinal)
+	if !ok {
+		t.Fatal("portfolio trace never reaches the best member cost")
+	}
+	bestMemberTTB := time.Duration(math.MaxInt64)
+	for _, tr := range memberTraces {
+		if d, ok := tr.FirstBelow(bestFinal); ok && d < bestMemberTTB {
+			bestMemberTTB = d
+		}
+	}
+	if bestMemberTTB == time.Duration(math.MaxInt64) {
+		t.Fatal("no standalone member reaches the best cost")
+	}
+	if portfolioTTB > bestMemberTTB {
+		t.Errorf("portfolio time-to-best %v exceeds best single member's %v", portfolioTTB, bestMemberTTB)
+	}
+}
+
+// TestRunTable1PortfolioColumn: the portfolio row races with the
+// instance optimum as target, so the table gains a portfolio line whose
+// statistics are well-formed and whose races were cut short by the
+// cancellation ladder rather than burning the full window per member.
+func TestRunTable1PortfolioColumn(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Portfolio = []string{"greedy", "climb"}
+	start := time.Now()
+	rows, err := cfg.RunTable1(context.Background(), []mqo.Class{{Queries: 8, PlansPerQuery: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want LIN-MQO + portfolio", len(rows))
+	}
+	if rows[0].Solver != "LIN-MQO" {
+		t.Errorf("row 0 solver = %q", rows[0].Solver)
+	}
+	if want := "PORTFOLIO(GREEDY+CLIMB)"; rows[1].Solver != want {
+		t.Errorf("row 1 solver = %q, want %q", rows[1].Solver, want)
+	}
+	if rows[1].SolvedInstances != rows[1].GeneratedInstances {
+		t.Errorf("portfolio solved %d/%d instances to optimality",
+			rows[1].SolvedInstances, rows[1].GeneratedInstances)
+	}
+	// Target cancellation must cut the sequential members short: two
+	// members × two instances × 150 ms budget would be 600 ms of climbing
+	// without it. Allow generous slack for the exact DP and machinery.
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Errorf("Table 1 portfolio rows took %v; target cancellation appears dead", elapsed)
+	}
+}
+
+// TestPortfolioUnknownMemberSurfacesError: bad member names must fail
+// the experiment up front, not panic inside a pooled task.
+func TestPortfolioUnknownMemberSurfacesError(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Portfolio = []string{"qa", "warp-drive"}
+	if _, err := cfg.RunAnytime(context.Background(), mqo.Class{Queries: 8, PlansPerQuery: 2}); err == nil ||
+		!strings.Contains(err.Error(), "warp-drive") {
+		t.Errorf("RunAnytime error = %v, want unknown-member mention", err)
+	}
+	if _, err := cfg.RunTable1(context.Background(), []mqo.Class{{Queries: 8, PlansPerQuery: 2}}); err == nil {
+		t.Error("RunTable1 accepted an unknown portfolio member")
+	}
+}
+
+// TestPortfolioMemberNameForms: display forms of the figures resolve to
+// the same members as the registry-style names.
+func TestPortfolioMemberNameForms(t *testing.T) {
+	cfg := quickConfig()
+	for _, names := range [][]string{
+		{"qa", "lin-mqo", "lin-qub", "climb", "greedy", "ga50"},
+		{"QA", "LIN-MQO", "LIN-QUB", "CLIMB", "GREEDY", "GA(50)"},
+	} {
+		cfg.Portfolio = names
+		if err := cfg.validatePortfolio(); err != nil {
+			t.Errorf("validatePortfolio(%v) = %v", names, err)
+		}
+	}
+}

@@ -39,11 +39,21 @@ func RenderAnytime(w io.Writer, r *AnytimeResult, names []string) {
 
 // RenderTable1 prints the time-until-optimal aggregates.
 func RenderTable1(w io.Writer, rows []Table1Row) {
-	fmt.Fprintln(w, "Table 1: milliseconds until LIN-MQO finds the optimal solution")
-	fmt.Fprintf(w, "%-10s %12s %12s %12s %10s\n", "# Queries", "Minimum", "Median", "Maximum", "solved")
+	fmt.Fprintln(w, "Table 1: milliseconds until the solver finds the optimal solution")
+	fmt.Fprintf(w, "%-24s %-10s %12s %12s %12s %10s\n", "solver", "# Queries", "Minimum", "Median", "Maximum", "solved")
+	ms := func(v float64) string {
+		if math.IsNaN(v) {
+			return "—" // no instance solved to optimality in the window
+		}
+		return fmt.Sprintf("%.2f", v)
+	}
 	for _, row := range rows {
-		fmt.Fprintf(w, "%-10d %12.2f %12.2f %12.2f %6d/%d\n",
-			row.Class.Queries, row.Min, row.Median, row.Max,
+		name := row.Solver
+		if name == "" {
+			name = "LIN-MQO"
+		}
+		fmt.Fprintf(w, "%-24s %-10d %12s %12s %12s %6d/%d\n",
+			name, row.Class.Queries, ms(row.Min), ms(row.Median), ms(row.Max),
 			row.SolvedInstances, row.GeneratedInstances)
 	}
 }

@@ -13,26 +13,49 @@ import (
 	"repro/internal/trace"
 )
 
-// Table1Row aggregates, for one class, the milliseconds until the LIN-MQO
-// solver first reaches the optimal solution (Table 1 of the paper reports
-// minimum, median, and maximum over 20 instances).
+// Table1Row aggregates, for one class and one solver, the milliseconds
+// until the solver first reaches the optimal solution (Table 1 of the
+// paper reports minimum, median, and maximum over 20 instances for
+// LIN-MQO; Config.Portfolio adds a portfolio row per class).
 type Table1Row struct {
 	Class              mqo.Class
+	Solver             string
 	Min, Median, Max   float64 // milliseconds
 	SolvedInstances    int
 	GeneratedInstances int
 }
 
-// RunTable1 measures time-to-optimal for LIN-MQO on every class.
-// Instances fan out through the worker pool under cfg.Parallelism, each
-// solving with a private random stream split off cfg.Seed; per-class
-// statistics are aggregated in instance order. Cancelling ctx aborts the
-// experiment with ctx.Err().
+// RunTable1 measures time-to-optimal on every class: always for LIN-MQO
+// (the paper's Table 1), plus a portfolio row per class when
+// cfg.Portfolio names members — the portfolio races with the instance
+// optimum as its target cost, so the first member to reach it cancels
+// the stragglers. Instances fan out through the worker pool under
+// cfg.Parallelism, each solving with a private random stream split off
+// cfg.Seed; per-class statistics are aggregated in instance order.
+// Cancelling ctx aborts the experiment with ctx.Err().
 func (c Config) RunTable1(ctx context.Context, classes []mqo.Class) ([]Table1Row, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	cfg := c.withDefaults()
+	if err := cfg.validatePortfolio(); err != nil {
+		return nil, err
+	}
+	var portfolioName string
+	var portfolioFactory func(target float64) solvers.Solver
+	if len(cfg.Portfolio) > 0 {
+		pf, err := cfg.portfolioFactory()
+		if err != nil {
+			return nil, err
+		}
+		portfolioName = pf().Name()
+		portfolioFactory = func(target float64) solvers.Solver {
+			s := pf()
+			s.Target = target
+			s.UseTarget = true
+			return s
+		}
+	}
 	rows := make([]Table1Row, 0, len(classes))
 	for _, class := range classes {
 		if err := ctx.Err(); err != nil {
@@ -42,38 +65,59 @@ func (c Config) RunTable1(ctx context.Context, classes []mqo.Class) ([]Table1Row
 		if err != nil {
 			return nil, err
 		}
-		millis, err := exec.Map(ctx, cfg.Parallelism, len(instances),
-			func(tctx context.Context, i int) (float64, error) {
-				tr := &trace.Trace{}
-				s := &solvers.BranchAndBound{}
-				s.Solve(tctx, instances[i].Problem, cfg.Budget, splitmix.New(cfg.Seed, int64(i)), tr)
-				if d, ok := tr.FirstBelow(instances[i].Optimum); ok {
-					return float64(d) / float64(time.Millisecond), nil
-				}
-				return math.NaN(), nil // unsolved within the budget
-			})
-		// An interrupted solve leaves truncated traces; reporting them
-		// as "unsolved" would corrupt the row's statistics.
+		row, err := cfg.timeToOptimalRow(ctx, class, "LIN-MQO", instances,
+			func(Instance) solvers.Solver { return &solvers.BranchAndBound{} })
 		if err != nil {
 			return nil, err
 		}
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		var times []float64
-		for _, ms := range millis {
-			if !math.IsNaN(ms) {
-				times = append(times, ms)
+		rows = append(rows, row)
+		if portfolioFactory != nil {
+			row, err := cfg.timeToOptimalRow(ctx, class, portfolioName, instances,
+				func(inst Instance) solvers.Solver { return portfolioFactory(inst.Optimum) })
+			if err != nil {
+				return nil, err
 			}
+			rows = append(rows, row)
 		}
-		rows = append(rows, Table1Row{
-			Class:              class,
-			Min:                stats.Min(times),
-			Median:             stats.Median(times),
-			Max:                stats.Max(times),
-			SolvedInstances:    len(times),
-			GeneratedInstances: len(instances),
-		})
 	}
 	return rows, nil
+}
+
+// timeToOptimalRow measures, per instance, when build's solver first
+// reached the instance optimum, and aggregates the statistics.
+func (c Config) timeToOptimalRow(ctx context.Context, class mqo.Class, name string, instances []Instance, build func(Instance) solvers.Solver) (Table1Row, error) {
+	cfg := c.withDefaults()
+	millis, err := exec.Map(ctx, cfg.Parallelism, len(instances),
+		func(tctx context.Context, i int) (float64, error) {
+			tr := &trace.Trace{}
+			s := build(instances[i])
+			s.Solve(tctx, instances[i].Problem, cfg.Budget, splitmix.New(cfg.Seed, int64(i)), tr)
+			if d, ok := tr.FirstBelow(instances[i].Optimum); ok {
+				return float64(d) / float64(time.Millisecond), nil
+			}
+			return math.NaN(), nil // unsolved within the budget
+		})
+	// An interrupted solve leaves truncated traces; reporting them as
+	// "unsolved" would corrupt the row's statistics.
+	if err != nil {
+		return Table1Row{}, err
+	}
+	if err := ctx.Err(); err != nil {
+		return Table1Row{}, err
+	}
+	var times []float64
+	for _, ms := range millis {
+		if !math.IsNaN(ms) {
+			times = append(times, ms)
+		}
+	}
+	return Table1Row{
+		Class:              class,
+		Solver:             name,
+		Min:                stats.Min(times),
+		Median:             stats.Median(times),
+		Max:                stats.Max(times),
+		SolvedInstances:    len(times),
+		GeneratedInstances: len(instances),
+	}, nil
 }

@@ -67,6 +67,12 @@ func MustNew(queryPlans [][]int, costs []float64, savings []Saving) *Problem {
 }
 
 func (p *Problem) init() error {
+	// An MQO instance has at least one query (found by fuzzing: "{}"
+	// used to validate as a 0-query problem and leak degenerate states
+	// into every downstream mapping).
+	if len(p.QueryPlans) == 0 {
+		return errors.New("mqo: instance has no queries")
+	}
 	n := len(p.Costs)
 	p.planQuery = make([]int, n)
 	for i := range p.planQuery {

@@ -1,0 +1,175 @@
+// Package portfolio implements anytime portfolio racing: running several
+// heterogeneous solvers concurrently on one problem, exchanging
+// improvements through a shared incumbent board, and reporting the best
+// anytime incumbent across all members. The paper compares QA against
+// ILP, hill climbing, and genetic baselines one solver at a time; a
+// portfolio races them on the execution engine (internal/exec) so the
+// comparison becomes "whichever gets there first", with per-member
+// attribution preserved.
+//
+// Three pieces:
+//
+//   - Board: a lock-free best-cost gate. A member's improvement publishes
+//     only if it beats the global best, so the live stream observed by a
+//     caller is strictly decreasing no matter how members interleave.
+//   - Race: bounded deterministic fan-out. Member i always runs with the
+//     SplitMix sub-seed Split(seed, i), outcomes return in member order,
+//     and a member panic is captured into its outcome instead of killing
+//     the race.
+//   - Merge: the determinism contract's half for traces. Live publishes
+//     depend on scheduling, so the final merged trace is reconstructed
+//     from the members' private traces — ordered by time, ties broken by
+//     member order, filtered to strictly improving costs. Fixed seed and
+//     fixed member list therefore yield a bit-identical merged stream at
+//     any parallelism, provided the members themselves are deterministic
+//     (modeled-clock solvers are; wall-clock baselines are only as
+//     deterministic as their clock).
+package portfolio
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime/debug"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/exec"
+	"repro/internal/splitmix"
+)
+
+// Board is the shared incumbent board: a lock-free gate over the best
+// cost any member has published so far. The zero value is unusable;
+// construct with NewBoard.
+type Board struct {
+	bits atomic.Uint64 // math.Float64bits of the best published cost
+}
+
+// NewBoard returns a board with no incumbent (best = +Inf).
+func NewBoard() *Board {
+	b := &Board{}
+	b.bits.Store(math.Float64bits(math.Inf(1)))
+	return b
+}
+
+// Best returns the best cost published so far (+Inf when none).
+func (b *Board) Best() float64 {
+	return math.Float64frombits(b.bits.Load())
+}
+
+// Offer publishes cost if it strictly beats the global best and reports
+// whether it did. It is lock-free: a compare-and-swap loop on the float
+// bits, safe to call from every member goroutine on every improvement.
+// Non-improving offers return false without writing.
+func (b *Board) Offer(cost float64) bool {
+	for {
+		cur := b.bits.Load()
+		if !(cost < math.Float64frombits(cur)) {
+			return false
+		}
+		if b.bits.CompareAndSwap(cur, math.Float64bits(cost)) {
+			return true
+		}
+	}
+}
+
+// Entry is one attributed incumbent improvement: at time T the member
+// named Source reached Cost. Times are each member's own elapsed
+// (modeled device time for annealer members, wall-clock for classical
+// ones) — the racing model charges every member its private clock, as if
+// all ran on dedicated hardware.
+type Entry struct {
+	T      time.Duration
+	Cost   float64
+	Source string
+}
+
+// Merge flattens per-member incumbent traces into the single
+// strictly-improving portfolio stream: entries are ordered by time with
+// ties broken by member position (earlier members win), then filtered so
+// costs strictly decrease. The result is deterministic in the member
+// traces alone — scheduling, worker counts, and publish interleavings
+// never enter — which is what makes the portfolio determinism contract
+// checkable at any parallelism. Each input trace must be nondecreasing
+// in time (the trace package's Record guarantees this).
+func Merge(traces [][]Entry) []Entry {
+	type keyed struct {
+		e      Entry
+		member int
+	}
+	total := 0
+	for _, tr := range traces {
+		total += len(tr)
+	}
+	all := make([]keyed, 0, total)
+	for m, tr := range traces {
+		for _, e := range tr {
+			all = append(all, keyed{e: e, member: m})
+		}
+	}
+	// Stable sort keeps each member's internal order for equal (T, member).
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].e.T != all[j].e.T {
+			return all[i].e.T < all[j].e.T
+		}
+		return all[i].member < all[j].member
+	})
+	out := make([]Entry, 0, len(all))
+	best := math.Inf(1)
+	for _, k := range all {
+		if k.e.Cost < best {
+			best = k.e.Cost
+			out = append(out, k.e)
+		}
+	}
+	return out
+}
+
+// Member is one racing entrant: a named closure that runs the member to
+// completion under its private sub-seed and returns its result. The
+// closure is expected to capture the problem, its options, and the race
+// context; Race only supplies the seed.
+type Member[R any] struct {
+	Name string
+	Run  func(seed int64) (R, error)
+}
+
+// Outcome is what one member contributed to the race. Err carries the
+// member's own failure (including a captured panic); a failed member
+// never aborts the race — the portfolio's value is exactly that slow or
+// broken members lose instead of vetoing.
+type Outcome[R any] struct {
+	Name   string
+	Result R
+	Err    error
+}
+
+// Race runs every member with at most parallelism concurrent entrants
+// (non-positive races all members at once) and returns their outcomes in
+// member order. Member i runs with seed splitmix.Split(seed, i), so a
+// fixed (seed, member list) pair reproduces every member's private
+// stream at any parallelism. Cancellation is the members' job: Race
+// itself always waits for every started member to return, which is what
+// lets a cancelled race still collect the winner's result — members must
+// honor their captured context promptly.
+func Race[R any](parallelism int, seed int64, members []Member[R]) []Outcome[R] {
+	if parallelism <= 0 {
+		parallelism = len(members)
+	}
+	out, _ := exec.Map(context.Background(), parallelism, len(members),
+		func(_ context.Context, i int) (Outcome[R], error) {
+			o := Outcome[R]{Name: members[i].Name}
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						o.Err = fmt.Errorf("portfolio: member %s panicked: %v\n%s",
+							members[i].Name, r, debug.Stack())
+					}
+				}()
+				o.Result, o.Err = members[i].Run(splitmix.Split(seed, int64(i)))
+			}()
+			return o, nil
+		})
+	return out
+}

@@ -1,0 +1,279 @@
+package portfolio
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/chimera"
+	"repro/internal/core"
+	"repro/internal/mqo"
+	"repro/internal/solvers"
+	"repro/internal/splitmix"
+	"repro/internal/trace"
+)
+
+func TestBoardOfferGatesOnStrictImprovement(t *testing.T) {
+	b := NewBoard()
+	if !math.IsInf(b.Best(), 1) {
+		t.Fatalf("fresh board best = %v, want +Inf", b.Best())
+	}
+	if !b.Offer(10) {
+		t.Fatal("first offer rejected")
+	}
+	if b.Offer(10) {
+		t.Error("equal cost published; the gate must be strict")
+	}
+	if b.Offer(11) {
+		t.Error("worse cost published")
+	}
+	if !b.Offer(9.5) || b.Best() != 9.5 {
+		t.Errorf("improvement rejected; best = %v", b.Best())
+	}
+}
+
+// TestBoardConcurrentOffers hammers the CAS gate from many goroutines:
+// the final best must be the global minimum and every published cost must
+// have been an improvement at publish time (counted: at most one success
+// per distinct descending cost).
+func TestBoardConcurrentOffers(t *testing.T) {
+	b := NewBoard()
+	const workers = 8
+	var wg sync.WaitGroup
+	published := make([]int, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 2000; i++ {
+				if b.Offer(float64(rng.Intn(1000))) {
+					published[w]++
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	total := 0
+	for _, n := range published {
+		total += n
+	}
+	// Costs are integers in [0, 1000): a strictly decreasing publish
+	// sequence has at most 1000 elements.
+	if total == 0 || total > 1000 {
+		t.Errorf("published %d improvements, want 1..1000 strictly decreasing", total)
+	}
+	if best := b.Best(); best < 0 || best >= 1000 {
+		t.Errorf("final best %v out of range", best)
+	}
+}
+
+func TestMergeOrdersByTimeThenMember(t *testing.T) {
+	a := []Entry{{T: 1 * time.Millisecond, Cost: 50, Source: "A"}, {T: 5 * time.Millisecond, Cost: 20, Source: "A"}}
+	b := []Entry{{T: 1 * time.Millisecond, Cost: 40, Source: "B"}, {T: 3 * time.Millisecond, Cost: 30, Source: "B"}, {T: 9 * time.Millisecond, Cost: 25, Source: "B"}}
+	got := Merge([][]Entry{a, b})
+	want := []Entry{
+		{T: 1 * time.Millisecond, Cost: 50, Source: "A"}, // tie at t=1: member 0 first
+		{T: 1 * time.Millisecond, Cost: 40, Source: "B"},
+		{T: 3 * time.Millisecond, Cost: 30, Source: "B"},
+		{T: 5 * time.Millisecond, Cost: 20, Source: "A"},
+		// B's t=9 cost 25 is dominated by A's 20 and must be filtered.
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Merge = %v, want %v", got, want)
+	}
+}
+
+func TestMergeEmptyAndSingle(t *testing.T) {
+	if got := Merge(nil); len(got) != 0 {
+		t.Errorf("Merge(nil) = %v", got)
+	}
+	one := []Entry{{T: 1, Cost: 3, Source: "X"}, {T: 2, Cost: 1, Source: "X"}}
+	if got := Merge([][]Entry{one}); !reflect.DeepEqual(got, one) {
+		t.Errorf("Merge single = %v, want %v", got, one)
+	}
+}
+
+// TestRaceSeedsAndOrderDeterministic pins the fan-out contract: member i
+// always receives Split(seed, i), and outcomes return in member order at
+// every parallelism.
+func TestRaceSeedsAndOrderDeterministic(t *testing.T) {
+	const seed = 42
+	members := make([]Member[int64], 5)
+	for i := range members {
+		members[i] = Member[int64]{
+			Name: string(rune('a' + i)),
+			Run:  func(s int64) (int64, error) { return s, nil },
+		}
+	}
+	for _, par := range []int{1, 3, 0} {
+		out := Race(par, seed, members)
+		if len(out) != len(members) {
+			t.Fatalf("par=%d: %d outcomes", par, len(out))
+		}
+		for i, o := range out {
+			if o.Name != members[i].Name {
+				t.Errorf("par=%d: outcome %d is %q, want %q", par, i, o.Name, members[i].Name)
+			}
+			if o.Result != splitmix.Split(seed, int64(i)) {
+				t.Errorf("par=%d: member %d got seed %d, want Split(%d,%d)", par, i, o.Result, seed, i)
+			}
+		}
+	}
+}
+
+// TestRaceMemberPanicIsIsolated: a panicking member loses; it must not
+// abort the race or poison the other outcomes.
+func TestRaceMemberPanicIsIsolated(t *testing.T) {
+	members := []Member[string]{
+		{Name: "ok", Run: func(int64) (string, error) { return "fine", nil }},
+		{Name: "boom", Run: func(int64) (string, error) { panic("kaput") }},
+		{Name: "also-ok", Run: func(int64) (string, error) { return "fine too", nil }},
+	}
+	out := Race(0, 1, members)
+	if out[0].Err != nil || out[0].Result != "fine" {
+		t.Errorf("member 0: %+v", out[0])
+	}
+	if out[1].Err == nil || !strings.Contains(out[1].Err.Error(), "kaput") {
+		t.Errorf("member 1 panic not captured: %+v", out[1].Err)
+	}
+	if out[2].Err != nil || out[2].Result != "fine too" {
+		t.Errorf("member 2: %+v", out[2])
+	}
+}
+
+// portfolioInstance builds a small annealer-embeddable instance with its
+// exact optimum.
+func portfolioInstance(t *testing.T) (*mqo.Problem, float64) {
+	t.Helper()
+	g := chimera.DWave2X(0, 0)
+	p, err := core.GenerateEmbeddable(rand.New(rand.NewSource(5)), g,
+		mqo.Class{Queries: 14, PlansPerQuery: 2}, mqo.DefaultGeneratorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, opt, err := p.Optimum()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, opt
+}
+
+// TestSolverDeterministicAcrossParallelism is the internal half of the
+// portfolio determinism contract: two modeled-clock members, fixed seed —
+// the merged trace and final solution are identical whether the members
+// race one at a time or all at once.
+func TestSolverDeterministicAcrossParallelism(t *testing.T) {
+	p, _ := portfolioInstance(t)
+	run := func(par int) ([]trace.Point, mqo.Solution) {
+		s := New(
+			&core.QASolver{Opt: core.Options{Runs: 150, Parallelism: 1}},
+			&core.QASolver{Opt: core.Options{Runs: 60, Pattern: core.PatternTriad, Parallelism: 1}},
+		)
+		s.Parallelism = par
+		tr := &trace.Trace{}
+		sol := s.Solve(context.Background(), p, time.Second, rand.New(rand.NewSource(9)), tr)
+		return tr.Points(), sol
+	}
+	wantPts, wantSol := run(1)
+	if len(wantPts) == 0 || wantSol == nil {
+		t.Fatal("sequential portfolio produced no trace or solution")
+	}
+	for _, par := range []int{2, 0} {
+		gotPts, gotSol := run(par)
+		if !reflect.DeepEqual(gotPts, wantPts) {
+			t.Errorf("parallelism %d: merged trace diverges:\n  got  %v\n  want %v", par, gotPts, wantPts)
+		}
+		if !reflect.DeepEqual(gotSol, wantSol) {
+			t.Errorf("parallelism %d: solution %v != %v", par, gotSol, wantSol)
+		}
+	}
+	// The merged stream must be strictly decreasing in cost and
+	// nondecreasing in time.
+	for i := 1; i < len(wantPts); i++ {
+		if wantPts[i].Cost >= wantPts[i-1].Cost {
+			t.Errorf("merged trace not strictly decreasing at %d: %v", i, wantPts)
+		}
+		if wantPts[i].T < wantPts[i-1].T {
+			t.Errorf("merged trace goes back in time at %d: %v", i, wantPts)
+		}
+	}
+}
+
+// blockingSolver waits for cancellation and records that it saw it — the
+// straggler in the cancellation-ladder tests.
+type blockingSolver struct {
+	mu        sync.Mutex
+	sawCancel bool
+}
+
+func (b *blockingSolver) Name() string { return "BLOCKER" }
+
+func (b *blockingSolver) Solve(ctx context.Context, p *mqo.Problem, _ time.Duration, _ *rand.Rand, _ *trace.Trace) mqo.Solution {
+	<-ctx.Done()
+	b.mu.Lock()
+	b.sawCancel = true
+	b.mu.Unlock()
+	return nil
+}
+
+func (b *blockingSolver) cancelled() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sawCancel
+}
+
+// TestTargetCostCancelsStragglers: once a member publishes an incumbent
+// at or below the target, every other member's context must be cancelled
+// (the straggler would otherwise block forever here).
+func TestTargetCostCancelsStragglers(t *testing.T) {
+	p, _ := portfolioInstance(t)
+	greedyCost, err := p.Cost(solvers.GreedySolution(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocker := &blockingSolver{}
+	s := New(solvers.Greedy{}, blocker)
+	s.Target = greedyCost
+	s.UseTarget = true
+	tr := &trace.Trace{}
+	done := make(chan mqo.Solution, 1)
+	go func() {
+		done <- s.Solve(context.Background(), p, time.Second, rand.New(rand.NewSource(1)), tr)
+	}()
+	select {
+	case sol := <-done:
+		if !blocker.cancelled() {
+			t.Error("straggler never observed ctx.Err() after the target was reached")
+		}
+		cost, err := p.Cost(sol)
+		if err != nil || cost != greedyCost {
+			t.Errorf("portfolio solution cost %v (err %v), want greedy cost %v", cost, err, greedyCost)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("portfolio never cancelled the straggler on target cost")
+	}
+}
+
+// TestSolverNameAndEmpty covers the trivial contract edges.
+func TestSolverNameAndEmpty(t *testing.T) {
+	s := New(solvers.Greedy{}, solvers.HillClimb{})
+	if got := s.Name(); got != "PORTFOLIO(GREEDY+CLIMB)" {
+		t.Errorf("Name = %q", got)
+	}
+	p, _ := portfolioInstance(t)
+	if sol := New().Solve(context.Background(), p, time.Second, rand.New(rand.NewSource(1)), nil); sol != nil {
+		t.Errorf("empty portfolio returned %v", sol)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if sol := s.Solve(ctx, p, time.Second, rand.New(rand.NewSource(1)), nil); sol != nil {
+		t.Errorf("pre-cancelled portfolio returned %v", sol)
+	}
+}

@@ -1,0 +1,119 @@
+package portfolio
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"strings"
+	"time"
+
+	"repro/internal/mqo"
+	"repro/internal/solvers"
+	"repro/internal/trace"
+)
+
+// Solver races a set of internal anytime solvers as one solvers.Solver,
+// so a portfolio can sit in the harness's panel next to the solvers it is
+// made of (a "PORTFOLIO(...)" column in Table-1-style experiments and the
+// anytime figures). Construct with New; the zero value has no members.
+type Solver struct {
+	// Members are the racing entrants. Each runs with the full budget and
+	// a private SplitMix sub-seed of the session seed.
+	Members []solvers.Solver
+	// Parallelism bounds how many members race concurrently;
+	// non-positive races all of them at once. The harness pins it to 1 so
+	// its (instance, solver) worker bound stays exact — the merged trace
+	// is identical either way for deterministic members, because merging
+	// uses each member's private clock, not the scheduler's.
+	Parallelism int
+	// Target, when UseTarget is set, is the cancellation ladder's third
+	// rung: as soon as any member publishes an incumbent with cost ≤
+	// Target, every other member's context is cancelled.
+	Target    float64
+	UseTarget bool
+}
+
+// New assembles a portfolio over the given members.
+func New(members ...solvers.Solver) *Solver {
+	return &Solver{Members: members}
+}
+
+// Name implements solvers.Solver, e.g. "PORTFOLIO(QA+CLIMB)".
+func (s *Solver) Name() string {
+	names := make([]string, len(s.Members))
+	for i, m := range s.Members {
+		names[i] = m.Name()
+	}
+	return "PORTFOLIO(" + strings.Join(names, "+") + ")"
+}
+
+// memberRun is what one member contributes: its final solution and its
+// private incumbent trace, already attributed.
+type memberRun struct {
+	sol     mqo.Solution
+	entries []Entry
+}
+
+// Solve implements solvers.Solver. Every member runs under the full
+// budget with the sub-seed Split(rng.Int63(), memberIndex); improvements
+// flow through the shared Board, and the first member to reach Target
+// (when set) cancels the rest — stragglers observe ctx.Err() at the next
+// iteration of their budget loop and hand back their partial incumbents,
+// which still join the merge. The recorded trace is the deterministic
+// Merge of the members' private traces, and the returned solution is the
+// best final member solution (ties break toward the earlier member).
+func (s *Solver) Solve(ctx context.Context, p *mqo.Problem, budget time.Duration, rng *rand.Rand, tr *trace.Trace) mqo.Solution {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if len(s.Members) == 0 || ctx.Err() != nil {
+		return nil
+	}
+	seed := rng.Int63()
+	board := NewBoard()
+	raceCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	members := make([]Member[*memberRun], len(s.Members))
+	for i, m := range s.Members {
+		m := m
+		members[i] = Member[*memberRun]{
+			Name: m.Name(),
+			Run: func(memberSeed int64) (*memberRun, error) {
+				run := &memberRun{}
+				mtr := &trace.Trace{}
+				mtr.Observe(func(pt trace.Point) {
+					run.entries = append(run.entries, Entry{T: pt.T, Cost: pt.Cost, Source: m.Name()})
+					if board.Offer(pt.Cost) && s.UseTarget && pt.Cost <= s.Target+trace.CostEpsilon {
+						cancel()
+					}
+				})
+				run.sol = m.Solve(raceCtx, p, budget, rand.New(rand.NewSource(memberSeed)), mtr)
+				return run, nil
+			},
+		}
+	}
+	outcomes := Race(s.Parallelism, seed, members)
+
+	traces := make([][]Entry, 0, len(outcomes))
+	best := mqo.Solution(nil)
+	bestCost := math.Inf(1)
+	for _, o := range outcomes {
+		if o.Err != nil || o.Result == nil {
+			continue
+		}
+		traces = append(traces, o.Result.entries)
+		if sol := o.Result.sol; sol != nil && p.Valid(sol) {
+			if cost, err := p.Cost(sol); err == nil && cost < bestCost {
+				bestCost = cost
+				best = sol
+			}
+		}
+	}
+	if tr != nil {
+		for _, e := range Merge(traces) {
+			tr.Record(e.T, e.Cost)
+		}
+	}
+	return best
+}

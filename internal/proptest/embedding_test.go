@@ -1,0 +1,137 @@
+package proptest
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/chimera"
+	"repro/internal/core"
+	"repro/internal/embedding"
+	"repro/internal/logical"
+	"repro/internal/mqo"
+)
+
+// embeddingIterations is smaller than the energy properties' budget:
+// each iteration embeds a full instance on the Chimera graph.
+const embeddingIterations = 60
+
+// randomEmbeddableCase draws an instance guaranteed to fit the annealer
+// and maps it physically with a randomly chosen pattern.
+func randomEmbeddableCase(t *testing.T, rng *rand.Rand, g *chimera.Graph) (*logical.Mapping, *embedding.Physical) {
+	t.Helper()
+	pattern := core.PatternAuto
+	if rng.Intn(2) == 1 {
+		pattern = core.PatternTriad
+	}
+	plans := 2 + rng.Intn(2)
+	// TRIAD embeds n variables in chains of length ⌈n/4⌉+1, which caps a
+	// 12×12-cell graph at 48 variables; stay below it when forcing TRIAD.
+	maxQueries := 16
+	if pattern == core.PatternTriad {
+		maxQueries = 44 / plans
+	}
+	class := mqo.Class{Queries: 4 + rng.Intn(maxQueries-3), PlansPerQuery: plans}
+	p, err := core.GenerateEmbeddable(rng, g, class, mqo.DefaultGeneratorConfig())
+	if err != nil {
+		t.Fatalf("generating embeddable %v: %v", class, err)
+	}
+	mapping := logical.Map(p)
+	emb, _, err := core.EmbedProblem(g, p, mapping, pattern)
+	if err != nil {
+		t.Fatalf("embedding: %v", err)
+	}
+	phys, err := embedding.PhysicalMap(emb, mapping.QUBO, embedding.DefaultEpsilon)
+	if err != nil {
+		t.Fatalf("physical map: %v", err)
+	}
+	return mapping, phys
+}
+
+// TestPropChainsConnectedWithUniformCouplings is the embedding
+// invariant: every logical variable's chain is a connected path of
+// working, exclusively-owned qubits, and the ferromagnetic terms along
+// it are uniform — each consecutive pair carries exactly −2·wB for the
+// chain's single strength wB > 0, while non-consecutive pairs within a
+// chain carry nothing.
+func TestPropChainsConnectedWithUniformCouplings(t *testing.T) {
+	g := chimera.DWave2X(0, 0)
+	for iter := 0; iter < embeddingIterations; iter++ {
+		rng := rand.New(rand.NewSource(int64(iter)))
+		_, phys := randomEmbeddableCase(t, rng, g)
+		emb := phys.Emb
+		owner := map[int]int{} // hardware qubit -> variable
+		for v, chain := range emb.Chains {
+			if len(chain) == 0 {
+				t.Fatalf("iter %d: variable %d has an empty chain", iter, v)
+			}
+			for _, q := range chain {
+				if !g.Working(q) {
+					t.Fatalf("iter %d: chain of %d uses broken qubit %d", iter, v, q)
+				}
+				if prev, dup := owner[q]; dup {
+					t.Fatalf("iter %d: qubit %d owned by variables %d and %d", iter, q, prev, v)
+				}
+				owner[q] = v
+				if emb.VariableOf(q) != v {
+					t.Fatalf("iter %d: reverse index disagrees for qubit %d", iter, q)
+				}
+			}
+			// Connectivity: consecutive chain qubits joined by a coupler.
+			for i := 0; i+1 < len(chain); i++ {
+				if !g.HasCoupler(chain[i], chain[i+1]) {
+					t.Fatalf("iter %d: chain of %d breaks between qubits %d and %d",
+						iter, v, chain[i], chain[i+1])
+				}
+			}
+			// Uniform intra-chain couplings at −2·wB.
+			wB := phys.ChainStrength[v]
+			if !(wB > 0) || math.IsInf(wB, 0) || math.IsNaN(wB) {
+				t.Fatalf("iter %d: chain strength of %d is %v", iter, v, wB)
+			}
+			idx := phys.ChainOf(v)
+			for i := 0; i < len(idx); i++ {
+				for j := i + 1; j < len(idx); j++ {
+					got := phys.QUBO.Quadratic(idx[i], idx[j])
+					if j == i+1 {
+						if math.Abs(got-(-2*wB)) > tol {
+							t.Fatalf("iter %d: intra-chain coupling (%d,%d) of variable %d = %v, want %v",
+								iter, i, j, v, got, -2*wB)
+						}
+					} else if got != 0 {
+						t.Fatalf("iter %d: non-consecutive chain pair (%d,%d) of variable %d carries %v",
+							iter, i, j, v, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPropEmbedUnembedRoundTrip: expanding a logical assignment to a
+// chain-consistent physical one and reading it back is the identity, the
+// expansion breaks no chains, and the physical energy of the expansion
+// equals the logical energy (the defining property of the physical
+// mapping).
+func TestPropEmbedUnembedRoundTrip(t *testing.T) {
+	g := chimera.DWave2X(0, 0)
+	for iter := 0; iter < embeddingIterations; iter++ {
+		rng := rand.New(rand.NewSource(int64(iter)))
+		mapping, phys := randomEmbeddableCase(t, rng, g)
+		logicalBits := RandomAssignment(rng, mapping.QUBO.N())
+		physBits := phys.Embed(logicalBits)
+		if n := phys.BrokenChains(physBits); n != 0 {
+			t.Fatalf("iter %d: Embed produced %d broken chains", iter, n)
+		}
+		if got := phys.Unembed(physBits); !reflect.DeepEqual(got, logicalBits) {
+			t.Fatalf("iter %d: Unembed(Embed(x)) != x", iter)
+		}
+		eLogical := mapping.QUBO.Energy(logicalBits)
+		ePhysical := phys.QUBO.Energy(physBits)
+		if math.Abs(eLogical-ePhysical) > tol*math.Max(1, math.Abs(eLogical)) {
+			t.Fatalf("iter %d: physical energy %v != logical energy %v on a chain-consistent state",
+				iter, ePhysical, eLogical)
+		}
+	}
+}

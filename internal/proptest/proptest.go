@@ -1,0 +1,91 @@
+// Package proptest provides property-based testing substrate for the
+// whole mapping chain: generators for random MQO instances, solutions,
+// and assignments, driven by a seeded *rand.Rand so every failing case
+// reproduces from its iteration seed. The properties themselves live in
+// this package's tests (run them with `go test -run Prop ./...`): energy
+// round-trips across the qubo, ising, and logical layers, embedding
+// chain invariants, and the portfolio merge law.
+//
+// The generators are free-form on purpose: unlike the paper's
+// chain-structured workload generator (internal/mqo.Generate), they emit
+// arbitrary sharing structure — savings between any plan pair, including
+// plans of one query — so the invariants are exercised beyond the shapes
+// the harness produces.
+package proptest
+
+import (
+	"math/rand"
+
+	"repro/internal/mqo"
+)
+
+// RandomProblem draws a free-form MQO instance: 1–8 queries with 1–4
+// plans each, integer-ish costs in [0, 50), and a random set of savings
+// over distinct plan pairs (possibly within one query — legal, and never
+// realizable by a valid solution, which is exactly the kind of edge the
+// mappings must survive).
+func RandomProblem(rng *rand.Rand) *mqo.Problem {
+	numQueries := 1 + rng.Intn(8)
+	queryPlans := make([][]int, numQueries)
+	var costs []float64
+	next := 0
+	for q := range queryPlans {
+		plans := make([]int, 1+rng.Intn(4))
+		for i := range plans {
+			plans[i] = next
+			costs = append(costs, float64(rng.Intn(200))/4)
+			next++
+		}
+		queryPlans[q] = plans
+	}
+	var savings []mqo.Saving
+	seen := map[[2]int]bool{}
+	for i := 0; i < rng.Intn(2*next); i++ {
+		a, b := rng.Intn(next), rng.Intn(next)
+		if a == b {
+			continue
+		}
+		if a > b {
+			a, b = b, a
+		}
+		if seen[[2]int{a, b}] {
+			continue
+		}
+		seen[[2]int{a, b}] = true
+		savings = append(savings, mqo.Saving{P1: a, P2: b, Value: float64(1+rng.Intn(40)) / 4})
+	}
+	return mqo.MustNew(queryPlans, costs, savings)
+}
+
+// RandomSolution draws a uniformly random valid solution of p.
+func RandomSolution(rng *rand.Rand, p *mqo.Problem) mqo.Solution {
+	return p.RandomSolution(rng)
+}
+
+// RandomPartialSolution draws a possibly-invalid solution: entries may be
+// -1 (no plan), a plan of the wrong query, or out of range — the states a
+// noisy annealer read-out decodes to before repair.
+func RandomPartialSolution(rng *rand.Rand, p *mqo.Problem) mqo.Solution {
+	s := make(mqo.Solution, p.NumQueries())
+	for q := range s {
+		switch rng.Intn(4) {
+		case 0:
+			s[q] = -1
+		case 1:
+			s[q] = rng.Intn(p.NumPlans()) // any plan, possibly wrong query
+		default:
+			plans := p.QueryPlans[q]
+			s[q] = plans[rng.Intn(len(plans))]
+		}
+	}
+	return s
+}
+
+// RandomAssignment draws a uniform binary assignment over n variables.
+func RandomAssignment(rng *rand.Rand, n int) []bool {
+	x := make([]bool, n)
+	for i := range x {
+		x[i] = rng.Intn(2) == 1
+	}
+	return x
+}

@@ -1,0 +1,134 @@
+package qubo
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzBuildQUBO fuzzes QUBO construction as an op-stream interpreter:
+// the input bytes drive a sequence of AddLinear/AddQuadratic calls
+// (including the i==j fold and repeated accumulation on one coupling),
+// and the resulting sparse problem is checked against an independently
+// maintained dense weight matrix — energies, flip deltas, accessor
+// symmetry, coupling enumeration, and clones must all agree. Run the
+// smoke pass with:
+//
+//	go test -fuzz=FuzzBuildQUBO -fuzztime=20s ./internal/qubo
+func FuzzBuildQUBO(f *testing.F) {
+	f.Add([]byte{3, 0, 0, 1, 4, 1, 0, 1, 8})
+	f.Add([]byte{8, 1, 2, 3, 252, 1, 3, 2, 4, 0, 7, 7, 16, 1, 2, 3, 4})
+	f.Add([]byte{1, 1, 0, 0, 200})
+	f.Add([]byte{16, 1, 15, 14, 127, 1, 14, 15, 129, 1, 5, 5, 50})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		n := 1 + int(data[0])%12
+		q := New(n)
+		dense := make([][]float64, n) // dense[i][j] with i <= j, diagonal = linear
+		for i := range dense {
+			dense[i] = make([]float64, n)
+		}
+		ops := data[1:]
+		for len(ops) >= 4 {
+			op, i, j := ops[0]%2, int(ops[1])%n, int(ops[2])%n
+			w := float64(int8(ops[3])) / 4
+			ops = ops[4:]
+			if op == 0 {
+				q.AddLinear(i, w)
+				dense[i][i] += w
+			} else {
+				q.AddQuadratic(i, j, w)
+				if i == j {
+					dense[i][i] += w // documented fold: x_i² = x_i
+				} else {
+					a, b := i, j
+					if a > b {
+						a, b = b, a
+					}
+					dense[a][b] += w
+				}
+			}
+		}
+		q.Offset = float64(int8(data[0])) / 8
+
+		denseEnergy := func(x []bool) float64 {
+			e := q.Offset
+			for i := 0; i < n; i++ {
+				if !x[i] {
+					continue
+				}
+				e += dense[i][i]
+				for j := i + 1; j < n; j++ {
+					if x[j] {
+						e += dense[i][j]
+					}
+				}
+			}
+			return e
+		}
+
+		// A handful of assignments derived from the input, plus the two
+		// constant ones.
+		assignments := [][]bool{make([]bool, n), make([]bool, n)}
+		for i := range assignments[1] {
+			assignments[1][i] = true
+		}
+		for k := 0; k+1 < len(data) && k < 4; k++ {
+			x := make([]bool, n)
+			for i := range x {
+				x[i] = (int(data[k+1])>>(i%8))&1 == 1
+			}
+			assignments = append(assignments, x)
+		}
+
+		clone := q.Clone()
+		for _, x := range assignments {
+			want := denseEnergy(x)
+			if got := q.Energy(x); !closeEnough(got, want) {
+				t.Fatalf("Energy(%v) = %v, dense recompute %v", x, got, want)
+			}
+			if got := clone.Energy(x); !closeEnough(got, q.Energy(x)) {
+				t.Fatalf("clone energy diverges: %v vs %v", got, q.Energy(x))
+			}
+			for i := 0; i < n; i++ {
+				flipped := append([]bool(nil), x...)
+				flipped[i] = !flipped[i]
+				want := q.Energy(flipped) - q.Energy(x)
+				if got := q.FlipDelta(x, i); !closeEnough(got, want) {
+					t.Fatalf("FlipDelta(%v, %d) = %v, want %v", x, i, got, want)
+				}
+			}
+		}
+
+		// Accessors: symmetry and agreement with the dense matrix.
+		for i := 0; i < n; i++ {
+			if got := q.Linear(i); !closeEnough(got, dense[i][i]) {
+				t.Fatalf("Linear(%d) = %v, want %v", i, got, dense[i][i])
+			}
+			for j := i + 1; j < n; j++ {
+				if q.Quadratic(i, j) != q.Quadratic(j, i) {
+					t.Fatalf("Quadratic not symmetric at (%d,%d)", i, j)
+				}
+				if got := q.Quadratic(i, j); !closeEnough(got, dense[i][j]) {
+					t.Fatalf("Quadratic(%d,%d) = %v, want %v", i, j, got, dense[i][j])
+				}
+			}
+		}
+		prev := Coupling{I: -1, J: -1}
+		for _, c := range q.Couplings() {
+			if c.I >= c.J {
+				t.Fatalf("coupling %+v not canonical (I < J)", c)
+			}
+			if c.I < prev.I || (c.I == prev.I && c.J <= prev.J) {
+				t.Fatalf("couplings not sorted: %+v after %+v", c, prev)
+			}
+			prev = c
+		}
+	})
+}
+
+// closeEnough compares accumulated float sums with a scaled tolerance.
+func closeEnough(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}

@@ -73,12 +73,19 @@ func (tr *Trace) Final() float64 {
 	return tr.points[len(tr.points)-1].Cost
 }
 
+// CostEpsilon absorbs float drift when deciding whether an incumbent
+// cost "reached" a target. It is the single tolerance shared by every
+// target comparison in the tree — FirstBelow here, the portfolio's
+// first-to-target cancellation, and the facade's WithTargetCost — so the
+// layers can never disagree about when a race ends.
+const CostEpsilon = 1e-9
+
 // FirstBelow returns the earliest time at which the incumbent cost reached
 // target or better, and ok=false if it never did. Figure 6's speedups are
 // ratios of such times.
 func (tr *Trace) FirstBelow(target float64) (time.Duration, bool) {
 	for _, p := range tr.points {
-		if p.Cost <= target+1e-9 {
+		if p.Cost <= target+CostEpsilon {
 			return p.T, true
 		}
 	}

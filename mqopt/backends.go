@@ -2,6 +2,7 @@ package mqopt
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"time"
@@ -72,21 +73,61 @@ func (r *recorder) observe(pt trace.Point) {
 	}
 }
 
+// errTargetReached is the cancellation cause installed when a solve stops
+// itself because the incumbent reached WithTargetCost — a successful
+// early finish, not a failure.
+var errTargetReached = errors.New("mqopt: target cost reached")
+
 // solvePrologue applies the facade entry contract shared by every
 // backend: nil-ctx normalization, problem validation, the prompt
-// pre-cancellation check, option resolution, and streaming setup.
-func solvePrologue(ctx context.Context, p *Problem, opts []Option) (context.Context, solveConfig, *recorder, error) {
+// pre-cancellation check, option resolution, and streaming setup. When
+// WithTargetCost is set, the returned context self-cancels (with cause
+// errTargetReached) on the first improvement at or below the target;
+// solveErr later maps that cancellation back to success. Callers must
+// defer the returned cleanup, which releases the target context from its
+// parent when the solve ends without reaching the target (otherwise
+// every unreached-target solve would leak a child context node on a
+// long-lived caller context).
+func solvePrologue(ctx context.Context, p *Problem, opts []Option) (context.Context, solveConfig, *recorder, func(), error) {
+	cleanup := func() {}
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	if p == nil {
-		return ctx, solveConfig{}, nil, fmt.Errorf("mqopt: nil problem")
+		return ctx, solveConfig{}, nil, cleanup, fmt.Errorf("mqopt: nil problem")
 	}
 	if err := ctx.Err(); err != nil {
-		return ctx, solveConfig{}, nil, err
+		return ctx, solveConfig{}, nil, cleanup, err
 	}
 	cfg := newSolveConfig(opts)
-	return ctx, cfg, &recorder{stream: cfg.onImprovement}, nil
+	rec := &recorder{stream: cfg.onImprovement}
+	if cfg.hasTarget() {
+		tctx, cancel := context.WithCancelCause(ctx)
+		ctx = tctx
+		cleanup = func() { cancel(context.Canceled) }
+		target, user := cfg.target, rec.stream
+		rec.stream = func(in Incumbent) {
+			if user != nil {
+				user(in)
+			}
+			if in.Cost <= target+trace.CostEpsilon {
+				cancel(errTargetReached)
+			}
+		}
+	}
+	return ctx, cfg, rec, cleanup, nil
+}
+
+// solveErr filters a backend's exit error through the target-cost
+// contract: a cancellation that the solve inflicted on itself by reaching
+// the target is a successful completion and maps to nil; every other
+// error — including a caller's cancellation — passes through.
+func solveErr(ctx context.Context, err error) error {
+	if err != nil && errors.Is(err, context.Canceled) &&
+		errors.Is(context.Cause(ctx), errTargetReached) {
+		return nil
+	}
+	return err
 }
 
 // classicalSolver adapts an internal anytime solver to the facade
@@ -100,7 +141,8 @@ func (s *classicalSolver) Name() string { return s.impl.Name() }
 
 // Solve implements Solver.
 func (s *classicalSolver) Solve(ctx context.Context, p *Problem, opts ...Option) (*Result, error) {
-	ctx, cfg, rec, err := solvePrologue(ctx, p, opts)
+	ctx, cfg, rec, cleanup, err := solvePrologue(ctx, p, opts)
+	defer cleanup()
 	if err != nil {
 		return nil, err
 	}
@@ -116,7 +158,7 @@ func (s *classicalSolver) Solve(ctx context.Context, p *Problem, opts ...Option)
 		}
 		res = &Result{Solver: s.Name(), Solution: sol, Cost: cost, Incumbents: rec.incumbents}
 	}
-	if err := ctx.Err(); err != nil {
+	if err := solveErr(ctx, ctx.Err()); err != nil {
 		return res, err
 	}
 	if res == nil {
@@ -162,7 +204,8 @@ func annealingRuns(cfg solveConfig) int {
 
 // Solve implements Solver.
 func (s *qaSolver) Solve(ctx context.Context, p *Problem, opts ...Option) (*Result, error) {
-	ctx, cfg, rec, err := solvePrologue(ctx, p, opts)
+	ctx, cfg, rec, cleanup, err := solvePrologue(ctx, p, opts)
+	defer cleanup()
 	if err != nil {
 		return nil, err
 	}
@@ -191,6 +234,7 @@ func (s *qaSolver) Solve(ctx context.Context, p *Problem, opts ...Option) (*Resu
 			Core:          copt,
 			OnImprovement: rec.observe,
 		}, cfg.seed)
+		err = solveErr(ctx, err)
 		if dres == nil {
 			return nil, err
 		}
@@ -222,10 +266,10 @@ func (s *qaSolver) Solve(ctx context.Context, p *Problem, opts ...Option) (*Resu
 			UsedTriadFallback: cres.UsedTriadFallback,
 		},
 	}
-	if cerr := ctx.Err(); cerr != nil {
+	if cerr := solveErr(ctx, ctx.Err()); cerr != nil {
 		return res, cerr
 	}
-	return res, err
+	return res, solveErr(ctx, err)
 }
 
 // ModeledAnnealingBudget converts a run count into the modeled device

@@ -1,0 +1,60 @@
+package mqopt
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzProblemJSON fuzzes the Problem JSON decoder end to end: arbitrary
+// bytes must either be rejected with an error or produce a validated
+// instance whose re-encoding round-trips to the identical canonical
+// form. Run the smoke pass with:
+//
+//	go test -fuzz=FuzzProblemJSON -fuzztime=20s ./mqopt
+func FuzzProblemJSON(f *testing.F) {
+	// Seeds: the paper's Example 1, a clustered instance, a single-query
+	// instance, and assorted invalid shapes the validator must reject
+	// gracefully (duplicate savings, orphan plans, bad costs).
+	f.Add([]byte(`{"queryPlans":[[0,1],[2,3]],"costs":[2,4,3,1],"savings":[{"P1":1,"P2":2,"Value":5}]}`))
+	f.Add([]byte(`{"queryPlans":[[0],[1],[2]],"costs":[1,2,3],"savings":[{"P1":0,"P2":1,"Value":0.5},{"P1":1,"P2":2,"Value":1}],"clusters":[0,0,1]}`))
+	f.Add([]byte(`{"queryPlans":[[0]],"costs":[7],"savings":[]}`))
+	f.Add([]byte(`{"queryPlans":[[0,1]],"costs":[1,2],"savings":[{"P1":0,"P2":1,"Value":5},{"P1":1,"P2":0,"Value":2}]}`))
+	f.Add([]byte(`{"queryPlans":[[0]],"costs":[1,2],"savings":[]}`))
+	f.Add([]byte(`{"queryPlans":[[0]],"costs":[-1],"savings":[]}`))
+	f.Add([]byte(`{"queryPlans":[[0]],"costs":[1e309],"savings":[]}`))
+	f.Add([]byte(`not json at all`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := ReadProblem(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input; the only requirement is no panic
+		}
+		// Accepted instances are fully validated: shape accessors must be
+		// consistent...
+		if p.NumQueries() <= 0 || p.NumPlans() <= 0 {
+			t.Fatalf("accepted instance with %d queries, %d plans", p.NumQueries(), p.NumPlans())
+		}
+		total := 0
+		for q := 0; q < p.NumQueries(); q++ {
+			total += len(p.QueryPlans(q))
+		}
+		if total != p.NumPlans() {
+			t.Fatalf("plans partition broken: %d listed vs %d total", total, p.NumPlans())
+		}
+		// ...and the encoding must round-trip to a canonical fixed point.
+		var first bytes.Buffer
+		if err := p.Write(&first); err != nil {
+			t.Fatalf("re-encoding accepted instance: %v", err)
+		}
+		p2, err := ReadProblem(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("canonical form rejected on re-read: %v\n%s", err, first.Bytes())
+		}
+		var second bytes.Buffer
+		if err := p2.Write(&second); err != nil {
+			t.Fatalf("re-encoding canonical form: %v", err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("canonical encoding not a fixed point:\n%s\nvs\n%s", first.Bytes(), second.Bytes())
+		}
+	})
+}

@@ -1,6 +1,8 @@
 package mqopt
 
 import (
+	"math"
+	"strings"
 	"time"
 )
 
@@ -46,9 +48,12 @@ type Decomposition struct {
 // Incumbent is one streamed anytime improvement: at Elapsed time into the
 // solve, the best known cost became Cost. For annealer backends Elapsed
 // is modeled device time; for classical backends it is wall-clock.
+// Source attributes the improvement to the portfolio member that produced
+// it; it is empty outside portfolio solves.
 type Incumbent struct {
 	Elapsed time.Duration
 	Cost    float64
+	Source  string `json:",omitempty"`
 }
 
 // Option configures a single Solve invocation.
@@ -64,6 +69,11 @@ type solveConfig struct {
 	decompose     *Decomposition
 	topology      *Topology
 	onImprovement func(Incumbent)
+	// target is the early-stop cost (NaN: none); see WithTargetCost.
+	target float64
+	// portfolio lists member solver names for the portfolio backend; see
+	// WithPortfolio.
+	portfolio []string
 }
 
 // newSolveConfig applies opts over the documented defaults.
@@ -72,6 +82,7 @@ func newSolveConfig(opts []Option) solveConfig {
 		budget:    DefaultBudget,
 		seed:      DefaultSeed,
 		embedding: EmbeddingAuto,
+		target:    math.NaN(),
 	}
 	for _, opt := range opts {
 		if opt != nil {
@@ -80,6 +91,9 @@ func newSolveConfig(opts []Option) solveConfig {
 	}
 	return cfg
 }
+
+// hasTarget reports whether WithTargetCost was given.
+func (c *solveConfig) hasTarget() bool { return !math.IsNaN(c.target) }
 
 // WithBudget bounds the optimization effort: wall-clock time for
 // classical solvers, modeled device time (376 µs per annealing run) for
@@ -147,6 +161,40 @@ func WithDecomposition(d Decomposition) Option {
 // fault-free D-Wave 2X. Classical backends ignore it.
 func WithTopology(t *Topology) Option {
 	return func(c *solveConfig) { c.topology = t }
+}
+
+// WithTargetCost stops a solve early — successfully, with a nil error —
+// as soon as the incumbent cost reaches target or better. It is the
+// third rung of the cancellation ladder (after the caller's context
+// deadline and the solver's own budget): the solver's context is
+// cancelled internally, the budget loop stops at its next iteration, and
+// the best incumbent is returned as a completed result. For the
+// portfolio backend the first member to reach the target cancels every
+// other member, which then observes ctx.Err() like any straggler.
+func WithTargetCost(target float64) Option {
+	return func(c *solveConfig) {
+		if !math.IsNaN(target) {
+			c.target = target
+		}
+	}
+}
+
+// WithPortfolio names the member solvers a portfolio backend races (see
+// the "portfolio" registry entry). Solvers other than the portfolio
+// ignore it. Empty or all-blank lists leave the portfolio's default
+// member set in place.
+func WithPortfolio(members ...string) Option {
+	return func(c *solveConfig) {
+		cleaned := make([]string, 0, len(members))
+		for _, m := range members {
+			if m = strings.TrimSpace(m); m != "" {
+				cleaned = append(cleaned, m)
+			}
+		}
+		if len(cleaned) > 0 {
+			c.portfolio = cleaned
+		}
+	}
 }
 
 // WithOnImprovement streams anytime results: fn is called synchronously

@@ -1,0 +1,258 @@
+package mqopt
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+
+	"repro/internal/portfolio"
+)
+
+// DefaultPortfolioMembers is the member set a portfolio races when
+// neither explicit members nor WithPortfolio names any: the annealer
+// pipeline against the paper's two cheapest classical baselines.
+var DefaultPortfolioMembers = []string{"qa", "climb", "ga50"}
+
+// Resolver maps a member name to a Solver. The solver registry's New
+// function satisfies it; the "portfolio" registry entry is wired exactly
+// that way.
+type Resolver func(name string) (Solver, error)
+
+// NewPortfolioSolver returns the anytime portfolio backend: it races its
+// member solvers concurrently on one problem, exchanges improvements
+// through a shared incumbent board, and reports the best anytime
+// incumbent with per-member attribution (Incumbent.Source).
+//
+// Members come from one of two places. Explicit members passed here take
+// precedence and fix the lineup for every Solve. Otherwise members are
+// resolved per solve from WithPortfolio's names (falling back to
+// DefaultPortfolioMembers) through resolve — pass the registry's New, as
+// the "portfolio" registry entry does. Each member runs with the full
+// budget, WithParallelism(1) internally, and the SplitMix sub-seed
+// Split(seed, memberIndex); WithParallelism on the portfolio itself
+// bounds how many members race concurrently (default: all of them).
+//
+// Determinism contract: a fixed seed and member list yield a
+// bit-identical Result.Incumbents stream — costs, sources, and elapsed
+// times — at any parallelism, because the final stream is merged from the
+// members' private traces (ordered by time, ties broken by member order,
+// filtered to strictly improving costs) rather than from the scheduling-
+// dependent live race. The live WithOnImprovement stream is gated by the
+// board and therefore strictly decreasing, but which member's
+// improvement publishes first under contention is scheduling-dependent.
+// The contract inherits each member's own determinism: modeled-clock
+// annealer members reproduce exactly; wall-clock classical members vary
+// run to run, portfolio or not. WithTargetCost adds the racing payoff:
+// the first member to reach the target cancels the stragglers, which
+// observe ctx.Err() at the next iteration of their budget loops.
+// Target cancellation deliberately trades the determinism contract for
+// that payoff — where a straggler's trace is truncated depends on
+// wall-clock scheduling, so a target-cost race is only reproducible up
+// to the winner's incumbents.
+func NewPortfolioSolver(resolve Resolver, members ...Solver) Solver {
+	return &portfolioSolver{resolve: resolve, members: members}
+}
+
+// portfolioSolver implements Solver by racing member solvers.
+type portfolioSolver struct {
+	resolve Resolver
+	members []Solver
+}
+
+// Name implements Solver.
+func (s *portfolioSolver) Name() string {
+	if len(s.members) == 0 {
+		return "PORTFOLIO"
+	}
+	return "PORTFOLIO(" + strings.Join(sourceNames(s.members), "+") + ")"
+}
+
+// sourceNames returns one attribution label per member: the member's
+// solver name, suffixed with its position when the lineup repeats a name
+// (racing two differently-seeded copies of one solver is legitimate).
+func sourceNames(members []Solver) []string {
+	names := make([]string, len(members))
+	seen := map[string]int{}
+	for i, m := range members {
+		names[i] = m.Name()
+		seen[names[i]]++
+	}
+	for i, n := range names {
+		if seen[n] > 1 {
+			names[i] = fmt.Sprintf("%s#%d", n, i)
+		}
+	}
+	return names
+}
+
+// resolveMembers fixes the race lineup for one solve.
+func (s *portfolioSolver) resolveMembers(cfg *solveConfig) ([]Solver, error) {
+	if len(s.members) > 0 {
+		return s.members, nil
+	}
+	names := cfg.portfolio
+	if len(names) == 0 {
+		names = DefaultPortfolioMembers
+	}
+	if s.resolve == nil {
+		return nil, fmt.Errorf("mqopt: portfolio has no explicit members and no resolver for %v", names)
+	}
+	members := make([]Solver, len(names))
+	for i, name := range names {
+		if strings.EqualFold(strings.TrimSpace(name), "portfolio") {
+			return nil, fmt.Errorf("mqopt: a portfolio cannot race itself as a member")
+		}
+		m, err := s.resolve(name)
+		if err != nil {
+			return nil, fmt.Errorf("mqopt: resolving portfolio member %q: %w", name, err)
+		}
+		members[i] = m
+	}
+	return members, nil
+}
+
+// Solve implements Solver.
+func (s *portfolioSolver) Solve(ctx context.Context, p *Problem, opts ...Option) (*Result, error) {
+	ctx, cfg, rec, cleanup, err := solvePrologue(ctx, p, opts)
+	defer cleanup()
+	if err != nil {
+		return nil, err
+	}
+	members, err := s.resolveMembers(&cfg)
+	if err != nil {
+		return nil, err
+	}
+	sources := sourceNames(members)
+
+	// The live stream: the board is the lock-free best-cost gate — a
+	// member's improvement publishes only if it beats the global best —
+	// and the mutex serializes the (rare) successful publishes so the
+	// caller's WithOnImprovement observes a strictly decreasing sequence.
+	// rec.stream also carries the WithTargetCost self-cancellation, so a
+	// member crossing the target here cancels every member's context.
+	board := portfolio.NewBoard()
+	var mu sync.Mutex
+	publishFor := func(source string) func(Incumbent) {
+		return func(in Incumbent) {
+			in.Source = source
+			if !(in.Cost < board.Best()) { // lock-free fast reject
+				return
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			if !board.Offer(in.Cost) {
+				return
+			}
+			if rec.stream != nil {
+				rec.stream(in)
+			}
+		}
+	}
+
+	memberOpts := func(seed int64, source string) []Option {
+		o := []Option{
+			WithSeed(seed),
+			WithBudget(cfg.budget),
+			WithParallelism(1),
+			WithEmbedding(cfg.embedding),
+			WithOnImprovement(publishFor(source)),
+		}
+		if cfg.runs > 0 {
+			o = append(o, WithAnnealingRuns(cfg.runs))
+		}
+		if cfg.topology != nil {
+			o = append(o, WithTopology(cfg.topology))
+		}
+		if cfg.decompose != nil {
+			o = append(o, WithDecomposition(*cfg.decompose))
+		}
+		if cfg.hasTarget() {
+			// Members self-stop at the target too, so the winner finishes
+			// promptly instead of burning its remaining budget.
+			o = append(o, WithTargetCost(cfg.target))
+		}
+		return o
+	}
+
+	entrants := make([]portfolio.Member[*Result], len(members))
+	for i, m := range members {
+		i, m := i, m
+		entrants[i] = portfolio.Member[*Result]{
+			Name: sources[i],
+			Run: func(seed int64) (*Result, error) {
+				return m.Solve(ctx, p, memberOpts(seed, sources[i])...)
+			},
+		}
+	}
+	outcomes := portfolio.Race(cfg.parallelism, cfg.seed, entrants)
+
+	// Deterministic merge from the members' private traces; the live
+	// publish order above never enters the final result.
+	memberErrors := make([]error, len(outcomes))
+	traces := make([][]portfolio.Entry, 0, len(outcomes))
+	var winner *Result
+	winnerSource := ""
+	bestCost := math.Inf(1)
+	anyFailure := false
+	for i, o := range outcomes {
+		res := o.Result
+		if res == nil {
+			// A straggler cut off by the race — target reached, caller
+			// cancellation, or caller deadline — lost; it did not fail.
+			if o.Err != nil && ctx.Err() != nil &&
+				(errors.Is(o.Err, context.Canceled) || errors.Is(o.Err, context.DeadlineExceeded)) {
+				continue
+			}
+			memberErrors[i] = o.Err
+			anyFailure = true
+			continue
+		}
+		entries := make([]portfolio.Entry, len(res.Incumbents))
+		for j, in := range res.Incumbents {
+			entries[j] = portfolio.Entry{T: in.Elapsed, Cost: in.Cost, Source: sources[i]}
+		}
+		traces = append(traces, entries)
+		if res.Solution != nil && p.Valid(res.Solution) && res.Cost < bestCost {
+			bestCost = res.Cost
+			winner = res
+			winnerSource = sources[i]
+		}
+	}
+	merged := portfolio.Merge(traces)
+	incumbents := make([]Incumbent, len(merged))
+	for i, e := range merged {
+		incumbents[i] = Incumbent{Elapsed: e.T, Cost: e.Cost, Source: e.Source}
+	}
+
+	targetReached := errors.Is(context.Cause(ctx), errTargetReached)
+	var res *Result
+	if winner != nil {
+		res = &Result{
+			Solver:        "PORTFOLIO(" + strings.Join(sources, "+") + ")",
+			Solution:      winner.Solution,
+			Cost:          winner.Cost,
+			Incumbents:    incumbents,
+			Annealer:      winner.Annealer,
+			Decomposition: winner.Decomposition,
+			Portfolio: &PortfolioInfo{
+				Members:       sources,
+				Winner:        winnerSource,
+				TargetReached: targetReached,
+				MemberErrors:  memberErrors,
+			},
+		}
+	}
+	if err := solveErr(ctx, ctx.Err()); err != nil {
+		return res, err
+	}
+	if res == nil {
+		if anyFailure {
+			return nil, fmt.Errorf("mqopt: every portfolio member failed: %w", errors.Join(memberErrors...))
+		}
+		return nil, fmt.Errorf("mqopt: portfolio produced no valid solution")
+	}
+	return res, nil
+}

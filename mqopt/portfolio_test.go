@@ -1,0 +1,231 @@
+package mqopt
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestPortfolioDeterministicAcrossParallelism is the portfolio
+// determinism acceptance bar: same seed + member list ⇒ byte-identical
+// Result.Incumbents — costs, sources, AND elapsed times — whether the
+// members race one at a time or four at a time, and the merged stream is
+// strictly decreasing in cost. Members are the two modeled-clock
+// backends, which are themselves deterministic; the contract composes
+// their determinism with the scheduling-independent merge.
+func TestPortfolioDeterministicAcrossParallelism(t *testing.T) {
+	p := determinismProblem(t)
+	solve := func(par int) *Result {
+		res, err := NewPortfolioSolver(nil, NewQASolver(), NewQASeriesSolver()).Solve(
+			context.Background(), p,
+			WithSeed(21),
+			WithAnnealingRuns(60),
+			WithBudget(ModeledAnnealingBudget(60)),
+			WithParallelism(par))
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		return res
+	}
+	want := solve(1)
+	if len(want.Incumbents) == 0 {
+		t.Fatal("portfolio produced an empty incumbent stream")
+	}
+	if want.Portfolio == nil || want.Portfolio.Winner == "" {
+		t.Fatalf("portfolio info missing: %+v", want.Portfolio)
+	}
+	for _, par := range []int{4} {
+		got := solve(par)
+		if !reflect.DeepEqual(got.Incumbents, want.Incumbents) {
+			t.Errorf("parallelism %d: merged incumbent stream diverges:\n  got  %v\n  want %v",
+				par, got.Incumbents, want.Incumbents)
+		}
+		if !reflect.DeepEqual(got.Solution, want.Solution) || got.Cost != want.Cost {
+			t.Errorf("parallelism %d: solution %v/%v != %v/%v",
+				par, got.Solution, got.Cost, want.Solution, want.Cost)
+		}
+		if got.Portfolio.Winner != want.Portfolio.Winner {
+			t.Errorf("parallelism %d: winner %q != %q", par, got.Portfolio.Winner, want.Portfolio.Winner)
+		}
+	}
+	seen := map[string]bool{}
+	for i, in := range want.Incumbents {
+		if in.Source == "" {
+			t.Errorf("incumbent %d lost its member attribution", i)
+		}
+		seen[in.Source] = true
+		if i > 0 && in.Cost >= want.Incumbents[i-1].Cost {
+			t.Errorf("merged stream not strictly decreasing at %d: %v", i, want.Incumbents)
+		}
+		if i > 0 && in.Elapsed < want.Incumbents[i-1].Elapsed {
+			t.Errorf("merged stream goes back in time at %d: %v", i, want.Incumbents)
+		}
+	}
+	if len(seen) == 0 {
+		t.Error("no member attribution recorded")
+	}
+}
+
+// blockerSolver is the straggler of the cancellation tests: it blocks
+// until its context is cancelled, records the observation, and returns
+// ctx.Err() like a well-behaved anytime solver with nothing to show.
+type blockerSolver struct {
+	mu        sync.Mutex
+	sawCancel bool
+}
+
+func (b *blockerSolver) Name() string { return "BLOCKER" }
+
+func (b *blockerSolver) Solve(ctx context.Context, p *Problem, opts ...Option) (*Result, error) {
+	<-ctx.Done()
+	b.mu.Lock()
+	b.sawCancel = true
+	b.mu.Unlock()
+	return nil, ctx.Err()
+}
+
+func (b *blockerSolver) cancelled() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sawCancel
+}
+
+// TestPortfolioTargetCancelsStragglers pins the cancellation ladder's
+// first-to-target rung: the greedy member reaches the target cost almost
+// immediately, and the straggler must observe ctx.Err() rather than
+// racing on (it would block this test forever otherwise).
+func TestPortfolioTargetCancelsStragglers(t *testing.T) {
+	p := determinismProblem(t)
+	greedy, err := NewGreedySolver().Solve(context.Background(), p, WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocker := &blockerSolver{}
+	done := make(chan struct{})
+	var res *Result
+	var perr error
+	go func() {
+		defer close(done)
+		res, perr = NewPortfolioSolver(nil, NewGreedySolver(), blocker).Solve(
+			context.Background(), p,
+			WithSeed(2),
+			WithTargetCost(greedy.Cost))
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("portfolio never cancelled the straggler on target cost")
+	}
+	if perr != nil {
+		t.Fatalf("reaching the target must be a successful finish, got %v", perr)
+	}
+	if res.Cost > greedy.Cost {
+		t.Errorf("portfolio cost %v worse than the target %v", res.Cost, greedy.Cost)
+	}
+	if !blocker.cancelled() {
+		t.Error("straggler never observed ctx.Err()")
+	}
+	if res.Portfolio == nil || !res.Portfolio.TargetReached {
+		t.Errorf("TargetReached not reported: %+v", res.Portfolio)
+	}
+	if res.Portfolio.Winner != "GREEDY" {
+		t.Errorf("winner = %q, want GREEDY", res.Portfolio.Winner)
+	}
+	for i, merr := range res.Portfolio.MemberErrors {
+		if merr != nil {
+			t.Errorf("straggler %s charged with failure %v; losing to the target is not a failure",
+				res.Portfolio.Members[i], merr)
+		}
+	}
+}
+
+// TestWithTargetCostStopsSoloSolver: the option is not portfolio-only —
+// any backend stops early, successfully, once its incumbent reaches the
+// target.
+func TestWithTargetCostStopsSoloSolver(t *testing.T) {
+	p := determinismProblem(t)
+	start := time.Now()
+	res, err := NewHillClimbSolver().Solve(context.Background(), p,
+		WithSeed(3),
+		WithBudget(time.Hour), // the target, not the budget, must end this
+		WithTargetCost(math.Inf(1)))
+	if err != nil {
+		t.Fatalf("target stop returned %v", err)
+	}
+	if res == nil || !p.Valid(res.Solution) {
+		t.Fatal("target stop lost the solution")
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Errorf("solve ran %v despite an immediately-satisfied target", elapsed)
+	}
+	if len(res.Incumbents) == 0 {
+		t.Error("target stop lost the incumbent trace")
+	}
+}
+
+// TestPortfolioMemberFailureLosesButDoesNotAbort: a member that errors
+// outright is recorded and loses; the race result comes from the healthy
+// members.
+func TestPortfolioMemberFailureLosesButDoesNotAbort(t *testing.T) {
+	p := determinismProblem(t)
+	res, err := NewPortfolioSolver(nil, &failingSolver{}, NewGreedySolver()).Solve(
+		context.Background(), p, WithSeed(4))
+	if err != nil {
+		t.Fatalf("portfolio aborted on a member failure: %v", err)
+	}
+	if res.Portfolio.Winner != "GREEDY" {
+		t.Errorf("winner = %q, want GREEDY", res.Portfolio.Winner)
+	}
+	if res.Portfolio.MemberErrors[0] == nil {
+		t.Error("failing member's error was not recorded")
+	}
+	if res.Portfolio.MemberErrors[1] != nil {
+		t.Errorf("healthy member charged with error %v", res.Portfolio.MemberErrors[1])
+	}
+}
+
+type failingSolver struct{}
+
+func (failingSolver) Name() string { return "FAILER" }
+func (failingSolver) Solve(context.Context, *Problem, ...Option) (*Result, error) {
+	panic("member imploded")
+}
+
+// TestPortfolioDuplicateMembersGetDistinctSources: racing two copies of
+// one solver is legal; attribution must stay unambiguous.
+func TestPortfolioDuplicateMembersGetDistinctSources(t *testing.T) {
+	p := determinismProblem(t)
+	res, err := NewPortfolioSolver(nil, NewGreedySolver(), NewGreedySolver()).Solve(
+		context.Background(), p, WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"GREEDY#0", "GREEDY#1"}
+	if !reflect.DeepEqual(res.Portfolio.Members, want) {
+		t.Errorf("members = %v, want %v", res.Portfolio.Members, want)
+	}
+}
+
+// TestPortfolioPreCancelled pins the facade entry contract.
+func TestPortfolioPreCancelled(t *testing.T) {
+	p := determinismProblem(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := NewPortfolioSolver(nil, NewGreedySolver()).Solve(ctx, p)
+	if err == nil || res != nil {
+		t.Errorf("pre-cancelled portfolio returned (%v, %v)", res, err)
+	}
+}
+
+// TestPortfolioWithoutMembersOrResolver must fail loudly instead of
+// racing nothing.
+func TestPortfolioWithoutMembersOrResolver(t *testing.T) {
+	p := determinismProblem(t)
+	_, err := NewPortfolioSolver(nil).Solve(context.Background(), p)
+	if err == nil {
+		t.Fatal("memberless, resolverless portfolio did not error")
+	}
+}

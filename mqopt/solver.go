@@ -38,6 +38,25 @@ type Result struct {
 	// Decomposition holds window-series details; nil unless the solve
 	// ran decomposed (WithDecomposition or the qa-series backend).
 	Decomposition *DecompositionInfo
+	// Portfolio holds race details; nil unless the solve ran the
+	// portfolio backend.
+	Portfolio *PortfolioInfo
+}
+
+// PortfolioInfo reports how a portfolio race unfolded.
+type PortfolioInfo struct {
+	// Members are the racing members' solver names, in race order (the
+	// order that breaks cost ties and seeds sub-streams).
+	Members []string
+	// Winner is the member whose final solution the portfolio returned.
+	Winner string
+	// TargetReached reports that the race stopped early because a member
+	// hit WithTargetCost.
+	TargetReached bool
+	// MemberErrors records members that failed outright (indexed like
+	// Members, nil entries for members that finished); a failed member
+	// loses the race but does not abort it.
+	MemberErrors []error
 }
 
 // AnnealerInfo reports the physical-mapping and sampling artifacts of an

@@ -1,0 +1,12 @@
+package solverreg
+
+import "repro/mqopt"
+
+// The anytime portfolio backend self-registers with the registry's own
+// New as its member resolver, so "portfolio" races any set of registered
+// solvers: select members with mqopt.WithPortfolio("qa", "climb", ...)
+// (default: mqopt.DefaultPortfolioMembers) and optionally stop the race
+// early with mqopt.WithTargetCost.
+func init() {
+	Register("portfolio", func() mqopt.Solver { return mqopt.NewPortfolioSolver(New) })
+}

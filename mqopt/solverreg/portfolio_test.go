@@ -1,0 +1,66 @@
+package solverreg_test
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/mqopt"
+	"repro/mqopt/solverreg"
+)
+
+func portfolioProblem(t *testing.T) *mqopt.Problem {
+	t.Helper()
+	p, err := mqopt.GenerateEmbeddable(7, nil,
+		mqopt.Class{Queries: 10, PlansPerQuery: 2}, mqopt.DefaultGeneratorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestRegistryPortfolioRacesNamedMembers: the "portfolio" entry resolves
+// its members through the registry, so any registered solver can race.
+func TestRegistryPortfolioRacesNamedMembers(t *testing.T) {
+	p := portfolioProblem(t)
+	res, err := solverreg.Solve(context.Background(), "portfolio", p,
+		mqopt.WithPortfolio("qa", "qa-series"),
+		mqopt.WithSeed(3),
+		mqopt.WithAnnealingRuns(40),
+		mqopt.WithBudget(mqopt.ModeledAnnealingBudget(40)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Portfolio == nil {
+		t.Fatal("registry portfolio returned no portfolio info")
+	}
+	if want := []string{"QA", "QA-SERIES"}; !reflect.DeepEqual(res.Portfolio.Members, want) {
+		t.Errorf("members = %v, want %v", res.Portfolio.Members, want)
+	}
+	if !p.Valid(res.Solution) {
+		t.Error("portfolio returned an invalid plan")
+	}
+	for i, in := range res.Incumbents {
+		if in.Source != "QA" && in.Source != "QA-SERIES" {
+			t.Errorf("incumbent %d attributed to %q", i, in.Source)
+		}
+	}
+}
+
+// TestRegistryPortfolioRejectsUnknownAndSelf: member resolution errors
+// must surface, and a portfolio cannot nest itself.
+func TestRegistryPortfolioRejectsUnknownAndSelf(t *testing.T) {
+	p := portfolioProblem(t)
+	_, err := solverreg.Solve(context.Background(), "portfolio", p,
+		mqopt.WithPortfolio("no-such-solver"))
+	var unknown *solverreg.UnknownSolverError
+	if !errors.As(err, &unknown) {
+		t.Errorf("unknown member error = %v, want *UnknownSolverError", err)
+	}
+	_, err = solverreg.Solve(context.Background(), "portfolio", p,
+		mqopt.WithPortfolio("portfolio"))
+	if err == nil {
+		t.Error("self-nesting portfolio did not error")
+	}
+}
