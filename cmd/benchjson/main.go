@@ -1,0 +1,188 @@
+// Command benchjson converts a `go test -json` stream containing
+// benchmark results into the repository's perf-trajectory format: one
+// BENCH_<sha>.json per commit with ns/op, B/op, and allocs/op for every
+// benchmark, plus an optional markdown summary for CI step output.
+//
+// Usage (what the bench-trajectory CI job runs):
+//
+//	go test -bench=. -benchtime=1x -run '^$' -json ./... > bench.ndjson
+//	benchjson -commit "$GITHUB_SHA" -in bench.ndjson \
+//	  -out "BENCH_${GITHUB_SHA}.json" -summary "$GITHUB_STEP_SUMMARY"
+//
+// The trajectory files are append-only history: one artifact per push,
+// comparable across commits because -benchtime=1x pins the iteration
+// count and the fields carry raw per-op numbers.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// testEvent is the subset of the `go test -json` event schema we read.
+type testEvent struct {
+	Action  string `json:"Action"`
+	Package string `json:"Package"`
+	Output  string `json:"Output"`
+}
+
+// Benchmark is one measured benchmark in the trajectory file.
+type Benchmark struct {
+	Package     string  `json:"package"`
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Trajectory is the BENCH_<sha>.json schema.
+type Trajectory struct {
+	Commit     string      `json:"commit"`
+	GoVersion  string      `json:"go"`
+	GOOS       string      `json:"goos"`
+	GOARCH     string      `json:"goarch"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// benchLine matches one rendered benchmark result. `go test -json` may
+// split the name and the measurements across output events, so the
+// pattern runs over each package's concatenated output.
+var benchLine = regexp.MustCompile(`(?m)^(Benchmark\S+)[ \t]+(\d+)[ \t]+([\d.]+) ns/op(?:[ \t]+(\d+) B/op)?(?:[ \t]+(\d+) allocs/op)?`)
+
+func main() {
+	commit := flag.String("commit", "", "commit SHA recorded in the trajectory file")
+	in := flag.String("in", "-", "go test -json input (- for stdin)")
+	out := flag.String("out", "-", "output file (- for stdout)")
+	summary := flag.String("summary", "", "markdown summary appended to this file (e.g. $GITHUB_STEP_SUMMARY)")
+	flag.Parse()
+
+	r := io.Reader(os.Stdin)
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	traj, err := convert(r, *commit)
+	if err != nil {
+		fatal(err)
+	}
+
+	data, err := json.MarshalIndent(traj, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+	} else if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+
+	if *summary != "" {
+		f, err := os.OpenFile(*summary, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := writeSummary(f, traj); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// convert parses the -json stream and assembles the trajectory.
+func convert(r io.Reader, commit string) (*Trajectory, error) {
+	outputs := map[string]*strings.Builder{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var ev testEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			// Tolerate stray non-JSON lines (build noise) rather than
+			// losing the whole trajectory point.
+			continue
+		}
+		if ev.Action != "output" || ev.Output == "" {
+			continue
+		}
+		b := outputs[ev.Package]
+		if b == nil {
+			b = &strings.Builder{}
+			outputs[ev.Package] = b
+		}
+		b.WriteString(ev.Output)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	traj := &Trajectory{
+		Commit:    commit,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+	}
+	for pkg, b := range outputs {
+		for _, m := range benchLine.FindAllStringSubmatch(b.String(), -1) {
+			bench := Benchmark{Package: pkg, Name: m[1]}
+			bench.Iterations, _ = strconv.ParseInt(m[2], 10, 64)
+			bench.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
+			if m[4] != "" {
+				bench.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+			}
+			if m[5] != "" {
+				bench.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+			}
+			traj.Benchmarks = append(traj.Benchmarks, bench)
+		}
+	}
+	sort.Slice(traj.Benchmarks, func(i, j int) bool {
+		if traj.Benchmarks[i].Package != traj.Benchmarks[j].Package {
+			return traj.Benchmarks[i].Package < traj.Benchmarks[j].Package
+		}
+		return traj.Benchmarks[i].Name < traj.Benchmarks[j].Name
+	})
+	return traj, nil
+}
+
+// writeSummary renders the trajectory as a markdown table.
+func writeSummary(w io.Writer, traj *Trajectory) error {
+	short := traj.Commit
+	if len(short) > 12 {
+		short = short[:12]
+	}
+	fmt.Fprintf(w, "### Benchmark trajectory @ %s (%s, %s/%s)\n\n", short, traj.GoVersion, traj.GOOS, traj.GOARCH)
+	if len(traj.Benchmarks) == 0 {
+		_, err := fmt.Fprintln(w, "_no benchmark results found_")
+		return err
+	}
+	fmt.Fprintln(w, "| package | benchmark | ns/op | B/op | allocs/op |")
+	fmt.Fprintln(w, "|---|---|---:|---:|---:|")
+	for _, b := range traj.Benchmarks {
+		fmt.Fprintf(w, "| %s | %s | %.0f | %d | %d |\n", b.Package, b.Name, b.NsPerOp, b.BytesPerOp, b.AllocsPerOp)
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

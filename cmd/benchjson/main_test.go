@@ -1,0 +1,86 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// sample mimics `go test -bench -json` output, including a benchmark
+// whose name and measurements arrive as separate output events (the
+// stream really does split them) and non-benchmark noise.
+const sample = `{"Action":"start","Package":"repro/internal/plancache"}
+{"Action":"output","Package":"repro/internal/plancache","Output":"goos: linux\n"}
+{"Action":"output","Package":"repro/internal/plancache","Output":"BenchmarkDoHit-8   \t"}
+{"Action":"output","Package":"repro/internal/plancache","Output":"26525829\t        43.65 ns/op\t       0 B/op\t       0 allocs/op\n"}
+{"Action":"output","Package":"repro/mqopt","Output":"BenchmarkServiceWarmPath \t       1\t    453375 ns/op\t  120000 B/op\t    1305 allocs/op\n"}
+{"Action":"output","Package":"repro/mqopt","Output":"BenchmarkServiceColdPath \t       1\t   3334491 ns/op\n"}
+{"Action":"output","Package":"repro/mqopt","Output":"PASS\n"}
+not even json
+{"Action":"pass","Package":"repro/mqopt"}
+`
+
+func TestConvert(t *testing.T) {
+	traj, err := convert(strings.NewReader(sample), "abc123def456789")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if traj.Commit != "abc123def456789" {
+		t.Errorf("commit = %q", traj.Commit)
+	}
+	if len(traj.Benchmarks) != 3 {
+		t.Fatalf("found %d benchmarks, want 3: %+v", len(traj.Benchmarks), traj.Benchmarks)
+	}
+	// Sorted by (package, name): plancache first.
+	b := traj.Benchmarks[0]
+	if b.Package != "repro/internal/plancache" || b.Name != "BenchmarkDoHit-8" {
+		t.Errorf("benchmark 0 = %+v", b)
+	}
+	if b.Iterations != 26525829 || b.NsPerOp != 43.65 || b.BytesPerOp != 0 || b.AllocsPerOp != 0 {
+		t.Errorf("benchmark 0 measurements = %+v", b)
+	}
+	warm := traj.Benchmarks[2]
+	if warm.Name != "BenchmarkServiceWarmPath" || warm.NsPerOp != 453375 ||
+		warm.BytesPerOp != 120000 || warm.AllocsPerOp != 1305 {
+		t.Errorf("warm benchmark = %+v", warm)
+	}
+	// A result with no -benchmem columns still parses.
+	cold := traj.Benchmarks[1]
+	if cold.Name != "BenchmarkServiceColdPath" || cold.NsPerOp != 3334491 || cold.BytesPerOp != 0 {
+		t.Errorf("cold benchmark = %+v", cold)
+	}
+}
+
+func TestWriteSummary(t *testing.T) {
+	traj, err := convert(strings.NewReader(sample), "abc123def456789")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := writeSummary(&buf, traj); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"abc123def456", "BenchmarkDoHit-8", "| 453375 |", "ns/op"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestConvertEmpty(t *testing.T) {
+	traj, err := convert(strings.NewReader(""), "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traj.Benchmarks) != 0 {
+		t.Errorf("benchmarks = %+v, want none", traj.Benchmarks)
+	}
+	var buf bytes.Buffer
+	if err := writeSummary(&buf, traj); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no benchmark results") {
+		t.Errorf("empty summary = %q", buf.String())
+	}
+}

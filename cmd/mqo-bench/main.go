@@ -27,7 +27,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "fig4|fig5|fig6|fig7|table1|all")
+	experiment := flag.String("experiment", "all", "fig4|fig5|fig6|fig7|table1|throughput|all")
 	instances := flag.Int("instances", 3, "instances per class (paper: 20)")
 	budget := flag.Duration("budget", 2*time.Second, "classical solver budget (paper: 100s)")
 	runs := flag.Int("runs", 1000, "annealing runs per instance (paper: 1000)")
@@ -36,7 +36,14 @@ func main() {
 		"worker count for instances, solvers, and gauge batches (QA output is identical at any value)")
 	portfolio := flag.String("portfolio", "",
 		"comma-separated member solvers (qa, lin-mqo, lin-qub, climb, greedy, ga<population>); adds a portfolio column to the experiments")
+	cache := flag.String("cache", "on",
+		"compilation cache for QA solves: on|off (results are identical either way; off recompiles per solve)")
 	flag.Parse()
+
+	if *cache != "on" && *cache != "off" {
+		fmt.Fprintf(os.Stderr, "mqo-bench: -cache must be on or off, got %q\n", *cache)
+		os.Exit(2)
+	}
 
 	cfg := bench.DefaultConfig()
 	cfg.Instances = *instances
@@ -47,6 +54,7 @@ func main() {
 	if *portfolio != "" {
 		cfg.Portfolio = strings.Split(*portfolio, ",")
 	}
+	cfg.DisableCache = *cache == "off"
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -93,6 +101,13 @@ func run(ctx context.Context, cfg bench.Config, experiment string, w io.Writer) 
 	case "fig7":
 		bench.RenderFig7(w, bench.RunFig7(bench.DefaultFig7Plans()))
 		return nil
+	case "throughput":
+		res, err := bench.RunThroughput(ctx, cfg, mqopt.Class{Queries: 45, PlansPerQuery: 2}, 50)
+		if err != nil {
+			return err
+		}
+		bench.RenderThroughput(w, res)
+		return nil
 	case "table1":
 		rows, err := bench.RunTable1(ctx, cfg, bench.PaperClasses)
 		if err != nil {
@@ -121,6 +136,13 @@ func run(ctx context.Context, cfg bench.Config, experiment string, w io.Writer) 
 		fmt.Fprintln(w)
 		fmt.Fprintln(w, "=== Figure 7 ===")
 		bench.RenderFig7(w, bench.RunFig7(bench.DefaultFig7Plans()))
+		fmt.Fprintln(w)
+		fmt.Fprintln(w, "=== Throughput (compilation cache) ===")
+		tres, err := bench.RunThroughput(ctx, cfg, mqopt.Class{Queries: 45, PlansPerQuery: 2}, 50)
+		if err != nil {
+			return err
+		}
+		bench.RenderThroughput(w, tres)
 		return nil
 	default:
 		return fmt.Errorf("unknown experiment %q", experiment)

@@ -1,0 +1,278 @@
+// Command mqo-serve exposes the batched solve service over HTTP/JSON:
+// a long-lived process that accepts concurrent solve requests, coalesces
+// same-shape arrivals into admission batches, and compiles each problem
+// shape once through a shared content-addressed cache.
+//
+// Usage:
+//
+//	mqo-serve -addr :8333 -batch-window 10ms -cache-capacity 256
+//
+//	# solve an instance
+//	mqo-gen -queries 20 -plans 2 > inst.json
+//	jq -n --slurpfile p inst.json '{problem: $p[0], solver: "qa", seed: 7, budget: "20ms"}' \
+//	  | curl -s -d @- localhost:8333/solve
+//
+//	# service and cache counters
+//	curl -s localhost:8333/stats
+//
+// Endpoints:
+//
+//	POST /solve   one solve request (see solveRequest for the schema)
+//	GET  /stats   service + cache counters
+//	GET  /healthz liveness probe
+//
+// SIGINT/SIGTERM triggers a graceful shutdown: listeners close, in-flight
+// requests get -shutdown-timeout to finish, then the service drains.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/mqopt"
+	"repro/mqopt/solverreg"
+)
+
+func main() {
+	addr := flag.String("addr", ":8333", "listen address")
+	window := flag.Duration("batch-window", 10*time.Millisecond,
+		"admission-batching window (0 disables batching; results are identical either way)")
+	capacity := flag.Int("cache-capacity", 256, "compilation cache capacity (compiled shapes)")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "max concurrent solves per admission batch")
+	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second,
+		"grace period for in-flight requests on SIGINT/SIGTERM")
+	flag.Parse()
+
+	cache := mqopt.NewCache(*capacity)
+	svc, err := mqopt.NewService(solverreg.New,
+		mqopt.WithCache(cache),
+		mqopt.WithBatchWindow(*window),
+		mqopt.WithParallelism(*parallel))
+	if err != nil {
+		log.Fatalf("mqo-serve: %v", err)
+	}
+
+	server := &http.Server{Addr: *addr, Handler: newHandler(svc)}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- server.ListenAndServe() }()
+	log.Printf("mqo-serve: listening on %s (batch window %v, cache capacity %d)", *addr, *window, *capacity)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("mqo-serve: %v", err)
+	case <-ctx.Done():
+	}
+	log.Printf("mqo-serve: shutting down (up to %v for in-flight requests)", *shutdownTimeout)
+	sctx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+	defer cancel()
+	if err := server.Shutdown(sctx); err != nil {
+		log.Printf("mqo-serve: forced shutdown: %v", err)
+	}
+	if err := svc.Close(); err != nil {
+		log.Printf("mqo-serve: closing service: %v", err)
+	}
+	log.Printf("mqo-serve: drained")
+}
+
+// solveRequest is the POST /solve schema. Problem carries the same JSON
+// instance format mqo-gen emits and mqo-solve reads; everything else is
+// optional and mirrors the mqo-solve flags.
+type solveRequest struct {
+	Problem json.RawMessage `json:"problem"`
+	// Solver is a registry name (qa, qa-series, portfolio, lin-mqo,
+	// ...); empty selects the service default.
+	Solver string `json:"solver,omitempty"`
+	// Seed fixes the random stream (default 1).
+	Seed *int64 `json:"seed,omitempty"`
+	// Budget is a Go duration string ("2s", "20ms"): modeled device time
+	// for annealer backends, wall-clock for classical ones.
+	Budget string `json:"budget,omitempty"`
+	// Runs caps annealing runs; Sweeps sets the surrogate's per-run
+	// Metropolis sweeps.
+	Runs   int `json:"runs,omitempty"`
+	Sweeps int `json:"sweeps,omitempty"`
+	// Embedding selects auto, clustered, or triad.
+	Embedding string `json:"embedding,omitempty"`
+	// Members names portfolio members (solver "portfolio").
+	Members []string `json:"members,omitempty"`
+	// Target stops the solve early at this cost.
+	Target *float64 `json:"target,omitempty"`
+	// Cache "off" opts this request out of the shared compilation cache
+	// (the CLI's -cache=off escape hatch; default on).
+	Cache string `json:"cache,omitempty"`
+}
+
+// solveResponse is the POST /solve reply.
+type solveResponse struct {
+	Solver     string          `json:"solver"`
+	Cost       float64         `json:"cost"`
+	Solution   []int           `json:"solution"`
+	Incumbents []incumbentJSON `json:"incumbents"`
+	Windows    int             `json:"windows,omitempty"`
+	Sweeps     int             `json:"sweeps,omitempty"`
+	Winner     string          `json:"winner,omitempty"`
+}
+
+type incumbentJSON struct {
+	ElapsedNS int64   `json:"elapsed_ns"`
+	Cost      float64 `json:"cost"`
+	Source    string  `json:"source,omitempty"`
+}
+
+// statsResponse is the GET /stats reply.
+type statsResponse struct {
+	Requests  uint64     `json:"requests"`
+	Batches   uint64     `json:"batches"`
+	Coalesced uint64     `json:"coalesced"`
+	InFlight  uint64     `json:"in_flight"`
+	Cache     cacheStats `json:"cache"`
+}
+
+type cacheStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Shared    uint64 `json:"shared"`
+	Evictions uint64 `json:"evictions"`
+	Entries   uint64 `json:"entries"`
+}
+
+// newHandler builds the HTTP surface over one service.
+func newHandler(svc *mqopt.Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/solve", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		var req solveRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, fmt.Sprintf("decoding request: %v", err), http.StatusBadRequest)
+			return
+		}
+		sreq, err := buildRequest(req)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		res, err := svc.Solve(r.Context(), sreq)
+		if err != nil {
+			status := http.StatusInternalServerError
+			if errors.Is(err, mqopt.ErrServiceClosed) {
+				status = http.StatusServiceUnavailable
+			}
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				// The client went away; the status is moot but 499-style
+				// bookkeeping beats a fake 500.
+				status = http.StatusRequestTimeout
+			}
+			http.Error(w, err.Error(), status)
+			return
+		}
+		resp := solveResponse{
+			Solver:     res.Solver,
+			Cost:       res.Cost,
+			Solution:   res.Solution,
+			Incumbents: make([]incumbentJSON, len(res.Incumbents)),
+		}
+		for i, in := range res.Incumbents {
+			resp.Incumbents[i] = incumbentJSON{ElapsedNS: int64(in.Elapsed), Cost: in.Cost, Source: in.Source}
+		}
+		if d := res.Decomposition; d != nil {
+			resp.Windows, resp.Sweeps = d.Windows, d.Sweeps
+		}
+		if pf := res.Portfolio; pf != nil {
+			resp.Winner = pf.Winner
+		}
+		writeJSON(w, resp)
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		st := svc.Stats()
+		writeJSON(w, statsResponse{
+			Requests:  st.Requests,
+			Batches:   st.Batches,
+			Coalesced: st.Coalesced,
+			InFlight:  st.InFlight,
+			Cache: cacheStats{
+				Hits:      st.Cache.Hits,
+				Misses:    st.Cache.Misses,
+				Shared:    st.Cache.Shared,
+				Evictions: st.Cache.Evictions,
+				Entries:   st.Cache.Entries,
+			},
+		})
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// buildRequest translates the wire request into a service request.
+func buildRequest(req solveRequest) (mqopt.Request, error) {
+	if len(req.Problem) == 0 {
+		return mqopt.Request{}, fmt.Errorf("request has no problem")
+	}
+	p, err := mqopt.ReadProblem(bytes.NewReader(req.Problem))
+	if err != nil {
+		return mqopt.Request{}, fmt.Errorf("reading problem: %v", err)
+	}
+	var opts []mqopt.Option
+	if req.Seed != nil {
+		opts = append(opts, mqopt.WithSeed(*req.Seed))
+	}
+	if req.Budget != "" {
+		d, err := time.ParseDuration(req.Budget)
+		if err != nil {
+			return mqopt.Request{}, fmt.Errorf("bad budget: %v", err)
+		}
+		opts = append(opts, mqopt.WithBudget(d))
+	}
+	if req.Runs > 0 {
+		opts = append(opts, mqopt.WithAnnealingRuns(req.Runs))
+	}
+	if req.Sweeps > 0 {
+		opts = append(opts, mqopt.WithAnnealingSweeps(req.Sweeps))
+	}
+	if req.Embedding != "" {
+		opts = append(opts, mqopt.WithEmbedding(mqopt.Embedding(req.Embedding)))
+	}
+	if len(req.Members) > 0 {
+		opts = append(opts, mqopt.WithPortfolio(req.Members...))
+	}
+	if req.Target != nil && !math.IsNaN(*req.Target) {
+		opts = append(opts, mqopt.WithTargetCost(*req.Target))
+	}
+	switch req.Cache {
+	case "", "on":
+	case "off":
+		opts = append(opts, mqopt.WithCache(nil))
+	default:
+		return mqopt.Request{}, fmt.Errorf("bad cache value %q (want on or off)", req.Cache)
+	}
+	return mqopt.Request{Problem: p, Solver: req.Solver, Options: opts}, nil
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		log.Printf("mqo-serve: encoding response: %v", err)
+	}
+}

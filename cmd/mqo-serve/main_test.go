@@ -1,0 +1,234 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/mqopt"
+	"repro/mqopt/solverreg"
+)
+
+// testServer spins up the HTTP surface over a fresh service.
+func testServer(t *testing.T, defaults ...mqopt.Option) (*httptest.Server, *mqopt.Service) {
+	t.Helper()
+	svc, err := mqopt.NewService(solverreg.New, defaults...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(newHandler(svc))
+	t.Cleanup(func() {
+		srv.Close()
+		svc.Close()
+	})
+	return srv, svc
+}
+
+// instanceJSON renders one generated instance in the wire format.
+func instanceJSON(t *testing.T) []byte {
+	t.Helper()
+	p, err := mqopt.GenerateEmbeddable(2, nil, mqopt.Class{Queries: 8, PlansPerQuery: 2}, mqopt.DefaultGeneratorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := p.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func postSolve(t *testing.T, url string, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url+"/solve", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+// TestSolveEndpoint: a full request/response round trip, plus the
+// determinism contract over HTTP — the same request twice (second time
+// warm) returns byte-identical bodies.
+func TestSolveEndpoint(t *testing.T) {
+	srv, svc := testServer(t)
+	inst := instanceJSON(t)
+	body := fmt.Sprintf(`{"problem": %s, "solver": "qa", "seed": 7, "budget": "8ms", "runs": 20}`, inst)
+
+	resp1, data1 := postSolve(t, srv.URL, body)
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp1.StatusCode, data1)
+	}
+	var out solveResponse
+	if err := json.Unmarshal(data1, &out); err != nil {
+		t.Fatalf("bad response JSON: %v", err)
+	}
+	if out.Solver != "QA" || len(out.Solution) != 8 || len(out.Incumbents) == 0 {
+		t.Fatalf("unexpected response: %+v", out)
+	}
+
+	resp2, data2 := postSolve(t, srv.URL, body)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("repeat status %d", resp2.StatusCode)
+	}
+	if !bytes.Equal(data1, data2) {
+		t.Errorf("same request diverged between cold and warm cache:\n%s\n%s", data1, data2)
+	}
+	if st := svc.Stats().Cache; st.Hits == 0 {
+		t.Errorf("repeat request did not hit the cache: %+v", st)
+	}
+}
+
+// TestSolveEndpointCacheOff: the per-request escape hatch leaves the
+// shared cache untouched and still returns the same result body.
+func TestSolveEndpointCacheOff(t *testing.T) {
+	srv, svc := testServer(t)
+	inst := instanceJSON(t)
+	on := fmt.Sprintf(`{"problem": %s, "seed": 3, "budget": "8ms", "runs": 20}`, inst)
+	off := fmt.Sprintf(`{"problem": %s, "seed": 3, "budget": "8ms", "runs": 20, "cache": "off"}`, inst)
+
+	respOff, dataOff := postSolve(t, srv.URL, off)
+	if respOff.StatusCode != http.StatusOK {
+		t.Fatalf("cache-off status %d: %s", respOff.StatusCode, dataOff)
+	}
+	if st := svc.Stats().Cache; st.Misses != 0 || st.Hits != 0 {
+		t.Fatalf("cache consulted despite cache=off: %+v", st)
+	}
+	_, dataOn := postSolve(t, srv.URL, on)
+	if !bytes.Equal(dataOn, dataOff) {
+		t.Errorf("cache on/off bodies differ:\n%s\n%s", dataOn, dataOff)
+	}
+}
+
+// TestStatsEndpoint: counters move and serialize as documented.
+func TestStatsEndpoint(t *testing.T) {
+	srv, _ := testServer(t)
+	inst := instanceJSON(t)
+	body := fmt.Sprintf(`{"problem": %s, "seed": 1, "budget": "4ms", "runs": 10}`, inst)
+	const n = 4
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, data := postSolve(t, srv.URL, body)
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("status %d: %s", resp.StatusCode, data)
+			}
+		}()
+	}
+	wg.Wait()
+
+	resp, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests != n {
+		t.Errorf("requests = %d, want %d", st.Requests, n)
+	}
+	if st.Cache.Misses != 1 {
+		t.Errorf("cache misses = %d, want 1 (one shape)", st.Cache.Misses)
+	}
+	if st.Cache.Hits+st.Cache.Shared != n-1 {
+		t.Errorf("hits+shared = %d, want %d", st.Cache.Hits+st.Cache.Shared, n-1)
+	}
+}
+
+// TestBadRequests: malformed inputs come back 4xx, not 500.
+func TestBadRequests(t *testing.T) {
+	srv, _ := testServer(t)
+	inst := instanceJSON(t)
+	for name, body := range map[string]string{
+		"empty":       `{}`,
+		"bad json":    `{`,
+		"bad problem": `{"problem": {"queryPlans": [[]], "costs": []}}`,
+		"bad budget":  fmt.Sprintf(`{"problem": %s, "budget": "soon"}`, inst),
+		"bad cache":   fmt.Sprintf(`{"problem": %s, "cache": "maybe"}`, inst),
+	} {
+		resp, data := postSolve(t, srv.URL, body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d (%s), want 400", name, resp.StatusCode, data)
+		}
+	}
+	// Unknown solver surfaces the registry error.
+	resp, data := postSolve(t, srv.URL, fmt.Sprintf(`{"problem": %s, "solver": "warp-drive"}`, inst))
+	if resp.StatusCode == http.StatusOK {
+		t.Errorf("unknown solver accepted: %s", data)
+	}
+	// GET on /solve is rejected.
+	get, err := http.Get(srv.URL + "/solve")
+	if err != nil {
+		t.Fatal(err)
+	}
+	get.Body.Close()
+	if get.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /solve: status %d, want 405", get.StatusCode)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	srv, _ := testServer(t)
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz status %d", resp.StatusCode)
+	}
+}
+
+// TestServiceClosedSurfacesAs503: requests after Close are rejected
+// with Service Unavailable — what a load balancer drains on.
+func TestServiceClosedSurfacesAs503(t *testing.T) {
+	srv, svc := testServer(t)
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	resp, _ := postSolve(t, srv.URL, fmt.Sprintf(`{"problem": %s}`, instanceJSON(t)))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("status %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestBatchedEndpoint: the admission window composes with HTTP handlers
+// (requests from separate connections coalesce).
+func TestBatchedEndpoint(t *testing.T) {
+	srv, svc := testServer(t, mqopt.WithBatchWindow(50*time.Millisecond))
+	inst := instanceJSON(t)
+	const n = 6
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			body := fmt.Sprintf(`{"problem": %s, "seed": %d, "budget": "4ms", "runs": 10}`, inst, seed)
+			resp, data := postSolve(t, srv.URL, body)
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("seed %d: status %d: %s", seed, resp.StatusCode, data)
+			}
+		}(i + 1)
+	}
+	wg.Wait()
+	st := svc.Stats()
+	if st.Coalesced == 0 {
+		t.Errorf("no coalescing across %d concurrent same-shape requests: %+v", n, st)
+	}
+}

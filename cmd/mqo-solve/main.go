@@ -34,6 +34,7 @@ type options struct {
 	seed    int64
 	target  float64
 	paral   int
+	cache   string
 	verbose bool
 }
 
@@ -49,6 +50,8 @@ func main() {
 		"stop successfully once the incumbent reaches this cost (portfolio: first member to reach it cancels the rest; trades the bit-identical-output guarantee for wall-clock racing)")
 	flag.IntVar(&opts.paral, "parallel", runtime.GOMAXPROCS(0),
 		"worker count for annealer gauge batches and racing portfolio members (without -target, output is identical at any value)")
+	flag.StringVar(&opts.cache, "cache", "on",
+		"compilation cache: on|off (output is identical either way; off recompiles per solve — the escape hatch for memory-constrained runs)")
 	flag.BoolVar(&opts.verbose, "v", false, "print the anytime trace")
 	listSolvers := flag.Bool("list-solvers", false, "list registered solvers and exit")
 	flag.Parse()
@@ -88,6 +91,15 @@ func run(ctx context.Context, opts options, out io.Writer) error {
 		mqopt.WithBudget(opts.budget),
 		mqopt.WithSeed(opts.seed),
 		mqopt.WithParallelism(opts.paral),
+	}
+	switch opts.cache {
+	case "", "on":
+		// One solve still profits: qa-series windows and portfolio
+		// members share compiled shapes within the invocation.
+		solveOpts = append(solveOpts, mqopt.WithCache(mqopt.NewCache(64)))
+	case "off":
+	default:
+		return fmt.Errorf("-cache must be on or off, got %q", opts.cache)
 	}
 	if opts.members != "" {
 		solveOpts = append(solveOpts, mqopt.WithPortfolio(strings.Split(opts.members, ",")...))

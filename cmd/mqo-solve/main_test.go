@@ -132,3 +132,35 @@ func TestGoldenTracesStableAcrossParallelism(t *testing.T) {
 		})
 	}
 }
+
+// TestGoldenTracesStableAcrossCache re-runs every golden case with the
+// compilation cache disabled and checks the output byte-identical with
+// the committed file — the CLI face of the cache's "results never
+// change, only wall-clock" contract (golden files are recorded with the
+// default -cache=on).
+func TestGoldenTracesStableAcrossCache(t *testing.T) {
+	if *update {
+		t.Skip("golden files being rewritten")
+	}
+	for _, tc := range goldenCases() {
+		t.Run(tc.Name, func(t *testing.T) {
+			opts := tc.Opts
+			opts.cache = "off"
+			var buf bytes.Buffer
+			if err := run(context.Background(), opts, &buf); err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			data, err := os.ReadFile(filepath.Join("testdata", "golden", tc.Name+".json"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var want golden
+			if err := json.Unmarshal(data, &want); err != nil {
+				t.Fatal(err)
+			}
+			if got := buf.String(); got != want.Output {
+				t.Errorf("-cache=off output diverges from golden %s:\n%s", tc.Name, got)
+			}
+		})
+	}
+}

@@ -1,0 +1,106 @@
+// Server client: drive a running mqo-serve instance over HTTP and watch
+// the compilation cache amortize work across requests.
+//
+// The client generates one paper-class instance, submits it repeatedly
+// with different seeds (same problem SHAPE, so every request after the
+// first hits the compilation cache), prints each result, and finishes
+// with the service's counters — requests, admission batches, coalesced
+// same-shape arrivals, and cache hits/misses.
+//
+//	# terminal 1
+//	go run ./cmd/mqo-serve -addr :8333 -batch-window 10ms
+//
+//	# terminal 2
+//	go run ./examples/server -addr localhost:8333 -requests 8
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"repro/mqopt"
+)
+
+type solveResponse struct {
+	Solver     string  `json:"solver"`
+	Cost       float64 `json:"cost"`
+	Solution   []int   `json:"solution"`
+	Incumbents []struct {
+		ElapsedNS int64   `json:"elapsed_ns"`
+		Cost      float64 `json:"cost"`
+	} `json:"incumbents"`
+}
+
+func main() {
+	addr := flag.String("addr", "localhost:8333", "mqo-serve address")
+	requests := flag.Int("requests", 8, "number of solve requests to fire")
+	queries := flag.Int("queries", 20, "queries in the generated instance")
+	flag.Parse()
+	base := "http://" + *addr
+
+	// One shape, many seeds: the service compiles the shape once and
+	// every further request reuses the cached QUBO + embedding.
+	problem, err := mqopt.GenerateEmbeddable(1, nil,
+		mqopt.Class{Queries: *queries, PlansPerQuery: 2}, mqopt.DefaultGeneratorConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	var inst bytes.Buffer
+	if err := problem.Write(&inst); err != nil {
+		log.Fatal(err)
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	results := make([]solveResponse, *requests)
+	for i := 0; i < *requests; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body := fmt.Sprintf(`{"problem": %s, "solver": "qa", "seed": %d, "budget": "20ms"}`,
+				inst.String(), i+1)
+			resp, err := http.Post(base+"/solve", "application/json", bytes.NewReader([]byte(body)))
+			if err != nil {
+				log.Fatalf("request %d: %v (is mqo-serve running on %s?)", i, err, *addr)
+			}
+			defer resp.Body.Close()
+			data, err := io.ReadAll(resp.Body)
+			if err != nil {
+				log.Fatalf("request %d: %v", i, err)
+			}
+			if resp.StatusCode != http.StatusOK {
+				log.Fatalf("request %d: %s: %s", i, resp.Status, data)
+			}
+			if err := json.Unmarshal(data, &results[i]); err != nil {
+				log.Fatalf("request %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	for i, r := range results {
+		fmt.Printf("request %d (seed %d): %s cost %g after %d improvements\n",
+			i, i+1, r.Solver, r.Cost, len(r.Incumbents))
+	}
+	fmt.Printf("\n%d requests in %v (%.0f req/s)\n",
+		*requests, elapsed.Round(time.Millisecond), float64(*requests)/elapsed.Seconds())
+
+	stats, err := http.Get(base + "/stats")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stats.Body.Close()
+	fmt.Println("\nservice stats:")
+	if _, err := io.Copy(os.Stdout, stats.Body); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -57,6 +57,46 @@ func Compile(p *ising.Problem) *Compiled {
 	return c
 }
 
+// ApplyGauge returns the gauge-transformed copy of the program:
+// h'_i = −h_i where flip[i] is set, and J'_ij = −J_ij where exactly one
+// endpoint flips. The topology (Off/Nbr) is unchanged and SHARED with
+// the receiver — only the weight arrays are copied — so transforming a
+// compiled program is two array passes instead of rebuilding the
+// map-backed Ising problem and recompiling it. Because the CSR layout
+// is inherited, neighbor summation order (and therefore floating-point
+// rounding) is identical to the original program's, keeping gauge
+// batches bit-deterministic. The receiver is not modified; the result
+// must be treated as immutable wherever the receiver is shared.
+func (c *Compiled) ApplyGauge(flip []bool) *Compiled {
+	if len(flip) != c.N {
+		panic("anneal: gauge size mismatch")
+	}
+	out := &Compiled{
+		N:      c.N,
+		H:      make([]float64, c.N),
+		Off:    c.Off,
+		Nbr:    c.Nbr,
+		W:      make([]float64, len(c.W)),
+		Offset: c.Offset,
+	}
+	for i, h := range c.H {
+		if flip[i] {
+			h = -h
+		}
+		out.H[i] = h
+	}
+	for i := 0; i < c.N; i++ {
+		for k := c.Off[i]; k < c.Off[i+1]; k++ {
+			w := c.W[k]
+			if flip[i] != flip[c.Nbr[k]] {
+				w = -w
+			}
+			out.W[k] = w
+		}
+	}
+	return out
+}
+
 // LocalField returns h_i + Σ_j J_ij·s_j, the effective field on spin i.
 func (c *Compiled) LocalField(s []int8, i int) float64 {
 	f := c.H[i]

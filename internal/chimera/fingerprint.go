@@ -1,0 +1,62 @@
+package chimera
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"io"
+	"sort"
+)
+
+// HashInto streams a canonical binary encoding of the topology — grid
+// dimensions plus the fault map in sorted order — into w. Two Graph
+// values describing the same hardware (same size, same broken qubits
+// and couplers) produce identical streams even when constructed
+// independently, so per-request topology construction still lands on
+// the same compilation-cache entries.
+func (g *Graph) HashInto(w io.Writer) {
+	writeU64(w, uint64(int64(g.Rows)))
+	writeU64(w, uint64(int64(g.Cols)))
+	var broken []int
+	for q, b := range g.brokenQubit {
+		if b {
+			broken = append(broken, q)
+		}
+	}
+	writeU64(w, uint64(len(broken)))
+	for _, q := range broken {
+		writeU64(w, uint64(int64(q)))
+	}
+	pairs := make([][2]int, 0, len(g.brokenCoupler))
+	for k, b := range g.brokenCoupler {
+		if b {
+			pairs = append(pairs, k)
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i][0] != pairs[j][0] {
+			return pairs[i][0] < pairs[j][0]
+		}
+		return pairs[i][1] < pairs[j][1]
+	})
+	writeU64(w, uint64(len(pairs)))
+	for _, p := range pairs {
+		writeU64(w, uint64(int64(p[0])))
+		writeU64(w, uint64(int64(p[1])))
+	}
+}
+
+// Fingerprint returns a 64-bit digest of HashInto's canonical encoding.
+func (g *Graph) Fingerprint() uint64 {
+	h := fnv.New64a()
+	g.HashInto(h)
+	return h.Sum64()
+}
+
+// writeU64 streams v to w in a fixed (little-endian) byte order — the
+// same encoding plancache.Keyer.Uint64 uses, so every fingerprint
+// contribution to a cache key is byte-order stable by construction.
+func writeU64(w io.Writer, v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	w.Write(b[:])
+}

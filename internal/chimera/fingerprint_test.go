@@ -1,0 +1,29 @@
+package chimera
+
+import "testing"
+
+func TestGraphFingerprintValueIdentity(t *testing.T) {
+	// Independently constructed graphs of the same hardware must land on
+	// the same fingerprint — callers build the default topology per
+	// request and still expect cache hits.
+	a, b := DWave2X(0, 0), DWave2X(0, 0)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("two fault-free D-Wave 2X graphs have different fingerprints")
+	}
+	fa, fb := DWave2X(PaperBrokenQubits, 42), DWave2X(PaperBrokenQubits, 42)
+	if fa.Fingerprint() != fb.Fingerprint() {
+		t.Fatal("same seeded fault maps have different fingerprints")
+	}
+	if a.Fingerprint() == fa.Fingerprint() {
+		t.Fatal("fault map did not change the fingerprint")
+	}
+	small := NewGraph(2, 2)
+	if small.Fingerprint() == a.Fingerprint() {
+		t.Fatal("grid size did not change the fingerprint")
+	}
+	c := NewGraph(12, 12)
+	c.BreakQubit(7)
+	if c.Fingerprint() == a.Fingerprint() {
+		t.Fatal("broken qubit did not change the fingerprint")
+	}
+}

@@ -1,0 +1,50 @@
+package decompose
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/chimera"
+	"repro/internal/core"
+	"repro/internal/mqo"
+)
+
+// TestDecomposeSharesCache: a decomposed solve passes the compile cache
+// to every window and stays bit-identical with caching on; repeated
+// window shapes across sweeps hit instead of recompiling.
+func TestDecomposeSharesCache(t *testing.T) {
+	g := chimera.DWave2X(0, 0)
+	p, err := core.GenerateEmbeddable(rand.New(rand.NewSource(3)), g,
+		mqo.Class{Queries: 20, PlansPerQuery: 2}, mqo.DefaultGeneratorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	opts := Options{
+		WindowQueries: 6,
+		Core:          core.Options{Runs: 30, Parallelism: 1},
+	}
+	plain, err := Solve(ctx, p, opts, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc := core.NewCompileCache(64)
+	opts.Core.Cache = cc
+	cached, err := Solve(ctx, p, opts, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cached.Solution, plain.Solution) || cached.Cost != plain.Cost ||
+		cached.Windows != plain.Windows || cached.Sweeps != plain.Sweeps {
+		t.Fatal("decomposed solve diverges with the compile cache enabled")
+	}
+	st := cc.Stats()
+	if st.Misses == 0 {
+		t.Fatal("decomposed solve never reached the cache")
+	}
+	if st.Hits == 0 {
+		t.Error("no window shape repeated across sweeps; expected at least one cache hit")
+	}
+}

@@ -154,7 +154,11 @@ func (d *Device) SampleBatch(ctx context.Context, p *ising.Problem, original *an
 	if original == nil {
 		original = anneal.Compile(p)
 	}
-	compiled := anneal.Compile(p.ApplyGauge(gauge))
+	// Transform the shared identity-gauge program directly in CSR form:
+	// cheaper than rebuilding the Ising problem per batch, and the
+	// inherited neighbor order keeps rounding — and therefore read-outs
+	// — identical across gauge representations.
+	compiled := original.ApplyGauge(gauge.Flip)
 	out := make([]Sample, 0, b.Runs)
 	for j := 0; j < b.Runs; j++ {
 		if ctx.Err() != nil {

@@ -65,6 +65,15 @@ type Config struct {
 	// bound; the merged trace charges each member its private clock, so
 	// the column reads as a race regardless.
 	Portfolio []string
+	// DisableCache turns off the compilation cache the experiments share
+	// across their QA tasks (the CLI's -cache=off escape hatch). Results
+	// are identical either way; only wall-clock changes.
+	DisableCache bool
+
+	// cache is the experiment-wide compile cache, installed by
+	// withDefaults on the entry point's Config copy and inherited by
+	// every task closure derived from it.
+	cache *core.CompileCache
 }
 
 // DefaultConfig returns the offline defaults: 3 instances per class, a
@@ -106,6 +115,9 @@ func (c Config) withDefaults() Config {
 	}
 	if len(c.GAPopulations) == 0 {
 		c.GAPopulations = []int{50, 200}
+	}
+	if c.cache == nil && !c.DisableCache {
+		c.cache = core.NewCompileCache(256)
 	}
 	return c
 }
@@ -188,7 +200,7 @@ func (c Config) solverFactory(name string) (func() solvers.Solver, error) {
 	switch {
 	case key == "qa":
 		return func() solvers.Solver {
-			return &core.QASolver{Opt: core.Options{Graph: cfg.Graph, Runs: cfg.QARuns, Parallelism: 1}}
+			return &core.QASolver{Opt: core.Options{Graph: cfg.Graph, Runs: cfg.QARuns, Parallelism: 1, Cache: cfg.cache}}
 		}, nil
 	case key == "lin-mqo":
 		return func() solvers.Solver { return &solvers.BranchAndBound{} }, nil
@@ -260,7 +272,7 @@ func (c Config) ClassicalSolvers() []solvers.Solver {
 // batches sequentially inside its task.
 func (c Config) QASolver() *core.QASolver {
 	cfg := c.withDefaults()
-	return &core.QASolver{Opt: core.Options{Graph: cfg.Graph, Runs: cfg.QARuns, Parallelism: cfg.Parallelism}}
+	return &core.QASolver{Opt: core.Options{Graph: cfg.Graph, Runs: cfg.QARuns, Parallelism: cfg.Parallelism, Cache: cfg.cache}}
 }
 
 // qaBudget is the modeled device time of the configured annealing runs.

@@ -1,0 +1,123 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"repro/internal/anneal"
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/mqo"
+	"repro/internal/plancache"
+	"repro/internal/splitmix"
+)
+
+// ThroughputResult reports the service-regime throughput panel: many
+// solve requests for ONE problem shape, measured with the compilation
+// cache cold-per-request (every request compiles) and warm (the shape
+// compiles once). The regime models a production service in steady
+// state, where a bounded population of query templates repeats and the
+// anneal itself is microseconds of modeled time — so compilation is
+// what throughput is made of.
+type ThroughputResult struct {
+	Class mqo.Class
+	// Requests per measurement.
+	Requests int
+	// Runs is the annealing runs spent per request.
+	Runs int
+	// Cold and Warm are the wall-clock totals of the two passes.
+	Cold, Warm time.Duration
+	// CacheStats snapshots the warm pass's cache counters.
+	CacheStats plancache.Stats
+}
+
+// ColdRPS returns the cold-path requests/second.
+func (r *ThroughputResult) ColdRPS() float64 {
+	return float64(r.Requests) / r.Cold.Seconds()
+}
+
+// WarmRPS returns the warm-cache requests/second.
+func (r *ThroughputResult) WarmRPS() float64 {
+	return float64(r.Requests) / r.Warm.Seconds()
+}
+
+// Speedup returns warm over cold throughput.
+func (r *ThroughputResult) Speedup() float64 {
+	if r.Warm <= 0 {
+		return 0
+	}
+	return float64(r.Cold) / float64(r.Warm)
+}
+
+// RunThroughput measures the panel for one class: requests solve calls
+// against a single generated instance, one annealing run each at a fast
+// surrogate profile (the high-throughput service setting), fanned out
+// under cfg.Parallelism. The cold pass disables the cache so every
+// request pays the compile; the warm pass shares one pre-primed cache.
+// With cfg.DisableCache set, the warm pass runs uncached too and the
+// speedup reads ≈ 1 — the panel then documents what the flag costs.
+// Results (costs, solutions) are identical across passes; the panel
+// only measures wall-clock.
+func (c Config) RunThroughput(ctx context.Context, class mqo.Class, requests int) (*ThroughputResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cfg := c.withDefaults()
+	if requests <= 0 {
+		requests = 50
+	}
+	p, err := core.GenerateEmbeddable(rand.New(rand.NewSource(cfg.Seed)), cfg.Graph, class, cfg.GenCfg)
+	if err != nil {
+		return nil, fmt.Errorf("harness: generating %v throughput instance: %w", class, err)
+	}
+	// One run per request at a short Metropolis schedule: the service
+	// regime, where read-out quality is traded for latency and the
+	// compile dominates an uncached request.
+	sampler := anneal.DefaultSA()
+	sampler.Sweeps = 4
+	opts := func(cache *core.CompileCache) core.Options {
+		return core.Options{Graph: cfg.Graph, Sampler: sampler, Runs: 1, Parallelism: 1, Cache: cache}
+	}
+	pass := func(cache *core.CompileCache) (time.Duration, error) {
+		start := time.Now()
+		err := exec.ForEachOrdered(ctx, cfg.Parallelism, requests,
+			func(tctx context.Context, i int) (struct{}, error) {
+				_, err := core.QuantumMQO(tctx, p, opts(cache), splitmix.Split(cfg.Seed, int64(i)))
+				return struct{}{}, err
+			},
+			func(int, struct{}) bool { return true })
+		return time.Since(start), err
+	}
+
+	res := &ThroughputResult{Class: class, Requests: requests, Runs: 1}
+	var warmCache *core.CompileCache
+	if !cfg.DisableCache {
+		warmCache = core.NewCompileCache(8)
+		// Prime: the steady-state warm path never compiles.
+		if _, err := core.QuantumMQO(ctx, p, opts(warmCache), cfg.Seed); err != nil {
+			return nil, err
+		}
+	}
+	if res.Warm, err = pass(warmCache); err != nil {
+		return nil, err
+	}
+	if res.Cold, err = pass(nil); err != nil {
+		return nil, err
+	}
+	if warmCache != nil {
+		res.CacheStats = warmCache.Stats()
+	}
+	return res, nil
+}
+
+// RenderThroughput writes the panel as text.
+func RenderThroughput(w io.Writer, r *ThroughputResult) {
+	fmt.Fprintf(w, "throughput: %d requests, class %v, %d run(s)/request\n", r.Requests, r.Class, r.Runs)
+	fmt.Fprintf(w, "  cold (compile per request): %8.0f req/s  (%v total)\n", r.ColdRPS(), r.Cold.Round(time.Millisecond))
+	fmt.Fprintf(w, "  warm (cached compile):      %8.0f req/s  (%v total)\n", r.WarmRPS(), r.Warm.Round(time.Millisecond))
+	fmt.Fprintf(w, "  speedup: %.1fx   cache: %d compile(s), %d hits, %d shared\n",
+		r.Speedup(), r.CacheStats.Misses, r.CacheStats.Hits, r.CacheStats.Shared)
+}

@@ -1,0 +1,53 @@
+package harness
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/mqo"
+)
+
+func TestRunThroughput(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Parallelism = 1
+	res, err := cfg.RunThroughput(context.Background(), mqo.Class{Queries: 10, PlansPerQuery: 2}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != 8 || res.Cold <= 0 || res.Warm <= 0 {
+		t.Fatalf("bad result: %+v", res)
+	}
+	// The warm pass must have compiled exactly once (the priming solve)
+	// and hit for every measured request.
+	if res.CacheStats.Misses != 1 {
+		t.Errorf("warm pass compiles = %d, want 1", res.CacheStats.Misses)
+	}
+	if res.CacheStats.Hits != 8 {
+		t.Errorf("warm pass hits = %d, want 8", res.CacheStats.Hits)
+	}
+	var buf bytes.Buffer
+	RenderThroughput(&buf, res)
+	out := buf.String()
+	for _, want := range []string{"cold", "warm", "speedup", "8 requests"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunThroughputDisabledCache: with DisableCache the warm pass runs
+// uncached — the panel then measures what -cache=off costs.
+func TestRunThroughputDisabledCache(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Parallelism = 1
+	cfg.DisableCache = true
+	res, err := cfg.RunThroughput(context.Background(), mqo.Class{Queries: 10, PlansPerQuery: 2}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CacheStats.Misses != 0 || res.CacheStats.Hits != 0 {
+		t.Errorf("cache consulted despite DisableCache: %+v", res.CacheStats)
+	}
+}

@@ -1,0 +1,46 @@
+package mqo
+
+import "testing"
+
+func TestFingerprintStableAndSensitive(t *testing.T) {
+	mk := func(cost float64) *Problem {
+		return MustNew(
+			[][]int{{0, 1}, {2, 3}},
+			[]float64{2, cost, 3, 1},
+			[]Saving{{P1: 1, P2: 2, Value: 0.5}},
+		)
+	}
+	a, b := mk(4), mk(4)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("structurally identical instances have different fingerprints")
+	}
+	if a.Fingerprint() == mk(5).Fingerprint() {
+		t.Fatal("cost change did not change the fingerprint")
+	}
+	// A different savings graph over the same plans must differ.
+	c := MustNew(
+		[][]int{{0, 1}, {2, 3}},
+		[]float64{2, 4, 3, 1},
+		[]Saving{{P1: 0, P2: 3, Value: 0.5}},
+	)
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Fatal("savings change did not change the fingerprint")
+	}
+}
+
+func TestFingerprintClustering(t *testing.T) {
+	base := MustNew([][]int{{0}, {1}}, []float64{1, 2}, nil)
+	clustered := &Problem{
+		QueryPlans: [][]int{{0}, {1}},
+		Costs:      []float64{1, 2},
+		Clusters:   []int{0, 1},
+	}
+	if err := clustered.init(); err != nil {
+		t.Fatal(err)
+	}
+	// Identity clustering implies the same ClusterOf as nil, but it is a
+	// different declared input and must not collide.
+	if base.Fingerprint() == clustered.Fingerprint() {
+		t.Fatal("nil and explicit identity clustering collide")
+	}
+}

@@ -1,0 +1,315 @@
+package plancache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// keyOf builds a distinct Key per integer id.
+func keyOf(id int) Key {
+	k := NewKeyer()
+	k.Int(id)
+	return k.Key()
+}
+
+func TestKeyerCanonical(t *testing.T) {
+	a, b := NewKeyer(), NewKeyer()
+	a.Uint64(7)
+	a.Int(-3)
+	a.Write([]byte("chimera"))
+	b.Uint64(7)
+	b.Int(-3)
+	b.Write([]byte("chimera"))
+	if a.Key() != b.Key() {
+		t.Fatal("identical input streams produced different keys")
+	}
+	c := NewKeyer()
+	c.Uint64(7)
+	c.Int(-3)
+	c.Write([]byte("chimerb"))
+	if a.Key() == c.Key() {
+		t.Fatal("different input streams produced the same key")
+	}
+	if (Key{}) == a.Key() {
+		t.Fatal("key is the zero value")
+	}
+}
+
+// TestSingleFlight: 16 goroutines request the same absent shape
+// concurrently and exactly one compile runs; the other 15 share its
+// result. Run under -race this also checks the handoff is properly
+// synchronized.
+func TestSingleFlight(t *testing.T) {
+	c := New[int](8)
+	key := keyOf(1)
+
+	const goroutines = 16
+	var compiles atomic.Int64
+	gate := make(chan struct{})
+	var wg sync.WaitGroup
+	results := make([]int, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-gate
+			v, _, err := c.Do(context.Background(), key, func() (int, error) {
+				compiles.Add(1)
+				// Hold the flight open long enough that the other
+				// goroutines pile onto it rather than racing past.
+				time.Sleep(20 * time.Millisecond)
+				return 42, nil
+			})
+			if err != nil {
+				t.Errorf("goroutine %d: %v", g, err)
+			}
+			results[g] = v
+		}(g)
+	}
+	close(gate)
+	wg.Wait()
+
+	if n := compiles.Load(); n != 1 {
+		t.Fatalf("compile ran %d times, want exactly 1", n)
+	}
+	for g, v := range results {
+		if v != 42 {
+			t.Fatalf("goroutine %d got %d, want 42", g, v)
+		}
+	}
+	st := c.Stats()
+	if st.Misses != 1 {
+		t.Errorf("Misses = %d, want 1", st.Misses)
+	}
+	if st.Shared != goroutines-1 {
+		t.Errorf("Shared = %d, want %d", st.Shared, goroutines-1)
+	}
+	if st.Entries != 1 {
+		t.Errorf("Entries = %d, want 1", st.Entries)
+	}
+}
+
+// TestEvictionCap: a single-shard cache holds exactly its capacity and
+// evicts in LRU order.
+func TestEvictionCap(t *testing.T) {
+	c := NewSharded[string](3, 1)
+	ctx := context.Background()
+	compile := func(id int) func() (string, error) {
+		return func() (string, error) { return fmt.Sprintf("v%d", id), nil }
+	}
+	for id := 0; id < 3; id++ {
+		if _, cached, err := c.Do(ctx, keyOf(id), compile(id)); err != nil || cached {
+			t.Fatalf("insert %d: cached=%v err=%v", id, cached, err)
+		}
+	}
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", c.Len())
+	}
+	// Touch key 0 so key 1 becomes the LRU victim.
+	if _, ok := c.Get(keyOf(0)); !ok {
+		t.Fatal("key 0 missing before eviction")
+	}
+	// Inserting a 4th entry must evict exactly one (key 1).
+	if _, _, err := c.Do(ctx, keyOf(3), compile(3)); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d after eviction, want 3", c.Len())
+	}
+	if _, ok := c.Get(keyOf(1)); ok {
+		t.Fatal("key 1 survived eviction; LRU order violated")
+	}
+	for _, id := range []int{0, 2, 3} {
+		if _, ok := c.Get(keyOf(id)); !ok {
+			t.Fatalf("key %d evicted, want it retained", id)
+		}
+	}
+	st := c.Stats()
+	if st.Evictions != 1 {
+		t.Errorf("Evictions = %d, want 1", st.Evictions)
+	}
+	// A re-request of the evicted shape recompiles.
+	var recompiled bool
+	if _, cached, err := c.Do(ctx, keyOf(1), func() (string, error) {
+		recompiled = true
+		return "v1", nil
+	}); err != nil || cached {
+		t.Fatalf("re-insert: cached=%v err=%v", cached, err)
+	}
+	if !recompiled {
+		t.Fatal("evicted key did not recompile")
+	}
+}
+
+func TestHitCounting(t *testing.T) {
+	c := New[int](4)
+	ctx := context.Background()
+	key := keyOf(9)
+	for i := 0; i < 5; i++ {
+		v, cached, err := c.Do(ctx, key, func() (int, error) { return 7, nil })
+		if err != nil || v != 7 {
+			t.Fatalf("iteration %d: v=%d err=%v", i, v, err)
+		}
+		if want := i > 0; cached != want {
+			t.Fatalf("iteration %d: cached=%v, want %v", i, cached, want)
+		}
+	}
+	st := c.Stats()
+	if st.Hits != 4 || st.Misses != 1 || st.Shared != 0 {
+		t.Fatalf("stats = %+v, want 4 hits / 1 miss / 0 shared", st)
+	}
+}
+
+// TestErrorNotCached: a failing compile reaches every waiter of its
+// flight but is not cached; the next request retries.
+func TestErrorNotCached(t *testing.T) {
+	c := New[int](4)
+	ctx := context.Background()
+	key := keyOf(2)
+	boom := errors.New("boom")
+	if _, _, err := c.Do(ctx, key, func() (int, error) { return 0, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if c.Len() != 0 {
+		t.Fatal("error result was cached")
+	}
+	v, cached, err := c.Do(ctx, key, func() (int, error) { return 5, nil })
+	if err != nil || cached || v != 5 {
+		t.Fatalf("retry: v=%d cached=%v err=%v", v, cached, err)
+	}
+}
+
+// TestWaiterCancellation: a waiter whose context dies mid-flight returns
+// ctx.Err() while the leader's compile still completes and is cached.
+func TestWaiterCancellation(t *testing.T) {
+	c := New[int](4)
+	key := keyOf(3)
+	leaderStarted := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		v, _, err := c.Do(context.Background(), key, func() (int, error) {
+			close(leaderStarted)
+			<-release
+			return 11, nil
+		})
+		if err != nil || v != 11 {
+			t.Errorf("leader: v=%d err=%v", v, err)
+		}
+	}()
+	<-leaderStarted
+	ctx, cancel := context.WithCancel(context.Background())
+	waiterErr := make(chan error, 1)
+	go func() {
+		_, _, err := c.Do(ctx, key, func() (int, error) {
+			t.Error("waiter compiled despite the in-flight leader")
+			return 0, nil
+		})
+		waiterErr <- err
+	}()
+	// Give the waiter a moment to join the flight before cancelling it.
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	if err := <-waiterErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("waiter err = %v, want context.Canceled", err)
+	}
+	close(release)
+	<-done
+	if v, ok := c.Get(key); !ok || v != 11 {
+		t.Fatalf("leader result not cached after waiter cancellation: v=%d ok=%v", v, ok)
+	}
+}
+
+// TestConcurrentMixedShapes hammers the striped cache from many
+// goroutines over many shapes — the -race sweep for shard locking.
+func TestConcurrentMixedShapes(t *testing.T) {
+	c := New[int](32)
+	ctx := context.Background()
+	const goroutines = 16
+	const iters = 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				id := (g + i) % 48 // more shapes than capacity: forces evictions too
+				v, _, err := c.Do(ctx, keyOf(id), func() (int, error) { return id * 3, nil })
+				if err != nil {
+					t.Errorf("Do(%d): %v", id, err)
+					return
+				}
+				if v != id*3 {
+					t.Errorf("Do(%d) = %d, want %d", id, v, id*3)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Hits+st.Misses+st.Shared != goroutines*iters {
+		t.Errorf("counter sum %d != %d lookups", st.Hits+st.Misses+st.Shared, goroutines*iters)
+	}
+	if c.Len() > 32 {
+		t.Errorf("Len = %d exceeds capacity 32", c.Len())
+	}
+}
+
+func TestCapacityDefaultsAndClamps(t *testing.T) {
+	total := func(c *Cache[int]) int {
+		n := 0
+		for i := range c.shards {
+			n += c.shards[i].cap
+		}
+		return n
+	}
+	if got := total(New[int](0)); got != 128 {
+		t.Fatalf("default capacity %d, want exactly 128", got)
+	}
+	// Shard caps must sum to exactly the requested capacity, even when
+	// it does not divide by the shard count.
+	if got := total(New[int](17)); got != 17 {
+		t.Fatalf("capacity 17 distributed as %d", got)
+	}
+	// More shards than capacity clamps to one entry per shard.
+	small := NewSharded[int](2, 64)
+	if len(small.shards) != 2 || total(small) != 2 {
+		t.Fatalf("shards=%d cap=%d, want 2/2", len(small.shards), total(small))
+	}
+}
+
+func BenchmarkDoHit(b *testing.B) {
+	c := New[int](128)
+	ctx := context.Background()
+	key := keyOf(1)
+	c.Do(ctx, key, func() (int, error) { return 1, nil })
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Do(ctx, key, func() (int, error) { return 1, nil })
+	}
+}
+
+func BenchmarkDoHitParallel(b *testing.B) {
+	c := New[int](128)
+	ctx := context.Background()
+	for id := 0; id < 64; id++ {
+		c.Do(ctx, keyOf(id), func() (int, error) { return id, nil })
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		id := 0
+		for pb.Next() {
+			c.Do(ctx, keyOf(id%64), func() (int, error) { return 0, nil })
+			id++
+		}
+	})
+}

@@ -1,0 +1,61 @@
+package qubo
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"io"
+	"math"
+)
+
+// Freeze makes the problem immutable: any subsequent AddLinear or
+// AddQuadratic panics. Compiled formulas placed in a shared compilation
+// cache are frozen so that one request cannot silently corrupt the
+// artifact every other request reads; accessors and energy evaluation
+// are unaffected. Freezing is idempotent and cannot be undone — Clone
+// to obtain a mutable copy.
+func (p *Problem) Freeze() { p.frozen = true }
+
+// Frozen reports whether the problem has been frozen.
+func (p *Problem) Frozen() bool { return p.frozen }
+
+// checkFrozen guards the mutating entry points.
+func (p *Problem) checkFrozen() {
+	if p.frozen {
+		panic("qubo: problem is frozen (cached artifacts are immutable; Clone to modify)")
+	}
+}
+
+// HashInto streams a canonical binary encoding of the formula — variable
+// count, linear weights, couplings in sorted order, and the energy
+// offset — into w. Structurally identical formulas produce identical
+// streams regardless of the AddQuadratic call order that built them.
+func (p *Problem) HashInto(w io.Writer) {
+	writeU64(w, uint64(int64(p.n)))
+	for _, l := range p.linear {
+		writeU64(w, math.Float64bits(l))
+	}
+	cs := p.Couplings()
+	writeU64(w, uint64(len(cs)))
+	for _, c := range cs {
+		writeU64(w, uint64(int64(c.I)))
+		writeU64(w, uint64(int64(c.J)))
+		writeU64(w, math.Float64bits(c.W))
+	}
+	writeU64(w, math.Float64bits(p.Offset))
+}
+
+// Fingerprint returns a 64-bit digest of HashInto's canonical encoding.
+func (p *Problem) Fingerprint() uint64 {
+	h := fnv.New64a()
+	p.HashInto(h)
+	return h.Sum64()
+}
+
+// writeU64 streams v to w in a fixed (little-endian) byte order — the
+// same encoding plancache.Keyer.Uint64 uses, so every fingerprint
+// contribution to a cache key is byte-order stable by construction.
+func writeU64(w io.Writer, v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	w.Write(b[:])
+}

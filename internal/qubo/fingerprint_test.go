@@ -1,0 +1,56 @@
+package qubo
+
+import "testing"
+
+func TestFingerprintOrderIndependent(t *testing.T) {
+	a := New(3)
+	a.AddLinear(0, 1.5)
+	a.AddQuadratic(0, 1, 2)
+	a.AddQuadratic(1, 2, -1)
+
+	b := New(3)
+	b.AddQuadratic(2, 1, -1) // reversed argument and call order
+	b.AddQuadratic(1, 0, 2)
+	b.AddLinear(0, 1.5)
+
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("construction order changed the fingerprint")
+	}
+	b.AddLinear(2, 0.25)
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("weight change did not change the fingerprint")
+	}
+}
+
+func TestFreeze(t *testing.T) {
+	p := New(2)
+	p.AddQuadratic(0, 1, 3)
+	p.Freeze()
+	if !p.Frozen() {
+		t.Fatal("Frozen() = false after Freeze")
+	}
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s on a frozen problem did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("AddLinear", func() { p.AddLinear(0, 1) })
+	mustPanic("AddQuadratic", func() { p.AddQuadratic(0, 1, 1) })
+
+	// Reads and evaluation still work, and clones are mutable again.
+	if p.Quadratic(0, 1) != 3 {
+		t.Fatal("frozen read broken")
+	}
+	if got := p.Energy([]bool{true, true}); got != 3 {
+		t.Fatalf("frozen Energy = %v, want 3", got)
+	}
+	c := p.Clone()
+	if c.Frozen() {
+		t.Fatal("clone inherited frozen state")
+	}
+	c.AddLinear(0, 1) // must not panic
+}

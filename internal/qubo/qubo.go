@@ -21,6 +21,7 @@ type Problem struct {
 	linear []float64
 	quad   map[[2]int]float64
 	adj    [][]Term // adj[i] holds terms (j, w_ij) with j != i
+	frozen bool
 	// Offset is a constant added to every energy value. Mappings that
 	// complete squares or translate from Ising use it so that reported
 	// energies stay comparable.
@@ -52,6 +53,7 @@ func (p *Problem) N() int { return p.n }
 // AddLinear adds w to the linear weight of variable i (the w_ii term; for
 // binary variables x_i² = x_i).
 func (p *Problem) AddLinear(i int, w float64) {
+	p.checkFrozen()
 	p.checkVar(i)
 	p.linear[i] += w
 }
@@ -59,6 +61,7 @@ func (p *Problem) AddLinear(i int, w float64) {
 // AddQuadratic adds w to the coupling weight between distinct variables i
 // and j. Repeated calls accumulate.
 func (p *Problem) AddQuadratic(i, j int, w float64) {
+	p.checkFrozen()
 	p.checkVar(i)
 	p.checkVar(j)
 	if i == j {
@@ -191,7 +194,9 @@ func (p *Problem) MaxAbsWeight() float64 {
 	return m
 }
 
-// Clone returns a deep copy of the problem.
+// Clone returns a deep copy of the problem. The copy is always mutable,
+// even when p is frozen — cloning is the supported way to derive a
+// variant of a cached formula.
 func (p *Problem) Clone() *Problem {
 	c := New(p.n)
 	c.Offset = p.Offset

@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"time"
 
+	"repro/internal/anneal"
 	"repro/internal/core"
 	"repro/internal/decompose"
 	"repro/internal/dwave"
@@ -218,6 +219,12 @@ func (s *qaSolver) Solve(ctx context.Context, p *Problem, opts ...Option) (*Resu
 		Runs:        annealingRuns(cfg),
 		Pattern:     pattern,
 		Parallelism: cfg.parallelism,
+		Cache:       cfg.cache.compileCache(),
+	}
+	if cfg.sweeps > 0 {
+		sa := anneal.DefaultSA()
+		sa.Sweeps = cfg.sweeps
+		copt.Sampler = sa
 	}
 
 	dec := cfg.decompose

@@ -31,6 +31,11 @@ type Fig6Point = harness.Fig6Point
 // Fig7Point reports annealer capacity per plans-per-query.
 type Fig7Point = harness.Fig7Point
 
+// ThroughputResult reports the service-regime throughput panel:
+// requests/second for one repeated problem shape with the compilation
+// cache cold (compile per request) versus warm (compile once).
+type ThroughputResult = harness.ThroughputResult
+
 // PaperClasses are the four problem classes of the evaluation.
 var PaperClasses = mqopt.PaperClasses
 
@@ -63,6 +68,16 @@ func RunFig7(plansRange []int) []Fig7Point { return harness.RunFig7(plansRange) 
 
 // DefaultFig7Plans is the plans-per-query range of Figure 7.
 func DefaultFig7Plans() []int { return harness.DefaultFig7Plans() }
+
+// RunThroughput measures cold- versus warm-cache solve throughput for
+// one repeated problem shape (requests ≤ 0 selects 50). With
+// cfg.DisableCache both passes run uncached and the speedup reads ≈ 1.
+func RunThroughput(ctx context.Context, cfg Config, class mqopt.Class, requests int) (*ThroughputResult, error) {
+	return cfg.RunThroughput(ctx, class, requests)
+}
+
+// RenderThroughput writes the throughput panel as text.
+func RenderThroughput(w io.Writer, r *ThroughputResult) { harness.RenderThroughput(w, r) }
 
 // SolverNames lists the solver series of the anytime figures in
 // presentation order.

@@ -1,0 +1,72 @@
+package mqopt
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestWithCacheBitIdentical: a direct (non-service) solve returns the
+// same solution, cost, and incumbent trace with and without a cache,
+// and repeated solves hit.
+func TestWithCacheBitIdentical(t *testing.T) {
+	p, err := GenerateEmbeddable(4, nil, Class{Queries: 8, PlansPerQuery: 2}, DefaultGeneratorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	base := []Option{WithSeed(3), WithAnnealingRuns(30), WithBudget(30 * 376 * time.Microsecond)}
+	plain, err := NewQASolver().Solve(ctx, p, base...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewCache(16)
+	for i := 0; i < 2; i++ {
+		res, err := NewQASolver().Solve(ctx, p, append([]Option{WithCache(cache)}, base...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(res.Solution, plain.Solution) || res.Cost != plain.Cost ||
+			!reflect.DeepEqual(res.Incumbents, plain.Incumbents) {
+			t.Fatalf("solve %d with cache diverges from uncached solve", i)
+		}
+	}
+	st := cache.Stats()
+	if st.Misses != 1 || st.Hits != 1 || st.Entries != 1 {
+		t.Errorf("cache stats = %+v, want 1 miss, 1 hit, 1 entry", st)
+	}
+}
+
+// TestPortfolioForwardsCache: portfolio members share the caller's
+// cache — the annealer member compiles through it.
+func TestPortfolioForwardsCache(t *testing.T) {
+	p, err := GenerateEmbeddable(4, nil, Class{Queries: 8, PlansPerQuery: 2}, DefaultGeneratorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewCache(16)
+	pf := NewPortfolioSolver(serviceResolver)
+	_, err = pf.Solve(context.Background(), p,
+		WithPortfolio("qa", "climb"),
+		WithSeed(1), WithAnnealingRuns(10), WithBudget(50*time.Millisecond),
+		WithCache(cache), WithParallelism(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := cache.Stats(); st.Misses == 0 {
+		t.Errorf("portfolio members never reached the shared cache: %+v", st)
+	}
+}
+
+// TestNilCacheStats: a nil *Cache is a valid "no cache" value
+// everywhere it can appear.
+func TestNilCacheStats(t *testing.T) {
+	var c *Cache
+	if st := c.Stats(); st != (CacheStats{}) {
+		t.Errorf("nil cache stats = %+v, want zero", st)
+	}
+	if c.compileCache() != nil {
+		t.Error("nil cache unwrapped to a non-nil internal cache")
+	}
+}

@@ -127,6 +127,14 @@ func (p *Problem) Optimum() (Solution, float64, error) { return p.inner.Optimum(
 // produces (such instances admit an exact DP solution).
 func (p *Problem) IsChainStructured() bool { return p.inner.IsChainStructured() }
 
+// Fingerprint returns a 64-bit digest of the instance's canonical
+// structure — query/plan layout, costs, savings, clustering. Two
+// problems with equal fingerprints are (up to hash collision) the same
+// shape; the Service uses it to coalesce same-shape requests and the
+// compilation cache keys artifacts with a wider variant of the same
+// encoding.
+func (p *Problem) Fingerprint() uint64 { return p.inner.Fingerprint() }
+
 // String summarizes the instance shape.
 func (p *Problem) String() string {
 	return fmt.Sprintf("mqopt.Problem(%d queries, %d plans, %d savings)",

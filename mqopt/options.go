@@ -74,6 +74,15 @@ type solveConfig struct {
 	// portfolio lists member solver names for the portfolio backend; see
 	// WithPortfolio.
 	portfolio []string
+	// cache is the shared compilation cache (nil: compile per solve);
+	// see WithCache.
+	cache *Cache
+	// sweeps is the SA-surrogate Metropolis sweep count per annealing
+	// run (0: the default 64); see WithAnnealingSweeps.
+	sweeps int
+	// batchWindow is the Service admission-batching window; see
+	// WithBatchWindow. Individual solvers ignore it.
+	batchWindow time.Duration
 }
 
 // newSolveConfig applies opts over the documented defaults.
@@ -122,6 +131,23 @@ func WithAnnealingRuns(runs int) Option {
 	return func(c *solveConfig) {
 		if runs > 0 {
 			c.runs = runs
+		}
+	}
+}
+
+// WithAnnealingSweeps sets how many Metropolis sweeps the simulated-
+// annealing surrogate spends per annealing run (default 64). It is the
+// surrogate's analogue of the hardware's programmable annealing time: a
+// real device trades anneal duration against read-out quality, and a
+// high-throughput service can dial the surrogate down the same way.
+// The modeled clock is unaffected (the paper charges a fixed 376 µs per
+// run regardless); only read-out quality and wall-clock change. Results
+// remain deterministic for a fixed seed and sweep count. Classical
+// backends ignore it.
+func WithAnnealingSweeps(n int) Option {
+	return func(c *solveConfig) {
+		if n > 0 {
+			c.sweeps = n
 		}
 	}
 }
@@ -193,6 +219,34 @@ func WithPortfolio(members ...string) Option {
 		}
 		if len(cleaned) > 0 {
 			c.portfolio = cleaned
+		}
+	}
+}
+
+// WithCache serves the solve's compilation artifact — logical mapping,
+// Chimera embedding, physical formula, sampling program — from c
+// instead of rebuilding it, inserting on a miss. Concurrent solves of
+// the same problem shape compile once and share the frozen artifact.
+// Results are bit-identical with and without a cache; only wall-clock
+// changes. Annealer backends (qa, qa-series) honor it, decomposed
+// solves reuse it per window, portfolios forward it to members, and
+// classical baselines ignore it. WithCache(nil) removes a previously
+// applied cache — the escape hatch services expose as "-cache=off".
+func WithCache(c *Cache) Option {
+	return func(cfg *solveConfig) { cfg.cache = c }
+}
+
+// WithBatchWindow sets a Service's admission-batching window: requests
+// arriving within d of the first queued request are admitted as one
+// batch, so same-shape requests compile once and per-request overhead
+// amortizes. Zero (the default) disables batching — every request
+// executes immediately. Results are byte-identical at any
+// window; batching changes scheduling, never outcomes. Individual
+// solvers ignore this option.
+func WithBatchWindow(d time.Duration) Option {
+	return func(c *solveConfig) {
+		if d > 0 {
+			c.batchWindow = d
 		}
 	}
 }

@@ -166,6 +166,11 @@ func (s *portfolioSolver) Solve(ctx context.Context, p *Problem, opts ...Option)
 		if cfg.topology != nil {
 			o = append(o, WithTopology(cfg.topology))
 		}
+		if cfg.cache != nil {
+			// Racing members share one compile cache; the first to need a
+			// shape compiles it, the rest hit (or join the single flight).
+			o = append(o, WithCache(cfg.cache))
+		}
 		if cfg.decompose != nil {
 			o = append(o, WithDecomposition(*cfg.decompose))
 		}

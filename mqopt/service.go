@@ -1,0 +1,303 @@
+package mqopt
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/exec"
+)
+
+// ErrServiceClosed is returned by Service.Solve after Close.
+var ErrServiceClosed = errors.New("mqopt: service is closed")
+
+// DefaultServiceSolver is the backend a Request with an empty Solver
+// name dispatches to.
+const DefaultServiceSolver = "qa"
+
+// Request is one unit of Service work: a problem plus the solver name
+// and per-request options to run it with.
+type Request struct {
+	// Problem is the instance to optimize. Required.
+	Problem *Problem
+	// Solver is the registry name to dispatch to; empty selects the
+	// service default (DefaultServiceSolver unless overridden at
+	// construction).
+	Solver string
+	// Options configure this solve; they are applied after the service
+	// defaults, so a request can override anything — including opting
+	// out of the shared cache with WithCache(nil). Streaming works the
+	// usual way: WithOnImprovement delivers this request's incumbents as
+	// they happen.
+	Options []Option
+}
+
+// ServiceStats is a point-in-time snapshot of a Service's counters.
+type ServiceStats struct {
+	// Requests counts Solve calls admitted (including failed solves;
+	// excluding calls rejected because the service was closed).
+	Requests uint64
+	// Batches counts admission batches executed. Without batching
+	// (window 0) every request is its own batch.
+	Batches uint64
+	// Coalesced counts requests that shared an admission batch with an
+	// earlier same-shape request — each compiled at most once between
+	// them (the cache's single flight does the deduplication).
+	Coalesced uint64
+	// InFlight is the number of requests currently executing or queued.
+	InFlight uint64
+	// Cache is the shared compilation cache's counters.
+	Cache CacheStats
+}
+
+// Service turns the one-shot Solve API into a long-lived solve service:
+// it accepts concurrent requests, coalesces same-shape arrivals into
+// admission batches, runs every solve through a shared compilation
+// cache, and streams per-request incumbents through the requests' own
+// WithOnImprovement callbacks.
+//
+// Batching semantics: with WithBatchWindow(d > 0), the first queued
+// request opens a d-long admission window; every request arriving
+// before it closes joins the batch, which then executes with bounded
+// parallelism. Requests for the same problem shape (Problem.Fingerprint)
+// are counted as coalesced — between the admission grouping and the
+// cache's single-flight, a shape compiles once per batch no matter how
+// many requests carry it. With window 0 (the default) every request
+// executes immediately on its caller's goroutine. Either way, the
+// determinism contract extends to the service: a fixed seed and request
+// set produce byte-identical per-request results regardless of cache
+// hits, batch boundaries, or how requests interleave — batching changes
+// scheduling, never outcomes.
+//
+// A Service is safe for concurrent use. Close it when done: Close stops
+// admission (subsequent Solves return ErrServiceClosed), flushes the
+// pending batch, and waits for in-flight solves to finish.
+type Service struct {
+	resolve  Resolver
+	deflt    string
+	cache    *Cache
+	window   time.Duration
+	paral    int
+	defaults []Option
+
+	mu     sync.Mutex
+	queue  []*pendingRequest
+	timer  *time.Timer
+	closed bool
+
+	inflight sync.WaitGroup
+
+	requests, batches, coalesced, active atomic.Uint64
+}
+
+// pendingRequest is one queued Solve with its reply channel.
+type pendingRequest struct {
+	ctx  context.Context
+	req  Request
+	done chan serviceOutcome
+}
+
+type serviceOutcome struct {
+	res *Result
+	err error
+}
+
+// NewService builds a solve service. resolve maps solver names to
+// backends — pass the registry's New (repro/mqopt/solverreg), exactly
+// like NewPortfolioSolver. defaults apply to every request (before the
+// request's own options); of them the service itself consumes
+// WithCache (the shared compilation cache; nil selects NewCache(128)),
+// WithBatchWindow (admission batching; 0 disables), and
+// WithParallelism (bounds concurrent solves per batch; non-positive
+// selects one per CPU).
+func NewService(resolve Resolver, defaults ...Option) (*Service, error) {
+	if resolve == nil {
+		return nil, fmt.Errorf("mqopt: service needs a resolver (pass solverreg.New)")
+	}
+	cfg := newSolveConfig(defaults)
+	cache := cfg.cache
+	if cache == nil {
+		cache = NewCache(128)
+	}
+	return &Service{
+		resolve:  resolve,
+		deflt:    DefaultServiceSolver,
+		cache:    cache,
+		window:   cfg.batchWindow,
+		paral:    exec.Parallelism(cfg.parallelism),
+		defaults: defaults,
+	}, nil
+}
+
+// Cache returns the service's shared compilation cache.
+func (s *Service) Cache() *Cache { return s.cache }
+
+// Stats snapshots the service counters.
+func (s *Service) Stats() ServiceStats {
+	return ServiceStats{
+		Requests:  s.requests.Load(),
+		Batches:   s.batches.Load(),
+		Coalesced: s.coalesced.Load(),
+		InFlight:  s.active.Load(),
+		Cache:     s.cache.Stats(),
+	}
+}
+
+// Solve runs one request through the service, blocking until its result
+// is ready (or ctx is cancelled — the solve itself also observes ctx,
+// so cancellation propagates into the backend's budget loop). Safe to
+// call from any number of goroutines.
+func (s *Service) Solve(ctx context.Context, req Request) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if req.Problem == nil {
+		return nil, fmt.Errorf("mqopt: service request has a nil problem")
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrServiceClosed
+	}
+	s.requests.Add(1)
+	s.active.Add(1)
+	defer func() { s.active.Add(^uint64(0)) }()
+
+	if s.window <= 0 {
+		// Unbatched admission: a batch of one on the caller's goroutine.
+		s.inflight.Add(1)
+		s.mu.Unlock()
+		defer s.inflight.Done()
+		s.batches.Add(1)
+		return s.solveOne(ctx, req, false)
+	}
+
+	pr := &pendingRequest{ctx: ctx, req: req, done: make(chan serviceOutcome, 1)}
+	s.queue = append(s.queue, pr)
+	if len(s.queue) == 1 {
+		// First in: open the admission window.
+		s.timer = time.AfterFunc(s.window, s.flush)
+	}
+	s.mu.Unlock()
+
+	select {
+	case out := <-pr.done:
+		return out.res, out.err
+	case <-ctx.Done():
+		// The executor notices the dead ctx too; the buffered done
+		// channel means it never blocks on our abandoned reply.
+		return nil, ctx.Err()
+	}
+}
+
+// flush closes the current admission window and executes its batch.
+func (s *Service) flush() {
+	s.mu.Lock()
+	batch := s.queue
+	s.queue = nil
+	if s.timer != nil {
+		s.timer.Stop()
+		s.timer = nil
+	}
+	if len(batch) == 0 {
+		s.mu.Unlock()
+		return
+	}
+	s.inflight.Add(1)
+	s.mu.Unlock()
+
+	go func() {
+		defer s.inflight.Done()
+		s.runBatch(batch)
+	}()
+}
+
+// runBatch executes one admission batch: counts shape coalescing, then
+// fans the requests out with bounded parallelism. Each request is
+// independent — its own seed, options, and reply channel — so outcomes
+// do not depend on who shares the batch; the shared cache's single
+// flight is what turns same-shape neighbors into one compile.
+func (s *Service) runBatch(batch []*pendingRequest) {
+	s.batches.Add(1)
+	seen := make(map[uint64]bool, len(batch))
+	for _, pr := range batch {
+		fp := pr.req.Problem.Fingerprint()
+		if seen[fp] {
+			s.coalesced.Add(1)
+		}
+		seen[fp] = true
+	}
+
+	// Inline semaphore instead of exec.ForEachOrdered: replies go to
+	// per-request channels, so there is no shared consumer needing
+	// ordered delivery.
+	pinned := len(batch) > 1
+	sem := make(chan struct{}, s.paral)
+	var wg sync.WaitGroup
+	for _, pr := range batch {
+		wg.Add(1)
+		go func(pr *pendingRequest) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if err := pr.ctx.Err(); err != nil {
+				pr.done <- serviceOutcome{err: err}
+				return
+			}
+			res, err := s.solveOne(pr.ctx, pr.req, pinned)
+			pr.done <- serviceOutcome{res: res, err: err}
+		}(pr)
+	}
+	wg.Wait()
+}
+
+// solveOne dispatches one request to its backend. Option order: the
+// service defaults first, then the RESOLVED service cache (s.cache is
+// what NewService derived from those defaults — re-applying a
+// WithCache(nil) default must not disable the cache the constructor
+// documented it selects), then the request's own options, which can
+// override anything including the cache. pinned solves additionally
+// run their internal fan-out single-threaded: inside a multi-request
+// batch the batch-level bound is the parallelism budget, and letting
+// every solve fan out its own gauge batches would multiply workers to
+// P² (the same rule the harness applies to pooled QA tasks). Results
+// are identical either way — parallelism never changes outcomes.
+func (s *Service) solveOne(ctx context.Context, req Request, pinned bool) (*Result, error) {
+	name := req.Solver
+	if name == "" {
+		name = s.deflt
+	}
+	solver, err := s.resolve(name)
+	if err != nil {
+		return nil, err
+	}
+	opts := make([]Option, 0, len(s.defaults)+len(req.Options)+2)
+	opts = append(opts, s.defaults...)
+	opts = append(opts, WithCache(s.cache))
+	opts = append(opts, req.Options...)
+	if pinned {
+		opts = append(opts, WithParallelism(1))
+	}
+	return solver.Solve(ctx, req.Problem, opts...)
+}
+
+// Close stops admission, flushes the pending admission window, and
+// waits for every in-flight solve to finish. Subsequent Solve calls
+// return ErrServiceClosed; Close is idempotent.
+func (s *Service) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.inflight.Wait()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	// Drain whatever the open window holds; new arrivals are rejected.
+	s.flush()
+	s.inflight.Wait()
+	return nil
+}

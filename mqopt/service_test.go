@@ -1,0 +1,368 @@
+package mqopt
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// serviceResolver resolves the modeled-clock backends without going
+// through the registry (which lives above this package).
+func serviceResolver(name string) (Solver, error) {
+	switch name {
+	case "qa":
+		return NewQASolver(), nil
+	case "qa-series":
+		return NewQASeriesSolver(), nil
+	case "climb":
+		return NewHillClimbSolver(), nil
+	}
+	return nil, fmt.Errorf("test resolver: unknown solver %q", name)
+}
+
+// serviceProblem returns one paper-class instance, embeddable and big
+// enough that compilation dominates a short solve.
+func serviceProblem(t testing.TB, seed int64) *Problem {
+	t.Helper()
+	p, err := GenerateEmbeddable(seed, nil,
+		Class{Queries: 15, PlansPerQuery: 3}, DefaultGeneratorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// canonicalResult serializes a Result for byte-level comparison,
+// dropping the one wall-clock measurement field (PreprocessTime): it
+// reports how long the compile took to BUILD, which is measurement
+// metadata, not an outcome — everything the solve decided (solution,
+// cost, the full modeled-time incumbent trace, annealer artifacts) is
+// compared byte-for-byte.
+func canonicalResult(t testing.TB, res *Result) []byte {
+	t.Helper()
+	c := *res
+	if res.Annealer != nil {
+		a := *res.Annealer
+		a.PreprocessTime = 0
+		c.Annealer = &a
+	}
+	b, err := json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// serviceRequests is the fixed request set of the determinism tests:
+// two distinct shapes, both annealer backends, several seeds.
+func serviceRequests(t testing.TB) []Request {
+	pA := serviceProblem(t, 1)
+	pB := serviceProblem(t, 2)
+	var reqs []Request
+	for seed := int64(1); seed <= 3; seed++ {
+		reqs = append(reqs,
+			Request{Problem: pA, Solver: "qa", Options: []Option{
+				WithSeed(seed), WithAnnealingRuns(40), WithBudget(40 * 376 * time.Microsecond), WithParallelism(1),
+			}},
+			Request{Problem: pB, Solver: "qa-series", Options: []Option{
+				WithSeed(seed), WithAnnealingRuns(20), WithBudget(20 * 376 * time.Microsecond), WithParallelism(1),
+			}},
+		)
+	}
+	return reqs
+}
+
+// runService executes the fixed request set concurrently and returns
+// the canonical serialization of each result, in request order.
+func runService(t *testing.T, svc *Service, reqs []Request) [][]byte {
+	t.Helper()
+	out := make([][]byte, len(reqs))
+	var wg sync.WaitGroup
+	for i, req := range reqs {
+		wg.Add(1)
+		go func(i int, req Request) {
+			defer wg.Done()
+			res, err := svc.Solve(context.Background(), req)
+			if err != nil {
+				t.Errorf("request %d: %v", i, err)
+				return
+			}
+			out[i] = canonicalResult(t, res)
+		}(i, req)
+	}
+	wg.Wait()
+	return out
+}
+
+// TestServiceDeterministicAcrossBatchingAndCache is the service face of
+// the determinism contract: a fixed seed and request set produce
+// byte-identical results with cache on vs off and with batch window 0
+// vs 50 ms.
+func TestServiceDeterministicAcrossBatchingAndCache(t *testing.T) {
+	reqs := serviceRequests(t)
+
+	variants := []struct {
+		name string
+		mk   func() (*Service, error)
+		off  bool // disable the cache per request
+	}{
+		{name: "window0+cache", mk: func() (*Service, error) { return NewService(serviceResolver) }},
+		{name: "window50ms+cache", mk: func() (*Service, error) {
+			return NewService(serviceResolver, WithBatchWindow(50*time.Millisecond))
+		}},
+		{name: "window0+nocache", mk: func() (*Service, error) { return NewService(serviceResolver) }, off: true},
+		{name: "window50ms+nocache", mk: func() (*Service, error) {
+			return NewService(serviceResolver, WithBatchWindow(50*time.Millisecond))
+		}, off: true},
+	}
+
+	var baseline [][]byte
+	for _, v := range variants {
+		svc, err := v.mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		vreqs := reqs
+		if v.off {
+			vreqs = make([]Request, len(reqs))
+			for i, r := range reqs {
+				r.Options = append(append([]Option(nil), r.Options...), WithCache(nil))
+				vreqs[i] = r
+			}
+		}
+		got := runService(t, svc, vreqs)
+		if err := svc.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if v.off {
+			// The per-request escape hatch must have kept the shared
+			// cache untouched.
+			if st := svc.Stats().Cache; st.Misses != 0 || st.Hits != 0 {
+				t.Errorf("%s: cache was consulted despite WithCache(nil): %+v", v.name, st)
+			}
+		}
+		if baseline == nil {
+			baseline = got
+			continue
+		}
+		for i := range got {
+			if string(got[i]) != string(baseline[i]) {
+				t.Errorf("%s: request %d diverges from %s baseline\n got: %s\nwant: %s",
+					v.name, i, variants[0].name, got[i], baseline[i])
+			}
+		}
+	}
+}
+
+// TestServiceCoalescing: same-shape requests inside one admission
+// window are counted coalesced and compile exactly once.
+func TestServiceCoalescing(t *testing.T) {
+	svc, err := NewService(serviceResolver, WithBatchWindow(100*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	p := serviceProblem(t, 1)
+	const n = 8
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			_, err := svc.Solve(context.Background(), Request{Problem: p, Options: []Option{
+				WithSeed(seed), WithAnnealingRuns(5), WithBudget(time.Millisecond),
+			}})
+			if err != nil {
+				t.Errorf("seed %d: %v", seed, err)
+			}
+		}(int64(i + 1))
+	}
+	wg.Wait()
+	st := svc.Stats()
+	if st.Requests != n {
+		t.Errorf("Requests = %d, want %d", st.Requests, n)
+	}
+	if st.Batches == 0 || st.Batches > 2 {
+		// All 8 fire inside one 100 ms window on any sane machine; allow
+		// one window rollover of slack.
+		t.Errorf("Batches = %d, want 1 (or 2 with scheduler slack)", st.Batches)
+	}
+	if st.Coalesced < n-2 {
+		t.Errorf("Coalesced = %d, want ≥ %d", st.Coalesced, n-2)
+	}
+	if st.Cache.Misses != 1 {
+		t.Errorf("cache Misses = %d, want exactly 1 compile for one shape", st.Cache.Misses)
+	}
+	if st.InFlight != 0 {
+		t.Errorf("InFlight = %d after all replies, want 0", st.InFlight)
+	}
+}
+
+// throughputProblem is the repeated-shape benchmark configuration: a
+// 90-plan instance TRIAD-embedded on a 24×24 Chimera (the successor-
+// device scale), where the minor embedding dominates a short solve —
+// the regime the compilation cache exists for. One annealing run at a
+// fast surrogate profile keeps the sampled side honest but small.
+func throughputProblem(t testing.TB) (*Service, *Problem, func(seed int64, opts ...Option) Request) {
+	t.Helper()
+	topo := NewTopology(24, 24)
+	svc, err := NewService(serviceResolver, WithTopology(topo))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := GenerateEmbeddable(1, topo, Class{Queries: 45, PlansPerQuery: 2}, DefaultGeneratorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := func(seed int64, opts ...Option) Request {
+		return Request{Problem: p, Solver: "qa", Options: append([]Option{
+			WithSeed(seed), WithAnnealingRuns(1), WithBudget(time.Millisecond),
+			WithParallelism(1), WithEmbedding(EmbeddingTriad), WithAnnealingSweeps(4),
+		}, opts...)}
+	}
+	return svc, p, req
+}
+
+// TestServiceWarmThroughput pins the acceptance bar: on the
+// repeated-shape benchmark, warm-cache throughput is at least 5× the
+// cold path (cache disabled per request).
+func TestServiceWarmThroughput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("throughput measurement in -short mode")
+	}
+	svc, _, req := throughputProblem(t)
+	defer svc.Close()
+	const n = 30
+	ctx := context.Background()
+
+	measure := func(opts ...Option) time.Duration {
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			if _, err := svc.Solve(ctx, req(int64(i+1), opts...)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return time.Since(start)
+	}
+
+	// Prime the cache so the warm path never compiles, then measure
+	// warm before cold so a first-pass memory warm-up cannot flatter
+	// the warm number.
+	if _, err := svc.Solve(ctx, req(0)); err != nil {
+		t.Fatal(err)
+	}
+	warm := measure()
+	cold := measure(WithCache(nil))
+
+	speedup := float64(cold) / float64(warm)
+	t.Logf("repeated-shape throughput: cold %v, warm %v for %d requests (%.1fx)", cold, warm, n, speedup)
+	if speedup < 5 {
+		t.Errorf("warm-cache throughput %.1fx cold, want ≥ 5x", speedup)
+	}
+}
+
+func TestServiceClose(t *testing.T) {
+	svc, err := NewService(serviceResolver, WithBatchWindow(20*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := serviceProblem(t, 1)
+	// A request parked in the admission window must still complete when
+	// Close flushes it.
+	done := make(chan error, 1)
+	go func() {
+		_, err := svc.Solve(context.Background(), Request{Problem: p, Options: []Option{
+			WithSeed(1), WithAnnealingRuns(3), WithBudget(time.Millisecond),
+		}})
+		done <- err
+	}()
+	time.Sleep(5 * time.Millisecond) // let it enqueue
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Errorf("queued request failed across Close: %v", err)
+	}
+	if _, err := svc.Solve(context.Background(), Request{Problem: p}); !errors.Is(err, ErrServiceClosed) {
+		t.Errorf("Solve after Close: err = %v, want ErrServiceClosed", err)
+	}
+	if err := svc.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}
+
+func TestServiceErrors(t *testing.T) {
+	if _, err := NewService(nil); err == nil {
+		t.Error("NewService(nil resolver) succeeded")
+	}
+	svc, err := NewService(serviceResolver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	if _, err := svc.Solve(context.Background(), Request{}); err == nil {
+		t.Error("nil problem accepted")
+	}
+	p := serviceProblem(t, 1)
+	if _, err := svc.Solve(context.Background(), Request{Problem: p, Solver: "no-such"}); err == nil {
+		t.Error("unknown solver accepted")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := svc.Solve(ctx, Request{Problem: p}); !errors.Is(err, context.Canceled) {
+		t.Errorf("pre-cancelled ctx: err = %v, want context.Canceled", err)
+	}
+}
+
+// TestServiceCancelledWhileQueued: a request whose context dies inside
+// the admission window returns promptly with ctx.Err().
+func TestServiceCancelledWhileQueued(t *testing.T) {
+	svc, err := NewService(serviceResolver, WithBatchWindow(200*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	p := serviceProblem(t, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := svc.Solve(ctx, Request{Problem: p, Options: []Option{WithAnnealingRuns(3)}})
+		done <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(100 * time.Millisecond):
+		t.Error("cancelled request still blocked in the admission window")
+	}
+}
+
+// BenchmarkServiceColdPath / BenchmarkServiceWarmPath are the
+// repeated-shape service benchmarks behind the BENCH trajectory: one
+// shape, one-run solves, with and without the compilation cache.
+func benchmarkService(b *testing.B, opts ...Option) {
+	svc, _, req := throughputProblem(b)
+	defer svc.Close()
+	ctx := context.Background()
+	if _, err := svc.Solve(ctx, req(0)); err != nil { // prime
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := svc.Solve(ctx, req(int64(i+1), opts...)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkServiceColdPath(b *testing.B) { benchmarkService(b, WithCache(nil)) }
+func BenchmarkServiceWarmPath(b *testing.B) { benchmarkService(b) }
