@@ -1,0 +1,158 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+)
+
+// DiffRow is one benchmark compared across two trajectory points.
+type DiffRow struct {
+	Package string
+	Name    string
+	OldNs   float64
+	NewNs   float64
+	// DeltaPct is the ns/op change in percent (positive = slower).
+	DeltaPct float64
+	// Regression marks rows whose slowdown exceeds the threshold.
+	Regression bool
+}
+
+// Diff compares two trajectory points benchmark-by-benchmark (matched
+// on package+name) and flags ns/op regressions beyond thresholdPct. The
+// benchstat idea without the statistics: CI runs -benchtime=1x on
+// shared runners, so the gate is a loud marker in the step summary, not
+// a hard failure — a human decides whether 1.3× on BenchmarkCompile is
+// noise or a lost optimization.
+func Diff(old, cur *Trajectory, thresholdPct float64) []DiffRow {
+	prev := map[string]Benchmark{}
+	for _, b := range old.Benchmarks {
+		prev[b.Package+"\x00"+b.Name] = b
+	}
+	var rows []DiffRow
+	for _, b := range cur.Benchmarks {
+		o, ok := prev[b.Package+"\x00"+b.Name]
+		if !ok || o.NsPerOp <= 0 || b.NsPerOp <= 0 {
+			continue
+		}
+		delta := 100 * (b.NsPerOp - o.NsPerOp) / o.NsPerOp
+		rows = append(rows, DiffRow{
+			Package:    b.Package,
+			Name:       b.Name,
+			OldNs:      o.NsPerOp,
+			NewNs:      b.NsPerOp,
+			DeltaPct:   delta,
+			Regression: delta > thresholdPct,
+		})
+	}
+	// Worst slowdowns first so the summary leads with what matters.
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].DeltaPct != rows[j].DeltaPct {
+			return rows[i].DeltaPct > rows[j].DeltaPct
+		}
+		if rows[i].Package != rows[j].Package {
+			return rows[i].Package < rows[j].Package
+		}
+		return rows[i].Name < rows[j].Name
+	})
+	return rows
+}
+
+// writeDiffSummary renders the comparison as markdown: a headline count
+// of regressions, then the full table with flagged rows.
+func writeDiffSummary(w io.Writer, old, cur *Trajectory, rows []DiffRow, thresholdPct float64) error {
+	shorten := func(s string) string {
+		if len(s) > 12 {
+			return s[:12]
+		}
+		return s
+	}
+	fmt.Fprintf(w, "### Benchmark regression check: %s → %s (threshold %+.0f%% ns/op)\n\n",
+		shorten(old.Commit), shorten(cur.Commit), thresholdPct)
+	if len(rows) == 0 {
+		_, err := fmt.Fprintln(w, "_no comparable benchmarks between the two points_")
+		return err
+	}
+	regressions := 0
+	for _, r := range rows {
+		if r.Regression {
+			regressions++
+		}
+	}
+	if regressions > 0 {
+		fmt.Fprintf(w, "⚠️ **%d benchmark(s) regressed more than %.0f%%:**\n\n", regressions, thresholdPct)
+		for _, r := range rows {
+			if r.Regression {
+				fmt.Fprintf(w, "- `%s` %s: %.0f → %.0f ns/op (%+.1f%%)\n", r.Package, r.Name, r.OldNs, r.NewNs, r.DeltaPct)
+			}
+		}
+		fmt.Fprintln(w)
+	} else {
+		fmt.Fprintln(w, "✅ no ns/op regression beyond the threshold")
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, "| package | benchmark | old ns/op | new ns/op | Δ | |")
+	fmt.Fprintln(w, "|---|---|---:|---:|---:|---|")
+	for _, r := range rows {
+		flag := ""
+		if r.Regression {
+			flag = "⚠️"
+		}
+		fmt.Fprintf(w, "| %s | %s | %.0f | %.0f | %+.1f%% | %s |\n", r.Package, r.Name, r.OldNs, r.NewNs, r.DeltaPct, flag)
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// readTrajectory loads a BENCH_<sha>.json file.
+func readTrajectory(path string) (*Trajectory, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var t Trajectory
+	if err := json.Unmarshal(data, &t); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &t, nil
+}
+
+// runDiff is the -old/-new entry point; it returns the regression count
+// so main can turn it into an exit code under -fail-on-regression.
+func runDiff(oldPath, newPath string, thresholdPct float64, summaryPath string) (int, error) {
+	old, err := readTrajectory(oldPath)
+	if err != nil {
+		return 0, err
+	}
+	cur, err := readTrajectory(newPath)
+	if err != nil {
+		return 0, err
+	}
+	if math.IsNaN(thresholdPct) {
+		return 0, fmt.Errorf("-threshold must be a number")
+	}
+	rows := Diff(old, cur, thresholdPct)
+	if err := writeDiffSummary(os.Stdout, old, cur, rows, thresholdPct); err != nil {
+		return 0, err
+	}
+	if summaryPath != "" {
+		f, err := os.OpenFile(summaryPath, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			return 0, err
+		}
+		defer f.Close()
+		if err := writeDiffSummary(f, old, cur, rows, thresholdPct); err != nil {
+			return 0, err
+		}
+	}
+	n := 0
+	for _, r := range rows {
+		if r.Regression {
+			n++
+		}
+	}
+	return n, nil
+}

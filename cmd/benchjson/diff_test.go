@@ -1,0 +1,100 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func trajFixture(commit string, ns map[string]float64) *Trajectory {
+	t := &Trajectory{Commit: commit, GoVersion: "go1.24", GOOS: "linux", GOARCH: "amd64"}
+	for name, v := range ns {
+		t.Benchmarks = append(t.Benchmarks, Benchmark{Package: "repro", Name: name, Iterations: 1, NsPerOp: v})
+	}
+	return t
+}
+
+func TestDiffFlagsRegressions(t *testing.T) {
+	old := trajFixture("aaaa", map[string]float64{
+		"BenchmarkCompile": 1000, "BenchmarkSolve": 500, "BenchmarkDropped": 10,
+	})
+	cur := trajFixture("bbbb", map[string]float64{
+		"BenchmarkCompile": 1300, "BenchmarkSolve": 510, "BenchmarkNew": 42,
+	})
+	rows := Diff(old, cur, 20)
+	if len(rows) != 2 {
+		t.Fatalf("got %d comparable rows, want 2 (dropped/new benchmarks excluded)", len(rows))
+	}
+	if rows[0].Name != "BenchmarkCompile" || !rows[0].Regression {
+		t.Fatalf("worst row = %+v, want flagged BenchmarkCompile", rows[0])
+	}
+	if rows[0].DeltaPct < 29 || rows[0].DeltaPct > 31 {
+		t.Fatalf("delta = %v, want ~30%%", rows[0].DeltaPct)
+	}
+	if rows[1].Regression {
+		t.Fatalf("2%% slowdown flagged as regression: %+v", rows[1])
+	}
+}
+
+func TestDiffNoRegressionOnSpeedup(t *testing.T) {
+	old := trajFixture("aaaa", map[string]float64{"BenchmarkCompile": 1000})
+	cur := trajFixture("bbbb", map[string]float64{"BenchmarkCompile": 100})
+	rows := Diff(old, cur, 20)
+	if len(rows) != 1 || rows[0].Regression {
+		t.Fatalf("10x speedup flagged: %+v", rows)
+	}
+}
+
+func TestWriteDiffSummaryMarkdown(t *testing.T) {
+	old := trajFixture("aaaaaaaaaaaaaaaa", map[string]float64{"BenchmarkCompile": 1000})
+	cur := trajFixture("bbbbbbbbbbbbbbbb", map[string]float64{"BenchmarkCompile": 1500})
+	rows := Diff(old, cur, 20)
+	var buf bytes.Buffer
+	if err := writeDiffSummary(&buf, old, cur, rows, 20); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"aaaaaaaaaaaa → bbbbbbbbbbbb", "1 benchmark(s) regressed", "+50.0%", "⚠️"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunDiffEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, traj *Trajectory) string {
+		data, err := json.Marshal(traj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	oldP := write("old.json", trajFixture("aaaa", map[string]float64{"BenchmarkCompile": 1000}))
+	newP := write("new.json", trajFixture("bbbb", map[string]float64{"BenchmarkCompile": 1500}))
+	summary := filepath.Join(dir, "summary.md")
+	n, err := runDiff(oldP, newP, 20, summary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("regression count = %d, want 1", n)
+	}
+	data, err := os.ReadFile(summary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "regressed") {
+		t.Fatalf("summary file missing regression note:\n%s", data)
+	}
+	if _, err := runDiff(filepath.Join(dir, "missing.json"), newP, 20, ""); err == nil {
+		t.Fatal("missing old file did not error")
+	}
+}

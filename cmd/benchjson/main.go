@@ -64,7 +64,25 @@ func main() {
 	in := flag.String("in", "-", "go test -json input (- for stdin)")
 	out := flag.String("out", "-", "output file (- for stdout)")
 	summary := flag.String("summary", "", "markdown summary appended to this file (e.g. $GITHUB_STEP_SUMMARY)")
+	oldPath := flag.String("old", "", "diff mode: previous BENCH_<sha>.json to compare against")
+	newPath := flag.String("new", "", "diff mode: current BENCH_<sha>.json")
+	threshold := flag.Float64("threshold", 20, "diff mode: ns/op slowdown (percent) flagged as a regression")
+	failOnRegression := flag.Bool("fail-on-regression", false, "diff mode: exit 1 when a regression exceeds the threshold")
 	flag.Parse()
+
+	if *oldPath != "" || *newPath != "" {
+		if *oldPath == "" || *newPath == "" {
+			fatal(fmt.Errorf("diff mode needs both -old and -new"))
+		}
+		regressions, err := runDiff(*oldPath, *newPath, *threshold, *summary)
+		if err != nil {
+			fatal(err)
+		}
+		if regressions > 0 && *failOnRegression {
+			os.Exit(1)
+		}
+		return
+	}
 
 	r := io.Reader(os.Stdin)
 	if *in != "-" {

@@ -27,7 +27,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "fig4|fig5|fig6|fig7|table1|throughput|all")
+	experiment := flag.String("experiment", "all", "fig4|fig5|fig6|fig7|table1|throughput|topology|all")
 	instances := flag.Int("instances", 3, "instances per class (paper: 20)")
 	budget := flag.Duration("budget", 2*time.Second, "classical solver budget (paper: 100s)")
 	runs := flag.Int("runs", 1000, "annealing runs per instance (paper: 1000)")
@@ -64,6 +64,11 @@ func main() {
 		os.Exit(1)
 	}
 }
+
+// topologyClass is the workload of the topology panel: 16 plans keep
+// the complete-graph pattern within every kind's embedder envelope
+// while the chain-length contrast (TRIAD vs greedy) stays visible.
+var topologyClass = mqopt.Class{Queries: 8, PlansPerQuery: 2}
 
 func run(ctx context.Context, cfg bench.Config, experiment string, w io.Writer) error {
 	classFig4 := mqopt.Class{Queries: 537, PlansPerQuery: 2}
@@ -108,6 +113,13 @@ func run(ctx context.Context, cfg bench.Config, experiment string, w io.Writer) 
 		}
 		bench.RenderThroughput(w, res)
 		return nil
+	case "topology":
+		rows, err := bench.RunTopology(ctx, cfg, topologyClass)
+		if err != nil {
+			return err
+		}
+		bench.RenderTopology(w, topologyClass, rows)
+		return nil
 	case "table1":
 		rows, err := bench.RunTable1(ctx, cfg, bench.PaperClasses)
 		if err != nil {
@@ -143,6 +155,13 @@ func run(ctx context.Context, cfg bench.Config, experiment string, w io.Writer) 
 			return err
 		}
 		bench.RenderThroughput(w, tres)
+		fmt.Fprintln(w)
+		fmt.Fprintln(w, "=== Topology panel (Chimera vs Pegasus vs Zephyr) ===")
+		trows, err := bench.RunTopology(ctx, cfg, topologyClass)
+		if err != nil {
+			return err
+		}
+		bench.RenderTopology(w, topologyClass, trows)
 		return nil
 	default:
 		return fmt.Errorf("unknown experiment %q", experiment)

@@ -1,18 +1,24 @@
 // Command mqo-embed inspects the physical mapping machinery: it renders
-// the Chimera hardware graph (a textual Figure 1), reports TRIAD pattern
-// sizes (Figure 2), and shows clustered-embedding footprints and
-// capacities (Figure 3 and the qubit analysis of Section 6).
+// the hardware graph of any registered topology (a textual Figure 1),
+// reports complete-graph pattern footprints (TRIAD on Chimera, the
+// greedy path pattern on Pegasus/Zephyr), and shows clustered-embedding
+// footprints and capacities (Figure 3 and the qubit analysis of
+// Section 6). Every embedding report ends in a chain-length histogram —
+// the distribution, not raw chains, is what predicts read-out quality.
 //
 // Usage:
 //
-//	mqo-embed -show-graph -broken 55
+//	mqo-embed -show-graph -faults 55
+//	mqo-embed -topology pegasus -show-graph -faults 55
 //	mqo-embed -triad 5,8,12
-//	mqo-embed -clusters 4 -plans 8
+//	mqo-embed -topology zephyr -embed 16
+//	mqo-embed -topology pegasus -clusters 4 -plans 8
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -20,32 +26,70 @@ import (
 	"repro/mqopt"
 )
 
+// options collects one invocation's flags, so tests drive run directly.
+type options struct {
+	topology  string
+	dims      string
+	showGraph bool
+	faults    int
+	broken    int
+	seed      int64
+	triad     string
+	embed     int
+	clusters  int
+	plans     int
+}
+
 func main() {
-	showGraph := flag.Bool("show-graph", false, "render the hardware graph cells")
-	broken := flag.Int("broken", 0, "broken qubits (paper machine: 55)")
-	seed := flag.Int64("seed", 42, "fault map seed")
-	triad := flag.String("triad", "", "comma-separated TRIAD sizes to report, e.g. 5,8,12")
-	clusters := flag.Int("clusters", 0, "number of clusters for a clustered embedding report")
-	plans := flag.Int("plans", 4, "plans per cluster")
+	opts := options{}
+	flag.StringVar(&opts.topology, "topology", "chimera",
+		"hardware topology kind: chimera|pegasus|zephyr")
+	flag.StringVar(&opts.dims, "dims", "", "unit-cell grid as RxC (default: the paper-scale 12x12)")
+	flag.BoolVar(&opts.showGraph, "show-graph", false, "render the hardware graph cells")
+	flag.IntVar(&opts.faults, "faults", 0, "broken qubits injected deterministically (paper machine: 55)")
+	flag.IntVar(&opts.broken, "broken", 0, "deprecated alias of -faults")
+	flag.Int64Var(&opts.seed, "seed", 42, "fault map seed")
+	flag.StringVar(&opts.triad, "triad", "", "comma-separated TRIAD sizes to report, e.g. 5,8,12")
+	flag.IntVar(&opts.embed, "embed", 0,
+		"embed a complete graph over this many variables with the topology's native pattern and report its footprint")
+	flag.IntVar(&opts.clusters, "clusters", 0, "number of clusters for a clustered embedding report")
+	flag.IntVar(&opts.plans, "plans", 4, "plans per cluster")
 	flag.Parse()
 
-	if err := run(*showGraph, *broken, *seed, *triad, *clusters, *plans); err != nil {
+	if err := run(opts, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "mqo-embed:", err)
 		os.Exit(1)
 	}
 }
 
-func run(showGraph bool, broken int, seed int64, triad string, clusters, plans int) error {
-	t := mqopt.DWave2X(broken, seed)
+func run(opts options, w io.Writer) error {
+	rows, cols, err := mqopt.ParseGridDims(opts.dims)
+	if err != nil {
+		return fmt.Errorf("-dims: %w", err)
+	}
+	t, err := mqopt.NewTopologyOf(opts.topology, rows, cols)
+	if err != nil {
+		return err
+	}
+	faults := opts.faults
+	if faults == 0 {
+		faults = opts.broken
+	}
+	if faults > 0 {
+		t.BreakRandomQubits(faults, opts.seed)
+	}
+
 	did := false
-	if showGraph {
-		fmt.Print(t.Render())
+	if opts.showGraph {
+		fmt.Fprint(w, t.Render())
 		did = true
 	}
-	if triad != "" {
-		fmt.Println("TRIAD pattern (Choi): chains of length m+1 for m = ⌈n/4⌉")
-		fmt.Printf("%-10s %8s %12s %16s\n", "variables", "size m", "qubits", "qubits/variable")
-		for _, part := range strings.Split(triad, ",") {
+	if opts.triad != "" {
+		fmt.Fprintln(w, "TRIAD pattern (Choi): chains of length m+1 for m = ⌈n/4⌉")
+		fmt.Fprintf(w, "%-10s %8s %12s %16s\n", "variables", "size m", "qubits", "qubits/variable")
+		var reps []*mqopt.EmbeddingReport
+		var sizes []int
+		for _, part := range strings.Split(opts.triad, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(part))
 			if err != nil {
 				return fmt.Errorf("bad TRIAD size %q", part)
@@ -54,28 +98,62 @@ func run(showGraph bool, broken int, seed int64, triad string, clusters, plans i
 			if err != nil {
 				return err
 			}
-			fmt.Printf("%-10d %8d %12d %16.2f\n", n, rep.ChainSize, rep.Qubits, rep.QubitsPerVariable)
+			fmt.Fprintf(w, "%-10d %8d %12d %16.2f\n", n, rep.ChainSize, rep.Qubits, rep.QubitsPerVariable)
+			reps = append(reps, rep)
+			sizes = append(sizes, n)
+		}
+		for i, rep := range reps {
+			fmt.Fprintf(w, "chain lengths for %d variables:\n", sizes[i])
+			renderHistogram(w, rep)
 		}
 		did = true
 	}
-	if clusters > 0 {
-		sizes := make([]int, clusters)
+	if opts.embed > 0 {
+		rep, err := mqopt.CompleteGraphReport(t, opts.embed)
+		if err != nil {
+			return err
+		}
+		pattern := "greedy path"
+		if rep.ChainSize > 0 {
+			pattern = fmt.Sprintf("TRIAD (m=%d)", rep.ChainSize)
+		}
+		fmt.Fprintf(w, "Complete graph K_%d on %s (%s pattern)\n", opts.embed, t.Kind(), pattern)
+		fmt.Fprintf(w, "qubits used:        %d\n", rep.Qubits)
+		fmt.Fprintf(w, "qubits/variable:    %.2f\n", rep.QubitsPerVariable)
+		fmt.Fprintf(w, "max chain length:   %d\n", rep.MaxChainLength)
+		fmt.Fprintln(w, "chain lengths:")
+		renderHistogram(w, rep)
+		did = true
+	}
+	if opts.clusters > 0 {
+		sizes := make([]int, opts.clusters)
 		for i := range sizes {
-			sizes[i] = plans
+			sizes[i] = opts.plans
 		}
 		rep, err := mqopt.ClusteredReport(t, sizes)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("Clustered embedding: %d clusters × %d plans\n", clusters, plans)
-		fmt.Printf("qubits used:        %d\n", rep.Qubits)
-		fmt.Printf("qubits/variable:    %.2f\n", rep.QubitsPerVariable)
-		fmt.Printf("max chain length:   %d\n", rep.MaxChainLength)
-		fmt.Printf("graph capacity:     %d clusters of this size\n", mqopt.ClusterCapacity(t, plans))
+		fmt.Fprintf(w, "Clustered embedding: %d clusters × %d plans on %s\n", opts.clusters, opts.plans, t.Kind())
+		fmt.Fprintf(w, "qubits used:        %d\n", rep.Qubits)
+		fmt.Fprintf(w, "qubits/variable:    %.2f\n", rep.QubitsPerVariable)
+		fmt.Fprintf(w, "max chain length:   %d\n", rep.MaxChainLength)
+		fmt.Fprintf(w, "graph capacity:     %d clusters of this size\n", mqopt.ClusterCapacity(t, opts.plans))
+		fmt.Fprintln(w, "chain lengths:")
+		renderHistogram(w, rep)
 		did = true
 	}
 	if !did {
 		flag.Usage()
 	}
 	return nil
+}
+
+// renderHistogram prints the chain-length distribution of a report as
+// one bar row per length.
+func renderHistogram(w io.Writer, rep *mqopt.EmbeddingReport) {
+	for _, l := range rep.HistogramLengths() {
+		count := rep.ChainLengths[l]
+		fmt.Fprintf(w, "  %3d qubits │%s %d\n", l, strings.Repeat("█", count), count)
+	}
 }

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunTriadHistogram(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(options{topology: "chimera", triad: "8,12", plans: 4}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "TRIAD pattern") {
+		t.Fatalf("missing TRIAD header:\n%s", out)
+	}
+	if !strings.Contains(out, "chain lengths for 8 variables:") ||
+		!strings.Contains(out, "qubits │") {
+		t.Fatalf("missing chain-length histogram:\n%s", out)
+	}
+}
+
+func TestRunEmbedOnDenseTopologies(t *testing.T) {
+	for _, kind := range []string{"pegasus", "zephyr"} {
+		var buf bytes.Buffer
+		if err := run(options{topology: kind, embed: 12, plans: 4}, &buf); err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		out := buf.String()
+		if !strings.Contains(out, "greedy path pattern") {
+			t.Fatalf("%s: expected greedy pattern report:\n%s", kind, out)
+		}
+		if !strings.Contains(out, "chain lengths:") {
+			t.Fatalf("%s: missing histogram:\n%s", kind, out)
+		}
+	}
+	// Chimera K_n uses TRIAD.
+	var buf bytes.Buffer
+	if err := run(options{topology: "chimera", embed: 12, plans: 4}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "TRIAD (m=3) pattern") {
+		t.Fatalf("chimera K_12 did not report TRIAD:\n%s", buf.String())
+	}
+}
+
+func TestRunShowGraphWithFaults(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(options{topology: "pegasus", showGraph: true, faults: 55, seed: 42, plans: 4}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "Pegasus 12x12 (1152 qubits, 1097 working") {
+		t.Fatalf("unexpected render header:\n%s", strings.SplitN(buf.String(), "\n", 2)[0])
+	}
+	// -broken keeps working as a deprecated alias.
+	var legacy bytes.Buffer
+	if err := run(options{topology: "pegasus", showGraph: true, broken: 55, seed: 42, plans: 4}, &legacy); err != nil {
+		t.Fatal(err)
+	}
+	if legacy.String() != buf.String() {
+		t.Fatal("-broken alias diverges from -faults")
+	}
+}
+
+func TestRunClusteredReport(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(options{topology: "zephyr", clusters: 4, plans: 5}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Clustered embedding: 4 clusters × 5 plans on zephyr") {
+		t.Fatalf("missing clustered header:\n%s", out)
+	}
+	if !strings.Contains(out, "graph capacity:") {
+		t.Fatalf("missing capacity line:\n%s", out)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run(options{topology: "moebius"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("unknown topology did not error")
+	}
+	if err := run(options{topology: "chimera", dims: "12"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("malformed dims did not error")
+	}
+	if err := run(options{topology: "chimera", triad: "x"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("bad triad size did not error")
+	}
+}

@@ -106,8 +106,13 @@ type solveRequest struct {
 	// Metropolis sweeps.
 	Runs   int `json:"runs,omitempty"`
 	Sweeps int `json:"sweeps,omitempty"`
-	// Embedding selects auto, clustered, or triad.
+	// Embedding selects auto, clustered, triad, or greedy.
 	Embedding string `json:"embedding,omitempty"`
+	// Topology selects the annealer hardware graph for qa backends:
+	// chimera (default), pegasus, or zephyr. TopologyDims optionally
+	// gives the unit-cell grid as [rows, cols] (default 12×12).
+	Topology     string `json:"topology,omitempty"`
+	TopologyDims []int  `json:"topology_dims,omitempty"`
 	// Members names portfolio members (solver "portfolio").
 	Members []string `json:"members,omitempty"`
 	// Target stops the solve early at this cost.
@@ -251,6 +256,20 @@ func buildRequest(req solveRequest) (mqopt.Request, error) {
 	}
 	if req.Embedding != "" {
 		opts = append(opts, mqopt.WithEmbedding(mqopt.Embedding(req.Embedding)))
+	}
+	if req.Topology != "" || len(req.TopologyDims) > 0 {
+		kind := req.Topology
+		if kind == "" {
+			kind = "chimera"
+		}
+		if len(req.TopologyDims) != 0 && len(req.TopologyDims) != 2 {
+			return mqopt.Request{}, fmt.Errorf("topology_dims must be [rows, cols], got %v", req.TopologyDims)
+		}
+		// Resolve eagerly so an unknown kind is a 400, not a failed solve.
+		if _, err := mqopt.NewTopologyOf(kind, 1, 1); err != nil {
+			return mqopt.Request{}, err
+		}
+		opts = append(opts, mqopt.WithTopology(kind, req.TopologyDims...))
 	}
 	if len(req.Members) > 0 {
 		opts = append(opts, mqopt.WithPortfolio(req.Members...))

@@ -232,3 +232,45 @@ func TestBatchedEndpoint(t *testing.T) {
 		t.Errorf("no coalescing across %d concurrent same-shape requests: %+v", n, st)
 	}
 }
+
+// TestSolveEndpointTopology: per-request topology selection over the
+// wire — pegasus solves deterministically, unknown kinds and malformed
+// dims map to 400.
+func TestSolveEndpointTopology(t *testing.T) {
+	srv, _ := testServer(t)
+	inst := instanceJSON(t)
+
+	body := fmt.Sprintf(`{"problem": %s, "solver": "qa", "seed": 7, "budget": "8ms", "runs": 20, "topology": "pegasus"}`, inst)
+	resp1, data1 := postSolve(t, srv.URL, body)
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp1.StatusCode, data1)
+	}
+	var out solveResponse
+	if err := json.Unmarshal(data1, &out); err != nil {
+		t.Fatalf("bad response JSON: %v", err)
+	}
+	if out.Solver != "QA" || len(out.Solution) != 8 {
+		t.Fatalf("unexpected response: %+v", out)
+	}
+	// Deterministic across repeats (the second run is a cache hit).
+	_, data2 := postSolve(t, srv.URL, body)
+	if !bytes.Equal(data1, data2) {
+		t.Fatal("repeated pegasus request bodies differ")
+	}
+	// Explicit dims agree with the default grid.
+	withDims := fmt.Sprintf(`{"problem": %s, "solver": "qa", "seed": 7, "budget": "8ms", "runs": 20, "topology": "pegasus", "topology_dims": [12, 12]}`, inst)
+	_, data3 := postSolve(t, srv.URL, withDims)
+	if !bytes.Equal(data1, data3) {
+		t.Fatal("explicit 12x12 dims diverge from the default grid")
+	}
+
+	for _, bad := range []string{
+		fmt.Sprintf(`{"problem": %s, "topology": "moebius"}`, inst),
+		fmt.Sprintf(`{"problem": %s, "topology": "pegasus", "topology_dims": [12]}`, inst),
+	} {
+		resp, data := postSolve(t, srv.URL, bad)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("bad topology request got status %d: %s", resp.StatusCode, data)
+		}
+	}
+}

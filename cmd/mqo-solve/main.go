@@ -6,6 +6,7 @@
 //	mqo-gen -queries 50 -plans 3 | mqo-solve -solver qa
 //	mqo-solve -in instance.json -solver lin-mqo -budget 10s
 //	mqo-solve -in instance.json -solver portfolio -members qa,climb,ga50
+//	mqo-solve -in instance.json -solver qa -topology pegasus -broken 55
 //	mqo-solve -list-solvers
 package main
 
@@ -27,15 +28,19 @@ import (
 
 // options collects one invocation's flags, so tests drive run directly.
 type options struct {
-	in      string
-	solver  string
-	members string
-	budget  time.Duration
-	seed    int64
-	target  float64
-	paral   int
-	cache   string
-	verbose bool
+	in       string
+	solver   string
+	members  string
+	budget   time.Duration
+	seed     int64
+	target   float64
+	paral    int
+	cache    string
+	topology string
+	topoDims string
+	broken   int
+	faultSed int64
+	verbose  bool
 }
 
 func main() {
@@ -52,6 +57,14 @@ func main() {
 		"worker count for annealer gauge batches and racing portfolio members (without -target, output is identical at any value)")
 	flag.StringVar(&opts.cache, "cache", "on",
 		"compilation cache: on|off (output is identical either way; off recompiles per solve — the escape hatch for memory-constrained runs)")
+	flag.StringVar(&opts.topology, "topology", "",
+		"annealer hardware topology for qa backends: chimera|pegasus|zephyr (default: the paper's chimera D-Wave 2X)")
+	flag.StringVar(&opts.topoDims, "topo-dims", "",
+		"topology unit-cell grid as RxC, e.g. 12x12 (default: the paper-scale 12x12)")
+	flag.IntVar(&opts.broken, "broken", 0,
+		"broken qubits injected into the topology (paper machine: 55)")
+	flag.Int64Var(&opts.faultSed, "fault-seed", 42,
+		"seed of the deterministic fault-map draw used with -broken")
 	flag.BoolVar(&opts.verbose, "v", false, "print the anytime trace")
 	listSolvers := flag.Bool("list-solvers", false, "list registered solvers and exit")
 	flag.Parse()
@@ -70,6 +83,32 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mqo-solve:", err)
 		os.Exit(1)
 	}
+}
+
+// resolveTopology materializes the -topology/-topo-dims/-broken flags
+// into a Topology, or nil when every flag is at its default (the solve
+// then runs on the facade's default fault-free D-Wave 2X, keeping the
+// historical output byte-identical).
+func resolveTopology(opts options) (*mqopt.Topology, error) {
+	if opts.topology == "" && opts.topoDims == "" && opts.broken == 0 {
+		return nil, nil
+	}
+	kind := opts.topology
+	if kind == "" {
+		kind = "chimera"
+	}
+	rows, cols, err := mqopt.ParseGridDims(opts.topoDims)
+	if err != nil {
+		return nil, fmt.Errorf("-topo-dims: %w", err)
+	}
+	topo, err := mqopt.NewTopologyOf(kind, rows, cols)
+	if err != nil {
+		return nil, err
+	}
+	if opts.broken > 0 {
+		topo.BreakRandomQubits(opts.broken, opts.faultSed)
+	}
+	return topo, nil
 }
 
 func run(ctx context.Context, opts options, out io.Writer) error {
@@ -101,6 +140,13 @@ func run(ctx context.Context, opts options, out io.Writer) error {
 	default:
 		return fmt.Errorf("-cache must be on or off, got %q", opts.cache)
 	}
+	topo, err := resolveTopology(opts)
+	if err != nil {
+		return err
+	}
+	if topo != nil {
+		solveOpts = append(solveOpts, mqopt.WithTopologyGraph(topo))
+	}
 	if opts.members != "" {
 		solveOpts = append(solveOpts, mqopt.WithPortfolio(strings.Split(opts.members, ",")...))
 	}
@@ -118,6 +164,14 @@ func run(ctx context.Context, opts options, out io.Writer) error {
 		fmt.Fprintf(os.Stderr, "mqo-solve: %v; reporting the best incumbent found\n", err)
 	}
 
+	// Classical solvers ignore the topology option entirely; printing
+	// the line for them would assert hardware that played no part in
+	// the solve.
+	if topo != nil && (res.Annealer != nil || res.Decomposition != nil || res.Portfolio != nil) {
+		rows, cols := topo.Dims()
+		fmt.Fprintf(out, "topology: %s %dx%d (%d/%d qubits working)\n",
+			topo.Kind(), rows, cols, topo.NumWorkingQubits(), topo.NumQubits())
+	}
 	fmt.Fprintf(out, "solver: %s\ncost: %g\n", res.Solver, res.Cost)
 	if d := res.Decomposition; d != nil {
 		fmt.Fprintf(out, "windows: %d\nsweeps: %d\n", d.Windows, d.Sweeps)

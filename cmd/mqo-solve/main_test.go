@@ -63,6 +63,24 @@ func goldenCases() []goldenCase {
 				paral: 2, verbose: true,
 			},
 		},
+		{
+			Name:        "qa-pegasus",
+			Description: "annealer pipeline on the Pegasus topology (degree ≤ 15), 20 ms modeled budget",
+			Opts: options{
+				in: "testdata/instance.json", solver: "qa",
+				budget: 20 * time.Millisecond, seed: 7, target: math.NaN(),
+				paral: 2, topology: "pegasus", verbose: true,
+			},
+		},
+		{
+			Name:        "qa-zephyr",
+			Description: "annealer pipeline on a faulty Zephyr topology (degree ≤ 20, 30 broken qubits)",
+			Opts: options{
+				in: "testdata/instance.json", solver: "qa",
+				budget: 20 * time.Millisecond, seed: 7, target: math.NaN(),
+				paral: 2, topology: "zephyr", broken: 30, faultSed: 42, verbose: true,
+			},
+		},
 	}
 }
 

@@ -15,11 +15,18 @@ import (
 	"strings"
 )
 
+// Kind is the topology registry name of the Chimera graph.
+const Kind = "chimera"
+
 // CellSize is the number of qubits per unit cell.
 const CellSize = 8
 
 // Half is the number of qubits per colon (half-cell).
 const Half = 4
+
+// MaxDegree is the coupler bound of the Chimera topology: four intra-cell
+// couplers (K4,4) plus two inter-cell couplers per qubit.
+const MaxDegree = 6
 
 // Graph is a Chimera topology of Rows×Cols unit cells with an optional
 // fault map. Qubit i lives in cell (i/8) with in-cell index i%8; in-cell
@@ -43,6 +50,15 @@ func NewGraph(rows, cols int) *Graph {
 		brokenCoupler: make(map[[2]int]bool),
 	}
 }
+
+// Kind identifies the topology family in registries and fingerprints.
+func (g *Graph) Kind() string { return Kind }
+
+// Dims returns the unit-cell grid dimensions.
+func (g *Graph) Dims() (rows, cols int) { return g.Rows, g.Cols }
+
+// MaxDegree returns the topology's coupler bound per qubit.
+func (g *Graph) MaxDegree() int { return MaxDegree }
 
 // NumQubits returns the total qubit count including broken ones.
 func (g *Graph) NumQubits() int { return g.Rows * g.Cols * CellSize }

@@ -1,30 +1,34 @@
 package chimera
 
 import (
-	"encoding/binary"
-	"hash/fnv"
 	"io"
 	"sort"
+
+	"repro/internal/hashutil"
 )
 
-// HashInto streams a canonical binary encoding of the topology — grid
-// dimensions plus the fault map in sorted order — into w. Two Graph
-// values describing the same hardware (same size, same broken qubits
-// and couplers) produce identical streams even when constructed
+// HashInto streams a canonical binary encoding of the topology — the
+// kind tag, grid dimensions, and the fault map in sorted order — into w.
+// Two Graph values describing the same hardware (same size, same broken
+// qubits and couplers) produce identical streams even when constructed
 // independently, so per-request topology construction still lands on
-// the same compilation-cache entries.
+// the same compilation-cache entries. The kind tag keeps Chimera
+// fingerprints disjoint from every other topology's: a Pegasus graph of
+// identical dimensions and faults can never collide onto a Chimera
+// cache entry.
 func (g *Graph) HashInto(w io.Writer) {
-	writeU64(w, uint64(int64(g.Rows)))
-	writeU64(w, uint64(int64(g.Cols)))
+	hashutil.WriteString(w, Kind)
+	hashutil.WriteInt(w, g.Rows)
+	hashutil.WriteInt(w, g.Cols)
 	var broken []int
 	for q, b := range g.brokenQubit {
 		if b {
 			broken = append(broken, q)
 		}
 	}
-	writeU64(w, uint64(len(broken)))
+	hashutil.WriteInt(w, len(broken))
 	for _, q := range broken {
-		writeU64(w, uint64(int64(q)))
+		hashutil.WriteInt(w, q)
 	}
 	pairs := make([][2]int, 0, len(g.brokenCoupler))
 	for k, b := range g.brokenCoupler {
@@ -38,25 +42,12 @@ func (g *Graph) HashInto(w io.Writer) {
 		}
 		return pairs[i][1] < pairs[j][1]
 	})
-	writeU64(w, uint64(len(pairs)))
+	hashutil.WriteInt(w, len(pairs))
 	for _, p := range pairs {
-		writeU64(w, uint64(int64(p[0])))
-		writeU64(w, uint64(int64(p[1])))
+		hashutil.WriteInt(w, p[0])
+		hashutil.WriteInt(w, p[1])
 	}
 }
 
 // Fingerprint returns a 64-bit digest of HashInto's canonical encoding.
-func (g *Graph) Fingerprint() uint64 {
-	h := fnv.New64a()
-	g.HashInto(h)
-	return h.Sum64()
-}
-
-// writeU64 streams v to w in a fixed (little-endian) byte order — the
-// same encoding plancache.Keyer.Uint64 uses, so every fingerprint
-// contribution to a cache key is byte-order stable by construction.
-func writeU64(w io.Writer, v uint64) {
-	var b [8]byte
-	binary.LittleEndian.PutUint64(b[:], v)
-	w.Write(b[:])
-}
+func (g *Graph) Fingerprint() uint64 { return hashutil.Sum64(g.HashInto) }

@@ -21,7 +21,10 @@ import (
 // and the CSR sampling program — is the wall-clock hot path of the
 // pipeline (the paper reports 112-135 ms per test case, against
 // microseconds of modeled anneal time), which makes Compiled the natural
-// unit of caching across Solve requests.
+// unit of caching across Solve requests. The minor embedding targets
+// whichever hardware topology the options carry — Chimera, Pegasus, or
+// Zephyr — and the cache key includes the topology's kind tag, so
+// artifacts never leak across graphs.
 //
 // A Compiled is IMMUTABLE once built: both QUBO formulas are frozen
 // (mutation panics), and the sampling path only ever reads it — gauge

@@ -18,13 +18,13 @@ import (
 	"time"
 
 	"repro/internal/anneal"
-	"repro/internal/chimera"
 	"repro/internal/dwave"
 	"repro/internal/embedding"
 	"repro/internal/exec"
 	"repro/internal/ising"
 	"repro/internal/logical"
 	"repro/internal/mqo"
+	"repro/internal/topology"
 	"repro/internal/trace"
 )
 
@@ -32,13 +32,22 @@ import (
 type Pattern string
 
 const (
-	// PatternAuto tries the clustered pattern and falls back to TRIAD.
+	// PatternAuto tries the clustered pattern first, then the
+	// topology's native complete-graph pattern: TRIAD on Chimera
+	// (exactly the paper's pipeline), the greedy path embedder on the
+	// denser kinds (falling back to TRIAD when greedy cannot place the
+	// instance — TRIAD chains stay valid there because Pegasus and
+	// Zephyr contain Chimera's couplers).
 	PatternAuto Pattern = ""
 	// PatternClustered forces the clustered pattern (Figure 3) and fails
 	// when it cannot realize every coupling of the logical formula.
 	PatternClustered Pattern = "clustered"
 	// PatternTriad forces the general TRIAD pattern (Figure 2).
 	PatternTriad Pattern = "triad"
+	// PatternGreedy forces the greedy path-based complete-graph
+	// embedder, which exploits the extra couplers of the denser
+	// topologies for shorter chains.
+	PatternGreedy Pattern = "greedy"
 )
 
 // Options configure the QuantumMQO pipeline. The zero value selects the
@@ -46,8 +55,10 @@ const (
 // annealing as the hardware surrogate, 1000 runs in batches of 100 per
 // gauge, and ε = 0.25 penalty slacks.
 type Options struct {
-	// Graph is the hardware topology; nil selects a fault-free D-Wave 2X.
-	Graph *chimera.Graph
+	// Graph is the hardware topology; nil selects a fault-free D-Wave 2X
+	// Chimera graph. Pegasus/Zephyr graphs (internal/topology) slot in
+	// here unchanged — the pipeline only uses the Graph interface.
+	Graph topology.Graph
 	// Sampler is the annealing surrogate; nil selects simulated annealing.
 	Sampler anneal.Sampler
 	// Runs is the number of annealing runs; 0 selects the paper's 1000.
@@ -87,7 +98,7 @@ type Options struct {
 
 func (o Options) withDefaults() Options {
 	if o.Graph == nil {
-		o.Graph = chimera.DWave2X(0, 0)
+		o.Graph = topology.DWave2X(0, 0)
 	}
 	if o.Sampler == nil {
 		o.Sampler = dwave.DefaultSampler()
@@ -115,6 +126,9 @@ type Result struct {
 	QubitsUsed int
 	// QubitsPerVariable is the embedding overhead (x-axis of Figure 6).
 	QubitsPerVariable float64
+	// MaxChainLength is the longest qubit chain of the embedding — the
+	// chains most exposed to read-out breakage.
+	MaxChainLength int
 	// PreprocessTime is the wall time of the logical and physical
 	// mappings (the paper reports 112-135 ms per test case).
 	PreprocessTime time.Duration
@@ -184,6 +198,7 @@ func QuantumMQO(ctx context.Context, p *mqo.Problem, opt Options, seed int64) (*
 	res := &Result{
 		QubitsUsed:        comp.Emb.NumQubits(),
 		QubitsPerVariable: comp.Emb.QubitsPerVariable(),
+		MaxChainLength:    comp.Emb.MaxChainLength(),
 		PreprocessTime:    comp.PrepTime,
 		Runs:              opt.Runs,
 		UsedTriadFallback: comp.UsedTriadFallback,
@@ -191,7 +206,7 @@ func QuantumMQO(ctx context.Context, p *mqo.Problem, opt Options, seed int64) (*
 	if opt.OnImprovement != nil {
 		res.Trace.Observe(opt.OnImprovement)
 	}
-	device := dwave.NewDWave2X(opt.Sampler)
+	device := dwave.NewDeviceFor(opt.Graph.Kind(), opt.Sampler)
 	device.DisableGauges = opt.DisableGauges
 	batches := device.Batches(opt.Runs, seed)
 	original := comp.Program
@@ -336,25 +351,37 @@ func swapDescent(p *mqo.Problem, sol mqo.Solution) {
 // EmbedProblem chooses the physical mapping for an MQO instance according
 // to pattern. With PatternAuto it uses the clustered pattern (Figure 3)
 // when it realizes every coupling of the logical formula, otherwise the
-// general TRIAD pattern (Figure 2), which supports arbitrary QUBO problems
-// at a quadratic qubit cost. PatternClustered and PatternTriad force one
-// strategy and fail when it cannot realize the instance. The returned
-// embedding indexes chains by plan id; the bool reports whether TRIAD was
-// chosen as a fallback from the clustered pattern.
-func EmbedProblem(g *chimera.Graph, p *mqo.Problem, mapping *logical.Mapping, pattern Pattern) (*embedding.Embedding, bool, error) {
+// topology's native complete-graph pattern: TRIAD (Figure 2) on Chimera
+// — exactly the paper's pipeline — and the greedy path embedder on the
+// denser kinds, with TRIAD as the final fallback (Pegasus/Zephyr contain
+// Chimera's couplers, so TRIAD chains stay valid there). The clustered
+// and TRIAD patterns need the topology's cell structure
+// (topology.CellGrid); forcing them on a non-cellular graph fails.
+// PatternClustered, PatternTriad, and PatternGreedy force one strategy
+// and fail when it cannot realize the instance. The returned embedding
+// indexes chains by plan id; the bool reports whether the
+// complete-graph pattern was chosen as a fallback from the clustered
+// pattern.
+func EmbedProblem(g topology.Graph, p *mqo.Problem, mapping *logical.Mapping, pattern Pattern) (*embedding.Embedding, bool, error) {
+	cg, cellular := g.(topology.CellGrid)
 	if pattern == PatternAuto || pattern == PatternClustered {
-		if emb, err := clusteredByPlan(g, p); err == nil {
-			if mapping.QUBO.N() == emb.NumVariables() && emb.Validate(mapping.QUBO) == nil {
-				return emb, false, nil
+		if cellular {
+			if emb, err := clusteredByPlan(cg, p); err == nil {
+				if mapping.QUBO.N() == emb.NumVariables() && emb.Validate(mapping.QUBO) == nil {
+					return emb, false, nil
+				}
+			} else if pattern == PatternClustered {
+				return nil, false, fmt.Errorf("core: clustered pattern cannot realize the instance: %w", err)
 			}
-		} else if pattern == PatternClustered {
-			return nil, false, fmt.Errorf("core: clustered pattern cannot realize the instance: %w", err)
 		}
 		if pattern == PatternClustered {
+			if !cellular {
+				return nil, false, fmt.Errorf("core: clustered pattern needs a cell-structured topology, %s is not one", g.Kind())
+			}
 			return nil, false, fmt.Errorf("core: clustered pattern cannot realize every coupling of the instance")
 		}
 	}
-	emb, err := embedding.Triad(g, p.NumPlans())
+	emb, err := completeGraphEmbedding(g, cg, cellular, p.NumPlans(), pattern)
 	if err != nil {
 		return nil, false, fmt.Errorf("core: instance does not fit the annealer: %w", err)
 	}
@@ -364,9 +391,37 @@ func EmbedProblem(g *chimera.Graph, p *mqo.Problem, mapping *logical.Mapping, pa
 	return emb, pattern == PatternAuto, nil
 }
 
+// completeGraphEmbedding builds the K_n embedding pattern for the
+// topology: forced TRIAD or greedy when the caller demanded one, and
+// for PatternAuto the topology's native choice — TRIAD on Chimera
+// (byte-identical to the paper's pipeline), greedy-then-TRIAD on the
+// denser kinds.
+func completeGraphEmbedding(g topology.Graph, cg topology.CellGrid, cellular bool, n int, pattern Pattern) (*embedding.Embedding, error) {
+	triad := func() (*embedding.Embedding, error) {
+		if !cellular {
+			return nil, fmt.Errorf("TRIAD pattern needs a cell-structured topology, %s is not one", g.Kind())
+		}
+		return embedding.Triad(cg, n)
+	}
+	switch {
+	case pattern == PatternTriad:
+		return triad()
+	case pattern == PatternGreedy:
+		return embedding.Greedy(g, n)
+	case g.Kind() == topology.ChimeraKind && cellular:
+		return triad()
+	default:
+		emb, err := embedding.Greedy(g, n)
+		if err == nil || !cellular {
+			return emb, err
+		}
+		return triad()
+	}
+}
+
 // clusteredByPlan builds the clustered embedding and permutes its chains
 // from cluster-major variable order into plan-id order.
-func clusteredByPlan(g *chimera.Graph, p *mqo.Problem) (*embedding.Embedding, error) {
+func clusteredByPlan(g topology.CellGrid, p *mqo.Problem) (*embedding.Embedding, error) {
 	// Group queries by cluster, preserving query order within clusters.
 	clusterQueries := map[int][]int{}
 	var clusterIDs []int

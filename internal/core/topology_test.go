@@ -1,0 +1,140 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/logical"
+	"repro/internal/mqo"
+	"repro/internal/topology"
+)
+
+// denseTestProblem returns a small instance generated against the given
+// cell grid (all built-in kinds host the clustered generator).
+func denseTestProblem(t *testing.T, g topology.Graph) *mqo.Problem {
+	t.Helper()
+	p, err := GenerateEmbeddable(rand.New(rand.NewSource(11)), g,
+		mqo.Class{Queries: 6, PlansPerQuery: 2}, mqo.DefaultGeneratorConfig())
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	return p
+}
+
+// TestQuantumMQOOnDenseTopologies: the full pipeline solves on Pegasus
+// and Zephyr, deterministically for a fixed seed, and the trace is
+// bit-identical across runs — the seed-reproducibility half of the
+// acceptance contract.
+func TestQuantumMQOOnDenseTopologies(t *testing.T) {
+	for _, kind := range []string{"pegasus", "zephyr"} {
+		g, err := topology.New(kind, 12, 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := denseTestProblem(t, g)
+		opt := Options{Graph: g, Runs: 60}
+		a, err := QuantumMQO(context.Background(), p, opt, 5)
+		if err != nil {
+			t.Fatalf("%s: solve: %v", kind, err)
+		}
+		if !p.Valid(a.Solution) {
+			t.Fatalf("%s: invalid solution", kind)
+		}
+		g2, _ := topology.New(kind, 12, 12)
+		b, err := QuantumMQO(context.Background(), p, Options{Graph: g2, Runs: 60}, 5)
+		if err != nil {
+			t.Fatalf("%s: second solve: %v", kind, err)
+		}
+		if a.Cost != b.Cost || !reflect.DeepEqual(a.Solution, b.Solution) ||
+			!reflect.DeepEqual(a.Trace.Points(), b.Trace.Points()) {
+			t.Fatalf("%s: fixed-seed solves diverge", kind)
+		}
+	}
+}
+
+// TestCompileCacheDistinguishesTopologies is the acceptance criterion:
+// identical problems compiled against different topology kinds of the
+// same dimensions land on different cache entries — never a
+// cross-topology hit.
+func TestCompileCacheDistinguishesTopologies(t *testing.T) {
+	// Capacity well above the stripe count: the sharded LRU splits
+	// capacity across 16 stripes, and a per-stripe eviction would make
+	// the entry count read low.
+	cache := NewCompileCache(128)
+	chim := topology.DWave2X(0, 0)
+	p := denseTestProblem(t, chim)
+	kinds := []topology.Graph{chim}
+	for _, kind := range []string{"pegasus", "zephyr"} {
+		g, err := topology.New(kind, 12, 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kinds = append(kinds, g)
+	}
+	for _, g := range kinds {
+		if _, err := cache.Compile(context.Background(), p, Options{Graph: g}); err != nil {
+			t.Fatalf("%s: compile: %v", g.Kind(), err)
+		}
+	}
+	s := cache.Stats()
+	if s.Hits != 0 {
+		t.Fatalf("cross-topology compile hit the cache %d times", s.Hits)
+	}
+	if s.Misses != 3 || s.Entries != 3 {
+		t.Fatalf("expected 3 distinct entries, got misses=%d entries=%d", s.Misses, s.Entries)
+	}
+	// Same kind, independently constructed: must hit.
+	if _, err := cache.Compile(context.Background(), p, Options{Graph: topology.DWave2X(0, 0)}); err != nil {
+		t.Fatal(err)
+	}
+	if s = cache.Stats(); s.Hits != 1 {
+		t.Fatalf("value-identical topology missed the cache (hits=%d)", s.Hits)
+	}
+}
+
+// TestEmbedProblemPatternsPerTopology exercises the pattern matrix:
+// clustered and TRIAD work on every cell grid, greedy is forceable, and
+// auto on the denser kinds produces a valid embedding.
+func TestEmbedProblemPatternsPerTopology(t *testing.T) {
+	for _, kind := range []string{"chimera", "pegasus", "zephyr"} {
+		g, err := topology.New(kind, 12, 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := denseTestProblem(t, g)
+		mapping := logical.Map(p)
+		for _, pat := range []Pattern{PatternAuto, PatternClustered, PatternTriad, PatternGreedy} {
+			emb, _, err := EmbedProblem(g, p, mapping, pat)
+			if err != nil {
+				t.Fatalf("%s/%q: %v", kind, pat, err)
+			}
+			if err := emb.Validate(mapping.QUBO); err != nil {
+				t.Fatalf("%s/%q: invalid embedding: %v", kind, pat, err)
+			}
+		}
+	}
+}
+
+// TestGreedyBeatsTriadQubitsOnPegasus pins the headline effect of the
+// topology layer: the same instance embeds with fewer physical qubits
+// on Pegasus (greedy) than on Chimera (TRIAD).
+func TestGreedyBeatsTriadQubitsOnPegasus(t *testing.T) {
+	chim := topology.DWave2X(0, 0)
+	p := denseTestProblem(t, chim)
+	mapping := logical.Map(p)
+	triad, _, err := EmbedProblem(chim, p, mapping, PatternTriad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peg, _ := topology.New("pegasus", 12, 12)
+	greedy, _, err := EmbedProblem(peg, p, mapping, PatternGreedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if greedy.NumQubits() >= triad.NumQubits() {
+		t.Fatalf("pegasus greedy uses %d qubits, chimera TRIAD %d — no density win",
+			greedy.NumQubits(), triad.NumQubits())
+	}
+}

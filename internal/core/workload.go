@@ -4,9 +4,9 @@ import (
 	"fmt"
 	"math/rand"
 
-	"repro/internal/chimera"
 	"repro/internal/embedding"
 	"repro/internal/mqo"
+	"repro/internal/topology"
 )
 
 // GenerateEmbeddable builds a random instance of the given class whose
@@ -16,15 +16,19 @@ import (
 // different clusters can only represent sharing opportunities that the
 // sparse inter-cluster couplers support, so savings are drawn from the
 // plan pairs of consecutive queries that actually share a coupler.
-func GenerateEmbeddable(rng *rand.Rand, g *chimera.Graph, class mqo.Class, cfg mqo.GeneratorConfig) (*mqo.Problem, error) {
+func GenerateEmbeddable(rng *rand.Rand, g topology.Graph, class mqo.Class, cfg mqo.GeneratorConfig) (*mqo.Problem, error) {
 	if class.Queries <= 0 || class.PlansPerQuery <= 0 {
 		return nil, fmt.Errorf("core: invalid class %+v", class)
+	}
+	cg, ok := g.(topology.CellGrid)
+	if !ok {
+		return nil, fmt.Errorf("core: embeddable generation needs a cell-structured topology, %s is not one", g.Kind())
 	}
 	sizes := make([]int, class.Queries)
 	for i := range sizes {
 		sizes[i] = class.PlansPerQuery
 	}
-	emb, err := embedding.Clustered(g, sizes)
+	emb, err := embedding.Clustered(cg, sizes)
 	if err != nil {
 		return nil, fmt.Errorf("core: class %v does not fit the annealer: %w", class, err)
 	}

@@ -79,6 +79,41 @@ func NewDWave2X(s anneal.Sampler) *Device {
 	}
 }
 
+// deviceParams is the per-generation timing/batching table behind
+// NewDeviceFor. Every generation currently charges the 2X constants:
+// the cross-topology harness compares qubit footprint, chain length,
+// and time-to-best on ONE modeled clock, so differences are attributable
+// to connectivity alone (and the budget→runs policy, RunsForBudget,
+// stays consistent for every kind). A calibrated device generation —
+// Advantage's 20 µs anneals, say — would change exactly this row.
+type deviceParams struct {
+	annealTime, readoutTime time.Duration
+	runsPerGauge            int
+}
+
+var deviceTable = map[string]deviceParams{
+	"chimera": {PaperAnnealTime, PaperReadoutTime, PaperRunsPerGauge},
+	"pegasus": {PaperAnnealTime, PaperReadoutTime, PaperRunsPerGauge},
+	"zephyr":  {PaperAnnealTime, PaperReadoutTime, PaperRunsPerGauge},
+}
+
+// NewDeviceFor returns the simulated device for the annealer generation
+// carrying the given topology kind ("chimera" selects exactly the
+// paper's D-Wave 2X; unknown kinds get the 2X defaults too, so an
+// experimental topology still solves).
+func NewDeviceFor(kind string, s anneal.Sampler) *Device {
+	p, ok := deviceTable[kind]
+	if !ok {
+		return NewDWave2X(s)
+	}
+	return &Device{
+		Sampler:      s,
+		AnnealTime:   p.annealTime,
+		ReadoutTime:  p.readoutTime,
+		RunsPerGauge: p.runsPerGauge,
+	}
+}
+
 // TimePerSample is the modeled device time per annealing run + read-out.
 func (d *Device) TimePerSample() time.Duration { return d.AnnealTime + d.ReadoutTime }
 

@@ -221,3 +221,13 @@ func TestSampleIsingCancellation(t *testing.T) {
 		t.Error("cancelled session lost the best-so-far sample")
 	}
 }
+
+func TestNewDeviceFor(t *testing.T) {
+	want := NewDWave2X(DefaultSampler())
+	for _, kind := range []string{"chimera", "pegasus", "zephyr", "experimental-unknown"} {
+		d := NewDeviceFor(kind, DefaultSampler())
+		if d.AnnealTime != want.AnnealTime || d.ReadoutTime != want.ReadoutTime || d.RunsPerGauge != want.RunsPerGauge {
+			t.Fatalf("%s: device params diverge from the 2X table row", kind)
+		}
+	}
+}

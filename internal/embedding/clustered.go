@@ -3,7 +3,7 @@ package embedding
 import (
 	"fmt"
 
-	"repro/internal/chimera"
+	"repro/internal/topology"
 )
 
 // Clustered embeds one complete graph per query cluster (Figure 3). Sizes
@@ -25,7 +25,7 @@ import (
 // Broken qubits shrink a cell's capacity; cells that cannot host the next
 // cluster are skipped. ErrGraphTooSmall is returned when the graph is
 // exhausted before every cluster is placed.
-func Clustered(g *chimera.Graph, sizes []int) (*Embedding, error) {
+func Clustered(g topology.CellGrid, sizes []int) (*Embedding, error) {
 	if len(sizes) == 0 {
 		return nil, fmt.Errorf("embedding: no clusters to embed")
 	}
@@ -61,7 +61,7 @@ func ClusterOffsets(sizes []int) []int {
 // allocator walks the unit cells of a graph in snake order, handing out
 // working qubits to cluster tiles.
 type allocator struct {
-	g *chimera.Graph
+	g topology.CellGrid
 	// order is the snake sequence of (row, col) cells.
 	order []cellRef
 	// pos is the index of the current cell in order.
@@ -76,15 +76,16 @@ type allocator struct {
 
 type cellRef struct{ row, col int }
 
-func newAllocator(g *chimera.Graph) *allocator {
+func newAllocator(g topology.CellGrid) *allocator {
 	a := &allocator{g: g, usedCell: map[cellRef]bool{}, taken: map[int]bool{}}
-	for r := 0; r < g.Rows; r++ {
+	rows, cols := g.Dims()
+	for r := 0; r < rows; r++ {
 		if r%2 == 0 {
-			for c := 0; c < g.Cols; c++ {
+			for c := 0; c < cols; c++ {
 				a.order = append(a.order, cellRef{r, c})
 			}
 		} else {
-			for c := g.Cols - 1; c >= 0; c-- {
+			for c := cols - 1; c >= 0; c-- {
 				a.order = append(a.order, cellRef{r, c})
 			}
 		}
@@ -109,15 +110,15 @@ func (a *allocator) loadCell() {
 	// following odd cell then occupy the same in-cell index k, which is
 	// exactly the condition for an inter-cell coupler (couplers join equal
 	// k only), so consecutive clusters always share a coupler.
-	for i := 0; i < chimera.Half; i++ {
+	for i := 0; i < topology.Half; i++ {
 		k := i
 		if a.pos%2 == 1 {
-			k = chimera.Half - 1 - i
+			k = topology.Half - 1 - i
 		}
 		if q := a.g.QubitAt(ref.row, ref.col, k); a.g.Working(q) && !a.taken[q] {
 			a.lefts = append(a.lefts, q)
 		}
-		if q := a.g.QubitAt(ref.row, ref.col, chimera.Half+k); a.g.Working(q) && !a.taken[q] {
+		if q := a.g.QubitAt(ref.row, ref.col, topology.Half+k); a.g.Working(q) && !a.taken[q] {
 			a.rights = append(a.rights, q)
 		}
 	}
@@ -226,7 +227,8 @@ func (a *allocator) placeTriadBlock(l int) ([]Chain, error) {
 // graph, is unconsumed, and (for the anchor cell) has not been partially
 // used by single-cell tiles.
 func (a *allocator) blockFree(ref cellRef, m int) bool {
-	if ref.row+m > a.g.Rows || ref.col+m > a.g.Cols {
+	rows, cols := a.g.Dims()
+	if ref.row+m > rows || ref.col+m > cols {
 		return false
 	}
 	for r := ref.row; r < ref.row+m; r++ {
@@ -236,7 +238,7 @@ func (a *allocator) blockFree(ref cellRef, m int) bool {
 			}
 			// Cells partially consumed by single-cell tiles would collide
 			// with the TRIAD chains.
-			for k := 0; k < chimera.CellSize; k++ {
+			for k := 0; k < topology.CellSize; k++ {
 				if a.taken[a.g.QubitAt(r, c, k)] {
 					return false
 				}
@@ -262,7 +264,7 @@ func (a *allocator) markBlock(ref cellRef, m int) {
 // Capacity returns the maximal number of equal-size clusters (l variables
 // each) that Clustered can place on g. This function generates Figure 7:
 // the problem-dimension frontier for a given qubit budget.
-func Capacity(g *chimera.Graph, l int) int {
+func Capacity(g topology.CellGrid, l int) int {
 	alloc := newAllocator(g)
 	n := 0
 	for {

@@ -1,22 +1,25 @@
 // Package embedding implements the paper's physical mapping (Section 5):
 // the assignment of each logical QUBO variable to a chain of physical
-// qubits on the Chimera graph, the expansion of the logical energy formula
-// into the physical one, and the inverse read-out of chain values.
+// qubits on the hardware graph (any repro/internal/topology kind), the
+// expansion of the logical energy formula into the physical one, and the
+// inverse read-out of chain values.
 //
-// Two mapping patterns are provided. The TRIAD pattern (Choi, Figure 2)
+// Three mapping patterns are provided. The TRIAD pattern (Choi, Figure 2)
 // embeds a complete graph and therefore supports arbitrary QUBO problems at
 // a quadratic qubit cost. The clustered pattern (Figure 3) embeds one
 // small complete graph per query cluster and realizes only sparse
 // couplings between clusters, trading generality for a qubit count that
-// grows linearly in the number of clusters (Theorem 3).
+// grows linearly in the number of clusters (Theorem 3). The greedy
+// pattern grows complete-graph chains over raw adjacency, turning the
+// denser Pegasus/Zephyr couplers into shorter chains.
 package embedding
 
 import (
 	"fmt"
 	"sort"
 
-	"repro/internal/chimera"
 	"repro/internal/qubo"
+	"repro/internal/topology"
 )
 
 // Chain is the ordered sequence of physical qubits representing one logical
@@ -27,7 +30,7 @@ type Chain []int
 
 // Embedding maps logical variables to qubit chains on a specific graph.
 type Embedding struct {
-	Graph *chimera.Graph
+	Graph topology.Graph
 	// Chains[v] lists the qubits of logical variable v. Every variable
 	// must have a non-empty chain.
 	Chains []Chain
@@ -37,7 +40,7 @@ type Embedding struct {
 
 // NewEmbedding wraps chains into an Embedding and builds the reverse index.
 // It fails if chains overlap, touch broken qubits, or are not paths.
-func NewEmbedding(g *chimera.Graph, chains []Chain) (*Embedding, error) {
+func NewEmbedding(g topology.Graph, chains []Chain) (*Embedding, error) {
 	e := &Embedding{Graph: g, Chains: chains}
 	e.qubitVar = make([]int, g.NumQubits())
 	for i := range e.qubitVar {

@@ -1,38 +1,25 @@
 package embedding
 
 import (
-	"encoding/binary"
-	"hash/fnv"
 	"io"
+
+	"repro/internal/hashutil"
 )
 
 // HashInto streams a canonical binary encoding of the chain layout into
 // w: one length-prefixed qubit sequence per logical variable, in
 // variable order. The hardware graph is deliberately excluded — cache
-// keys hash it separately (chimera.Graph.HashInto), and embeddings only
+// keys hash it separately (topology.Graph.HashInto), and embeddings only
 // ever enter a cache alongside the graph they were built for.
 func (e *Embedding) HashInto(w io.Writer) {
-	writeU64(w, uint64(len(e.Chains)))
+	hashutil.WriteInt(w, len(e.Chains))
 	for _, ch := range e.Chains {
-		writeU64(w, uint64(len(ch)))
+		hashutil.WriteInt(w, len(ch))
 		for _, q := range ch {
-			writeU64(w, uint64(int64(q)))
+			hashutil.WriteInt(w, q)
 		}
 	}
 }
 
 // Fingerprint returns a 64-bit digest of HashInto's canonical encoding.
-func (e *Embedding) Fingerprint() uint64 {
-	h := fnv.New64a()
-	e.HashInto(h)
-	return h.Sum64()
-}
-
-// writeU64 streams v to w in a fixed (little-endian) byte order — the
-// same encoding plancache.Keyer.Uint64 uses, so every fingerprint
-// contribution to a cache key is byte-order stable by construction.
-func writeU64(w io.Writer, v uint64) {
-	var b [8]byte
-	binary.LittleEndian.PutUint64(b[:], v)
-	w.Write(b[:])
-}
+func (e *Embedding) Fingerprint() uint64 { return hashutil.Sum64(e.HashInto) }

@@ -1,0 +1,443 @@
+package embedding
+
+import (
+	"fmt"
+
+	"repro/internal/topology"
+)
+
+// Greedy embeds n pairwise-connected logical variables (a complete
+// graph K_n, hence an arbitrary QUBO over n variables) into g by
+// growing one path-shaped chain per variable. Unlike TRIAD, it assumes
+// nothing about cell structure — only the Graph adjacency — which lets
+// the denser Pegasus/Zephyr topologies translate their extra couplers
+// directly into shorter chains (TRIAD would lay the same length-(m+1)
+// chains on them that Chimera needs).
+//
+// The construction for variable v has three phases:
+//
+//  1. Start at the free qubit adjacent to the most existing chains.
+//  2. Extend the path at whichever end contacts the most not-yet-
+//     touched chains; when neither end gains a contact, splice in the
+//     shortest free detour (BFS) to the nearest qubit that does.
+//  3. Reserve capacity: keep extending until the chain's own free
+//     frontier can still host one contact per future chain. In K_n
+//     every chain must be touched by all n−1 others, so a chain whose
+//     frontier is smaller than the number of chains still to come is
+//     already dead — this phase is what lets a path-based greedy
+//     complete where pure contact-chasing strands.
+//
+// Candidate ties prefer qubits that do the least damage to other
+// chains' scarce frontiers, then the lowest qubit id, so the embedding
+// is deterministic for a given graph — the property the compilation
+// cache and the golden traces rely on.
+//
+// Being purely local, the construction handles n up to roughly the
+// topology's degree bound (≈ K_12 on Chimera, K_16 on Pegasus, K_20 on
+// Zephyr at 12×12 cells) before chains wall each other in; callers that
+// need larger complete graphs fall back to the structured TRIAD
+// pattern, which the denser kinds still support because their coupler
+// sets contain Chimera's.
+func Greedy(g topology.Graph, n int) (*Embedding, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("embedding: need a positive variable count, got %d", n)
+	}
+	ge := &greedyEmbedder{g: g, n: n, used: make([]bool, g.NumQubits())}
+	chains := make([]Chain, 0, n)
+	for v := 0; v < n; v++ {
+		ch, err := ge.grow(chains)
+		if err != nil {
+			return nil, fmt.Errorf("%w: greedy K_%d on %s (placed %d chains): %v",
+				ErrGraphTooSmall, n, g.Kind(), v, err)
+		}
+		for _, q := range ch {
+			ge.used[q] = true
+		}
+		chains = append(chains, ch)
+	}
+	return NewEmbedding(g, chains)
+}
+
+// greedyEmbedder carries the shared state of one Greedy run.
+type greedyEmbedder struct {
+	g    topology.Graph
+	n    int
+	used []bool
+
+	// Per-grow state.
+	cover    map[int][]int // free qubit -> chains it touches
+	frontier []int         // chain -> remaining free contact qubits
+	inPath   map[int]bool
+	uncov    map[int]bool
+	need     int // chains still to come after the current one
+}
+
+// free reports whether q is working and not consumed by an earlier
+// chain.
+func (ge *greedyEmbedder) free(q int) bool { return !ge.used[q] && ge.g.Working(q) }
+
+// reserveSlack is the extra frontier a freshly built chain banks beyond
+// the strict one-slot-per-future-chain minimum: detours of later chains
+// transit through neighborhoods without covering anything, so a chain
+// reserved exactly at the minimum would wall its region in (hardBlocked
+// fires on every surrounding qubit) and leave no room to maneuver.
+const reserveSlack = 4
+
+// damage counts the already-covered chains whose frontier consuming q
+// would graze. A path that hugs a chain it has already touched eats one
+// contact slot per step — the dominant cause of frontier starvation —
+// so candidate selection minimizes this and the careful detour pass
+// forbids it outright.
+func (ge *greedyEmbedder) damage(q int) int {
+	d := 0
+	for _, j := range ge.cover[q] {
+		if !ge.uncov[j] {
+			d++
+		}
+	}
+	return d
+}
+
+// hardBlocked reports whether consuming q would starve some already-
+// covered chain: its frontier would drop below one contact slot per
+// future chain, making the embedding unfinishable. Consumption that
+// COVERS a chain is always allowed — it is the productive use of a
+// frontier slot.
+func (ge *greedyEmbedder) hardBlocked(q int) bool {
+	for _, j := range ge.cover[q] {
+		if !ge.uncov[j] && ge.frontier[j] <= ge.need {
+			return true
+		}
+	}
+	return false
+}
+
+// consume marks q as part of the growing path and settles the books:
+// frontiers shrink, and chains adjacent to q count as covered.
+func (ge *greedyEmbedder) consume(q int) {
+	ge.inPath[q] = true
+	for _, j := range ge.cover[q] {
+		ge.frontier[j]--
+		delete(ge.uncov, j)
+	}
+}
+
+// grow builds the next chain: a path over free qubits adjacent to every
+// chain in `chains`, with enough residual frontier for the chains still
+// to come.
+func (ge *greedyEmbedder) grow(chains []Chain) (Chain, error) {
+	v := len(chains)
+	ge.need = ge.n - 1 - v
+
+	// Contact map and frontier sizes for the existing chains.
+	ge.cover = map[int][]int{}
+	ge.frontier = make([]int, v)
+	for j, ch := range chains {
+		seen := map[int]bool{}
+		for _, q := range ch {
+			for _, o := range ge.g.Neighbors(q) {
+				if ge.free(o) && !seen[o] {
+					seen[o] = true
+					ge.cover[o] = append(ge.cover[o], j)
+				}
+			}
+		}
+		ge.frontier[j] = len(seen)
+	}
+	ge.inPath = map[int]bool{}
+	ge.uncov = make(map[int]bool, v)
+	for j := range chains {
+		ge.uncov[j] = true
+	}
+
+	var path Chain
+	if v == 0 {
+		// First chain: seed where connectivity is densest so later
+		// chains have room to gather around it.
+		best, bestDeg := -1, -1
+		for q := 0; q < ge.g.NumQubits(); q++ {
+			if !ge.free(q) {
+				continue
+			}
+			deg := 0
+			for _, o := range ge.g.Neighbors(q) {
+				if ge.free(o) {
+					deg++
+				}
+			}
+			if deg > bestDeg {
+				best, bestDeg = q, deg
+			}
+		}
+		if best < 0 {
+			return nil, fmt.Errorf("no working qubits left")
+		}
+		path = Chain{best}
+		ge.consume(best)
+	} else {
+		// Start in the frontier of the scarcest chain — the one most in
+		// danger of being walled in — at the qubit covering the most
+		// chains overall; ties break toward low frontier damage, then
+		// low id.
+		j0 := ge.scarcest()
+		start, bestCov, bestDmg := -1, 0, 0
+		for q := 0; q < ge.g.NumQubits(); q++ {
+			c := len(ge.cover[q])
+			if c == 0 || !ge.covers(q, j0) {
+				continue
+			}
+			d := ge.damage(q)
+			if c > bestCov || (c == bestCov && d < bestDmg) {
+				start, bestCov, bestDmg = q, c, d
+			}
+		}
+		if start < 0 {
+			return nil, fmt.Errorf("no free qubit touches chain %d", j0)
+		}
+		path = Chain{start}
+		ge.consume(start)
+	}
+
+	// Phase 2: chase the remaining chains scarcest-first. Hard-to-reach
+	// chains are exactly the ones whose surroundings are filling up, so
+	// the path visits them while they are still reachable and ends in
+	// open space; incidental contacts along the way cover the easy
+	// chains for free.
+	for len(ge.uncov) > 0 {
+		target := ge.scarcest()
+		// One-step extension covering the target, preferring the larger
+		// total gain of uncovered chains.
+		bestQ, bestGain, bestDmg, atTail := -1, 0, 0, true
+		consider := func(q int, tail bool) {
+			if !ge.free(q) || ge.inPath[q] || !ge.covers(q, target) || ge.hardBlocked(q) {
+				return
+			}
+			gain := 0
+			for _, j := range ge.cover[q] {
+				if ge.uncov[j] {
+					gain++
+				}
+			}
+			d := ge.damage(q)
+			if gain > bestGain ||
+				(gain == bestGain && d < bestDmg) ||
+				(gain == bestGain && d == bestDmg && q < bestQ) {
+				bestQ, bestGain, bestDmg, atTail = q, gain, d, tail
+			}
+		}
+		for _, q := range ge.g.Neighbors(path[len(path)-1]) {
+			consider(q, true)
+		}
+		for _, q := range ge.g.Neighbors(path[0]) {
+			consider(q, false)
+		}
+		if bestQ >= 0 {
+			ge.consume(bestQ)
+			if atTail {
+				path = append(path, bestQ)
+			} else {
+				path = append(Chain{bestQ}, path...)
+			}
+			continue
+		}
+		// Detour to the target's frontier; fall back to any uncovered
+		// chain's frontier before giving up.
+		ext, fromTail := ge.detour(path, func(q int) bool { return ge.covers(q, target) })
+		if ext == nil {
+			ext, fromTail = ge.detour(path, func(q int) bool {
+				for _, j := range ge.cover[q] {
+					if ge.uncov[j] {
+						return true
+					}
+				}
+				return false
+			})
+		}
+		if ext == nil {
+			return nil, fmt.Errorf("chain %d stranded with %d chains unreached", v, len(ge.uncov))
+		}
+		for _, q := range ext {
+			ge.consume(q)
+		}
+		if fromTail {
+			path = append(path, ext...)
+		} else {
+			for _, q := range ext {
+				path = append(Chain{q}, path...)
+			}
+		}
+	}
+
+	// Phase 3: reserve capacity for the n−1−v chains still to come,
+	// plus slack for their detours. The last chain skips it: nothing
+	// will ever need to touch it, so banked frontier would be pure
+	// qubit waste.
+	for ge.need > 0 && ge.ownFrontier(path) < ge.need+reserveSlack {
+		bestQ, bestGain, bestDmg, atTail := -1, -1, 0, true
+		consider := func(q int, tail bool) {
+			if !ge.free(q) || ge.inPath[q] || ge.hardBlocked(q) {
+				return
+			}
+			gain := ge.frontierGain(path, q)
+			d := ge.damage(q)
+			if gain > bestGain ||
+				(gain == bestGain && d < bestDmg) ||
+				(gain == bestGain && d == bestDmg && q < bestQ) {
+				bestQ, bestGain, bestDmg, atTail = q, gain, d, tail
+			}
+		}
+		for _, q := range ge.g.Neighbors(path[len(path)-1]) {
+			consider(q, true)
+		}
+		for _, q := range ge.g.Neighbors(path[0]) {
+			consider(q, false)
+		}
+		if bestQ < 0 {
+			// Both ends are walled in by other chains' reserved
+			// frontiers: detour to open space (qubits grazing nothing)
+			// and keep growing there.
+			ext, fromTail := ge.detour(path, func(q int) bool {
+				return ge.damage(q) == 0 && ge.frontierGain(path, q) > 0
+			})
+			if ext == nil {
+				if ge.ownFrontier(path) < ge.need {
+					return nil, fmt.Errorf("chain %d cannot reserve %d contact slots (has %d)",
+						v, ge.need, ge.ownFrontier(path))
+				}
+				break
+			}
+			for _, q := range ext {
+				ge.consume(q)
+			}
+			if fromTail {
+				path = append(path, ext...)
+			} else {
+				for _, q := range ext {
+					path = append(Chain{q}, path...)
+				}
+			}
+			continue
+		}
+		ge.consume(bestQ)
+		if atTail {
+			path = append(path, bestQ)
+		} else {
+			path = append(Chain{bestQ}, path...)
+		}
+	}
+	return path, nil
+}
+
+// scarcest returns the uncovered chain with the smallest remaining
+// frontier (ties to the lowest index) — the next one to wall in.
+func (ge *greedyEmbedder) scarcest() int {
+	best, bestF := -1, 0
+	for j := 0; j < len(ge.frontier); j++ {
+		if !ge.uncov[j] {
+			continue
+		}
+		if best < 0 || ge.frontier[j] < bestF {
+			best, bestF = j, ge.frontier[j]
+		}
+	}
+	return best
+}
+
+// covers reports whether consuming q touches chain j.
+func (ge *greedyEmbedder) covers(q, j int) bool {
+	for _, jj := range ge.cover[q] {
+		if jj == j {
+			return true
+		}
+	}
+	return false
+}
+
+// ownFrontier counts the free qubits adjacent to the growing path — the
+// contact slots this chain can still offer future chains.
+func (ge *greedyEmbedder) ownFrontier(path Chain) int {
+	seen := map[int]bool{}
+	n := 0
+	for _, q := range path {
+		for _, o := range ge.g.Neighbors(q) {
+			if ge.free(o) && !ge.inPath[o] && !seen[o] {
+				seen[o] = true
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// frontierGain counts the new frontier qubits appending q would add:
+// free neighbors of q not already adjacent to the path.
+func (ge *greedyEmbedder) frontierGain(path Chain, q int) int {
+	adj := map[int]bool{}
+	for _, p := range path {
+		for _, o := range ge.g.Neighbors(p) {
+			adj[o] = true
+		}
+	}
+	gain := 0
+	for _, o := range ge.g.Neighbors(q) {
+		if ge.free(o) && !ge.inPath[o] && !adj[o] {
+			gain++
+		}
+	}
+	return gain
+}
+
+// detour finds the shortest path of free, unused qubits from the chain's
+// tail (preferred) or head to the nearest qubit satisfying goal. It
+// returns the path excluding the starting endpoint, in walk order, and
+// whether it extends the tail. The first pass refuses to route through
+// qubits whose consumption would damage a scarce frontier; only when no
+// such detour exists does it relax. BFS visits neighbors in the graph's
+// deterministic order, so the detour is reproducible.
+func (ge *greedyEmbedder) detour(path Chain, goal func(int) bool) ([]int, bool) {
+	bfs := func(from int, careful bool) []int {
+		prev := map[int]int{from: -1}
+		queue := []int{from}
+		for len(queue) > 0 {
+			q := queue[0]
+			queue = queue[1:]
+			for _, o := range ge.g.Neighbors(q) {
+				if !ge.free(o) || ge.inPath[o] {
+					continue
+				}
+				if _, seen := prev[o]; seen {
+					continue
+				}
+				isGoal := goal(o)
+				if ge.hardBlocked(o) {
+					continue
+				}
+				if careful && !isGoal && ge.damage(o) > 0 {
+					continue
+				}
+				prev[o] = q
+				if isGoal {
+					var out []int
+					for at := o; at != from; at = prev[at] {
+						out = append(out, at)
+					}
+					for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+						out[i], out[j] = out[j], out[i]
+					}
+					return out
+				}
+				queue = append(queue, o)
+			}
+		}
+		return nil
+	}
+	for _, careful := range []bool{true, false} {
+		if ext := bfs(path[len(path)-1], careful); ext != nil {
+			return ext, true
+		}
+		if ext := bfs(path[0], careful); ext != nil {
+			return ext, false
+		}
+	}
+	return nil, false
+}

@@ -3,7 +3,7 @@ package embedding
 import (
 	"fmt"
 
-	"repro/internal/chimera"
+	"repro/internal/topology"
 )
 
 // triadChain builds the path of physical qubits for chain index i of a
@@ -13,11 +13,11 @@ import (
 // at the diagonal cell (b, b), and runs vertically down left-colon qubits
 // of column b to row m−1. Its length is m+1, and any two chains meet in
 // exactly one unit cell where an intra-cell coupler joins them.
-func triadChain(g *chimera.Graph, row0, col0, m, i int) Chain {
+func triadChain(g topology.CellGrid, row0, col0, m, i int) Chain {
 	b, k := i/4, i%4
 	ch := make(Chain, 0, m+1)
 	for c := 0; c <= b; c++ {
-		ch = append(ch, g.QubitAt(row0+b, col0+c, chimera.Half+k))
+		ch = append(ch, g.QubitAt(row0+b, col0+c, topology.Half+k))
 	}
 	for r := b; r < m; r++ {
 		ch = append(ch, g.QubitAt(row0+r, col0+b, k))
@@ -28,7 +28,7 @@ func triadChain(g *chimera.Graph, row0, col0, m, i int) Chain {
 // chainIntact reports whether every qubit of ch works and every
 // consecutive pair is joined by a working coupler. A chain containing a
 // broken qubit is unusable in its entirety (Figure 2d).
-func chainIntact(g *chimera.Graph, ch Chain) bool {
+func chainIntact(g topology.Graph, ch Chain) bool {
 	for _, q := range ch {
 		if !g.Working(q) {
 			return false
@@ -51,13 +51,14 @@ var ErrGraphTooSmall = fmt.Errorf("embedding: hardware graph too small for patte
 // TRIAD pattern anchored at the top-left unit cell. Chains hit by broken
 // qubits are skipped, growing the pattern as needed, so the embedding
 // degrades gracefully on faulty hardware (Figure 2d).
-func Triad(g *chimera.Graph, n int) (*Embedding, error) {
+func Triad(g topology.CellGrid, n int) (*Embedding, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("embedding: need a positive variable count, got %d", n)
 	}
-	maxM := g.Rows
-	if g.Cols < maxM {
-		maxM = g.Cols
+	rows, cols := g.Dims()
+	maxM := rows
+	if cols < maxM {
+		maxM = cols
 	}
 	for m := (n + 3) / 4; m <= maxM; m++ {
 		chains := make([]Chain, 0, n)
@@ -71,7 +72,7 @@ func Triad(g *chimera.Graph, n int) (*Embedding, error) {
 			return NewEmbedding(g, chains)
 		}
 	}
-	return nil, fmt.Errorf("%w: TRIAD for %d variables on %dx%d cells", ErrGraphTooSmall, n, g.Rows, g.Cols)
+	return nil, fmt.Errorf("%w: TRIAD for %d variables on %dx%d cells", ErrGraphTooSmall, n, rows, cols)
 }
 
 // TriadSize returns the TRIAD block size m = ⌈n/4⌉ and the qubit count

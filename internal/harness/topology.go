@@ -1,0 +1,155 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/mqo"
+	"repro/internal/splitmix"
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+// TopologyKinds is the hardware generation axis of the topology panel:
+// the paper's Chimera plus the two denser fabrics.
+var TopologyKinds = []string{"chimera", "pegasus", "zephyr"}
+
+// TopologyRow is one row of the topology panel: one workload class
+// solved on one hardware topology with the topology's native
+// complete-graph pattern (TRIAD on Chimera, the greedy path embedder on
+// Pegasus/Zephyr). The complete-graph pattern — not the clustered one —
+// is forced deliberately: clustered footprints are identical across
+// kinds (the denser graphs contain Chimera's couplers), while the K_n
+// pattern is exactly where Theorem 3's qubit counts change with
+// connectivity.
+type TopologyRow struct {
+	Kind string
+	// MaxDegree is the topology's coupler bound (6 / 15 / 20).
+	MaxDegree int
+	// WorkingQubits of the 12×12-cell device hosting the runs.
+	WorkingQubits int
+	// QubitsUsed is the physical footprint of the K_n embedding (the
+	// pattern depends only on the plan count, so it is constant across
+	// instances of the class).
+	QubitsUsed int
+	// QubitsPerVariable is the embedding overhead (Figure 6's x-axis).
+	QubitsPerVariable float64
+	// MaxChainLength is the longest chain of the embedding.
+	MaxChainLength int
+	// BrokenChainRate is the mean fraction of read-outs with at least
+	// one inconsistent chain — longer chains break more often.
+	BrokenChainRate float64
+	// TimeToBest is the mean modeled device time of the last incumbent
+	// improvement.
+	TimeToBest time.Duration
+	// FinalScaledCost is the mean final cost scaled against the exact
+	// optimum ((cost − opt) / opt; 0 is optimal).
+	FinalScaledCost float64
+}
+
+// RunTopology executes the topology comparison: the configured number
+// of instances of class, generated once on the default Chimera device
+// (so every topology solves the identical workload), then QA-solved on
+// each kind of TopologyKinds at the same cell dimensions with the
+// kind's native complete-graph pattern. (kind, instance) tasks flatten
+// onto one pool bounded by cfg.Parallelism; every task splits its
+// random stream off cfg.Seed, so results are independent of the worker
+// count.
+func (c Config) RunTopology(ctx context.Context, class mqo.Class) ([]TopologyRow, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cfg := c.withDefaults()
+	instances, err := cfg.Generate(class)
+	if err != nil {
+		return nil, err
+	}
+
+	rows, cols := cfg.Graph.Dims()
+	graphs := make([]topology.Graph, len(TopologyKinds))
+	patterns := make([]core.Pattern, len(TopologyKinds))
+	for i, kind := range TopologyKinds {
+		g, err := topology.New(kind, rows, cols)
+		if err != nil {
+			return nil, err
+		}
+		graphs[i] = g
+		patterns[i] = core.PatternGreedy
+		if kind == topology.ChimeraKind {
+			patterns[i] = core.PatternTriad
+		}
+	}
+
+	n := len(instances)
+	flat, err := exec.Map(ctx, cfg.Parallelism, len(TopologyKinds)*n,
+		func(tctx context.Context, t int) (*core.Result, error) {
+			k, i := t/n, t%n
+			opt := core.Options{
+				Graph:       graphs[k],
+				Runs:        cfg.QARuns,
+				Pattern:     patterns[k],
+				Parallelism: 1, // the pool is the only fan-out layer
+				Cache:       cfg.cache,
+			}
+			res, err := core.QuantumMQO(tctx, instances[i].Problem, opt, splitmix.Split(cfg.Seed, int64(t)))
+			if err != nil {
+				return nil, fmt.Errorf("harness: %s instance %d: %w", TopologyKinds[k], i, err)
+			}
+			return res, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	out := make([]TopologyRow, len(TopologyKinds))
+	for k, kind := range TopologyKinds {
+		row := TopologyRow{
+			Kind:          kind,
+			MaxDegree:     graphs[k].MaxDegree(),
+			WorkingQubits: graphs[k].NumWorkingQubits(),
+		}
+		var broken, scaled []float64
+		var ttb []float64
+		maxChain := 0
+		for i := 0; i < n; i++ {
+			res := flat[k*n+i]
+			row.QubitsUsed = res.QubitsUsed
+			row.QubitsPerVariable = res.QubitsPerVariable
+			broken = append(broken, res.BrokenChainRate)
+			scaled = append(scaled, scaledCost(res.Cost, instances[i].Optimum))
+			pts := res.Trace.Points()
+			if len(pts) > 0 {
+				ttb = append(ttb, float64(pts[len(pts)-1].T))
+			}
+			if res.MaxChainLength > maxChain {
+				maxChain = res.MaxChainLength
+			}
+		}
+		row.MaxChainLength = maxChain
+		row.BrokenChainRate = stats.Mean(broken)
+		row.FinalScaledCost = stats.Mean(scaled)
+		row.TimeToBest = time.Duration(stats.Mean(ttb))
+		out[k] = row
+	}
+	return out, nil
+}
+
+// RenderTopology writes the topology panel as text.
+func RenderTopology(w io.Writer, class mqo.Class, rows []TopologyRow) {
+	fmt.Fprintf(w, "Topology panel: %d queries × %d plans (K_%d complete-graph pattern per kind)\n",
+		class.Queries, class.PlansPerQuery, class.Queries*class.PlansPerQuery)
+	fmt.Fprintf(w, "%-9s %7s %8s %7s %7s %10s %13s %11s\n",
+		"topology", "degree", "qubits", "q/var", "chain", "broken", "time-to-best", "final-gap")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-9s %7d %8d %7.2f %7d %9.1f%% %13v %10.2f%%\n",
+			r.Kind, r.MaxDegree, r.QubitsUsed, r.QubitsPerVariable, r.MaxChainLength,
+			100*r.BrokenChainRate, r.TimeToBest, 100*r.FinalScaledCost)
+	}
+}

@@ -1,0 +1,57 @@
+package hashutil
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"math"
+	"testing"
+)
+
+func TestWriteU64LittleEndian(t *testing.T) {
+	var buf bytes.Buffer
+	WriteU64(&buf, 0x0102030405060708)
+	want := []byte{8, 7, 6, 5, 4, 3, 2, 1}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("WriteU64 = %v, want %v", buf.Bytes(), want)
+	}
+}
+
+func TestWriteIntNegative(t *testing.T) {
+	var buf bytes.Buffer
+	WriteInt(&buf, -1)
+	if got := binary.LittleEndian.Uint64(buf.Bytes()); got != math.MaxUint64 {
+		t.Fatalf("WriteInt(-1) = %x, want all-ones", got)
+	}
+}
+
+func TestWriteF64DistinguishesZeroSigns(t *testing.T) {
+	var a, b bytes.Buffer
+	WriteF64(&a, 0.0)
+	WriteF64(&b, math.Copysign(0, -1))
+	if bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("WriteF64 conflates +0 and -0")
+	}
+}
+
+func TestWriteStringLengthPrefixed(t *testing.T) {
+	var a, b bytes.Buffer
+	WriteString(&a, "ab")
+	WriteString(&a, "c")
+	WriteString(&b, "a")
+	WriteString(&b, "bc")
+	if bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("length prefix failed to disambiguate concatenated strings")
+	}
+}
+
+func TestSum64Deterministic(t *testing.T) {
+	enc := func(w io.Writer) { WriteU64(w, 7); WriteString(w, "pegasus") }
+	if Sum64(enc) != Sum64(enc) {
+		t.Fatal("Sum64 is not deterministic")
+	}
+	other := func(w io.Writer) { WriteU64(w, 7); WriteString(w, "zephyr") }
+	if Sum64(enc) == Sum64(other) {
+		t.Fatal("Sum64 collides on different streams")
+	}
+}

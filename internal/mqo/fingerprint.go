@@ -1,10 +1,9 @@
 package mqo
 
 import (
-	"encoding/binary"
-	"hash/fnv"
 	"io"
-	"math"
+
+	"repro/internal/hashutil"
 )
 
 // HashInto streams a canonical binary encoding of the instance structure
@@ -14,49 +13,36 @@ import (
 // shape regardless of which request constructed it. Writes to hash
 // sinks never fail; other writers' errors are ignored by design.
 func (p *Problem) HashInto(w io.Writer) {
-	writeU64(w, uint64(len(p.QueryPlans)))
+	hashutil.WriteInt(w, len(p.QueryPlans))
 	for _, plans := range p.QueryPlans {
-		writeU64(w, uint64(len(plans)))
+		hashutil.WriteInt(w, len(plans))
 		for _, pl := range plans {
-			writeU64(w, uint64(int64(pl)))
+			hashutil.WriteInt(w, pl)
 		}
 	}
-	writeU64(w, uint64(len(p.Costs)))
+	hashutil.WriteInt(w, len(p.Costs))
 	for _, c := range p.Costs {
-		writeU64(w, math.Float64bits(c))
+		hashutil.WriteF64(w, c)
 	}
-	writeU64(w, uint64(len(p.Savings)))
+	hashutil.WriteInt(w, len(p.Savings))
 	for _, s := range p.Savings {
-		writeU64(w, uint64(int64(s.P1)))
-		writeU64(w, uint64(int64(s.P2)))
-		writeU64(w, math.Float64bits(s.Value))
+		hashutil.WriteInt(w, s.P1)
+		hashutil.WriteInt(w, s.P2)
+		hashutil.WriteF64(w, s.Value)
 	}
 	// Distinguish "no clustering" from an explicit identity clustering:
 	// they imply the same ClusterOf but are different declared inputs.
 	if p.Clusters == nil {
-		writeU64(w, 0)
+		hashutil.WriteU64(w, 0)
 	} else {
-		writeU64(w, 1)
-		writeU64(w, uint64(len(p.Clusters)))
+		hashutil.WriteU64(w, 1)
+		hashutil.WriteInt(w, len(p.Clusters))
 		for _, c := range p.Clusters {
-			writeU64(w, uint64(int64(c)))
+			hashutil.WriteInt(w, c)
 		}
 	}
 }
 
 // Fingerprint returns a 64-bit digest of HashInto's canonical encoding:
 // the problem's shape identity for cache keys and request coalescing.
-func (p *Problem) Fingerprint() uint64 {
-	h := fnv.New64a()
-	p.HashInto(h)
-	return h.Sum64()
-}
-
-// writeU64 streams v to w in a fixed (little-endian) byte order — the
-// same encoding plancache.Keyer.Uint64 uses, so every fingerprint
-// contribution to a cache key is byte-order stable by construction.
-func writeU64(w io.Writer, v uint64) {
-	var b [8]byte
-	binary.LittleEndian.PutUint64(b[:], v)
-	w.Write(b[:])
-}
+func (p *Problem) Fingerprint() uint64 { return hashutil.Sum64(p.HashInto) }

@@ -1,10 +1,9 @@
 package qubo
 
 import (
-	"encoding/binary"
-	"hash/fnv"
 	"io"
-	"math"
+
+	"repro/internal/hashutil"
 )
 
 // Freeze makes the problem immutable: any subsequent AddLinear or
@@ -30,32 +29,19 @@ func (p *Problem) checkFrozen() {
 // offset — into w. Structurally identical formulas produce identical
 // streams regardless of the AddQuadratic call order that built them.
 func (p *Problem) HashInto(w io.Writer) {
-	writeU64(w, uint64(int64(p.n)))
+	hashutil.WriteInt(w, p.n)
 	for _, l := range p.linear {
-		writeU64(w, math.Float64bits(l))
+		hashutil.WriteF64(w, l)
 	}
 	cs := p.Couplings()
-	writeU64(w, uint64(len(cs)))
+	hashutil.WriteInt(w, len(cs))
 	for _, c := range cs {
-		writeU64(w, uint64(int64(c.I)))
-		writeU64(w, uint64(int64(c.J)))
-		writeU64(w, math.Float64bits(c.W))
+		hashutil.WriteInt(w, c.I)
+		hashutil.WriteInt(w, c.J)
+		hashutil.WriteF64(w, c.W)
 	}
-	writeU64(w, math.Float64bits(p.Offset))
+	hashutil.WriteF64(w, p.Offset)
 }
 
 // Fingerprint returns a 64-bit digest of HashInto's canonical encoding.
-func (p *Problem) Fingerprint() uint64 {
-	h := fnv.New64a()
-	p.HashInto(h)
-	return h.Sum64()
-}
-
-// writeU64 streams v to w in a fixed (little-endian) byte order — the
-// same encoding plancache.Keyer.Uint64 uses, so every fingerprint
-// contribution to a cache key is byte-order stable by construction.
-func writeU64(w io.Writer, v uint64) {
-	var b [8]byte
-	binary.LittleEndian.PutUint64(b[:], v)
-	w.Write(b[:])
-}
+func (p *Problem) Fingerprint() uint64 { return hashutil.Sum64(p.HashInto) }

@@ -1,0 +1,75 @@
+package topology
+
+// ZephyrKind is the registry name of the Zephyr-style topology.
+const ZephyrKind = "zephyr"
+
+// ZephyrMaxDegree is Zephyr's coupler bound per qubit: 16 internal +
+// 2 external + 2 odd, matching the degree of D-Wave's Advantage2-
+// generation fabric.
+const ZephyrMaxDegree = 20
+
+// NewZephyr returns a fault-free Zephyr-style graph of rows×cols unit
+// cells. Zephyr extends Pegasus along both axes that matter for
+// embedding density:
+//
+//   - Internal couplers: each vertical (left-colon) qubit of cell
+//     (r, c) crosses the horizontal qubits of FOUR cells — rows r−1
+//     through r+2 of column c — for 16 internal couplers (the qubit
+//     spans two unit cells, twice Pegasus's reach).
+//   - Odd couplers: the colon's four parallel qubits form a ring
+//     (0–1–2–3–0 on the left, 4–5–6–7–4 on the right), 2 per qubit
+//     instead of Pegasus's 1.
+//   - External couplers are Chimera's, 2 per qubit.
+//
+// Chimera's (and Pegasus's odd-pair) couplers are strict subsets on the
+// same grid, so existing embeddings stay valid while chains shorten
+// further.
+func NewZephyr(rows, cols int) *Cellular {
+	return newCellular(ZephyrKind, "Zephyr", rows, cols, ZephyrMaxDegree, zephyrCouples)
+}
+
+// zephyrCouples is the ideal-topology predicate of the Zephyr-style
+// graph. The internal clause is written from the vertical qubit's frame
+// (rows rv−1..rv+2 of the same column) so it stays symmetric: the
+// horizontal partner tests the identical relation from the other side.
+func zephyrCouples(g *Cellular, a, b int) bool {
+	ar, ac := g.Cell(a)
+	br, bc := g.Cell(b)
+	ak, bk := a%CellSize, b%CellSize
+	aLeft, bLeft := ak < Half, bk < Half
+	if aLeft != bLeft {
+		// Orient the pair: v is the vertical (left-colon) qubit.
+		vr, vc, hr, hc := ar, ac, br, bc
+		if !aLeft {
+			vr, vc, hr, hc = br, bc, ar, ac
+		}
+		return vc == hc && hr >= vr-1 && hr <= vr+2
+	}
+	dr, dc := ar-br, ac-bc
+	if dr < 0 {
+		dr = -dr
+	}
+	if dc < 0 {
+		dc = -dc
+	}
+	if dr == 0 && dc == 0 {
+		// Odd ring over the colon's four parallel qubits.
+		ka, kb := ak%Half, bk%Half
+		d := ka - kb
+		if d < 0 {
+			d = -d
+		}
+		return d == 1 || d == 3
+	}
+	if ak != bk {
+		return false
+	}
+	if aLeft {
+		return dc == 0 && dr == 1 // vertical external
+	}
+	return dr == 0 && dc == 1 // horizontal external
+}
+
+func init() {
+	Register(ZephyrKind, func(rows, cols int) Graph { return NewZephyr(rows, cols) })
+}

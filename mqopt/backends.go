@@ -191,6 +191,8 @@ func corePattern(e Embedding) (core.Pattern, error) {
 		return core.PatternClustered, nil
 	case EmbeddingTriad:
 		return core.PatternTriad, nil
+	case EmbeddingGreedy:
+		return core.PatternGreedy, nil
 	}
 	return core.PatternAuto, fmt.Errorf("mqopt: unknown embedding pattern %q", e)
 }
@@ -214,8 +216,12 @@ func (s *qaSolver) Solve(ctx context.Context, p *Problem, opts ...Option) (*Resu
 	if err != nil {
 		return nil, err
 	}
+	graph, err := cfg.resolveTopology()
+	if err != nil {
+		return nil, err
+	}
 	copt := core.Options{
-		Graph:       cfg.topology.graph(),
+		Graph:       graph,
 		Runs:        annealingRuns(cfg),
 		Pattern:     pattern,
 		Parallelism: cfg.parallelism,
@@ -267,6 +273,7 @@ func (s *qaSolver) Solve(ctx context.Context, p *Problem, opts ...Option) (*Resu
 		Annealer: &AnnealerInfo{
 			QubitsUsed:        cres.QubitsUsed,
 			QubitsPerVariable: cres.QubitsPerVariable,
+			MaxChainLength:    cres.MaxChainLength,
 			Runs:              cres.Runs,
 			BrokenChainRate:   cres.BrokenChainRate,
 			PreprocessTime:    cres.PreprocessTime,

@@ -36,6 +36,11 @@ type Fig7Point = harness.Fig7Point
 // cache cold (compile per request) versus warm (compile once).
 type ThroughputResult = harness.ThroughputResult
 
+// TopologyRow is one row of the hardware-topology panel: one workload
+// class solved on one topology kind with its native complete-graph
+// pattern.
+type TopologyRow = harness.TopologyRow
+
 // PaperClasses are the four problem classes of the evaluation.
 var PaperClasses = mqopt.PaperClasses
 
@@ -78,6 +83,19 @@ func RunThroughput(ctx context.Context, cfg Config, class mqopt.Class, requests 
 
 // RenderThroughput writes the throughput panel as text.
 func RenderThroughput(w io.Writer, r *ThroughputResult) { harness.RenderThroughput(w, r) }
+
+// RunTopology executes the hardware-topology comparison: instances of
+// class generated once, QA-solved on Chimera, Pegasus, and Zephyr at
+// the same cell dimensions, reporting qubit footprint, chain length,
+// broken-chain rate, and modeled time-to-best per kind.
+func RunTopology(ctx context.Context, cfg Config, class mqopt.Class) ([]TopologyRow, error) {
+	return cfg.RunTopology(ctx, class)
+}
+
+// RenderTopology writes the topology panel as text.
+func RenderTopology(w io.Writer, class mqopt.Class, rows []TopologyRow) {
+	harness.RenderTopology(w, class, rows)
+}
 
 // SolverNames lists the solver series of the anytime figures in
 // presentation order.

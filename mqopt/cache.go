@@ -4,7 +4,7 @@ import "repro/internal/core"
 
 // Cache is a content-addressed compilation cache shared across Solve
 // calls: it stores the compiled artifacts of the annealer pipeline —
-// the MQO→QUBO logical mapping, the Chimera minor embedding, the
+// the MQO→QUBO logical mapping, the hardware minor embedding, the
 // physical energy formula, and the CSR sampling program — keyed by a
 // canonical hash of the problem structure, the hardware topology, and
 // the compile-relevant options (embedding pattern, penalty slack, chain

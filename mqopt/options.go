@@ -4,6 +4,8 @@ import (
 	"math"
 	"strings"
 	"time"
+
+	"repro/internal/topology"
 )
 
 // Defaults applied when the corresponding option is not given.
@@ -20,7 +22,9 @@ type Embedding string
 
 const (
 	// EmbeddingAuto tries the clustered pattern (Figure 3) and falls
-	// back to the general TRIAD pattern (Figure 2).
+	// back to the topology's native complete-graph pattern: TRIAD
+	// (Figure 2) on Chimera, the greedy path embedder (TRIAD as last
+	// resort) on the denser kinds.
 	EmbeddingAuto Embedding = "auto"
 	// EmbeddingClustered forces the clustered pattern and fails when it
 	// cannot realize every coupling of the instance.
@@ -28,6 +32,10 @@ const (
 	// EmbeddingTriad forces the TRIAD pattern, which supports arbitrary
 	// coupling structure at a quadratic qubit cost.
 	EmbeddingTriad Embedding = "triad"
+	// EmbeddingGreedy forces the greedy path-based pattern, which
+	// turns the extra couplers of the Pegasus/Zephyr topologies into
+	// shorter chains.
+	EmbeddingGreedy Embedding = "greedy"
 )
 
 // Decomposition configures solving through a series of annealer-sized
@@ -61,14 +69,19 @@ type Option func(*solveConfig)
 
 // solveConfig is the resolved option set a Solver sees.
 type solveConfig struct {
-	budget        time.Duration
-	seed          int64
-	runs          int
-	parallelism   int
-	embedding     Embedding
-	decompose     *Decomposition
-	topology      *Topology
-	onImprovement func(Incumbent)
+	budget      time.Duration
+	seed        int64
+	runs        int
+	parallelism int
+	embedding   Embedding
+	decompose   *Decomposition
+	topology    *Topology
+	// topoKind/topoRows/topoCols select a registry topology by name;
+	// see WithTopology. Resolution happens at Solve time so unknown
+	// kinds surface as Solve errors.
+	topoKind           string
+	topoRows, topoCols int
+	onImprovement      func(Incumbent)
 	// target is the early-stop cost (NaN: none); see WithTargetCost.
 	target float64
 	// portfolio lists member solver names for the portfolio backend; see
@@ -103,6 +116,16 @@ func newSolveConfig(opts []Option) solveConfig {
 
 // hasTarget reports whether WithTargetCost was given.
 func (c *solveConfig) hasTarget() bool { return !math.IsNaN(c.target) }
+
+// resolveTopology materializes the configured hardware graph: the
+// explicit WithTopologyGraph value, a registry kind from WithTopology,
+// or (both unset) the default fault-free D-Wave 2X.
+func (c *solveConfig) resolveTopology() (topology.Graph, error) {
+	if c.topoKind != "" {
+		return topology.New(c.topoKind, c.topoRows, c.topoCols)
+	}
+	return c.topology.graph(), nil
+}
 
 // WithBudget bounds the optimization effort: wall-clock time for
 // classical solvers, modeled device time (376 µs per annealing run) for
@@ -183,10 +206,36 @@ func WithDecomposition(d Decomposition) Option {
 	}
 }
 
-// WithTopology runs annealer backends against t instead of the default
-// fault-free D-Wave 2X. Classical backends ignore it.
-func WithTopology(t *Topology) Option {
-	return func(c *solveConfig) { c.topology = t }
+// WithTopology runs annealer backends against a registry topology —
+// "chimera" (the default), "pegasus", or "zephyr" — instead of the
+// fault-free D-Wave 2X. dims optionally gives the unit-cell grid: one
+// value for a square grid, two for rows×cols; none selects the
+// paper-scale 12×12. Unknown kinds fail at Solve with an error
+// enumerating the registry. Classical backends ignore the option. For
+// a pre-built graph (custom fault maps), use WithTopologyGraph.
+func WithTopology(kind string, dims ...int) Option {
+	return func(c *solveConfig) {
+		c.topology = nil
+		c.topoKind = kind
+		c.topoRows, c.topoCols = 0, 0
+		switch len(dims) {
+		case 0:
+		case 1:
+			c.topoRows, c.topoCols = dims[0], dims[0]
+		default:
+			c.topoRows, c.topoCols = dims[0], dims[1]
+		}
+	}
+}
+
+// WithTopologyGraph runs annealer backends against t — a constructed
+// Topology value, possibly carrying a fault map — instead of the
+// default fault-free D-Wave 2X. Classical backends ignore it.
+func WithTopologyGraph(t *Topology) Option {
+	return func(c *solveConfig) {
+		c.topology = t
+		c.topoKind = ""
+	}
 }
 
 // WithTargetCost stops a solve early — successfully, with a nil error —
@@ -224,7 +273,7 @@ func WithPortfolio(members ...string) Option {
 }
 
 // WithCache serves the solve's compilation artifact — logical mapping,
-// Chimera embedding, physical formula, sampling program — from c
+// hardware embedding, physical formula, sampling program — from c
 // instead of rebuilding it, inserting on a miss. Concurrent solves of
 // the same problem shape compile once and share the frozen artifact.
 // Results are bit-identical with and without a cache; only wall-clock

@@ -164,7 +164,10 @@ func (s *portfolioSolver) Solve(ctx context.Context, p *Problem, opts ...Option)
 			o = append(o, WithAnnealingRuns(cfg.runs))
 		}
 		if cfg.topology != nil {
-			o = append(o, WithTopology(cfg.topology))
+			o = append(o, WithTopologyGraph(cfg.topology))
+		}
+		if cfg.topoKind != "" {
+			o = append(o, WithTopology(cfg.topoKind, cfg.topoRows, cfg.topoCols))
 		}
 		if cfg.cache != nil {
 			// Racing members share one compile cache; the first to need a

@@ -210,7 +210,7 @@ func TestServiceCoalescing(t *testing.T) {
 func throughputProblem(t testing.TB) (*Service, *Problem, func(seed int64, opts ...Option) Request) {
 	t.Helper()
 	topo := NewTopology(24, 24)
-	svc, err := NewService(serviceResolver, WithTopology(topo))
+	svc, err := NewService(serviceResolver, WithTopologyGraph(topo))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -66,6 +66,8 @@ type AnnealerInfo struct {
 	QubitsUsed int
 	// QubitsPerVariable is the embedding overhead (Figure 6's x-axis).
 	QubitsPerVariable float64
+	// MaxChainLength is the longest qubit chain of the embedding.
+	MaxChainLength int
 	// Runs is the number of annealing runs performed.
 	Runs int
 	// BrokenChainRate is the fraction of read-outs with at least one

@@ -1,24 +1,41 @@
 package mqopt
 
 import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
 	"repro/internal/chimera"
+	"repro/internal/core"
 	"repro/internal/embedding"
+	"repro/internal/logical"
+	"repro/internal/topology"
 )
 
 // PaperBrokenQubits is the number of inoperable qubits on the paper's
 // D-Wave 2X machine (1152 physical, 1097 working).
 const PaperBrokenQubits = chimera.PaperBrokenQubits
 
-// Topology is an annealer hardware graph: a Chimera lattice of 8-qubit
-// unit cells, possibly with broken qubits. The zero value is not usable;
-// construct via DWave2X or NewTopology.
+// Topology is an annealer hardware graph: a grid of 8-qubit unit cells
+// of one of the registered kinds, possibly with broken qubits. The
+// paper's "chimera" (degree ≤ 6) is the default everywhere; "pegasus"
+// (degree ≤ 15) and "zephyr" (degree ≤ 20) model the denser fabrics of
+// later device generations, whose extra couplers shorten embedding
+// chains. The zero value is not usable; construct via DWave2X,
+// NewTopology, or NewTopologyOf.
 type Topology struct {
-	g *chimera.Graph
+	g topology.Graph
 }
 
-// DWave2X returns the paper's 12×12-cell machine with the given number of
-// broken qubits placed pseudo-randomly from seed (the paper's device has
-// PaperBrokenQubits of them).
+// TopologyKinds lists the registered topology kinds ("chimera",
+// "pegasus", "zephyr", plus anything tests registered), sorted — the
+// valid first arguments of WithTopology and NewTopologyOf.
+func TopologyKinds() []string { return topology.Kinds() }
+
+// DWave2X returns the paper's 12×12-cell Chimera machine with the given
+// number of broken qubits placed pseudo-randomly from seed (the paper's
+// device has PaperBrokenQubits of them).
 func DWave2X(brokenQubits int, seed int64) *Topology {
 	return &Topology{g: chimera.DWave2X(brokenQubits, seed)}
 }
@@ -29,8 +46,59 @@ func NewTopology(rows, cols int) *Topology {
 	return &Topology{g: chimera.NewGraph(rows, cols)}
 }
 
+// ParseGridDims parses a unit-cell grid spec of the form "RxC"
+// (e.g. "12x12", case-insensitive) into rows and cols; the empty
+// string selects the default grid (0, 0 — NewTopologyOf's "use the
+// paper scale" convention). The shared parser behind every CLI dims
+// flag.
+func ParseGridDims(s string) (rows, cols int, err error) {
+	if s == "" {
+		return 0, 0, nil
+	}
+	parts := strings.SplitN(strings.ToLower(s), "x", 2)
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("mqopt: grid dimensions must be RxC, e.g. 12x12, got %q", s)
+	}
+	if rows, err = strconv.Atoi(strings.TrimSpace(parts[0])); err != nil || rows <= 0 {
+		return 0, 0, fmt.Errorf("mqopt: grid dimensions must be RxC with positive sizes, got %q", s)
+	}
+	if cols, err = strconv.Atoi(strings.TrimSpace(parts[1])); err != nil || cols <= 0 {
+		return 0, 0, fmt.Errorf("mqopt: grid dimensions must be RxC with positive sizes, got %q", s)
+	}
+	return rows, cols, nil
+}
+
+// NewTopologyOf returns a fault-free graph of the named kind with the
+// given unit-cell dimensions (non-positive dimensions select the
+// paper-scale 12×12 grid). Unknown kinds return an error enumerating
+// the registry.
+func NewTopologyOf(kind string, rows, cols int) (*Topology, error) {
+	g, err := topology.New(kind, rows, cols)
+	if err != nil {
+		return nil, err
+	}
+	return &Topology{g: g}, nil
+}
+
+// Kind names the topology family ("chimera", "pegasus", "zephyr").
+func (t *Topology) Kind() string { return t.g.Kind() }
+
+// Dims returns the unit-cell grid dimensions.
+func (t *Topology) Dims() (rows, cols int) { return t.g.Dims() }
+
+// MaxDegree returns the topology's coupler bound per qubit (6, 15, and
+// 20 for the built-in kinds).
+func (t *Topology) MaxDegree() int { return t.g.MaxDegree() }
+
 // BreakQubit marks qubit q inoperable; embeddings route around it.
 func (t *Topology) BreakQubit(q int) { t.g.BreakQubit(q) }
+
+// BreakRandomQubits marks n qubits inoperable at positions drawn
+// deterministically from seed — the fault model of DWave2X, available
+// on every kind.
+func (t *Topology) BreakRandomQubits(n int, seed int64) {
+	topology.BreakRandomQubits(t.g, n, seed)
+}
 
 // NumQubits returns the number of physical qubits, working or not.
 func (t *Topology) NumQubits() int { return t.g.NumQubits() }
@@ -38,15 +106,18 @@ func (t *Topology) NumQubits() int { return t.g.NumQubits() }
 // NumWorkingQubits returns the number of operable qubits.
 func (t *Topology) NumWorkingQubits() int { return t.g.NumWorkingQubits() }
 
+// NumCouplers returns the number of working couplers.
+func (t *Topology) NumCouplers() int { return t.g.NumCouplers() }
+
 // Render draws the unit-cell grid as text (a textual Figure 1).
 func (t *Topology) Render() string { return t.g.Render() }
 
 // graph returns the wrapped hardware graph, defaulting to a fault-free
 // D-Wave 2X when t is nil — the facade-wide convention for the topology
 // option.
-func (t *Topology) graph() *chimera.Graph {
+func (t *Topology) graph() topology.Graph {
 	if t == nil {
-		return chimera.DWave2X(0, 0)
+		return topology.DWave2X(0, 0)
 	}
 	return t.g
 }
@@ -62,47 +133,130 @@ type EmbeddingReport struct {
 	QubitsPerVariable float64
 	// MaxChainLength is the length of the longest qubit chain.
 	MaxChainLength int
-	// ChainSize is the TRIAD chain parameter m (0 for clustered
-	// embeddings): TRIAD chains have length m+1 for m = ⌈n/4⌉.
+	// ChainSize is the TRIAD chain parameter m (0 for other patterns):
+	// TRIAD chains have length m+1 for m = ⌈n/4⌉.
 	ChainSize int
+	// ChainLengths counts chains by length: ChainLengths[l] is the
+	// number of logical variables whose chain consumes l qubits. The
+	// data behind mqo-embed's chain-length histograms.
+	ChainLengths map[int]int
+}
+
+func reportFor(emb *embedding.Embedding, chainSize int) *EmbeddingReport {
+	hist := make(map[int]int)
+	for _, ch := range emb.Chains {
+		hist[len(ch)]++
+	}
+	return &EmbeddingReport{
+		Variables:         emb.NumVariables(),
+		Qubits:            emb.NumQubits(),
+		QubitsPerVariable: emb.QubitsPerVariable(),
+		MaxChainLength:    emb.MaxChainLength(),
+		ChainSize:         chainSize,
+		ChainLengths:      hist,
+	}
+}
+
+// HistogramLengths returns the chain lengths present in the report in
+// ascending order — the row order of a rendered histogram.
+func (r *EmbeddingReport) HistogramLengths() []int {
+	out := make([]int, 0, len(r.ChainLengths))
+	for l := range r.ChainLengths {
+		out = append(out, l)
+	}
+	sort.Ints(out)
+	return out
 }
 
 // TriadReport computes the footprint of embedding n variables with the
 // general TRIAD pattern (Figure 2) on t, which supports arbitrary QUBO
 // coupling structure at a quadratic qubit cost.
 func TriadReport(t *Topology, n int) (*EmbeddingReport, error) {
-	emb, err := embedding.Triad(t.graph(), n)
+	cg, ok := t.graph().(topology.CellGrid)
+	if !ok {
+		return nil, errNotCellular(t)
+	}
+	emb, err := embedding.Triad(cg, n)
 	if err != nil {
 		return nil, err
 	}
 	m, _ := embedding.TriadSize(n)
-	return &EmbeddingReport{
-		Variables:         emb.NumVariables(),
-		Qubits:            emb.NumQubits(),
-		QubitsPerVariable: emb.QubitsPerVariable(),
-		MaxChainLength:    emb.MaxChainLength(),
-		ChainSize:         m,
-	}, nil
+	return reportFor(emb, m), nil
+}
+
+// GreedyReport computes the footprint of embedding n pairwise-connected
+// variables with the greedy path-based pattern, which exploits the
+// extra couplers of the denser topologies for shorter chains.
+func GreedyReport(t *Topology, n int) (*EmbeddingReport, error) {
+	emb, err := embedding.Greedy(t.graph(), n)
+	if err != nil {
+		return nil, err
+	}
+	return reportFor(emb, 0), nil
+}
+
+// CompleteGraphReport computes the footprint of the topology's native
+// complete-graph pattern for n variables: TRIAD on Chimera, greedy
+// (with TRIAD fallback) on the denser kinds — the pattern an
+// auto-embedded solve of an unclustered instance would use.
+func CompleteGraphReport(t *Topology, n int) (*EmbeddingReport, error) {
+	g := t.graph()
+	if g.Kind() == topology.ChimeraKind {
+		return TriadReport(t, n)
+	}
+	if rep, err := GreedyReport(t, n); err == nil {
+		return rep, nil
+	}
+	return TriadReport(t, n)
 }
 
 // ClusteredReport computes the footprint of the clustered pattern
 // (Figure 3) for the given cluster sizes (plans per cluster) on t. It
 // fails when the clusters do not fit the graph.
 func ClusteredReport(t *Topology, clusterSizes []int) (*EmbeddingReport, error) {
-	emb, err := embedding.Clustered(t.graph(), clusterSizes)
+	cg, ok := t.graph().(topology.CellGrid)
+	if !ok {
+		return nil, errNotCellular(t)
+	}
+	emb, err := embedding.Clustered(cg, clusterSizes)
 	if err != nil {
 		return nil, err
 	}
-	return &EmbeddingReport{
-		Variables:         emb.NumVariables(),
-		Qubits:            emb.NumQubits(),
-		QubitsPerVariable: emb.QubitsPerVariable(),
-		MaxChainLength:    emb.MaxChainLength(),
-	}, nil
+	return reportFor(emb, 0), nil
 }
 
 // ClusterCapacity returns how many clusters of l plans each fit on t —
 // the maximal number of queries per plans-per-query (Figure 7).
 func ClusterCapacity(t *Topology, l int) int {
-	return embedding.Capacity(t.graph(), l)
+	cg, ok := t.graph().(topology.CellGrid)
+	if !ok {
+		return 0
+	}
+	return embedding.Capacity(cg, l)
+}
+
+func errNotCellular(t *Topology) error {
+	return &notCellularError{kind: t.Kind()}
+}
+
+type notCellularError struct{ kind string }
+
+func (e *notCellularError) Error() string {
+	return "mqopt: pattern needs a cell-structured topology, " + e.kind + " is not one"
+}
+
+// ProblemEmbeddingReport computes the footprint of embedding problem p
+// on t with the given pattern — the per-solve embedding a QA backend
+// would build, without running any annealing.
+func ProblemEmbeddingReport(t *Topology, p *Problem, e Embedding) (*EmbeddingReport, error) {
+	pattern, err := corePattern(e)
+	if err != nil {
+		return nil, err
+	}
+	mapping := logical.Map(p.unwrap())
+	emb, _, err := core.EmbedProblem(t.graph(), p.unwrap(), mapping, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return reportFor(emb, 0), nil
 }

@@ -1,0 +1,121 @@
+package mqopt
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTopologyKindsRegistry(t *testing.T) {
+	kinds := TopologyKinds()
+	for _, want := range []string{"chimera", "pegasus", "zephyr"} {
+		found := false
+		for _, k := range kinds {
+			if k == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("kind %q missing from %v", want, kinds)
+		}
+	}
+	if _, err := NewTopologyOf("moebius", 4, 4); err == nil {
+		t.Fatal("unknown kind did not error")
+	}
+}
+
+func TestNewTopologyOfProperties(t *testing.T) {
+	peg, err := NewTopologyOf("pegasus", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peg.Kind() != "pegasus" || peg.MaxDegree() != 15 {
+		t.Fatalf("pegasus topology = kind %q degree %d", peg.Kind(), peg.MaxDegree())
+	}
+	if r, c := peg.Dims(); r != 12 || c != 12 {
+		t.Fatalf("default dims = %dx%d", r, c)
+	}
+	zep, _ := NewTopologyOf("zephyr", 6, 6)
+	if zep.NumCouplers() <= peg.NumCouplers()*36/144 {
+		t.Fatal("zephyr is not denser than pegasus per cell")
+	}
+	before := zep.NumWorkingQubits()
+	zep.BreakRandomQubits(5, 3)
+	if zep.NumWorkingQubits() != before-5 {
+		t.Fatal("BreakRandomQubits broke the wrong count")
+	}
+	if !strings.HasPrefix(zep.Render(), "Zephyr 6x6") {
+		t.Fatalf("render header = %q", strings.SplitN(zep.Render(), "\n", 2)[0])
+	}
+}
+
+// TestSolveWithNamedTopology: the WithTopology(kind, dims...) option
+// end-to-end — deterministic pegasus/zephyr solves that differ from the
+// chimera solve of the same instance, plus the unknown-kind error path.
+func TestSolveWithNamedTopology(t *testing.T) {
+	p, err := GenerateEmbeddable(3, nil, Class{Queries: 6, PlansPerQuery: 2}, GeneratorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	solver := NewQASolver()
+	run := func(opts ...Option) *Result {
+		t.Helper()
+		res, err := solver.Solve(context.Background(), p, append([]Option{
+			WithSeed(7), WithAnnealingRuns(40), WithBudget(time.Second),
+		}, opts...)...)
+		if err != nil {
+			t.Fatalf("solve: %v", err)
+		}
+		return res
+	}
+	for _, kind := range []string{"pegasus", "zephyr"} {
+		a := run(WithTopology(kind))
+		b := run(WithTopology(kind, 12, 12))
+		if a.Cost != b.Cost || !reflect.DeepEqual(a.Incumbents, b.Incumbents) {
+			t.Fatalf("%s: default dims and explicit 12x12 diverge", kind)
+		}
+		if !p.unwrap().Valid(a.Solution) {
+			t.Fatalf("%s: invalid solution", kind)
+		}
+	}
+	if _, err := solver.Solve(context.Background(), p, WithTopology("moebius")); err == nil ||
+		!strings.Contains(err.Error(), "unknown kind") {
+		t.Fatalf("unknown topology kind error = %v", err)
+	}
+}
+
+func TestCompleteGraphAndGreedyReports(t *testing.T) {
+	peg, _ := NewTopologyOf("pegasus", 12, 12)
+	rep, err := GreedyReport(peg, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Variables != 12 || rep.Qubits <= 0 || len(rep.ChainLengths) == 0 {
+		t.Fatalf("greedy report = %+v", rep)
+	}
+	total := 0
+	for _, l := range rep.HistogramLengths() {
+		total += rep.ChainLengths[l]
+	}
+	if total != 12 {
+		t.Fatalf("histogram counts %d chains, want 12", total)
+	}
+	chim := DWave2X(0, 0)
+	crep, err := CompleteGraphReport(chim, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crep.ChainSize == 0 {
+		t.Fatal("chimera complete-graph report did not use TRIAD")
+	}
+	prep, err := CompleteGraphReport(peg, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prep.Qubits >= crep.Qubits {
+		t.Fatalf("pegasus complete-graph report (%d qubits) not denser than chimera (%d)",
+			prep.Qubits, crep.Qubits)
+	}
+}
