@@ -27,7 +27,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "fig4|fig5|fig6|fig7|table1|throughput|topology|all")
+	experiment := flag.String("experiment", "all", "fig4|fig5|fig6|fig7|table1|throughput|topology|workload|all")
 	instances := flag.Int("instances", 3, "instances per class (paper: 20)")
 	budget := flag.Duration("budget", 2*time.Second, "classical solver budget (paper: 100s)")
 	runs := flag.Int("runs", 1000, "annealing runs per instance (paper: 1000)")
@@ -120,6 +120,13 @@ func run(ctx context.Context, cfg bench.Config, experiment string, w io.Writer) 
 		}
 		bench.RenderTopology(w, topologyClass, rows)
 		return nil
+	case "workload":
+		res, err := bench.RunWorkload(ctx, cfg)
+		if err != nil {
+			return err
+		}
+		bench.RenderWorkload(w, res)
+		return nil
 	case "table1":
 		rows, err := bench.RunTable1(ctx, cfg, bench.PaperClasses)
 		if err != nil {
@@ -162,6 +169,13 @@ func run(ctx context.Context, cfg bench.Config, experiment string, w io.Writer) 
 			return err
 		}
 		bench.RenderTopology(w, topologyClass, trows)
+		fmt.Fprintln(w)
+		fmt.Fprintln(w, "=== Workload panel (join-graph derived instances) ===")
+		wres, err := bench.RunWorkload(ctx, cfg)
+		if err != nil {
+			return err
+		}
+		bench.RenderWorkload(w, wres)
 		return nil
 	default:
 		return fmt.Errorf("unknown experiment %q", experiment)

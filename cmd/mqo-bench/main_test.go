@@ -82,6 +82,46 @@ func TestBenchPortfolioColumnRendered(t *testing.T) {
 	}
 }
 
+// TestGoldenWorkload pins the workload panel: annealer, greedy-join,
+// and their portfolio all run on modeled clocks over workload-derived
+// instances, so the rendered table — costs, gaps, time-to-best, plan
+// cache hit rate — is deterministic for a fixed seed at any
+// parallelism.
+func TestGoldenWorkload(t *testing.T) {
+	cfg := bench.DefaultConfig()
+	cfg.Instances = 2
+	cfg.QARuns = 150
+	var buf bytes.Buffer
+	if err := run(context.Background(), cfg, "workload", &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	path := filepath.Join("testdata", "golden", "workload.json")
+	if *update {
+		data, err := json.MarshalIndent(golden{
+			Description: "mqo-bench -experiment workload -instances 2 -runs 150 (annealer vs greedy-join vs portfolio on workload-derived instances)",
+			Output:      buf.String(),
+		}, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run `go test ./cmd/mqo-bench -update`): %v", err)
+	}
+	var want golden
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatalf("corrupt golden file: %v", err)
+	}
+	if got := buf.String(); got != want.Output {
+		t.Errorf("workload output diverges:\n--- got ---\n%s\n--- want ---\n%s", got, want.Output)
+	}
+}
+
 // TestGoldenTopology pins the hardware-topology panel: QA runs on a
 // modeled clock against exact optima, so the whole panel — footprints,
 // chain lengths, broken-chain rates, time-to-best — is deterministic

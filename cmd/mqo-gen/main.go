@@ -1,47 +1,84 @@
-// Command mqo-gen emits a random MQO instance as JSON. With -embeddable
-// (the default) the instance's work-sharing links are restricted to plan
+// Command mqo-gen emits a random MQO instance as JSON, or — with
+// -workload — a deterministic join-graph workload in the text format
+// mqo-solve's -workload flag reads. With -embeddable (the default for
+// instances) the instance's work-sharing links are restricted to plan
 // pairs the clustered Chimera embedding can realize, like the test cases
-// of the paper's evaluation.
+// of the paper's evaluation. Workload query shapes are drawn with
+// Zipf-skewed popularity, so shapes repeat the way real query templates
+// do.
 //
 // Usage:
 //
 //	mqo-gen -queries 108 -plans 5 > instance.json
+//	mqo-gen -workload -queries 8 -relations 10 -seed 3 > workload.txt
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/mqopt"
 )
 
+// options collects one invocation's flags, so tests drive run directly.
+type options struct {
+	queries    int
+	plans      int
+	seed       int64
+	embeddable bool
+	broken     int
+	workload   bool
+	relations  int
+	zipf       float64
+}
+
 func main() {
-	queries := flag.Int("queries", 50, "number of queries")
-	plans := flag.Int("plans", 2, "plans per query")
-	seed := flag.Int64("seed", 1, "random seed")
-	embeddable := flag.Bool("embeddable", true, "restrict savings to annealer-couplable plan pairs")
-	broken := flag.Int("broken", 0, "broken qubits on the target annealer")
+	opts := options{}
+	flag.IntVar(&opts.queries, "queries", 50, "number of queries")
+	flag.IntVar(&opts.plans, "plans", 2, "plans per query (instance mode)")
+	flag.Int64Var(&opts.seed, "seed", 1, "random seed")
+	flag.BoolVar(&opts.embeddable, "embeddable", true,
+		"restrict savings to annealer-couplable plan pairs (instance mode)")
+	flag.IntVar(&opts.broken, "broken", 0, "broken qubits on the target annealer (instance mode)")
+	flag.BoolVar(&opts.workload, "workload", false,
+		"emit a join-graph workload (text format) instead of an instance")
+	flag.IntVar(&opts.relations, "relations", 0,
+		"workload relation-catalog size (default 9)")
+	flag.Float64Var(&opts.zipf, "zipf", 0,
+		"workload query-shape popularity skew, > 1 (default 1.2)")
 	flag.Parse()
 
-	if err := run(*queries, *plans, *seed, *embeddable, *broken); err != nil {
+	if err := run(opts, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "mqo-gen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(queries, plans int, seed int64, embeddable bool, broken int) error {
-	class := mqopt.Class{Queries: queries, PlansPerQuery: plans}
+func run(opts options, out io.Writer) error {
+	if opts.workload {
+		w, err := mqopt.GenerateWorkload(opts.seed, mqopt.WorkloadGenConfig{
+			Queries:   opts.queries,
+			Relations: opts.relations,
+			ZipfS:     opts.zipf,
+		})
+		if err != nil {
+			return err
+		}
+		return w.WriteText(out)
+	}
+	class := mqopt.Class{Queries: opts.queries, PlansPerQuery: opts.plans}
 	cfg := mqopt.DefaultGeneratorConfig()
 	var p *mqopt.Problem
-	if embeddable {
+	if opts.embeddable {
 		var err error
-		p, err = mqopt.GenerateEmbeddable(seed, mqopt.DWave2X(broken, seed), class, cfg)
+		p, err = mqopt.GenerateEmbeddable(opts.seed, mqopt.DWave2X(opts.broken, opts.seed), class, cfg)
 		if err != nil {
 			return err
 		}
 	} else {
-		p = mqopt.Generate(seed, class, cfg)
+		p = mqopt.Generate(opts.seed, class, cfg)
 	}
-	return p.Write(os.Stdout)
+	return p.Write(out)
 }

@@ -12,6 +12,11 @@
 //	jq -n --slurpfile p inst.json '{problem: $p[0], solver: "qa", seed: 7, budget: "20ms"}' \
 //	  | curl -s -d @- localhost:8333/solve
 //
+//	# solve a join-graph workload (instance derived server-side)
+//	mqo-gen -workload -queries 8 > wl.txt
+//	jq -n --rawfile w wl.txt '{workload: $w, solver: "greedy-join", seed: 7}' \
+//	  | curl -s -d @- localhost:8333/solve
+//
 //	# service and cache counters
 //	curl -s localhost:8333/stats
 //
@@ -38,6 +43,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
@@ -94,6 +100,11 @@ func main() {
 // optional and mirrors the mqo-solve flags.
 type solveRequest struct {
 	Problem json.RawMessage `json:"problem"`
+	// Workload is a join-graph workload (the text or JSON format mqo-gen
+	// -workload emits); the MQO instance is derived from detected
+	// sharing. Mutually exclusive with Problem. Workload-native solvers
+	// (greedy-join) and portfolios including them require it.
+	Workload string `json:"workload,omitempty"`
 	// Solver is a registry name (qa, qa-series, portfolio, lin-mqo,
 	// ...); empty selects the service default.
 	Solver string `json:"solver,omitempty"`
@@ -230,14 +241,30 @@ func newHandler(svc *mqopt.Service) http.Handler {
 
 // buildRequest translates the wire request into a service request.
 func buildRequest(req solveRequest) (mqopt.Request, error) {
-	if len(req.Problem) == 0 {
-		return mqopt.Request{}, fmt.Errorf("request has no problem")
+	if len(req.Problem) != 0 && req.Workload != "" {
+		return mqopt.Request{}, fmt.Errorf("problem and workload are mutually exclusive")
 	}
-	p, err := mqopt.ReadProblem(bytes.NewReader(req.Problem))
-	if err != nil {
-		return mqopt.Request{}, fmt.Errorf("reading problem: %v", err)
+	if len(req.Problem) == 0 && req.Workload == "" {
+		return mqopt.Request{}, fmt.Errorf("request has no problem or workload")
 	}
-	var opts []mqopt.Option
+	var (
+		p    *mqopt.Problem
+		opts []mqopt.Option
+	)
+	if req.Workload != "" {
+		wl, err := mqopt.ParseWorkload(strings.NewReader(req.Workload))
+		if err != nil {
+			return mqopt.Request{}, fmt.Errorf("reading workload: %v", err)
+		}
+		p = wl.Problem()
+		opts = append(opts, mqopt.WithWorkload(wl))
+	} else {
+		var err error
+		p, err = mqopt.ReadProblem(bytes.NewReader(req.Problem))
+		if err != nil {
+			return mqopt.Request{}, fmt.Errorf("reading problem: %v", err)
+		}
+	}
 	if req.Seed != nil {
 		opts = append(opts, mqopt.WithSeed(*req.Seed))
 	}

@@ -233,6 +233,89 @@ func TestBatchedEndpoint(t *testing.T) {
 	}
 }
 
+// workloadJSON renders one generated workload as a JSON string literal
+// for embedding in a request body.
+func workloadJSON(t *testing.T) string {
+	t.Helper()
+	wl, err := mqopt.GenerateWorkload(3, mqopt.WorkloadGenConfig{Queries: 8, Relations: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := wl.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(buf.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// TestSolveEndpointWorkload: the workload field derives the instance
+// server-side and feeds workload-native solvers; repeats are
+// byte-identical.
+func TestSolveEndpointWorkload(t *testing.T) {
+	srv, _ := testServer(t)
+	wl := workloadJSON(t)
+
+	body := fmt.Sprintf(`{"workload": %s, "solver": "greedy-join", "seed": 7, "budget": "10ms"}`, wl)
+	resp1, data1 := postSolve(t, srv.URL, body)
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp1.StatusCode, data1)
+	}
+	var out solveResponse
+	if err := json.Unmarshal(data1, &out); err != nil {
+		t.Fatalf("bad response JSON: %v", err)
+	}
+	if out.Solver != "GREEDY-JOIN" || len(out.Solution) != 8 || len(out.Incumbents) == 0 {
+		t.Fatalf("unexpected response: %+v", out)
+	}
+	_, data2 := postSolve(t, srv.URL, body)
+	if !bytes.Equal(data1, data2) {
+		t.Fatal("repeated workload request bodies differ")
+	}
+
+	// A portfolio with a workload-native member works over the wire too.
+	pf := fmt.Sprintf(`{"workload": %s, "solver": "portfolio", "members": ["qa", "greedy-join"], "seed": 5, "budget": "10ms", "runs": 20}`, wl)
+	respPf, dataPf := postSolve(t, srv.URL, pf)
+	if respPf.StatusCode != http.StatusOK {
+		t.Fatalf("portfolio status %d: %s", respPf.StatusCode, dataPf)
+	}
+	var pfOut solveResponse
+	if err := json.Unmarshal(dataPf, &pfOut); err != nil {
+		t.Fatal(err)
+	}
+	if pfOut.Winner == "" {
+		t.Fatalf("portfolio response has no winner: %+v", pfOut)
+	}
+}
+
+// TestSolveEndpointWorkloadBadRequests: workload-specific 400s —
+// problem+workload together, malformed workload text, and greedy-join
+// without a workload.
+func TestSolveEndpointWorkloadBadRequests(t *testing.T) {
+	srv, _ := testServer(t)
+	inst := instanceJSON(t)
+	wl := workloadJSON(t)
+
+	for name, body := range map[string]string{
+		"both":      fmt.Sprintf(`{"problem": %s, "workload": %s}`, inst, wl),
+		"malformed": `{"workload": "rel r1\nquery q {"}`,
+	} {
+		resp, data := postSolve(t, srv.URL, body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d (%s), want 400", name, resp.StatusCode, data)
+		}
+	}
+	// greedy-join on a bare instance fails the solve (not a 400 — the
+	// request is well formed; the solver rejects it).
+	resp, data := postSolve(t, srv.URL, fmt.Sprintf(`{"problem": %s, "solver": "greedy-join"}`, inst))
+	if resp.StatusCode == http.StatusOK {
+		t.Errorf("greedy-join without workload accepted: %s", data)
+	}
+}
+
 // TestSolveEndpointTopology: per-request topology selection over the
 // wire — pegasus solves deterministically, unknown kinds and malformed
 // dims map to 400.

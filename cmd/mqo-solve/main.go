@@ -1,5 +1,6 @@
-// Command mqo-solve optimizes one MQO instance, read as JSON from a file
-// or stdin, with any solver registered in the mqopt solver registry.
+// Command mqo-solve optimizes one MQO instance — read as JSON from a
+// file or stdin, or derived from a join-graph workload file via
+// -workload — with any solver registered in the mqopt solver registry.
 //
 // Usage:
 //
@@ -7,6 +8,8 @@
 //	mqo-solve -in instance.json -solver lin-mqo -budget 10s
 //	mqo-solve -in instance.json -solver portfolio -members qa,climb,ga50
 //	mqo-solve -in instance.json -solver qa -topology pegasus -broken 55
+//	mqo-gen -workload -queries 8 | mqo-solve -workload - -solver greedy-join
+//	mqo-solve -workload workload.txt -solver qa
 //	mqo-solve -list-solvers
 package main
 
@@ -29,6 +32,7 @@ import (
 // options collects one invocation's flags, so tests drive run directly.
 type options struct {
 	in       string
+	workload string
 	solver   string
 	members  string
 	budget   time.Duration
@@ -46,6 +50,8 @@ type options struct {
 func main() {
 	opts := options{}
 	flag.StringVar(&opts.in, "in", "-", "input file (JSON; - for stdin)")
+	flag.StringVar(&opts.workload, "workload", "",
+		"solve a join-graph workload file (text or JSON; - for stdin) instead of a JSON instance; the MQO instance is derived from detected sharing")
 	flag.StringVar(&opts.solver, "solver", "qa", "registered solver name (see -list-solvers)")
 	flag.StringVar(&opts.members, "members", "",
 		"comma-separated member solvers for -solver portfolio (default: qa,climb,ga50)")
@@ -112,18 +118,43 @@ func resolveTopology(opts options) (*mqopt.Topology, error) {
 }
 
 func run(ctx context.Context, opts options, out io.Writer) error {
-	r := os.Stdin
-	if opts.in != "-" {
-		f, err := os.Open(opts.in)
+	if opts.workload != "" && opts.in != "-" {
+		return fmt.Errorf("-in and -workload are mutually exclusive")
+	}
+	open := func(path string) (io.ReadCloser, error) {
+		if path == "-" {
+			return io.NopCloser(os.Stdin), nil
+		}
+		return os.Open(path)
+	}
+
+	var (
+		p  *mqopt.Problem
+		wl *mqopt.Workload
+	)
+	if opts.workload != "" {
+		f, err := open(opts.workload)
 		if err != nil {
 			return err
 		}
-		defer f.Close()
-		r = f
-	}
-	p, err := mqopt.ReadProblem(r)
-	if err != nil {
-		return fmt.Errorf("reading instance: %w", err)
+		wl, err = mqopt.ParseWorkload(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("reading workload: %w", err)
+		}
+		p = wl.Problem()
+		fmt.Fprintf(out, "workload: %d queries over %d relations -> %d plans, %d savings (fingerprint %016x)\n",
+			wl.NumQueries(), wl.NumRelations(), p.NumPlans(), p.NumSavings(), p.Fingerprint())
+	} else {
+		f, err := open(opts.in)
+		if err != nil {
+			return err
+		}
+		p, err = mqopt.ReadProblem(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("reading instance: %w", err)
+		}
 	}
 
 	solveOpts := []mqopt.Option{
@@ -152,6 +183,11 @@ func run(ctx context.Context, opts options, out io.Writer) error {
 	}
 	if !math.IsNaN(opts.target) {
 		solveOpts = append(solveOpts, mqopt.WithTargetCost(opts.target))
+	}
+	if wl != nil {
+		// Provenance for workload-native solvers (greedy-join) and
+		// portfolios that include them.
+		solveOpts = append(solveOpts, mqopt.WithWorkload(wl))
 	}
 
 	res, err := solverreg.Solve(ctx, opts.solver, p, solveOpts...)

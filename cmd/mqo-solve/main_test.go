@@ -64,6 +64,34 @@ func goldenCases() []goldenCase {
 			},
 		},
 		{
+			Name:        "workload-greedy-join",
+			Description: "janus-style greedy join ordering on a workload file, verbose trace",
+			Opts: options{
+				in: "-", workload: "testdata/workload.txt", solver: "greedy-join",
+				budget: 20 * time.Millisecond, seed: 7, target: math.NaN(),
+				paral: 2, verbose: true,
+			},
+		},
+		{
+			Name:        "workload-qa",
+			Description: "annealer pipeline on the instance derived from a workload file",
+			Opts: options{
+				in: "-", workload: "testdata/workload.txt", solver: "qa",
+				budget: 20 * time.Millisecond, seed: 7, target: math.NaN(),
+				paral: 2, verbose: false,
+			},
+		},
+		{
+			Name:        "workload-portfolio",
+			Description: "portfolio racing the annealer against greedy-join on a workload file",
+			Opts: options{
+				in: "-", workload: "testdata/workload.txt", solver: "portfolio",
+				members: "qa,greedy-join",
+				budget:  20 * time.Millisecond, seed: 5, target: math.NaN(),
+				paral: 2, verbose: true,
+			},
+		},
+		{
 			Name:        "qa-pegasus",
 			Description: "annealer pipeline on the Pegasus topology (degree ≤ 15), 20 ms modeled budget",
 			Opts: options{

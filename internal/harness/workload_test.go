@@ -1,0 +1,78 @@
+package harness
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+)
+
+func workloadTestConfig() Config {
+	c := DefaultConfig()
+	c.Instances = 2
+	c.QARuns = 150
+	c.Budget = time.Second
+	return c
+}
+
+func TestRunWorkloadPanel(t *testing.T) {
+	res, err := workloadTestConfig().RunWorkload(context.Background())
+	if err != nil {
+		t.Fatalf("RunWorkload: %v", err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("panel has %d rows, want 3 (QA, GREEDY-JOIN, PORTFOLIO)", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.MeanCost <= 0 {
+			t.Fatalf("%s mean cost %v, want > 0", row.Solver, row.MeanCost)
+		}
+		if row.MeanGap < 0 {
+			t.Fatalf("%s gap %v below optimum — exact solver or cost model broken", row.Solver, row.MeanGap)
+		}
+	}
+	// The portfolio can never lose to its own greedy-join member: both
+	// race on modeled clocks and the merged result keeps the best.
+	byName := map[string]WorkloadRow{}
+	for _, row := range res.Rows {
+		byName[row.Solver] = row
+	}
+	if pf, gj := byName["PORTFOLIO(QA+GREEDY-JOIN)"], byName["GREEDY-JOIN"]; pf.MeanCost > gj.MeanCost+1e-9 {
+		t.Fatalf("portfolio mean cost %v worse than greedy-join member %v", pf.MeanCost, gj.MeanCost)
+	}
+	// Satellite: the Zipf cache stream must show a realistic warm-hit
+	// distribution — neither all-cold nor all-hot.
+	if res.Cache.Stats.Hits == 0 {
+		t.Fatal("cache stream recorded no hits; Zipf skew should repeat shapes")
+	}
+	if res.Cache.Stats.Misses == 0 {
+		t.Fatal("cache stream recorded no misses; distinct shapes must compile")
+	}
+	if hr := res.Cache.HitRate(); hr <= 0 || hr >= 1 {
+		t.Fatalf("hit rate %v, want strictly between 0 and 1", hr)
+	}
+	if res.Cache.DistinctShapes < 2 {
+		t.Fatalf("only %d distinct shapes drawn; the stream should mix shapes", res.Cache.DistinctShapes)
+	}
+}
+
+func TestRunWorkloadDeterministicAcrossParallelism(t *testing.T) {
+	render := func(par int) string {
+		c := workloadTestConfig()
+		c.Parallelism = par
+		res, err := c.RunWorkload(context.Background())
+		if err != nil {
+			t.Fatalf("RunWorkload(parallelism=%d): %v", par, err)
+		}
+		var buf bytes.Buffer
+		RenderWorkload(&buf, res)
+		return buf.String()
+	}
+	base := render(1)
+	if base != render(4) {
+		t.Fatal("workload panel differs between parallelism 1 and 4")
+	}
+	if base != render(1) {
+		t.Fatal("workload panel differs across repeated runs")
+	}
+}

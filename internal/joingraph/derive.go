@@ -1,0 +1,315 @@
+package joingraph
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/exec"
+	"repro/internal/mqo"
+)
+
+// DefaultMaxPlansPerQuery bounds the alternative join orders kept per
+// query when DeriveOptions leaves the limit zero. Four plans per query
+// matches the problem classes of the paper's evaluation and keeps small
+// workloads inside the exhaustive exact solver's reach.
+const DefaultMaxPlansPerQuery = 4
+
+// costScale is the target magnitude of the derived instance: the most
+// expensive raw plan maps to this cost, keeping derived problems in the
+// same numeric regime as mqo.Generate's synthetic ones regardless of the
+// workload's absolute cardinalities.
+const costScale = 100.0
+
+// DeriveOptions configures Derive.
+type DeriveOptions struct {
+	// MaxPlansPerQuery caps the distinct join orders kept per query;
+	// zero selects DefaultMaxPlansPerQuery.
+	MaxPlansPerQuery int
+	// Parallelism bounds the workers enumerating per-query plans; zero
+	// or negative resolves via exec.Parallelism. The derived problem is
+	// byte-identical at any setting.
+	Parallelism int
+}
+
+// PlanInfo describes one derived plan: the left-deep join order (catalog
+// indices into Workload.Relations) and its scaled cost.
+type PlanInfo struct {
+	Query int
+	Order []int
+	Cost  float64
+}
+
+// Derived is the result of deriving an MQO instance from a workload.
+type Derived struct {
+	// Workload is the validated source workload.
+	Workload *Workload
+	// Problem is the derived, validated MQO instance. Its Fingerprint is
+	// canonical: equal workloads derive byte-identical problems.
+	Problem *mqo.Problem
+	// Plans holds per-plan provenance, indexed by global plan index.
+	Plans []PlanInfo
+	// JanusPlans maps each query to the global index of its structural
+	// greedy plan (always the query's first plan).
+	JanusPlans []int
+	// Scale is the factor raw cost-model values were multiplied by.
+	Scale float64
+}
+
+// queryPlan is one enumerated join order with its cost-model outputs.
+type queryPlan struct {
+	order []int
+	// cost is the raw C_out cost: base-relation scans plus every
+	// intermediate-result cardinality along the left-deep chain.
+	cost float64
+	// inters are the plan's intermediate results: canonical signature →
+	// cardinality. Plans of different queries sharing a signature can
+	// share that intermediate.
+	inters map[string]float64
+	// sig identifies the plan's shape (ordered intermediate signatures);
+	// equal-sig orders are the same plan.
+	sig string
+}
+
+// Derive enumerates alternative join orders for every query, costs them,
+// detects shared subexpressions across queries, and assembles a valid
+// mqo.Problem. The derivation is canonical: the same workload produces a
+// byte-identical problem (and fingerprint) at any parallelism.
+func Derive(ctx context.Context, w *Workload, opts DeriveOptions) (*Derived, error) {
+	maxPlans := opts.MaxPlansPerQuery
+	if maxPlans <= 0 {
+		maxPlans = DefaultMaxPlansPerQuery
+	}
+	perQuery, err := exec.Map(ctx, exec.Parallelism(opts.Parallelism), len(w.Queries),
+		func(_ context.Context, q int) ([]queryPlan, error) {
+			return w.enumeratePlans(q, maxPlans)
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	// Assemble the global plan space in query order (sequential — the
+	// parallel phase above is per-query and order-preserving).
+	var (
+		queryPlans [][]int
+		rawCosts   []float64
+		plans      []PlanInfo
+		janus      []int
+		maxRaw     float64
+		byInter    = map[string][]interRef{}
+	)
+	for q, qps := range perQuery {
+		ids := make([]int, 0, len(qps))
+		for _, qp := range qps {
+			if !isFinite(qp.cost) || qp.cost <= 0 {
+				return nil, fmt.Errorf("joingraph: query %q plan cost %v is not a positive finite number", w.Queries[q].Name, qp.cost)
+			}
+			pl := len(rawCosts)
+			ids = append(ids, pl)
+			rawCosts = append(rawCosts, qp.cost)
+			plans = append(plans, PlanInfo{Query: q, Order: qp.order, Cost: qp.cost})
+			maxRaw = math.Max(maxRaw, qp.cost)
+			for sig, card := range qp.inters {
+				byInter[sig] = append(byInter[sig], interRef{plan: pl, query: q, card: card})
+			}
+		}
+		queryPlans = append(queryPlans, ids)
+		janus = append(janus, ids[0])
+	}
+
+	scale := costScale / maxRaw
+	costs := make([]float64, len(rawCosts))
+	for i, c := range rawCosts {
+		costs[i] = c * scale
+		plans[i].Cost = costs[i]
+	}
+
+	// Shared-subexpression detection: plans of different queries holding
+	// the same intermediate signature can share that result; the pair's
+	// saving accumulates every shared intermediate's cardinality. Map
+	// iteration order is laundered by sorting the refs (they arrive in
+	// deterministic order already) and emitting savings sorted by pair.
+	type pair struct{ p1, p2 int }
+	acc := map[pair]float64{}
+	for _, refs := range byInter {
+		for i := 0; i < len(refs); i++ {
+			for j := i + 1; j < len(refs); j++ {
+				a, b := refs[i], refs[j]
+				if a.query == b.query {
+					continue
+				}
+				acc[pair{p1: a.plan, p2: b.plan}] += a.card
+			}
+		}
+	}
+	pairs := make([]pair, 0, len(acc))
+	for pr := range acc {
+		pairs = append(pairs, pr)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].p1 != pairs[j].p1 {
+			return pairs[i].p1 < pairs[j].p1
+		}
+		return pairs[i].p2 < pairs[j].p2
+	})
+	var savings []mqo.Saving
+	for _, pr := range pairs {
+		v := acc[pr] * scale
+		// A saving can never exceed either plan's full cost — sharing an
+		// intermediate at best erases the work of computing it, which the
+		// plan's own cost already includes exactly once.
+		v = math.Min(v, math.Min(costs[pr.p1], costs[pr.p2]))
+		if !(v > 0) || !isFinite(v) {
+			continue
+		}
+		savings = append(savings, mqo.Saving{P1: pr.p1, P2: pr.p2, Value: v})
+	}
+
+	problem, err := mqo.New(queryPlans, costs, savings)
+	if err != nil {
+		return nil, fmt.Errorf("joingraph: derived problem invalid: %w", err)
+	}
+	return &Derived{
+		Workload:   w,
+		Problem:    problem,
+		Plans:      plans,
+		JanusPlans: janus,
+		Scale:      scale,
+	}, nil
+}
+
+// interRef locates one occurrence of a shared intermediate.
+type interRef struct {
+	plan, query int
+	card        float64
+}
+
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// enumeratePlans produces up to maxPlans distinct left-deep join orders
+// for query q: the structural greedy order first (the janus plan), then
+// cardinality-greedy orders seeded from each start relation, deduplicated
+// by plan signature.
+func (w *Workload) enumeratePlans(q, maxPlans int) ([]queryPlan, error) {
+	rels := w.queryRelations(q)
+	edges := w.queryEdges(q)
+	var (
+		out  []queryPlan
+		seen = map[string]bool{}
+	)
+	add := func(order []int) {
+		qp := w.costOrder(order, edges)
+		if seen[qp.sig] {
+			return
+		}
+		seen[qp.sig] = true
+		out = append(out, qp)
+	}
+	add(w.structuralOrder(q))
+	for _, start := range rels {
+		if len(out) >= maxPlans {
+			break
+		}
+		add(w.cardinalityGreedyOrder(rels, edges, start))
+	}
+	return out, nil
+}
+
+// cardinalityGreedyOrder builds a left-deep order from start, repeatedly
+// appending the relation that minimizes the next intermediate's
+// cardinality; ties break on relation name, and disconnected relations
+// rank below every connected one.
+func (w *Workload) cardinalityGreedyOrder(rels []int, edges []edge, start int) []int {
+	order := []int{start}
+	in := map[int]bool{start: true}
+	card := float64(w.Relations[start].Rows)
+	for len(order) < len(rels) {
+		best, bestCard, bestConn := -1, math.Inf(1), false
+		for _, r := range rels {
+			if in[r] {
+				continue
+			}
+			next := card * float64(w.Relations[r].Rows)
+			conn := false
+			for _, e := range edges {
+				if (e.a == r && in[e.b]) || (e.b == r && in[e.a]) {
+					next *= e.sel
+					conn = true
+				}
+			}
+			switch {
+			case best == -1,
+				conn && !bestConn,
+				conn == bestConn && next < bestCard,
+				conn == bestConn && next == bestCard && w.Relations[r].Name < w.Relations[best].Name:
+				best, bestCard, bestConn = r, next, conn
+			}
+		}
+		order = append(order, best)
+		in[best] = true
+		card = bestCard
+	}
+	return order
+}
+
+// costOrder prices a left-deep join order under the textbook C_out
+// model — the sum of base-relation scans and every intermediate-result
+// cardinality — and records each intermediate's canonical signature for
+// sharing detection.
+func (w *Workload) costOrder(order []int, edges []edge) queryPlan {
+	cost := 0.0
+	for _, r := range order {
+		cost += float64(w.Relations[r].Rows)
+	}
+	in := map[int]bool{order[0]: true}
+	card := float64(w.Relations[order[0]].Rows)
+	inters := make(map[string]float64, len(order)-1)
+	var sig strings.Builder
+	for _, r := range order[1:] {
+		card *= float64(w.Relations[r].Rows)
+		for _, e := range edges {
+			if (e.a == r && in[e.b]) || (e.b == r && in[e.a]) {
+				card *= e.sel
+			}
+		}
+		in[r] = true
+		cost += card
+		key := w.interKey(in, edges)
+		inters[key] = card
+		sig.WriteString(key)
+		sig.WriteByte('|')
+	}
+	return queryPlan{order: order, cost: cost, inters: inters, sig: sig.String()}
+}
+
+// interKey canonically names an intermediate result: the sorted relation
+// names of the joined set plus every join edge (with exact selectivity
+// bits) applicable within it. Two plans — of any queries — holding equal
+// keys computed the same relational intermediate.
+func (w *Workload) interKey(in map[int]bool, edges []edge) string {
+	rels := make([]int, 0, len(in))
+	for r := range in {
+		rels = append(rels, r)
+	}
+	sort.Ints(rels)
+	var b strings.Builder
+	for _, r := range rels {
+		b.WriteString(w.Relations[r].Name)
+		b.WriteByte(',')
+	}
+	b.WriteByte(';')
+	for _, e := range edges {
+		if in[e.a] && in[e.b] {
+			b.WriteString(w.Relations[e.a].Name)
+			b.WriteByte('-')
+			b.WriteString(w.Relations[e.b].Name)
+			b.WriteByte(':')
+			b.WriteString(strconv.FormatUint(math.Float64bits(e.sel), 16))
+			b.WriteByte(',')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,172 @@
+package joingraph
+
+import (
+	"context"
+	"math"
+	"testing"
+)
+
+func mustParse(t *testing.T, in string) *Workload {
+	t.Helper()
+	w, err := ParseString(in)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return w
+}
+
+func mustDerive(t *testing.T, w *Workload, opts DeriveOptions) *Derived {
+	t.Helper()
+	d, err := Derive(context.Background(), w, opts)
+	if err != nil {
+		t.Fatalf("Derive: %v", err)
+	}
+	return d
+}
+
+func TestDeriveProducesValidProblem(t *testing.T) {
+	w := mustParse(t, sampleText)
+	d := mustDerive(t, w, DeriveOptions{})
+	p := d.Problem
+	if p.NumQueries() != w.NumQueries() {
+		t.Fatalf("problem has %d queries, workload %d", p.NumQueries(), w.NumQueries())
+	}
+	if len(d.Plans) != p.NumPlans() {
+		t.Fatalf("plan provenance covers %d plans, problem has %d", len(d.Plans), p.NumPlans())
+	}
+	if len(d.JanusPlans) != p.NumQueries() {
+		t.Fatalf("JanusPlans covers %d queries, want %d", len(d.JanusPlans), p.NumQueries())
+	}
+	for q, pl := range d.JanusPlans {
+		if pl != p.QueryPlans[q][0] {
+			t.Fatalf("janus plan of query %d is %d, want the query's first plan %d", q, pl, p.QueryPlans[q][0])
+		}
+	}
+	// q1 and q2 both join r1⋈r2 with equal selectivity: some cross-query
+	// saving must be detected.
+	if len(p.Savings) == 0 {
+		t.Fatal("no savings detected for queries sharing the r1-r2 join")
+	}
+}
+
+func TestDeriveCostScale(t *testing.T) {
+	d := mustDerive(t, mustParse(t, sampleText), DeriveOptions{})
+	maxCost := 0.0
+	for _, c := range d.Problem.Costs {
+		maxCost = math.Max(maxCost, c)
+	}
+	if math.Abs(maxCost-100) > 1e-9 {
+		t.Fatalf("max scaled plan cost = %v, want 100", maxCost)
+	}
+}
+
+func TestDeriveSavingsBounded(t *testing.T) {
+	w := Generate(7, GenConfig{Queries: 12})
+	d := mustDerive(t, w, DeriveOptions{})
+	for _, s := range d.Problem.Savings {
+		bound := math.Min(d.Problem.Costs[s.P1], d.Problem.Costs[s.P2])
+		if s.Value > bound {
+			t.Fatalf("saving %d-%d = %v exceeds min plan cost %v", s.P1, s.P2, s.Value, bound)
+		}
+		if !(s.Value > 0) {
+			t.Fatalf("saving %d-%d = %v, want > 0", s.P1, s.P2, s.Value)
+		}
+	}
+}
+
+func TestDeriveDeterministicAcrossParallelism(t *testing.T) {
+	w := Generate(3, GenConfig{Queries: 10})
+	base := mustDerive(t, w, DeriveOptions{Parallelism: 1})
+	for _, par := range []int{2, 4, 8} {
+		d := mustDerive(t, w, DeriveOptions{Parallelism: par})
+		if d.Problem.Fingerprint() != base.Problem.Fingerprint() {
+			t.Fatalf("parallelism %d changed the derived fingerprint", par)
+		}
+	}
+	// And across repeated runs.
+	again := mustDerive(t, w, DeriveOptions{Parallelism: 1})
+	if again.Problem.Fingerprint() != base.Problem.Fingerprint() {
+		t.Fatal("repeated derivation changed the fingerprint")
+	}
+}
+
+func TestDeriveIdenticalQueriesShareEverything(t *testing.T) {
+	// Two byte-identical queries: every intermediate of every plan pair is
+	// shared, so each cross-query pair of same-shape plans must carry a
+	// saving clamped at full plan cost.
+	w := mustParse(t, `
+rel a 100
+rel b 200
+rel c 300
+query q1 {
+  join a b 0.5
+  join b c 0.5
+}
+query q2 {
+  join a b 0.5
+  join b c 0.5
+}
+`)
+	d := mustDerive(t, w, DeriveOptions{})
+	if len(d.Problem.Savings) == 0 {
+		t.Fatal("identical queries produced no savings")
+	}
+	sol, cost, err := d.Problem.Optimum()
+	if err != nil {
+		t.Fatalf("Optimum: %v", err)
+	}
+	if !d.Problem.Valid(sol) {
+		t.Fatal("optimum solution invalid")
+	}
+	// The optimum must exploit sharing: strictly cheaper than the two
+	// cheapest plans run independently.
+	minCost := math.Inf(1)
+	for _, c := range d.Problem.Costs {
+		minCost = math.Min(minCost, c)
+	}
+	if cost >= 2*minCost {
+		t.Fatalf("optimum %v does not exploit sharing (independent floor %v)", cost, 2*minCost)
+	}
+}
+
+func TestDeriveMaxPlansPerQuery(t *testing.T) {
+	w := Generate(11, GenConfig{Queries: 8})
+	d := mustDerive(t, w, DeriveOptions{MaxPlansPerQuery: 2})
+	for q := 0; q < d.Problem.NumQueries(); q++ {
+		if n := len(d.Problem.QueryPlans[q]); n > 2 {
+			t.Fatalf("query %d kept %d plans, limit 2", q, n)
+		}
+	}
+}
+
+func TestStructuralOrderUsesNoStatistics(t *testing.T) {
+	// Same join graph, wildly different cardinalities: the janus
+	// structural order must not change.
+	a := mustParse(t, "rel x 10\nrel y 10\nrel z 10\nquery q {\n join x y\n join y z\n}\n")
+	b := mustParse(t, "rel x 1000000\nrel y 3\nrel z 500\nquery q {\n join x y\n join y z\n}\n")
+	oa, ob := a.structuralOrder(0), b.structuralOrder(0)
+	if len(oa) != len(ob) {
+		t.Fatalf("order lengths differ: %v vs %v", oa, ob)
+	}
+	for i := range oa {
+		if a.Relations[oa[i]].Name != b.Relations[ob[i]].Name {
+			t.Fatalf("structural order depends on cardinalities: %v vs %v", oa, ob)
+		}
+	}
+	// y has degree 2 and must lead.
+	if a.Relations[oa[0]].Name != "y" {
+		t.Fatalf("structural order starts at %q, want the most-connected relation y", a.Relations[oa[0]].Name)
+	}
+}
+
+func TestDeriveDisconnectedJoinGraph(t *testing.T) {
+	// Two components in one query force a cross join; derivation must
+	// still produce a valid, finite problem.
+	w := mustParse(t, "rel a 10\nrel b 20\nrel c 30\nrel d 40\nquery q {\n join a b\n join c d\n}\n")
+	d := mustDerive(t, w, DeriveOptions{})
+	for _, c := range d.Problem.Costs {
+		if math.IsInf(c, 0) || math.IsNaN(c) || c <= 0 {
+			t.Fatalf("cross-join plan cost %v not positive finite", c)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package joingraph
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/mqo"
+)
+
+// FuzzParseWorkload drives arbitrary bytes through the full front-end
+// chain — parse, derive, re-validate — asserting the package's safety
+// contract: malformed input errors, it never panics, and anything that
+// parses derives a problem that passes mqo validation with a stable
+// fingerprint.
+func FuzzParseWorkload(f *testing.F) {
+	f.Add(sampleText)
+	f.Add(`{"relations":[{"name":"a","rows":10},{"name":"b","rows":20}],"queries":[{"name":"q","joins":[{"left":"a","right":"b","sel":0.5}]}]}`)
+	f.Add("rel a 10\nrel b 20\nquery q {\n join a b\n}\n")
+	f.Add("rel a 10\nquery q {\n join a a\n}\n")
+	f.Add("# comment only\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		w, err := Parse(strings.NewReader(in))
+		if err != nil {
+			if w != nil {
+				t.Fatal("Parse returned both a workload and an error")
+			}
+			return
+		}
+		fp := w.Fingerprint()
+
+		// Canonical text output must reparse to the same workload.
+		var sb strings.Builder
+		if err := w.WriteText(&sb); err != nil {
+			t.Fatalf("WriteText on parsed workload: %v", err)
+		}
+		w2, err := Parse(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("canonical text does not reparse: %v\n%s", err, sb.String())
+		}
+		if w2.Fingerprint() != fp {
+			t.Fatalf("text round trip changed fingerprint: %016x vs %016x", fp, w2.Fingerprint())
+		}
+
+		d, err := Derive(context.Background(), w, DeriveOptions{})
+		if err != nil {
+			// Derivation may reject extreme but parseable workloads
+			// (e.g. non-finite costs); it must do so via error.
+			return
+		}
+		// Re-validate: the derived problem must satisfy every mqo
+		// invariant and be reproducible.
+		sol := make(mqo.Solution, d.Problem.NumQueries())
+		for i := range sol {
+			sol[i] = -1
+		}
+		if repaired := d.Problem.Repair(sol); !d.Problem.Valid(repaired) {
+			t.Fatalf("derived problem yields invalid repaired solution %v", repaired)
+		}
+		d2, err := Derive(context.Background(), w, DeriveOptions{Parallelism: 4})
+		if err != nil {
+			t.Fatalf("derivation not reproducible: %v", err)
+		}
+		if d.Problem.Fingerprint() != d2.Problem.Fingerprint() {
+			t.Fatal("derivation fingerprint differs across parallelism")
+		}
+	})
+}

@@ -1,0 +1,109 @@
+package joingraph
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/splitmix"
+)
+
+// GenConfig configures the deterministic workload generator.
+type GenConfig struct {
+	// Queries is the number of queries to generate (default 6).
+	Queries int
+	// Relations is the size of the relation catalog (default 9; at least
+	// the largest query template, 5).
+	Relations int
+	// ZipfS is the skew of the template-popularity distribution (>1;
+	// default 1.2). Larger values concentrate the workload on fewer query
+	// shapes — and, downstream, on fewer compilation-cache entries.
+	ZipfS float64
+}
+
+func (c GenConfig) withDefaults() GenConfig {
+	if c.Queries <= 0 {
+		c.Queries = 6
+	}
+	if c.Queries > MaxQueries {
+		c.Queries = MaxQueries
+	}
+	if c.Relations <= 0 {
+		c.Relations = 9
+	}
+	if c.Relations < maxTemplateRelations {
+		c.Relations = maxTemplateRelations
+	}
+	if c.Relations > MaxRelations {
+		c.Relations = MaxRelations
+	}
+	if !(c.ZipfS > 1) {
+		c.ZipfS = 1.2
+	}
+	return c
+}
+
+// template is a query shape: a join graph over rels placeholder
+// relations, instantiated against a window of the catalog.
+type template struct {
+	name  string
+	rels  int
+	edges [][2]int
+}
+
+// templates lists the generator's query shapes in popularity order — the
+// Zipf draw makes earlier entries proportionally more frequent, so small
+// chains dominate the way short queries dominate real workloads.
+var templates = []template{
+	{name: "chain3", rels: 3, edges: [][2]int{{0, 1}, {1, 2}}},
+	{name: "star3", rels: 3, edges: [][2]int{{0, 1}, {0, 2}}},
+	{name: "chain4", rels: 4, edges: [][2]int{{0, 1}, {1, 2}, {2, 3}}},
+	{name: "star4", rels: 4, edges: [][2]int{{0, 1}, {0, 2}, {0, 3}}},
+	{name: "cycle4", rels: 4, edges: [][2]int{{0, 1}, {1, 2}, {2, 3}, {0, 3}}},
+	{name: "chain5", rels: 5, edges: [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}}},
+}
+
+const maxTemplateRelations = 5
+
+// Generate builds a deterministic workload from seed: a catalog of
+// Relations base relations with log-uniform cardinalities, and Queries
+// queries whose shapes are drawn from templates with Zipf(ZipfS)-skewed
+// popularity and laid over contiguous catalog windows. Overlapping
+// windows are what create cross-query sharing; repeated (shape, window)
+// draws create the exactly-identical queries a plan cache should hit on.
+func Generate(seed int64, cfg GenConfig) *Workload {
+	cfg = cfg.withDefaults()
+	rng := splitmix.New(seed, 0)
+
+	relations := make([]Relation, cfg.Relations)
+	for i := range relations {
+		rows := int64(1)
+		for p := 0; p < 2+rng.Intn(4); p++ {
+			rows *= 10
+		}
+		relations[i] = Relation{
+			Name: fmt.Sprintf("r%d", i),
+			Rows: rows * int64(1+rng.Intn(9)),
+		}
+	}
+
+	zipf := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(len(templates)-1))
+	queries := make([]Query, cfg.Queries)
+	for q := range queries {
+		t := templates[zipf.Uint64()]
+		start := rng.Intn(cfg.Relations)
+		joins := make([]Join, len(t.edges))
+		for ei, e := range t.edges {
+			joins[ei] = Join{
+				Left:  relations[(start+e[0])%cfg.Relations].Name,
+				Right: relations[(start+e[1])%cfg.Relations].Name,
+			}
+		}
+		queries[q] = Query{Name: fmt.Sprintf("q%d", q), Joins: joins}
+	}
+
+	w, err := New(relations, queries)
+	if err != nil {
+		panic("joingraph: generator produced invalid workload: " + err.Error())
+	}
+	return w
+}

@@ -1,0 +1,77 @@
+package joingraph
+
+import (
+	"testing"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(42, GenConfig{})
+	b := Generate(42, GenConfig{})
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("same seed produced different workloads")
+	}
+	c := Generate(43, GenConfig{})
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Fatal("different seeds produced identical workloads")
+	}
+}
+
+func TestGenerateDefaults(t *testing.T) {
+	w := Generate(1, GenConfig{})
+	if w.NumQueries() != 6 {
+		t.Fatalf("default queries = %d, want 6", w.NumQueries())
+	}
+	if w.NumRelations() != 9 {
+		t.Fatalf("default relations = %d, want 9", w.NumRelations())
+	}
+}
+
+func TestGenerateClampsConfig(t *testing.T) {
+	w := Generate(1, GenConfig{Relations: 2, Queries: 3, ZipfS: 0.5})
+	if w.NumRelations() < maxTemplateRelations {
+		t.Fatalf("relations = %d, want at least the largest template (%d)", w.NumRelations(), maxTemplateRelations)
+	}
+	if w.NumQueries() != 3 {
+		t.Fatalf("queries = %d, want 3", w.NumQueries())
+	}
+}
+
+func TestGenerateZipfSkewsShapePopularity(t *testing.T) {
+	// Over many queries, the most popular template (chain3, 2 joins) must
+	// strictly dominate the least popular (chain5, 4 joins).
+	w := Generate(5, GenConfig{Queries: 200, ZipfS: 1.2})
+	counts := map[int]int{}
+	for _, q := range w.Queries {
+		counts[len(q.Joins)]++
+	}
+	if counts[2] <= counts[4] {
+		t.Fatalf("Zipf skew missing: %d two-join queries vs %d four-join queries", counts[2], counts[4])
+	}
+	if counts[2] == len(w.Queries) {
+		t.Fatal("every query drew the same template; expected a distribution")
+	}
+}
+
+func TestGenerateRepeatsShapes(t *testing.T) {
+	// Zipf-skewed draws over a small template×window space must repeat
+	// (shape, window) combinations — the plan-cache hit source.
+	w := Generate(9, GenConfig{Queries: 40, Relations: 6})
+	shapes := map[uint64]int{}
+	for q := 0; q < w.NumQueries(); q++ {
+		// Shape identity: fingerprint of the single-query sub-workload.
+		sub, err := New(w.Relations, []Query{{Name: "q", Joins: w.Queries[q].Joins}})
+		if err != nil {
+			t.Fatalf("sub-workload: %v", err)
+		}
+		shapes[sub.Fingerprint()]++
+	}
+	repeated := 0
+	for _, n := range shapes {
+		if n > 1 {
+			repeated++
+		}
+	}
+	if repeated == 0 {
+		t.Fatal("no repeated query shapes in 40 Zipf-skewed draws")
+	}
+}

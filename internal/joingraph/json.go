@@ -1,0 +1,76 @@
+package joingraph
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonWorkload is the wire form of the JSON workload encoding — a direct
+// transliteration of the text format.
+type jsonWorkload struct {
+	Relations []jsonRelation `json:"relations"`
+	Queries   []jsonQuery    `json:"queries"`
+}
+
+type jsonRelation struct {
+	Name string `json:"name"`
+	Rows int64  `json:"rows"`
+}
+
+type jsonQuery struct {
+	Name  string     `json:"name"`
+	Joins []jsonJoin `json:"joins"`
+}
+
+type jsonJoin struct {
+	Left  string  `json:"left"`
+	Right string  `json:"right"`
+	Sel   float64 `json:"sel,omitempty"`
+}
+
+// ParseJSON parses the JSON workload encoding and validates it. Parse
+// dispatches here when the input's first non-space byte is '{'.
+func ParseJSON(r io.Reader) (*Workload, error) {
+	dec := json.NewDecoder(io.LimitReader(r, maxInputBytes))
+	dec.DisallowUnknownFields()
+	var jw jsonWorkload
+	if err := dec.Decode(&jw); err != nil {
+		return nil, fmt.Errorf("joingraph: decode workload JSON: %w", err)
+	}
+	relations := make([]Relation, len(jw.Relations))
+	for i, r := range jw.Relations {
+		relations[i] = Relation{Name: r.Name, Rows: r.Rows}
+	}
+	queries := make([]Query, len(jw.Queries))
+	for i, q := range jw.Queries {
+		joins := make([]Join, len(q.Joins))
+		for ji, j := range q.Joins {
+			joins[ji] = Join{Left: j.Left, Right: j.Right, Sel: j.Sel}
+		}
+		queries[i] = Query{Name: q.Name, Joins: joins}
+	}
+	return New(relations, queries)
+}
+
+// WriteJSON emits the workload in the JSON encoding ParseJSON reads,
+// with resolved selectivities.
+func (w *Workload) WriteJSON(wr io.Writer) error {
+	jw := jsonWorkload{
+		Relations: make([]jsonRelation, len(w.Relations)),
+		Queries:   make([]jsonQuery, len(w.Queries)),
+	}
+	for i, r := range w.Relations {
+		jw.Relations[i] = jsonRelation{Name: r.Name, Rows: r.Rows}
+	}
+	for i, q := range w.Queries {
+		joins := make([]jsonJoin, len(q.Joins))
+		for ji, j := range q.Joins {
+			joins[ji] = jsonJoin{Left: j.Left, Right: j.Right, Sel: j.Sel}
+		}
+		jw.Queries[i] = jsonQuery{Name: q.Name, Joins: joins}
+	}
+	enc := json.NewEncoder(wr)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jw)
+}

@@ -1,0 +1,162 @@
+package joingraph
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseError is a positioned workload-format error: Line and Col are
+// 1-based positions in the text input (Col 0 when the error covers the
+// whole line).
+type ParseError struct {
+	Line, Col int
+	Msg       string
+}
+
+// Error implements error.
+func (e *ParseError) Error() string {
+	if e.Col > 0 {
+		return fmt.Sprintf("workload:%d:%d: %s", e.Line, e.Col, e.Msg)
+	}
+	return fmt.Sprintf("workload:%d: %s", e.Line, e.Msg)
+}
+
+func errAt(line, col int, format string, args ...any) error {
+	return &ParseError{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}
+
+// maxInputBytes bounds how much Parse reads — enough for the largest
+// valid workload many times over, small enough that the fuzzer cannot
+// make parsing itself expensive.
+const maxInputBytes = 1 << 20
+
+// Parse reads a workload in either supported encoding and validates it.
+// The format is sniffed from the first non-space byte: '{' selects JSON
+// (see ParseJSON), anything else the line-oriented text format:
+//
+//	# comment
+//	rel NAME ROWS
+//	query NAME {
+//	  join LEFT RIGHT [SEL]
+//	}
+//
+// Text errors carry 1-based line/column positions via *ParseError.
+func Parse(r io.Reader) (*Workload, error) {
+	data, err := io.ReadAll(io.LimitReader(r, maxInputBytes+1))
+	if err != nil {
+		return nil, fmt.Errorf("joingraph: read workload: %w", err)
+	}
+	if len(data) > maxInputBytes {
+		return nil, fmt.Errorf("joingraph: workload input exceeds %d bytes", maxInputBytes)
+	}
+	trimmed := bytes.TrimLeft(data, " \t\r\n")
+	if len(trimmed) > 0 && trimmed[0] == '{' {
+		return ParseJSON(bytes.NewReader(data))
+	}
+	return parseText(data)
+}
+
+// ParseString parses a workload from a string; see Parse.
+func ParseString(s string) (*Workload, error) { return Parse(strings.NewReader(s)) }
+
+func parseText(data []byte) (*Workload, error) {
+	var (
+		relations []Relation
+		queries   []Query
+		current   *Query // open `query NAME {` block, nil at top level
+		openLine  int    // line the open block started on
+	)
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 64*1024), maxInputBytes+1)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		switch kw := fields[0]; kw {
+		case "rel":
+			if current != nil {
+				return nil, errAt(lineNo, 0, "rel declaration inside query %q (missing '}'?)", current.Name)
+			}
+			if len(fields) != 3 {
+				return nil, errAt(lineNo, 0, "want 'rel NAME ROWS', got %d fields", len(fields))
+			}
+			if !validName(fields[1]) {
+				return nil, errAt(lineNo, colOf(line, fields[1]), "invalid relation name %q", fields[1])
+			}
+			rows, err := strconv.ParseInt(fields[2], 10, 64)
+			if err != nil {
+				return nil, errAt(lineNo, colOf(line, fields[2]), "invalid row count %q", fields[2])
+			}
+			relations = append(relations, Relation{Name: fields[1], Rows: rows})
+		case "query":
+			if current != nil {
+				return nil, errAt(lineNo, 0, "query declaration inside query %q (missing '}'?)", current.Name)
+			}
+			if len(fields) != 3 || fields[2] != "{" {
+				return nil, errAt(lineNo, 0, "want 'query NAME {', got %q", strings.TrimSpace(line))
+			}
+			if !validName(fields[1]) {
+				return nil, errAt(lineNo, colOf(line, fields[1]), "invalid query name %q", fields[1])
+			}
+			queries = append(queries, Query{Name: fields[1]})
+			current = &queries[len(queries)-1]
+			openLine = lineNo
+		case "join":
+			if current == nil {
+				return nil, errAt(lineNo, 0, "join outside a query block")
+			}
+			if len(fields) != 3 && len(fields) != 4 {
+				return nil, errAt(lineNo, 0, "want 'join LEFT RIGHT [SEL]', got %d fields", len(fields))
+			}
+			j := Join{Left: fields[1], Right: fields[2]}
+			if len(fields) == 4 {
+				sel, err := strconv.ParseFloat(fields[3], 64)
+				if err != nil {
+					return nil, errAt(lineNo, colOf(line, fields[3]), "invalid selectivity %q", fields[3])
+				}
+				if sel == 0 {
+					return nil, errAt(lineNo, colOf(line, fields[3]), "selectivity must be in (0, 1], got 0 (omit it for the default)")
+				}
+				j.Sel = sel
+			}
+			current.Joins = append(current.Joins, j)
+		case "}":
+			if current == nil {
+				return nil, errAt(lineNo, 0, "'}' without an open query block")
+			}
+			if len(fields) != 1 {
+				return nil, errAt(lineNo, 0, "unexpected tokens after '}'")
+			}
+			current = nil
+		default:
+			return nil, errAt(lineNo, colOf(line, kw), "unknown keyword %q (want rel, query, join, or '}')", kw)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("joingraph: scan workload: %w", err)
+	}
+	if current != nil {
+		return nil, errAt(openLine, 0, "query %q is never closed (missing '}')", current.Name)
+	}
+	return New(relations, queries)
+}
+
+// colOf returns the 1-based column of token's first occurrence in line,
+// or 0 when absent (comment stripping can in principle hide it).
+func colOf(line, token string) int {
+	if i := strings.Index(line, token); i >= 0 {
+		return i + 1
+	}
+	return 0
+}

@@ -1,0 +1,153 @@
+package joingraph
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+const sampleText = `# two queries sharing the r1-r2 join
+rel r1 1000
+rel r2 50
+rel r3 2000
+
+query q1 {
+  join r1 r2 0.01
+  join r2 r3
+}
+query q2 {
+  join r1 r2 0.01
+}
+`
+
+func TestParseText(t *testing.T) {
+	w, err := ParseString(sampleText)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if w.NumRelations() != 3 || w.NumQueries() != 2 {
+		t.Fatalf("got %d relations, %d queries, want 3, 2", w.NumRelations(), w.NumQueries())
+	}
+	// The defaulted selectivity resolves to 1/max(|r2|, |r3|).
+	if got, want := w.Queries[0].Joins[1].Sel, 1.0/2000; got != want {
+		t.Fatalf("defaulted selectivity = %v, want %v", got, want)
+	}
+}
+
+func TestParseTextRoundTrip(t *testing.T) {
+	w, err := ParseString(sampleText)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := w.WriteText(&buf); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	w2, err := Parse(&buf)
+	if err != nil {
+		t.Fatalf("reparse canonical text: %v", err)
+	}
+	if w.Fingerprint() != w2.Fingerprint() {
+		t.Fatalf("round trip changed fingerprint: %016x vs %016x", w.Fingerprint(), w2.Fingerprint())
+	}
+}
+
+func TestParseJSONRoundTrip(t *testing.T) {
+	w, err := ParseString(sampleText)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := w.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	// Parse sniffs the leading '{' and dispatches to JSON.
+	w2, err := Parse(&buf)
+	if err != nil {
+		t.Fatalf("reparse JSON: %v", err)
+	}
+	if w.Fingerprint() != w2.Fingerprint() {
+		t.Fatalf("JSON round trip changed fingerprint: %016x vs %016x", w.Fingerprint(), w2.Fingerprint())
+	}
+}
+
+func TestParseErrorsArePositioned(t *testing.T) {
+	cases := []struct {
+		name, in string
+		line     int
+		contains string
+	}{
+		{"unknown keyword", "rel a 10\nfrobnicate\n", 2, "unknown keyword"},
+		{"bad rel arity", "rel a\n", 1, "rel NAME ROWS"},
+		{"bad rows", "rel a ten\n", 1, "invalid row count"},
+		{"bad rel name", "rel a* 10\n", 1, "invalid relation name"},
+		{"join outside query", "rel a 10\njoin a a\n", 2, "outside a query"},
+		{"unclosed query", "rel a 10\nrel b 10\nquery q {\n  join a b\n", 3, "never closed"},
+		{"nested query", "rel a 10\nquery q {\nquery p {\n", 3, "inside query"},
+		{"stray close", "rel a 10\n}\n", 2, "without an open query"},
+		{"bad sel", "rel a 10\nrel b 10\nquery q {\n join a b zero\n}\n", 4, "invalid selectivity"},
+		{"zero sel", "rel a 10\nrel b 10\nquery q {\n join a b 0\n}\n", 4, "got 0"},
+		{"bad query header", "rel a 10\nquery q\n", 2, "query NAME {"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseString(tc.in)
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("want *ParseError, got %v", err)
+			}
+			if pe.Line != tc.line {
+				t.Fatalf("error %q on line %d, want line %d", pe, pe.Line, tc.line)
+			}
+			if !strings.Contains(pe.Error(), tc.contains) {
+				t.Fatalf("error %q does not mention %q", pe, tc.contains)
+			}
+		})
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	cases := []struct {
+		name, in string
+		contains string
+	}{
+		{"no relations", "query q {\n join a b\n}\n", "no relations"},
+		{"empty input", "", "no relations"},
+		{"no queries", "rel a 10\n", "no queries"},
+		{"dup relation", "rel a 10\nrel a 10\n", "duplicate relation"},
+		{"dup query", "rel a 10\nrel b 10\nquery q {\n join a b\n}\nquery q {\n join a b\n}\n", "duplicate query"},
+		{"self join", "rel a 10\nquery q {\n join a a\n}\n", "to itself"},
+		{"dup edge", "rel a 10\nrel b 10\nquery q {\n join a b\n join b a\n}\n", "repeats the join"},
+		{"sel above one", "rel a 10\nrel b 10\nquery q {\n join a b 1.5\n}\n", "selectivity"},
+		{"negative sel", "rel a 10\nrel b 10\nquery q {\n join a b -0.5\n}\n", "selectivity"},
+		{"zero rows", "rel a 0\nrel b 10\nquery q {\n join a b\n}\n", "rows"},
+		{"empty query", "rel a 10\nquery q {\n}\n", "no joins"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseString(tc.in)
+			if err == nil {
+				t.Fatal("want error, got nil")
+			}
+			if !strings.Contains(err.Error(), tc.contains) {
+				t.Fatalf("error %q does not mention %q", err, tc.contains)
+			}
+		})
+	}
+}
+
+func TestParseJSONRejectsUnknownFields(t *testing.T) {
+	_, err := ParseString(`{"relations":[{"name":"a","rows":10,"color":"red"}],"queries":[]}`)
+	if err == nil {
+		t.Fatal("want error for unknown JSON field, got nil")
+	}
+}
+
+func TestParseRejectsOversizedInput(t *testing.T) {
+	big := strings.Repeat("# padding line\n", maxInputBytes/15+2)
+	_, err := ParseString(big)
+	if err == nil || !strings.Contains(err.Error(), "exceeds") {
+		t.Fatalf("want size-limit error, got %v", err)
+	}
+}

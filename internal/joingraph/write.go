@@ -1,0 +1,34 @@
+package joingraph
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteText emits the workload in the canonical text format Parse reads:
+// relations first, then queries, with resolved selectivities printed in
+// shortest-round-trip form. Parsing the output reproduces an identical
+// workload (equal Fingerprint).
+func (w *Workload) WriteText(wr io.Writer) error {
+	for _, r := range w.Relations {
+		if _, err := fmt.Fprintf(wr, "rel %s %d\n", r.Name, r.Rows); err != nil {
+			return err
+		}
+	}
+	for _, q := range w.Queries {
+		if _, err := fmt.Fprintf(wr, "query %s {\n", q.Name); err != nil {
+			return err
+		}
+		for _, j := range q.Joins {
+			sel := strconv.FormatFloat(j.Sel, 'g', -1, 64)
+			if _, err := fmt.Fprintf(wr, "  join %s %s %s\n", j.Left, j.Right, sel); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(wr, "}"); err != nil {
+			return err
+		}
+	}
+	return nil
+}

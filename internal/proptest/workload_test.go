@@ -1,0 +1,115 @@
+package proptest
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/joingraph"
+	"repro/internal/mqo"
+)
+
+// workloadIterations is smaller than the energy properties' budget:
+// each iteration generates, derives (possibly several times), and
+// round-trips a full workload.
+const workloadIterations = 60
+
+// randomWorkload draws a generator configuration and seed from rng —
+// the generated workload is valid by construction, so the properties
+// below exercise the derivation pipeline on varied shapes and skews.
+func randomWorkload(rng *rand.Rand) *joingraph.Workload {
+	cfg := joingraph.GenConfig{
+		Queries:   1 + rng.Intn(12),
+		Relations: 5 + rng.Intn(10),
+		ZipfS:     1.05 + rng.Float64(),
+	}
+	return joingraph.Generate(rng.Int63(), cfg)
+}
+
+// TestPropDerivedProblemsRevalidate: every derived instance survives a
+// fresh pass through the mqo constructor — the derivation never emits
+// components the model layer would reject (dangling plan indices,
+// non-finite costs, out-of-range savings).
+func TestPropDerivedProblemsRevalidate(t *testing.T) {
+	for iter := 0; iter < workloadIterations; iter++ {
+		rng := rand.New(rand.NewSource(int64(iter)))
+		w := randomWorkload(rng)
+		d, err := joingraph.Derive(context.Background(), w, joingraph.DeriveOptions{})
+		if err != nil {
+			t.Fatalf("iter %d: derive: %v", iter, err)
+		}
+		p := d.Problem
+		if _, err := mqo.New(p.QueryPlans, p.Costs, p.Savings); err != nil {
+			t.Errorf("iter %d: derived problem fails revalidation: %v", iter, err)
+		}
+	}
+}
+
+// TestPropSavingsBoundedByPlanCosts: a shared intermediate can never be
+// worth more than either plan it connects — otherwise executing both
+// plans would cost less than executing the cheaper one alone.
+func TestPropSavingsBoundedByPlanCosts(t *testing.T) {
+	for iter := 0; iter < workloadIterations; iter++ {
+		rng := rand.New(rand.NewSource(int64(iter)))
+		w := randomWorkload(rng)
+		d, err := joingraph.Derive(context.Background(), w, joingraph.DeriveOptions{})
+		if err != nil {
+			t.Fatalf("iter %d: derive: %v", iter, err)
+		}
+		for _, s := range d.Problem.Savings {
+			bound := math.Min(d.Problem.Costs[s.P1], d.Problem.Costs[s.P2])
+			if !(s.Value > 0) || s.Value > bound {
+				t.Errorf("iter %d: saving (%d,%d)=%v outside (0, %v]",
+					iter, s.P1, s.P2, s.Value, bound)
+			}
+		}
+	}
+}
+
+// TestPropDeriveDeterministicAcrossParallelism: the derived instance's
+// canonical fingerprint is a pure function of the workload — repeated
+// runs and any worker count produce the identical problem.
+func TestPropDeriveDeterministicAcrossParallelism(t *testing.T) {
+	for iter := 0; iter < workloadIterations; iter++ {
+		rng := rand.New(rand.NewSource(int64(iter)))
+		w := randomWorkload(rng)
+		var want uint64
+		for i, paral := range []int{1, 4, 1} {
+			d, err := joingraph.Derive(context.Background(), w,
+				joingraph.DeriveOptions{Parallelism: paral})
+			if err != nil {
+				t.Fatalf("iter %d: derive (parallelism %d): %v", iter, paral, err)
+			}
+			fp := d.Problem.Fingerprint()
+			if i == 0 {
+				want = fp
+			} else if fp != want {
+				t.Fatalf("iter %d: fingerprint %016x at parallelism %d, want %016x",
+					iter, fp, paral, want)
+			}
+		}
+	}
+}
+
+// TestPropWorkloadTextRoundTrip: writing a workload and parsing it back
+// preserves the workload fingerprint exactly — the text format loses no
+// structure (names, cardinalities, selectivity bits).
+func TestPropWorkloadTextRoundTrip(t *testing.T) {
+	for iter := 0; iter < workloadIterations; iter++ {
+		rng := rand.New(rand.NewSource(int64(iter)))
+		w := randomWorkload(rng)
+		var buf bytes.Buffer
+		if err := w.WriteText(&buf); err != nil {
+			t.Fatalf("iter %d: write: %v", iter, err)
+		}
+		back, err := joingraph.Parse(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("iter %d: reparse: %v\n%s", iter, err, buf.String())
+		}
+		if got, want := back.Fingerprint(), w.Fingerprint(); got != want {
+			t.Errorf("iter %d: round-trip fingerprint %016x, want %016x", iter, got, want)
+		}
+	}
+}

@@ -41,6 +41,14 @@ type ThroughputResult = harness.ThroughputResult
 // pattern.
 type TopologyRow = harness.TopologyRow
 
+// WorkloadResult is the workload panel: annealer, greedy-join, and a
+// portfolio of the two raced on workload-derived MQO instances, plus the
+// Zipf-skewed plan-cache stream.
+type WorkloadResult = harness.WorkloadResult
+
+// WorkloadRow is one solver column of the workload panel.
+type WorkloadRow = harness.WorkloadRow
+
 // PaperClasses are the four problem classes of the evaluation.
 var PaperClasses = mqopt.PaperClasses
 
@@ -96,6 +104,17 @@ func RunTopology(ctx context.Context, cfg Config, class mqopt.Class) ([]Topology
 func RenderTopology(w io.Writer, class mqopt.Class, rows []TopologyRow) {
 	harness.RenderTopology(w, class, rows)
 }
+
+// RunWorkload executes the workload panel: cfg.Instances generated
+// join-graph workloads, derived into MQO instances and raced by the
+// annealer, the greedy-join planner, and a portfolio of the two under
+// modeled clocks, with a Zipf-skewed plan-cache stream alongside.
+func RunWorkload(ctx context.Context, cfg Config) (*WorkloadResult, error) {
+	return cfg.RunWorkload(ctx)
+}
+
+// RenderWorkload writes the workload panel as text.
+func RenderWorkload(w io.Writer, r *WorkloadResult) { harness.RenderWorkload(w, r) }
 
 // SolverNames lists the solver series of the anytime figures in
 // presentation order.

@@ -108,6 +108,9 @@ func (p *Problem) QueryPlans(q int) []int { return p.inner.QueryPlans[q] }
 // PlanCost returns the execution cost of plan pl.
 func (p *Problem) PlanCost(pl int) float64 { return p.inner.Costs[pl] }
 
+// NumSavings returns the number of pairwise sharing opportunities.
+func (p *Problem) NumSavings() int { return len(p.inner.Savings) }
+
 // Valid reports whether s selects exactly one plan per query and every
 // selected plan belongs to the query it is assigned to.
 func (p *Problem) Valid(s Solution) bool { return p.inner.Valid(s) }

@@ -96,6 +96,10 @@ type solveConfig struct {
 	// batchWindow is the Service admission-batching window; see
 	// WithBatchWindow. Individual solvers ignore it.
 	batchWindow time.Duration
+	// workload is the join-graph workload the problem was derived from
+	// (nil: a bare instance); see WithWorkload. Only provenance-aware
+	// solvers (greedy-join) consume it; the portfolio forwards it.
+	workload *Workload
 }
 
 // newSolveConfig applies opts over the documented defaults.

@@ -177,6 +177,11 @@ func (s *portfolioSolver) Solve(ctx context.Context, p *Problem, opts ...Option)
 		if cfg.decompose != nil {
 			o = append(o, WithDecomposition(*cfg.decompose))
 		}
+		if cfg.workload != nil {
+			// Provenance-aware members (greedy-join) need the join graphs
+			// behind the instance; everyone else ignores the option.
+			o = append(o, WithWorkload(cfg.workload))
+		}
 		if cfg.hasTarget() {
 			// Members self-stop at the target too, so the winner finishes
 			// promptly instead of burning its remaining budget.

@@ -1,0 +1,10 @@
+package solverreg
+
+import "repro/mqopt"
+
+// The workload-native baseline: janus-datalog-style greedy join ordering
+// on the join graphs behind a derived instance. It requires
+// mqopt.WithWorkload; see mqopt.NewGreedyJoinSolver.
+func init() {
+	Register("greedy-join", mqopt.NewGreedyJoinSolver)
+}

@@ -1,0 +1,155 @@
+package mqopt
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/joingraph"
+	"repro/internal/trace"
+)
+
+// Workload is a validated multi-query workload — queries as join graphs
+// over named relations — together with the MQO instance derived from it:
+// bounded alternative join orders per query become the plans, a textbook
+// cost model prices them, and shared subexpressions across queries
+// become the pairwise savings. Derivation happens eagerly at
+// construction, so Problem never fails and the derived instance is fixed
+// for the Workload's lifetime.
+//
+// The derivation is canonical: the same workload text produces a
+// byte-identical Problem (equal Fingerprint) on every run, at any
+// parallelism.
+type Workload struct {
+	inner   *joingraph.Workload
+	derived *joingraph.Derived
+	problem *Problem
+}
+
+// WorkloadGenConfig configures GenerateWorkload; see the field docs on
+// joingraph.GenConfig (Queries, Relations, and the Zipf skew of query-
+// shape popularity).
+type WorkloadGenConfig = joingraph.GenConfig
+
+// ParseWorkload reads a workload in the text or JSON format (sniffed
+// from the first non-space byte), validates it, and derives its MQO
+// instance. The text grammar:
+//
+//	# comment
+//	rel NAME ROWS
+//	query NAME {
+//	  join LEFT RIGHT [SEL]
+//	}
+//
+// Malformed text yields positioned errors (file:line:col). An omitted
+// selectivity defaults to 1/max(|L|, |R|).
+func ParseWorkload(r io.Reader) (*Workload, error) {
+	w, err := joingraph.Parse(r)
+	if err != nil {
+		return nil, err
+	}
+	return deriveWorkload(w)
+}
+
+// GenerateWorkload builds a deterministic workload from seed: relations
+// with log-uniform cardinalities and queries drawn from a template pool
+// with Zipf-skewed shape popularity, so repeated shapes occur the way
+// they do in real workloads (and warm a plan cache realistically).
+func GenerateWorkload(seed int64, cfg WorkloadGenConfig) (*Workload, error) {
+	return deriveWorkload(joingraph.Generate(seed, cfg))
+}
+
+func deriveWorkload(w *joingraph.Workload) (*Workload, error) {
+	d, err := joingraph.Derive(context.Background(), w, joingraph.DeriveOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return &Workload{inner: w, derived: d, problem: wrapProblem(d.Problem)}, nil
+}
+
+// Problem returns the MQO instance derived from the workload. The same
+// workload always yields a byte-identical instance.
+func (w *Workload) Problem() *Problem { return w.problem }
+
+// NumQueries returns the number of queries in the workload.
+func (w *Workload) NumQueries() int { return w.inner.NumQueries() }
+
+// NumRelations returns the size of the relation catalog.
+func (w *Workload) NumRelations() int { return w.inner.NumRelations() }
+
+// Fingerprint returns the canonical digest of the workload's structure
+// (relations, join graphs, selectivities) — not of the derived problem,
+// which has its own Problem().Fingerprint().
+func (w *Workload) Fingerprint() uint64 { return w.inner.Fingerprint() }
+
+// WriteText emits the workload in the canonical text format ParseWorkload
+// reads, with defaulted selectivities resolved.
+func (w *Workload) WriteText(wr io.Writer) error { return w.inner.WriteText(wr) }
+
+// String summarizes the workload shape.
+func (w *Workload) String() string {
+	return fmt.Sprintf("mqopt.Workload(%d queries over %d relations -> %d plans, %d savings)",
+		w.NumQueries(), w.NumRelations(), w.problem.NumPlans(), len(w.derived.Problem.Savings))
+}
+
+// WithWorkload attaches the workload a problem was derived from, giving
+// provenance-aware solvers (greedy-join) access to the join graphs
+// behind the plans. Solvers that only see plan costs ignore it. The
+// portfolio forwards it to members, so a lineup can race greedy-join
+// against the annealer on the same derived instance.
+func WithWorkload(w *Workload) Option {
+	return func(c *solveConfig) { c.workload = w }
+}
+
+// NewGreedyJoinSolver returns the GREEDY-JOIN backend: janus-datalog-
+// style greedy join ordering applied directly to the workload's join
+// graphs, bypassing the QUBO pipeline. Starting from the structural
+// greedy plan of every query (chosen without statistics), it runs
+// coordinate descent over plan selections until no single-query swap
+// improves the workload cost. It requires WithWorkload — and the problem
+// being solved must be that workload's derived instance — because the
+// join-graph provenance is the whole point; bare instances have no
+// graphs to order. Time is charged to a modeled clock (15 µs per
+// planning pass), so traces are byte-identical across machines.
+func NewGreedyJoinSolver() Solver { return &greedyJoinSolver{} }
+
+type greedyJoinSolver struct{}
+
+// Name implements Solver.
+func (s *greedyJoinSolver) Name() string { return "GREEDY-JOIN" }
+
+// Solve implements Solver.
+func (s *greedyJoinSolver) Solve(ctx context.Context, p *Problem, opts ...Option) (*Result, error) {
+	ctx, cfg, rec, cleanup, err := solvePrologue(ctx, p, opts)
+	defer cleanup()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.workload == nil {
+		return nil, fmt.Errorf("mqopt: greedy-join solves workloads, not bare instances (use WithWorkload)")
+	}
+	if cfg.workload.problem.Fingerprint() != p.Fingerprint() {
+		return nil, fmt.Errorf("mqopt: greedy-join: problem is not the attached workload's derived instance")
+	}
+	impl := joingraph.NewGreedyJoinSolver(cfg.workload.derived)
+	tr := &trace.Trace{}
+	tr.Observe(rec.observe)
+	sol := impl.Solve(ctx, p.unwrap(), cfg.budget, rand.New(rand.NewSource(cfg.seed)), tr)
+
+	var res *Result
+	if sol != nil && p.unwrap().Valid(sol) {
+		cost, err := p.unwrap().Cost(sol)
+		if err != nil {
+			return nil, err
+		}
+		res = &Result{Solver: s.Name(), Solution: sol, Cost: cost, Incumbents: rec.incumbents}
+	}
+	if err := solveErr(ctx, ctx.Err()); err != nil {
+		return res, err
+	}
+	if res == nil {
+		return nil, fmt.Errorf("mqopt: %s produced no valid solution", s.Name())
+	}
+	return res, nil
+}

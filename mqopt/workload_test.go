@@ -1,0 +1,155 @@
+package mqopt_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/mqopt"
+	"repro/mqopt/solverreg"
+)
+
+const workloadText = `rel part 20000
+rel supplier 1000
+rel orders 150000
+rel customer 15000
+
+query q1 {
+  join part orders 0.0001
+  join orders supplier
+}
+query q2 {
+  join part orders 0.0001
+  join orders customer
+}
+query q3 {
+  join orders customer
+}
+`
+
+func parseWorkload(t *testing.T) *mqopt.Workload {
+	t.Helper()
+	w, err := mqopt.ParseWorkload(strings.NewReader(workloadText))
+	if err != nil {
+		t.Fatalf("ParseWorkload: %v", err)
+	}
+	return w
+}
+
+func TestParseWorkloadDerivesCanonicalProblem(t *testing.T) {
+	w := parseWorkload(t)
+	if w.NumQueries() != 3 || w.NumRelations() != 4 {
+		t.Fatalf("parsed %d queries over %d relations, want 3 over 4", w.NumQueries(), w.NumRelations())
+	}
+	p := w.Problem()
+	if p.NumQueries() != 3 {
+		t.Fatalf("derived problem has %d queries, want 3", p.NumQueries())
+	}
+	again := parseWorkload(t)
+	if p.Fingerprint() != again.Problem().Fingerprint() {
+		t.Fatal("same workload text derived different problem fingerprints")
+	}
+	if w.Fingerprint() != again.Fingerprint() {
+		t.Fatal("same workload text produced different workload fingerprints")
+	}
+}
+
+func TestParseWorkloadRejectsMalformed(t *testing.T) {
+	_, err := mqopt.ParseWorkload(strings.NewReader("rel a 10\nquery q {\n join a a\n}\n"))
+	if err == nil {
+		t.Fatal("want error for self-join, got nil")
+	}
+}
+
+func TestGreedyJoinSolverViaRegistry(t *testing.T) {
+	w := parseWorkload(t)
+	res, err := solverreg.Solve(context.Background(), "greedy-join", w.Problem(),
+		mqopt.WithWorkload(w), mqopt.WithSeed(1))
+	if err != nil {
+		t.Fatalf("greedy-join solve: %v", err)
+	}
+	if res.Solver != "GREEDY-JOIN" {
+		t.Fatalf("solver name = %q, want GREEDY-JOIN", res.Solver)
+	}
+	if !w.Problem().Valid(res.Solution) {
+		t.Fatalf("invalid solution %v", res.Solution)
+	}
+	if len(res.Incumbents) == 0 {
+		t.Fatal("no incumbents recorded")
+	}
+	// Modeled clock: reproducible across runs.
+	res2, err := solverreg.Solve(context.Background(), "greedy-join", w.Problem(),
+		mqopt.WithWorkload(w), mqopt.WithSeed(1))
+	if err != nil {
+		t.Fatalf("second solve: %v", err)
+	}
+	if len(res.Incumbents) != len(res2.Incumbents) || res.Cost != res2.Cost {
+		t.Fatal("greedy-join not reproducible")
+	}
+}
+
+func TestGreedyJoinRequiresWorkload(t *testing.T) {
+	w := parseWorkload(t)
+	_, err := solverreg.Solve(context.Background(), "greedy-join", w.Problem())
+	if err == nil || !strings.Contains(err.Error(), "WithWorkload") {
+		t.Fatalf("want WithWorkload error, got %v", err)
+	}
+}
+
+func TestGreedyJoinRejectsForeignProblem(t *testing.T) {
+	w := parseWorkload(t)
+	foreign := mqopt.MustProblem([][]int{{0}, {1}}, []float64{1, 2}, nil)
+	_, err := solverreg.Solve(context.Background(), "greedy-join", foreign, mqopt.WithWorkload(w))
+	if err == nil || !strings.Contains(err.Error(), "derived instance") {
+		t.Fatalf("want provenance-mismatch error, got %v", err)
+	}
+}
+
+func TestPortfolioForwardsWorkload(t *testing.T) {
+	w := parseWorkload(t)
+	res, err := solverreg.Solve(context.Background(), "portfolio", w.Problem(),
+		mqopt.WithWorkload(w),
+		mqopt.WithPortfolio("greedy-join", "greedy"),
+		mqopt.WithSeed(3))
+	if err != nil {
+		t.Fatalf("portfolio solve: %v", err)
+	}
+	if res.Portfolio == nil {
+		t.Fatal("missing portfolio info")
+	}
+	if !w.Problem().Valid(res.Solution) {
+		t.Fatalf("invalid solution %v", res.Solution)
+	}
+}
+
+func TestGenerateWorkloadDeterministic(t *testing.T) {
+	a, err := mqopt.GenerateWorkload(7, mqopt.WorkloadGenConfig{})
+	if err != nil {
+		t.Fatalf("GenerateWorkload: %v", err)
+	}
+	b, err := mqopt.GenerateWorkload(7, mqopt.WorkloadGenConfig{})
+	if err != nil {
+		t.Fatalf("GenerateWorkload: %v", err)
+	}
+	if a.Problem().Fingerprint() != b.Problem().Fingerprint() {
+		t.Fatal("same seed generated different derived problems")
+	}
+	var at, bt strings.Builder
+	if err := a.WriteText(&at); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	if err := b.WriteText(&bt); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	if at.String() != bt.String() {
+		t.Fatal("same seed generated different workload text")
+	}
+	// And the emitted text re-derives the identical problem.
+	re, err := mqopt.ParseWorkload(strings.NewReader(at.String()))
+	if err != nil {
+		t.Fatalf("reparse generated workload: %v", err)
+	}
+	if re.Problem().Fingerprint() != a.Problem().Fingerprint() {
+		t.Fatal("generated workload text does not round-trip to the same problem")
+	}
+}
