@@ -6,7 +6,10 @@ import (
 	"io"
 	"math"
 	"os"
+	"regexp"
 	"sort"
+	"strconv"
+	"strings"
 )
 
 // DiffRow is one benchmark compared across two trajectory points.
@@ -59,6 +62,103 @@ func Diff(old, cur *Trajectory, thresholdPct float64) []DiffRow {
 		return rows[i].Name < rows[j].Name
 	})
 	return rows
+}
+
+// MinImprove is one enforced speedup: the named benchmark's new ns/op
+// must be at most old/Factor. Unlike the regression threshold — a loud
+// marker a human triages — a min-improve spec is a hard gate: a perf PR
+// asserts its own headline number against the pre-PR trajectory point.
+type MinImprove struct {
+	Name   string
+	Factor float64
+}
+
+// MinImproveResult is one evaluated spec. Violated is set when the
+// speedup was not met or when no comparable measurement exists in both
+// trajectory points (a gate that silently matches nothing is no gate).
+type MinImproveResult struct {
+	Spec     MinImprove
+	OldNs    float64
+	NewNs    float64
+	Matched  bool
+	Violated bool
+}
+
+// ParseMinImprove parses a comma-separated "name=factor" list, e.g.
+// "BenchmarkPipeline/sequential=3,BenchmarkCompile=1.5".
+func ParseMinImprove(spec string) ([]MinImprove, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	var out []MinImprove
+	for _, part := range strings.Split(spec, ",") {
+		name, factorStr, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("-min-improve: %q is not name=factor", part)
+		}
+		factor, err := strconv.ParseFloat(factorStr, 64)
+		if err != nil || factor <= 0 || math.IsInf(factor, 0) {
+			return nil, fmt.Errorf("-min-improve: bad factor in %q", part)
+		}
+		out = append(out, MinImprove{Name: name, Factor: factor})
+	}
+	return out, nil
+}
+
+// procsSuffix is the "-<GOMAXPROCS>" tail `go test` appends to rendered
+// benchmark names; specs are written without it so they hold on any
+// runner.
+var procsSuffix = regexp.MustCompile(`-\d+$`)
+
+// CheckMinImprove evaluates the specs against the comparable rows. A
+// spec matches a row whose name equals it exactly or after stripping
+// the GOMAXPROCS suffix; with several matches (e.g. the same benchmark
+// in two packages) every one must meet the factor.
+func CheckMinImprove(rows []DiffRow, specs []MinImprove) []MinImproveResult {
+	results := make([]MinImproveResult, len(specs))
+	for i, s := range specs {
+		results[i] = MinImproveResult{Spec: s, Violated: true}
+		for _, r := range rows {
+			if r.Name != s.Name && procsSuffix.ReplaceAllString(r.Name, "") != s.Name {
+				continue
+			}
+			res := &results[i]
+			if !res.Matched {
+				res.Matched = true
+				res.Violated = false
+				res.OldNs, res.NewNs = r.OldNs, r.NewNs
+			}
+			if r.NewNs > r.OldNs/s.Factor {
+				res.Violated = true
+				res.OldNs, res.NewNs = r.OldNs, r.NewNs
+			}
+		}
+	}
+	return results
+}
+
+// writeMinImproveSummary renders the speedup-gate outcome as markdown.
+func writeMinImproveSummary(w io.Writer, results []MinImproveResult) error {
+	if len(results) == 0 {
+		return nil
+	}
+	fmt.Fprintln(w, "### Minimum-speedup gate")
+	fmt.Fprintln(w)
+	for _, res := range results {
+		switch {
+		case !res.Matched:
+			fmt.Fprintf(w, "- ❌ `%s`: no comparable measurement in both trajectory points (required ≥%.2gx)\n",
+				res.Spec.Name, res.Spec.Factor)
+		case res.Violated:
+			fmt.Fprintf(w, "- ❌ `%s`: %.0f → %.0f ns/op is %.2fx, required ≥%.2gx\n",
+				res.Spec.Name, res.OldNs, res.NewNs, res.OldNs/res.NewNs, res.Spec.Factor)
+		default:
+			fmt.Fprintf(w, "- ✅ `%s`: %.0f → %.0f ns/op is %.2fx (required ≥%.2gx)\n",
+				res.Spec.Name, res.OldNs, res.NewNs, res.OldNs/res.NewNs, res.Spec.Factor)
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
 }
 
 // writeDiffSummary renders the comparison as markdown: a headline count
@@ -121,38 +221,50 @@ func readTrajectory(path string) (*Trajectory, error) {
 }
 
 // runDiff is the -old/-new entry point; it returns the regression count
-// so main can turn it into an exit code under -fail-on-regression.
-func runDiff(oldPath, newPath string, thresholdPct float64, summaryPath string) (int, error) {
+// (so main can turn it into an exit code under -fail-on-regression) and
+// the number of violated -min-improve gates (always fatal).
+func runDiff(oldPath, newPath string, thresholdPct float64, specs []MinImprove, summaryPath string) (regressions, violations int, err error) {
 	old, err := readTrajectory(oldPath)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	cur, err := readTrajectory(newPath)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	if math.IsNaN(thresholdPct) {
-		return 0, fmt.Errorf("-threshold must be a number")
+		return 0, 0, fmt.Errorf("-threshold must be a number")
 	}
 	rows := Diff(old, cur, thresholdPct)
-	if err := writeDiffSummary(os.Stdout, old, cur, rows, thresholdPct); err != nil {
-		return 0, err
+	gates := CheckMinImprove(rows, specs)
+	writeBoth := func(w io.Writer) error {
+		if err := writeDiffSummary(w, old, cur, rows, thresholdPct); err != nil {
+			return err
+		}
+		return writeMinImproveSummary(w, gates)
+	}
+	if err := writeBoth(os.Stdout); err != nil {
+		return 0, 0, err
 	}
 	if summaryPath != "" {
 		f, err := os.OpenFile(summaryPath, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
 		if err != nil {
-			return 0, err
+			return 0, 0, err
 		}
 		defer f.Close()
-		if err := writeDiffSummary(f, old, cur, rows, thresholdPct); err != nil {
-			return 0, err
+		if err := writeBoth(f); err != nil {
+			return 0, 0, err
 		}
 	}
-	n := 0
 	for _, r := range rows {
 		if r.Regression {
-			n++
+			regressions++
 		}
 	}
-	return n, nil
+	for _, g := range gates {
+		if g.Violated {
+			violations++
+		}
+	}
+	return regressions, violations, nil
 }

@@ -80,7 +80,7 @@ func TestRunDiffEndToEnd(t *testing.T) {
 	oldP := write("old.json", trajFixture("aaaa", map[string]float64{"BenchmarkCompile": 1000}))
 	newP := write("new.json", trajFixture("bbbb", map[string]float64{"BenchmarkCompile": 1500}))
 	summary := filepath.Join(dir, "summary.md")
-	n, err := runDiff(oldP, newP, 20, summary)
+	n, _, err := runDiff(oldP, newP, 20, nil, summary)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +94,93 @@ func TestRunDiffEndToEnd(t *testing.T) {
 	if !strings.Contains(string(data), "regressed") {
 		t.Fatalf("summary file missing regression note:\n%s", data)
 	}
-	if _, err := runDiff(filepath.Join(dir, "missing.json"), newP, 20, ""); err == nil {
+	if _, _, err := runDiff(filepath.Join(dir, "missing.json"), newP, 20, nil, ""); err == nil {
 		t.Fatal("missing old file did not error")
+	}
+}
+
+func TestParseMinImprove(t *testing.T) {
+	specs, err := ParseMinImprove("BenchmarkPipeline/sequential=3, BenchmarkCompile=1.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []MinImprove{
+		{Name: "BenchmarkPipeline/sequential", Factor: 3},
+		{Name: "BenchmarkCompile", Factor: 1.5},
+	}
+	if len(specs) != len(want) {
+		t.Fatalf("got %d specs, want %d", len(specs), len(want))
+	}
+	for i := range want {
+		if specs[i] != want[i] {
+			t.Fatalf("spec %d = %+v, want %+v", i, specs[i], want[i])
+		}
+	}
+	if s, err := ParseMinImprove("  "); err != nil || s != nil {
+		t.Fatalf("blank spec: got %v, %v", s, err)
+	}
+	for _, bad := range []string{"BenchmarkX", "=3", "BenchmarkX=zero", "BenchmarkX=-1", "BenchmarkX=0"} {
+		if _, err := ParseMinImprove(bad); err == nil {
+			t.Fatalf("%q parsed without error", bad)
+		}
+	}
+}
+
+func TestCheckMinImprove(t *testing.T) {
+	old := trajFixture("aaaa", map[string]float64{
+		"BenchmarkPipeline/sequential-4": 900,
+		"BenchmarkCompile-4":             1000,
+	})
+	cur := trajFixture("bbbb", map[string]float64{
+		"BenchmarkPipeline/sequential-4": 290, // 3.1x, meets =3
+		"BenchmarkCompile-4":             800, // 1.25x, misses =1.5
+	})
+	rows := Diff(old, cur, 20)
+	results := CheckMinImprove(rows, []MinImprove{
+		{Name: "BenchmarkPipeline/sequential", Factor: 3},
+		{Name: "BenchmarkCompile", Factor: 1.5},
+		{Name: "BenchmarkAbsent", Factor: 2},
+	})
+	if r := results[0]; !r.Matched || r.Violated {
+		t.Fatalf("3.1x speedup did not satisfy =3 gate: %+v", r)
+	}
+	if r := results[1]; !r.Matched || !r.Violated {
+		t.Fatalf("1.25x speedup satisfied =1.5 gate: %+v", r)
+	}
+	if r := results[2]; r.Matched || !r.Violated {
+		t.Fatalf("absent benchmark did not violate its gate: %+v", r)
+	}
+}
+
+func TestRunDiffMinImproveExitPath(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, traj *Trajectory) string {
+		data, err := json.Marshal(traj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	oldP := write("old.json", trajFixture("aaaa", map[string]float64{"BenchmarkPipeline/sequential-4": 900}))
+	newP := write("new.json", trajFixture("bbbb", map[string]float64{"BenchmarkPipeline/sequential-4": 600}))
+	summary := filepath.Join(dir, "summary.md")
+	specs := []MinImprove{{Name: "BenchmarkPipeline/sequential", Factor: 3}}
+	_, violations, err := runDiff(oldP, newP, 20, specs, summary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if violations != 1 {
+		t.Fatalf("violations = %d, want 1 (1.5x < required 3x)", violations)
+	}
+	data, err := os.ReadFile(summary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "Minimum-speedup gate") || !strings.Contains(string(data), "required ≥3x") {
+		t.Fatalf("summary missing min-improve section:\n%s", data)
 	}
 }

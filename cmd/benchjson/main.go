@@ -68,17 +68,22 @@ func main() {
 	newPath := flag.String("new", "", "diff mode: current BENCH_<sha>.json")
 	threshold := flag.Float64("threshold", 20, "diff mode: ns/op slowdown (percent) flagged as a regression")
 	failOnRegression := flag.Bool("fail-on-regression", false, "diff mode: exit 1 when a regression exceeds the threshold")
+	minImprove := flag.String("min-improve", "", "diff mode: comma-separated name=factor speedups that must hold (e.g. BenchmarkPipeline/sequential=3); violations exit 1")
 	flag.Parse()
 
 	if *oldPath != "" || *newPath != "" {
 		if *oldPath == "" || *newPath == "" {
 			fatal(fmt.Errorf("diff mode needs both -old and -new"))
 		}
-		regressions, err := runDiff(*oldPath, *newPath, *threshold, *summary)
+		specs, err := ParseMinImprove(*minImprove)
 		if err != nil {
 			fatal(err)
 		}
-		if regressions > 0 && *failOnRegression {
+		regressions, violations, err := runDiff(*oldPath, *newPath, *threshold, specs, *summary)
+		if err != nil {
+			fatal(err)
+		}
+		if violations > 0 || (regressions > 0 && *failOnRegression) {
 			os.Exit(1)
 		}
 		return

@@ -17,14 +17,24 @@ import (
 // Sampler draws one read-out from an annealing run on a physical Ising
 // problem. Implementations must be deterministic given the rng.
 type Sampler interface {
-	// Sample runs one anneal and returns the resulting spins.
+	// Sample runs one anneal and returns the resulting spins in a fresh
+	// slice. It is the materializing convenience form of SampleInto.
 	Sample(p *Compiled, rng *rand.Rand) []int8
+	// SampleInto runs one anneal writing the read-out into the
+	// caller-owned scratch arena (retrieve it with sc.Words or
+	// sc.Spins); steady-state calls allocate nothing. For a given rng
+	// state it consumes the identical rng sequence and produces the
+	// identical read-out as Sample.
+	SampleInto(p *Compiled, rng *rand.Rand, sc *Scratch)
 	// Name identifies the sampler in reports.
 	Name() string
 }
 
-// Compiled is a CSR-form Ising problem optimized for sweep inner loops.
-// Compile once per problem, sample many times.
+// Compiled is a frozen Ising sampling program: the CSR form consumed by
+// the naive reference loops (LocalField/FlipDelta/Energy) plus the
+// fixed-stride padded kernel layout the streaming sweep runs on (see
+// kernel.go). Compile once per problem, sample many times; a Compiled
+// is never mutated after Compile/ApplyGauge returns.
 type Compiled struct {
 	N   int
 	H   []float64
@@ -33,9 +43,19 @@ type Compiled struct {
 	W   []float64
 	// Offset is carried through so energies remain comparable.
 	Offset float64
+
+	// Kernel layout: padded rows of Stride entries per spin holding the
+	// CSR row in the same order. Deg/PNbr describe topology and are
+	// SHARED between a program and its gauge transforms; PW holds the
+	// raw IEEE-754 weight bits (per-gauge copies).
+	Stride int
+	Deg    []int32
+	PNbr   []int32
+	PW     []uint64
 }
 
-// Compile converts an Ising problem into CSR form.
+// Compile converts an Ising problem into CSR form and precomputes the
+// padded kernel layout.
 func Compile(p *ising.Problem) *Compiled {
 	n := p.N()
 	c := &Compiled{N: n, H: make([]float64, n), Off: make([]int32, n+1), Offset: p.Offset}
@@ -54,6 +74,7 @@ func Compile(p *ising.Problem) *Compiled {
 		}
 	}
 	c.Off[n] = int32(len(c.Nbr))
+	c.buildKernel()
 	return c
 }
 
@@ -78,6 +99,10 @@ func (c *Compiled) ApplyGauge(flip []bool) *Compiled {
 		Nbr:    c.Nbr,
 		W:      make([]float64, len(c.W)),
 		Offset: c.Offset,
+		Stride: c.Stride,
+		Deg:    c.Deg,
+		PNbr:   c.PNbr,
+		PW:     make([]uint64, len(c.PW)),
 	}
 	for i, h := range c.H {
 		if flip[i] {
@@ -85,13 +110,28 @@ func (c *Compiled) ApplyGauge(flip []bool) *Compiled {
 		}
 		out.H[i] = h
 	}
+	// Sign flips are applied as IEEE-754 sign-bit XORs, which is exactly
+	// the conditional negation (including −0.0 from 0.0 weights).
 	for i := 0; i < c.N; i++ {
+		var fi uint64
+		if flip[i] {
+			fi = 1
+		}
 		for k := c.Off[i]; k < c.Off[i+1]; k++ {
-			w := c.W[k]
-			if flip[i] != flip[c.Nbr[k]] {
-				w = -w
+			var fj uint64
+			if flip[c.Nbr[k]] {
+				fj = 1
 			}
-			out.W[k] = w
+			sign := (fi ^ fj) << 63
+			out.W[k] = math.Float64frombits(math.Float64bits(c.W[k]) ^ sign)
+		}
+		base := i * c.Stride
+		for k := 0; k < int(c.Deg[i]); k++ {
+			var fj uint64
+			if flip[c.PNbr[base+k]] {
+				fj = 1
+			}
+			out.PW[base+k] = c.PW[base+k] ^ ((fi ^ fj) << 63)
 		}
 	}
 	return out
@@ -158,27 +198,14 @@ func DefaultSA() *SimulatedAnnealer {
 // Name implements Sampler.
 func (sa *SimulatedAnnealer) Name() string { return "SA" }
 
-// Sample implements Sampler.
+// Sample implements Sampler by running SampleInto on a private scratch
+// and copying the read-out out.
 func (sa *SimulatedAnnealer) Sample(c *Compiled, rng *rand.Rand) []int8 {
-	s := RandomSpins(rng, c.N)
-	if sa.Sweeps <= 0 || c.N == 0 {
-		return s
-	}
-	ratio := 1.0
-	if sa.Sweeps > 1 {
-		ratio = math.Pow(sa.BetaEnd/sa.BetaStart, 1/float64(sa.Sweeps-1))
-	}
-	beta := sa.BetaStart
-	for sweep := 0; sweep < sa.Sweeps; sweep++ {
-		for i := 0; i < c.N; i++ {
-			d := c.FlipDelta(s, i)
-			if d <= 0 || rng.Float64() < math.Exp(-beta*d) {
-				s[i] = -s[i]
-			}
-		}
-		beta *= ratio
-	}
-	return s
+	var sc Scratch
+	sa.SampleInto(c, rng, &sc)
+	out := make([]int8, c.N)
+	copy(out, sc.Spins())
+	return out
 }
 
 // SQA is a simulated quantum annealer: path-integral Monte Carlo over P
@@ -207,50 +234,15 @@ func DefaultSQA() *SQA {
 // Name implements Sampler.
 func (q *SQA) Name() string { return "SQA" }
 
-// Sample implements Sampler.
+// Sample implements Sampler by running SampleInto on a private scratch
+// and copying the read-out out.
 func (q *SQA) Sample(c *Compiled, rng *rand.Rand) []int8 {
 	if c.N == 0 {
 		return nil
 	}
-	p := q.Slices
-	if p < 2 {
-		p = 2
-	}
-	betaP := q.Beta / float64(p)
-	replicas := make([][]int8, p)
-	for k := range replicas {
-		replicas[k] = RandomSpins(rng, c.N)
-	}
-	for sweep := 0; sweep < q.Sweeps; sweep++ {
-		frac := 0.0
-		if q.Sweeps > 1 {
-			frac = float64(sweep) / float64(q.Sweeps-1)
-		}
-		gamma := q.GammaStart + (q.GammaEnd-q.GammaStart)*frac
-		jPerp := -0.5 / betaP * math.Log(math.Tanh(betaP*gamma))
-		for k := 0; k < p; k++ {
-			up := replicas[(k+1)%p]
-			down := replicas[(k-1+p)%p]
-			cur := replicas[k]
-			for i := 0; i < c.N; i++ {
-				// Problem term is divided across slices; the replica
-				// coupling is ferromagnetic between neighbors in the
-				// Trotter ring.
-				d := c.FlipDelta(cur, i) / float64(p)
-				d += 2 * jPerp * float64(cur[i]) * float64(up[i]+down[i])
-				if d <= 0 || rng.Float64() < math.Exp(-q.Beta*d) {
-					cur[i] = -cur[i]
-				}
-			}
-		}
-	}
-	best := replicas[0]
-	bestE := c.Energy(best)
-	for _, r := range replicas[1:] {
-		if e := c.Energy(r); e < bestE {
-			bestE = e
-			best = r
-		}
-	}
-	return best
+	var sc Scratch
+	q.SampleInto(c, rng, &sc)
+	out := make([]int8, c.N)
+	copy(out, sc.Spins())
+	return out
 }

@@ -1,0 +1,455 @@
+package anneal
+
+import (
+	"math"
+	"math/rand"
+)
+
+// This file is the allocation-free streaming kernel behind Sampler. The
+// sweep inner loops dominate every QA solve (profiles put ~85% of a
+// QuantumMQO call inside Sample), so the kernel trades the generic
+// CSR-offset walk for a layout and caching scheme tuned to the low-degree
+// annealer topologies (Chimera deg ≤ 6, Pegasus ≤ 15, Zephyr ≤ 20):
+//
+//   - Spin state is bit-packed into uint64 words (bit set ⇔ spin −1), so
+//     a flip is one XOR and a gauge undo is a word-wise XOR against the
+//     packed flip mask.
+//   - Weights are stored as raw IEEE-754 bits in fixed-stride padded rows
+//     (PNbr/PW, stride = max degree), so the w·s product is a sign-bit
+//     XOR — exact, branch-free, and free of int8→float conversions —
+//     and a row address is a multiply instead of two offset loads.
+//   - Each spin's flip delta is cached and recomputed only when a
+//     neighbor actually flipped (a dirty bitset maintained on accepted
+//     flips), making FlipDelta an O(1) lookup in the frozen late sweeps
+//     and O(deg) only after an accepted flip.
+//   - The Metropolis exp() — half the pipeline's CPU time — is replaced
+//     by a decision-exact three-tier test (see metropolis.go).
+//
+// RNG-SEQUENCE PRESERVATION. The kernel must reproduce the historical
+// sampler bit-for-bit: every golden fixture in the repo pins spins drawn
+// from the shared rng stream. The stream advances only at RandomSpins
+// (n × Intn(2)) and at the Metropolis draw, which is short-circuited on
+// d ≤ 0 — so the draw pattern depends exactly on the SIGN of every delta
+// and each accept depends on u < exp(−β·d). The kernel therefore never
+// introduces new roundings:
+//
+//   - ±w and ±h are sign-bit flips (exact); deltas are recomputed in the
+//     ORIGINAL CSR neighbor order whenever a neighbor flipped, not
+//     incrementally accumulated (float accumulation would drift in the
+//     low bits and could flip a d ≤ 0 decision);
+//   - a cached delta is reused only while no neighbor flipped, in which
+//     case recomputation would return the identical bits;
+//   - flipping spin i negates its own delta exactly (d' = −d: the local
+//     field does not depend on s_i);
+//   - acceptPositive (metropolis.go) returns the provably identical
+//     boolean to u < math.Exp(−β·d) for the u already drawn — the rng
+//     stream itself is untouched. Note fl((−β)·d) == −fl(β·d) exactly
+//     (negation is sign-bit only), so passing x = β·d reproduces the
+//     historical math.Exp(-beta*d) argument bit-for-bit.
+
+// WordsFor returns the number of uint64 words packing n spins.
+func WordsFor(n int) int { return (n + 63) / 64 }
+
+// spinBit returns 1 when packed spin i is −1, 0 when +1.
+func spinBit(words []uint64, i int) uint64 {
+	return (words[i>>6] >> (uint(i) & 63)) & 1
+}
+
+// spinSign returns packed spin i as ±1.0.
+func spinSign(words []uint64, i int) float64 {
+	return 1 - 2*float64(spinBit(words, i))
+}
+
+// PackSpins packs ±1 spins into words (bit set ⇔ spin −1). Unused
+// trailing bits are cleared. words must hold WordsFor(len(s)) words.
+func PackSpins(s []int8, words []uint64) {
+	for w := range words {
+		words[w] = 0
+	}
+	for i, si := range s {
+		if si != 1 {
+			words[i>>6] |= 1 << (uint(i) & 63)
+		}
+	}
+}
+
+// PackBools packs a flip/bit mask (true ⇔ bit set). Trailing bits are
+// cleared. words must hold WordsFor(len(f)) words.
+func PackBools(f []bool, words []uint64) {
+	for w := range words {
+		words[w] = 0
+	}
+	for i, on := range f {
+		if on {
+			words[i>>6] |= 1 << (uint(i) & 63)
+		}
+	}
+}
+
+// UnpackSpins writes the packed state into s as ±1 spins.
+func UnpackSpins(words []uint64, s []int8) {
+	for i := range s {
+		s[i] = int8(1 - 2*int8(spinBit(words, i)))
+	}
+}
+
+// UnpackBits writes the packed state into x with x[i] = (spin i == +1),
+// the binary convention of ising.SpinsToBits.
+func UnpackBits(words []uint64, x []bool) {
+	for i := range x {
+		x[i] = spinBit(words, i) == 0
+	}
+}
+
+// RandomSpinsInto draws a uniform packed spin state, consuming exactly
+// the same rng stream as RandomSpins (one Intn(2) per spin).
+func RandomSpinsInto(rng *rand.Rand, n int, words []uint64) {
+	for w := range words {
+		words[w] = 0
+	}
+	for i := 0; i < n; i++ {
+		if rng.Intn(2) != 1 {
+			words[i>>6] |= 1 << (uint(i) & 63)
+		}
+	}
+}
+
+// buildKernel precomputes the fixed-stride padded neighbor layout from
+// the CSR arrays. Shared (read-only) between a program and its gauge
+// transforms except for PW, which carries the gauged weight bits.
+func (c *Compiled) buildKernel() {
+	stride := 0
+	for i := 0; i < c.N; i++ {
+		if d := int(c.Off[i+1] - c.Off[i]); d > stride {
+			stride = d
+		}
+	}
+	c.Stride = stride
+	c.Deg = make([]int32, c.N)
+	c.PNbr = make([]int32, c.N*stride)
+	c.PW = make([]uint64, c.N*stride)
+	for i := 0; i < c.N; i++ {
+		base := i * stride
+		lo, hi := c.Off[i], c.Off[i+1]
+		c.Deg[i] = hi - lo
+		for k := lo; k < hi; k++ {
+			c.PNbr[base+int(k-lo)] = c.Nbr[k]
+			c.PW[base+int(k-lo)] = math.Float64bits(c.W[k])
+		}
+	}
+}
+
+// PackedFlipDelta returns the energy change from flipping packed spin i:
+// bit-identical to FlipDelta on the equivalent []int8 state (the padded
+// row preserves CSR neighbor order and every sign application is exact).
+func (c *Compiled) PackedFlipDelta(words []uint64, i int) float64 {
+	return -2 * spinSign(words, i) * c.packedLocalField(words, i)
+}
+
+// packedLocalField is LocalField over the packed state: h_i plus the
+// sign-adjusted row weights, accumulated in CSR order.
+func (c *Compiled) packedLocalField(words []uint64, i int) float64 {
+	f := c.H[i]
+	base := i * c.Stride
+	deg := int(c.Deg[i])
+	nbr := c.PNbr[base : base+deg : base+deg]
+	wb := c.PW[base : base+deg : base+deg]
+	for k := 0; k < deg; k++ {
+		j := int(nbr[k])
+		b := (words[j>>6] >> (uint(j) & 63)) & 1
+		f += math.Float64frombits(wb[k] ^ (b << 63))
+	}
+	return f
+}
+
+// PackedEnergy evaluates the Hamiltonian over the packed state,
+// bit-identical to Energy on the equivalent []int8 state: the i-major
+// traversal, the j > i filter, and the term order all match, and the
+// ±1 products are exact sign-bit flips.
+func (c *Compiled) PackedEnergy(words []uint64) float64 {
+	e := c.Offset
+	for i := 0; i < c.N; i++ {
+		bi := spinBit(words, i)
+		e += math.Float64frombits(math.Float64bits(c.H[i]) ^ (bi << 63))
+		base := i * c.Stride
+		deg := int(c.Deg[i])
+		for k := 0; k < deg; k++ {
+			if j := int(c.PNbr[base+k]); j > i {
+				bj := spinBit(words, j)
+				e += math.Float64frombits(c.PW[base+k] ^ ((bi ^ bj) << 63))
+			}
+		}
+	}
+	return e
+}
+
+// Scratch is a per-worker arena for the sampling hot path: packed spin
+// state, the delta cache with its dirty bitset, the SQA replica ring,
+// and the read-out buffers. A Scratch is owned by exactly one worker at
+// a time (internal/exec workers hold one each) and is reused across
+// every run of every gauge batch the worker executes, so steady-state
+// sweeps allocate nothing. The zero value is ready to use; buffers grow
+// on demand and are retained.
+//
+// OWNERSHIP CONTRACT: the views returned by Words and Spins alias the
+// scratch and are valid only until the next SampleInto (or Spins) call
+// on the same Scratch. Callers that retain a read-out past that point —
+// an incumbent, a materialized Sample — must copy it out first.
+type Scratch struct {
+	n     int      // spins in the last read-out
+	out   []uint64 // read-out words (SA: working state; SQA: best replica)
+	delta []float64
+	dirty []uint64
+	spins []int8 // Spins() unpack buffer
+
+	rep      []uint64 // SQA replica ring, slices×words
+	repDelta []float64
+	repDirty []uint64
+	sched    []float64 // SQA per-sweep J⊥ schedule
+}
+
+// NewScratch returns an empty arena (buffers grow on first use).
+func NewScratch() *Scratch { return &Scratch{} }
+
+// grow ensures the arena holds the SA buffers for n spins.
+func (sc *Scratch) grow(n int) {
+	w := WordsFor(n)
+	if cap(sc.out) < w {
+		sc.out = make([]uint64, w)
+		sc.dirty = make([]uint64, w)
+	}
+	sc.out = sc.out[:w]
+	sc.dirty = sc.dirty[:w]
+	if cap(sc.delta) < n {
+		sc.delta = make([]float64, n)
+		sc.spins = make([]int8, n)
+	}
+	sc.delta = sc.delta[:n]
+	sc.spins = sc.spins[:n]
+	sc.n = n
+}
+
+// growSQA additionally sizes the replica ring for p slices of n spins
+// and an s-sweep schedule.
+func (sc *Scratch) growSQA(n, p, sweeps int) {
+	sc.grow(n)
+	w := WordsFor(n)
+	if cap(sc.rep) < p*w {
+		sc.rep = make([]uint64, p*w)
+		sc.repDirty = make([]uint64, p*w)
+	}
+	sc.rep = sc.rep[:p*w]
+	sc.repDirty = sc.repDirty[:p*w]
+	if cap(sc.repDelta) < p*n {
+		sc.repDelta = make([]float64, p*n)
+	}
+	sc.repDelta = sc.repDelta[:p*n]
+	if cap(sc.sched) < sweeps {
+		sc.sched = make([]float64, sweeps)
+	}
+	sc.sched = sc.sched[:sweeps]
+}
+
+// Words returns the packed read-out of the last SampleInto: bit set ⇔
+// spin −1. The view aliases the scratch (see the ownership contract).
+func (sc *Scratch) Words() []uint64 { return sc.out }
+
+// Spins unpacks the last read-out into the scratch's ±1 buffer and
+// returns it. The view aliases the scratch (see the ownership contract).
+func (sc *Scratch) Spins() []int8 {
+	s := sc.spins[:sc.n]
+	UnpackSpins(sc.out, s)
+	return s
+}
+
+// markAllDirty invalidates every cached delta.
+func markAllDirty(dirty []uint64) {
+	for w := range dirty {
+		dirty[w] = ^uint64(0)
+	}
+}
+
+// sweep runs one Metropolis sweep over the packed state at inverse
+// temperature beta, reusing cached deltas for spins whose neighborhood
+// is unchanged. The rng stream and every accept decision are
+// bit-identical to the naive FlipDelta-per-spin loop.
+func (c *Compiled) sweep(rng *rand.Rand, words []uint64, delta []float64, dirty []uint64, beta float64) {
+	n := c.N
+	if n == 0 {
+		return
+	}
+	// Word-blocked traversal: indexing words/dirty by the block counter
+	// lets the compiler drop their bounds checks on the hot loads. dirty
+	// is re-read per spin, not snapshotted — an accepted flip may dirty a
+	// later spin of the same word.
+	delta = delta[:n]
+	words = words[:WordsFor(n)]
+	dirty = dirty[:len(words)]
+	i := 0
+	for iw := range words {
+		ib := uint64(1)
+		hi := i + 64
+		if hi > n {
+			hi = n
+		}
+		for ; i < hi; i, ib = i+1, ib<<1 {
+			d := delta[i]
+			if dirty[iw]&ib != 0 {
+				d = -2 * spinSign(words, i) * c.packedLocalField(words, i)
+				delta[i] = d
+				dirty[iw] &^= ib
+			}
+			if d > 0 {
+				// Hand-inlined acceptPositive (metropolis.go): the bracket
+				// decides nearly every draw without a call.
+				u := rng.Float64()
+				x := beta * d
+				m := uint(1023 - int(math.Float64bits(u)>>52)&0x7ff)
+				if m < 64 {
+					if x >= rejectAbove[m] {
+						continue
+					}
+					if x > acceptBelow[m] && !acceptBand(u, x) {
+						continue
+					}
+				} else if !acceptBand(u, x) {
+					continue
+				}
+			}
+			words[iw] ^= ib
+			delta[i] = -d
+			base := i * c.Stride
+			deg := int(c.Deg[i])
+			for k := 0; k < deg; k++ {
+				j := int(c.PNbr[base+k])
+				dirty[j>>6] |= 1 << (uint(j) & 63)
+			}
+		}
+	}
+}
+
+// SampleInto implements Sampler for SimulatedAnnealer, writing the
+// read-out into sc (retrieve it with sc.Words or sc.Spins). It draws
+// exactly the rng sequence of the historical materializing Sample.
+func (sa *SimulatedAnnealer) SampleInto(c *Compiled, rng *rand.Rand, sc *Scratch) {
+	sc.grow(c.N)
+	RandomSpinsInto(rng, c.N, sc.out)
+	if sa.Sweeps <= 0 || c.N == 0 {
+		return
+	}
+	ratio := 1.0
+	if sa.Sweeps > 1 {
+		ratio = math.Pow(sa.BetaEnd/sa.BetaStart, 1/float64(sa.Sweeps-1))
+	}
+	markAllDirty(sc.dirty)
+	beta := sa.BetaStart
+	for sweep := 0; sweep < sa.Sweeps; sweep++ {
+		c.sweep(rng, sc.out, sc.delta, sc.dirty, beta)
+		beta *= ratio
+	}
+}
+
+// SampleInto implements Sampler for SQA, writing the best replica's
+// read-out into sc. It draws exactly the rng sequence of the historical
+// materializing Sample.
+func (q *SQA) SampleInto(c *Compiled, rng *rand.Rand, sc *Scratch) {
+	if c.N == 0 {
+		sc.grow(0)
+		return
+	}
+	p := q.Slices
+	if p < 2 {
+		p = 2
+	}
+	betaP := q.Beta / float64(p)
+	sc.growSQA(c.N, p, q.Sweeps)
+	q.schedule(sc, betaP)
+	n, w := c.N, WordsFor(c.N)
+	for k := 0; k < p; k++ {
+		RandomSpinsInto(rng, n, sc.rep[k*w:(k+1)*w])
+	}
+	markAllDirty(sc.repDirty)
+	pf := float64(p)
+	for sweep := 0; sweep < q.Sweeps; sweep++ {
+		jp2 := 2 * sc.sched[sweep]
+		for k := 0; k < p; k++ {
+			up := sc.rep[((k+1)%p)*w:]
+			down := sc.rep[((k-1+p)%p)*w:]
+			cur := sc.rep[k*w:]
+			delta := sc.repDelta[k*n:]
+			dirty := sc.repDirty[k*w:]
+			for i := 0; i < n; i++ {
+				iw := i >> 6
+				ib := uint64(1) << (uint(i) & 63)
+				dfull := delta[i]
+				if dirty[iw]&ib != 0 {
+					dfull = -2 * spinSign(cur, i) * c.packedLocalField(cur, i)
+					delta[i] = dfull
+					dirty[iw] &^= ib
+				}
+				// Problem term is divided across slices; the replica
+				// coupling is ferromagnetic between Trotter neighbors.
+				// Identical op order to the naive loop: (2·J⊥)·s then
+				// ·(up+down), each product an exact ±/zero scale.
+				s := 1 - 2*float64((cur[iw]>>(uint(i)&63))&1)
+				ud := float64(2 - 2*int(spinBit(up, i)+spinBit(down, i)))
+				d := dfull/pf + jp2*s*ud
+				if d > 0 {
+					// Hand-inlined acceptPositive (metropolis.go).
+					u := rng.Float64()
+					x := q.Beta * d
+					m := uint(1023 - int(math.Float64bits(u)>>52)&0x7ff)
+					if m < 64 {
+						if x >= rejectAbove[m] {
+							continue
+						}
+						if x > acceptBelow[m] && !acceptBand(u, x) {
+							continue
+						}
+					} else if !acceptBand(u, x) {
+						continue
+					}
+				}
+				cur[iw] ^= ib
+				delta[i] = -dfull
+				base := i * c.Stride
+				deg := int(c.Deg[i])
+				for kk := 0; kk < deg; kk++ {
+					j := int(c.PNbr[base+kk])
+					dirty[j>>6] |= 1 << (uint(j) & 63)
+				}
+			}
+		}
+	}
+	// Read out the lowest-energy replica. PackedEnergy is bit-identical
+	// to Energy on the unpacked spins, and the strict < keeps the
+	// first-best tie-breaking of the historical scan. An incremental
+	// energy per replica would be cheaper still, but its accumulated
+	// roundings could pick a different replica within float tolerance
+	// and break golden stability — the full scan is O(slices·edges)
+	// once per read-out, off the sweep hot path.
+	best := 0
+	bestE := c.PackedEnergy(sc.rep[:w])
+	for k := 1; k < p; k++ {
+		if e := c.PackedEnergy(sc.rep[k*w : (k+1)*w]); e < bestE {
+			bestE = e
+			best = k
+		}
+	}
+	copy(sc.out, sc.rep[best*w:(best+1)*w])
+}
+
+// schedule precomputes the per-sweep transverse-field coupling J⊥ =
+// −(1/(2·βP))·ln(tanh(βP·Γ)) with Γ decreasing linearly from GammaStart
+// to GammaEnd — hoisted out of the sweep×replica loops (the expressions
+// are identical to the historical in-loop computation, value for value).
+func (q *SQA) schedule(sc *Scratch, betaP float64) {
+	for sweep := 0; sweep < q.Sweeps; sweep++ {
+		frac := 0.0
+		if q.Sweeps > 1 {
+			frac = float64(sweep) / float64(q.Sweeps-1)
+		}
+		gamma := q.GammaStart + (q.GammaEnd-q.GammaStart)*frac
+		sc.sched[sweep] = -0.5 / betaP * math.Log(math.Tanh(betaP*gamma))
+	}
+}

@@ -1,0 +1,178 @@
+package anneal
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestPackRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{1, 7, 63, 64, 65, 130} {
+		s := RandomSpins(rng, n)
+		words := make([]uint64, WordsFor(n))
+		PackSpins(s, words)
+		back := make([]int8, n)
+		UnpackSpins(words, back)
+		for i := range s {
+			if s[i] != back[i] {
+				t.Fatalf("n=%d: spin %d round-trips %d -> %d", n, i, s[i], back[i])
+			}
+		}
+		bits := make([]bool, n)
+		UnpackBits(words, bits)
+		for i := range s {
+			if bits[i] != (s[i] == 1) {
+				t.Fatalf("n=%d: UnpackBits[%d] = %v for spin %d", n, i, bits[i], s[i])
+			}
+		}
+		f := make([]bool, n)
+		for i := range f {
+			f[i] = rng.Intn(2) == 0
+		}
+		PackBools(f, words)
+		for i := range f {
+			if got := words[i>>6]&(1<<(uint(i)&63)) != 0; got != f[i] {
+				t.Fatalf("n=%d: PackBools bit %d = %v, want %v", n, i, got, f[i])
+			}
+		}
+		// Trailing bits beyond n must be cleared so whole-word XOR
+		// operations (gauge undo) cannot leak garbage.
+		if rem := uint(n) & 63; rem != 0 {
+			if tail := words[len(words)-1] &^ (1<<rem - 1); tail != 0 {
+				t.Fatalf("n=%d: trailing bits not cleared: %#x", n, tail)
+			}
+		}
+	}
+}
+
+// TestApplyGaugeIdentity checks the defining property of a gauge
+// transform: E_gauged(s) = E_original(s ⊙ flip), on the compiled
+// program's own energy as well as the packed read-out form.
+func TestApplyGaugeIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 25; trial++ {
+		n := 1 + rng.Intn(40)
+		p := randomIsing(rng, n, 0.3)
+		p.Offset = rng.NormFloat64()
+		c := Compile(p)
+		flip := make([]bool, n)
+		for i := range flip {
+			flip[i] = rng.Intn(2) == 0
+		}
+		g := c.ApplyGauge(flip)
+		s := RandomSpins(rng, n)
+		flipped := make([]int8, n)
+		for i, si := range s {
+			if flip[i] {
+				si = -si
+			}
+			flipped[i] = si
+		}
+		if got, want := g.Energy(s), c.Energy(flipped); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d: gauged energy %v != original energy of flipped state %v", trial, got, want)
+		}
+		words := make([]uint64, WordsFor(n))
+		PackSpins(s, words)
+		if got, want := g.PackedEnergy(words), g.Energy(s); got != want {
+			t.Fatalf("trial %d: PackedEnergy %v != Energy %v on gauged program", trial, got, want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("size-mismatched gauge did not panic")
+		}
+	}()
+	Compile(randomIsing(rng, 4, 0.5)).ApplyGauge(make([]bool, 5))
+}
+
+func TestPackedFlipDeltaMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 25; trial++ {
+		n := 1 + rng.Intn(80)
+		c := Compile(randomIsing(rng, n, 0.2))
+		s := RandomSpins(rng, n)
+		words := make([]uint64, WordsFor(n))
+		PackSpins(s, words)
+		for i := 0; i < n; i++ {
+			if got, want := c.PackedFlipDelta(words, i), c.FlipDelta(s, i); got != want {
+				t.Fatalf("trial %d spin %d: PackedFlipDelta %v != FlipDelta %v (bit-exactness required)", trial, i, got, want)
+			}
+		}
+	}
+}
+
+func TestScratchViews(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	c := Compile(randomIsing(rng, 70, 0.2))
+	sc := NewScratch()
+	DefaultSA().SampleInto(c, rng, sc)
+	words := sc.Words()
+	if len(words) != WordsFor(70) {
+		t.Fatalf("Words() has %d words, want %d", len(words), WordsFor(70))
+	}
+	spins := sc.Spins()
+	if len(spins) != 70 {
+		t.Fatalf("Spins() has %d entries, want 70", len(spins))
+	}
+	for i, si := range spins {
+		if want := int8(1 - 2*int8(spinBit(words, i))); si != want {
+			t.Fatalf("Spins()[%d] = %d disagrees with Words() bit (%d)", i, si, want)
+		}
+	}
+}
+
+// TestAcceptPositiveMatchesExp pins the three-tier Metropolis test to
+// its specification: acceptPositive(u, x) must equal the historical
+// u < math.Exp(-x) for every draw, including the band where the fast
+// path defers to the math.Exp arbiter.
+func TestAcceptPositiveMatchesExp(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	for trial := 0; trial < 2_000_000; trial++ {
+		u := rng.Float64()
+		x := rng.Float64() * 50
+		if got, want := acceptPositive(u, x), u < math.Exp(-x); got != want {
+			t.Fatalf("acceptPositive(%v, %v) = %v, want %v", u, x, got, want)
+		}
+	}
+	// Adversarial draws: u exactly on exp(-x) lattice points, extreme
+	// exponents, and the u == 0 fall-through.
+	for trial := 0; trial < 200_000; trial++ {
+		x := rng.Float64() * 45
+		u := math.Exp(-x)
+		for _, uu := range []float64{u, math.Nextafter(u, 0), math.Nextafter(u, 1)} {
+			if uu <= 0 || uu >= 1 {
+				continue
+			}
+			if got, want := acceptPositive(uu, x), uu < math.Exp(-x); got != want {
+				t.Fatalf("boundary: acceptPositive(%v, %v) = %v, want %v", uu, x, got, want)
+			}
+		}
+	}
+	for _, x := range []float64{0, 1e-300, 1e-17, 0.5, 43.7, 700, 1e300} {
+		if got, want := acceptBand(0, x), 0 < math.Exp(-x); got != want {
+			t.Fatalf("acceptBand(0, %v) = %v, want %v", x, got, want)
+		}
+		if got, want := acceptPositive(5e-324, x), 5e-324 < math.Exp(-x); got != want {
+			t.Fatalf("acceptPositive(denormal, %v) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+// TestExpNegAccuracy bounds the fast exponential's relative error well
+// inside the ±1e-9 guard band that acceptBand relies on to route
+// ambiguous draws to the math.Exp arbiter.
+func TestExpNegAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	for trial := 0; trial < 500_000; trial++ {
+		x := rng.Float64() * 50
+		got := expNeg(x)
+		want := math.Exp(-x)
+		if want == 0 {
+			continue
+		}
+		if rel := math.Abs(got-want) / want; rel > 1e-10 {
+			t.Fatalf("expNeg(%v) = %v, math.Exp = %v, rel err %v > 1e-10", x, got, want, rel)
+		}
+	}
+}

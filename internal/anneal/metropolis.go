@@ -1,0 +1,113 @@
+package anneal
+
+import "math"
+
+// Metropolis acceptance without math.Exp on the hot path.
+//
+// The historical sampler decides every positive-delta move with
+// u < math.Exp(−β·d) after drawing u = rng.Float64(). math.Exp is ~half
+// the CPU time of a full QuantumMQO solve, yet almost every call is far
+// from the decision boundary: in the frozen late sweeps exp(−β·d) is
+// orders of magnitude below u, and in the hot early sweeps it is within
+// a few binary orders of 1. acceptPositive replaces the call with a
+// three-tier decision that returns the PROVABLY identical boolean:
+//
+//  1. Exponent bracket (integer ops + a 64-entry table). With u ∈
+//     [2^e, 2^(e+1)) — e read straight from the IEEE-754 exponent —
+//     x ≥ −e·ln2 + slack forces exp(−x) < 2^e ≤ u (reject), and
+//     x ≤ −(e+1)·ln2 − slack forces exp(−x) > 2^(e+1) > u (accept).
+//     The 0.01 slack in x absorbs every rounding involved (table
+//     entries, the β·d product, math.Exp's ≤1-ulp error) with orders
+//     of magnitude to spare, because moving x by 0.01 moves exp(−x)
+//     by a factor e^0.01 ≈ 1.01, vastly more than any of them.
+//  2. Guarded fast exp. Inside the bracket's ±3-binary-order band,
+//     expNeg approximates exp(−x) to ~4e−11 relative error; u outside
+//     a ±1e−9 relative guard band around it decides immediately.
+//  3. math.Exp arbiter. Only a u inside the guard band — probability
+//     ~2e−9 per draw — falls through to the exact historical
+//     comparison. Correctness therefore never depends on expNeg's
+//     error bound; only the fall-through rate does.
+//
+// u == 0 (probability 2⁻⁶³) also falls through to math.Exp: 0 < exp(−x)
+// is true until exp underflows to exactly 0, and the arbiter reproduces
+// that boundary by construction.
+
+const (
+	// expGuard is the relative half-width of the fast-exp guard band.
+	expGuard = 1e-9
+	// log2of32e is 32/ln2, the table-index scale of expNeg.
+	log2of32e = 46.16624130844683
+	// ln2over32 is ln2/32, the argument-reduction step of expNeg.
+	ln2over32 = 0.021660849392498290
+)
+
+// rejectAbove[m] (m = −e, u ∈ [2^−m, 2^−m+1)) is the x beyond which
+// rejection is certain; acceptBelow[m] the x below which acceptance is.
+var rejectAbove, acceptBelow [64]float64
+
+// exp2neg[j] is 2^(−j/32), the reduction table of expNeg.
+var exp2neg [32]float64
+
+func init() {
+	const ln2 = 0.6931471805599453
+	for m := 1; m < 64; m++ {
+		rejectAbove[m] = float64(m)*ln2 + 0.01
+		acceptBelow[m] = float64(m-1)*ln2 - 0.01
+	}
+	for j := range exp2neg {
+		exp2neg[j] = math.Exp2(-float64(j) / 32)
+	}
+}
+
+// expNeg approximates exp(−x) for x ∈ [0, 45] to ~4e−11 relative error:
+// x = (32k+j)·ln2/32 + r with r ∈ [0, ln2/32), exp(−x) =
+// 2^−k · 2^(−j/32) · e^−r, the last factor a degree-4 Taylor polynomial
+// (remainder ≤ r⁵/120 ≈ 4e−11 at r = ln2/32).
+func expNeg(x float64) float64 {
+	n := int(x * log2of32e)
+	r := x - float64(n)*ln2over32
+	j := n & 31
+	k := n >> 5
+	p := 1 + r*(-1+r*(0.5+r*(-1.0/6+r*(1.0/24))))
+	return exp2neg[j] * p * math.Float64frombits(uint64(1023-k)<<52)
+}
+
+// acceptPositive reports u < math.Exp(−x) for x = β·d > 0 and
+// u = rng.Float64(), bit-for-bit equal to evaluating that expression.
+// The bracket fast path is small enough to inline into the sweep loops;
+// draws it cannot decide fall through to acceptBand.
+func acceptPositive(u, x float64) bool {
+	// u is normal and in (0, 1): exponent field − 1023 = e ∈ [−63, −1].
+	// u == 0 yields m = 1023, outside the table, and falls through.
+	m := uint(1023 - int(math.Float64bits(u)>>52)&0x7ff)
+	if m < 64 {
+		if x >= rejectAbove[m] {
+			return false
+		}
+		if x <= acceptBelow[m] {
+			return true
+		}
+	}
+	return acceptBand(u, x)
+}
+
+// acceptBand decides draws inside the bracket's ambiguous band (or the
+// 2⁻⁶³-probability u == 0) with the guarded fast exp, deferring to
+// math.Exp only inside the guard band.
+func acceptBand(u, x float64) bool {
+	if u == 0 || x > 709 {
+		// u == 0 has no exponent bracket; beyond x ≈ 709 exp(-x)
+		// leaves the normal float64 range and expNeg's 2^-k scaling
+		// constant with it. Neither is reachable from rand.Float64
+		// draws against bracketed x, but keep the function total.
+		return u < math.Exp(-x)
+	}
+	a := expNeg(x)
+	if u < a*(1-expGuard) {
+		return true
+	}
+	if u >= a*(1+expGuard) {
+		return false
+	}
+	return u < math.Exp(-x)
+}

@@ -21,7 +21,6 @@ import (
 	"repro/internal/dwave"
 	"repro/internal/embedding"
 	"repro/internal/exec"
-	"repro/internal/ising"
 	"repro/internal/logical"
 	"repro/internal/mqo"
 	"repro/internal/topology"
@@ -161,6 +160,39 @@ type batchResult struct {
 	have     bool
 }
 
+// solveScratch is the per-worker decode arena: the device sampling
+// scratch plus every buffer the read-out→solution path needs (physical
+// bits, logical bits, decoded solution, plan-selection mask). One worker
+// owns it at a time; each read-out is decoded in place and discarded,
+// with the batch incumbent copied out only on strict improvement.
+type solveScratch struct {
+	dw       dwave.Scratch
+	bits     []bool
+	logical  []bool
+	sol      mqo.Solution
+	selected []bool
+}
+
+// grow sizes the decode buffers (idempotent once sized).
+func (sc *solveScratch) grow(nPhys, nLogical, nQueries, nPlans int) {
+	if cap(sc.bits) < nPhys {
+		sc.bits = make([]bool, nPhys)
+	}
+	sc.bits = sc.bits[:nPhys]
+	if cap(sc.logical) < nLogical {
+		sc.logical = make([]bool, nLogical)
+	}
+	sc.logical = sc.logical[:nLogical]
+	if cap(sc.sol) < nQueries {
+		sc.sol = make(mqo.Solution, nQueries)
+	}
+	sc.sol = sc.sol[:nQueries]
+	if cap(sc.selected) < nPlans {
+		sc.selected = make([]bool, nPlans)
+	}
+	sc.selected = sc.selected[:nPlans]
+}
+
 // QuantumMQO solves an MQO problem on the simulated annealer. Gauge
 // batches are sampled and decoded concurrently under opt.Parallelism,
 // each from a private random stream split off seed, and merged back in
@@ -217,26 +249,31 @@ func QuantumMQO(ctx context.Context, p *mqo.Problem, opt Options, seed int64) (*
 	performed := 0
 	// Fan out: each worker samples one gauge batch AND decodes its
 	// read-outs (chain majority vote, descents, cost) — the whole hot
-	// path scales with cores. Merge: batch results return in run order,
-	// so recording them sequentially yields a single nondecreasing
-	// modeled-time trace and OnImprovement still streams strictly
-	// improving incumbents.
+	// path scales with cores. Every read-out streams through the
+	// worker's arena (sampler scratch, bit/solution buffers):
+	// decode-then-discard, with the batch incumbent copied out of the
+	// buffers only on strict improvement. Merge: batch results return in
+	// run order, so recording them sequentially yields a single
+	// nondecreasing modeled-time trace and OnImprovement still streams
+	// strictly improving incumbents.
+	scratches := make([]solveScratch, exec.Parallelism(opt.Parallelism))
 	ferr := exec.ForEachOrdered(ctx, opt.Parallelism, len(batches),
 		func(tctx context.Context, i int) (*batchResult, error) {
-			samples := device.SampleBatch(tctx, isingProblem, original, batches[i])
-			br := &batchResult{outs: make([]readout, 0, len(samples))}
-			for _, s := range samples {
-				bits := ising.SpinsToBits(s.Spins)
-				logicalBits := phys.Unembed(bits)
-				ro := readout{elapsed: s.Elapsed, broken: phys.BrokenChains(bits) > 0}
+			sc := &scratches[exec.WorkerID(tctx)]
+			sc.grow(isingProblem.N(), phys.Logical.N(), p.NumQueries(), p.NumPlans())
+			br := &batchResult{outs: make([]readout, 0, batches[i].Runs)}
+			device.StreamBatch(tctx, isingProblem, original, batches[i], &sc.dw, func(s dwave.Readout) bool {
+				anneal.UnpackBits(s.Words, sc.bits)
+				phys.UnembedInto(sc.bits, sc.logical)
+				ro := readout{elapsed: s.Elapsed, broken: phys.BrokenChains(sc.bits) > 0}
 				if !opt.DisablePostprocess {
 					// Single-bit descent on the logical formula removes
 					// majority-vote artifacts of broken chains (a domain
 					// wall inside a chain is single-flip stable at the
 					// physical level, so descending there would not help).
-					mapping.QUBO.FirstImprovementDescent(logicalBits, 16)
+					mapping.QUBO.FirstImprovementDescent(sc.logical, 16)
 				}
-				sol := mapping.Decode(logicalBits)
+				sol := mapping.DecodeInto(sc.logical, sc.sol, sc.selected)
 				if !opt.DisablePostprocess {
 					// Optimization post-processing as offered by the
 					// production device API: local search over plan swaps
@@ -246,19 +283,20 @@ func QuantumMQO(ctx context.Context, p *mqo.Problem, opt Options, seed int64) (*
 					// surrogate cannot; the swap descent restores the
 					// read-out quality the paper reports for hardware
 					// (final gaps well under 1%).
-					swapDescent(p, sol)
+					swapDescentWith(p, sol, sc.selected)
 				}
-				if cost, cerr := p.Cost(sol); cerr == nil {
+				if cost, cerr := p.CostWith(sol, sc.selected); cerr == nil {
 					ro.ok = true
 					ro.cost = cost
 					if !br.have || cost < br.bestCost {
 						br.have = true
 						br.bestCost = cost
-						br.bestSol = sol
+						br.bestSol = append(br.bestSol[:0], sol...)
 					}
 				} // else: repair failed; skip the read-out
 				br.outs = append(br.outs, ro)
-			}
+				return true
+			})
 			return br, nil
 		},
 		func(_ int, br *batchResult) bool {
@@ -298,7 +336,15 @@ func QuantumMQO(ctx context.Context, p *mqo.Problem, opt Options, seed int64) (*
 // swapDescent runs first-improvement local search over single-query plan
 // swaps until a local optimum is reached, mutating sol in place.
 func swapDescent(p *mqo.Problem, sol mqo.Solution) {
-	selected := make([]bool, p.NumPlans())
+	swapDescentWith(p, sol, make([]bool, p.NumPlans()))
+}
+
+// swapDescentWith is swapDescent reusing the caller's selection scratch
+// (one entry per plan, contents overwritten).
+func swapDescentWith(p *mqo.Problem, sol mqo.Solution, selected []bool) {
+	for i := range selected {
+		selected[i] = false
+	}
 	for _, pl := range sol {
 		if pl >= 0 {
 			selected[pl] = true

@@ -170,14 +170,49 @@ func (d *Device) Batches(runs int, seed int64) []Batch {
 	return batches
 }
 
-// SampleBatch executes one gauge batch sequentially and returns its
-// read-outs in run order, spins and energies expressed in the problem's
-// original gauge. original is p compiled in the identity gauge; sessions
-// compile it once and share it across batches (nil compiles on the
-// spot). The batch is deterministic in b alone, which is what lets it
-// run on any worker without changing results. A cancelled ctx stops
-// between runs, returning the read-outs completed so far.
-func (d *Device) SampleBatch(ctx context.Context, p *ising.Problem, original *anneal.Compiled, b Batch) []Sample {
+// Readout is one streamed annealing read-out: the packed spins (bit set
+// ⇔ spin −1, anneal's convention) already undone into the problem's
+// original gauge, their energy, and the modeled completion time. The
+// Words view aliases the worker's Scratch and is valid ONLY during the
+// StreamBatch yield that delivered it — consumers decode-then-discard,
+// copying out only what they keep (an incumbent, a materialized Sample).
+type Readout struct {
+	Words   []uint64
+	Energy  float64
+	Elapsed time.Duration
+}
+
+// Scratch is the per-worker arena of a sampling session: the sampler's
+// kernel arena plus the packed gauge mask and the original-gauge
+// read-out buffer. One worker owns it at a time and reuses it across
+// every run of every batch it executes, so steady-state runs allocate
+// nothing. The zero value is ready to use.
+type Scratch struct {
+	kernel anneal.Scratch
+	gauge  []uint64
+	orig   []uint64
+}
+
+// grow sizes the packed buffers for n spins.
+func (sc *Scratch) grow(n int) {
+	w := anneal.WordsFor(n)
+	if cap(sc.gauge) < w {
+		sc.gauge = make([]uint64, w)
+		sc.orig = make([]uint64, w)
+	}
+	sc.gauge = sc.gauge[:w]
+	sc.orig = sc.orig[:w]
+}
+
+// StreamBatch executes one gauge batch sequentially, yielding each
+// read-out in run order through sc without materializing any of them.
+// Spins and energies are expressed in the problem's original gauge.
+// original is p compiled in the identity gauge; sessions compile it once
+// and share it across batches (nil compiles on the spot). The batch is
+// deterministic in b alone, which is what lets it run on any worker
+// without changing results. A cancelled ctx stops between runs; yield
+// returning false aborts the remainder.
+func (d *Device) StreamBatch(ctx context.Context, p *ising.Problem, original *anneal.Compiled, b Batch, sc *Scratch, yield func(Readout) bool) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -194,19 +229,44 @@ func (d *Device) SampleBatch(ctx context.Context, p *ising.Problem, original *an
 	// inherited neighbor order keeps rounding — and therefore read-outs
 	// — identical across gauge representations.
 	compiled := original.ApplyGauge(gauge.Flip)
-	out := make([]Sample, 0, b.Runs)
+	sc.grow(p.N())
+	anneal.PackBools(gauge.Flip, sc.gauge)
+	perSample := d.TimePerSample()
 	for j := 0; j < b.Runs; j++ {
 		if ctx.Err() != nil {
-			return out
+			return
 		}
-		spins := d.Sampler.Sample(compiled, rng)
-		orig := gauge.UndoSpins(spins)
-		out = append(out, Sample{
-			Spins:   orig,
-			Energy:  original.Energy(orig),
-			Elapsed: time.Duration(b.Start+j+1) * d.TimePerSample(),
-		})
+		d.Sampler.SampleInto(compiled, rng, &sc.kernel)
+		// Undoing the gauge negates the flipped spins; in packed form
+		// (bit ⇔ −1) that is a word-wise XOR against the gauge mask.
+		words := sc.kernel.Words()
+		for w := range sc.orig {
+			sc.orig[w] = words[w] ^ sc.gauge[w]
+		}
+		ro := Readout{
+			Words:   sc.orig,
+			Energy:  original.PackedEnergy(sc.orig),
+			Elapsed: time.Duration(b.Start+j+1) * perSample,
+		}
+		if !yield(ro) {
+			return
+		}
 	}
+}
+
+// SampleBatch executes one gauge batch sequentially and returns its
+// read-outs materialized in run order — the convenience form of
+// StreamBatch for consumers that keep whole batches. A cancelled ctx
+// stops between runs, returning the read-outs completed so far.
+func (d *Device) SampleBatch(ctx context.Context, p *ising.Problem, original *anneal.Compiled, b Batch) []Sample {
+	out := make([]Sample, 0, b.Runs)
+	var sc Scratch
+	d.StreamBatch(ctx, p, original, b, &sc, func(ro Readout) bool {
+		spins := make([]int8, p.N())
+		anneal.UnpackSpins(ro.Words, spins)
+		out = append(out, Sample{Spins: spins, Energy: ro.Energy, Elapsed: ro.Elapsed})
+		return true
+	})
 	return out
 }
 
@@ -225,26 +285,72 @@ func (d *Device) SampleIsing(ctx context.Context, p *ising.Problem, runs int, se
 	original := anneal.Compile(p)
 	best := Sample{}
 	haveBest := false
-	err := exec.ForEachOrdered(ctx, d.Parallelism, len(batches),
-		func(tctx context.Context, i int) ([]Sample, error) {
-			return d.SampleBatch(tctx, p, original, batches[i]), nil
-		},
-		func(_ int, samples []Sample) bool {
-			for _, s := range samples {
-				keepGoing := true
-				if onSample != nil {
-					keepGoing = onSample(s)
-				}
-				if !haveBest || s.Energy < best.Energy {
-					best = s
+	var err error
+	if onSample == nil {
+		// Streaming path: no caller observes individual read-outs, so
+		// nothing is materialized. Workers stream batches through
+		// per-worker arenas and keep only each batch's incumbent (first
+		// run achieving the batch minimum — copied out of the scratch on
+		// strict improvement only); the in-order merge keeps the first
+		// batch achieving the global minimum, which is exactly the run
+		// the materializing scan would have kept.
+		type batchBest struct {
+			words   []uint64
+			energy  float64
+			elapsed time.Duration
+			have    bool
+		}
+		scratches := make([]Scratch, exec.Parallelism(d.Parallelism))
+		var bestWords []uint64
+		err = exec.ForEachOrdered(ctx, d.Parallelism, len(batches),
+			func(tctx context.Context, i int) (*batchBest, error) {
+				sc := &scratches[exec.WorkerID(tctx)]
+				bb := &batchBest{}
+				d.StreamBatch(tctx, p, original, batches[i], sc, func(ro Readout) bool {
+					if !bb.have || ro.Energy < bb.energy {
+						bb.words = append(bb.words[:0], ro.Words...)
+						bb.energy = ro.Energy
+						bb.elapsed = ro.Elapsed
+						bb.have = true
+					}
+					return true
+				})
+				return bb, nil
+			},
+			func(_ int, bb *batchBest) bool {
+				if bb.have && (!haveBest || bb.energy < best.Energy) {
+					bestWords = append(bestWords[:0], bb.words...)
+					best.Energy = bb.energy
+					best.Elapsed = bb.elapsed
 					haveBest = true
 				}
-				if !keepGoing {
-					return false
+				return true
+			})
+		if haveBest {
+			best.Spins = make([]int8, p.N())
+			anneal.UnpackSpins(bestWords, best.Spins)
+		}
+	} else {
+		// Materializing path: the callback may retain delivered Samples,
+		// so each batch is materialized and streamed to it in run order.
+		err = exec.ForEachOrdered(ctx, d.Parallelism, len(batches),
+			func(tctx context.Context, i int) ([]Sample, error) {
+				return d.SampleBatch(tctx, p, original, batches[i]), nil
+			},
+			func(_ int, samples []Sample) bool {
+				for _, s := range samples {
+					keepGoing := onSample(s)
+					if !haveBest || s.Energy < best.Energy {
+						best = s
+						haveBest = true
+					}
+					if !keepGoing {
+						return false
+					}
 				}
-			}
-			return true
-		})
+				return true
+			})
+	}
 	if err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
 		// The batch tasks never return errors, so anything besides a
 		// cancellation is a captured worker panic; re-raise it rather

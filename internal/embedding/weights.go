@@ -170,7 +170,16 @@ func (p *Physical) ChainOf(v int) []int { return p.chainIdx[v] }
 // using majority vote within each chain (ties resolve to the first
 // qubit's value, matching a hardware read-out of the chain head).
 func (p *Physical) Unembed(x []bool) []bool {
-	out := make([]bool, len(p.chainIdx))
+	return p.UnembedInto(x, make([]bool, len(p.chainIdx)))
+}
+
+// UnembedInto is Unembed writing into the caller's buffer, which must
+// hold one entry per logical variable; it returns out. Every entry is
+// overwritten, so the buffer may be reused across read-outs.
+func (p *Physical) UnembedInto(x, out []bool) []bool {
+	if len(out) != len(p.chainIdx) {
+		panic("embedding: UnembedInto buffer size mismatch")
+	}
 	for v, idx := range p.chainIdx {
 		ones := 0
 		for _, i := range idx {

@@ -48,6 +48,24 @@ func Parallelism(n int) int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// workerKey carries the worker index of a ForEachOrdered pool in the task
+// context.
+type workerKey struct{}
+
+// WorkerID returns the index of the pool worker running the current task:
+// 0..parallelism-1 inside ForEachOrdered (the sequential fast path is
+// worker 0), and 0 when ctx carries no pool at all. Tasks use it to index
+// per-worker scratch arenas: a worker runs one task at a time, so state
+// slot WorkerID(ctx) is never touched concurrently. ForEachOrdered always
+// installs its own value — a pool nested inside another pool's task sees
+// its own worker index, not the outer one's.
+func WorkerID(ctx context.Context) int {
+	if id, ok := ctx.Value(workerKey{}).(int); ok {
+		return id
+	}
+	return 0
+}
+
 // runTask invokes task(ctx, i), converting a panic into a *PanicError so
 // one bad read-out cannot crash a thousand-run experiment.
 func runTask[T any](ctx context.Context, task func(context.Context, int) (T, error), i int) (v T, err error) {
@@ -135,12 +153,16 @@ func ForEachOrdered[T any](ctx context.Context, parallelism, n int, task func(co
 		parallelism = n
 	}
 	if parallelism == 1 {
-		// Sequential fast path: no goroutines, identical semantics.
+		// Sequential fast path: no goroutines, identical semantics. The
+		// worker id is installed (not inherited) so a solve running inside
+		// an outer pool's task still sees itself as worker 0 of its own
+		// single-worker pool.
+		sctx := context.WithValue(ctx, workerKey{}, 0)
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			v, err := runTask(ctx, task, i)
+			v, err := runTask(sctx, task, i)
 			if err != nil {
 				return err
 			}
@@ -170,8 +192,9 @@ func ForEachOrdered[T any](ctx context.Context, parallelism, n int, task func(co
 	var wg sync.WaitGroup
 	for w := 0; w < parallelism; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			wctx := context.WithValue(cctx, workerKey{}, w)
 			for {
 				select {
 				case <-tokens:
@@ -182,11 +205,11 @@ func ForEachOrdered[T any](ctx context.Context, parallelism, n int, task func(co
 				if i >= n || cctx.Err() != nil {
 					return
 				}
-				if !runAndDeliver(cctx, task, i, results) {
+				if !runAndDeliver(wctx, task, i, results) {
 					return
 				}
 			}
-		}()
+		}(w)
 	}
 	go func() {
 		wg.Wait()

@@ -237,11 +237,31 @@ func (p *Problem) Cost(s Solution) (float64, error) {
 	return p.CostOfSet(s), nil
 }
 
+// CostWith is Cost reusing the caller's selection scratch, which must
+// have one entry per plan (its contents are overwritten).
+func (p *Problem) CostWith(s Solution, selected []bool) (float64, error) {
+	if !p.Valid(s) {
+		return 0, ErrInvalidSolution
+	}
+	return p.CostOfSetWith(s, selected), nil
+}
+
 // CostOfSet computes Σ c_p − Σ s_{p1,p2} over the given plan set without
 // validity checking. Plans listed multiple times are counted once. Entries
 // equal to -1 are skipped.
 func (p *Problem) CostOfSet(plans []int) float64 {
-	selected := make([]bool, p.NumPlans())
+	return p.CostOfSetWith(plans, make([]bool, p.NumPlans()))
+}
+
+// CostOfSetWith is CostOfSet reusing the caller's selection scratch,
+// which must have one entry per plan (its contents are overwritten).
+func (p *Problem) CostOfSetWith(plans []int, selected []bool) float64 {
+	if len(selected) != p.NumPlans() {
+		panic("mqo: CostOfSetWith buffer size mismatch")
+	}
+	for i := range selected {
+		selected[i] = false
+	}
 	total := 0.0
 	for _, pl := range plans {
 		if pl < 0 || selected[pl] {
@@ -274,7 +294,16 @@ func (p *Problem) SelectionVector(s Solution) []bool {
 // preferring the cheapest selected plan when a query has several plans set
 // (a repaired decoding of an invalid QUBO state) and -1 when none is set.
 func (p *Problem) SolutionFromVector(x []bool) Solution {
-	s := make(Solution, p.NumQueries())
+	return p.SolutionFromVectorInto(x, make(Solution, p.NumQueries()))
+}
+
+// SolutionFromVectorInto is SolutionFromVector writing into the caller's
+// buffer, which must have one entry per query; it returns s. Every entry
+// is overwritten, so the buffer may be reused across decodes.
+func (p *Problem) SolutionFromVectorInto(x []bool, s Solution) Solution {
+	if len(s) != p.NumQueries() {
+		panic("mqo: SolutionFromVectorInto buffer size mismatch")
+	}
 	for q := range s {
 		s[q] = -1
 	}
@@ -302,7 +331,19 @@ func (p *Problem) Repair(s Solution) Solution {
 		}
 		s = ns
 	}
-	selected := make([]bool, p.NumPlans())
+	return p.RepairWith(s, make([]bool, p.NumPlans()))
+}
+
+// RepairWith is Repair reusing the caller's selection scratch, which
+// must have one entry per plan (its contents are overwritten). s must
+// already have one entry per query.
+func (p *Problem) RepairWith(s Solution, selected []bool) Solution {
+	if len(s) != p.NumQueries() || len(selected) != p.NumPlans() {
+		panic("mqo: RepairWith buffer size mismatch")
+	}
+	for i := range selected {
+		selected[i] = false
+	}
 	for q, pl := range s {
 		if pl >= 0 && pl < p.NumPlans() && p.planQuery[pl] == q {
 			selected[pl] = true

@@ -1,0 +1,186 @@
+package proptest
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/anneal"
+	"repro/internal/ising"
+	"repro/internal/topology"
+)
+
+// The packed anneal kernel (internal/anneal/kernel.go) claims BIT-exact
+// equivalence with the straightforward ±1-slice implementation it
+// replaced: same rng stream, same acceptance decisions, same read-out.
+// These properties pin that claim against naive references retained
+// here verbatim from the pre-kernel samplers, across hardware-shaped
+// programs on all three topology kinds and random gauge transforms.
+
+// naiveSA is the pre-kernel SimulatedAnnealer.Sample: dense ±1 slice
+// state, naive FlipDelta recomputation, math.Exp Metropolis test.
+func naiveSA(sa *anneal.SimulatedAnnealer, c *anneal.Compiled, rng *rand.Rand) []int8 {
+	s := anneal.RandomSpins(rng, c.N)
+	if sa.Sweeps <= 0 || c.N == 0 {
+		return s
+	}
+	ratio := 1.0
+	if sa.Sweeps > 1 {
+		ratio = math.Pow(sa.BetaEnd/sa.BetaStart, 1/float64(sa.Sweeps-1))
+	}
+	beta := sa.BetaStart
+	for sweep := 0; sweep < sa.Sweeps; sweep++ {
+		for i := 0; i < c.N; i++ {
+			d := c.FlipDelta(s, i)
+			if d <= 0 || rng.Float64() < math.Exp(-beta*d) {
+				s[i] = -s[i]
+			}
+		}
+		beta *= ratio
+	}
+	return s
+}
+
+// naiveSQA is the pre-kernel SQA.Sample: one dense replica slice per
+// Trotter layer, per-site transverse-field coupling recomputed naively.
+func naiveSQA(q *anneal.SQA, c *anneal.Compiled, rng *rand.Rand) []int8 {
+	if c.N == 0 {
+		return nil
+	}
+	p := q.Slices
+	if p < 2 {
+		p = 2
+	}
+	betaP := q.Beta / float64(p)
+	replicas := make([][]int8, p)
+	for k := range replicas {
+		replicas[k] = anneal.RandomSpins(rng, c.N)
+	}
+	for sweep := 0; sweep < q.Sweeps; sweep++ {
+		frac := 0.0
+		if q.Sweeps > 1 {
+			frac = float64(sweep) / float64(q.Sweeps-1)
+		}
+		gamma := q.GammaStart + (q.GammaEnd-q.GammaStart)*frac
+		jPerp := -0.5 / betaP * math.Log(math.Tanh(betaP*gamma))
+		for k := 0; k < p; k++ {
+			up := replicas[(k+1)%p]
+			down := replicas[(k-1+p)%p]
+			cur := replicas[k]
+			for i := 0; i < c.N; i++ {
+				d := c.FlipDelta(cur, i) / float64(p)
+				d += 2 * jPerp * float64(cur[i]) * float64(up[i]+down[i])
+				if d <= 0 || rng.Float64() < math.Exp(-q.Beta*d) {
+					cur[i] = -cur[i]
+				}
+			}
+		}
+	}
+	best := replicas[0]
+	bestE := c.Energy(best)
+	for _, r := range replicas[1:] {
+		if e := c.Energy(r); e < bestE {
+			bestE = e
+			best = r
+		}
+	}
+	return best
+}
+
+// randomTopoProgram compiles a random Ising program over the hardware
+// graph of the given kind: the sparse degree-bounded shape the solver
+// pipeline feeds the kernel.
+func randomTopoProgram(t *testing.T, rng *rand.Rand, kind string) *anneal.Compiled {
+	t.Helper()
+	g, err := topology.New(kind, 2, 3)
+	if err != nil {
+		t.Fatalf("topology.New(%s): %v", kind, err)
+	}
+	n := g.NumQubits()
+	p := ising.New(n)
+	for q := 0; q < n; q++ {
+		p.AddField(q, rng.NormFloat64())
+		for _, nb := range g.Neighbors(q) {
+			if nb > q && rng.Float64() < 0.9 {
+				p.AddCoupling(q, nb, rng.NormFloat64())
+			}
+		}
+	}
+	return anneal.Compile(p)
+}
+
+// TestKernelEnergyAndDeltaBitExact: on every topology kind and random
+// gauge, the packed energy and flip-delta evaluations equal the naive
+// slice forms bit-for-bit (== on float64, not a tolerance).
+func TestKernelEnergyAndDeltaBitExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for _, kind := range []string{topology.ChimeraKind, topology.PegasusKind, topology.ZephyrKind} {
+		c := randomTopoProgram(t, rng, kind)
+		for trial := 0; trial < 6; trial++ {
+			prog := c
+			if trial > 0 { // trial 0 is the identity gauge
+				flip := make([]bool, c.N)
+				for i := range flip {
+					flip[i] = rng.Intn(2) == 0
+				}
+				prog = c.ApplyGauge(flip)
+			}
+			s := anneal.RandomSpins(rng, prog.N)
+			words := make([]uint64, anneal.WordsFor(prog.N))
+			anneal.PackSpins(s, words)
+			if got, want := prog.PackedEnergy(words), prog.Energy(s); got != want {
+				t.Fatalf("%s trial %d: PackedEnergy %v != Energy %v", kind, trial, got, want)
+			}
+			for i := 0; i < prog.N; i++ {
+				if got, want := prog.PackedFlipDelta(words, i), prog.FlipDelta(s, i); got != want {
+					t.Fatalf("%s trial %d spin %d: PackedFlipDelta %v != FlipDelta %v", kind, trial, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestKernelSweepsMatchNaive: a full SA and SQA run from the same seed
+// produces the identical read-out through the packed kernel and the
+// naive reference — the rng-draw sequence, every Metropolis decision,
+// and the final state all preserved. The scratch is deliberately shared
+// across kinds, gauges, and samplers so any state leaking between runs
+// would break the comparison.
+func TestKernelSweepsMatchNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(102))
+	sa := anneal.DefaultSA()
+	sqa := anneal.DefaultSQA()
+	sc := anneal.NewScratch()
+	for _, kind := range []string{topology.ChimeraKind, topology.PegasusKind, topology.ZephyrKind} {
+		c := randomTopoProgram(t, rng, kind)
+		for trial := 0; trial < 3; trial++ {
+			prog := c
+			if trial > 0 {
+				flip := make([]bool, c.N)
+				for i := range flip {
+					flip[i] = rng.Intn(2) == 0
+				}
+				prog = c.ApplyGauge(flip)
+			}
+			seed := rng.Int63()
+
+			want := naiveSA(sa, prog, rand.New(rand.NewSource(seed)))
+			sa.SampleInto(prog, rand.New(rand.NewSource(seed)), sc)
+			got := sc.Spins()
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s trial %d: SA spin %d kernel %d != naive %d", kind, trial, i, got[i], want[i])
+				}
+			}
+
+			want = naiveSQA(sqa, prog, rand.New(rand.NewSource(seed)))
+			sqa.SampleInto(prog, rand.New(rand.NewSource(seed)), sc)
+			got = sc.Spins()
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s trial %d: SQA spin %d kernel %d != naive %d", kind, trial, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
