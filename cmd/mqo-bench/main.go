@@ -27,7 +27,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "fig4|fig5|fig6|fig7|table1|throughput|topology|workload|all")
+	experiment := flag.String("experiment", "all", "fig4|fig5|fig6|fig7|table1|throughput|topology|workload|cluster|all")
 	instances := flag.Int("instances", 3, "instances per class (paper: 20)")
 	budget := flag.Duration("budget", 2*time.Second, "classical solver budget (paper: 100s)")
 	runs := flag.Int("runs", 1000, "annealing runs per instance (paper: 1000)")
@@ -127,6 +127,13 @@ func run(ctx context.Context, cfg bench.Config, experiment string, w io.Writer) 
 		}
 		bench.RenderWorkload(w, res)
 		return nil
+	case "cluster":
+		res, err := bench.RunCluster(ctx, cfg, 3, 0, 0)
+		if err != nil {
+			return err
+		}
+		bench.RenderCluster(w, res)
+		return nil
 	case "table1":
 		rows, err := bench.RunTable1(ctx, cfg, bench.PaperClasses)
 		if err != nil {
@@ -176,6 +183,13 @@ func run(ctx context.Context, cfg bench.Config, experiment string, w io.Writer) 
 			return err
 		}
 		bench.RenderWorkload(w, wres)
+		fmt.Fprintln(w)
+		fmt.Fprintln(w, "=== Cluster panel (consistent-hash router over worker nodes) ===")
+		cres, err := bench.RunCluster(ctx, cfg, 3, 0, 0)
+		if err != nil {
+			return err
+		}
+		bench.RenderCluster(w, cres)
 		return nil
 	default:
 		return fmt.Errorf("unknown experiment %q", experiment)

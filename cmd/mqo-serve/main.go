@@ -1,30 +1,60 @@
-// Command mqo-serve exposes the batched solve service over HTTP/JSON:
-// a long-lived process that accepts concurrent solve requests, coalesces
-// same-shape arrivals into admission batches, and compiles each problem
-// shape once through a shared content-addressed cache.
+// Command mqo-serve exposes the batched solve service over HTTP/JSON —
+// standalone, or as one node of a distributed solve cluster.
+//
+// Roles:
+//
+//	-role standalone   one self-contained solve node (the default)
+//	-role worker       a solve node meant to sit behind a router
+//	-role router       a front-end that owns no solver: it hashes each
+//	                   problem's fingerprint onto a consistent-hash ring
+//	                   of workers and forwards the request to the owner
 //
 // Usage:
 //
+//	# standalone
 //	mqo-serve -addr :8333 -batch-window 10ms -cache-capacity 256
 //
-//	# solve an instance
+//	# a three-node cluster on one machine
+//	mqo-serve -role worker -addr :8341 &
+//	mqo-serve -role worker -addr :8342 &
+//	mqo-serve -role router -addr :8333 \
+//	  -peers http://localhost:8341,http://localhost:8342 &
+//
+//	# a worker can also join a running router at startup
+//	mqo-serve -role worker -addr :8343 \
+//	  -advertise http://localhost:8343 -register-with http://localhost:8333
+//
+//	# solve an instance (same request either way: router or node)
 //	mqo-gen -queries 20 -plans 2 > inst.json
 //	jq -n --slurpfile p inst.json '{problem: $p[0], solver: "qa", seed: 7, budget: "20ms"}' \
 //	  | curl -s -d @- localhost:8333/solve
 //
-//	# solve a join-graph workload (instance derived server-side)
-//	mqo-gen -workload -queries 8 > wl.txt
-//	jq -n --rawfile w wl.txt '{workload: $w, solver: "greedy-join", seed: 7}' \
-//	  | curl -s -d @- localhost:8333/solve
+//	# stream anytime incumbents as NDJSON while the solve runs
+//	jq -n --slurpfile p inst.json '{problem: $p[0], solver: "climb", budget: "2s"}' \
+//	  | curl -sN -d @- 'localhost:8333/solve?stream=1'
 //
 //	# service and cache counters
 //	curl -s localhost:8333/stats
 //
-// Endpoints:
+// Endpoints (standalone and worker):
 //
-//	POST /solve   one solve request (see solveRequest for the schema)
-//	GET  /stats   service + cache counters
-//	GET  /healthz liveness probe
+//	POST /solve     one solve request; ?stream=1 for NDJSON streaming
+//	GET  /stats     service + cache + admission counters
+//	GET  /healthz   liveness probe
+//
+// Endpoints (router):
+//
+//	POST /solve     routed to the owning worker (streaming passes through)
+//	POST /register  {"url": "http://host:port"} joins a worker
+//	GET  /ring      current membership
+//	GET  /healthz   liveness probe
+//
+// Admission control: every node bounds concurrent requests
+// (-max-concurrent) and queued requests (-queue); beyond both bounds it
+// sheds immediately with 429 Too Many Requests and a Retry-After header
+// (-retry-after) instead of letting a backlog grow. Request bodies are
+// bounded (-max-body, 413 beyond), and decoding is strict: unknown
+// fields and trailing data are 400s.
 //
 // SIGINT/SIGTERM triggers a graceful shutdown: listeners close, in-flight
 // requests get -shutdown-timeout to finish, then the service drains.
@@ -34,11 +64,9 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
-	"errors"
 	"flag"
 	"fmt"
 	"log"
-	"math"
 	"net/http"
 	"os"
 	"os/signal"
@@ -48,277 +76,168 @@ import (
 	"time"
 
 	"repro/mqopt"
+	"repro/mqopt/cluster"
 	"repro/mqopt/solverreg"
 )
 
+// Admission defaults: well above the solver-parallelism bound, because
+// an admitted request may spend its life parked in the service's
+// batching window (cheap) rather than solving (expensive) — admission
+// bounds in-flight work and memory, not CPU.
+const (
+	defaultMaxConcurrent = 64
+	defaultMaxQueue      = 256
+)
+
 func main() {
+	role := flag.String("role", "standalone", "standalone, worker, or router")
 	addr := flag.String("addr", ":8333", "listen address")
+
+	// Node (standalone/worker) flags.
 	window := flag.Duration("batch-window", 10*time.Millisecond,
 		"admission-batching window (0 disables batching; results are identical either way)")
 	capacity := flag.Int("cache-capacity", 256, "compilation cache capacity (compiled shapes)")
-	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "max concurrent solves per admission batch")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "max concurrent solves service-wide")
+	maxConcurrent := flag.Int("max-concurrent", defaultMaxConcurrent,
+		"admission bound: max requests executing at once")
+	maxQueue := flag.Int("queue", defaultMaxQueue,
+		"admission bound: max requests waiting for a slot (beyond it: 429)")
+	retryAfter := flag.Duration("retry-after", time.Second,
+		"backoff advertised on 429 responses")
+	advertise := flag.String("advertise", "", "this worker's base URL as routers should reach it")
+	registerWith := flag.String("register-with", "", "router base URL to join at startup (needs -advertise)")
+
+	// Router flags.
+	peers := flag.String("peers", "", "comma-separated worker base URLs (router role)")
+	replicas := flag.Int("replicas", cluster.DefaultReplicas, "virtual points per node on the ring")
+	healthInterval := flag.Duration("health-interval", 2*time.Second, "worker health-check period")
+	healthTimeout := flag.Duration("health-timeout", time.Second, "single health-probe timeout")
+
+	maxBody := flag.Int64("max-body", cluster.DefaultMaxBody, "max request body bytes (beyond it: 413)")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second,
 		"grace period for in-flight requests on SIGINT/SIGTERM")
 	flag.Parse()
 
-	cache := mqopt.NewCache(*capacity)
-	svc, err := mqopt.NewService(solverreg.New,
-		mqopt.WithCache(cache),
-		mqopt.WithBatchWindow(*window),
-		mqopt.WithParallelism(*parallel))
-	if err != nil {
-		log.Fatalf("mqo-serve: %v", err)
+	switch *role {
+	case "standalone", "worker":
+		svc, err := mqopt.NewService(solverreg.New,
+			mqopt.WithCache(mqopt.NewCache(*capacity)),
+			mqopt.WithBatchWindow(*window),
+			mqopt.WithParallelism(*parallel))
+		if err != nil {
+			log.Fatalf("mqo-serve: %v", err)
+		}
+		node, err := cluster.NewNode(cluster.NodeConfig{
+			Name:          *advertise,
+			Service:       svc,
+			MaxConcurrent: *maxConcurrent,
+			MaxQueue:      *maxQueue,
+			RetryAfter:    *retryAfter,
+			MaxBody:       *maxBody,
+		})
+		if err != nil {
+			log.Fatalf("mqo-serve: %v", err)
+		}
+		if *registerWith != "" {
+			if *advertise == "" {
+				log.Fatalf("mqo-serve: -register-with needs -advertise")
+			}
+			if err := register(*registerWith, *advertise); err != nil {
+				log.Fatalf("mqo-serve: joining %s: %v", *registerWith, err)
+			}
+			log.Printf("mqo-serve: registered %s with %s", *advertise, *registerWith)
+		}
+		log.Printf("mqo-serve: %s node on %s (batch window %v, cache capacity %d, admission %d+%d)",
+			*role, *addr, *window, *capacity, *maxConcurrent, *maxQueue)
+		serve(*addr, node.Handler(), *shutdownTimeout, func() {
+			if err := svc.Close(); err != nil {
+				log.Printf("mqo-serve: closing service: %v", err)
+			}
+		})
+
+	case "router":
+		var peerList []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peerList = append(peerList, p)
+			}
+		}
+		rt := cluster.NewRouter(cluster.RouterConfig{
+			Peers:          peerList,
+			Replicas:       *replicas,
+			HealthInterval: *healthInterval,
+			HealthTimeout:  *healthTimeout,
+			MaxBody:        *maxBody,
+		})
+		rt.Start()
+		log.Printf("mqo-serve: router on %s over %d peer(s), health every %v",
+			*addr, len(peerList), *healthInterval)
+		serve(*addr, rt.Handler(), *shutdownTimeout, rt.Close)
+
+	default:
+		log.Fatalf("mqo-serve: unknown -role %q (want standalone, worker, or router)", *role)
 	}
+}
 
-	server := &http.Server{Addr: *addr, Handler: newHandler(svc)}
-
+// serve runs one HTTP server until SIGINT/SIGTERM, then shuts down
+// gracefully and calls cleanup.
+func serve(addr string, handler http.Handler, grace time.Duration, cleanup func()) {
+	server := &http.Server{Addr: addr, Handler: handler}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- server.ListenAndServe() }()
-	log.Printf("mqo-serve: listening on %s (batch window %v, cache capacity %d)", *addr, *window, *capacity)
 
 	select {
 	case err := <-errc:
 		log.Fatalf("mqo-serve: %v", err)
 	case <-ctx.Done():
 	}
-	log.Printf("mqo-serve: shutting down (up to %v for in-flight requests)", *shutdownTimeout)
-	sctx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+	log.Printf("mqo-serve: shutting down (up to %v for in-flight requests)", grace)
+	sctx, cancel := context.WithTimeout(context.Background(), grace)
 	defer cancel()
 	if err := server.Shutdown(sctx); err != nil {
 		log.Printf("mqo-serve: forced shutdown: %v", err)
 	}
-	if err := svc.Close(); err != nil {
-		log.Printf("mqo-serve: closing service: %v", err)
-	}
+	cleanup()
 	log.Printf("mqo-serve: drained")
 }
 
-// solveRequest is the POST /solve schema. Problem carries the same JSON
-// instance format mqo-gen emits and mqo-solve reads; everything else is
-// optional and mirrors the mqo-solve flags.
-type solveRequest struct {
-	Problem json.RawMessage `json:"problem"`
-	// Workload is a join-graph workload (the text or JSON format mqo-gen
-	// -workload emits); the MQO instance is derived from detected
-	// sharing. Mutually exclusive with Problem. Workload-native solvers
-	// (greedy-join) and portfolios including them require it.
-	Workload string `json:"workload,omitempty"`
-	// Solver is a registry name (qa, qa-series, portfolio, lin-mqo,
-	// ...); empty selects the service default.
-	Solver string `json:"solver,omitempty"`
-	// Seed fixes the random stream (default 1).
-	Seed *int64 `json:"seed,omitempty"`
-	// Budget is a Go duration string ("2s", "20ms"): modeled device time
-	// for annealer backends, wall-clock for classical ones.
-	Budget string `json:"budget,omitempty"`
-	// Runs caps annealing runs; Sweeps sets the surrogate's per-run
-	// Metropolis sweeps.
-	Runs   int `json:"runs,omitempty"`
-	Sweeps int `json:"sweeps,omitempty"`
-	// Embedding selects auto, clustered, triad, or greedy.
-	Embedding string `json:"embedding,omitempty"`
-	// Topology selects the annealer hardware graph for qa backends:
-	// chimera (default), pegasus, or zephyr. TopologyDims optionally
-	// gives the unit-cell grid as [rows, cols] (default 12×12).
-	Topology     string `json:"topology,omitempty"`
-	TopologyDims []int  `json:"topology_dims,omitempty"`
-	// Members names portfolio members (solver "portfolio").
-	Members []string `json:"members,omitempty"`
-	// Target stops the solve early at this cost.
-	Target *float64 `json:"target,omitempty"`
-	// Cache "off" opts this request out of the shared compilation cache
-	// (the CLI's -cache=off escape hatch; default on).
-	Cache string `json:"cache,omitempty"`
+// register joins a router's membership at startup.
+func register(router, self string) error {
+	body, err := json.Marshal(map[string]string{"url": self})
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(router+"/register", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("register: status %s", resp.Status)
+	}
+	return nil
 }
 
-// solveResponse is the POST /solve reply.
-type solveResponse struct {
-	Solver     string          `json:"solver"`
-	Cost       float64         `json:"cost"`
-	Solution   []int           `json:"solution"`
-	Incumbents []incumbentJSON `json:"incumbents"`
-	Windows    int             `json:"windows,omitempty"`
-	Sweeps     int             `json:"sweeps,omitempty"`
-	Winner     string          `json:"winner,omitempty"`
-}
+// Wire-schema aliases, kept for tests and for readers coming from the
+// pre-cluster single-file server: the schema now lives with the cluster
+// package so router and worker stay in lockstep.
+type (
+	solveResponse = cluster.SolveResponse
+	statsResponse = cluster.StatsResponse
+)
 
-type incumbentJSON struct {
-	ElapsedNS int64   `json:"elapsed_ns"`
-	Cost      float64 `json:"cost"`
-	Source    string  `json:"source,omitempty"`
-}
-
-// statsResponse is the GET /stats reply.
-type statsResponse struct {
-	Requests  uint64     `json:"requests"`
-	Batches   uint64     `json:"batches"`
-	Coalesced uint64     `json:"coalesced"`
-	InFlight  uint64     `json:"in_flight"`
-	Cache     cacheStats `json:"cache"`
-}
-
-type cacheStats struct {
-	Hits      uint64 `json:"hits"`
-	Misses    uint64 `json:"misses"`
-	Shared    uint64 `json:"shared"`
-	Evictions uint64 `json:"evictions"`
-	Entries   uint64 `json:"entries"`
-}
-
-// newHandler builds the HTTP surface over one service.
+// newHandler builds the standalone HTTP surface over one service with
+// the default admission bounds (the shape the tests exercise).
 func newHandler(svc *mqopt.Service) http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/solve", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			http.Error(w, "POST only", http.StatusMethodNotAllowed)
-			return
-		}
-		var req solveRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			http.Error(w, fmt.Sprintf("decoding request: %v", err), http.StatusBadRequest)
-			return
-		}
-		sreq, err := buildRequest(req)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		res, err := svc.Solve(r.Context(), sreq)
-		if err != nil {
-			status := http.StatusInternalServerError
-			if errors.Is(err, mqopt.ErrServiceClosed) {
-				status = http.StatusServiceUnavailable
-			}
-			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-				// The client went away; the status is moot but 499-style
-				// bookkeeping beats a fake 500.
-				status = http.StatusRequestTimeout
-			}
-			http.Error(w, err.Error(), status)
-			return
-		}
-		resp := solveResponse{
-			Solver:     res.Solver,
-			Cost:       res.Cost,
-			Solution:   res.Solution,
-			Incumbents: make([]incumbentJSON, len(res.Incumbents)),
-		}
-		for i, in := range res.Incumbents {
-			resp.Incumbents[i] = incumbentJSON{ElapsedNS: int64(in.Elapsed), Cost: in.Cost, Source: in.Source}
-		}
-		if d := res.Decomposition; d != nil {
-			resp.Windows, resp.Sweeps = d.Windows, d.Sweeps
-		}
-		if pf := res.Portfolio; pf != nil {
-			resp.Winner = pf.Winner
-		}
-		writeJSON(w, resp)
+	node, err := cluster.NewNode(cluster.NodeConfig{
+		Service:       svc,
+		MaxConcurrent: defaultMaxConcurrent,
+		MaxQueue:      defaultMaxQueue,
 	})
-	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
-		st := svc.Stats()
-		writeJSON(w, statsResponse{
-			Requests:  st.Requests,
-			Batches:   st.Batches,
-			Coalesced: st.Coalesced,
-			InFlight:  st.InFlight,
-			Cache: cacheStats{
-				Hits:      st.Cache.Hits,
-				Misses:    st.Cache.Misses,
-				Shared:    st.Cache.Shared,
-				Evictions: st.Cache.Evictions,
-				Entries:   st.Cache.Entries,
-			},
-		})
-	})
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.WriteHeader(http.StatusOK)
-		fmt.Fprintln(w, "ok")
-	})
-	return mux
-}
-
-// buildRequest translates the wire request into a service request.
-func buildRequest(req solveRequest) (mqopt.Request, error) {
-	if len(req.Problem) != 0 && req.Workload != "" {
-		return mqopt.Request{}, fmt.Errorf("problem and workload are mutually exclusive")
+	if err != nil {
+		panic(err) // unreachable: svc is non-nil
 	}
-	if len(req.Problem) == 0 && req.Workload == "" {
-		return mqopt.Request{}, fmt.Errorf("request has no problem or workload")
-	}
-	var (
-		p    *mqopt.Problem
-		opts []mqopt.Option
-	)
-	if req.Workload != "" {
-		wl, err := mqopt.ParseWorkload(strings.NewReader(req.Workload))
-		if err != nil {
-			return mqopt.Request{}, fmt.Errorf("reading workload: %v", err)
-		}
-		p = wl.Problem()
-		opts = append(opts, mqopt.WithWorkload(wl))
-	} else {
-		var err error
-		p, err = mqopt.ReadProblem(bytes.NewReader(req.Problem))
-		if err != nil {
-			return mqopt.Request{}, fmt.Errorf("reading problem: %v", err)
-		}
-	}
-	if req.Seed != nil {
-		opts = append(opts, mqopt.WithSeed(*req.Seed))
-	}
-	if req.Budget != "" {
-		d, err := time.ParseDuration(req.Budget)
-		if err != nil {
-			return mqopt.Request{}, fmt.Errorf("bad budget: %v", err)
-		}
-		opts = append(opts, mqopt.WithBudget(d))
-	}
-	if req.Runs > 0 {
-		opts = append(opts, mqopt.WithAnnealingRuns(req.Runs))
-	}
-	if req.Sweeps > 0 {
-		opts = append(opts, mqopt.WithAnnealingSweeps(req.Sweeps))
-	}
-	if req.Embedding != "" {
-		opts = append(opts, mqopt.WithEmbedding(mqopt.Embedding(req.Embedding)))
-	}
-	if req.Topology != "" || len(req.TopologyDims) > 0 {
-		kind := req.Topology
-		if kind == "" {
-			kind = "chimera"
-		}
-		if len(req.TopologyDims) != 0 && len(req.TopologyDims) != 2 {
-			return mqopt.Request{}, fmt.Errorf("topology_dims must be [rows, cols], got %v", req.TopologyDims)
-		}
-		// Resolve eagerly so an unknown kind is a 400, not a failed solve.
-		if _, err := mqopt.NewTopologyOf(kind, 1, 1); err != nil {
-			return mqopt.Request{}, err
-		}
-		opts = append(opts, mqopt.WithTopology(kind, req.TopologyDims...))
-	}
-	if len(req.Members) > 0 {
-		opts = append(opts, mqopt.WithPortfolio(req.Members...))
-	}
-	if req.Target != nil && !math.IsNaN(*req.Target) {
-		opts = append(opts, mqopt.WithTargetCost(*req.Target))
-	}
-	switch req.Cache {
-	case "", "on":
-	case "off":
-		opts = append(opts, mqopt.WithCache(nil))
-	default:
-		return mqopt.Request{}, fmt.Errorf("bad cache value %q (want on or off)", req.Cache)
-	}
-	return mqopt.Request{Problem: p, Solver: req.Solver, Options: opts}, nil
-}
-
-func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(v); err != nil {
-		log.Printf("mqo-serve: encoding response: %v", err)
-	}
+	return node.Handler()
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"fmt"
@@ -13,6 +14,7 @@ import (
 	"time"
 
 	"repro/mqopt"
+	clusterapi "repro/mqopt/cluster"
 	"repro/mqopt/solverreg"
 )
 
@@ -355,5 +357,171 @@ func TestSolveEndpointTopology(t *testing.T) {
 		if resp.StatusCode != http.StatusBadRequest {
 			t.Fatalf("bad topology request got status %d: %s", resp.StatusCode, data)
 		}
+	}
+}
+
+// TestStrictDecoding: the hardened decoder rejects unknown fields (a
+// typo'd "solvr" must not silently solve with the default backend) and
+// trailing data after the JSON body.
+func TestStrictDecoding(t *testing.T) {
+	srv, _ := testServer(t)
+	inst := instanceJSON(t)
+	for name, body := range map[string]string{
+		"unknown field":    fmt.Sprintf(`{"problem": %s, "solvr": "qa"}`, inst),
+		"trailing json":    fmt.Sprintf(`{"problem": %s} {"solver": "qa"}`, inst),
+		"trailing garbage": fmt.Sprintf(`{"problem": %s} not json`, inst),
+	} {
+		resp, data := postSolve(t, srv.URL, body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d (%s), want 400", name, resp.StatusCode, data)
+		}
+	}
+}
+
+// TestOversizeBody413: the body bound rejects oversized requests with
+// 413 before buffering them.
+func TestOversizeBody413(t *testing.T) {
+	svc, err := mqopt.NewService(solverreg.New)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { svc.Close() })
+	node, err := clusterapi.NewNode(clusterapi.NodeConfig{Service: svc, MaxBody: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(node.Handler())
+	t.Cleanup(srv.Close)
+
+	resp, data := postSolve(t, srv.URL, fmt.Sprintf(`{"problem": %s}`, instanceJSON(t)))
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("status %d (%s), want 413", resp.StatusCode, data)
+	}
+}
+
+// TestStreamingEndpoint: ?stream=1 returns NDJSON — incumbent lines
+// then one terminal result line.
+func TestStreamingEndpoint(t *testing.T) {
+	srv, _ := testServer(t)
+	body := fmt.Sprintf(`{"problem": %s, "solver": "qa", "seed": 7, "budget": "8ms", "runs": 20}`, instanceJSON(t))
+	resp, err := http.Post(srv.URL+"/solve?stream=1", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q, want application/x-ndjson", ct)
+	}
+	var lines []clusterapi.StreamLine
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var line clusterapi.StreamLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, line)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) < 2 {
+		t.Fatalf("stream had %d lines, want incumbents plus a terminal result", len(lines))
+	}
+	last := lines[len(lines)-1]
+	if last.Result == nil || last.Error != "" {
+		t.Fatalf("terminal line = %+v, want a result", last)
+	}
+	for _, l := range lines[:len(lines)-1] {
+		if l.Incumbent == nil {
+			t.Errorf("non-terminal line without incumbent: %+v", l)
+		}
+	}
+}
+
+// TestLoadShed429Endpoint: a node at its admission bounds sheds with
+// 429 and a Retry-After header.
+func TestLoadShed429Endpoint(t *testing.T) {
+	svc, err := mqopt.NewService(solverreg.New)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { svc.Close() })
+	node, err := clusterapi.NewNode(clusterapi.NodeConfig{
+		Service:       svc,
+		MaxConcurrent: 1,
+		MaxQueue:      0,
+		RetryAfter:    3 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(node.Handler())
+	t.Cleanup(srv.Close)
+
+	// Hold the single slot with a wall-clock-budget hill climb.
+	hold := fmt.Sprintf(`{"problem": %s, "solver": "climb", "budget": "3s"}`, instanceJSON(t))
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		postSolve(t, srv.URL, hold)
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for node.Admission().Stats().Executing == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("holding request never started executing")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	resp, data := postSolve(t, srv.URL, hold)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("status %d (%s), want 429", resp.StatusCode, data)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "3" {
+		t.Errorf("Retry-After = %q, want \"3\"", got)
+	}
+	<-done
+}
+
+// TestRouterRole: the facade wires a router over a worker — routed
+// solves succeed and /ring reports the membership.
+func TestRouterRole(t *testing.T) {
+	srv, _ := testServer(t)
+	rt := clusterapi.NewRouter(clusterapi.RouterConfig{Peers: []string{srv.URL}})
+	routerSrv := httptest.NewServer(rt.Handler())
+	t.Cleanup(routerSrv.Close)
+
+	body := fmt.Sprintf(`{"problem": %s, "solver": "qa", "seed": 7, "budget": "8ms", "runs": 20}`, instanceJSON(t))
+	direct, dataDirect := postSolve(t, srv.URL, body)
+	routed, dataRouted := postSolve(t, routerSrv.URL, body)
+	if direct.StatusCode != http.StatusOK || routed.StatusCode != http.StatusOK {
+		t.Fatalf("status direct=%d routed=%d, want 200/200", direct.StatusCode, routed.StatusCode)
+	}
+	canonDirect, err := clusterapi.CanonicalResponse(dataDirect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	canonRouted, err := clusterapi.CanonicalResponse(dataRouted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(canonDirect, canonRouted) {
+		t.Errorf("routed response differs from direct:\n%s\n%s", canonRouted, canonDirect)
+	}
+
+	ring, err := http.Get(routerSrv.URL + "/ring")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ring.Body.Close()
+	var members struct {
+		Members []string `json:"members"`
+	}
+	if err := json.NewDecoder(ring.Body).Decode(&members); err != nil {
+		t.Fatal(err)
+	}
+	if len(members.Members) != 1 || members.Members[0] != srv.URL {
+		t.Errorf("ring members = %v, want [%s]", members.Members, srv.URL)
 	}
 }

@@ -1,0 +1,112 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// ErrOverloaded is returned by Admission.Acquire when the node's queue
+// is full: the request was shed without executing. HTTP handlers map it
+// to 429 Too Many Requests with a Retry-After header.
+var ErrOverloaded = errors.New("cluster: node at capacity, request shed")
+
+// AdmissionStats is a point-in-time snapshot of a node's admission
+// counters.
+type AdmissionStats struct {
+	// Executing is the number of requests currently holding a slot.
+	Executing int64
+	// Queued is the number of requests waiting for a slot.
+	Queued int64
+	// Shed counts requests rejected because the queue was full.
+	Shed uint64
+	// MaxConcurrent and MaxQueue echo the configured bounds.
+	MaxConcurrent, MaxQueue int
+}
+
+// Admission is a node's per-process admission controller: at most
+// MaxConcurrent requests execute, at most MaxQueue more wait, and
+// everything beyond that is shed immediately with ErrOverloaded — the
+// bounded-queue discipline that keeps an overloaded node's latency flat
+// instead of letting an unbounded backlog grow. Safe for concurrent
+// use.
+type Admission struct {
+	slots      chan struct{}
+	maxQueue   int64
+	retryAfter time.Duration
+
+	executing atomic.Int64
+	queued    atomic.Int64
+	shed      atomic.Uint64
+}
+
+// NewAdmission builds an admission controller. maxConcurrent
+// non-positive selects 1; maxQueue negative selects 0 (shed the moment
+// all slots are busy); retryAfter non-positive selects one second.
+func NewAdmission(maxConcurrent, maxQueue int, retryAfter time.Duration) *Admission {
+	if maxConcurrent <= 0 {
+		maxConcurrent = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	if retryAfter <= 0 {
+		retryAfter = time.Second
+	}
+	return &Admission{
+		slots:      make(chan struct{}, maxConcurrent),
+		maxQueue:   int64(maxQueue),
+		retryAfter: retryAfter,
+	}
+}
+
+// Acquire claims an execution slot, waiting in the bounded queue when
+// all slots are busy. It returns a release function that MUST be called
+// exactly once when the request finishes. When the queue is full it
+// returns ErrOverloaded without waiting; when ctx dies while queued it
+// returns ctx.Err().
+func (a *Admission) Acquire(ctx context.Context) (release func(), err error) {
+	// Fast path: a free slot, no queueing.
+	select {
+	case a.slots <- struct{}{}:
+		a.executing.Add(1)
+		return a.release, nil
+	default:
+	}
+	// Slots busy: join the bounded queue or shed.
+	if a.queued.Add(1) > a.maxQueue {
+		a.queued.Add(-1)
+		a.shed.Add(1)
+		return nil, ErrOverloaded
+	}
+	defer a.queued.Add(-1)
+	select {
+	case a.slots <- struct{}{}:
+		a.executing.Add(1)
+		return a.release, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// release returns a slot to the pool.
+func (a *Admission) release() {
+	a.executing.Add(-1)
+	<-a.slots
+}
+
+// RetryAfter is the backoff a shed client is told to wait — the
+// Retry-After header value on 429 responses.
+func (a *Admission) RetryAfter() time.Duration { return a.retryAfter }
+
+// Stats snapshots the admission counters.
+func (a *Admission) Stats() AdmissionStats {
+	return AdmissionStats{
+		Executing:     a.executing.Load(),
+		Queued:        a.queued.Load(),
+		Shed:          a.shed.Load(),
+		MaxConcurrent: cap(a.slots),
+		MaxQueue:      int(a.maxQueue),
+	}
+}

@@ -1,0 +1,122 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestAdmissionFastPath(t *testing.T) {
+	a := NewAdmission(2, 0, 0)
+	r1, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("first Acquire: %v", err)
+	}
+	r2, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("second Acquire: %v", err)
+	}
+	if st := a.Stats(); st.Executing != 2 || st.Queued != 0 || st.Shed != 0 {
+		t.Errorf("Stats() = %+v, want 2 executing, 0 queued, 0 shed", st)
+	}
+	r1()
+	r2()
+	if st := a.Stats(); st.Executing != 0 {
+		t.Errorf("after release: Executing = %d, want 0", st.Executing)
+	}
+	if st := a.Stats(); st.MaxConcurrent != 2 || st.MaxQueue != 0 {
+		t.Errorf("bounds = (%d, %d), want (2, 0)", st.MaxConcurrent, st.MaxQueue)
+	}
+}
+
+func TestAdmissionShedWhenQueueFull(t *testing.T) {
+	a := NewAdmission(1, 0, 3*time.Second)
+	release, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	if _, err := a.Acquire(context.Background()); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("Acquire at capacity: err = %v, want ErrOverloaded", err)
+	}
+	if st := a.Stats(); st.Shed != 1 {
+		t.Errorf("Shed = %d, want 1", st.Shed)
+	}
+	if got := a.RetryAfter(); got != 3*time.Second {
+		t.Errorf("RetryAfter() = %v, want 3s", got)
+	}
+	release()
+	// The freed slot admits again.
+	release2, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("Acquire after release: %v", err)
+	}
+	release2()
+}
+
+func TestAdmissionQueueWaits(t *testing.T) {
+	a := NewAdmission(1, 1, 0)
+	release, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	got := make(chan error, 1)
+	go func() {
+		r, err := a.Acquire(context.Background())
+		if err == nil {
+			r()
+		}
+		got <- err
+	}()
+	// The queued request must not resolve while the slot is held.
+	select {
+	case err := <-got:
+		t.Fatalf("queued Acquire resolved early: %v", err)
+	case <-time.After(30 * time.Millisecond):
+	}
+	release()
+	select {
+	case err := <-got:
+		if err != nil {
+			t.Fatalf("queued Acquire after release: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("queued Acquire never resolved after release")
+	}
+}
+
+func TestAdmissionQueueOverflowSheds(t *testing.T) {
+	a := NewAdmission(1, 1, 0)
+	release, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	defer release()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	queued := make(chan error, 1)
+	go func() {
+		_, err := a.Acquire(ctx)
+		queued <- err
+	}()
+	// Wait until the goroutine occupies the one queue slot.
+	deadline := time.Now().Add(2 * time.Second)
+	for a.Stats().Queued == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("request never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Queue full: the next request sheds immediately.
+	if _, err := a.Acquire(context.Background()); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("overflow Acquire: err = %v, want ErrOverloaded", err)
+	}
+	// A queued request abandoning its ctx gets ctx.Err, not a slot.
+	cancel()
+	if err := <-queued; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled queued Acquire: err = %v, want context.Canceled", err)
+	}
+	if st := a.Stats(); st.Queued != 0 {
+		t.Errorf("Queued = %d after cancellation, want 0", st.Queued)
+	}
+}

@@ -1,0 +1,242 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/mqopt"
+)
+
+// NodeConfig parameterizes one worker (or standalone) node.
+type NodeConfig struct {
+	// Name identifies the node in logs and stats; empty is allowed.
+	Name string
+	// Service executes the solves. Required.
+	Service *mqopt.Service
+	// MaxConcurrent bounds requests executing at once (non-positive:
+	// one per CPU). This is the admission bound AHEAD of the service;
+	// the service's own WithParallelism bound governs solver fan-out
+	// behind it.
+	MaxConcurrent int
+	// MaxQueue bounds requests waiting for a slot (negative: 0). The
+	// queue-full path sheds with 429 + Retry-After.
+	MaxQueue int
+	// RetryAfter is the backoff advertised to shed clients
+	// (non-positive: one second).
+	RetryAfter time.Duration
+	// MaxBody bounds the request body size (non-positive:
+	// DefaultMaxBody); overruns map to 413.
+	MaxBody int64
+}
+
+// Node is one solve worker: the HTTP surface over a Service, guarded by
+// bounded-queue admission control. The same handler serves the
+// standalone role — a cluster of one.
+type Node struct {
+	cfg NodeConfig
+	adm *Admission
+}
+
+// NewNode builds a node over cfg.Service.
+func NewNode(cfg NodeConfig) (*Node, error) {
+	if cfg.Service == nil {
+		return nil, fmt.Errorf("cluster: node needs a service")
+	}
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxQueue < 0 {
+		cfg.MaxQueue = 0
+	}
+	if cfg.MaxBody <= 0 {
+		cfg.MaxBody = DefaultMaxBody
+	}
+	return &Node{
+		cfg: cfg,
+		adm: NewAdmission(cfg.MaxConcurrent, cfg.MaxQueue, cfg.RetryAfter),
+	}, nil
+}
+
+// Name returns the configured node name.
+func (n *Node) Name() string { return n.cfg.Name }
+
+// Admission exposes the node's admission controller (stats, tests).
+func (n *Node) Admission() *Admission { return n.adm }
+
+// Handler builds the node's HTTP surface:
+//
+//	POST /solve          one solve request (add ?stream=1 for NDJSON
+//	                     anytime incumbents followed by the result)
+//	GET  /stats          service + cache + admission counters
+//	GET  /healthz        liveness probe (what the router polls)
+func (n *Node) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/solve", n.handleSolve)
+	mux.HandleFunc("/stats", n.handleStats)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// handleSolve admits, decodes, solves, and replies. Admission runs
+// FIRST: an overloaded node sheds with 429 before spending a byte of
+// parsing on the request.
+func (n *Node) handleSolve(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	release, err := n.adm.Acquire(r.Context())
+	if err != nil {
+		if errors.Is(err, ErrOverloaded) {
+			w.Header().Set("Retry-After", retryAfterSeconds(n.adm.RetryAfter()))
+			http.Error(w, "node at capacity", http.StatusTooManyRequests)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusRequestTimeout)
+		return
+	}
+	defer release()
+
+	req, _, err := DecodeSolveRequest(w, r, n.cfg.MaxBody)
+	if err != nil {
+		writeHTTPError(w, err)
+		return
+	}
+	sreq, err := BuildRequest(req)
+	if err != nil {
+		writeHTTPError(w, err)
+		return
+	}
+	if r.URL.Query().Get("stream") == "1" {
+		n.solveStream(w, r, sreq)
+		return
+	}
+	res, err := n.cfg.Service.Solve(r.Context(), sreq)
+	if err != nil {
+		http.Error(w, err.Error(), solveErrorStatus(err))
+		return
+	}
+	if err := writeJSON(w, EncodeResponse(res)); err != nil {
+		// The client went away mid-body; nothing useful to do.
+		return
+	}
+}
+
+// solveStream runs the solve with NDJSON anytime reporting: one
+// {"incumbent": ...} line per improvement as it happens, then exactly
+// one terminal {"result": ...} or {"error": ...} line. Long solves
+// report progress instead of blocking silently.
+func (n *Node) solveStream(w http.ResponseWriter, r *http.Request, sreq mqopt.Request) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+
+	// The improvement callback fires on the solver's goroutine; the
+	// terminal line is written on this one after Solve returns. The
+	// mutex + closed flag serialize the two when an abandoned caller's
+	// solve keeps streaming after Solve already returned ctx.Err().
+	var mu sync.Mutex
+	closed := false
+	writeLine := func(line StreamLine) {
+		mu.Lock()
+		defer mu.Unlock()
+		if closed {
+			return
+		}
+		if enc.Encode(line) == nil && flusher != nil {
+			flusher.Flush()
+		}
+	}
+	sreq.Options = append(sreq.Options, mqopt.WithOnImprovement(func(in mqopt.Incumbent) {
+		writeLine(StreamLine{Incumbent: &IncumbentJSON{
+			ElapsedNS: int64(in.Elapsed), Cost: in.Cost, Source: in.Source,
+		}})
+	}))
+
+	res, err := n.cfg.Service.Solve(r.Context(), sreq)
+	var terminal StreamLine
+	if err != nil {
+		terminal = StreamLine{Error: err.Error()}
+	} else {
+		resp := EncodeResponse(res)
+		terminal = StreamLine{Result: &resp}
+	}
+	mu.Lock()
+	closed = true
+	mu.Unlock()
+	// Headers are long gone; the terminal line is the in-band status.
+	if enc.Encode(terminal) == nil && flusher != nil {
+		flusher.Flush()
+	}
+}
+
+// handleStats reports the node's counters.
+func (n *Node) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := n.cfg.Service.Stats()
+	adm := n.adm.Stats()
+	writeJSON(w, StatsResponse{
+		Requests:  st.Requests,
+		Batches:   st.Batches,
+		Coalesced: st.Coalesced,
+		InFlight:  st.InFlight,
+		Cache: CacheStatsJSON{
+			Hits:      st.Cache.Hits,
+			Misses:    st.Cache.Misses,
+			Shared:    st.Cache.Shared,
+			Evictions: st.Cache.Evictions,
+			Entries:   st.Cache.Entries,
+		},
+		Admission: AdmissionStatsJSON{
+			Executing:     adm.Executing,
+			Queued:        adm.Queued,
+			Shed:          adm.Shed,
+			MaxConcurrent: adm.MaxConcurrent,
+			MaxQueue:      adm.MaxQueue,
+		},
+	})
+}
+
+// solveErrorStatus maps a Service.Solve error to an HTTP status.
+func solveErrorStatus(err error) int {
+	switch {
+	case errors.Is(err, mqopt.ErrServiceClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		// The client went away; the status is moot but 499-style
+		// bookkeeping beats a fake 500.
+		return http.StatusRequestTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// writeHTTPError maps an *HTTPError (or any error) onto the response.
+func writeHTTPError(w http.ResponseWriter, err error) {
+	var he *HTTPError
+	if errors.As(err, &he) {
+		http.Error(w, he.Msg, he.Status)
+		return
+	}
+	http.Error(w, err.Error(), http.StatusBadRequest)
+}
+
+// retryAfterSeconds renders a Retry-After header value (whole seconds,
+// minimum 1 — the header has no sub-second form).
+func retryAfterSeconds(d time.Duration) string {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
+}

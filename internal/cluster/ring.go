@@ -1,0 +1,145 @@
+// Package cluster shards the solve service across nodes: a
+// consistent-hash ring routes each Problem.Fingerprint to the node that
+// owns its compiled artifact, a router front-end forwards /solve to the
+// owner, and every node guards itself with bounded-queue admission
+// control that sheds load with 429 + Retry-After when full.
+//
+// The design generalizes the sharded-LRU striping of internal/plancache
+// from lock stripes inside one process to a ring of nodes: the same
+// idea — a canonical hash of the problem shape picks the shard — at the
+// next scale up. Ownership is what makes the cluster more than N
+// independent caches: a shape always lands on the node whose
+// compilation cache is warm for it, so cluster throughput scales with
+// node count while per-shape compiles stay amortized.
+//
+// Determinism contract: the ring is a pure function of the member set —
+// membership joined in ANY order builds byte-identical ownership
+// tables, and routed results are byte-identical to a standalone node's
+// (routing changes placement, never outcomes).
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// DefaultReplicas is the number of virtual points each node contributes
+// to the ring: enough that ownership spreads within a few percent of
+// uniform across a handful of nodes, cheap enough that rebuilds are
+// microseconds.
+const DefaultReplicas = 64
+
+// ringPoint is one virtual node position on the hash circle.
+type ringPoint struct {
+	hash uint64
+	node int // index into Ring.nodes
+}
+
+// Ring is an immutable consistent-hash ring over node names. Build one
+// with BuildRing; ownership lookups are safe for concurrent use.
+type Ring struct {
+	nodes  []string // sorted, deduplicated member names
+	points []ringPoint
+}
+
+// BuildRing constructs the ring for the given member set. The build is
+// deterministic in the SET, not the order: names are deduplicated and
+// sorted before hashing, so any join order yields an identical ring.
+// replicas non-positive selects DefaultReplicas. An empty member set
+// yields an empty ring (Owner reports no owner).
+func BuildRing(nodes []string, replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	seen := make(map[string]bool, len(nodes))
+	members := make([]string, 0, len(nodes))
+	for _, n := range nodes {
+		if n == "" || seen[n] {
+			continue
+		}
+		seen[n] = true
+		members = append(members, n)
+	}
+	sort.Strings(members)
+
+	r := &Ring{nodes: members, points: make([]ringPoint, 0, len(members)*replicas)}
+	for i, name := range members {
+		for rep := 0; rep < replicas; rep++ {
+			r.points = append(r.points, ringPoint{hash: pointHash(name, rep), node: i})
+		}
+	}
+	// Ties (identical hashes from different nodes) break by node index —
+	// i.e. by sorted name — so even a collision cannot make the ring
+	// depend on join order.
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		return r.points[a].node < r.points[b].node
+	})
+	return r
+}
+
+// pointHash places one (node, replica) virtual point on the circle.
+// The splitmix64 finalizer matters: raw FNV over sequential replica
+// indices yields correlated points that skew ownership badly (a node
+// can end up with <5% of the circle at 64 replicas); the finalizer
+// decorrelates them to a near-uniform spread.
+func pointHash(name string, replica int) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	h.Write([]byte{0}) // separator: "ab"+1 must differ from "a"+"b1"
+	var buf [8]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(replica >> (8 * i))
+	}
+	h.Write(buf[:])
+	return mix64(h.Sum64())
+}
+
+// mix64 is the splitmix64 finalizer: a cheap bijective avalanche.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Owner returns the node owning fingerprint fp: the first virtual point
+// clockwise from fp (wrapping past the top of the circle). ok is false
+// on an empty ring.
+func (r *Ring) Owner(fp uint64) (node string, ok bool) {
+	if r == nil || len(r.points) == 0 {
+		return "", false
+	}
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= fp })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.nodes[r.points[i].node], true
+}
+
+// Nodes returns the member set in sorted order. The slice is shared;
+// callers must not modify it.
+func (r *Ring) Nodes() []string {
+	if r == nil {
+		return nil
+	}
+	return r.nodes
+}
+
+// Len returns the number of member nodes.
+func (r *Ring) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.nodes)
+}
+
+// String summarizes the ring for logs.
+func (r *Ring) String() string {
+	return fmt.Sprintf("cluster.Ring(%d nodes, %d points)", r.Len(), len(r.points))
+}

@@ -1,0 +1,122 @@
+package cluster
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// perms returns all permutations of names (test-sized inputs only).
+func perms(names []string) [][]string {
+	if len(names) <= 1 {
+		return [][]string{append([]string(nil), names...)}
+	}
+	var out [][]string
+	for i := range names {
+		rest := make([]string, 0, len(names)-1)
+		rest = append(rest, names[:i]...)
+		rest = append(rest, names[i+1:]...)
+		for _, tail := range perms(rest) {
+			out = append(out, append([]string{names[i]}, tail...))
+		}
+	}
+	return out
+}
+
+// TestRingJoinOrderIndependent is the determinism contract: every join
+// order of the same member set yields identical ownership for every
+// fingerprint.
+func TestRingJoinOrderIndependent(t *testing.T) {
+	names := []string{"http://n1", "http://n2", "http://n3", "http://n4"}
+	ref := BuildRing(names, 32)
+
+	rng := rand.New(rand.NewSource(7))
+	fps := make([]uint64, 500)
+	for i := range fps {
+		fps[i] = rng.Uint64()
+	}
+
+	for _, order := range perms(names) {
+		r := BuildRing(order, 32)
+		if !reflect.DeepEqual(r.Nodes(), ref.Nodes()) {
+			t.Fatalf("order %v: members %v, want %v", order, r.Nodes(), ref.Nodes())
+		}
+		for _, fp := range fps {
+			want, _ := ref.Owner(fp)
+			got, ok := r.Owner(fp)
+			if !ok || got != want {
+				t.Fatalf("order %v: Owner(%#x) = %q, want %q", order, fp, got, want)
+			}
+		}
+	}
+}
+
+func TestRingDedupeAndEmpty(t *testing.T) {
+	r := BuildRing([]string{"b", "a", "b", "", "a"}, 8)
+	if got, want := r.Nodes(), []string{"a", "b"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Nodes() = %v, want %v", got, want)
+	}
+	if r.Len() != 2 {
+		t.Errorf("Len() = %d, want 2", r.Len())
+	}
+
+	empty := BuildRing(nil, 0)
+	if _, ok := empty.Owner(42); ok {
+		t.Error("empty ring reported an owner")
+	}
+	var nilRing *Ring
+	if _, ok := nilRing.Owner(42); ok {
+		t.Error("nil ring reported an owner")
+	}
+}
+
+// TestRingDistribution checks the virtual points spread ownership
+// roughly evenly: with 4 nodes and default replicas, every node owns a
+// non-trivial share of random fingerprints.
+func TestRingDistribution(t *testing.T) {
+	nodes := []string{"http://a", "http://b", "http://c", "http://d"}
+	r := BuildRing(nodes, 0) // default replicas
+	counts := make(map[string]int)
+	rng := rand.New(rand.NewSource(3))
+	const n = 20000
+	for i := 0; i < n; i++ {
+		owner, ok := r.Owner(rng.Uint64())
+		if !ok {
+			t.Fatal("no owner on a populated ring")
+		}
+		counts[owner]++
+	}
+	for _, node := range nodes {
+		share := float64(counts[node]) / n
+		if share < 0.15 {
+			t.Errorf("node %s owns %.1f%% of keys; want a meaningful share (counts %v)",
+				node, share*100, counts)
+		}
+	}
+}
+
+// TestRingRemovalStability: dropping one node only reassigns the keys
+// that node owned — everyone else's keys keep their owner. This is the
+// property that keeps N-1 compilation caches warm across a node death.
+func TestRingRemovalStability(t *testing.T) {
+	all := []string{"http://a", "http://b", "http://c", "http://d"}
+	full := BuildRing(all, 0)
+	without := BuildRing(all[:3], 0) // drop http://d
+
+	rng := rand.New(rand.NewSource(11))
+	moved := 0
+	for i := 0; i < 5000; i++ {
+		fp := rng.Uint64()
+		before, _ := full.Owner(fp)
+		after, _ := without.Owner(fp)
+		if before == "http://d" {
+			continue // had to move
+		}
+		if before != after {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Errorf("%d keys moved between surviving nodes; consistent hashing should move none", moved)
+	}
+}

@@ -1,0 +1,346 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"sync"
+	"time"
+)
+
+// RouterConfig parameterizes a router front-end.
+type RouterConfig struct {
+	// Peers are the worker base URLs known at startup (e.g.
+	// "http://127.0.0.1:8081"). More can join later via /register.
+	Peers []string
+	// Replicas is the per-node virtual-point count on the ring
+	// (non-positive: DefaultReplicas).
+	Replicas int
+	// HealthInterval is how often the background loop polls each peer's
+	// /healthz (non-positive: 2s). HealthTimeout bounds one probe
+	// (non-positive: 1s).
+	HealthInterval time.Duration
+	HealthTimeout  time.Duration
+	// MaxBody bounds /solve request bodies, exactly as on a node
+	// (non-positive: DefaultMaxBody).
+	MaxBody int64
+	// Client issues forwards and health probes (nil: http.DefaultClient).
+	// Tests inject an httptest-backed client here.
+	Client *http.Client
+}
+
+// Router is the cluster front-end: it decodes just enough of each
+// /solve request to learn the problem fingerprint, looks up the owning
+// worker on the consistent-hash ring, and forwards the raw body there.
+// Membership changes — joins via Register, deaths and revivals observed
+// by health checks — rebuild the ring deterministically from the alive
+// set, so two routers watching the same membership always agree on
+// ownership.
+type Router struct {
+	cfg    RouterConfig
+	client *http.Client
+
+	mu    sync.RWMutex
+	alive map[string]bool // peer URL -> last health verdict
+	ring  *Ring           // rebuilt on every membership change
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewRouter builds a router. Configured peers start optimistically
+// alive; the first health sweep corrects the picture.
+func NewRouter(cfg RouterConfig) *Router {
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = DefaultReplicas
+	}
+	if cfg.HealthInterval <= 0 {
+		cfg.HealthInterval = 2 * time.Second
+	}
+	if cfg.HealthTimeout <= 0 {
+		cfg.HealthTimeout = time.Second
+	}
+	if cfg.MaxBody <= 0 {
+		cfg.MaxBody = DefaultMaxBody
+	}
+	client := cfg.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	rt := &Router{
+		cfg:    cfg,
+		client: client,
+		alive:  make(map[string]bool, len(cfg.Peers)),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	for _, p := range cfg.Peers {
+		if p != "" {
+			rt.alive[p] = true
+		}
+	}
+	rt.rebuildLocked()
+	return rt
+}
+
+// Start launches the background health loop. Close stops it.
+func (rt *Router) Start() {
+	go func() {
+		defer close(rt.done)
+		tick := time.NewTicker(rt.cfg.HealthInterval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				rt.CheckNow(context.Background())
+			case <-rt.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Close stops the health loop. Only call Close after Start, and at
+// most once.
+func (rt *Router) Close() {
+	close(rt.stop)
+	<-rt.done
+}
+
+// Register adds a worker to the membership (idempotent) and rebuilds
+// the ring. A re-registering peer is also marked alive — registration
+// is a liveness claim.
+func (rt *Router) Register(peer string) error {
+	u, err := url.Parse(peer)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		return fmt.Errorf("cluster: bad peer url %q", peer)
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.alive[peer] = true
+	rt.rebuildLocked()
+	return nil
+}
+
+// CheckNow health-checks every known peer synchronously and rebuilds
+// the ring if any verdict changed. The background loop calls this on a
+// timer; tests call it directly for a deterministic membership view.
+func (rt *Router) CheckNow(ctx context.Context) {
+	rt.mu.RLock()
+	peers := make([]string, 0, len(rt.alive))
+	for p := range rt.alive {
+		peers = append(peers, p)
+	}
+	rt.mu.RUnlock()
+	sort.Strings(peers)
+
+	verdicts := make(map[string]bool, len(peers))
+	for _, p := range peers {
+		verdicts[p] = rt.probe(ctx, p)
+	}
+
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	changed := false
+	for p, ok := range verdicts {
+		if was, known := rt.alive[p]; known && was != ok {
+			rt.alive[p] = ok
+			changed = true
+		}
+	}
+	if changed {
+		rt.rebuildLocked()
+	}
+}
+
+// probe performs one /healthz check.
+func (rt *Router) probe(ctx context.Context, peer string) bool {
+	ctx, cancel := context.WithTimeout(ctx, rt.cfg.HealthTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// markDead records a forward-time transport failure without waiting for
+// the next health sweep, so the very next request re-routes.
+func (rt *Router) markDead(peer string) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if alive, known := rt.alive[peer]; known && alive {
+		rt.alive[peer] = false
+		rt.rebuildLocked()
+	}
+}
+
+// rebuildLocked recomputes the ring from the alive set. Callers hold
+// rt.mu. BuildRing sorts internally, so the rebuilt ring depends only
+// on WHICH peers are alive, never on how they got there.
+func (rt *Router) rebuildLocked() {
+	members := make([]string, 0, len(rt.alive))
+	for p, ok := range rt.alive {
+		if ok {
+			members = append(members, p)
+		}
+	}
+	rt.ring = BuildRing(members, rt.cfg.Replicas)
+}
+
+// Ring returns the current ring snapshot (immutable once built).
+func (rt *Router) Ring() *Ring {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return rt.ring
+}
+
+// Handler builds the router's HTTP surface:
+//
+//	POST /solve          route to the owning worker by fingerprint
+//	POST /register       body {"url": "http://host:port"} joins a worker
+//	GET  /ring           current membership + ownership table summary
+//	GET  /healthz        liveness probe
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/solve", rt.handleSolve)
+	mux.HandleFunc("/register", rt.handleRegister)
+	mux.HandleFunc("/ring", rt.handleRing)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// handleSolve validates the request, finds the owner, and forwards the
+// raw body. Validation happens HERE so a malformed request burns router
+// cycles, not a worker slot — and so the router and worker enforce the
+// same strict schema (a body the router forwards is a body the worker
+// accepts).
+func (rt *Router) handleSolve(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	req, body, err := DecodeSolveRequest(w, r, rt.cfg.MaxBody)
+	if err != nil {
+		writeHTTPError(w, err)
+		return
+	}
+	sreq, err := BuildRequest(req)
+	if err != nil {
+		writeHTTPError(w, err)
+		return
+	}
+	fp := sreq.Problem.Fingerprint()
+	owner, ok := rt.Ring().Owner(fp)
+	if !ok {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "no workers available", http.StatusServiceUnavailable)
+		return
+	}
+	rt.forward(w, r, owner, body)
+}
+
+// forward replays the validated body against the owner, passing the
+// query string (so ?stream=1 streams end to end) and relaying status,
+// Content-Type, and Retry-After untouched — a shed worker's 429 must
+// reach the client with its backoff intact.
+func (rt *Router) forward(w http.ResponseWriter, r *http.Request, owner string, body []byte) {
+	target := owner + "/solve"
+	if r.URL.RawQuery != "" {
+		target += "?" + r.URL.RawQuery
+	}
+	freq, err := http.NewRequestWithContext(r.Context(), http.MethodPost, target, bytes.NewReader(body))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	freq.Header.Set("Content-Type", "application/json")
+	resp, err := rt.client.Do(freq)
+	if err != nil {
+		// The owner died between the last health sweep and now: mark it
+		// so the next request re-routes, and tell this client to retry.
+		rt.markDead(owner)
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, fmt.Sprintf("forwarding to %s: %v", owner, err), http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		w.Header().Set("Retry-After", ra)
+	}
+	w.WriteHeader(resp.StatusCode)
+	// Stream the body through with per-chunk flushes so NDJSON
+	// incumbent lines reach the client as they happen, not at EOF.
+	flusher, _ := w.(http.Flusher)
+	buf := make([]byte, 32<<10)
+	for {
+		n, rerr := resp.Body.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		if rerr != nil {
+			return
+		}
+	}
+}
+
+// handleRegister joins a worker: POST {"url": "http://host:port"}.
+func (rt *Router) handleRegister(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req struct {
+		URL string `json:"url"`
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 4<<10))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("decoding registration: %v", err), http.StatusBadRequest)
+		return
+	}
+	if err := rt.Register(req.URL); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, map[string]any{"ok": true, "members": rt.Ring().Nodes()})
+}
+
+// handleRing reports the current membership.
+func (rt *Router) handleRing(w http.ResponseWriter, r *http.Request) {
+	ring := rt.Ring()
+	rt.mu.RLock()
+	known := make([]string, 0, len(rt.alive))
+	for p := range rt.alive {
+		known = append(known, p)
+	}
+	rt.mu.RUnlock()
+	sort.Strings(known)
+	writeJSON(w, map[string]any{
+		"members": ring.Nodes(),
+		"known":   known,
+		"points":  ring.Len() * rt.cfg.Replicas,
+	})
+}

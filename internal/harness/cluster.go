@@ -1,0 +1,248 @@
+package harness
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/exec"
+	"repro/internal/mqo"
+	"repro/internal/splitmix"
+	"repro/mqopt"
+	"repro/mqopt/solverreg"
+)
+
+// ClusterRow is one node-count measurement of the cluster panel: the
+// same request stream replayed against a router over N in-process
+// worker nodes.
+type ClusterRow struct {
+	// Nodes is the worker count behind the router.
+	Nodes int
+	// Requests is the total requests issued (Shapes × Repeats).
+	Requests int
+	// Elapsed is the wall-clock time for the whole stream.
+	Elapsed time.Duration
+	// PerNode is each worker's share of the requests, in ring order.
+	PerNode []uint64
+	// Shed counts requests rejected with 429 (zero in this panel: the
+	// queue bounds exceed the stream's concurrency).
+	Shed uint64
+	// Identical reports whether every routed response was
+	// byte-identical to the single-node baseline after canonicalizing
+	// wall-clock incumbent timestamps.
+	Identical bool
+}
+
+// RPS returns the row's requests/second.
+func (r *ClusterRow) RPS() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Requests) / r.Elapsed.Seconds()
+}
+
+// ClusterResult is the distributed-solve panel: one row per node count,
+// all rows serving the identical request stream.
+type ClusterResult struct {
+	Class           mqo.Class
+	Shapes, Repeats int
+	Rows            []ClusterRow
+}
+
+// clusterClass is the panel's workload shape: small enough that a
+// request is dominated by service overhead rather than solving, which
+// is the regime where routing and admission are what's being measured.
+var clusterClass = mqo.Class{Queries: 8, PlansPerQuery: 2}
+
+// RunCluster measures the cluster panel: for each node count from 1 to
+// nodes, it spins up that many in-process worker nodes on loopback
+// listeners behind a router, replays an identical stream of shapes ×
+// repeats solve requests through the router, and checks every response
+// against a standalone baseline (byte-identical up to wall-clock
+// incumbent timestamps — the cluster determinism contract). Non-positive
+// arguments select 3 nodes, 12 shapes, 4 repeats.
+//
+// Throughput scaling across rows materializes on multi-core hosts:
+// each worker is capped at one concurrent solve, so added nodes add
+// capacity. On a single-CPU host the rows still validate routing,
+// spread, and determinism; the req/s column just stays flat.
+func (c Config) RunCluster(ctx context.Context, nodes, shapes, repeats int) (*ClusterResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cfg := c.withDefaults()
+	if nodes <= 0 {
+		nodes = 3
+	}
+	if shapes <= 0 {
+		shapes = 12
+	}
+	if repeats <= 0 {
+		repeats = 4
+	}
+
+	// One request body per shape: distinct instances so the ring has
+	// something to spread, a fixed seed so responses are deterministic.
+	bodies := make([][]byte, shapes)
+	for i := range bodies {
+		p := mqopt.Generate(splitmix.Split(cfg.Seed, int64(i)), mqopt.Class(clusterClass), mqopt.GeneratorConfig(cfg.GenCfg))
+		var buf bytes.Buffer
+		if err := p.Write(&buf); err != nil {
+			return nil, fmt.Errorf("harness: rendering cluster instance %d: %w", i, err)
+		}
+		bodies[i] = []byte(fmt.Sprintf(`{"problem": %s, "solver": "greedy", "seed": %d}`, buf.Bytes(), cfg.Seed))
+	}
+
+	// Standalone baseline: the canonical response per shape that every
+	// routed configuration must reproduce.
+	baseline := make([][]byte, shapes)
+	if err := withWorkers(cfg, 1, func(_ []*mqopt.Service, urls []string) error {
+		for i, body := range bodies {
+			resp, err := postCluster(ctx, urls[0], body)
+			if err != nil {
+				return err
+			}
+			if baseline[i], err = cluster.CanonicalResponse(resp); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	res := &ClusterResult{Class: clusterClass, Shapes: shapes, Repeats: repeats}
+	for n := 1; n <= nodes; n++ {
+		var row ClusterRow
+		err := withWorkers(cfg, n, func(services []*mqopt.Service, urls []string) error {
+			rt := cluster.NewRouter(cluster.RouterConfig{Peers: urls})
+			routerSrv := httptest.NewServer(rt.Handler())
+			defer routerSrv.Close()
+
+			total := shapes * repeats
+			identical := true
+			start := time.Now()
+			// Client-side fan-out: 2 streams per node keeps every worker's
+			// single solve slot busy without overrunning its queue.
+			err := exec.ForEachOrdered(ctx, 2*n, total,
+				func(tctx context.Context, i int) (bool, error) {
+					resp, err := postCluster(tctx, routerSrv.URL, bodies[i%shapes])
+					if err != nil {
+						return false, err
+					}
+					canon, err := cluster.CanonicalResponse(resp)
+					if err != nil {
+						return false, err
+					}
+					return bytes.Equal(canon, baseline[i%shapes]), nil
+				},
+				func(_ int, same bool) bool {
+					identical = identical && same
+					return true
+				})
+			if err != nil {
+				return err
+			}
+			row = ClusterRow{
+				Nodes:     n,
+				Requests:  total,
+				Elapsed:   time.Since(start),
+				Identical: identical,
+			}
+			for _, svc := range services {
+				row.PerNode = append(row.PerNode, svc.Stats().Requests)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// withWorkers runs fn with n freshly started worker nodes on loopback
+// listeners, tearing everything down afterwards.
+func withWorkers(cfg Config, n int, fn func(services []*mqopt.Service, urls []string) error) error {
+	services := make([]*mqopt.Service, 0, n)
+	urls := make([]string, 0, n)
+	var servers []*httptest.Server
+	defer func() {
+		for _, srv := range servers {
+			srv.Close()
+		}
+		for _, svc := range services {
+			svc.Close()
+		}
+	}()
+	for i := 0; i < n; i++ {
+		svc, err := mqopt.NewService(solverreg.New, mqopt.WithParallelism(1))
+		if err != nil {
+			return fmt.Errorf("harness: cluster worker %d: %w", i, err)
+		}
+		services = append(services, svc)
+		node, err := cluster.NewNode(cluster.NodeConfig{
+			Service:       svc,
+			MaxConcurrent: 1,
+			MaxQueue:      256,
+		})
+		if err != nil {
+			return fmt.Errorf("harness: cluster worker %d: %w", i, err)
+		}
+		srv := httptest.NewServer(node.Handler())
+		servers = append(servers, srv)
+		urls = append(urls, srv.URL)
+	}
+	return fn(services, urls)
+}
+
+// postCluster issues one /solve request and returns the response body.
+func postCluster(ctx context.Context, base string, body []byte) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/solve", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("harness: POST %s/solve: status %d: %s", base, resp.StatusCode, data)
+	}
+	return data, nil
+}
+
+// RenderCluster writes the panel as text.
+func RenderCluster(w io.Writer, r *ClusterResult) {
+	fmt.Fprintf(w, "cluster: %d shapes x %d repeats, class %v, router + consistent-hash ring\n",
+		r.Shapes, r.Repeats, r.Class)
+	var base float64
+	for i := range r.Rows {
+		row := &r.Rows[i]
+		if i == 0 {
+			base = row.RPS()
+		}
+		speedup := 0.0
+		if base > 0 {
+			speedup = row.RPS() / base
+		}
+		verdict := "byte-identical"
+		if !row.Identical {
+			verdict = "MISMATCH"
+		}
+		fmt.Fprintf(w, "  %d node(s): %7.0f req/s  (%.2fx vs 1 node)  spread %v  %s\n",
+			row.Nodes, row.RPS(), speedup, row.PerNode, verdict)
+	}
+}

@@ -1,0 +1,57 @@
+package harness
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestRunCluster: the panel spins up real loopback nodes at 1..3
+// workers, every routed response matches the standalone baseline, and
+// request accounting is conserved across the ring.
+func TestRunCluster(t *testing.T) {
+	cfg := DefaultConfig()
+	res, err := cfg.RunCluster(context.Background(), 3, 6, 2)
+	if err != nil {
+		t.Fatalf("RunCluster: %v", err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 (one per node count)", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if !row.Identical {
+			t.Errorf("%d node(s): routed responses diverged from the standalone baseline", row.Nodes)
+		}
+		if row.Requests != 12 {
+			t.Errorf("%d node(s): issued %d requests, want 12", row.Nodes, row.Requests)
+		}
+		if len(row.PerNode) != row.Nodes {
+			t.Fatalf("%d node(s): %d per-node counters", row.Nodes, len(row.PerNode))
+		}
+		var sum uint64
+		for _, c := range row.PerNode {
+			sum += c
+		}
+		if sum != uint64(row.Requests) {
+			t.Errorf("%d node(s): workers saw %d requests in total, want %d (spread %v)",
+				row.Nodes, sum, row.Requests, row.PerNode)
+		}
+		if row.Shed != 0 {
+			t.Errorf("%d node(s): %d requests shed; the panel must stay under the queue bounds", row.Nodes, row.Shed)
+		}
+		if row.Elapsed <= 0 {
+			t.Errorf("%d node(s): non-positive elapsed %v", row.Nodes, row.Elapsed)
+		}
+	}
+
+	var buf bytes.Buffer
+	RenderCluster(&buf, res)
+	out := buf.String()
+	if !strings.Contains(out, "3 node(s)") || !strings.Contains(out, "byte-identical") {
+		t.Errorf("render missing expected content:\n%s", out)
+	}
+	if strings.Contains(out, "MISMATCH") {
+		t.Errorf("render reports a mismatch:\n%s", out)
+	}
+}

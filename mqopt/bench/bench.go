@@ -49,6 +49,15 @@ type WorkloadResult = harness.WorkloadResult
 // WorkloadRow is one solver column of the workload panel.
 type WorkloadRow = harness.WorkloadRow
 
+// ClusterResult is the distributed-solve panel: a router over N
+// in-process worker nodes serving an identical request stream at each
+// node count, with responses checked byte-for-byte against a
+// standalone baseline.
+type ClusterResult = harness.ClusterResult
+
+// ClusterRow is one node-count measurement of the cluster panel.
+type ClusterRow = harness.ClusterRow
+
 // PaperClasses are the four problem classes of the evaluation.
 var PaperClasses = mqopt.PaperClasses
 
@@ -115,6 +124,18 @@ func RunWorkload(ctx context.Context, cfg Config) (*WorkloadResult, error) {
 
 // RenderWorkload writes the workload panel as text.
 func RenderWorkload(w io.Writer, r *WorkloadResult) { harness.RenderWorkload(w, r) }
+
+// RunCluster executes the distributed-solve panel: in-process worker
+// nodes behind a consistent-hash router, replaying one request stream
+// at every node count from 1 to nodes and checking each routed
+// response byte-for-byte against a standalone baseline. Non-positive
+// arguments select 3 nodes, 12 shapes, 4 repeats.
+func RunCluster(ctx context.Context, cfg Config, nodes, shapes, repeats int) (*ClusterResult, error) {
+	return cfg.RunCluster(ctx, nodes, shapes, repeats)
+}
+
+// RenderCluster writes the cluster panel as text.
+func RenderCluster(w io.Writer, r *ClusterResult) { harness.RenderCluster(w, r) }
 
 // SolverNames lists the solver series of the anytime figures in
 // presentation order.

@@ -1,0 +1,97 @@
+// Package cluster is the public facade over the distributed solve
+// cluster: a consistent-hash ring that shards problems across worker
+// nodes by Problem.Fingerprint, a router front-end that forwards each
+// /solve to the owning worker, and per-node bounded-queue admission
+// control that sheds overload with 429 + Retry-After.
+//
+// The types are aliases of repro/internal/cluster so values flow
+// between the two without conversion; the supported entry points for
+// external code (including cmd/mqo-serve) are the names exported here.
+//
+// Determinism contract: the ring is a pure function of the member SET —
+// any join order yields identical ownership — and a routed solve
+// returns the same response bytes as a standalone node, up to
+// wall-clock incumbent timestamps (see CanonicalResponse).
+package cluster
+
+import (
+	"net/http"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/mqopt"
+)
+
+// DefaultReplicas is the per-node virtual-point count on the ring.
+const DefaultReplicas = cluster.DefaultReplicas
+
+// DefaultMaxBody bounds /solve request bodies (bytes).
+const DefaultMaxBody = cluster.DefaultMaxBody
+
+// ErrOverloaded reports a request shed by a full admission queue.
+var ErrOverloaded = cluster.ErrOverloaded
+
+// Ring is an immutable consistent-hash ring over node names.
+type Ring = cluster.Ring
+
+// Admission is a node's bounded-queue admission controller.
+type Admission = cluster.Admission
+
+// AdmissionStats snapshots a node's admission counters.
+type AdmissionStats = cluster.AdmissionStats
+
+// Node is one solve worker: the HTTP surface over an mqopt.Service
+// guarded by admission control. It also serves the standalone role — a
+// cluster of one.
+type Node = cluster.Node
+
+// NodeConfig parameterizes a Node.
+type NodeConfig = cluster.NodeConfig
+
+// Router is the cluster front-end routing each solve to its owner.
+type Router = cluster.Router
+
+// RouterConfig parameterizes a Router.
+type RouterConfig = cluster.RouterConfig
+
+// SolveRequest and SolveResponse are the POST /solve wire schema.
+type (
+	SolveRequest  = cluster.SolveRequest
+	SolveResponse = cluster.SolveResponse
+)
+
+// StreamLine is one NDJSON line of a streamed solve (?stream=1).
+type StreamLine = cluster.StreamLine
+
+// StatsResponse is the GET /stats reply of a node.
+type StatsResponse = cluster.StatsResponse
+
+// BuildRing constructs the deterministic ring for a member set.
+func BuildRing(nodes []string, replicas int) *Ring { return cluster.BuildRing(nodes, replicas) }
+
+// NewNode builds a worker (or standalone) node over a service.
+func NewNode(cfg NodeConfig) (*Node, error) { return cluster.NewNode(cfg) }
+
+// NewRouter builds a router front-end over a peer set.
+func NewRouter(cfg RouterConfig) *Router { return cluster.NewRouter(cfg) }
+
+// NewAdmission builds a standalone admission controller.
+func NewAdmission(maxConcurrent, maxQueue int, retryAfter time.Duration) *Admission {
+	return cluster.NewAdmission(maxConcurrent, maxQueue, retryAfter)
+}
+
+// DecodeSolveRequest strictly decodes a /solve body: bounded read
+// (413 on overrun), unknown fields and trailing data rejected (400).
+func DecodeSolveRequest(w http.ResponseWriter, r *http.Request, maxBytes int64) (*SolveRequest, []byte, error) {
+	return cluster.DecodeSolveRequest(w, r, maxBytes)
+}
+
+// BuildRequest translates a wire request into a service request.
+func BuildRequest(req *SolveRequest) (mqopt.Request, error) { return cluster.BuildRequest(req) }
+
+// EncodeResponse renders a solve result in the wire format.
+func EncodeResponse(res *mqopt.Result) SolveResponse { return cluster.EncodeResponse(res) }
+
+// CanonicalResponse re-encodes a /solve response with wall-clock
+// incumbent timestamps zeroed — the byte-comparable deterministic part.
+func CanonicalResponse(raw []byte) ([]byte, error) { return cluster.CanonicalResponse(raw) }

@@ -80,7 +80,6 @@ type Service struct {
 	deflt    string
 	cache    *Cache
 	window   time.Duration
-	paral    int
 	defaults []Option
 
 	mu     sync.Mutex
@@ -89,6 +88,14 @@ type Service struct {
 	closed bool
 
 	inflight sync.WaitGroup
+
+	// sem is the service-wide execution semaphore: at most cap(sem) —
+	// the resolved WithParallelism bound — solves run concurrently,
+	// whether they arrived batched or not. load counts the solves
+	// currently holding a slot — the signal that decides whether a
+	// solve may fan out internally (see runSolve).
+	sem  chan struct{}
+	load atomic.Int64
 
 	requests, batches, coalesced, active atomic.Uint64
 }
@@ -111,7 +118,7 @@ type serviceOutcome struct {
 // request's own options); of them the service itself consumes
 // WithCache (the shared compilation cache; nil selects NewCache(128)),
 // WithBatchWindow (admission batching; 0 disables), and
-// WithParallelism (bounds concurrent solves per batch; non-positive
+// WithParallelism (bounds concurrent solves service-wide; non-positive
 // selects one per CPU).
 func NewService(resolve Resolver, defaults ...Option) (*Service, error) {
 	if resolve == nil {
@@ -127,7 +134,7 @@ func NewService(resolve Resolver, defaults ...Option) (*Service, error) {
 		deflt:    DefaultServiceSolver,
 		cache:    cache,
 		window:   cfg.batchWindow,
-		paral:    exec.Parallelism(cfg.parallelism),
+		sem:      make(chan struct{}, exec.Parallelism(cfg.parallelism)),
 		defaults: defaults,
 	}, nil
 }
@@ -164,15 +171,17 @@ func (s *Service) Solve(ctx context.Context, req Request) (*Result, error) {
 	}
 	s.requests.Add(1)
 	s.active.Add(1)
-	defer func() { s.active.Add(^uint64(0)) }()
 
 	if s.window <= 0 {
 		// Unbatched admission: a batch of one on the caller's goroutine.
+		// The request completes when solveOne returns, so the in-flight
+		// decrement can live on this frame.
 		s.inflight.Add(1)
 		s.mu.Unlock()
 		defer s.inflight.Done()
+		defer func() { s.active.Add(^uint64(0)) }()
 		s.batches.Add(1)
-		return s.solveOne(ctx, req, false)
+		return s.runSolve(ctx, req)
 	}
 
 	pr := &pendingRequest{ctx: ctx, req: req, done: make(chan serviceOutcome, 1)}
@@ -188,9 +197,35 @@ func (s *Service) Solve(ctx context.Context, req Request) (*Result, error) {
 		return out.res, out.err
 	case <-ctx.Done():
 		// The executor notices the dead ctx too; the buffered done
-		// channel means it never blocks on our abandoned reply.
+		// channel means it never blocks on our abandoned reply. The
+		// request itself is still queued (or executing): its in-flight
+		// accounting ends when the batch disposes of it, not here — an
+		// abandoned caller must not make Stats().InFlight undercount
+		// work the service is still doing.
 		return nil, ctx.Err()
 	}
+}
+
+// runSolve executes one admitted request under the service-wide
+// execution semaphore and decides its internal fan-out. A solve may use
+// its full parallelism budget only when it is the sole solve currently
+// executing; the moment others share the service, each is pinned to a
+// single internal worker. The semaphore bounds concurrent solves at
+// paral, so total workers never exceed paral + (paral−1) — the old
+// per-batch rule let a single-request batch fan out at full parallelism
+// while other batches were in flight, multiplying workers toward P².
+// Results are identical at any pinning; parallelism never changes
+// outcomes.
+func (s *Service) runSolve(ctx context.Context, req Request) (*Result, error) {
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	defer func() { <-s.sem }()
+	pinned := s.load.Add(1) > 1
+	defer s.load.Add(-1)
+	return s.solveOne(ctx, req, pinned)
 }
 
 // flush closes the current admission window and executes its batch.
@@ -215,15 +250,39 @@ func (s *Service) flush() {
 	}()
 }
 
-// runBatch executes one admission batch: counts shape coalescing, then
-// fans the requests out with bounded parallelism. Each request is
-// independent — its own seed, options, and reply channel — so outcomes
-// do not depend on who shares the batch; the shared cache's single
-// flight is what turns same-shape neighbors into one compile.
+// runBatch executes one admission batch: discards requests abandoned
+// during the admission window, counts shape coalescing over the
+// survivors, then fans them out through the service-wide execution
+// semaphore. Each request is independent — its own seed, options, and
+// reply channel — so outcomes do not depend on who shares the batch;
+// the shared cache's single flight is what turns same-shape neighbors
+// into one compile. A request's in-flight accounting ends here, when
+// the batch disposes of it (executed or discarded), never earlier — an
+// abandoned caller returns from Solve without touching the counter.
 func (s *Service) runBatch(batch []*pendingRequest) {
-	s.batches.Add(1)
-	seen := make(map[uint64]bool, len(batch))
+	// Requests cancelled while queued never execute: reply with their
+	// context error and leave them out of every batch-level counter. A
+	// batch whose every request died during the window executes nothing
+	// and bumps nothing — phantom batches and coalesced counts for dead
+	// requests would make cluster-level stats lie.
+	live := make([]*pendingRequest, 0, len(batch))
 	for _, pr := range batch {
+		if err := pr.ctx.Err(); err != nil {
+			// Decrement before replying so a caller (or Stats reader)
+			// unblocked by the reply never observes a stale count.
+			s.active.Add(^uint64(0))
+			pr.done <- serviceOutcome{err: err}
+			continue
+		}
+		live = append(live, pr)
+	}
+	if len(live) == 0 {
+		return
+	}
+
+	s.batches.Add(1)
+	seen := make(map[uint64]bool, len(live))
+	for _, pr := range live {
 		fp := pr.req.Problem.Fingerprint()
 		if seen[fp] {
 			s.coalesced.Add(1)
@@ -231,23 +290,19 @@ func (s *Service) runBatch(batch []*pendingRequest) {
 		seen[fp] = true
 	}
 
-	// Inline semaphore instead of exec.ForEachOrdered: replies go to
+	// Inline fan-out instead of exec.ForEachOrdered: replies go to
 	// per-request channels, so there is no shared consumer needing
-	// ordered delivery.
-	pinned := len(batch) > 1
-	sem := make(chan struct{}, s.paral)
+	// ordered delivery. runSolve enforces the service-wide concurrency
+	// bound and per-solve pinning.
 	var wg sync.WaitGroup
-	for _, pr := range batch {
+	for _, pr := range live {
 		wg.Add(1)
 		go func(pr *pendingRequest) {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			if err := pr.ctx.Err(); err != nil {
-				pr.done <- serviceOutcome{err: err}
-				return
-			}
-			res, err := s.solveOne(pr.ctx, pr.req, pinned)
+			res, err := s.runSolve(pr.ctx, pr.req)
+			// Completion: decrement before replying so the counter is
+			// consistent by the time the caller resumes.
+			s.active.Add(^uint64(0))
 			pr.done <- serviceOutcome{res: res, err: err}
 		}(pr)
 	}
@@ -260,10 +315,11 @@ func (s *Service) runBatch(batch []*pendingRequest) {
 // WithCache(nil) default must not disable the cache the constructor
 // documented it selects), then the request's own options, which can
 // override anything including the cache. pinned solves additionally
-// run their internal fan-out single-threaded: inside a multi-request
-// batch the batch-level bound is the parallelism budget, and letting
-// every solve fan out its own gauge batches would multiply workers to
-// P² (the same rule the harness applies to pooled QA tasks). Results
+// run their internal fan-out single-threaded: when solves share the
+// service, the service-wide semaphore is the parallelism budget, and
+// letting every concurrent solve fan out its own gauge batches would
+// multiply workers toward P² (the same rule the harness applies to
+// pooled QA tasks — see runSolve for how pinning is decided). Results
 // are identical either way — parallelism never changes outcomes.
 func (s *Service) solveOne(ctx context.Context, req Request, pinned bool) (*Result, error) {
 	name := req.Solver

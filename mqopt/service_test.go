@@ -158,6 +158,206 @@ func TestServiceDeterministicAcrossBatchingAndCache(t *testing.T) {
 	}
 }
 
+// gateSolver blocks every Solve on a release channel, IGNORING ctx —
+// the shape of work the service cannot abandon once started. entered
+// receives one tick per Solve that begins executing.
+type gateSolver struct {
+	entered chan struct{}
+	release chan struct{}
+}
+
+func (g *gateSolver) Name() string { return "GATE" }
+
+func (g *gateSolver) Solve(ctx context.Context, p *Problem, opts ...Option) (*Result, error) {
+	g.entered <- struct{}{}
+	<-g.release
+	return &Result{Solver: "GATE", Solution: Solution{0, 2}}, nil
+}
+
+// probeSolver records the parallelism each Solve resolved from its
+// options — the observable of the service's pinning decision.
+type probeSolver struct {
+	mu    sync.Mutex
+	paral []int
+	gate  *gateSolver // optional: block inside Solve after recording
+}
+
+func (p *probeSolver) Name() string { return "PROBE" }
+
+func (p *probeSolver) Solve(ctx context.Context, prob *Problem, opts ...Option) (*Result, error) {
+	cfg := newSolveConfig(opts)
+	p.mu.Lock()
+	p.paral = append(p.paral, cfg.parallelism)
+	p.mu.Unlock()
+	if p.gate != nil {
+		return p.gate.Solve(ctx, prob, opts...)
+	}
+	return &Result{Solver: "PROBE", Solution: Solution{0, 2}}, nil
+}
+
+// tinyProblem is a minimal valid instance for the fake-solver tests.
+func tinyProblem(t testing.TB) *Problem {
+	t.Helper()
+	return MustProblem([][]int{{0, 1}, {2, 3}}, []float64{2, 4, 3, 1},
+		[]Saving{{P1: 1, P2: 2, Value: 1}})
+}
+
+// TestServiceInFlightAccounting: a batched caller that abandons on
+// ctx.Done() must NOT decrement InFlight while its request is still
+// executing — the counter tracks the service's real work, not how many
+// callers are still waiting.
+func TestServiceInFlightAccounting(t *testing.T) {
+	gate := &gateSolver{entered: make(chan struct{}, 4), release: make(chan struct{})}
+	resolver := func(name string) (Solver, error) { return gate, nil }
+	svc, err := NewService(resolver, WithBatchWindow(20*time.Millisecond), WithParallelism(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := tinyProblem(t)
+
+	doneA := make(chan error, 1)
+	go func() {
+		_, err := svc.Solve(context.Background(), Request{Problem: p})
+		doneA <- err
+	}()
+	ctxB, cancelB := context.WithCancel(context.Background())
+	defer cancelB()
+	doneB := make(chan error, 1)
+	go func() {
+		_, err := svc.Solve(ctxB, Request{Problem: p})
+		doneB <- err
+	}()
+
+	// Both requests are executing (blocked inside the gate solver).
+	<-gate.entered
+	<-gate.entered
+	if got := svc.Stats().InFlight; got != 2 {
+		t.Fatalf("InFlight = %d with 2 executing solves, want 2", got)
+	}
+
+	// B's caller abandons. The solve it started keeps running: InFlight
+	// must still report both units of work.
+	cancelB()
+	if err := <-doneB; !errors.Is(err, context.Canceled) {
+		t.Fatalf("abandoned caller: err = %v, want context.Canceled", err)
+	}
+	if got := svc.Stats().InFlight; got != 2 {
+		t.Errorf("InFlight = %d after caller abandoned an executing solve, want 2", got)
+	}
+
+	close(gate.release)
+	if err := <-doneA; err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := svc.Stats().InFlight; got != 0 {
+		t.Errorf("InFlight = %d after drain, want 0", got)
+	}
+}
+
+// TestServiceAbandonedBatchSkipped: a batch whose every request was
+// cancelled during the admission window executes nothing and bumps no
+// counters — no phantom Batches, no Coalesced for dead requests.
+func TestServiceAbandonedBatchSkipped(t *testing.T) {
+	gate := &gateSolver{entered: make(chan struct{}, 4), release: make(chan struct{})}
+	close(gate.release) // never block; it must not be called at all
+	resolver := func(name string) (Solver, error) { return gate, nil }
+	svc, err := NewService(resolver, WithBatchWindow(60*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	p := tinyProblem(t)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := svc.Solve(ctx, Request{Problem: p}); !errors.Is(err, context.Canceled) {
+				t.Errorf("err = %v, want context.Canceled", err)
+			}
+		}()
+	}
+	time.Sleep(15 * time.Millisecond) // let all three enqueue
+	cancel()
+	wg.Wait()
+	time.Sleep(80 * time.Millisecond) // let the window flush the dead batch
+
+	st := svc.Stats()
+	if st.Batches != 0 {
+		t.Errorf("Batches = %d for a fully-abandoned window, want 0", st.Batches)
+	}
+	if st.Coalesced != 0 {
+		t.Errorf("Coalesced = %d for dead requests, want 0", st.Coalesced)
+	}
+	if st.InFlight != 0 {
+		t.Errorf("InFlight = %d after the dead batch was discarded, want 0", st.InFlight)
+	}
+	select {
+	case <-gate.entered:
+		t.Error("a fully-abandoned batch still executed a solve")
+	default:
+	}
+	if st.Requests != 3 {
+		t.Errorf("Requests = %d, want 3 (admission happened)", st.Requests)
+	}
+}
+
+// TestServicePinningByLoad: a solve may fan out only while it is the
+// sole solve executing service-wide. The old per-batch rule (pin iff
+// len(batch) > 1) let every single-request batch fan out at full
+// parallelism concurrently with other batches, multiplying workers
+// toward P².
+func TestServicePinningByLoad(t *testing.T) {
+	gate := &gateSolver{entered: make(chan struct{}, 4), release: make(chan struct{})}
+	probe := &probeSolver{gate: gate}
+	resolver := func(name string) (Solver, error) { return probe, nil }
+	// Window 0: each request is its own single-request batch — exactly
+	// the escape the per-batch rule had.
+	svc, err := NewService(resolver, WithParallelism(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := tinyProblem(t)
+
+	done := make(chan error, 2)
+	go func() {
+		_, err := svc.Solve(context.Background(), Request{Problem: p})
+		done <- err
+	}()
+	<-gate.entered // first solve is executing, alone: unpinned
+	go func() {
+		_, err := svc.Solve(context.Background(), Request{Problem: p})
+		done <- err
+	}()
+	<-gate.entered // second solve joined while the first still runs: pinned
+	close(gate.release)
+	for i := 0; i < 2; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	probe.mu.Lock()
+	defer probe.mu.Unlock()
+	if len(probe.paral) != 2 {
+		t.Fatalf("recorded %d solves, want 2", len(probe.paral))
+	}
+	if probe.paral[0] != 4 {
+		t.Errorf("solo solve resolved parallelism %d, want 4 (unpinned: the service default)", probe.paral[0])
+	}
+	if probe.paral[1] != 1 {
+		t.Errorf("concurrent solve resolved parallelism %d, want 1 (pinned)", probe.paral[1])
+	}
+}
+
 // TestServiceCoalescing: same-shape requests inside one admission
 // window are counted coalesced and compile exactly once.
 func TestServiceCoalescing(t *testing.T) {
