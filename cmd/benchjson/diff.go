@@ -172,6 +172,12 @@ func writeDiffSummary(w io.Writer, old, cur *Trajectory, rows []DiffRow, thresho
 	}
 	fmt.Fprintf(w, "### Benchmark regression check: %s → %s (threshold %+.0f%% ns/op)\n\n",
 		shorten(old.Commit), shorten(cur.Commit), thresholdPct)
+	// An empty baseline is NOT a clean diff: the gate compared nothing,
+	// so say so instead of reading as "no regressions".
+	if len(old.Benchmarks) == 0 {
+		_, err := fmt.Fprintln(w, "⚠️ _baseline point contains no benchmarks — comparison skipped, nothing was checked_")
+		return err
+	}
 	if len(rows) == 0 {
 		_, err := fmt.Fprintln(w, "_no comparable benchmarks between the two points_")
 		return err
@@ -234,6 +240,12 @@ func runDiff(oldPath, newPath string, thresholdPct float64, specs []MinImprove, 
 	}
 	if math.IsNaN(thresholdPct) {
 		return 0, 0, fmt.Errorf("-threshold must be a number")
+	}
+	if len(old.Benchmarks) == 0 {
+		// GitHub-annotation warning on stdout: a baseline with zero
+		// benchmarks makes the regression gate vacuous, and a vacuous
+		// pass must not look like a clean one.
+		fmt.Printf("::warning title=benchjson::baseline %s contains no benchmarks; the regression gate checked nothing\n", oldPath)
 	}
 	rows := Diff(old, cur, thresholdPct)
 	gates := CheckMinImprove(rows, specs)

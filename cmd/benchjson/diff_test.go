@@ -99,6 +99,69 @@ func TestRunDiffEndToEnd(t *testing.T) {
 	}
 }
 
+func TestDiffEmptyBaselineIsNotClean(t *testing.T) {
+	old := trajFixture("aaaaaaaaaaaaaaaa", nil)
+	cur := trajFixture("bbbbbbbbbbbbbbbb", map[string]float64{"BenchmarkCompile": 1000})
+	rows := Diff(old, cur, 20)
+	if len(rows) != 0 {
+		t.Fatalf("empty baseline produced %d comparable rows", len(rows))
+	}
+	var buf bytes.Buffer
+	if err := writeDiffSummary(&buf, old, cur, rows, 20); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "baseline point contains no benchmarks") {
+		t.Fatalf("summary does not call out the empty baseline:\n%s", out)
+	}
+	if strings.Contains(out, "no ns/op regression") || strings.Contains(out, "no comparable benchmarks") {
+		t.Fatalf("empty baseline rendered as a clean diff:\n%s", out)
+	}
+
+	// A non-empty baseline with disjoint benchmarks keeps the distinct
+	// "no comparable benchmarks" wording.
+	old = trajFixture("aaaaaaaaaaaaaaaa", map[string]float64{"BenchmarkOther": 7})
+	buf.Reset()
+	if err := writeDiffSummary(&buf, old, cur, Diff(old, cur, 20), 20); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no comparable benchmarks") {
+		t.Fatalf("disjoint benchmarks lost their wording:\n%s", buf.String())
+	}
+}
+
+func TestRunDiffEmptyBaselineWarns(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, traj *Trajectory) string {
+		data, err := json.Marshal(traj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	oldP := write("old.json", trajFixture("aaaa", nil))
+	newP := write("new.json", trajFixture("bbbb", map[string]float64{"BenchmarkCompile": 1000}))
+	summary := filepath.Join(dir, "summary.md")
+	regressions, violations, err := runDiff(oldP, newP, 20, nil, summary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressions != 0 || violations != 0 {
+		t.Fatalf("empty baseline counted regressions=%d violations=%d", regressions, violations)
+	}
+	data, err := os.ReadFile(summary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "baseline point contains no benchmarks") {
+		t.Fatalf("summary missing empty-baseline warning:\n%s", data)
+	}
+}
+
 func TestParseMinImprove(t *testing.T) {
 	specs, err := ParseMinImprove("BenchmarkPipeline/sequential=3, BenchmarkCompile=1.5")
 	if err != nil {

@@ -27,7 +27,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "fig4|fig5|fig6|fig7|table1|throughput|topology|workload|cluster|all")
+	experiment := flag.String("experiment", "all", "fig4|fig5|fig6|fig7|table1|throughput|topology|workload|cluster|session|all")
 	instances := flag.Int("instances", 3, "instances per class (paper: 20)")
 	budget := flag.Duration("budget", 2*time.Second, "classical solver budget (paper: 100s)")
 	runs := flag.Int("runs", 1000, "annealing runs per instance (paper: 1000)")
@@ -134,6 +134,13 @@ func run(ctx context.Context, cfg bench.Config, experiment string, w io.Writer) 
 		}
 		bench.RenderCluster(w, res)
 		return nil
+	case "session":
+		res, err := bench.RunSession(ctx, cfg, 0, 0)
+		if err != nil {
+			return err
+		}
+		bench.RenderSession(w, res)
+		return nil
 	case "table1":
 		rows, err := bench.RunTable1(ctx, cfg, bench.PaperClasses)
 		if err != nil {
@@ -190,6 +197,13 @@ func run(ctx context.Context, cfg bench.Config, experiment string, w io.Writer) 
 			return err
 		}
 		bench.RenderCluster(w, cres)
+		fmt.Fprintln(w)
+		fmt.Fprintln(w, "=== Session panel (incremental warm-start vs from-scratch) ===")
+		sres, err := bench.RunSession(ctx, cfg, 0, 0)
+		if err != nil {
+			return err
+		}
+		bench.RenderSession(w, sres)
 		return nil
 	default:
 		return fmt.Errorf("unknown experiment %q", experiment)

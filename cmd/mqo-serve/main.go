@@ -36,18 +36,44 @@
 //	# service and cache counters
 //	curl -s localhost:8333/stats
 //
+//	# create an incremental session (epoch 0 solves from scratch; every
+//	# later delta warm-starts from the previous incumbent)
+//	curl -s localhost:8333/session -d '{
+//	  "config": {"seed": 7, "window_queries": 8},
+//	  "delta": {"add_queries": [{"id": "q1", "costs": [3, 4]},
+//	                            {"id": "q2", "costs": [2, 5]}],
+//	            "add_savings": [{"q1": "q1", "p1": 0, "q2": "q2", "p2": 0, "value": 2}]}}'
+//
+//	# apply a delta to it, streaming the epoch's anytime incumbents
+//	curl -sN -d '{"delta": {"add_queries": [{"id": "q3", "costs": [1, 6]}]}}' \
+//	  'localhost:8333/session/<id>/delta?stream=1'
+//
+//	# fetch its replayable event log (a full backup: POSTing it back as
+//	# {"log": "..."} re-creates the session bit for bit)
+//	curl -s localhost:8333/session/<id>/log
+//
 // Endpoints (standalone and worker):
 //
-//	POST /solve     one solve request; ?stream=1 for NDJSON streaming
-//	GET  /stats     service + cache + admission counters
-//	GET  /healthz   liveness probe
+//	POST /solve               one solve request; ?stream=1 for NDJSON streaming
+//	POST /session             create a session from an initial delta or event log
+//	POST /session/{id}/delta  apply one delta; ?stream=1 streams incumbents
+//	GET  /session/{id}        session summary
+//	GET  /session/{id}/log    replayable NDJSON event log
+//	DELETE /session/{id}      evict the session
+//	GET  /sessions            resident session IDs
+//	GET  /stats               service + cache + admission counters
+//	GET  /healthz             liveness probe
 //
 // Endpoints (router):
 //
-//	POST /solve     routed to the owning worker (streaming passes through)
-//	POST /register  {"url": "http://host:port"} joins a worker
-//	GET  /ring      current membership
-//	GET  /healthz   liveness probe
+//	POST /solve       routed to the owning worker (streaming passes through)
+//	POST /session     routed by the initial problem fingerprint; the same
+//	                  key is embedded in the session ID, so every later
+//	                  /session/{id} call lands on the same owner
+//	ANY  /session/{id}...  routed by the key parsed from the ID
+//	POST /register    {"url": "http://host:port"} joins a worker
+//	GET  /ring        current membership
+//	GET  /healthz     liveness probe
 //
 // Admission control: every node bounds concurrent requests
 // (-max-concurrent) and queued requests (-queue); beyond both bounds it
@@ -128,12 +154,13 @@ func main() {
 			log.Fatalf("mqo-serve: %v", err)
 		}
 		node, err := cluster.NewNode(cluster.NodeConfig{
-			Name:          *advertise,
-			Service:       svc,
-			MaxConcurrent: *maxConcurrent,
-			MaxQueue:      *maxQueue,
-			RetryAfter:    *retryAfter,
-			MaxBody:       *maxBody,
+			Name:               *advertise,
+			Service:            svc,
+			MaxConcurrent:      *maxConcurrent,
+			MaxQueue:           *maxQueue,
+			RetryAfter:         *retryAfter,
+			MaxBody:            *maxBody,
+			SessionParallelism: *parallel,
 		})
 		if err != nil {
 			log.Fatalf("mqo-serve: %v", err)
@@ -232,9 +259,10 @@ type (
 // the default admission bounds (the shape the tests exercise).
 func newHandler(svc *mqopt.Service) http.Handler {
 	node, err := cluster.NewNode(cluster.NodeConfig{
-		Service:       svc,
-		MaxConcurrent: defaultMaxConcurrent,
-		MaxQueue:      defaultMaxQueue,
+		Service:            svc,
+		MaxConcurrent:      defaultMaxConcurrent,
+		MaxQueue:           defaultMaxQueue,
+		SessionParallelism: runtime.GOMAXPROCS(0),
 	})
 	if err != nil {
 		panic(err) // unreachable: svc is non-nil

@@ -1,0 +1,120 @@
+// Command mqo-session replays an incremental MQO session from its
+// NDJSON event log (a config header line plus one line per delta) and
+// prints the resulting epoch stream.
+//
+// Sessions are deterministic: a fixed config and delta stream produce
+// bit-identical output at any -parallelism, which makes this tool the
+// replay half of the session determinism contract —
+//
+//	mqo-session -log events.ndjson -parallelism 1 > a.ndjson
+//	mqo-session -log events.ndjson -parallelism 4 > b.ndjson
+//	diff a.ndjson b.ndjson   # must be empty
+//
+// Output is NDJSON: each epoch's anytime incumbents as they are found
+// ({"epoch":..,"elapsed_ns":..,"cost":..}), one {"epoch":{...}} record
+// per applied delta, and a final summary line with the session
+// fingerprint, incumbent cost, and epoch count.
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"time"
+
+	"repro/mqopt"
+)
+
+// options collects one invocation's flags, so tests drive run directly.
+type options struct {
+	log   string
+	paral int
+	quiet bool
+}
+
+func main() {
+	var opt options
+	flag.StringVar(&opt.log, "log", "-", "session event log to replay (NDJSON; - for stdin)")
+	flag.IntVar(&opt.paral, "parallelism", 1, "annealer worker count (never changes the output)")
+	flag.BoolVar(&opt.quiet, "quiet", false, "suppress streamed incumbent lines")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Stdout, opt); err != nil {
+		fmt.Fprintln(os.Stderr, "mqo-session:", err)
+		os.Exit(1)
+	}
+}
+
+type incumbentLine struct {
+	Epoch     int           `json:"epoch"`
+	ElapsedNS time.Duration `json:"elapsed_ns"`
+	Cost      float64       `json:"cost"`
+}
+
+type epochLine struct {
+	Epoch *mqopt.SessionEpoch `json:"epoch"`
+}
+
+type summaryLine struct {
+	Fingerprint string  `json:"fingerprint"`
+	Cost        float64 `json:"cost"`
+	Epochs      int     `json:"epochs"`
+}
+
+func run(ctx context.Context, w io.Writer, opt options) error {
+	var in io.Reader = os.Stdin
+	if opt.log != "-" {
+		f, err := os.Open(opt.log)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	cfg, deltas, err := mqopt.ReadSessionLog(in)
+	if err != nil {
+		return err
+	}
+
+	bw := bufio.NewWriter(w)
+	defer bw.Flush()
+	enc := json.NewEncoder(bw)
+
+	s := mqopt.NewSession(cfg)
+	s.SetParallelism(opt.paral)
+	var encErr error
+	if !opt.quiet {
+		s.OnImprovement(func(epoch int, in mqopt.Incumbent) {
+			if err := enc.Encode(incumbentLine{Epoch: epoch, ElapsedNS: in.Elapsed, Cost: in.Cost}); err != nil && encErr == nil {
+				encErr = err
+			}
+		})
+	}
+	for i, d := range deltas {
+		ep, err := s.Apply(ctx, d)
+		if err != nil {
+			return fmt.Errorf("replaying delta %d: %w", i, err)
+		}
+		if err := enc.Encode(epochLine{Epoch: ep}); err != nil {
+			return err
+		}
+		if encErr != nil {
+			return encErr
+		}
+	}
+	if err := enc.Encode(summaryLine{
+		Fingerprint: fmt.Sprintf("%016x", s.Fingerprint()),
+		Cost:        s.Cost(),
+		Epochs:      s.Epochs(),
+	}); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

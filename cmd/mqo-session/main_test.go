@@ -1,0 +1,86 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// update regenerates the golden epoch stream instead of comparing:
+//
+//	go test ./cmd/mqo-session -update
+var update = flag.Bool("update", false, "rewrite testdata/golden files")
+
+const (
+	eventsFixture = "../../testdata/golden/session_events.ndjson"
+	epochsGolden  = "../../testdata/golden/session_epochs.ndjson"
+)
+
+// TestReplayMatchesGolden pins the full replay output of the committed
+// event-log fixture: epochs, incumbent streams, fingerprint. Any change
+// to the session pipeline's arithmetic shows up as a diff here.
+func TestReplayMatchesGolden(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(context.Background(), &out, options{log: eventsFixture, paral: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if *update {
+		if err := os.WriteFile(filepath.FromSlash(epochsGolden), out.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(filepath.FromSlash(epochsGolden))
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		t.Fatalf("replay output diverges from golden (run with -update if intended)\ngot:\n%s\nwant:\n%s", &out, want)
+	}
+}
+
+// TestReplayByteIdenticalAcrossParallelism is the determinism contract
+// the CI gate enforces with the built binary: replay output is the same
+// byte stream at any worker count.
+func TestReplayByteIdenticalAcrossParallelism(t *testing.T) {
+	var p1, p4 bytes.Buffer
+	if err := run(context.Background(), &p1, options{log: eventsFixture, paral: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), &p4, options{log: eventsFixture, paral: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(p1.Bytes(), p4.Bytes()) {
+		t.Fatal("replay output differs between parallelism 1 and 4")
+	}
+}
+
+func TestReplayQuietSuppressesIncumbents(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(context.Background(), &out, options{log: eventsFixture, paral: 1, quiet: true}); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(out.String()), "\n") {
+		if strings.HasPrefix(line, `{"epoch":{`) || strings.HasPrefix(line, `{"fingerprint":`) {
+			continue
+		}
+		t.Fatalf("quiet output contains a non-epoch line: %s", line)
+	}
+}
+
+func TestReplayRejectsMissingAndMalformedLogs(t *testing.T) {
+	if err := run(context.Background(), &bytes.Buffer{}, options{log: "testdata/no-such-file", paral: 1}); err == nil {
+		t.Error("missing log: want error")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.ndjson")
+	if err := os.WriteFile(bad, []byte("not an event log\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), &bytes.Buffer{}, options{log: bad, paral: 1}); err == nil {
+		t.Error("malformed log: want error")
+	}
+}

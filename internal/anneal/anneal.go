@@ -30,6 +30,20 @@ type Sampler interface {
 	Name() string
 }
 
+// WarmSampler is implemented by samplers that can start an annealing run
+// from a caller-provided spin state instead of a uniform random draw —
+// the surrogate for hardware reverse annealing. Warm runs draw a
+// DIFFERENT rng sequence than cold runs (no initial-state draws), so a
+// warm solve is deterministic in (seed, init) but is a distinct random
+// process from the cold solve with the same seed.
+type WarmSampler interface {
+	Sampler
+	// SampleWarmInto is SampleInto starting from init, a packed spin
+	// state of WordsFor(p.N) words (bit set ⇔ spin −1, trailing bits
+	// clear). init is read-only; the read-out lands in sc as usual.
+	SampleWarmInto(p *Compiled, rng *rand.Rand, sc *Scratch, init []uint64)
+}
+
 // Compiled is a frozen Ising sampling program: the CSR form consumed by
 // the naive reference loops (LocalField/FlipDelta/Energy) plus the
 // fixed-stride padded kernel layout the streaming sweep runs on (see

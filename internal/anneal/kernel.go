@@ -349,6 +349,36 @@ func (sa *SimulatedAnnealer) SampleInto(c *Compiled, rng *rand.Rand, sc *Scratch
 	}
 }
 
+// SampleWarmInto implements WarmSampler for SimulatedAnnealer: the run
+// starts from the caller's packed spin state instead of a uniform draw,
+// and the β schedule starts at the geometric midpoint √(BetaStart·BetaEnd)
+// of the cold schedule — the cold schedule's hot opening phase exists to
+// melt a random state and would scramble a warm one; the midpoint keeps
+// enough thermal noise to escape shallow local minima around the incumbent
+// while preserving its basin. No initial-state rng draws occur, so the rng
+// sequence differs from SampleInto by construction (see WarmSampler).
+func (sa *SimulatedAnnealer) SampleWarmInto(c *Compiled, rng *rand.Rand, sc *Scratch, init []uint64) {
+	sc.grow(c.N)
+	copy(sc.out, init[:len(sc.out)])
+	if sa.Sweeps <= 0 || c.N == 0 {
+		return
+	}
+	betaStart := math.Sqrt(sa.BetaStart * sa.BetaEnd)
+	if !(betaStart > 0) {
+		betaStart = sa.BetaEnd
+	}
+	ratio := 1.0
+	if sa.Sweeps > 1 && betaStart > 0 {
+		ratio = math.Pow(sa.BetaEnd/betaStart, 1/float64(sa.Sweeps-1))
+	}
+	markAllDirty(sc.dirty)
+	beta := betaStart
+	for sweep := 0; sweep < sa.Sweeps; sweep++ {
+		c.sweep(rng, sc.out, sc.delta, sc.dirty, beta)
+		beta *= ratio
+	}
+}
+
 // SampleInto implements Sampler for SQA, writing the best replica's
 // read-out into sc. It draws exactly the rng sequence of the historical
 // materializing Sample.

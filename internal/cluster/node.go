@@ -34,6 +34,10 @@ type NodeConfig struct {
 	// MaxBody bounds the request body size (non-positive:
 	// DefaultMaxBody); overruns map to 413.
 	MaxBody int64
+	// SessionParallelism is the annealer worker count for session
+	// epochs (0: the session default). By the session determinism
+	// contract it never changes results, only latency.
+	SessionParallelism int
 }
 
 // Node is one solve worker: the HTTP surface over a Service, guarded by
@@ -42,6 +46,9 @@ type NodeConfig struct {
 type Node struct {
 	cfg NodeConfig
 	adm *Admission
+
+	sessMu   sync.Mutex
+	sessions map[string]*liveSession
 }
 
 // NewNode builds a node over cfg.Service.
@@ -59,8 +66,9 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		cfg.MaxBody = DefaultMaxBody
 	}
 	return &Node{
-		cfg: cfg,
-		adm: NewAdmission(cfg.MaxConcurrent, cfg.MaxQueue, cfg.RetryAfter),
+		cfg:      cfg,
+		adm:      NewAdmission(cfg.MaxConcurrent, cfg.MaxQueue, cfg.RetryAfter),
+		sessions: make(map[string]*liveSession),
 	}, nil
 }
 
@@ -74,11 +82,25 @@ func (n *Node) Admission() *Admission { return n.adm }
 //
 //	POST /solve          one solve request (add ?stream=1 for NDJSON
 //	                     anytime incumbents followed by the result)
+//	POST /session        create an incremental session from an initial
+//	                     delta, or re-create one from its event log
+//	POST /session/{id}/delta  apply one delta (?stream=1 streams the
+//	                     epoch's anytime incumbents as NDJSON)
+//	GET  /session/{id}       session summary
+//	GET  /session/{id}/log   the session's replayable NDJSON event log
+//	DELETE /session/{id}     evict the session
+//	GET  /sessions       resident session IDs
 //	GET  /stats          service + cache + admission counters
 //	GET  /healthz        liveness probe (what the router polls)
 func (n *Node) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/solve", n.handleSolve)
+	mux.HandleFunc("POST /session", n.handleSessionCreate)
+	mux.HandleFunc("POST /session/{id}/delta", n.handleSessionDelta)
+	mux.HandleFunc("GET /session/{id}", n.handleSessionGet)
+	mux.HandleFunc("GET /session/{id}/log", n.handleSessionLog)
+	mux.HandleFunc("DELETE /session/{id}", n.handleSessionDelete)
+	mux.HandleFunc("GET /sessions", n.handleSessionList)
 	mux.HandleFunc("/stats", n.handleStats)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)

@@ -209,12 +209,22 @@ func (rt *Router) Ring() *Ring {
 // Handler builds the router's HTTP surface:
 //
 //	POST /solve          route to the owning worker by fingerprint
+//	POST /session        route a session create by its initial problem
+//	                     fingerprint (derived from the validated body)
+//	ANY  /session/{id}...  route by the ring key embedded in the ID —
+//	                     session affinity survives restarts and ring
+//	                     changes because the key IS the ID prefix
 //	POST /register       body {"url": "http://host:port"} joins a worker
 //	GET  /ring           current membership + ownership table summary
 //	GET  /healthz        liveness probe
 func (rt *Router) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/solve", rt.handleSolve)
+	mux.HandleFunc("POST /session", rt.handleSessionCreateProxy)
+	mux.HandleFunc("POST /session/{id}/delta", rt.handleSessionProxy)
+	mux.HandleFunc("GET /session/{id}", rt.handleSessionProxy)
+	mux.HandleFunc("GET /session/{id}/log", rt.handleSessionProxy)
+	mux.HandleFunc("DELETE /session/{id}", rt.handleSessionProxy)
 	mux.HandleFunc("/register", rt.handleRegister)
 	mux.HandleFunc("/ring", rt.handleRing)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -251,19 +261,19 @@ func (rt *Router) handleSolve(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "no workers available", http.StatusServiceUnavailable)
 		return
 	}
-	rt.forward(w, r, owner, body)
+	rt.forward(w, r, owner, "/solve", body)
 }
 
-// forward replays the validated body against the owner, passing the
-// query string (so ?stream=1 streams end to end) and relaying status,
-// Content-Type, and Retry-After untouched — a shed worker's 429 must
-// reach the client with its backoff intact.
-func (rt *Router) forward(w http.ResponseWriter, r *http.Request, owner string, body []byte) {
-	target := owner + "/solve"
+// forward replays the validated body against the owner at path, passing
+// the method and query string (so ?stream=1 streams end to end) and
+// relaying status, Content-Type, and Retry-After untouched — a shed
+// worker's 429 must reach the client with its backoff intact.
+func (rt *Router) forward(w http.ResponseWriter, r *http.Request, owner, path string, body []byte) {
+	target := owner + path
 	if r.URL.RawQuery != "" {
 		target += "?" + r.URL.RawQuery
 	}
-	freq, err := http.NewRequestWithContext(r.Context(), http.MethodPost, target, bytes.NewReader(body))
+	freq, err := http.NewRequestWithContext(r.Context(), r.Method, target, bytes.NewReader(body))
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return

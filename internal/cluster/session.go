@@ -1,0 +1,514 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/mqopt"
+)
+
+// Session endpoints. A session is a long-lived incremental solve: POST
+// /session creates it from an initial delta (or a full event log — the
+// eviction-recovery path), POST /session/{id}/delta streams workload
+// changes into it, and every epoch warm-starts from the previous
+// incumbent. Session IDs are deterministic — hex16(initial problem
+// fingerprint) + "-" + hex8(hash of config, initial delta, and client
+// name) — so the router can derive the ring key from the ID alone, and
+// re-creating an evicted session from its log yields the same ID on
+// whatever node now owns that fingerprint.
+
+// SessionCreateRequest is the POST /session schema. Exactly one of
+// Delta (a fresh session: the initial workload, epoch 0) or Log (a full
+// NDJSON event log to replay — re-creating an evicted session) must be
+// set; Config is ignored when Log carries its own header.
+type SessionCreateRequest struct {
+	Config *mqopt.SessionConfig `json:"config,omitempty"`
+	// Name distinguishes sessions with identical config and initial
+	// delta; it feeds the ID hash, nothing else.
+	Name  string              `json:"name,omitempty"`
+	Delta *mqopt.SessionDelta `json:"delta,omitempty"`
+	Log   string              `json:"log,omitempty"`
+}
+
+// SessionDeltaRequest is the POST /session/{id}/delta schema.
+type SessionDeltaRequest struct {
+	Delta *mqopt.SessionDelta `json:"delta"`
+}
+
+// SessionResponse summarizes a session: the create reply and the GET
+// /session/{id} body. Fingerprint is the CURRENT problem fingerprint
+// (hex); the ID prefix keeps the initial one.
+type SessionResponse struct {
+	ID          string              `json:"id"`
+	Fingerprint string              `json:"fingerprint"`
+	Cost        float64             `json:"cost"`
+	Epochs      int                 `json:"epochs"`
+	Queries     int                 `json:"queries"`
+	Epoch       *mqopt.SessionEpoch `json:"epoch,omitempty"`
+}
+
+// SessionEpochResponse is the non-streamed POST /session/{id}/delta
+// reply.
+type SessionEpochResponse struct {
+	ID    string              `json:"id"`
+	Epoch *mqopt.SessionEpoch `json:"epoch"`
+}
+
+// SessionIncumbentJSON is one epoch-tagged anytime improvement on the
+// wire. ElapsedNS is cumulative modeled annealer time within the epoch,
+// so streamed lines are part of the byte-identical replay contract.
+type SessionIncumbentJSON struct {
+	Epoch     int     `json:"epoch"`
+	ElapsedNS int64   `json:"elapsed_ns"`
+	Cost      float64 `json:"cost"`
+}
+
+// SessionStreamLine is one NDJSON line of a streamed session request
+// (?stream=1): incumbent lines as epochs improve, one epoch line per
+// applied delta, then exactly one terminal session or error line.
+type SessionStreamLine struct {
+	Incumbent *SessionIncumbentJSON `json:"incumbent,omitempty"`
+	Epoch     *mqopt.SessionEpoch   `json:"epoch,omitempty"`
+	Session   *SessionResponse      `json:"session,omitempty"`
+	Error     string                `json:"error,omitempty"`
+}
+
+// SessionID derives the deterministic session identifier for a config,
+// initial delta, and client name. The hex16 prefix is the initial
+// problem fingerprint — the ring key — and the hex8 suffix
+// disambiguates sessions sharing an initial instance.
+func SessionID(cfg mqopt.SessionConfig, init mqopt.SessionDelta, name string) (string, error) {
+	fp, err := mqopt.SessionInitFingerprint(init)
+	if err != nil {
+		return "", err
+	}
+	h := fnv.New64a()
+	cb, err := json.Marshal(cfg)
+	if err != nil {
+		return "", err
+	}
+	db, err := json.Marshal(init)
+	if err != nil {
+		return "", err
+	}
+	h.Write(cb)
+	h.Write([]byte{0})
+	h.Write(db)
+	h.Write([]byte{0})
+	h.Write([]byte(name))
+	return fmt.Sprintf("%016x-%08x", fp, uint32(h.Sum64())), nil
+}
+
+// SessionFP extracts the ring key (the initial problem fingerprint)
+// from a session ID.
+func SessionFP(id string) (uint64, error) {
+	pre, _, ok := strings.Cut(id, "-")
+	if !ok || len(pre) != 16 {
+		return 0, fmt.Errorf("cluster: malformed session id %q", id)
+	}
+	fp, err := strconv.ParseUint(pre, 16, 64)
+	if err != nil {
+		return 0, fmt.Errorf("cluster: malformed session id %q", id)
+	}
+	return fp, nil
+}
+
+// decodeSessionBody reads a bounded request body and strictly decodes
+// it into v (unknown fields and trailing data rejected), returning the
+// raw bytes for router forwarding. Errors are *HTTPError.
+func decodeSessionBody(w http.ResponseWriter, r *http.Request, maxBytes int64, v any) ([]byte, error) {
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxBody
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBytes))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return nil, httpErrorf(http.StatusRequestEntityTooLarge,
+				"request body exceeds %d bytes", maxBytes)
+		}
+		return nil, httpErrorf(http.StatusBadRequest, "reading request: %v", err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return nil, httpErrorf(http.StatusBadRequest, "decoding request: %v", err)
+	}
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return nil, httpErrorf(http.StatusBadRequest, "trailing data after the JSON request body")
+	}
+	return body, nil
+}
+
+// resolveCreate normalizes a create request into the session config and
+// full delta sequence to apply (one delta for a fresh session, the
+// whole history for a log replay).
+func resolveCreate(req *SessionCreateRequest) (mqopt.SessionConfig, []mqopt.SessionDelta, error) {
+	switch {
+	case req.Delta != nil && req.Log != "":
+		return mqopt.SessionConfig{}, nil, httpErrorf(http.StatusBadRequest, "delta and log are mutually exclusive")
+	case req.Delta != nil:
+		var cfg mqopt.SessionConfig
+		if req.Config != nil {
+			cfg = *req.Config
+		}
+		return cfg, []mqopt.SessionDelta{*req.Delta}, nil
+	case req.Log != "":
+		cfg, deltas, err := mqopt.ReadSessionLog(strings.NewReader(req.Log))
+		if err != nil {
+			return mqopt.SessionConfig{}, nil, httpErrorf(http.StatusBadRequest, "%v", err)
+		}
+		if len(deltas) == 0 {
+			return mqopt.SessionConfig{}, nil, httpErrorf(http.StatusBadRequest, "log has no deltas")
+		}
+		return cfg, deltas, nil
+	default:
+		return mqopt.SessionConfig{}, nil, httpErrorf(http.StatusBadRequest, "request has no delta or log")
+	}
+}
+
+// liveSession is one resident session; mu serializes its Applys.
+type liveSession struct {
+	mu sync.Mutex
+	s  *mqopt.Session
+}
+
+func (n *Node) sessionSummary(id string, s *mqopt.Session, ep *mqopt.SessionEpoch) SessionResponse {
+	return SessionResponse{
+		ID:          id,
+		Fingerprint: fmt.Sprintf("%016x", s.Fingerprint()),
+		Cost:        s.Cost(),
+		Epochs:      s.Epochs(),
+		Queries:     len(s.QueryIDs()),
+		Epoch:       ep,
+	}
+}
+
+// handleSessionCreate builds a session, applies its delta sequence, and
+// registers it. A failed apply registers nothing; an ID collision
+// returns 409 with the resident session's summary so the client can
+// adopt it (the ID is deterministic, so a collision IS the session the
+// client asked for unless it chose a colliding name on purpose).
+func (n *Node) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	release, err := n.adm.Acquire(r.Context())
+	if err != nil {
+		if errors.Is(err, ErrOverloaded) {
+			w.Header().Set("Retry-After", retryAfterSeconds(n.adm.RetryAfter()))
+			http.Error(w, "node at capacity", http.StatusTooManyRequests)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusRequestTimeout)
+		return
+	}
+	defer release()
+
+	var req SessionCreateRequest
+	if _, err := decodeSessionBody(w, r, n.cfg.MaxBody, &req); err != nil {
+		writeHTTPError(w, err)
+		return
+	}
+	cfg, deltas, err := resolveCreate(&req)
+	if err != nil {
+		writeHTTPError(w, err)
+		return
+	}
+	id, err := SessionID(cfg, deltas[0], req.Name)
+	if err != nil {
+		writeHTTPError(w, httpErrorf(http.StatusBadRequest, "%v", err))
+		return
+	}
+
+	n.sessMu.Lock()
+	if live, ok := n.sessions[id]; ok {
+		n.sessMu.Unlock()
+		live.mu.Lock()
+		resp := n.sessionSummary(id, live.s, nil)
+		live.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusConflict)
+		json.NewEncoder(w).Encode(resp)
+		return
+	}
+	n.sessMu.Unlock()
+
+	s := mqopt.NewSession(cfg)
+	s.SetParallelism(n.cfg.SessionParallelism)
+	if r.URL.Query().Get("stream") == "1" {
+		n.sessionCreateStream(w, r, id, s, deltas)
+		return
+	}
+	var last *mqopt.SessionEpoch
+	for i, d := range deltas {
+		ep, err := s.Apply(r.Context(), d)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("applying delta %d: %v", i, err), sessionErrorStatus(err))
+			return
+		}
+		last = ep
+	}
+	n.storeSession(id, s)
+	writeJSON(w, n.sessionSummary(id, s, last))
+}
+
+// sessionCreateStream is the ?stream=1 create path: epoch-tagged
+// incumbent lines as they happen, one epoch line per applied delta,
+// then a terminal session (or error) line.
+func (n *Node) sessionCreateStream(w http.ResponseWriter, r *http.Request, id string, s *mqopt.Session, deltas []mqopt.SessionDelta) {
+	stream := newSessionStream(w)
+	s.OnImprovement(func(epoch int, in mqopt.Incumbent) {
+		stream.write(SessionStreamLine{Incumbent: &SessionIncumbentJSON{
+			Epoch: epoch, ElapsedNS: int64(in.Elapsed), Cost: in.Cost,
+		}})
+	})
+	for i, d := range deltas {
+		ep, err := s.Apply(r.Context(), d)
+		if err != nil {
+			stream.write(SessionStreamLine{Error: fmt.Sprintf("applying delta %d: %v", i, err)})
+			return
+		}
+		stream.write(SessionStreamLine{Epoch: ep})
+	}
+	s.OnImprovement(nil)
+	n.storeSession(id, s)
+	resp := n.sessionSummary(id, s, nil)
+	stream.write(SessionStreamLine{Session: &resp})
+}
+
+func (n *Node) storeSession(id string, s *mqopt.Session) {
+	n.sessMu.Lock()
+	n.sessions[id] = &liveSession{s: s}
+	n.sessMu.Unlock()
+}
+
+func (n *Node) lookupSession(id string) *liveSession {
+	n.sessMu.Lock()
+	defer n.sessMu.Unlock()
+	return n.sessions[id]
+}
+
+// handleSessionDelta applies one delta to a resident session. An
+// unknown ID is a 404 — after an eviction or owner change, that status
+// is the client's cue to re-create the session from its event log.
+func (n *Node) handleSessionDelta(w http.ResponseWriter, r *http.Request) {
+	release, err := n.adm.Acquire(r.Context())
+	if err != nil {
+		if errors.Is(err, ErrOverloaded) {
+			w.Header().Set("Retry-After", retryAfterSeconds(n.adm.RetryAfter()))
+			http.Error(w, "node at capacity", http.StatusTooManyRequests)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusRequestTimeout)
+		return
+	}
+	defer release()
+
+	id := r.PathValue("id")
+	live := n.lookupSession(id)
+	if live == nil {
+		http.Error(w, fmt.Sprintf("no session %s (re-create it from its event log)", id), http.StatusNotFound)
+		return
+	}
+	var req SessionDeltaRequest
+	if _, err := decodeSessionBody(w, r, n.cfg.MaxBody, &req); err != nil {
+		writeHTTPError(w, err)
+		return
+	}
+	if req.Delta == nil {
+		http.Error(w, "request has no delta", http.StatusBadRequest)
+		return
+	}
+
+	live.mu.Lock()
+	defer live.mu.Unlock()
+	if r.URL.Query().Get("stream") == "1" {
+		stream := newSessionStream(w)
+		live.s.OnImprovement(func(epoch int, in mqopt.Incumbent) {
+			stream.write(SessionStreamLine{Incumbent: &SessionIncumbentJSON{
+				Epoch: epoch, ElapsedNS: int64(in.Elapsed), Cost: in.Cost,
+			}})
+		})
+		ep, err := live.s.Apply(r.Context(), *req.Delta)
+		live.s.OnImprovement(nil)
+		if err != nil {
+			stream.write(SessionStreamLine{Error: err.Error()})
+			return
+		}
+		stream.write(SessionStreamLine{Epoch: ep})
+		return
+	}
+	ep, err := live.s.Apply(r.Context(), *req.Delta)
+	if err != nil {
+		http.Error(w, err.Error(), sessionErrorStatus(err))
+		return
+	}
+	writeJSON(w, SessionEpochResponse{ID: id, Epoch: ep})
+}
+
+// handleSessionGet reports a resident session's summary.
+func (n *Node) handleSessionGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	live := n.lookupSession(id)
+	if live == nil {
+		http.Error(w, fmt.Sprintf("no session %s", id), http.StatusNotFound)
+		return
+	}
+	live.mu.Lock()
+	resp := n.sessionSummary(id, live.s, nil)
+	live.mu.Unlock()
+	writeJSON(w, resp)
+}
+
+// handleSessionLog serves the session's NDJSON event log — everything a
+// client needs to re-create it elsewhere, byte-identically.
+func (n *Node) handleSessionLog(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	live := n.lookupSession(id)
+	if live == nil {
+		http.Error(w, fmt.Sprintf("no session %s", id), http.StatusNotFound)
+		return
+	}
+	live.mu.Lock()
+	var buf bytes.Buffer
+	err := live.s.WriteLog(&buf)
+	live.mu.Unlock()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Write(buf.Bytes())
+}
+
+// handleSessionDelete evicts a session.
+func (n *Node) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	n.sessMu.Lock()
+	_, ok := n.sessions[id]
+	delete(n.sessions, id)
+	n.sessMu.Unlock()
+	if !ok {
+		http.Error(w, fmt.Sprintf("no session %s", id), http.StatusNotFound)
+		return
+	}
+	writeJSON(w, map[string]any{"ok": true, "id": id})
+}
+
+// handleSessionList reports resident session IDs (diagnostics).
+func (n *Node) handleSessionList(w http.ResponseWriter, r *http.Request) {
+	n.sessMu.Lock()
+	ids := make([]string, 0, len(n.sessions))
+	for id := range n.sessions {
+		ids = append(ids, id)
+	}
+	n.sessMu.Unlock()
+	sort.Strings(ids)
+	writeJSON(w, map[string]any{"sessions": ids})
+}
+
+// sessionErrorStatus maps a Session.Apply error to an HTTP status: a
+// cancelled client is request-timeout bookkeeping, everything else is
+// the client's delta (the session rolls back either way).
+func sessionErrorStatus(err error) int {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return http.StatusRequestTimeout
+	}
+	return http.StatusBadRequest
+}
+
+// sessionStream serializes NDJSON stream lines; the improvement
+// callback fires on solver goroutines while terminal lines come from
+// the handler's.
+type sessionStream struct {
+	mu      sync.Mutex
+	enc     *json.Encoder
+	flusher http.Flusher
+}
+
+func newSessionStream(w http.ResponseWriter) *sessionStream {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	return &sessionStream{enc: json.NewEncoder(w), flusher: flusher}
+}
+
+func (st *sessionStream) write(line SessionStreamLine) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.enc.Encode(line) == nil && st.flusher != nil {
+		st.flusher.Flush()
+	}
+}
+
+// ---- router side ----
+
+// handleSessionCreateProxy routes POST /session: it derives the session
+// ID (whose prefix is the ring key) from the validated body and
+// forwards the raw bytes to the owner.
+func (rt *Router) handleSessionCreateProxy(w http.ResponseWriter, r *http.Request) {
+	var req SessionCreateRequest
+	body, err := decodeSessionBody(w, r, rt.cfg.MaxBody, &req)
+	if err != nil {
+		writeHTTPError(w, err)
+		return
+	}
+	cfg, deltas, err := resolveCreate(&req)
+	if err != nil {
+		writeHTTPError(w, err)
+		return
+	}
+	id, err := SessionID(cfg, deltas[0], req.Name)
+	if err != nil {
+		writeHTTPError(w, httpErrorf(http.StatusBadRequest, "%v", err))
+		return
+	}
+	fp, _ := SessionFP(id)
+	owner, ok := rt.Ring().Owner(fp)
+	if !ok {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "no workers available", http.StatusServiceUnavailable)
+		return
+	}
+	rt.forward(w, r, owner, "/session", body)
+}
+
+// handleSessionProxy routes every /session/{id}... request by the ring
+// key embedded in the ID. If membership changed since the session was
+// created, the request lands on the NEW owner, whose 404 tells the
+// client to re-create the session there from its event log.
+func (rt *Router) handleSessionProxy(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	fp, err := SessionFP(id)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	owner, ok := rt.Ring().Owner(fp)
+	if !ok {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "no workers available", http.StatusServiceUnavailable)
+		return
+	}
+	var body []byte
+	if r.Method == http.MethodPost {
+		if body, err = io.ReadAll(http.MaxBytesReader(w, r.Body, rt.cfg.MaxBody)); err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				http.Error(w, fmt.Sprintf("request body exceeds %d bytes", rt.cfg.MaxBody), http.StatusRequestEntityTooLarge)
+				return
+			}
+			http.Error(w, fmt.Sprintf("reading request: %v", err), http.StatusBadRequest)
+			return
+		}
+	}
+	rt.forward(w, r, owner, r.URL.Path, body)
+}

@@ -1,0 +1,454 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/mqopt"
+)
+
+const sessionInitDelta = `{"add_queries":[` +
+	`{"id":"q1","costs":[2,4]},{"id":"q2","costs":[3,1]},{"id":"q3","costs":[2,2]},` +
+	`{"id":"q4","costs":[4,3]},{"id":"q5","costs":[1,5]},{"id":"q6","costs":[3,2]}],` +
+	`"add_savings":[` +
+	`{"q1":"q1","p1":0,"q2":"q2","p2":0,"value":3},{"q1":"q2","p1":1,"q2":"q3","p2":0,"value":2},` +
+	`{"q1":"q3","p1":0,"q2":"q4","p2":1,"value":3},{"q1":"q4","p1":0,"q2":"q5","p2":0,"value":2},` +
+	`{"q1":"q5","p1":1,"q2":"q6","p2":0,"value":4}]}`
+
+func sessionCreateBody(name string) []byte {
+	return []byte(`{"config":{"seed":7,"window_queries":4,"max_sweeps":2,"runs":16},"name":"` +
+		name + `","delta":` + sessionInitDelta + `}`)
+}
+
+func doJSON(t *testing.T, method, url string, body []byte) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("%s %s: %v", method, url, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("%s %s: reading body: %v", method, url, err)
+	}
+	return resp, raw
+}
+
+func TestSessionIDDeterministicAndParsable(t *testing.T) {
+	var init mqopt.SessionDelta
+	if err := json.Unmarshal([]byte(sessionInitDelta), &init); err != nil {
+		t.Fatal(err)
+	}
+	cfg := mqopt.SessionConfig{Seed: 7, WindowQueries: 4}
+	a, err := SessionID(cfg, init, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SessionID(cfg, init, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("SessionID is not deterministic: %s vs %s", a, b)
+	}
+	c, _ := SessionID(cfg, init, "bob")
+	if c == a {
+		t.Fatal("different names produced the same session ID")
+	}
+	if !strings.HasPrefix(c, a[:17]) {
+		t.Fatalf("same initial instance must share the fp prefix: %s vs %s", a, c)
+	}
+	fp, err := SessionFP(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFP, err := mqopt.SessionInitFingerprint(init)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp != wantFP {
+		t.Fatalf("SessionFP(%s) = %x, want the initial fingerprint %x", a, fp, wantFP)
+	}
+	for _, bad := range []string{"", "zzz", "123-abc", strings.Repeat("0", 16)} {
+		if _, err := SessionFP(bad); err == nil {
+			t.Errorf("SessionFP(%q): want error", bad)
+		}
+	}
+}
+
+func TestNodeSessionLifecycle(t *testing.T) {
+	svc := newTestService(t, mqopt.WithParallelism(1))
+	_, srv := newTestWorker(t, svc, 2, 4, 0)
+
+	resp, raw := doJSON(t, http.MethodPost, srv.URL+"/session", sessionCreateBody("life"))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("create: %d %s", resp.StatusCode, raw)
+	}
+	var created SessionResponse
+	if err := json.Unmarshal(raw, &created); err != nil {
+		t.Fatal(err)
+	}
+	if created.ID == "" || created.Epochs != 1 || created.Queries != 6 || created.Epoch == nil {
+		t.Fatalf("create response: %s", raw)
+	}
+
+	// Duplicate create: 409 with the resident summary.
+	resp, raw = doJSON(t, http.MethodPost, srv.URL+"/session", sessionCreateBody("life"))
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate create: %d %s", resp.StatusCode, raw)
+	}
+
+	// Apply a delta: a query arrives.
+	resp, raw = doJSON(t, http.MethodPost, srv.URL+"/session/"+created.ID+"/delta",
+		[]byte(`{"delta":{"add_queries":[{"id":"q7","costs":[5,1]}],"add_savings":[{"q1":"q6","p1":1,"q2":"q7","p2":0,"value":2}]}}`))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delta: %d %s", resp.StatusCode, raw)
+	}
+	var epResp SessionEpochResponse
+	if err := json.Unmarshal(raw, &epResp); err != nil {
+		t.Fatal(err)
+	}
+	if epResp.Epoch == nil || epResp.Epoch.Epoch != 1 || epResp.Epoch.Dirty != 2 {
+		t.Fatalf("delta epoch: %s", raw)
+	}
+	if epResp.Epoch.WindowsSkipped == 0 {
+		t.Error("delta epoch skipped no windows; warm solving is not incremental")
+	}
+
+	// Summary reflects the new state.
+	resp, raw = doJSON(t, http.MethodGet, srv.URL+"/session/"+created.ID, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("get: %d %s", resp.StatusCode, raw)
+	}
+	var got SessionResponse
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Epochs != 2 || got.Queries != 7 {
+		t.Fatalf("summary after delta: %s", raw)
+	}
+
+	// The served event log replays to the same state offline.
+	resp, raw = doJSON(t, http.MethodGet, srv.URL+"/session/"+created.ID+"/log", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("log: %d %s", resp.StatusCode, raw)
+	}
+	replayed, _, err := mqopt.ReplaySession(context.Background(), bytes.NewReader(raw), 2, nil)
+	if err != nil {
+		t.Fatalf("replaying served log: %v", err)
+	}
+	wantFP := fmt.Sprintf("%016x", replayed.Fingerprint())
+	if got.Fingerprint != wantFP || got.Cost != replayed.Cost() {
+		t.Fatalf("served state (%s, %v) diverges from log replay (%s, %v)",
+			got.Fingerprint, got.Cost, wantFP, replayed.Cost())
+	}
+
+	// Evict; the session is gone.
+	if resp, raw = doJSON(t, http.MethodDelete, srv.URL+"/session/"+created.ID, nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete: %d %s", resp.StatusCode, raw)
+	}
+	if resp, _ = doJSON(t, http.MethodGet, srv.URL+"/session/"+created.ID, nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("get after delete: %d, want 404", resp.StatusCode)
+	}
+	if resp, _ = doJSON(t, http.MethodDelete, srv.URL+"/session/"+created.ID, nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("double delete: %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestNodeSessionStreaming(t *testing.T) {
+	svc := newTestService(t, mqopt.WithParallelism(1))
+	_, srv := newTestWorker(t, svc, 2, 4, 0)
+
+	resp, raw := doJSON(t, http.MethodPost, srv.URL+"/session?stream=1", sessionCreateBody("stream"))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("streamed create: %d %s", resp.StatusCode, raw)
+	}
+	var (
+		incumbents, epochs int
+		terminal           *SessionStreamLine
+	)
+	for _, line := range strings.Split(strings.TrimSpace(string(raw)), "\n") {
+		var sl SessionStreamLine
+		if err := json.Unmarshal([]byte(line), &sl); err != nil {
+			t.Fatalf("bad stream line %q: %v", line, err)
+		}
+		switch {
+		case sl.Incumbent != nil:
+			incumbents++
+			if terminal != nil {
+				t.Fatal("incumbent line after the terminal line")
+			}
+		case sl.Epoch != nil:
+			epochs++
+		default:
+			cp := sl
+			terminal = &cp
+		}
+	}
+	if incumbents == 0 || epochs != 1 || terminal == nil || terminal.Session == nil {
+		t.Fatalf("stream shape: %d incumbents, %d epochs, terminal %+v", incumbents, epochs, terminal)
+	}
+
+	// Streamed delta: incumbent lines then one epoch line.
+	id := terminal.Session.ID
+	resp, raw = doJSON(t, http.MethodPost, srv.URL+"/session/"+id+"/delta?stream=1",
+		[]byte(`{"delta":{"update_costs":[{"id":"q1","costs":[0,9]}]}}`))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("streamed delta: %d %s", resp.StatusCode, raw)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	var last SessionStreamLine
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &last); err != nil {
+		t.Fatal(err)
+	}
+	if last.Epoch == nil || last.Epoch.Epoch != 1 {
+		t.Fatalf("streamed delta terminal line: %s", lines[len(lines)-1])
+	}
+}
+
+func TestNodeSessionRejectsBadRequests(t *testing.T) {
+	svc := newTestService(t, mqopt.WithParallelism(1))
+	_, srv := newTestWorker(t, svc, 2, 4, 0)
+
+	cases := []struct {
+		name   string
+		method string
+		path   string
+		body   string
+		want   int
+	}{
+		{"create not json", http.MethodPost, "/session", "nope", http.StatusBadRequest},
+		{"create unknown field", http.MethodPost, "/session", `{"deltas":{}}`, http.StatusBadRequest},
+		{"create no delta or log", http.MethodPost, "/session", `{"config":{"seed":1}}`, http.StatusBadRequest},
+		{"create delta and log", http.MethodPost, "/session", `{"delta":` + sessionInitDelta + `,"log":"x"}`, http.StatusBadRequest},
+		{"create bad log", http.MethodPost, "/session", `{"log":"not ndjson"}`, http.StatusBadRequest},
+		{"create invalid delta", http.MethodPost, "/session", `{"delta":{"remove_queries":["ghost"]}}`, http.StatusBadRequest},
+		{"delta unknown session", http.MethodPost, "/session/0000000000000000-00000000/delta", `{"delta":{}}`, http.StatusNotFound},
+		{"get unknown session", http.MethodGet, "/session/0000000000000000-00000000", "", http.StatusNotFound},
+		{"log unknown session", http.MethodGet, "/session/0000000000000000-00000000/log", "", http.StatusNotFound},
+	}
+	for _, tc := range cases {
+		resp, raw := doJSON(t, tc.method, srv.URL+tc.path, []byte(tc.body))
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: %d (%s), want %d", tc.name, resp.StatusCode, raw, tc.want)
+		}
+	}
+
+	// An invalid delta 400s and leaves the session untouched.
+	resp, raw := doJSON(t, http.MethodPost, srv.URL+"/session", sessionCreateBody("bad"))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("create: %d %s", resp.StatusCode, raw)
+	}
+	var created SessionResponse
+	if err := json.Unmarshal(raw, &created); err != nil {
+		t.Fatal(err)
+	}
+	resp, _ = doJSON(t, http.MethodPost, srv.URL+"/session/"+created.ID+"/delta",
+		[]byte(`{"delta":{"remove_queries":["ghost"]}}`))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid delta: %d, want 400", resp.StatusCode)
+	}
+	_, raw = doJSON(t, http.MethodGet, srv.URL+"/session/"+created.ID, nil)
+	var after SessionResponse
+	if err := json.Unmarshal(raw, &after); err != nil {
+		t.Fatal(err)
+	}
+	if after.Epochs != created.Epochs || after.Fingerprint != created.Fingerprint {
+		t.Fatal("a rejected delta mutated the session")
+	}
+}
+
+// TestRouterSessionAffinity: every request for one session ID lands on
+// the same worker — the one owning the ID's fingerprint prefix.
+func TestRouterSessionAffinity(t *testing.T) {
+	var workerURLs []string
+	for i := 0; i < 3; i++ {
+		svc := newTestService(t, mqopt.WithParallelism(1))
+		_, srv := newTestWorker(t, svc, 2, 4, 0)
+		workerURLs = append(workerURLs, srv.URL)
+	}
+	rt := NewRouter(RouterConfig{Peers: workerURLs})
+	routerSrv := httptest.NewServer(rt.Handler())
+	defer routerSrv.Close()
+
+	resp, raw := doJSON(t, http.MethodPost, routerSrv.URL+"/session", sessionCreateBody("affinity"))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("routed create: %d %s", resp.StatusCode, raw)
+	}
+	var created SessionResponse
+	if err := json.Unmarshal(raw, &created); err != nil {
+		t.Fatal(err)
+	}
+	fp, err := SessionFP(created.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner, _ := rt.Ring().Owner(fp)
+
+	// The session is resident exactly on the ring owner.
+	for _, u := range workerURLs {
+		_, raw := doJSON(t, http.MethodGet, u+"/sessions", nil)
+		var list struct {
+			Sessions []string `json:"sessions"`
+		}
+		if err := json.Unmarshal(raw, &list); err != nil {
+			t.Fatal(err)
+		}
+		has := len(list.Sessions) == 1 && list.Sessions[0] == created.ID
+		if has != (u == owner) {
+			t.Fatalf("worker %s residency %v, owner is %s", u, list.Sessions, owner)
+		}
+	}
+
+	// Deltas and reads through the router reach the same session.
+	for i, body := range []string{
+		`{"delta":{"add_queries":[{"id":"q7","costs":[5,1]}]}}`,
+		`{"delta":{"remove_queries":["q2"]}}`,
+	} {
+		resp, raw := doJSON(t, http.MethodPost, routerSrv.URL+"/session/"+created.ID+"/delta", []byte(body))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("routed delta %d: %d %s", i, resp.StatusCode, raw)
+		}
+	}
+	_, raw = doJSON(t, http.MethodGet, routerSrv.URL+"/session/"+created.ID, nil)
+	var got SessionResponse
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Epochs != 3 || got.Queries != 6 {
+		t.Fatalf("routed summary: %s", raw)
+	}
+}
+
+// TestRouterSessionEvictionRecreate is the node-loss story: the owner
+// dies, the new owner 404s the next delta, and the client re-creates
+// the session from its own event log — landing on the new owner with
+// the SAME deterministic ID and byte-identical replayed state.
+func TestRouterSessionEvictionRecreate(t *testing.T) {
+	type worker struct {
+		srv *httptest.Server
+	}
+	var workers []worker
+	for i := 0; i < 2; i++ {
+		svc := newTestService(t, mqopt.WithParallelism(1))
+		_, srv := newTestWorker(t, svc, 2, 4, 0)
+		workers = append(workers, worker{srv: srv})
+	}
+	rt := NewRouter(RouterConfig{Peers: []string{workers[0].srv.URL, workers[1].srv.URL}})
+	routerSrv := httptest.NewServer(rt.Handler())
+	defer routerSrv.Close()
+
+	// The client mirrors its own event log — the recovery capital.
+	var clientLog bytes.Buffer
+	cfg := mqopt.SessionConfig{Seed: 7, WindowQueries: 4, MaxSweeps: 2, Runs: 16}
+	if err := mqopt.WriteSessionHeader(&clientLog, cfg); err != nil {
+		t.Fatal(err)
+	}
+	var init mqopt.SessionDelta
+	if err := json.Unmarshal([]byte(sessionInitDelta), &init); err != nil {
+		t.Fatal(err)
+	}
+	if err := mqopt.WriteSessionDelta(&clientLog, init); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, raw := doJSON(t, http.MethodPost, routerSrv.URL+"/session", sessionCreateBody("evict"))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("create: %d %s", resp.StatusCode, raw)
+	}
+	var created SessionResponse
+	if err := json.Unmarshal(raw, &created); err != nil {
+		t.Fatal(err)
+	}
+	delta1 := `{"add_queries":[{"id":"q7","costs":[5,1]}],"add_savings":[{"q1":"q6","p1":1,"q2":"q7","p2":0,"value":2}]}`
+	resp, raw = doJSON(t, http.MethodPost, routerSrv.URL+"/session/"+created.ID+"/delta",
+		[]byte(`{"delta":`+delta1+`}`))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delta: %d %s", resp.StatusCode, raw)
+	}
+	var d1 mqopt.SessionDelta
+	if err := json.Unmarshal([]byte(delta1), &d1); err != nil {
+		t.Fatal(err)
+	}
+	if err := mqopt.WriteSessionDelta(&clientLog, d1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the owner; the health sweep reroutes its fingerprints.
+	fp, _ := SessionFP(created.ID)
+	owner, _ := rt.Ring().Owner(fp)
+	for _, wk := range workers {
+		if wk.srv.URL == owner {
+			wk.srv.Close()
+		}
+	}
+	rt.CheckNow(context.Background())
+	newOwner, ok := rt.Ring().Owner(fp)
+	if !ok || newOwner == owner {
+		t.Fatalf("ring still routes %x to the dead owner", fp)
+	}
+
+	// The new owner has no such session: 404 is the re-create cue.
+	resp, _ = doJSON(t, http.MethodPost, routerSrv.URL+"/session/"+created.ID+"/delta",
+		[]byte(`{"delta":{"remove_queries":["q2"]}}`))
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("delta after node loss: %d, want 404", resp.StatusCode)
+	}
+
+	// Re-create from the client's log: same ID, state replayed.
+	createBody, err := json.Marshal(SessionCreateRequest{Name: "evict", Log: clientLog.String()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, raw = doJSON(t, http.MethodPost, routerSrv.URL+"/session", createBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("re-create: %d %s", resp.StatusCode, raw)
+	}
+	var recreated SessionResponse
+	if err := json.Unmarshal(raw, &recreated); err != nil {
+		t.Fatal(err)
+	}
+	if recreated.ID != created.ID {
+		t.Fatalf("re-created session ID %s, want the original %s", recreated.ID, created.ID)
+	}
+	if recreated.Epochs != 2 {
+		t.Fatalf("re-created session has %d epochs, want 2", recreated.Epochs)
+	}
+	want, _, err := mqopt.ReplaySession(context.Background(), bytes.NewReader(clientLog.Bytes()), 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recreated.Fingerprint != fmt.Sprintf("%016x", want.Fingerprint()) || recreated.Cost != want.Cost() {
+		t.Fatalf("re-created state (%s, %v) diverges from offline replay (%016x, %v)",
+			recreated.Fingerprint, recreated.Cost, want.Fingerprint(), want.Cost())
+	}
+
+	// And the interrupted delta now applies.
+	resp, raw = doJSON(t, http.MethodPost, routerSrv.URL+"/session/"+created.ID+"/delta",
+		[]byte(`{"delta":{"remove_queries":["q2"]}}`))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delta after re-create: %d %s", resp.StatusCode, raw)
+	}
+}
+
+func TestRouterSessionBadID(t *testing.T) {
+	rt := NewRouter(RouterConfig{Peers: []string{"http://127.0.0.1:1"}})
+	routerSrv := httptest.NewServer(rt.Handler())
+	defer routerSrv.Close()
+	resp, _ := doJSON(t, http.MethodPost, routerSrv.URL+"/session/not-a-real-id/delta", []byte(`{"delta":{}}`))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad session id: %d, want 400", resp.StatusCode)
+	}
+}

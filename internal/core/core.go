@@ -93,6 +93,13 @@ type Options struct {
 	// OnImprovement, if non-nil, observes every incumbent improvement as
 	// it is recorded into the result trace, in nonincreasing cost order.
 	OnImprovement func(trace.Point)
+	// WarmStart, when non-nil, must be a valid plan selection for the
+	// problem; every annealing run then starts from its chain-expanded
+	// packed spin state instead of a uniform draw (reverse annealing on
+	// hardware; anneal.WarmSampler on the surrogate). Samplers that
+	// cannot warm-start fall back to cold runs. The compile artifact —
+	// and therefore the cache key — is unaffected.
+	WarmStart mqo.Solution
 }
 
 func (o Options) withDefaults() Options {
@@ -240,6 +247,13 @@ func QuantumMQO(ctx context.Context, p *mqo.Problem, opt Options, seed int64) (*
 	}
 	device := dwave.NewDeviceFor(opt.Graph.Kind(), opt.Sampler)
 	device.DisableGauges = opt.DisableGauges
+	if opt.WarmStart != nil {
+		warm, werr := WarmWords(comp, p, opt.WarmStart)
+		if werr != nil {
+			return nil, werr
+		}
+		device.Warm = warm
+	}
 	batches := device.Batches(opt.Runs, seed)
 	original := comp.Program
 
@@ -331,6 +345,25 @@ func QuantumMQO(ctx context.Context, p *mqo.Problem, opt Options, seed int64) (*
 	res.Runs = performed
 	res.BrokenChainRate = float64(broken) / float64(performed)
 	return res, nil
+}
+
+// WarmWords encodes a valid MQO solution as the packed physical spin
+// state of the compiled artifact: plan selection → logical QUBO bits →
+// chain-consistent physical bits → packed spins in anneal's convention
+// (bit set ⇔ spin −1; ising.SpinsToBits maps x = (1+s)/2, so a set
+// logical bit is spin +1 and its word bit stays clear).
+func WarmWords(comp *Compiled, p *mqo.Problem, sol mqo.Solution) ([]uint64, error) {
+	if !p.Valid(sol) {
+		return nil, fmt.Errorf("core: warm-start solution is not a valid plan selection")
+	}
+	phys := comp.Phys.Embed(comp.Mapping.Encode(sol))
+	words := make([]uint64, anneal.WordsFor(len(phys)))
+	for i, on := range phys {
+		if !on {
+			words[i>>6] |= 1 << (uint(i) & 63)
+		}
+	}
+	return words, nil
 }
 
 // swapDescent runs first-improvement local search over single-query plan

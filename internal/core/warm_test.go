@@ -1,0 +1,72 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/anneal"
+	"repro/internal/mqo"
+)
+
+// TestWarmStartZeroSweepsDecodesWarmSolution pins the whole warm encode →
+// sample → decode loop: with a zero-sweep sampler every run reads out
+// exactly its warm initial state, so the solve must reproduce the warm
+// solution and its cost (post-processing can only improve on it, and the
+// warm state here is the optimum).
+func TestWarmStartZeroSweepsDecodesWarmSolution(t *testing.T) {
+	p := example1()
+	warm := mqo.Solution{1, 2} // optimal: cost 2
+	res, err := QuantumMQO(context.Background(), p, Options{
+		Runs:      50,
+		Sampler:   &anneal.SimulatedAnnealer{Sweeps: 0, BetaStart: 0.1, BetaEnd: 8},
+		WarmStart: warm,
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost != 2 || res.Solution[0] != 1 || res.Solution[1] != 2 {
+		t.Fatalf("warm zero-sweep solve = %v cost %v, want [1 2] cost 2", res.Solution, res.Cost)
+	}
+	if res.BrokenChainRate != 0 {
+		t.Errorf("warm chain-consistent state reported broken chains: %v", res.BrokenChainRate)
+	}
+}
+
+// TestWarmStartDeterministicAcrossParallelism extends the determinism
+// contract to warm solves.
+func TestWarmStartDeterministicAcrossParallelism(t *testing.T) {
+	p := example1()
+	run := func(parallelism int) *Result {
+		res, err := QuantumMQO(context.Background(), p, Options{
+			Runs:        200,
+			Parallelism: parallelism,
+			WarmStart:   mqo.Solution{0, 3},
+		}, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(1), run(4)
+	ap, bp := a.Trace.Points(), b.Trace.Points()
+	if a.Cost != b.Cost || len(ap) != len(bp) {
+		t.Fatalf("warm solve diverges across parallelism: cost %v/%v, trace %d/%d points",
+			a.Cost, b.Cost, len(ap), len(bp))
+	}
+	for i := range ap {
+		if ap[i] != bp[i] {
+			t.Fatalf("trace point %d diverges: %+v vs %+v", i, ap[i], bp[i])
+		}
+	}
+}
+
+// TestWarmStartRejectsInvalidSolution: an invalid warm selection is a
+// caller bug and must fail loudly, not silently run cold.
+func TestWarmStartRejectsInvalidSolution(t *testing.T) {
+	p := example1()
+	for _, warm := range []mqo.Solution{{1}, {1, 1}, {-1, 2}, {0, 4}} {
+		if _, err := QuantumMQO(context.Background(), p, Options{Runs: 10, WarmStart: warm}, 1); err == nil {
+			t.Errorf("warm start %v: want error, got nil", warm)
+		}
+	}
+}

@@ -41,11 +41,27 @@ type Options struct {
 	MaxSweeps int
 	// Core configures the per-window annealer pipeline.
 	Core core.Options
-	// OnImprovement, if non-nil, observes the greedy starting incumbent
-	// and every accepted window improvement as they happen, in strictly
-	// decreasing cost order. Point times are cumulative modeled annealer
-	// time across all windows solved so far.
+	// OnImprovement, if non-nil, observes the starting incumbent (greedy,
+	// or Warm when given) and every accepted window improvement as they
+	// happen, in strictly decreasing cost order. Point times are
+	// cumulative modeled annealer time across all windows solved so far.
 	OnImprovement func(trace.Point)
+	// Warm, when non-nil, must be a valid solution of the full instance;
+	// sweeps start from it instead of the greedy construction, and every
+	// window solve warm-starts the annealer from its own slice of the
+	// incumbent (core.Options.WarmStart). This is the delta-solving mode
+	// of long-lived sessions: the previous epoch's incumbent carries
+	// over. Leaving Warm nil reproduces the historical from-scratch
+	// behavior bit-for-bit.
+	Warm mqo.Solution
+	// Dirty, when non-nil, must hold one flag per query; only windows
+	// containing at least one dirty query are re-solved, and clean
+	// windows are skipped without charging modeled time. Requires Warm
+	// (skipping windows from a greedy start would just leave them
+	// unoptimized). Window seeds are positional over the SOLVED windows,
+	// so a given (instance, Warm, Dirty) triple is deterministic at any
+	// parallelism.
+	Dirty []bool
 }
 
 // Result of a decomposed solve.
@@ -54,6 +70,9 @@ type Result struct {
 	Cost     float64
 	// Windows is the number of sub-instances solved on the annealer.
 	Windows int
+	// WindowsSkipped counts windows left untouched by the Dirty
+	// restriction across all sweeps.
+	WindowsSkipped int
 	// Sweeps is the number of passes performed.
 	Sweeps int
 	// Runs is the total number of annealing runs across all windows.
@@ -110,8 +129,26 @@ func Solve(ctx context.Context, p *mqo.Problem, opt Options, seed int64) (*Resul
 		maxSweeps = 4
 	}
 
-	// Start from the greedy solution; windows only ever improve it.
-	sol := p.Repair(make(mqo.Solution, nq))
+	if opt.Dirty != nil {
+		if opt.Warm == nil {
+			return nil, fmt.Errorf("decompose: Dirty requires Warm")
+		}
+		if len(opt.Dirty) != nq {
+			return nil, fmt.Errorf("decompose: Dirty has %d flags for %d queries", len(opt.Dirty), nq)
+		}
+	}
+
+	// Start from the warm incumbent when given, the greedy solution
+	// otherwise; windows only ever improve it.
+	var sol mqo.Solution
+	if opt.Warm != nil {
+		if !p.Valid(opt.Warm) {
+			return nil, fmt.Errorf("decompose: warm solution is not a valid plan selection")
+		}
+		sol = append(mqo.Solution(nil), opt.Warm...)
+	} else {
+		sol = p.Repair(make(mqo.Solution, nq))
+	}
 	cost := p.CostOfSet(sol)
 	res := &Result{}
 	if opt.OnImprovement != nil {
@@ -129,7 +166,11 @@ func Solve(ctx context.Context, p *mqo.Problem, opt Options, seed int64) (*Resul
 			if b > nq {
 				b = nq
 			}
-			improved, runs, err := solveWindow(ctx, p, sol, a, b, opt.Core, splitmix.Split(seed, int64(res.Windows)))
+			if opt.Dirty != nil && !anyDirty(opt.Dirty, a, b) {
+				res.WindowsSkipped++
+				continue
+			}
+			improved, runs, err := solveWindow(ctx, p, sol, a, b, opt.Core, opt.Warm != nil, splitmix.Split(seed, int64(res.Windows)))
 			if err != nil {
 				return nil, err
 			}
@@ -160,6 +201,16 @@ func Solve(ctx context.Context, p *mqo.Problem, opt Options, seed int64) (*Resul
 	return res, nil
 }
 
+// anyDirty reports whether [a, b) contains a dirty query.
+func anyDirty(dirty []bool, a, b int) bool {
+	for q := a; q < b; q++ {
+		if dirty[q] {
+			return true
+		}
+	}
+	return false
+}
+
 // windowStarts enumerates window anchor positions, right-to-left on
 // reverse sweeps.
 func windowStarts(nq, window, step int, reverse bool) []int {
@@ -180,9 +231,10 @@ func windowStarts(nq, window, step int, reverse bool) []int {
 }
 
 // solveWindow extracts queries [a, b) into a sub-instance, folds savings
-// toward the frozen remainder into plan costs, solves it on the annealer,
+// toward the frozen remainder into plan costs, solves it on the annealer
+// (warm-starting from the incumbent's window slice when warm is set),
 // and writes the window's selection back when it improves the incumbent.
-func solveWindow(ctx context.Context, p *mqo.Problem, sol mqo.Solution, a, b int, opt core.Options, seed int64) (improved bool, runs int, err error) {
+func solveWindow(ctx context.Context, p *mqo.Problem, sol mqo.Solution, a, b int, opt core.Options, warm bool, seed int64) (improved bool, runs int, err error) {
 	selected := make([]bool, p.NumPlans())
 	inWindow := make([]bool, p.NumPlans())
 	for q, pl := range sol {
@@ -241,6 +293,16 @@ func solveWindow(ctx context.Context, p *mqo.Problem, sol mqo.Solution, a, b int
 	sub, err := mqo.New(subPlans, subCosts, subSavings)
 	if err != nil {
 		return false, 0, fmt.Errorf("decompose: building window [%d,%d): %w", a, b, err)
+	}
+	if warm {
+		// The incumbent's window slice, re-indexed into local plan ids,
+		// seeds the annealer (sub-instance costs are shifted uniformly,
+		// so the incumbent's basin carries over unchanged).
+		subWarm := make(mqo.Solution, b-a)
+		for q := a; q < b; q++ {
+			subWarm[q-a] = local[sol[q]]
+		}
+		opt.WarmStart = subWarm
 	}
 	subRes, err := core.QuantumMQO(ctx, sub, opt, seed)
 	if err != nil {

@@ -1,0 +1,128 @@
+package decompose
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mqo"
+	"repro/internal/trace"
+)
+
+// TestWarmNeverWorsensIncumbent: a warm-started solve must end at or
+// below its starting cost, whatever the starting solution — windows only
+// accept strict improvements.
+func TestWarmNeverWorsensIncumbent(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		p := mqo.Generate(rng, mqo.Class{Queries: 12, PlansPerQuery: 2}, mqo.DefaultGeneratorConfig())
+		// A deliberately arbitrary (valid) warm start: first plan per query.
+		warm := make(mqo.Solution, p.NumQueries())
+		for q := range warm {
+			warm[q] = p.QueryPlans[q][0]
+		}
+		start := p.CostOfSet(warm)
+		res, err := Solve(context.Background(), p, Options{
+			WindowQueries: 4,
+			Core:          core.Options{Runs: 40},
+			Warm:          warm,
+		}, rng.Int63())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Cost > start+1e-9 {
+			t.Errorf("seed %d: warm solve worsened %v -> %v", seed, start, res.Cost)
+		}
+		if !p.Valid(res.Solution) {
+			t.Errorf("seed %d: invalid solution", seed)
+		}
+	}
+}
+
+// TestWarmStreamsWarmCostFirst: the T=0 incumbent of a warm solve is the
+// warm solution's cost, not the greedy construction's.
+func TestWarmStreamsWarmCostFirst(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	p := mqo.Generate(rng, mqo.Class{Queries: 8, PlansPerQuery: 2}, mqo.DefaultGeneratorConfig())
+	warm := make(mqo.Solution, p.NumQueries())
+	for q := range warm {
+		warm[q] = p.QueryPlans[q][len(p.QueryPlans[q])-1]
+	}
+	var first *trace.Point
+	_, err := Solve(context.Background(), p, Options{
+		WindowQueries: 4,
+		Core:          core.Options{Runs: 20},
+		Warm:          warm,
+		OnImprovement: func(pt trace.Point) {
+			if first == nil {
+				cp := pt
+				first = &cp
+			}
+		},
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first == nil || first.T != 0 || first.Cost != p.CostOfSet(warm) {
+		t.Fatalf("first streamed point = %+v, want T=0 cost %v", first, p.CostOfSet(warm))
+	}
+}
+
+// TestDirtySkipsCleanWindows: with no dirty queries nothing is solved and
+// no modeled time is charged; with one dirty query only the windows
+// touching it run.
+func TestDirtySkipsCleanWindows(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	p := mqo.Generate(rng, mqo.Class{Queries: 16, PlansPerQuery: 2}, mqo.DefaultGeneratorConfig())
+	warm := p.Repair(make(mqo.Solution, p.NumQueries()))
+
+	clean := make([]bool, p.NumQueries())
+	res, err := Solve(context.Background(), p, Options{
+		WindowQueries: 4, Core: core.Options{Runs: 20}, Warm: warm, Dirty: clean,
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Windows != 0 || res.Runs != 0 || res.ModeledTime != 0 {
+		t.Fatalf("all-clean solve still ran %d windows (%d runs, %v)", res.Windows, res.Runs, res.ModeledTime)
+	}
+	if res.Cost != p.CostOfSet(warm) {
+		t.Fatalf("all-clean solve changed the cost: %v vs %v", res.Cost, p.CostOfSet(warm))
+	}
+
+	oneDirty := make([]bool, p.NumQueries())
+	oneDirty[0] = true
+	res, err = Solve(context.Background(), p, Options{
+		WindowQueries: 4, Core: core.Options{Runs: 20}, Warm: warm, Dirty: oneDirty,
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Solve(context.Background(), p, Options{
+		WindowQueries: 4, Core: core.Options{Runs: 20}, Warm: warm,
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Windows >= full.Windows+res.WindowsSkipped && res.WindowsSkipped == 0 {
+		t.Fatalf("dirty restriction skipped nothing: solved %d, skipped %d (full solve: %d)",
+			res.Windows, res.WindowsSkipped, full.Windows)
+	}
+}
+
+// TestDirtyValidation pins the option contract.
+func TestDirtyValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := mqo.Generate(rng, mqo.Class{Queries: 6, PlansPerQuery: 2}, mqo.DefaultGeneratorConfig())
+	warm := p.Repair(make(mqo.Solution, p.NumQueries()))
+	if _, err := Solve(context.Background(), p, Options{Dirty: make([]bool, 6), Core: core.Options{Runs: 5}}, 1); err == nil {
+		t.Error("Dirty without Warm: want error")
+	}
+	if _, err := Solve(context.Background(), p, Options{Warm: warm, Dirty: make([]bool, 3), Core: core.Options{Runs: 5}}, 1); err == nil {
+		t.Error("Dirty length mismatch: want error")
+	}
+	if _, err := Solve(context.Background(), p, Options{Warm: mqo.Solution{0}, Core: core.Options{Runs: 5}}, 1); err == nil {
+		t.Error("invalid Warm: want error")
+	}
+}

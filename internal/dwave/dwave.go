@@ -61,6 +61,16 @@ type Device struct {
 	// non-positive uses one worker per CPU. Output is identical at every
 	// setting — only wall-clock changes.
 	Parallelism int
+	// Warm, when non-nil and the Sampler implements anneal.WarmSampler,
+	// starts every annealing run from this packed identity-gauge spin
+	// state (bit set ⇔ spin −1, WordsFor(N) words, trailing bits clear)
+	// instead of a uniform draw — the surrogate for hardware reverse
+	// annealing from a previous incumbent. Each gauge batch XORs the
+	// state into its own gauge before sampling. Warm runs draw a
+	// different rng sequence than cold runs (see anneal.WarmSampler);
+	// results remain bit-identical at any parallelism for a fixed
+	// (seed, Warm) pair.
+	Warm []uint64
 }
 
 // DefaultSampler returns the annealing surrogate used by default:
@@ -191,6 +201,7 @@ type Scratch struct {
 	kernel anneal.Scratch
 	gauge  []uint64
 	orig   []uint64
+	warm   []uint64
 }
 
 // grow sizes the packed buffers for n spins.
@@ -199,9 +210,11 @@ func (sc *Scratch) grow(n int) {
 	if cap(sc.gauge) < w {
 		sc.gauge = make([]uint64, w)
 		sc.orig = make([]uint64, w)
+		sc.warm = make([]uint64, w)
 	}
 	sc.gauge = sc.gauge[:w]
 	sc.orig = sc.orig[:w]
+	sc.warm = sc.warm[:w]
 }
 
 // StreamBatch executes one gauge batch sequentially, yielding each
@@ -231,12 +244,26 @@ func (d *Device) StreamBatch(ctx context.Context, p *ising.Problem, original *an
 	compiled := original.ApplyGauge(gauge.Flip)
 	sc.grow(p.N())
 	anneal.PackBools(gauge.Flip, sc.gauge)
+	// Warm start: the caller's identity-gauge incumbent state, expressed
+	// in this batch's gauge. Gauging negates the flipped spins, which in
+	// packed form is a word-wise XOR against the gauge mask.
+	warmSampler, _ := d.Sampler.(anneal.WarmSampler)
+	useWarm := warmSampler != nil && d.Warm != nil
+	if useWarm {
+		for w := range sc.warm {
+			sc.warm[w] = d.Warm[w] ^ sc.gauge[w]
+		}
+	}
 	perSample := d.TimePerSample()
 	for j := 0; j < b.Runs; j++ {
 		if ctx.Err() != nil {
 			return
 		}
-		d.Sampler.SampleInto(compiled, rng, &sc.kernel)
+		if useWarm {
+			warmSampler.SampleWarmInto(compiled, rng, &sc.kernel, sc.warm)
+		} else {
+			d.Sampler.SampleInto(compiled, rng, &sc.kernel)
+		}
 		// Undoing the gauge negates the flipped spins; in packed form
 		// (bit ⇔ −1) that is a word-wise XOR against the gauge mask.
 		words := sc.kernel.Words()

@@ -1,0 +1,81 @@
+package dwave
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/anneal"
+)
+
+// TestWarmStartGaugeRoundTrip pins the gauge algebra of the warm path:
+// with a zero-sweep sampler every run reads out exactly its initial
+// state, so the original-gauge read-out must equal the warm words for
+// EVERY random gauge (warm ⊕ gauge sampled, then ⊕ gauge undone).
+func TestWarmStartGaugeRoundTrip(t *testing.T) {
+	p := trivialProblem(70)
+	d := NewDWave2X(&anneal.SimulatedAnnealer{Sweeps: 0, BetaStart: 0.1, BetaEnd: 8})
+	warm := make([]uint64, anneal.WordsFor(p.N()))
+	anneal.RandomSpinsInto(rand.New(rand.NewSource(21)), p.N(), warm)
+	d.Warm = warm
+
+	var sc Scratch
+	for _, b := range d.Batches(300, 5) {
+		d.StreamBatch(context.Background(), p, nil, b, &sc, func(ro Readout) bool {
+			for w := range warm {
+				if ro.Words[w] != warm[w] {
+					t.Fatalf("batch %d: zero-sweep warm read-out diverges from warm state at word %d", b.Index, w)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// TestWarmStartDeterministicAtAnyParallelism extends the determinism
+// contract to warm sessions: the best sample of a warm SampleIsing is
+// bit-identical at 1 and many workers.
+func TestWarmStartDeterministicAtAnyParallelism(t *testing.T) {
+	p := trivialProblem(40)
+	warm := make([]uint64, anneal.WordsFor(p.N()))
+	anneal.RandomSpinsInto(rand.New(rand.NewSource(2)), p.N(), warm)
+
+	run := func(parallelism int) Sample {
+		d := NewDWave2X(anneal.DefaultSA())
+		d.Warm = warm
+		d.Parallelism = parallelism
+		return d.SampleIsing(context.Background(), p, 500, 9, nil)
+	}
+	a, b := run(1), run(8)
+	if a.Energy != b.Energy || a.Elapsed != b.Elapsed {
+		t.Fatalf("warm solve diverges across parallelism: (%v, %v) vs (%v, %v)",
+			a.Energy, a.Elapsed, b.Energy, b.Elapsed)
+	}
+	for i := range a.Spins {
+		if a.Spins[i] != b.Spins[i] {
+			t.Fatalf("warm solve spins diverge at %d", i)
+		}
+	}
+}
+
+// TestWarmIgnoredWithoutWarmSampler: a sampler without warm support must
+// fall back to the cold path bit-for-bit.
+type coldOnly struct{ anneal.Sampler }
+
+func (c coldOnly) Name() string { return "cold-only" }
+
+func TestWarmIgnoredWithoutWarmSampler(t *testing.T) {
+	p := trivialProblem(30)
+	warm := make([]uint64, anneal.WordsFor(p.N()))
+	warm[0] = ^uint64(0) >> 34 // arbitrary non-zero state
+
+	cold := NewDWave2X(coldOnly{anneal.DefaultSA()})
+	warmDev := NewDWave2X(coldOnly{anneal.DefaultSA()})
+	warmDev.Warm = warm
+
+	a := cold.SampleIsing(context.Background(), p, 200, 4, nil)
+	b := warmDev.SampleIsing(context.Background(), p, 200, 4, nil)
+	if a.Energy != b.Energy {
+		t.Fatalf("Warm changed a non-warm sampler's result: %v vs %v", a.Energy, b.Energy)
+	}
+}

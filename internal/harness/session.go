@@ -1,0 +1,370 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/session"
+)
+
+// SessionRow is one epoch of the incremental-session panel: a ±1-query
+// delta applied to a live warm-started session, compared against a
+// from-scratch solve of the identical post-delta instance.
+type SessionRow struct {
+	// Epoch numbers the deltas from 1 (epoch 0 is the initial solve and
+	// has no from-scratch counterpart — it IS one).
+	Epoch int
+	// Delta describes the change ("+q24" arrival, "-q7" retirement).
+	Delta string
+	// Queries is the workload size after the delta.
+	Queries int
+	// Dirty counts queries the delta marked for re-solving.
+	Dirty int
+	// Windows / WindowsSkipped account the warm epoch's decomposition:
+	// solved versus kept-from-incumbent.
+	Windows, WindowsSkipped int
+	// WarmCost and ColdCost are the incumbent costs of the two runs.
+	WarmCost, ColdCost float64
+	// WarmTTB and ColdTTB are modeled time-to-best: the annealer time at
+	// which each run last improved its incumbent. For the cold run the
+	// clock stops as soon as it matches the warm cost, if it ever does.
+	WarmTTB, ColdTTB time.Duration
+	// WarmWork and ColdWork are each run's total modeled annealer time.
+	WarmWork, ColdWork time.Duration
+}
+
+// SessionResult is the incremental-session panel: one row per delta
+// epoch, warm-started session versus from-scratch re-solve.
+type SessionResult struct {
+	// Queries is the initial workload size; Epochs the delta count.
+	Queries, Epochs int
+	// InitialCost and InitialTime are the epoch-0 from-scratch solve.
+	InitialCost float64
+	InitialTime time.Duration
+	Rows        []SessionRow
+}
+
+// TTBSpeedup is the panel's headline: summed cold time-to-best over
+// summed warm time-to-best. +Inf when every warm epoch kept its
+// incumbent without a single annealing run.
+func (r *SessionResult) TTBSpeedup() float64 {
+	var warm, cold time.Duration
+	for i := range r.Rows {
+		warm += r.Rows[i].WarmTTB
+		cold += r.Rows[i].ColdTTB
+	}
+	if warm <= 0 {
+		return math.Inf(1)
+	}
+	return float64(cold) / float64(warm)
+}
+
+// WorkRatio is summed cold modeled annealer time over summed warm — how
+// much re-solving the warm start avoided.
+func (r *SessionResult) WorkRatio() float64 {
+	var warm, cold time.Duration
+	for i := range r.Rows {
+		warm += r.Rows[i].WarmWork
+		cold += r.Rows[i].ColdWork
+	}
+	if warm <= 0 {
+		return math.Inf(1)
+	}
+	return float64(cold) / float64(warm)
+}
+
+// sessionGeometry is the panel's session configuration: windows small
+// enough that a ±1-query delta dirties a strict minority of them, and a
+// per-window budget big enough that a from-scratch solve visibly pays
+// for every window.
+func (c Config) sessionGeometry() session.Config {
+	return session.Config{
+		Seed:          c.withDefaults().Seed,
+		WindowQueries: 6,
+		MaxSweeps:     4,
+		Runs:          64,
+	}
+}
+
+// RunSession measures the incremental-session panel: an initial
+// workload of `queries` queries solved from scratch, then `epochs`
+// alternating ±1-query deltas (a query arriving with fresh sharing
+// opportunities, a query retiring). Every delta runs twice — applied to
+// the live session (warm-started, only dirty windows re-solved) and as
+// a from-scratch solve of the identical post-delta instance — and the
+// row compares their modeled time-to-best. The from-scratch run's
+// instance is rebuilt from a mirrored workload and must reproduce the
+// session's problem fingerprint exactly; a mismatch is an error, not a
+// skewed row. Non-positive arguments select 24 queries and 8 epochs.
+//
+// Both runs are deterministic (modeled annealer clocks, seeds split per
+// epoch), so the panel is reproducible at any cfg.Parallelism.
+func (c Config) RunSession(ctx context.Context, queries, epochs int) (*SessionResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cfg := c.withDefaults()
+	if queries <= 0 {
+		queries = 24
+	}
+	if epochs <= 0 {
+		epochs = 8
+	}
+	scfg := cfg.sessionGeometry()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	warm := session.New(scfg)
+	warm.Parallelism = cfg.Parallelism
+
+	// The mirror tracks the session's workload move for move — same
+	// query order, same savings order — so the from-scratch instance is
+	// fingerprint-identical, not merely equivalent.
+	mirror := newSessionMirror(rng)
+	init := mirror.initialDelta(queries)
+	ep0, err := warm.Apply(ctx, init)
+	if err != nil {
+		return nil, fmt.Errorf("harness: session epoch 0: %w", err)
+	}
+	mirror.commit(init)
+
+	res := &SessionResult{
+		Queries:     queries,
+		Epochs:      epochs,
+		InitialCost: ep0.Cost,
+		InitialTime: ep0.ModeledTime,
+	}
+	for e := 1; e <= epochs; e++ {
+		d, desc := mirror.nextDelta(e)
+		we, err := warm.Apply(ctx, d)
+		if err != nil {
+			return nil, fmt.Errorf("harness: session epoch %d (%s): %w", e, desc, err)
+		}
+		mirror.commit(d)
+
+		cold := session.New(scfg)
+		cold.Parallelism = cfg.Parallelism
+		ce, err := cold.Apply(ctx, mirror.fullDelta())
+		if err != nil {
+			return nil, fmt.Errorf("harness: from-scratch epoch %d (%s): %w", e, desc, err)
+		}
+		if ce.Fingerprint != we.Fingerprint {
+			return nil, fmt.Errorf("harness: epoch %d (%s): from-scratch instance fingerprint %016x != session %016x",
+				e, desc, ce.Fingerprint, we.Fingerprint)
+		}
+
+		res.Rows = append(res.Rows, SessionRow{
+			Epoch:          e,
+			Delta:          desc,
+			Queries:        len(mirror.order),
+			Dirty:          we.Dirty,
+			Windows:        we.Windows,
+			WindowsSkipped: we.WindowsSkipped,
+			WarmCost:       we.Cost,
+			ColdCost:       ce.Cost,
+			WarmTTB:        timeToBest(we, we.Cost),
+			ColdTTB:        timeToBest(ce, we.Cost),
+			WarmWork:       we.ModeledTime,
+			ColdWork:       ce.ModeledTime,
+		})
+	}
+	return res, nil
+}
+
+// timeToBest returns the modeled annealer time at which ep first
+// reached a cost no worse than target — or, if it never did, the time
+// of its own last improvement (it needed at least that long and still
+// fell short).
+func timeToBest(ep *session.Epoch, target float64) time.Duration {
+	const eps = 1e-9
+	var last time.Duration
+	for _, pt := range ep.Incumbents {
+		last = pt.T
+		if pt.Cost <= target+eps {
+			return pt.T
+		}
+	}
+	return last
+}
+
+// sessionMirror generates the panel's delta stream while replaying the
+// session package's workload bookkeeping (order preserved on removal,
+// incident savings dropped, canonical saving endpoints) so fullDelta
+// rebuilds a fingerprint-identical instance at every epoch.
+type sessionMirror struct {
+	rng     *rand.Rand
+	next    int
+	order   []string
+	costs   map[string][]float64
+	savings []session.SavingSpec
+}
+
+func newSessionMirror(rng *rand.Rand) *sessionMirror {
+	return &sessionMirror{rng: rng, costs: map[string][]float64{}}
+}
+
+// newQuery draws a fresh query: 2–3 plans, integer costs in [1, 9].
+func (m *sessionMirror) newQuery() session.QuerySpec {
+	id := fmt.Sprintf("q%d", m.next)
+	m.next++
+	costs := make([]float64, 2+m.rng.Intn(2))
+	for i := range costs {
+		costs[i] = 1 + float64(m.rng.Intn(9))
+	}
+	return session.QuerySpec{ID: id, Costs: costs}
+}
+
+// newSavings links q to up to two distinct RECENT queries from ids —
+// arrivals share work with their temporal neighbors, so a delta's dirty
+// set stays within a couple of adjacent decomposition windows instead
+// of scattering across the whole workload.
+func (m *sessionMirror) newSavings(q session.QuerySpec, ids []string) []session.SavingSpec {
+	if len(ids) > 4 {
+		ids = ids[len(ids)-4:]
+	}
+	if len(ids) == 0 {
+		return nil
+	}
+	picks := 1 + m.rng.Intn(2)
+	if picks > len(ids) {
+		picks = len(ids)
+	}
+	seen := map[string]bool{}
+	var out []session.SavingSpec
+	for len(out) < picks {
+		partner := ids[m.rng.Intn(len(ids))]
+		if seen[partner] {
+			continue
+		}
+		seen[partner] = true
+		out = append(out, canonicalSaving(session.SavingSpec{
+			Q1:    q.ID,
+			P1:    m.rng.Intn(len(q.Costs)),
+			Q2:    partner,
+			P2:    m.rng.Intn(len(m.costs[partner])),
+			Value: 1 + float64(m.rng.Intn(5)),
+		}))
+	}
+	return out
+}
+
+// initialDelta builds the epoch-0 workload: n queries, each sharing
+// with earlier arrivals.
+func (m *sessionMirror) initialDelta(n int) session.Delta {
+	var d session.Delta
+	var ids []string
+	staged := map[string][]float64{}
+	for i := 0; i < n; i++ {
+		q := m.newQuery()
+		// Stage costs so newSavings can draw plan indices for partners
+		// added earlier in this same delta.
+		m.costs[q.ID] = q.Costs
+		staged[q.ID] = q.Costs
+		d.AddQueries = append(d.AddQueries, q)
+		d.AddSavings = append(d.AddSavings, m.newSavings(q, ids)...)
+		ids = append(ids, q.ID)
+	}
+	for id := range staged {
+		delete(m.costs, id) // commit() re-adds them
+	}
+	return d
+}
+
+// nextDelta alternates arrivals (odd epochs) and retirements (even).
+func (m *sessionMirror) nextDelta(epoch int) (session.Delta, string) {
+	if epoch%2 == 1 {
+		q := m.newQuery()
+		m.costs[q.ID] = q.Costs
+		savings := m.newSavings(q, m.order)
+		delete(m.costs, q.ID)
+		return session.Delta{AddQueries: []session.QuerySpec{q}, AddSavings: savings}, "+" + q.ID
+	}
+	victim := m.order[m.rng.Intn(len(m.order))]
+	return session.Delta{RemoveQueries: []string{victim}}, "-" + victim
+}
+
+// commit replays an accepted delta onto the mirror, in the session
+// package's field order: removals, cost updates, additions, savings.
+func (m *sessionMirror) commit(d session.Delta) {
+	removed := map[string]bool{}
+	for _, id := range d.RemoveQueries {
+		removed[id] = true
+		delete(m.costs, id)
+	}
+	if len(removed) > 0 {
+		order := m.order[:0]
+		for _, id := range m.order {
+			if !removed[id] {
+				order = append(order, id)
+			}
+		}
+		m.order = order
+		savings := m.savings[:0]
+		for _, sv := range m.savings {
+			if !removed[sv.Q1] && !removed[sv.Q2] {
+				savings = append(savings, sv)
+			}
+		}
+		m.savings = savings
+	}
+	for _, u := range d.UpdateCosts {
+		m.costs[u.ID] = u.Costs
+	}
+	for _, q := range d.AddQueries {
+		m.order = append(m.order, q.ID)
+		m.costs[q.ID] = q.Costs
+	}
+	for _, sv := range d.AddSavings {
+		m.savings = append(m.savings, canonicalSaving(sv))
+	}
+}
+
+// fullDelta rebuilds the current workload as one delta — the
+// from-scratch session's epoch 0.
+func (m *sessionMirror) fullDelta() session.Delta {
+	var d session.Delta
+	for _, id := range m.order {
+		d.AddQueries = append(d.AddQueries, session.QuerySpec{ID: id, Costs: m.costs[id]})
+	}
+	d.AddSavings = append([]session.SavingSpec(nil), m.savings...)
+	return d
+}
+
+// canonicalSaving orders endpoints the way the session stores them
+// (q1 < q2), keeping the mirror's savings list byte-comparable.
+func canonicalSaving(sv session.SavingSpec) session.SavingSpec {
+	if sv.Q1 > sv.Q2 {
+		sv.Q1, sv.P1, sv.Q2, sv.P2 = sv.Q2, sv.P2, sv.Q1, sv.P1
+	}
+	return sv
+}
+
+// RenderSession writes the panel as text.
+func RenderSession(w io.Writer, r *SessionResult) {
+	fmt.Fprintf(w, "session: %d queries, %d ±1-query delta epochs; warm-started session vs from-scratch re-solve\n",
+		r.Queries, r.Epochs)
+	fmt.Fprintf(w, "  epoch 0 (initial solve): cost %.0f in %s modeled annealer time\n",
+		r.InitialCost, formatDuration(r.InitialTime))
+	fmt.Fprintf(w, "  %-5s %-6s %8s %7s %9s %12s %12s %12s %12s\n",
+		"epoch", "delta", "queries", "dirty", "windows", "warm cost", "cold cost", "warm TTB", "cold TTB")
+	for i := range r.Rows {
+		row := &r.Rows[i]
+		fmt.Fprintf(w, "  %-5d %-6s %8d %7d %4d+%-4d %12.0f %12.0f %12s %12s\n",
+			row.Epoch, row.Delta, row.Queries, row.Dirty,
+			row.Windows, row.WindowsSkipped,
+			row.WarmCost, row.ColdCost,
+			formatDuration(row.WarmTTB), formatDuration(row.ColdTTB))
+	}
+	fmt.Fprintf(w, "  time-to-best speedup %s, annealer-work ratio %s (cold / warm, summed over epochs)\n",
+		formatRatio(r.TTBSpeedup()), formatRatio(r.WorkRatio()))
+}
+
+func formatRatio(v float64) string {
+	if math.IsInf(v, 1) {
+		return "∞"
+	}
+	return fmt.Sprintf("%.1fx", v)
+}

@@ -1,0 +1,75 @@
+package harness
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sessionTestConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Seed = 11
+	cfg.Parallelism = 2
+	return cfg
+}
+
+func TestRunSessionWarmStartBeatsFromScratch(t *testing.T) {
+	res, err := sessionTestConfig().RunSession(context.Background(), 24, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 8 {
+		t.Fatalf("rows = %d, want 8", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Dirty >= row.Queries {
+			t.Errorf("epoch %d (%s): %d dirty of %d queries — ±1-query delta should dirty a minority",
+				row.Epoch, row.Delta, row.Dirty, row.Queries)
+		}
+		if row.WarmWork > row.ColdWork {
+			t.Errorf("epoch %d (%s): warm modeled work %v exceeds from-scratch %v",
+				row.Epoch, row.Delta, row.WarmWork, row.ColdWork)
+		}
+	}
+	// The tentpole's acceptance bar: warm-start time-to-best at least
+	// 2x better than from-scratch on the ±1-query delta stream.
+	if s := res.TTBSpeedup(); !math.IsInf(s, 1) && s < 2 {
+		t.Errorf("time-to-best speedup = %.2fx, want >= 2x", s)
+	}
+	if r := res.WorkRatio(); !math.IsInf(r, 1) && r < 2 {
+		t.Errorf("annealer-work ratio = %.2fx, want >= 2x", r)
+	}
+}
+
+func TestRunSessionDeterministicAcrossParallelism(t *testing.T) {
+	a, err := sessionTestConfig().RunSession(context.Background(), 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sessionTestConfig()
+	cfg.Parallelism = 5
+	b, err := cfg.RunSession(context.Background(), 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("panel differs across parallelism:\n%+v\nvs\n%+v", a, b)
+	}
+}
+
+func TestRenderSession(t *testing.T) {
+	res, err := sessionTestConfig().RunSession(context.Background(), 12, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	RenderSession(&sb, res)
+	out := sb.String()
+	for _, want := range []string{"±1-query delta epochs", "epoch 0 (initial solve)", "time-to-best speedup"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,226 @@
+package proptest
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/session"
+)
+
+// sessionIterations bounds the property budget: every iteration runs at
+// least two decomposed solves (the warm epoch and its from-scratch
+// twin). Seeds are fixed per iteration, so the properties are exactly
+// reproducible — report the iteration number on failure.
+const sessionIterations = 12
+
+// sessionPropConfig keeps per-iteration solves cheap: small windows,
+// two sweeps, a light per-window annealing budget.
+func sessionPropConfig(it int) session.Config {
+	return session.Config{Seed: int64(9000 + it), WindowQueries: 4, MaxSweeps: 2, Runs: 16}
+}
+
+// sessionState mirrors a session's workload bookkeeping (order
+// preserved on removal, incident savings dropped) so the tests can
+// build from-scratch twins and inverse deltas.
+type sessionState struct {
+	rng     *rand.Rand
+	next    int
+	order   []string
+	costs   map[string][]float64
+	savings []session.SavingSpec
+}
+
+func newSessionState(rng *rand.Rand) *sessionState {
+	return &sessionState{rng: rng, costs: map[string][]float64{}}
+}
+
+func (st *sessionState) newQuery() session.QuerySpec {
+	id := fmt.Sprintf("q%d", st.next)
+	st.next++
+	costs := make([]float64, 2+st.rng.Intn(3))
+	for i := range costs {
+		costs[i] = float64(st.rng.Intn(40)) / 2
+	}
+	return session.QuerySpec{ID: id, Costs: costs}
+}
+
+// savingsFor links q to up to two distinct existing queries.
+func (st *sessionState) savingsFor(q session.QuerySpec) []session.SavingSpec {
+	if len(st.order) == 0 {
+		return nil
+	}
+	var out []session.SavingSpec
+	seen := map[string]bool{}
+	for n := st.rng.Intn(3); len(out) < n && len(seen) < len(st.order); {
+		partner := st.order[st.rng.Intn(len(st.order))]
+		if seen[partner] {
+			continue
+		}
+		seen[partner] = true
+		out = append(out, session.SavingSpec{
+			Q1:    q.ID,
+			P1:    st.rng.Intn(len(q.Costs)),
+			Q2:    partner,
+			P2:    st.rng.Intn(len(st.costs[partner])),
+			Value: 1 + float64(st.rng.Intn(10)),
+		})
+	}
+	return out
+}
+
+func (st *sessionState) commitAdd(q session.QuerySpec, savings []session.SavingSpec) {
+	st.order = append(st.order, q.ID)
+	st.costs[q.ID] = q.Costs
+	for _, sv := range savings {
+		if sv.Q1 > sv.Q2 {
+			sv.Q1, sv.P1, sv.Q2, sv.P2 = sv.Q2, sv.P2, sv.Q1, sv.P1
+		}
+		st.savings = append(st.savings, sv)
+	}
+}
+
+func (st *sessionState) commitRemove(id string) {
+	delete(st.costs, id)
+	order := st.order[:0]
+	for _, q := range st.order {
+		if q != id {
+			order = append(order, q)
+		}
+	}
+	st.order = order
+	savings := st.savings[:0]
+	for _, sv := range st.savings {
+		if sv.Q1 != id && sv.Q2 != id {
+			savings = append(savings, sv)
+		}
+	}
+	st.savings = savings
+}
+
+// fullDelta rebuilds the current workload as one delta.
+func (st *sessionState) fullDelta() session.Delta {
+	var d session.Delta
+	for _, id := range st.order {
+		d.AddQueries = append(d.AddQueries, session.QuerySpec{ID: id, Costs: st.costs[id]})
+	}
+	d.AddSavings = append([]session.SavingSpec(nil), st.savings...)
+	return d
+}
+
+// TestPropSessionWarmNotWorseThanFromScratch pins the warm-start
+// quality law: after a random ±1 delta, the warm-started epoch's
+// incumbent costs no more than a from-scratch solve of the identical
+// instance under the identical config — the carried-over incumbent
+// never hurts.
+func TestPropSessionWarmNotWorseThanFromScratch(t *testing.T) {
+	ctx := context.Background()
+	for it := 0; it < sessionIterations; it++ {
+		rng := rand.New(rand.NewSource(int64(4000 + it)))
+		cfg := sessionPropConfig(it)
+		st := newSessionState(rng)
+
+		s := session.New(cfg)
+		var init session.Delta
+		for i, n := 0, 6+rng.Intn(8); i < n; i++ {
+			q := st.newQuery()
+			savings := st.savingsFor(q)
+			init.AddQueries = append(init.AddQueries, q)
+			init.AddSavings = append(init.AddSavings, savings...)
+			st.commitAdd(q, savings)
+		}
+		if _, err := s.Apply(ctx, init); err != nil {
+			t.Fatalf("iteration %d: initial apply: %v", it, err)
+		}
+
+		// One random delta: an arrival (with sharing) or a retirement.
+		var d session.Delta
+		if rng.Intn(2) == 0 || len(st.order) < 2 {
+			q := st.newQuery()
+			savings := st.savingsFor(q)
+			d.AddQueries = []session.QuerySpec{q}
+			d.AddSavings = savings
+			st.commitAdd(q, savings)
+		} else {
+			victim := st.order[rng.Intn(len(st.order))]
+			d.RemoveQueries = []string{victim}
+			st.commitRemove(victim)
+		}
+		warm, err := s.Apply(ctx, d)
+		if err != nil {
+			t.Fatalf("iteration %d: delta apply: %v", it, err)
+		}
+
+		cold := session.New(cfg)
+		scratch, err := cold.Apply(ctx, st.fullDelta())
+		if err != nil {
+			t.Fatalf("iteration %d: from-scratch apply: %v", it, err)
+		}
+		if scratch.Fingerprint != warm.Fingerprint {
+			t.Fatalf("iteration %d: rebuilt instance fingerprint %016x != session %016x",
+				it, scratch.Fingerprint, warm.Fingerprint)
+		}
+		if warm.Cost > scratch.Cost+1e-9 {
+			t.Errorf("iteration %d: warm cost %v worse than from-scratch %v (delta %+v)",
+				it, warm.Cost, scratch.Cost, d)
+		}
+	}
+}
+
+// TestPropSessionDeltaInverseRestoresFingerprint pins reversibility:
+// a delta that adds queries (with their sharing) and rewrites costs,
+// followed by its inverse — remove the added queries, restore the old
+// costs — brings the session back to the exact pre-delta instance,
+// fingerprint and all.
+func TestPropSessionDeltaInverseRestoresFingerprint(t *testing.T) {
+	ctx := context.Background()
+	for it := 0; it < sessionIterations; it++ {
+		rng := rand.New(rand.NewSource(int64(5000 + it)))
+		cfg := sessionPropConfig(it)
+		st := newSessionState(rng)
+
+		s := session.New(cfg)
+		var init session.Delta
+		for i, n := 0, 4+rng.Intn(6); i < n; i++ {
+			q := st.newQuery()
+			savings := st.savingsFor(q)
+			init.AddQueries = append(init.AddQueries, q)
+			init.AddSavings = append(init.AddSavings, savings...)
+			st.commitAdd(q, savings)
+		}
+		base, err := s.Apply(ctx, init)
+		if err != nil {
+			t.Fatalf("iteration %d: initial apply: %v", it, err)
+		}
+
+		// Forward: 1–2 arrivals plus a cost rewrite of one resident.
+		var fwd, inv session.Delta
+		for i, n := 0, 1+rng.Intn(2); i < n; i++ {
+			q := st.newQuery()
+			fwd.AddQueries = append(fwd.AddQueries, q)
+			fwd.AddSavings = append(fwd.AddSavings, st.savingsFor(q)...)
+			inv.RemoveQueries = append(inv.RemoveQueries, q.ID)
+		}
+		victim := st.order[rng.Intn(len(st.order))]
+		old := append([]float64(nil), st.costs[victim]...)
+		rewritten := make([]float64, len(old))
+		for i := range rewritten {
+			rewritten[i] = float64(st.rng.Intn(40)) / 2
+		}
+		fwd.UpdateCosts = []session.QuerySpec{{ID: victim, Costs: rewritten}}
+		inv.UpdateCosts = []session.QuerySpec{{ID: victim, Costs: old}}
+
+		if _, err := s.Apply(ctx, fwd); err != nil {
+			t.Fatalf("iteration %d: forward delta: %v", it, err)
+		}
+		restored, err := s.Apply(ctx, inv)
+		if err != nil {
+			t.Fatalf("iteration %d: inverse delta: %v", it, err)
+		}
+		if restored.Fingerprint != base.Fingerprint {
+			t.Errorf("iteration %d: inverse delta fingerprint %016x != pre-delta %016x",
+				it, restored.Fingerprint, base.Fingerprint)
+		}
+	}
+}

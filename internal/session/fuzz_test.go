@@ -1,0 +1,83 @@
+package session
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"testing"
+)
+
+// FuzzSessionDelta throws arbitrary event logs at the session machinery:
+// whatever the input, Apply must never panic, a rejected delta must
+// leave the session untouched, and any accepted log must replay to the
+// same fingerprint and cost at a different parallelism.
+func FuzzSessionDelta(f *testing.F) {
+	f.Add([]byte(`{"v":1,"config":{"seed":3}}` + "\n" +
+		`{"delta":{"add_queries":[{"id":"a","costs":[2,4]},{"id":"b","costs":[3,1]}],"add_savings":[{"q1":"a","p1":0,"q2":"b","p2":0,"value":5}]}}` + "\n"))
+	f.Add([]byte(`{"v":1,"config":{"seed":1,"window_queries":2}}` + "\n" +
+		`{"delta":{"add_queries":[{"id":"q","costs":[1]}]}}` + "\n" +
+		`{"delta":{"update_costs":[{"id":"q","costs":[7]}]}}` + "\n" +
+		`{"delta":{"add_queries":[{"id":"r","costs":[2,2]}]}}` + "\n" +
+		`{"delta":{"remove_queries":["q"]}}` + "\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cfg, deltas, err := ReadLog(bytes.NewReader(data))
+		if err != nil {
+			t.Skip()
+		}
+		// Clamp the solve budget so fuzzing stays fast whatever the log
+		// claims; the clamped config is what the replay check reuses.
+		cfg.Runs = 4
+		cfg.MaxSweeps = 1
+		if cfg.WindowQueries < 0 || cfg.WindowQueries > 8 {
+			cfg.WindowQueries = 4
+		}
+
+		ctx := context.Background()
+		s := New(cfg)
+		for _, d := range deltas {
+			if tooLarge(s, d) {
+				t.Skip()
+			}
+			fp, cost, epochs := s.Fingerprint(), s.Cost(), s.Epochs()
+			ep, err := s.Apply(ctx, d)
+			if err != nil {
+				if s.Fingerprint() != fp || s.Cost() != cost || s.Epochs() != epochs {
+					t.Fatalf("rejected delta mutated the session: %v", err)
+				}
+				continue
+			}
+			if math.IsNaN(ep.Cost) || math.IsInf(ep.Cost, 0) {
+				t.Fatalf("epoch cost %v", ep.Cost)
+			}
+			if len(ep.Plans) != len(s.QueryIDs()) {
+				t.Fatalf("epoch has %d plans for %d queries", len(ep.Plans), len(s.QueryIDs()))
+			}
+		}
+		if s.Epochs() == 0 {
+			return
+		}
+		var log bytes.Buffer
+		if err := s.WriteLog(&log); err != nil {
+			t.Fatal(err)
+		}
+		s2, _, err := Replay(ctx, &log, 2, nil)
+		if err != nil {
+			t.Fatalf("own log does not replay: %v", err)
+		}
+		if s2.Fingerprint() != s.Fingerprint() || s2.Cost() != s.Cost() {
+			t.Fatalf("replay diverges: fp %x/%x cost %v/%v",
+				s2.Fingerprint(), s.Fingerprint(), s2.Cost(), s.Cost())
+		}
+	})
+}
+
+// tooLarge bounds the workload the fuzzer may grow: the point is API
+// robustness, not annealing throughput.
+func tooLarge(s *Session, d Delta) bool {
+	queries := len(s.QueryIDs()) + len(d.AddQueries)
+	plans := 0
+	for _, q := range d.AddQueries {
+		plans += len(q.Costs)
+	}
+	return queries > 24 || plans > 64
+}

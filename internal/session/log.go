@@ -1,0 +1,133 @@
+package session
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/trace"
+)
+
+// The event log is NDJSON: a header line carrying the config, then one
+// line per applied delta. A log plus the determinism contract is a full
+// session backup — replaying it (at any parallelism) rebuilds the same
+// fingerprint, incumbent, and epoch stream byte for byte, which is what
+// lets a cluster re-create an evicted session on a new owner.
+
+const logVersion = 1
+
+type logHeader struct {
+	V      int    `json:"v"`
+	Config Config `json:"config"`
+}
+
+type logLine struct {
+	Delta *Delta `json:"delta"`
+}
+
+// WriteHeader writes the log header line for cfg.
+func WriteHeader(w io.Writer, cfg Config) error {
+	return writeLine(w, logHeader{V: logVersion, Config: cfg})
+}
+
+// WriteDelta appends one delta line to an event log.
+func WriteDelta(w io.Writer, d Delta) error {
+	return writeLine(w, logLine{Delta: &d})
+}
+
+func writeLine(w io.Writer, v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// WriteLog serializes the session's full event log: header plus every
+// applied delta.
+func (s *Session) WriteLog(w io.Writer) error {
+	if err := WriteHeader(w, s.cfg); err != nil {
+		return err
+	}
+	for _, d := range s.deltas {
+		if err := WriteDelta(w, d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadLog parses an event log. Unknown fields are rejected: a log that
+// does not round-trip exactly cannot promise a faithful replay.
+func ReadLog(r io.Reader) (Config, []Delta, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	var (
+		cfg    Config
+		deltas []Delta
+		n      int
+	)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		n++
+		dec := json.NewDecoder(bytes.NewReader(line))
+		dec.DisallowUnknownFields()
+		if n == 1 {
+			var h logHeader
+			if err := dec.Decode(&h); err != nil {
+				return Config{}, nil, fmt.Errorf("session: log header: %w", err)
+			}
+			if h.V != logVersion {
+				return Config{}, nil, fmt.Errorf("session: log version %d, want %d", h.V, logVersion)
+			}
+			cfg = h.Config
+			continue
+		}
+		var l logLine
+		if err := dec.Decode(&l); err != nil {
+			return Config{}, nil, fmt.Errorf("session: log line %d: %w", n, err)
+		}
+		if l.Delta == nil {
+			return Config{}, nil, fmt.Errorf("session: log line %d: missing delta", n)
+		}
+		deltas = append(deltas, *l.Delta)
+	}
+	if err := sc.Err(); err != nil {
+		return Config{}, nil, fmt.Errorf("session: reading log: %w", err)
+	}
+	if n == 0 {
+		return Config{}, nil, fmt.Errorf("session: empty log")
+	}
+	return cfg, deltas, nil
+}
+
+// Replay rebuilds a session from its event log, re-applying every delta
+// in order. observe (optional) sees each epoch's anytime incumbents as
+// they are recomputed. parallelism sets the annealer worker count; by
+// the determinism contract it does not affect any returned value.
+func Replay(ctx context.Context, r io.Reader, parallelism int, observe func(epoch int, pt trace.Point)) (*Session, []*Epoch, error) {
+	cfg, deltas, err := ReadLog(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	s := New(cfg)
+	s.Parallelism = parallelism
+	s.OnImprovement = observe
+	epochs := make([]*Epoch, 0, len(deltas))
+	for i, d := range deltas {
+		ep, err := s.Apply(ctx, d)
+		if err != nil {
+			return nil, nil, fmt.Errorf("session: replaying delta %d: %w", i, err)
+		}
+		epochs = append(epochs, ep)
+	}
+	return s, epochs, nil
+}

@@ -1,0 +1,480 @@
+// Package session implements long-lived incremental MQO sessions: a
+// handle over an evolving workload that accepts delta streams (queries
+// arriving, retiring, changing cost; new sharing opportunities) and
+// re-solves each epoch incrementally. Epoch 0 solves the initial
+// workload from scratch; every later epoch warm-starts the decomposed
+// annealer from the previous incumbent and re-solves only the windows
+// touching queries the delta dirtied (decompose.Options.Warm/Dirty).
+//
+// Determinism contract: epoch k draws its random stream from
+// splitmix.Split(Config.Seed, k), so a session replayed from its event
+// log — at any annealer parallelism, live or offline — produces
+// bit-identical incumbent streams and epoch results.
+package session
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/decompose"
+	"repro/internal/mqo"
+	"repro/internal/splitmix"
+	"repro/internal/trace"
+)
+
+// Config fixes a session's identity: seed, decomposition geometry, and
+// per-window annealing budget. Two sessions with equal Config and equal
+// delta streams are bit-identical. The zero value of every field except
+// Seed selects the decompose/core defaults.
+type Config struct {
+	Seed          int64 `json:"seed"`
+	WindowQueries int   `json:"window_queries,omitempty"`
+	Overlap       int   `json:"overlap,omitempty"`
+	MaxSweeps     int   `json:"max_sweeps,omitempty"`
+	// Runs is the number of annealing runs per window solve.
+	Runs int `json:"runs,omitempty"`
+}
+
+// QuerySpec names a query and its per-plan execution costs. Plan indices
+// are positions in Costs and are stable for the query's lifetime.
+type QuerySpec struct {
+	ID    string    `json:"id"`
+	Costs []float64 `json:"costs"`
+}
+
+// SavingSpec records that plan P1 of query Q1 and plan P2 of query Q2
+// share intermediate results worth Value when both execute.
+type SavingSpec struct {
+	Q1    string  `json:"q1"`
+	P1    int     `json:"p1"`
+	Q2    string  `json:"q2"`
+	P2    int     `json:"p2"`
+	Value float64 `json:"value"`
+}
+
+// Delta is one workload change set. Fields apply in order: removals,
+// cost updates, query additions, saving additions — so a delta may
+// remove a query and re-add it under the same ID with a new plan set.
+// Savings incident to a removed query are dropped automatically.
+type Delta struct {
+	RemoveQueries []string     `json:"remove_queries,omitempty"`
+	UpdateCosts   []QuerySpec  `json:"update_costs,omitempty"`
+	AddQueries    []QuerySpec  `json:"add_queries,omitempty"`
+	AddSavings    []SavingSpec `json:"add_savings,omitempty"`
+}
+
+func (d Delta) empty() bool {
+	return len(d.RemoveQueries) == 0 && len(d.UpdateCosts) == 0 &&
+		len(d.AddQueries) == 0 && len(d.AddSavings) == 0
+}
+
+// Epoch is the result of applying one delta: the re-solved incumbent and
+// the incremental work it took.
+type Epoch struct {
+	// Epoch numbers Applys from 0.
+	Epoch int `json:"epoch"`
+	// Cost is the incumbent cost over the post-delta workload.
+	Cost float64 `json:"cost"`
+	// Plans maps each query ID to its chosen plan index.
+	Plans map[string]int `json:"plans"`
+	// Fingerprint identifies the post-delta problem instance.
+	Fingerprint uint64 `json:"fingerprint"`
+	// Dirty counts queries the delta marked for re-solving.
+	Dirty int `json:"dirty"`
+	// Windows / WindowsSkipped / Runs / ModeledTime account the epoch's
+	// annealer work (skipped = clean windows the warm start kept).
+	Windows        int           `json:"windows"`
+	WindowsSkipped int           `json:"windows_skipped"`
+	Runs           int           `json:"runs"`
+	ModeledTime    time.Duration `json:"modeled_time_ns"`
+	// Incumbents is the epoch's anytime trace: the warm (or greedy)
+	// starting cost at T=0 and every accepted improvement.
+	Incumbents []trace.Point `json:"incumbents"`
+}
+
+type query struct {
+	id    string
+	costs []float64
+}
+
+type saving struct {
+	q1    string
+	p1    int
+	q2    string
+	p2    int
+	value float64
+}
+
+// workload is the session's mutable instance description. Apply builds
+// the successor workload first and commits it only after a successful
+// solve, so a failed or cancelled delta leaves the session untouched.
+type workload struct {
+	order   []string
+	queries map[string]query
+	savings []saving
+}
+
+// Session is a long-lived incremental solving handle. It is not safe for
+// concurrent use; callers serialize Applys per session.
+type Session struct {
+	cfg   Config
+	epoch int
+	w     workload
+	// Parallelism is the annealer worker count for subsequent Applys. It
+	// is a runtime knob, not part of the session identity: results are
+	// bit-identical at any value.
+	Parallelism int
+	// OnImprovement, if non-nil, observes each epoch's anytime
+	// incumbents as they are found (same points as Epoch.Incumbents).
+	OnImprovement func(epoch int, pt trace.Point)
+
+	problem *mqo.Problem
+	chosen  map[string]int // query ID -> chosen plan index
+	cost    float64
+	deltas  []Delta
+}
+
+// New creates an empty session. The first Apply must add at least one
+// query; it becomes epoch 0 and solves from scratch.
+func New(cfg Config) *Session {
+	return &Session{cfg: cfg, w: workload{queries: map[string]query{}}}
+}
+
+// Config returns the session's immutable configuration.
+func (s *Session) Config() Config { return s.cfg }
+
+// Epochs returns the number of deltas applied so far.
+func (s *Session) Epochs() int { return s.epoch }
+
+// Cost returns the current incumbent cost (0 before the first epoch).
+func (s *Session) Cost() float64 { return s.cost }
+
+// Fingerprint identifies the current problem instance (0 before the
+// first epoch).
+func (s *Session) Fingerprint() uint64 {
+	if s.problem == nil {
+		return 0
+	}
+	return s.problem.Fingerprint()
+}
+
+// QueryIDs returns the current query IDs in workload order.
+func (s *Session) QueryIDs() []string {
+	return append([]string(nil), s.w.order...)
+}
+
+// Plans returns the current incumbent as a query-ID -> plan-index map.
+func (s *Session) Plans() map[string]int {
+	out := make(map[string]int, len(s.chosen))
+	for id, idx := range s.chosen {
+		out[id] = idx
+	}
+	return out
+}
+
+// Deltas returns the applied delta sequence (the session's event log
+// body; see WriteLog).
+func (s *Session) Deltas() []Delta { return append([]Delta(nil), s.deltas...) }
+
+// Apply validates d, advances the workload, and re-solves the instance —
+// incrementally after epoch 0: the previous incumbent warm-starts the
+// decomposed annealer and only windows containing a dirtied query are
+// re-solved. A query is dirty when it was added, its costs changed, it
+// gained a saving, or it shared a saving with a removed query.
+//
+// On any error (including ctx cancellation mid-solve) the session state
+// is unchanged and the delta is not recorded.
+func (s *Session) Apply(ctx context.Context, d Delta) (*Epoch, error) {
+	next, dirtyIDs, err := s.next(d)
+	if err != nil {
+		return nil, err
+	}
+	p, base, err := buildProblem(next)
+	if err != nil {
+		return nil, fmt.Errorf("session: delta produces an invalid instance: %w", err)
+	}
+
+	opt := decompose.Options{
+		WindowQueries: s.cfg.WindowQueries,
+		Overlap:       s.cfg.Overlap,
+		MaxSweeps:     s.cfg.MaxSweeps,
+		Core:          core.Options{Runs: s.cfg.Runs, Parallelism: s.Parallelism},
+	}
+	nDirty := len(next.order)
+	if s.epoch > 0 {
+		warm := make(mqo.Solution, len(next.order))
+		dirty := make([]bool, len(next.order))
+		nDirty = 0
+		for qi, id := range next.order {
+			idx, ok := s.chosen[id]
+			if !ok || idx >= len(next.queries[id].costs) {
+				idx = 0 // newly added (or re-added with fewer plans)
+			}
+			warm[qi] = base[id] + idx
+			if dirtyIDs[id] {
+				dirty[qi] = true
+				nDirty++
+			}
+		}
+		opt.Warm = warm
+		opt.Dirty = dirty
+	}
+	var incumbents []trace.Point
+	epoch := s.epoch
+	opt.OnImprovement = func(pt trace.Point) {
+		incumbents = append(incumbents, pt)
+		if s.OnImprovement != nil {
+			s.OnImprovement(epoch, pt)
+		}
+	}
+
+	res, err := decompose.Solve(ctx, p, opt, splitmix.Split(s.cfg.Seed, int64(epoch)))
+	if err != nil {
+		return nil, err
+	}
+
+	chosen := make(map[string]int, len(next.order))
+	for qi, id := range next.order {
+		chosen[id] = res.Solution[qi] - base[id]
+	}
+	s.w = next
+	s.problem = p
+	s.chosen = chosen
+	s.cost = res.Cost
+	s.deltas = append(s.deltas, d)
+	s.epoch++
+	return &Epoch{
+		Epoch:          epoch,
+		Cost:           res.Cost,
+		Plans:          s.Plans(),
+		Fingerprint:    p.Fingerprint(),
+		Dirty:          nDirty,
+		Windows:        res.Windows,
+		WindowsSkipped: res.WindowsSkipped,
+		Runs:           res.Runs,
+		ModeledTime:    res.ModeledTime,
+		Incumbents:     incumbents,
+	}, nil
+}
+
+// InitFingerprint returns the problem fingerprint the first Apply of d
+// would produce, without solving anything. Cluster routing hashes it
+// onto the ring so a session and all its deltas land on one owner — and
+// so an evicted session's log re-creates under the same identity.
+func InitFingerprint(d Delta) (uint64, error) {
+	s := New(Config{})
+	next, _, err := s.next(d)
+	if err != nil {
+		return 0, err
+	}
+	p, _, err := buildProblem(next)
+	if err != nil {
+		return 0, fmt.Errorf("session: delta produces an invalid instance: %w", err)
+	}
+	return p.Fingerprint(), nil
+}
+
+// next validates d against the current workload and returns the
+// successor workload plus the set of dirtied query IDs. The receiver is
+// not mutated.
+func (s *Session) next(d Delta) (workload, map[string]bool, error) {
+	if d.empty() {
+		return workload{}, nil, fmt.Errorf("session: empty delta")
+	}
+	dirty := map[string]bool{}
+
+	removed := make(map[string]bool, len(d.RemoveQueries))
+	for _, id := range d.RemoveQueries {
+		if _, ok := s.w.queries[id]; !ok {
+			return workload{}, nil, fmt.Errorf("session: remove_queries: unknown query %q", id)
+		}
+		if removed[id] {
+			return workload{}, nil, fmt.Errorf("session: remove_queries: query %q listed twice", id)
+		}
+		removed[id] = true
+	}
+	// Queries that shared work with a removed query lose folded savings
+	// and must be re-solved.
+	for _, sv := range s.w.savings {
+		if removed[sv.q1] && !removed[sv.q2] {
+			dirty[sv.q2] = true
+		}
+		if removed[sv.q2] && !removed[sv.q1] {
+			dirty[sv.q1] = true
+		}
+	}
+
+	next := workload{
+		order:   make([]string, 0, len(s.w.order)),
+		queries: make(map[string]query, len(s.w.queries)),
+	}
+	for _, id := range s.w.order {
+		if removed[id] {
+			continue
+		}
+		next.order = append(next.order, id)
+		next.queries[id] = s.w.queries[id]
+	}
+	for _, sv := range s.w.savings {
+		if removed[sv.q1] || removed[sv.q2] {
+			continue
+		}
+		next.savings = append(next.savings, sv)
+	}
+
+	for _, u := range d.UpdateCosts {
+		q, ok := next.queries[u.ID]
+		if !ok {
+			return workload{}, nil, fmt.Errorf("session: update_costs: unknown query %q", u.ID)
+		}
+		if len(u.Costs) != len(q.costs) {
+			return workload{}, nil, fmt.Errorf("session: update_costs: query %q has %d plans, got %d costs (remove and re-add to change the plan set)",
+				u.ID, len(q.costs), len(u.Costs))
+		}
+		if err := validCosts(u.Costs); err != nil {
+			return workload{}, nil, fmt.Errorf("session: update_costs: query %q: %w", u.ID, err)
+		}
+		next.queries[u.ID] = query{id: u.ID, costs: append([]float64(nil), u.Costs...)}
+		dirty[u.ID] = true
+		// The query's sharing partners fold its selection into their
+		// window costs; re-solve them too.
+		for _, sv := range next.savings {
+			switch u.ID {
+			case sv.q1:
+				dirty[sv.q2] = true
+			case sv.q2:
+				dirty[sv.q1] = true
+			}
+		}
+	}
+
+	for _, a := range d.AddQueries {
+		if a.ID == "" {
+			return workload{}, nil, fmt.Errorf("session: add_queries: empty query ID")
+		}
+		if _, dup := next.queries[a.ID]; dup {
+			return workload{}, nil, fmt.Errorf("session: add_queries: query %q already exists", a.ID)
+		}
+		if err := validCosts(a.Costs); err != nil {
+			return workload{}, nil, fmt.Errorf("session: add_queries: query %q: %w", a.ID, err)
+		}
+		next.order = append(next.order, a.ID)
+		next.queries[a.ID] = query{id: a.ID, costs: append([]float64(nil), a.Costs...)}
+		dirty[a.ID] = true
+	}
+	if len(next.order) == 0 {
+		return workload{}, nil, fmt.Errorf("session: delta removes every query")
+	}
+
+	pairs := make(map[string]bool, len(next.savings))
+	for _, sv := range next.savings {
+		pairs[pairKey(sv)] = true
+	}
+	for _, a := range d.AddSavings {
+		sv, err := next.checkSaving(a)
+		if err != nil {
+			return workload{}, nil, fmt.Errorf("session: add_savings: %w", err)
+		}
+		if key := pairKey(sv); pairs[key] {
+			return workload{}, nil, fmt.Errorf("session: add_savings: duplicate saving between %s[%d] and %s[%d]",
+				sv.q1, sv.p1, sv.q2, sv.p2)
+		} else {
+			pairs[key] = true
+		}
+		next.savings = append(next.savings, sv)
+		dirty[sv.q1] = true
+		dirty[sv.q2] = true
+	}
+	return next, dirty, nil
+}
+
+// checkSaving validates one SavingSpec against w and returns it in
+// canonical endpoint order (q1 < q2 lexicographically).
+func (w workload) checkSaving(a SavingSpec) (saving, error) {
+	if a.Q1 == a.Q2 {
+		return saving{}, fmt.Errorf("saving links query %q to itself", a.Q1)
+	}
+	for _, end := range []struct {
+		q string
+		p int
+	}{{a.Q1, a.P1}, {a.Q2, a.P2}} {
+		q, ok := w.queries[end.q]
+		if !ok {
+			return saving{}, fmt.Errorf("unknown query %q", end.q)
+		}
+		if end.p < 0 || end.p >= len(q.costs) {
+			return saving{}, fmt.Errorf("query %q has no plan %d", end.q, end.p)
+		}
+	}
+	if a.Value <= 0 || math.IsNaN(a.Value) || math.IsInf(a.Value, 0) {
+		return saving{}, fmt.Errorf("saving between %q and %q has non-positive or invalid value %v", a.Q1, a.Q2, a.Value)
+	}
+	sv := saving{q1: a.Q1, p1: a.P1, q2: a.Q2, p2: a.P2, value: a.Value}
+	if sv.q1 > sv.q2 {
+		sv.q1, sv.p1, sv.q2, sv.p2 = sv.q2, sv.p2, sv.q1, sv.p1
+	}
+	return sv, nil
+}
+
+func pairKey(sv saving) string {
+	var b strings.Builder
+	b.WriteString(sv.q1)
+	b.WriteByte(0)
+	b.WriteString(strconv.Itoa(sv.p1))
+	b.WriteByte(0)
+	b.WriteString(sv.q2)
+	b.WriteByte(0)
+	b.WriteString(strconv.Itoa(sv.p2))
+	return b.String()
+}
+
+func validCosts(costs []float64) error {
+	if len(costs) == 0 {
+		return fmt.Errorf("no plans")
+	}
+	for i, c := range costs {
+		if c < 0 || math.IsNaN(c) || math.IsInf(c, 0) {
+			return fmt.Errorf("plan %d has invalid cost %v", i, c)
+		}
+	}
+	return nil
+}
+
+// buildProblem lowers the workload into an mqo.Problem. Global plan
+// indices are assigned contiguously in workload order, so base[id]+i is
+// query id's plan i; the mapping is deterministic given the event log.
+func buildProblem(w workload) (*mqo.Problem, map[string]int, error) {
+	base := make(map[string]int, len(w.order))
+	var (
+		queryPlans [][]int
+		costs      []float64
+	)
+	for _, id := range w.order {
+		q := w.queries[id]
+		base[id] = len(costs)
+		plans := make([]int, len(q.costs))
+		for i := range q.costs {
+			plans[i] = len(costs)
+			costs = append(costs, q.costs[i])
+		}
+		queryPlans = append(queryPlans, plans)
+	}
+	savings := make([]mqo.Saving, 0, len(w.savings))
+	for _, sv := range w.savings {
+		a, b := base[sv.q1]+sv.p1, base[sv.q2]+sv.p2
+		if a > b {
+			a, b = b, a
+		}
+		savings = append(savings, mqo.Saving{P1: a, P2: b, Value: sv.value})
+	}
+	p, err := mqo.New(queryPlans, costs, savings)
+	if err != nil {
+		return nil, nil, err
+	}
+	return p, base, nil
+}

@@ -1,0 +1,270 @@
+package session
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func testConfig() Config {
+	return Config{Seed: 7, WindowQueries: 4, MaxSweeps: 2, Runs: 20}
+}
+
+// chainDelta builds the initial workload: n queries of two plans each,
+// with a sharing opportunity between consecutive queries' first plans.
+func chainDelta(n int) Delta {
+	var d Delta
+	for i := 0; i < n; i++ {
+		id := string(rune('a' + i))
+		d.AddQueries = append(d.AddQueries, QuerySpec{ID: id, Costs: []float64{float64(2 + i%3), float64(4 - i%2)}})
+		if i > 0 {
+			d.AddSavings = append(d.AddSavings, SavingSpec{
+				Q1: string(rune('a' + i - 1)), P1: 0, Q2: id, P2: 0, Value: 3,
+			})
+		}
+	}
+	return d
+}
+
+func TestSessionLifecycle(t *testing.T) {
+	ctx := context.Background()
+	s := New(testConfig())
+	if s.Fingerprint() != 0 || s.Cost() != 0 || s.Epochs() != 0 || len(s.QueryIDs()) != 0 {
+		t.Fatal("fresh session is not empty")
+	}
+
+	ep0, err := s.Apply(ctx, chainDelta(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ep0.Epoch != 0 || ep0.Dirty != 8 || ep0.Windows == 0 {
+		t.Fatalf("epoch 0 = %+v, want epoch 0 with 8 dirty queries and solved windows", ep0)
+	}
+	if len(ep0.Incumbents) == 0 || ep0.Incumbents[0].T != 0 {
+		t.Fatalf("epoch 0 incumbents = %v, want a T=0 starting point", ep0.Incumbents)
+	}
+	if len(ep0.Plans) != 8 || ep0.Cost != s.Cost() || ep0.Fingerprint != s.Fingerprint() {
+		t.Fatalf("epoch 0 result inconsistent with session state: %+v", ep0)
+	}
+
+	// Epoch 1: one query arrives. Only windows touching it re-solve.
+	ep1, err := s.Apply(ctx, Delta{
+		AddQueries: []QuerySpec{{ID: "z", Costs: []float64{5, 1}}},
+		AddSavings: []SavingSpec{{Q1: "h", P1: 0, Q2: "z", P2: 0, Value: 2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ep1.Epoch != 1 || ep1.Dirty != 2 { // z and its partner h
+		t.Fatalf("epoch 1 = %+v, want 2 dirty queries", ep1)
+	}
+	if ep1.WindowsSkipped == 0 {
+		t.Errorf("epoch 1 skipped no windows; warm delta solving is not incremental")
+	}
+	if len(s.QueryIDs()) != 9 || s.QueryIDs()[8] != "z" {
+		t.Fatalf("query order after arrival: %v", s.QueryIDs())
+	}
+
+	// Epoch 2: a query retires; its sharing partners re-solve.
+	fpBefore := s.Fingerprint()
+	ep2, err := s.Apply(ctx, Delta{RemoveQueries: []string{"d"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ep2.Dirty != 2 { // c and e shared savings with d
+		t.Fatalf("epoch 2 dirty = %d, want 2 (the retired query's partners)", ep2.Dirty)
+	}
+	if s.Fingerprint() == fpBefore {
+		t.Error("fingerprint unchanged after removing a query")
+	}
+	if _, still := s.Plans()["d"]; still || len(s.QueryIDs()) != 8 {
+		t.Fatalf("removed query still present: %v", s.QueryIDs())
+	}
+
+	// Epoch 3: cost update dirties the query and its partners.
+	ep3, err := s.Apply(ctx, Delta{UpdateCosts: []QuerySpec{{ID: "b", Costs: []float64{0, 9}}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ep3.Dirty != 3 { // b plus partners a and c
+		t.Fatalf("epoch 3 dirty = %d, want 3", ep3.Dirty)
+	}
+	if s.Epochs() != 4 || len(s.Deltas()) != 4 {
+		t.Fatalf("session recorded %d epochs / %d deltas, want 4", s.Epochs(), len(s.Deltas()))
+	}
+}
+
+func TestSessionReplayBitIdenticalAtAnyParallelism(t *testing.T) {
+	ctx := context.Background()
+	live := New(testConfig())
+	live.Parallelism = 1
+	var liveTrace []trace.Point
+	live.OnImprovement = func(_ int, pt trace.Point) { liveTrace = append(liveTrace, pt) }
+
+	deltas := []Delta{
+		chainDelta(6),
+		{AddQueries: []QuerySpec{{ID: "x", Costs: []float64{3, 2}}},
+			AddSavings: []SavingSpec{{Q1: "a", P1: 1, Q2: "x", P2: 0, Value: 1}}},
+		{RemoveQueries: []string{"c"}},
+		{UpdateCosts: []QuerySpec{{ID: "e", Costs: []float64{1, 1}}}},
+	}
+	var liveEpochs []*Epoch
+	for _, d := range deltas {
+		ep, err := live.Apply(ctx, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		liveEpochs = append(liveEpochs, ep)
+	}
+
+	var log bytes.Buffer
+	if err := live.WriteLog(&log); err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{1, 4} {
+		var replayTrace []trace.Point
+		s, epochs, err := Replay(ctx, bytes.NewReader(log.Bytes()), par,
+			func(_ int, pt trace.Point) { replayTrace = append(replayTrace, pt) })
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		if s.Fingerprint() != live.Fingerprint() || s.Cost() != live.Cost() {
+			t.Fatalf("parallelism %d: replay diverges: fp %x/%x cost %v/%v",
+				par, s.Fingerprint(), live.Fingerprint(), s.Cost(), live.Cost())
+		}
+		if !reflect.DeepEqual(epochs, liveEpochs) {
+			t.Fatalf("parallelism %d: replayed epochs differ from live", par)
+		}
+		if !reflect.DeepEqual(replayTrace, liveTrace) {
+			t.Fatalf("parallelism %d: replayed incumbent stream differs from live", par)
+		}
+	}
+}
+
+func TestSessionRejectsInvalidDeltas(t *testing.T) {
+	ctx := context.Background()
+	s := New(testConfig())
+	if _, err := s.Apply(ctx, chainDelta(4)); err != nil {
+		t.Fatal(err)
+	}
+	fp, cost, epochs := s.Fingerprint(), s.Cost(), s.Epochs()
+
+	bad := []struct {
+		name string
+		d    Delta
+	}{
+		{"empty delta", Delta{}},
+		{"remove unknown", Delta{RemoveQueries: []string{"zzz"}}},
+		{"remove twice", Delta{RemoveQueries: []string{"a", "a"}}},
+		{"remove all", Delta{RemoveQueries: []string{"a", "b", "c", "d"}}},
+		{"update unknown", Delta{UpdateCosts: []QuerySpec{{ID: "zzz", Costs: []float64{1}}}}},
+		{"update plan count", Delta{UpdateCosts: []QuerySpec{{ID: "a", Costs: []float64{1, 2, 3}}}}},
+		{"update negative cost", Delta{UpdateCosts: []QuerySpec{{ID: "a", Costs: []float64{-1, 2}}}}},
+		{"add empty id", Delta{AddQueries: []QuerySpec{{ID: "", Costs: []float64{1}}}}},
+		{"add duplicate", Delta{AddQueries: []QuerySpec{{ID: "a", Costs: []float64{1}}}}},
+		{"add no plans", Delta{AddQueries: []QuerySpec{{ID: "n", Costs: nil}}}},
+		{"saving unknown query", Delta{AddSavings: []SavingSpec{{Q1: "a", Q2: "zzz", Value: 1}}}},
+		{"saving self", Delta{AddSavings: []SavingSpec{{Q1: "a", P1: 0, Q2: "a", P2: 1, Value: 1}}}},
+		{"saving plan range", Delta{AddSavings: []SavingSpec{{Q1: "a", P1: 5, Q2: "c", P2: 0, Value: 1}}}},
+		{"saving zero value", Delta{AddSavings: []SavingSpec{{Q1: "a", P1: 1, Q2: "c", P2: 1, Value: 0}}}},
+		{"saving duplicate", Delta{AddSavings: []SavingSpec{{Q1: "b", P1: 0, Q2: "a", P2: 0, Value: 2}}}},
+	}
+	for _, tc := range bad {
+		if _, err := s.Apply(ctx, tc.d); err == nil {
+			t.Errorf("%s: want error, got nil", tc.name)
+		}
+	}
+	if s.Fingerprint() != fp || s.Cost() != cost || s.Epochs() != epochs {
+		t.Fatal("a rejected delta mutated the session")
+	}
+}
+
+func TestSessionCancelledApplyLeavesStateUnchanged(t *testing.T) {
+	s := New(testConfig())
+	if _, err := s.Apply(context.Background(), chainDelta(4)); err != nil {
+		t.Fatal(err)
+	}
+	fp, epochs := s.Fingerprint(), s.Epochs()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.Apply(ctx, Delta{AddQueries: []QuerySpec{{ID: "n", Costs: []float64{1}}}}); err == nil {
+		t.Fatal("cancelled Apply: want error")
+	}
+	if s.Fingerprint() != fp || s.Epochs() != epochs {
+		t.Fatal("cancelled Apply mutated the session")
+	}
+}
+
+func TestDeltaInverseRestoresFingerprint(t *testing.T) {
+	ctx := context.Background()
+	s := New(testConfig())
+	if _, err := s.Apply(ctx, chainDelta(5)); err != nil {
+		t.Fatal(err)
+	}
+	fp := s.Fingerprint()
+
+	if _, err := s.Apply(ctx, Delta{
+		AddQueries: []QuerySpec{{ID: "x", Costs: []float64{2, 2}}},
+		AddSavings: []SavingSpec{{Q1: "b", P1: 0, Q2: "x", P2: 1, Value: 1}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Fingerprint() == fp {
+		t.Fatal("delta did not change the fingerprint")
+	}
+	if _, err := s.Apply(ctx, Delta{RemoveQueries: []string{"x"}}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Fingerprint() != fp {
+		t.Fatalf("inverse delta fingerprint %x, want original %x", s.Fingerprint(), fp)
+	}
+}
+
+func TestLogRoundTrip(t *testing.T) {
+	s := New(testConfig())
+	ctx := context.Background()
+	deltas := []Delta{chainDelta(3), {RemoveQueries: []string{"b"}}}
+	for _, d := range deltas {
+		if _, err := s.Apply(ctx, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := s.WriteLog(&buf); err != nil {
+		t.Fatal(err)
+	}
+	cfg, got, err := ReadLog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg != s.Config() {
+		t.Fatalf("config round-trip: %+v vs %+v", cfg, s.Config())
+	}
+	if !reflect.DeepEqual(got, deltas) {
+		t.Fatalf("delta round-trip: %+v vs %+v", got, deltas)
+	}
+}
+
+func TestReadLogRejectsMalformedInput(t *testing.T) {
+	cases := []struct {
+		name string
+		log  string
+	}{
+		{"empty", ""},
+		{"bad header", "not json\n"},
+		{"bad version", `{"v":2,"config":{"seed":1}}` + "\n"},
+		{"unknown field", `{"v":1,"config":{"seed":1},"extra":true}` + "\n"},
+		{"missing delta", `{"v":1,"config":{"seed":1}}` + "\n{}\n"},
+		{"unknown delta field", `{"v":1,"config":{"seed":1}}` + "\n" + `{"delta":{"nope":1}}` + "\n"},
+	}
+	for _, tc := range cases {
+		if _, _, err := ReadLog(strings.NewReader(tc.log)); err == nil {
+			t.Errorf("%s: want error, got nil", tc.name)
+		}
+	}
+}

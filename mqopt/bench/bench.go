@@ -58,6 +58,14 @@ type ClusterResult = harness.ClusterResult
 // ClusterRow is one node-count measurement of the cluster panel.
 type ClusterRow = harness.ClusterRow
 
+// SessionResult is the incremental-session panel: a workload evolving
+// by ±1-query deltas, each epoch solved twice — warm-started in a live
+// session versus from scratch — and compared on modeled time-to-best.
+type SessionResult = harness.SessionResult
+
+// SessionRow is one delta epoch of the session panel.
+type SessionRow = harness.SessionRow
+
 // PaperClasses are the four problem classes of the evaluation.
 var PaperClasses = mqopt.PaperClasses
 
@@ -136,6 +144,18 @@ func RunCluster(ctx context.Context, cfg Config, nodes, shapes, repeats int) (*C
 
 // RenderCluster writes the cluster panel as text.
 func RenderCluster(w io.Writer, r *ClusterResult) { harness.RenderCluster(w, r) }
+
+// RunSession executes the incremental-session panel: an initial
+// workload of `queries` queries, then `epochs` alternating ±1-query
+// deltas, each applied to a warm-started session and re-solved from
+// scratch for comparison. Non-positive arguments select 24 queries and
+// 8 epochs. Results are deterministic at any cfg.Parallelism.
+func RunSession(ctx context.Context, cfg Config, queries, epochs int) (*SessionResult, error) {
+	return cfg.RunSession(ctx, queries, epochs)
+}
+
+// RenderSession writes the session panel as text.
+func RenderSession(w io.Writer, r *SessionResult) { harness.RenderSession(w, r) }
 
 // SolverNames lists the solver series of the anytime figures in
 // presentation order.

@@ -66,6 +66,19 @@ type StreamLine = cluster.StreamLine
 // StatsResponse is the GET /stats reply of a node.
 type StatsResponse = cluster.StatsResponse
 
+// Session wire schema: POST /session creates an incremental session
+// (initial delta XOR replayable event log), POST /session/{id}/delta
+// applies one delta, and ?stream=1 on either streams the epoch's
+// anytime incumbents as SessionStreamLine NDJSON.
+type (
+	SessionCreateRequest = cluster.SessionCreateRequest
+	SessionDeltaRequest  = cluster.SessionDeltaRequest
+	SessionResponse      = cluster.SessionResponse
+	SessionEpochResponse = cluster.SessionEpochResponse
+	SessionIncumbentJSON = cluster.SessionIncumbentJSON
+	SessionStreamLine    = cluster.SessionStreamLine
+)
+
 // BuildRing constructs the deterministic ring for a member set.
 func BuildRing(nodes []string, replicas int) *Ring { return cluster.BuildRing(nodes, replicas) }
 
@@ -95,3 +108,14 @@ func EncodeResponse(res *mqopt.Result) SolveResponse { return cluster.EncodeResp
 // CanonicalResponse re-encodes a /solve response with wall-clock
 // incumbent timestamps zeroed — the byte-comparable deterministic part.
 func CanonicalResponse(raw []byte) ([]byte, error) { return cluster.CanonicalResponse(raw) }
+
+// SessionID derives the deterministic session ID for a config, initial
+// delta, and optional name. The hex prefix before the dash is the
+// initial problem fingerprint — the consistent-hash ring key — so the
+// ID alone routes every later call to the session's owner.
+func SessionID(cfg mqopt.SessionConfig, init mqopt.SessionDelta, name string) (string, error) {
+	return cluster.SessionID(cfg, init, name)
+}
+
+// SessionFP parses the ring key back out of a session ID.
+func SessionFP(id string) (uint64, error) { return cluster.SessionFP(id) }

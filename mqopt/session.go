@@ -1,0 +1,144 @@
+package mqopt
+
+import (
+	"context"
+	"io"
+
+	"repro/internal/session"
+	"repro/internal/trace"
+)
+
+// SessionConfig fixes an incremental session's identity: seed,
+// decomposition geometry, and per-window annealing budget. Two sessions
+// with equal configs and equal delta streams are bit-identical.
+type SessionConfig = session.Config
+
+// SessionQuery names a query and its per-plan execution costs within a
+// session delta.
+type SessionQuery = session.QuerySpec
+
+// SessionSaving records a sharing opportunity between two session
+// queries' plans.
+type SessionSaving = session.SavingSpec
+
+// SessionDelta is one workload change set: queries arriving, retiring,
+// changing cost, or gaining sharing opportunities.
+type SessionDelta = session.Delta
+
+// SessionEpoch is the result of applying one delta: the re-solved
+// incumbent and the incremental annealer work it took.
+type SessionEpoch = session.Epoch
+
+// Session is a long-lived incremental MQO solving handle. Epoch 0
+// (the first Apply) solves the initial workload from scratch; every
+// later epoch warm-starts the decomposed annealer from the previous
+// incumbent and re-solves only the windows the delta dirtied. Sessions
+// are deterministic: a fixed config plus an identical delta stream
+// yields bit-identical epoch results and incumbent streams at any
+// parallelism, live or replayed from the event log.
+//
+// A Session is not safe for concurrent use; callers serialize Applys.
+type Session struct {
+	inner *session.Session
+}
+
+// NewSession creates an empty session. The first Apply must add at
+// least one query.
+func NewSession(cfg SessionConfig) *Session {
+	return &Session{inner: session.New(cfg)}
+}
+
+// SetParallelism sets the annealer worker count for subsequent Applys.
+// It is a runtime knob, not part of the session identity: results are
+// bit-identical at any value.
+func (s *Session) SetParallelism(n int) { s.inner.Parallelism = n }
+
+// OnImprovement registers an observer for each epoch's anytime
+// incumbents as they are found. Elapsed is cumulative modeled annealer
+// time within the epoch.
+func (s *Session) OnImprovement(fn func(epoch int, in Incumbent)) {
+	if fn == nil {
+		s.inner.OnImprovement = nil
+		return
+	}
+	s.inner.OnImprovement = func(epoch int, pt trace.Point) {
+		fn(epoch, Incumbent{Elapsed: pt.T, Cost: pt.Cost})
+	}
+}
+
+// Apply validates the delta, advances the workload, and re-solves it
+// incrementally. On error (including ctx cancellation mid-solve) the
+// session is unchanged and the delta is not recorded.
+func (s *Session) Apply(ctx context.Context, d SessionDelta) (*SessionEpoch, error) {
+	return s.inner.Apply(ctx, d)
+}
+
+// Config returns the session's immutable configuration.
+func (s *Session) Config() SessionConfig { return s.inner.Config() }
+
+// Epochs returns the number of deltas applied so far.
+func (s *Session) Epochs() int { return s.inner.Epochs() }
+
+// Cost returns the current incumbent cost (0 before the first epoch).
+func (s *Session) Cost() float64 { return s.inner.Cost() }
+
+// Fingerprint identifies the current problem instance (0 before the
+// first epoch).
+func (s *Session) Fingerprint() uint64 { return s.inner.Fingerprint() }
+
+// QueryIDs returns the current query IDs in workload order.
+func (s *Session) QueryIDs() []string { return s.inner.QueryIDs() }
+
+// Plans returns the current incumbent as a query-ID -> plan-index map.
+func (s *Session) Plans() map[string]int { return s.inner.Plans() }
+
+// Deltas returns the applied delta sequence.
+func (s *Session) Deltas() []SessionDelta { return s.inner.Deltas() }
+
+// WriteLog serializes the session's NDJSON event log — a config header
+// line plus one line per applied delta. The log is a full backup:
+// ReplaySession rebuilds the same fingerprint, incumbent, and epoch
+// stream byte for byte.
+func (s *Session) WriteLog(w io.Writer) error { return s.inner.WriteLog(w) }
+
+// SessionInitFingerprint returns the problem fingerprint the first
+// Apply of d would produce, without solving anything — the routing key
+// that keeps a session and all its deltas on one cluster owner.
+func SessionInitFingerprint(d SessionDelta) (uint64, error) {
+	return session.InitFingerprint(d)
+}
+
+// WriteSessionHeader writes an event-log header line for cfg.
+func WriteSessionHeader(w io.Writer, cfg SessionConfig) error {
+	return session.WriteHeader(w, cfg)
+}
+
+// WriteSessionDelta appends one delta line to an event log.
+func WriteSessionDelta(w io.Writer, d SessionDelta) error {
+	return session.WriteDelta(w, d)
+}
+
+// ReadSessionLog parses an event log into its config and delta stream.
+// Unknown fields are rejected.
+func ReadSessionLog(r io.Reader) (SessionConfig, []SessionDelta, error) {
+	return session.ReadLog(r)
+}
+
+// ReplaySession rebuilds a session from its event log, re-applying
+// every delta in order. observe (optional) sees each epoch's anytime
+// incumbents as they are recomputed; parallelism sets the annealer
+// worker count and, by the determinism contract, affects no returned
+// value.
+func ReplaySession(ctx context.Context, r io.Reader, parallelism int, observe func(epoch int, in Incumbent)) (*Session, []*SessionEpoch, error) {
+	var fn func(int, trace.Point)
+	if observe != nil {
+		fn = func(epoch int, pt trace.Point) {
+			observe(epoch, Incumbent{Elapsed: pt.T, Cost: pt.Cost})
+		}
+	}
+	inner, epochs, err := session.Replay(ctx, r, parallelism, fn)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &Session{inner: inner}, epochs, nil
+}
