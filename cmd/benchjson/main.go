@@ -12,6 +12,13 @@
 // The trajectory files are append-only history: one artifact per push,
 // comparable across commits because -benchtime=1x pins the iteration
 // count and the fields carry raw per-op numbers.
+//
+// Trend mode renders that history: -trajectory points at the directory
+// holding INDEX (one SHA per line, newest last) and the BENCH_<sha>.json
+// artifacts, and the command prints one markdown table with a ns/op
+// column per commit and a Δ column for the oldest→newest drift:
+//
+//	benchjson -trajectory bench/trajectory -last 8 -summary "$GITHUB_STEP_SUMMARY"
 package main
 
 import (
@@ -69,7 +76,16 @@ func main() {
 	threshold := flag.Float64("threshold", 20, "diff mode: ns/op slowdown (percent) flagged as a regression")
 	failOnRegression := flag.Bool("fail-on-regression", false, "diff mode: exit 1 when a regression exceeds the threshold")
 	minImprove := flag.String("min-improve", "", "diff mode: comma-separated name=factor speedups that must hold (e.g. BenchmarkPipeline/sequential=3); violations exit 1")
+	trajectory := flag.String("trajectory", "", "trend mode: trajectory directory (holding INDEX and BENCH_<sha>.json files) to render as a per-benchmark ns/op trend table")
+	lastN := flag.Int("last", 8, "trend mode: how many of the newest INDEX entries to include (0 for all)")
 	flag.Parse()
+
+	if *trajectory != "" {
+		if err := runTrajectory(*trajectory, *lastN, *summary); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *oldPath != "" || *newPath != "" {
 		if *oldPath == "" || *newPath == "" {

@@ -1,0 +1,172 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// TrendPoint is one commit's trajectory artifact resolved from INDEX.
+type TrendPoint struct {
+	Commit string
+	Traj   *Trajectory
+}
+
+// ReadIndex parses a trajectory INDEX file: one commit SHA per line,
+// oldest first, newest last (the order the CI job appends in). Blank
+// lines and #-comments are skipped.
+func ReadIndex(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var shas []string
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		shas = append(shas, line)
+	}
+	return shas, nil
+}
+
+// LoadTrend resolves the newest `last` INDEX entries to their
+// BENCH_<sha>.json artifacts. Entries whose artifact is missing or
+// unreadable are reported in skipped rather than failing the whole
+// trend — history stays useful even when one push lost its artifact.
+func LoadTrend(dir string, last int) (points []TrendPoint, skipped []string, err error) {
+	shas, err := ReadIndex(filepath.Join(dir, "INDEX"))
+	if err != nil {
+		return nil, nil, err
+	}
+	if last > 0 && len(shas) > last {
+		shas = shas[len(shas)-last:]
+	}
+	for _, sha := range shas {
+		traj, err := readTrajectory(filepath.Join(dir, "BENCH_"+sha+".json"))
+		if err != nil {
+			skipped = append(skipped, sha)
+			continue
+		}
+		points = append(points, TrendPoint{Commit: sha, Traj: traj})
+	}
+	return points, skipped, nil
+}
+
+// writeTrendSummary renders the trend as one markdown table: a row per
+// benchmark, a ns/op column per trajectory point (oldest left, newest
+// right), and a Δ column comparing the newest measurement against the
+// oldest one for that benchmark. Benchmarks absent from a point render
+// as "·" so gaps read as gaps, not zeros.
+func writeTrendSummary(w io.Writer, points []TrendPoint, skipped []string) error {
+	fmt.Fprintf(w, "### Benchmark trend (%d trajectory point(s))\n\n", len(points))
+	for _, sha := range skipped {
+		fmt.Fprintf(w, "⚠️ _no readable artifact for `%s` — point skipped_\n", shorten(sha))
+	}
+	if len(skipped) > 0 {
+		fmt.Fprintln(w)
+	}
+	if len(points) == 0 {
+		_, err := fmt.Fprintln(w, "_no trajectory points to render_")
+		return err
+	}
+
+	// Collect the benchmark universe across all points; a benchmark
+	// introduced mid-history still gets a row.
+	type key struct{ pkg, name string }
+	series := map[key][]float64{}
+	for i, p := range points {
+		for _, b := range p.Traj.Benchmarks {
+			k := key{b.Package, b.Name}
+			if _, ok := series[k]; !ok {
+				series[k] = make([]float64, len(points))
+			}
+			series[k][i] = b.NsPerOp
+		}
+	}
+	keys := make([]key, 0, len(series))
+	for k := range series {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].pkg != keys[j].pkg {
+			return keys[i].pkg < keys[j].pkg
+		}
+		return keys[i].name < keys[j].name
+	})
+
+	fmt.Fprint(w, "| package | benchmark |")
+	for _, p := range points {
+		fmt.Fprintf(w, " %s |", shorten(p.Commit))
+	}
+	fmt.Fprintln(w, " Δ |")
+	fmt.Fprint(w, "|---|---|")
+	for range points {
+		fmt.Fprint(w, "---:|")
+	}
+	fmt.Fprintln(w, "---:|")
+	for _, k := range keys {
+		vals := series[k]
+		fmt.Fprintf(w, "| %s | %s |", k.pkg, k.name)
+		for _, v := range vals {
+			if v > 0 {
+				fmt.Fprintf(w, " %.0f |", v)
+			} else {
+				fmt.Fprint(w, " · |")
+			}
+		}
+		// Δ spans the oldest and newest points that actually measured
+		// this benchmark; with fewer than two there is no trend yet.
+		first, last, measured := 0.0, 0.0, 0
+		for _, v := range vals {
+			if v > 0 {
+				if measured == 0 {
+					first = v
+				}
+				last = v
+				measured++
+			}
+		}
+		if measured >= 2 {
+			fmt.Fprintf(w, " %+.1f%% |\n", 100*(last-first)/first)
+		} else {
+			fmt.Fprintln(w, " · |")
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// shorten abbreviates a commit SHA for table headers.
+func shorten(sha string) string {
+	if len(sha) > 12 {
+		return sha[:12]
+	}
+	return sha
+}
+
+// runTrajectory is the -trajectory entry point: load the newest points
+// from the INDEX, render the trend to stdout and (appended) to the CI
+// step summary.
+func runTrajectory(dir string, last int, summaryPath string) error {
+	points, skipped, err := LoadTrend(dir, last)
+	if err != nil {
+		return err
+	}
+	if err := writeTrendSummary(os.Stdout, points, skipped); err != nil {
+		return err
+	}
+	if summaryPath != "" {
+		f, err := os.OpenFile(summaryPath, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return writeTrendSummary(f, points, skipped)
+	}
+	return nil
+}

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writePoint drops one BENCH_<sha>.json artifact into dir.
+func writePoint(t *testing.T, dir, sha string, benches []Benchmark) {
+	t.Helper()
+	data, err := json.Marshal(Trajectory{Commit: sha, Benchmarks: benches})
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_"+sha+".json"), data, 0o644); err != nil {
+		t.Fatalf("writing artifact: %v", err)
+	}
+}
+
+func TestTrajectoryTrend(t *testing.T) {
+	dir := t.TempDir()
+	index := "# oldest first\naaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa\n\nbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbb\ncccccccccccccccccccccccccccccccccccccccc\n"
+	if err := os.WriteFile(filepath.Join(dir, "INDEX"), []byte(index), 0o644); err != nil {
+		t.Fatalf("writing INDEX: %v", err)
+	}
+	writePoint(t, dir, "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa", []Benchmark{
+		{Package: "repro/x", Name: "BenchmarkFoo", NsPerOp: 1000},
+	})
+	// b has no artifact: the point must be skipped loudly, not fatally.
+	writePoint(t, dir, "cccccccccccccccccccccccccccccccccccccccc", []Benchmark{
+		{Package: "repro/x", Name: "BenchmarkFoo", NsPerOp: 500},
+		{Package: "repro/x", Name: "BenchmarkNew", NsPerOp: 42},
+	})
+
+	points, skipped, err := LoadTrend(dir, 8)
+	if err != nil {
+		t.Fatalf("LoadTrend: %v", err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("loaded %d points, want 2", len(points))
+	}
+	if len(skipped) != 1 || skipped[0] != "bbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbb" {
+		t.Fatalf("skipped = %v, want the missing artifact's SHA", skipped)
+	}
+	if points[0].Commit[0] != 'a' || points[1].Commit[0] != 'c' {
+		t.Fatalf("points out of order: %s, %s", points[0].Commit, points[1].Commit)
+	}
+
+	var sb strings.Builder
+	if err := writeTrendSummary(&sb, points, skipped); err != nil {
+		t.Fatalf("writeTrendSummary: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"aaaaaaaaaaaa", "cccccccccccc", // short-SHA column headers
+		"bbbbbbbbbbbb",           // the skipped point is called out
+		"BenchmarkFoo", "-50.0%", // 1000 → 500 halved
+		"BenchmarkNew", "| · | 42 | · |", // gap rendered as a gap
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestTrajectoryLast: -last keeps only the newest entries.
+func TestTrajectoryLast(t *testing.T) {
+	dir := t.TempDir()
+	shas := []string{"1111", "2222", "3333"}
+	if err := os.WriteFile(filepath.Join(dir, "INDEX"), []byte(strings.Join(shas, "\n")+"\n"), 0o644); err != nil {
+		t.Fatalf("writing INDEX: %v", err)
+	}
+	for _, sha := range shas {
+		writePoint(t, dir, sha, []Benchmark{{Package: "p", Name: "BenchmarkX", NsPerOp: 1}})
+	}
+	points, skipped, err := LoadTrend(dir, 2)
+	if err != nil {
+		t.Fatalf("LoadTrend: %v", err)
+	}
+	if len(skipped) != 0 {
+		t.Fatalf("skipped = %v, want none", skipped)
+	}
+	if len(points) != 2 || points[0].Commit != "2222" || points[1].Commit != "3333" {
+		t.Fatalf("points = %+v, want the newest two (2222, 3333)", points)
+	}
+}

@@ -27,7 +27,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "fig4|fig5|fig6|fig7|table1|throughput|topology|workload|cluster|session|all")
+	experiment := flag.String("experiment", "all", "fig4|fig5|fig6|fig7|table1|throughput|topology|workload|cluster|session|autotune|all")
 	instances := flag.Int("instances", 3, "instances per class (paper: 20)")
 	budget := flag.Duration("budget", 2*time.Second, "classical solver budget (paper: 100s)")
 	runs := flag.Int("runs", 1000, "annealing runs per instance (paper: 1000)")
@@ -141,6 +141,13 @@ func run(ctx context.Context, cfg bench.Config, experiment string, w io.Writer) 
 		}
 		bench.RenderSession(w, res)
 		return nil
+	case "autotune":
+		res, err := bench.RunAutotune(ctx, cfg)
+		if err != nil {
+			return err
+		}
+		bench.RenderAutotune(w, res)
+		return nil
 	case "table1":
 		rows, err := bench.RunTable1(ctx, cfg, bench.PaperClasses)
 		if err != nil {
@@ -204,6 +211,13 @@ func run(ctx context.Context, cfg bench.Config, experiment string, w io.Writer) 
 			return err
 		}
 		bench.RenderSession(w, sres)
+		fmt.Fprintln(w)
+		fmt.Fprintln(w, "=== AutoTune panel (self-tuning portfolio scheduler) ===")
+		ares, err := bench.RunAutotune(ctx, cfg)
+		if err != nil {
+			return err
+		}
+		bench.RenderAutotune(w, ares)
 		return nil
 	default:
 		return fmt.Errorf("unknown experiment %q", experiment)

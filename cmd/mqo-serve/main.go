@@ -62,6 +62,7 @@
 //	DELETE /session/{id}      evict the session
 //	GET  /sessions            resident session IDs
 //	GET  /stats               service + cache + admission counters
+//	GET  /model               the autotune scheduler model (404 without -autotune)
 //	GET  /healthz             liveness probe
 //
 // Endpoints (router):
@@ -73,6 +74,8 @@
 //	ANY  /session/{id}...  routed by the key parsed from the ID
 //	POST /register    {"url": "http://host:port"} joins a worker
 //	GET  /ring        current membership
+//	GET  /stats       per-worker counters fetched live from every alive
+//	                  peer, plus their sums
 //	GET  /healthz     liveness probe
 //
 // Admission control: every node bounds concurrent requests
@@ -132,6 +135,8 @@ func main() {
 		"backoff advertised on 429 responses")
 	advertise := flag.String("advertise", "", "this worker's base URL as routers should reach it")
 	registerWith := flag.String("register-with", "", "router base URL to join at startup (needs -advertise)")
+	autotune := flag.String("autotune", "",
+		"self-tuning portfolio model: a JSON artifact to load at boot, or 'fresh' for an empty model; requests opt in with \"autotune\": true, GET /model snapshots the learned state")
 
 	// Router flags.
 	peers := flag.String("peers", "", "comma-separated worker base URLs (router role)")
@@ -146,10 +151,31 @@ func main() {
 
 	switch *role {
 	case "standalone", "worker":
-		svc, err := mqopt.NewService(solverreg.New,
+		var model *mqopt.TuneModel
+		if *autotune != "" {
+			if *autotune == "fresh" {
+				model = mqopt.NewTuneModel()
+			} else {
+				var err error
+				if model, err = mqopt.LoadTuneModel(*autotune); err != nil {
+					log.Fatalf("mqo-serve: -autotune: %v", err)
+				}
+				st := model.Stats()
+				log.Printf("mqo-serve: autotune model %s: %d classes, %d observations, fingerprint %016x",
+					*autotune, st.Classes, st.Observations, st.Fingerprint)
+			}
+		}
+		defaults := []mqopt.Option{
 			mqopt.WithCache(mqopt.NewCache(*capacity)),
 			mqopt.WithBatchWindow(*window),
-			mqopt.WithParallelism(*parallel))
+			mqopt.WithParallelism(*parallel),
+		}
+		if model != nil {
+			// The service default model: "autotune": true requests learn
+			// into it, and GET /model snapshots exactly this state.
+			defaults = append(defaults, mqopt.WithAutoTune(model))
+		}
+		svc, err := mqopt.NewService(solverreg.New, defaults...)
 		if err != nil {
 			log.Fatalf("mqo-serve: %v", err)
 		}
@@ -161,6 +187,7 @@ func main() {
 			RetryAfter:         *retryAfter,
 			MaxBody:            *maxBody,
 			SessionParallelism: *parallel,
+			Model:              model,
 		})
 		if err != nil {
 			log.Fatalf("mqo-serve: %v", err)

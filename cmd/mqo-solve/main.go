@@ -44,6 +44,8 @@ type options struct {
 	topoDims string
 	broken   int
 	faultSed int64
+	tuneIn   string
+	tuneOut  string
 	verbose  bool
 }
 
@@ -71,6 +73,10 @@ func main() {
 		"broken qubits injected into the topology (paper machine: 55)")
 	flag.Int64Var(&opts.faultSed, "fault-seed", 42,
 		"seed of the deterministic fault-map draw used with -broken")
+	flag.StringVar(&opts.tuneIn, "autotune", "",
+		"self-tuning portfolio: load the learned scheduler model from this JSON file (use 'fresh' for an empty model); switches the default -solver to autotune")
+	flag.StringVar(&opts.tuneOut, "autotune-out", "",
+		"write the scheduler model (including this solve's observation) to this file after solving")
 	flag.BoolVar(&opts.verbose, "v", false, "print the anytime trace")
 	listSolvers := flag.Bool("list-solvers", false, "list registered solvers and exit")
 	flag.Parse()
@@ -181,6 +187,27 @@ func run(ctx context.Context, opts options, out io.Writer) error {
 	if opts.members != "" {
 		solveOpts = append(solveOpts, mqopt.WithPortfolio(strings.Split(opts.members, ",")...))
 	}
+	solver := opts.solver
+	var tuneModel *mqopt.TuneModel
+	if opts.tuneIn != "" {
+		if opts.tuneIn == "fresh" {
+			tuneModel = mqopt.NewTuneModel()
+		} else {
+			tuneModel, err = mqopt.LoadTuneModel(opts.tuneIn)
+			if err != nil {
+				return fmt.Errorf("-autotune: %w", err)
+			}
+		}
+		solveOpts = append(solveOpts, mqopt.WithAutoTune(tuneModel))
+		if solver == "qa" {
+			// The scheduler only steers the portfolio backend; lift the
+			// default solver to it. An explicit -solver choice stands.
+			solver = "autotune"
+		}
+	}
+	if opts.tuneOut != "" && tuneModel == nil {
+		return fmt.Errorf("-autotune-out requires -autotune (a model to write)")
+	}
 	if !math.IsNaN(opts.target) {
 		solveOpts = append(solveOpts, mqopt.WithTargetCost(opts.target))
 	}
@@ -190,7 +217,7 @@ func run(ctx context.Context, opts options, out io.Writer) error {
 		solveOpts = append(solveOpts, mqopt.WithWorkload(wl))
 	}
 
-	res, err := solverreg.Solve(ctx, opts.solver, p, solveOpts...)
+	res, err := solverreg.Solve(ctx, solver, p, solveOpts...)
 	if err != nil {
 		// A cancelled anytime solve still hands back its best incumbent;
 		// print it instead of discarding minutes of progress.
@@ -213,6 +240,16 @@ func run(ctx context.Context, opts options, out io.Writer) error {
 		fmt.Fprintf(out, "windows: %d\nsweeps: %d\n", d.Windows, d.Sweeps)
 	}
 	if pf := res.Portfolio; pf != nil {
+		if ti := pf.Tuned; ti != nil {
+			mode := "exploit"
+			switch {
+			case ti.Cold:
+				mode = "cold"
+			case ti.Explore:
+				mode = "explore"
+			}
+			fmt.Fprintf(out, "tuned: class %s -> %s (%s)\n", ti.Class, ti.Arm, mode)
+		}
 		fmt.Fprintf(out, "members: %s\nwinner: %s\n", strings.Join(pf.Members, ","), pf.Winner)
 		if pf.TargetReached {
 			fmt.Fprintln(out, "target: reached")
@@ -244,6 +281,22 @@ func run(ctx context.Context, opts options, out io.Writer) error {
 			}
 			fmt.Fprintf(out, "  %12v  %g\n", in.Elapsed, in.Cost)
 		}
+	}
+	if opts.tuneOut != "" {
+		f, err := os.Create(opts.tuneOut)
+		if err != nil {
+			return fmt.Errorf("-autotune-out: %w", err)
+		}
+		if err := tuneModel.Write(f); err != nil {
+			f.Close()
+			return fmt.Errorf("-autotune-out: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("-autotune-out: %w", err)
+		}
+		st := tuneModel.Stats()
+		fmt.Fprintf(out, "model: %s (%d classes, %d observations, fingerprint %016x)\n",
+			opts.tuneOut, st.Classes, st.Observations, st.Fingerprint)
 	}
 	return nil
 }

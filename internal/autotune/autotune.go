@@ -1,0 +1,229 @@
+// Package autotune closes the measure-then-specialize loop over the
+// portfolio: it classifies an incoming problem into a coarse shape
+// class, and a per-class UCB bandit picks which portfolio lineup,
+// annealer topology, and sweep budget to spend the solve on. Rewards
+// come from portfolio.Merge attributions (modeled final gap plus
+// modeled time-to-best), so the learned model reflects the same
+// modeled clocks the rest of the repro reports.
+//
+// The scheduler is deterministic given its recorded history: picks use
+// no wall-clock input, and score ties break by a splitmix draw seeded
+// from the class hash and observation count. Identical history
+// therefore yields identical (members, topology, sweeps) picks at any
+// parallelism; the nondeterminism of a concurrent deployment lives
+// entirely in which history gets recorded, never in how a given
+// history is read.
+package autotune
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/hashutil"
+	"repro/internal/mqo"
+)
+
+// Features are the shape-class coordinates of one problem. They are
+// deliberately coarse: the bandit needs every class to recur across a
+// workload stream, so features bucket aggressively rather than
+// memorize instances.
+type Features struct {
+	Queries     int    // number of queries
+	Plans       int    // total alternative plans
+	Savings     int    // pairwise sharing opportunities
+	Workload    bool   // join-graph provenance available (greedy-join eligible)
+	Fingerprint uint64 // problem fingerprint; only its bucket enters the class
+}
+
+// FeaturesOf extracts Features from a problem. workload reports whether
+// join-graph provenance travels with the solve.
+func FeaturesOf(p *mqo.Problem, workload bool) Features {
+	return Features{
+		Queries:     p.NumQueries(),
+		Plans:       p.NumPlans(),
+		Savings:     len(p.Savings),
+		Workload:    workload,
+		Fingerprint: p.Fingerprint(),
+	}
+}
+
+// Class renders the shape-class key: log2-bucketed query count,
+// rounded plan fan-out, savings-density quintile, a small fingerprint
+// bucket, and the workload flag. Problems that should share a learned
+// policy collide here on purpose.
+func (f Features) Class() string {
+	q := bits.Len(uint(max(f.Queries, 1))) // log2 bucket: 1,2,2,3,3,3,3,4...
+	fan := 0
+	if f.Queries > 0 {
+		fan = (f.Plans + f.Queries - 1) / f.Queries // ceil plans per query
+	}
+	// Savings density relative to the all-pairs ceiling, in quintiles.
+	dens := 0
+	if pairs := f.Plans * (f.Plans - 1) / 2; pairs > 0 {
+		dens = int(math.Min(4, 5*float64(f.Savings)/float64(pairs)))
+	}
+	wl := "-"
+	if f.Workload {
+		wl = "w"
+	}
+	return fmt.Sprintf("q%df%dd%d%s%d", q, fan, dens, wl, f.Fingerprint%8)
+}
+
+// classSeed hashes a class key into the base seed of its tie-break
+// stream.
+func classSeed(class string) int64 {
+	return int64(hashutil.Sum64(func(w io.Writer) { hashutil.WriteString(w, class) }))
+}
+
+// Arm is one schedulable configuration: a portfolio lineup plus the
+// topology kind and sweep budget its qa members run under. Zero-valued
+// Topology/Sweeps mean "leave the caller's defaults alone".
+type Arm struct {
+	Members  []string `json:"members"`
+	Topology string   `json:"topology,omitempty"`
+	Sweeps   int      `json:"sweeps,omitempty"`
+}
+
+// Key renders the arm canonically, e.g. "qa+greedy-join@pegasus/s32".
+func (a Arm) Key() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(a.Members, "+"))
+	if a.Topology != "" {
+		b.WriteString("@" + a.Topology)
+	}
+	if a.Sweeps > 0 {
+		fmt.Fprintf(&b, "/s%d", a.Sweeps)
+	}
+	return b.String()
+}
+
+// NeedsWorkload reports whether the arm contains a member that only
+// runs with join-graph provenance.
+func (a Arm) NeedsWorkload() bool {
+	for _, m := range a.Members {
+		if m == "greedy-join" {
+			return true
+		}
+	}
+	return false
+}
+
+// modeledMembers are the solvers whose traces run on modeled clocks;
+// arms drawn only from this set produce machine-independent rewards.
+var modeledMembers = map[string]bool{
+	"qa":          true,
+	"qa-series":   true,
+	"greedy-join": true,
+}
+
+// Modeled reports whether every member of the arm charges a modeled
+// clock, making its reward — and hence the learned model — reproducible
+// across machines. Wall-clock members (climb, ga...) still solve fine;
+// their rewards just encode local hardware speed.
+func (a Arm) Modeled() bool {
+	for _, m := range a.Members {
+		if !modeledMembers[m] {
+			return false
+		}
+	}
+	return true
+}
+
+// DefaultArms is the stock inventory: the historical static default
+// portfolio, qa specialised per topology and sweep budget, and the
+// workload-native lineups. Arm order is part of the model format — a
+// model's per-class vectors index into its own recorded arm list — and
+// it doubles as the forced-exploration order for a cold class, so the
+// strongest-prior lineups come first: a class seen only once or twice
+// still gets sensible picks.
+func DefaultArms() []Arm {
+	return []Arm{
+		{Members: []string{"qa", "climb", "ga50"}}, // the pre-autotune default
+		{Members: []string{"qa", "greedy-join"}, Topology: "chimera", Sweeps: 64},
+		{Members: []string{"greedy-join"}},
+		{Members: []string{"qa"}, Topology: "chimera", Sweeps: 64},
+		{Members: []string{"qa"}, Topology: "pegasus", Sweeps: 32},
+		{Members: []string{"qa", "greedy-join"}, Topology: "pegasus", Sweeps: 32},
+		{Members: []string{"qa"}, Topology: "zephyr", Sweeps: 32},
+	}
+}
+
+// ModeledArms filters arms down to the reproducible subset — the
+// inventory the byte-compared harness panel replays.
+func ModeledArms(arms []Arm) []Arm {
+	out := make([]Arm, 0, len(arms))
+	for _, a := range arms {
+		if a.Modeled() {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// BaselineCost is the problem-intrinsic reward anchor: the cost of
+// picking every query's cheapest plan while harvesting no sharing at
+// all. Every solver starts at or below it, so reward normalisation is
+// unbiased across arms (an arm whose first incumbent is already good
+// is not penalised for leaving less room to improve).
+func BaselineCost(p *mqo.Problem) float64 {
+	total := 0.0
+	for _, plans := range p.QueryPlans {
+		best := math.Inf(1)
+		for _, pl := range plans {
+			if c := p.Costs[pl]; c < best {
+				best = c
+			}
+		}
+		total += best
+	}
+	return total
+}
+
+// Reward grades one solve. Value blends the modeled final gap below the
+// no-sharing baseline (weight 3/4) with modeled time-to-best on a log
+// scale against the budget (weight 1/4), clamped into [0, 1].
+type Reward struct {
+	Baseline   float64       // BaselineCost of the instance
+	Final      float64       // merged incumbent cost at budget
+	TimeToBest time.Duration // modeled T of the last merged improvement
+	Budget     time.Duration // the solve budget
+}
+
+// Value folds the reward into a single [0, 1] score. The speed term is
+// logarithmic — 1 − ln(1+ttb)/ln(1+budget) — because anytime solvers
+// routinely finish orders of magnitude inside their budget: a linear
+// ttb/budget ratio would score 30 µs and 3 ms identically against a
+// 400 ms budget, and the bandit could never learn which arm is fast.
+func (r Reward) Value() float64 {
+	gain := 0.0
+	if denom := math.Max(math.Abs(r.Baseline), 1e-9); denom > 0 {
+		gain = (r.Baseline - r.Final) / denom
+	}
+	gain = math.Min(1, math.Max(0, gain))
+	speed := 0.0
+	if r.Budget > 0 && r.TimeToBest >= 0 {
+		speed = 1 - math.Log1p(float64(r.TimeToBest))/math.Log1p(float64(r.Budget))
+		speed = math.Min(1, math.Max(0, speed))
+	}
+	v := 0.75*gain + 0.25*speed
+	if math.IsNaN(v) {
+		return 0
+	}
+	return math.Min(1, math.Max(0, v))
+}
+
+// sortedKeys returns the class keys of m in sorted order — the
+// canonical iteration order for encoding and fingerprinting.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

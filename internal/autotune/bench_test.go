@@ -1,0 +1,40 @@
+package autotune
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkAutoTunePick measures one scheduling decision against a
+// model warmed with a realistic multi-class history — the per-request
+// overhead the service pays for self-tuning.
+func BenchmarkAutoTunePick(b *testing.B) {
+	m := NewModel(nil)
+	feats := make([]Features, 16)
+	for i := range feats {
+		feats[i] = Features{
+			Queries:     4 + i*3,
+			Plans:       12 + i*7,
+			Savings:     5 + i*4,
+			Workload:    i%2 == 0,
+			Fingerprint: uint64(i) * 0x9e3779b97f4a7c15,
+		}
+	}
+	for round := 0; round < 20; round++ {
+		for _, f := range feats {
+			p, err := m.Pick(f)
+			if err != nil {
+				b.Fatal(err)
+			}
+			m.Observe(f, p.Index, Reward{Baseline: 100, Final: float64(50 + round), Budget: time.Second,
+				TimeToBest: time.Duration(round) * 10 * time.Millisecond})
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Pick(feats[i%len(feats)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package autotune
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// FuzzTuneModelJSON hammers the strict decoder: malformed or hostile
+// model files must never panic, and a failed decode must leave any
+// already-loaded model untouched (Decode builds fresh state, so the
+// loaded model's fingerprint is the witness). Accepted documents must
+// re-encode canonically: encode→decode→encode is byte-stable.
+func FuzzTuneModelJSON(f *testing.F) {
+	loadedSeed := NewModel(nil)
+	ff := testFeatures(7, true)
+	for i := 0; i < 5; i++ {
+		p, _ := loadedSeed.Pick(ff)
+		loadedSeed.Observe(ff, p.Index, Reward{Baseline: 20, Final: 10, Budget: time.Second})
+	}
+	seed, err := loadedSeed.EncodeBytes()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte(`{"version":1,"arms":[{"members":["qa"]}],"classes":{}}`))
+	f.Add([]byte(`{"version":1,"arms":[{"members":["qa"],"topology":"pegasus","sweeps":32}],` +
+		`"classes":{"q3f3d0w1":{"counts":[2],"rewards":[1.5]}}}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{"version":1e9}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		loaded, err := DecodeBytes(seed)
+		if err != nil {
+			t.Fatalf("seed model stopped decoding: %v", err)
+		}
+		before := loaded.Fingerprint()
+
+		m, err := DecodeBytes(data)
+		if loaded.Fingerprint() != before {
+			t.Fatal("decoding unrelated bytes mutated the loaded model")
+		}
+		if err != nil {
+			return
+		}
+		// Accepted documents must be usable and canonically re-encodable.
+		enc1, err := m.EncodeBytes()
+		if err != nil {
+			t.Fatalf("accepted model failed to encode: %v", err)
+		}
+		m2, err := DecodeBytes(enc1)
+		if err != nil {
+			t.Fatalf("canonical encoding failed to decode: %v\n%s", err, enc1)
+		}
+		enc2, err := m2.EncodeBytes()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc1, enc2) {
+			t.Fatal("canonical encoding is not a fixed point")
+		}
+		if m.Fingerprint() != m2.Fingerprint() {
+			t.Fatal("fingerprint drifted across a canonical round trip")
+		}
+		if p, err := m.Pick(testFeatures(3, true)); err == nil {
+			if err := m.Observe(testFeatures(3, true), p.Index, Reward{Baseline: 1, Final: 0.5, Budget: time.Second}); err != nil {
+				t.Fatalf("observe after decoded pick: %v", err)
+			}
+		}
+	})
+}

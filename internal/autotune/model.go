@@ -1,0 +1,354 @@
+package autotune
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+
+	"repro/internal/hashutil"
+	"repro/internal/splitmix"
+	"repro/internal/topology"
+)
+
+// ModelVersion is the current model artifact version. Decode rejects
+// any other value: a format change bumps the version instead of
+// silently reinterpreting old files.
+const ModelVersion = 1
+
+// Decode bounds, sized far above any honest model so hostile files
+// fail fast instead of allocating.
+const (
+	maxArms           = 64
+	maxMembersPerArm  = 16
+	maxClasses        = 4096
+	maxSweeps         = 1 << 20
+	maxClassKeyLength = 64
+)
+
+// ucbC is the UCB exploration constant: mean + ucbC·sqrt(ln N / n).
+// It is scaled to the observed reward geometry, not the textbook
+// sqrt(2): modeled rewards are near-deterministic (seed noise ≈ ±0.02)
+// and arm gaps sit around 0.02–0.05, so a textbook constant would keep
+// every arm's confidence radius above the gaps and rotate the
+// inventory forever. At 0.03 a once-pulled arm's bonus does not
+// re-cross a 0.05 gap until its class has seen several hundred pulls —
+// converged at panel horizons, still log-periodically re-checking
+// under sustained load.
+const ucbC = 0.03
+
+// classStats is the recorded history of one shape class: per-arm pull
+// counts and reward sums, indexed by arm position.
+type classStats struct {
+	Counts  []int64   `json:"counts"`
+	Rewards []float64 `json:"rewards"`
+}
+
+// Model is the learned scheduler state: an arm inventory plus per-class
+// bandit statistics. All methods are safe for concurrent use; reads of
+// a fixed history are deterministic.
+type Model struct {
+	mu      sync.Mutex
+	arms    []Arm
+	classes map[string]*classStats
+}
+
+// NewModel builds an empty model over the given arm inventory (nil
+// selects DefaultArms).
+func NewModel(arms []Arm) *Model {
+	if len(arms) == 0 {
+		arms = DefaultArms()
+	}
+	cp := make([]Arm, len(arms))
+	for i, a := range arms {
+		cp[i] = Arm{Members: append([]string(nil), a.Members...), Topology: a.Topology, Sweeps: a.Sweeps}
+	}
+	return &Model{arms: cp, classes: map[string]*classStats{}}
+}
+
+// Arms returns a copy of the inventory in model order.
+func (m *Model) Arms() []Arm {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Arm, len(m.arms))
+	for i, a := range m.arms {
+		out[i] = Arm{Members: append([]string(nil), a.Members...), Topology: a.Topology, Sweeps: a.Sweeps}
+	}
+	return out
+}
+
+// Pick is the result of one scheduling decision.
+type Pick struct {
+	Class string // shape-class key the decision was filed under
+	Index int    // arm index into the model's inventory
+	Arm   Arm    // the picked configuration
+	Cold  bool   // true when the class had no recorded history yet
+	// Explore is true when the pick was forced exploration of an arm the
+	// class had never played — the scheduler spending, not exploiting.
+	// Cold implies Explore.
+	Explore bool
+}
+
+// Pick selects the arm to spend f's solve on. Unplayed eligible arms
+// go first (in inventory order); afterwards the highest UCB score
+// wins, with exact ties broken by a splitmix draw seeded from the
+// class hash and its observation count — no wall-clock input anywhere,
+// so identical recorded history yields identical picks.
+func (m *Model) Pick(f Features) (Pick, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	eligible := make([]int, 0, len(m.arms))
+	for i, a := range m.arms {
+		if a.NeedsWorkload() && !f.Workload {
+			continue
+		}
+		eligible = append(eligible, i)
+	}
+	if len(eligible) == 0 {
+		return Pick{}, errors.New("autotune: no eligible arm (workload-only inventory, non-workload problem)")
+	}
+	class := f.Class()
+	st := m.classes[class]
+	if st == nil {
+		st = &classStats{Counts: make([]int64, len(m.arms)), Rewards: make([]float64, len(m.arms))}
+	}
+	var total int64
+	for _, i := range eligible {
+		total += st.Counts[i]
+	}
+	// Forced exploration: every eligible arm gets pulled once before
+	// any scoring happens.
+	for _, i := range eligible {
+		if st.Counts[i] == 0 {
+			return Pick{Class: class, Index: i, Arm: m.armCopy(i), Cold: total == 0, Explore: true}, nil
+		}
+	}
+	best, bestScore := -1, math.Inf(-1)
+	var tied []int
+	for _, i := range eligible {
+		n := float64(st.Counts[i])
+		score := st.Rewards[i]/n + ucbC*math.Sqrt(math.Log(float64(total))/n)
+		switch {
+		case score > bestScore:
+			best, bestScore = i, score
+			tied = tied[:0]
+		case score == bestScore:
+			if len(tied) == 0 {
+				tied = append(tied, best)
+			}
+			tied = append(tied, i)
+		}
+	}
+	if len(tied) > 1 {
+		draw := splitmix.Split(classSeed(class), total)
+		best = tied[int(uint64(draw)%uint64(len(tied)))]
+	}
+	return Pick{Class: class, Index: best, Arm: m.armCopy(best)}, nil
+}
+
+func (m *Model) armCopy(i int) Arm {
+	a := m.arms[i]
+	return Arm{Members: append([]string(nil), a.Members...), Topology: a.Topology, Sweeps: a.Sweeps}
+}
+
+// Observe records the reward of one completed solve under the class of
+// f. Out-of-range arm indices are rejected rather than ignored so a
+// wiring bug cannot silently skew the history.
+func (m *Model) Observe(f Features, arm int, r Reward) error {
+	return m.ObserveValue(f, arm, r.Value())
+}
+
+// ObserveValue records a pre-computed reward value, clamped into [0, 1]
+// like Reward.Value. The harness's grid replay uses it to feed the
+// bandit exactly the rewards it measured.
+func (m *Model) ObserveValue(f Features, arm int, value float64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if arm < 0 || arm >= len(m.arms) {
+		return fmt.Errorf("autotune: observe arm %d out of range [0,%d)", arm, len(m.arms))
+	}
+	if math.IsNaN(value) {
+		value = 0
+	}
+	value = math.Min(1, math.Max(0, value))
+	class := f.Class()
+	st := m.classes[class]
+	if st == nil {
+		st = &classStats{Counts: make([]int64, len(m.arms)), Rewards: make([]float64, len(m.arms))}
+		m.classes[class] = st
+	}
+	st.Counts[arm]++
+	st.Rewards[arm] += value
+	return nil
+}
+
+// Stats summarises the recorded history.
+type Stats struct {
+	Arms         int    `json:"arms"`
+	Classes      int    `json:"classes"`
+	Observations int64  `json:"observations"`
+	Fingerprint  uint64 `json:"fingerprint"`
+}
+
+// Stats reports inventory size, class count, total observations, and
+// the model fingerprint.
+func (m *Model) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := Stats{Arms: len(m.arms), Classes: len(m.classes), Fingerprint: m.fingerprintLocked()}
+	for _, st := range m.classes {
+		for _, c := range st.Counts {
+			s.Observations += c
+		}
+	}
+	return s
+}
+
+// modelJSON is the wire form of the artifact.
+type modelJSON struct {
+	Version int                   `json:"version"`
+	Arms    []Arm                 `json:"arms"`
+	Classes map[string]classStats `json:"classes"`
+}
+
+// Encode writes the model canonically: fixed field order, class keys
+// sorted (encoding/json orders map keys), shortest float formatting,
+// two-space indent, trailing newline. Equal histories encode to equal
+// bytes.
+func (m *Model) Encode(w io.Writer) error {
+	m.mu.Lock()
+	doc := modelJSON{Version: ModelVersion, Arms: m.arms, Classes: make(map[string]classStats, len(m.classes))}
+	for k, st := range m.classes {
+		doc.Classes[k] = classStats{
+			Counts:  append([]int64(nil), st.Counts...),
+			Rewards: append([]float64(nil), st.Rewards...),
+		}
+	}
+	m.mu.Unlock()
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	_, err = w.Write(buf)
+	return err
+}
+
+// Fingerprint hashes the full model state — version, inventory, and
+// per-class history in sorted key order — into the stamp served by
+// GET /model and /stats.
+func (m *Model) Fingerprint() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.fingerprintLocked()
+}
+
+func (m *Model) fingerprintLocked() uint64 {
+	return hashutil.Sum64(func(w io.Writer) {
+		hashutil.WriteInt(w, ModelVersion)
+		hashutil.WriteInt(w, len(m.arms))
+		for _, a := range m.arms {
+			hashutil.WriteInt(w, len(a.Members))
+			for _, mem := range a.Members {
+				hashutil.WriteString(w, mem)
+			}
+			hashutil.WriteString(w, a.Topology)
+			hashutil.WriteInt(w, a.Sweeps)
+		}
+		hashutil.WriteInt(w, len(m.classes))
+		for _, k := range sortedKeys(m.classes) {
+			hashutil.WriteString(w, k)
+			st := m.classes[k]
+			for i := range st.Counts {
+				hashutil.WriteU64(w, uint64(st.Counts[i]))
+				hashutil.WriteF64(w, st.Rewards[i])
+			}
+		}
+	})
+}
+
+// Decode reads one model artifact strictly: unknown fields, trailing
+// data, version skew, oversize inventories, ragged per-class vectors,
+// negative counts, and non-finite or out-of-range reward sums are all
+// errors. It builds a fresh model and never mutates any existing one —
+// a failed reload leaves the running scheduler untouched.
+func Decode(r io.Reader) (*Model, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var doc modelJSON
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("autotune: decoding model: %w", err)
+	}
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return nil, errors.New("autotune: trailing data after model document")
+	}
+	if doc.Version != ModelVersion {
+		return nil, fmt.Errorf("autotune: model version %d, want %d", doc.Version, ModelVersion)
+	}
+	if len(doc.Arms) == 0 || len(doc.Arms) > maxArms {
+		return nil, fmt.Errorf("autotune: %d arms, want 1..%d", len(doc.Arms), maxArms)
+	}
+	kinds := map[string]bool{}
+	for _, k := range topology.Kinds() {
+		kinds[k] = true
+	}
+	for i, a := range doc.Arms {
+		if len(a.Members) == 0 || len(a.Members) > maxMembersPerArm {
+			return nil, fmt.Errorf("autotune: arm %d has %d members, want 1..%d", i, len(a.Members), maxMembersPerArm)
+		}
+		for _, mem := range a.Members {
+			if mem == "" || mem == "portfolio" || mem == "autotune" {
+				return nil, fmt.Errorf("autotune: arm %d has invalid member %q", i, mem)
+			}
+		}
+		if a.Topology != "" && !kinds[a.Topology] {
+			return nil, fmt.Errorf("autotune: arm %d topology %q not in %v", i, a.Topology, topology.Kinds())
+		}
+		if a.Sweeps < 0 || a.Sweeps > maxSweeps {
+			return nil, fmt.Errorf("autotune: arm %d sweeps %d out of range [0,%d]", i, a.Sweeps, maxSweeps)
+		}
+	}
+	if len(doc.Classes) > maxClasses {
+		return nil, fmt.Errorf("autotune: %d classes, max %d", len(doc.Classes), maxClasses)
+	}
+	model := NewModel(doc.Arms)
+	for key, st := range doc.Classes {
+		if key == "" || len(key) > maxClassKeyLength {
+			return nil, fmt.Errorf("autotune: invalid class key %q", key)
+		}
+		if len(st.Counts) != len(doc.Arms) || len(st.Rewards) != len(doc.Arms) {
+			return nil, fmt.Errorf("autotune: class %q vectors sized %d/%d, want %d",
+				key, len(st.Counts), len(st.Rewards), len(doc.Arms))
+		}
+		for i := range st.Counts {
+			if st.Counts[i] < 0 {
+				return nil, fmt.Errorf("autotune: class %q arm %d count %d is negative", key, i, st.Counts[i])
+			}
+			r := st.Rewards[i]
+			if math.IsNaN(r) || math.IsInf(r, 0) || r < 0 || r > float64(st.Counts[i])+1e-9 {
+				return nil, fmt.Errorf("autotune: class %q arm %d reward sum %g outside [0, count=%d]",
+					key, i, r, st.Counts[i])
+			}
+		}
+		model.classes[key] = &classStats{
+			Counts:  append([]int64(nil), st.Counts...),
+			Rewards: append([]float64(nil), st.Rewards...),
+		}
+	}
+	return model, nil
+}
+
+// DecodeBytes is Decode over an in-memory artifact.
+func DecodeBytes(data []byte) (*Model, error) { return Decode(bytes.NewReader(data)) }
+
+// EncodeBytes renders the canonical artifact in memory.
+func (m *Model) EncodeBytes() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := m.Encode(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

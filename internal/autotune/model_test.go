@@ -1,0 +1,350 @@
+package autotune
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/mqo"
+)
+
+func testFeatures(fp uint64, workload bool) Features {
+	return Features{Queries: 6, Plans: 18, Savings: 12, Workload: workload, Fingerprint: fp}
+}
+
+func TestClassKeyBucketsNotInstances(t *testing.T) {
+	a := Features{Queries: 6, Plans: 18, Savings: 12, Workload: true, Fingerprint: 8}
+	b := Features{Queries: 7, Plans: 20, Savings: 13, Workload: true, Fingerprint: 16}
+	if a.Class() != b.Class() {
+		t.Fatalf("near-identical shapes should share a class: %q vs %q", a.Class(), b.Class())
+	}
+	c := Features{Queries: 500, Plans: 1000, Savings: 400, Workload: false, Fingerprint: 8}
+	if a.Class() == c.Class() {
+		t.Fatalf("very different shapes should not share a class: %q", a.Class())
+	}
+	if !strings.Contains(a.Class(), "w") || strings.Contains(c.Class(), "w") {
+		t.Fatalf("workload flag missing from class keys %q / %q", a.Class(), c.Class())
+	}
+}
+
+func TestPickExploresUnplayedArmsFirst(t *testing.T) {
+	m := NewModel(nil)
+	f := testFeatures(1, true)
+	seen := map[int]bool{}
+	n := len(m.Arms())
+	for i := 0; i < n; i++ {
+		p, err := m.Pick(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[p.Index] {
+			t.Fatalf("arm %d picked twice during forced exploration", p.Index)
+		}
+		if (i == 0) != p.Cold {
+			t.Fatalf("pick %d: Cold=%v", i, p.Cold)
+		}
+		seen[p.Index] = true
+		if err := m.Observe(f, p.Index, Reward{Baseline: 10, Final: 9, Budget: time.Second}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(seen) != n {
+		t.Fatalf("explored %d arms, want %d", len(seen), n)
+	}
+}
+
+func TestPickEligibilityFiltersWorkloadArms(t *testing.T) {
+	m := NewModel(nil)
+	f := testFeatures(1, false)
+	for i := 0; i < 50; i++ {
+		p, err := m.Pick(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Arm.NeedsWorkload() {
+			t.Fatalf("workload-only arm %s picked for a bare problem", p.Arm.Key())
+		}
+		if err := m.Observe(f, p.Index, Reward{Baseline: 10, Final: 10, Budget: time.Second}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := NewModel([]Arm{{Members: []string{"greedy-join"}}}).Pick(f); err == nil {
+		t.Fatal("want error when every arm needs a workload")
+	}
+}
+
+func TestPickConvergesToBestArm(t *testing.T) {
+	m := NewModel(nil)
+	f := testFeatures(1, true)
+	// Arm 6 (greedy-join) gets reward ~0.95, everything else ~0.2.
+	for i := 0; i < 200; i++ {
+		p, err := m.Pick(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := Reward{Baseline: 100, Final: 80, Budget: time.Second, TimeToBest: 900 * time.Millisecond}
+		if p.Arm.Key() == "greedy-join" {
+			r = Reward{Baseline: 100, Final: 2, Budget: time.Second, TimeToBest: 10 * time.Millisecond}
+		}
+		if err := m.Observe(f, p.Index, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if stats := m.Stats(); stats.Observations != 200 {
+		t.Fatalf("recorded %d observations, want 200", stats.Observations)
+	}
+	st := m.classes[f.Class()]
+	dominant := -1
+	for i, a := range m.Arms() {
+		if a.Key() == "greedy-join" {
+			dominant = i
+		}
+	}
+	if st.Counts[dominant] < 120 {
+		t.Fatalf("dominant arm got %d/200 pulls; bandit failed to converge (counts %v)",
+			st.Counts[dominant], st.Counts)
+	}
+}
+
+// TestPickDeterministicAtAnyParallelism is the proptest law of the
+// determinism contract: identical recorded history ⇒ identical
+// (members, topology, sweeps) picks, whether the model is read by one
+// goroutine or by eight concurrently.
+func TestPickDeterministicAtAnyParallelism(t *testing.T) {
+	for iter := 0; iter < 30; iter++ {
+		rng := rand.New(rand.NewSource(int64(1000 + iter)))
+		history := make([]struct {
+			f   Features
+			arm int
+			r   Reward
+		}, 40+rng.Intn(60))
+		arms := DefaultArms()
+		for i := range history {
+			history[i].f = Features{
+				Queries:     1 + rng.Intn(40),
+				Plans:       2 + rng.Intn(120),
+				Savings:     rng.Intn(200),
+				Workload:    rng.Intn(2) == 0,
+				Fingerprint: rng.Uint64(),
+			}
+			history[i].arm = rng.Intn(len(arms))
+			history[i].r = Reward{
+				Baseline:   1 + rng.Float64()*100,
+				Final:      rng.Float64() * 100,
+				TimeToBest: time.Duration(rng.Int63n(int64(time.Second))),
+				Budget:     time.Second,
+			}
+		}
+		build := func() *Model {
+			m := NewModel(arms)
+			for _, h := range history {
+				if err := m.Observe(h.f, h.arm, h.r); err != nil {
+					t.Fatal(err)
+				}
+			}
+			return m
+		}
+		probes := make([]Features, 16)
+		for i := range probes {
+			probes[i] = history[rng.Intn(len(history))].f
+		}
+
+		seq := build()
+		want := make([]Pick, len(probes))
+		for i, f := range probes {
+			p, err := seq.Pick(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[i] = p
+		}
+
+		par := build()
+		got := make([]Pick, len(probes))
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, 8)
+		for i, f := range probes {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func() {
+				defer wg.Done()
+				defer func() { <-sem }()
+				p, err := par.Pick(f)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				got[i] = p
+			}()
+		}
+		wg.Wait()
+		for i := range probes {
+			if want[i].Index != got[i].Index || want[i].Class != got[i].Class ||
+				want[i].Arm.Key() != got[i].Arm.Key() {
+				t.Fatalf("iter %d probe %d: sequential pick %v, parallel pick %v", iter, i, want[i], got[i])
+			}
+		}
+		if seq.Fingerprint() != par.Fingerprint() {
+			t.Fatalf("iter %d: identical history, different fingerprints", iter)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTripIsCanonical(t *testing.T) {
+	m := NewModel(nil)
+	f1, f2 := testFeatures(1, true), testFeatures(999, false)
+	for i := 0; i < 25; i++ {
+		for _, f := range []Features{f1, f2} {
+			p, err := m.Pick(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m.Observe(f, p.Index, Reward{Baseline: 50, Final: float64(40 - i), Budget: time.Second,
+				TimeToBest: time.Duration(i) * time.Millisecond})
+		}
+	}
+	enc1, err := m.EncodeBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeBytes(enc1)
+	if err != nil {
+		t.Fatalf("round-trip decode: %v\n%s", err, enc1)
+	}
+	enc2, err := back.EncodeBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc1, enc2) {
+		t.Fatal("encode→decode→encode is not byte-stable")
+	}
+	if m.Fingerprint() != back.Fingerprint() {
+		t.Fatalf("fingerprint drifted across round trip: %x vs %x", m.Fingerprint(), back.Fingerprint())
+	}
+	// The decoded model must continue the same policy.
+	for i := 0; i < 10; i++ {
+		pa, _ := m.Pick(f1)
+		pb, _ := back.Pick(f1)
+		if pa.Index != pb.Index {
+			t.Fatalf("pick %d diverged after round trip: %d vs %d", i, pa.Index, pb.Index)
+		}
+		m.Observe(f1, pa.Index, Reward{Baseline: 10, Final: 5, Budget: time.Second})
+		back.Observe(f1, pb.Index, Reward{Baseline: 10, Final: 5, Budget: time.Second})
+	}
+}
+
+func TestDecodeRejectsHostileModels(t *testing.T) {
+	valid, err := NewModel(nil).EncodeBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]string{
+		"empty":            ``,
+		"not json":         `nope`,
+		"unknown field":    `{"version":1,"arms":[{"members":["qa"]}],"classes":{},"extra":1}`,
+		"trailing data":    string(valid) + `{"version":1}`,
+		"bad version":      `{"version":2,"arms":[{"members":["qa"]}],"classes":{}}`,
+		"no arms":          `{"version":1,"arms":[],"classes":{}}`,
+		"empty member":     `{"version":1,"arms":[{"members":[""]}],"classes":{}}`,
+		"recursive member": `{"version":1,"arms":[{"members":["portfolio"]}],"classes":{}}`,
+		"bad topology":     `{"version":1,"arms":[{"members":["qa"],"topology":"torus"}],"classes":{}}`,
+		"negative sweeps":  `{"version":1,"arms":[{"members":["qa"],"sweeps":-1}],"classes":{}}`,
+		"ragged class":     `{"version":1,"arms":[{"members":["qa"]}],"classes":{"c":{"counts":[1,2],"rewards":[0.5]}}}`,
+		"negative count":   `{"version":1,"arms":[{"members":["qa"]}],"classes":{"c":{"counts":[-1],"rewards":[0]}}}`,
+		"negative reward":  `{"version":1,"arms":[{"members":["qa"]}],"classes":{"c":{"counts":[1],"rewards":[-0.5]}}}`,
+		"reward > count":   `{"version":1,"arms":[{"members":["qa"]}],"classes":{"c":{"counts":[1],"rewards":[2.5]}}}`,
+		"empty class key":  `{"version":1,"arms":[{"members":["qa"]}],"classes":{"":{"counts":[1],"rewards":[0.5]}}}`,
+	}
+	for name, doc := range cases {
+		if _, err := DecodeBytes([]byte(doc)); err == nil {
+			t.Errorf("%s: decode accepted a hostile model", name)
+		}
+	}
+	if _, err := DecodeBytes(valid); err != nil {
+		t.Fatalf("valid model rejected: %v", err)
+	}
+}
+
+func TestRewardValueBoundsAndShape(t *testing.T) {
+	cases := []struct {
+		name string
+		r    Reward
+	}{
+		{"zero", Reward{}},
+		{"worse than baseline", Reward{Baseline: 10, Final: 20, Budget: time.Second}},
+		{"nan final", Reward{Baseline: 10, Final: math.NaN(), Budget: time.Second}},
+		{"inf final", Reward{Baseline: 10, Final: math.Inf(1), Budget: time.Second}},
+		{"zero budget", Reward{Baseline: 10, Final: 5}},
+		{"ttb over budget", Reward{Baseline: 10, Final: 5, TimeToBest: 2 * time.Second, Budget: time.Second}},
+	}
+	for _, tc := range cases {
+		if v := tc.r.Value(); v < 0 || v > 1 || math.IsNaN(v) {
+			t.Errorf("%s: value %g outside [0,1]", tc.name, v)
+		}
+	}
+	fast := Reward{Baseline: 100, Final: 10, TimeToBest: 10 * time.Millisecond, Budget: time.Second}
+	slow := Reward{Baseline: 100, Final: 10, TimeToBest: 900 * time.Millisecond, Budget: time.Second}
+	if fast.Value() <= slow.Value() {
+		t.Fatal("a faster time-to-best must score higher at equal final cost")
+	}
+	good := Reward{Baseline: 100, Final: 10, TimeToBest: 500 * time.Millisecond, Budget: time.Second}
+	bad := Reward{Baseline: 100, Final: 90, TimeToBest: 500 * time.Millisecond, Budget: time.Second}
+	if good.Value() <= bad.Value() {
+		t.Fatal("a lower final cost must score higher at equal speed")
+	}
+}
+
+func TestBaselineCost(t *testing.T) {
+	p := mqo.MustNew([][]int{{0, 1}, {2, 3}}, []float64{5, 3, 7, 2}, nil)
+	if got := BaselineCost(p); got != 5 {
+		t.Fatalf("baseline %g, want 5 (3+2)", got)
+	}
+}
+
+func TestObserveRejectsOutOfRangeArm(t *testing.T) {
+	m := NewModel(nil)
+	if err := m.Observe(testFeatures(1, true), len(m.Arms()), Reward{}); err == nil {
+		t.Fatal("want error for out-of-range arm index")
+	}
+	if err := m.Observe(testFeatures(1, true), -1, Reward{}); err == nil {
+		t.Fatal("want error for negative arm index")
+	}
+}
+
+func TestArmKeyAndModeled(t *testing.T) {
+	a := Arm{Members: []string{"qa", "greedy-join"}, Topology: "pegasus", Sweeps: 32}
+	if got := a.Key(); got != "qa+greedy-join@pegasus/s32" {
+		t.Fatalf("key %q", got)
+	}
+	if (Arm{Members: []string{"qa", "climb"}}).Modeled() {
+		t.Fatal("climb charges a wall clock; the arm is not modeled")
+	}
+	if !a.Modeled() || !a.NeedsWorkload() {
+		t.Fatal("qa+greedy-join is modeled and needs a workload")
+	}
+	modeled := ModeledArms(DefaultArms())
+	if len(modeled) == 0 || len(modeled) == len(DefaultArms()) {
+		t.Fatalf("ModeledArms kept %d of %d arms; want a strict non-empty subset",
+			len(modeled), len(DefaultArms()))
+	}
+}
+
+func TestStats(t *testing.T) {
+	m := NewModel(nil)
+	f := testFeatures(1, true)
+	for i := 0; i < 7; i++ {
+		p, _ := m.Pick(f)
+		m.Observe(f, p.Index, Reward{Baseline: 10, Final: 5, Budget: time.Second})
+	}
+	s := m.Stats()
+	if s.Arms != len(DefaultArms()) || s.Classes != 1 || s.Observations != 7 {
+		t.Fatalf("stats %+v", s)
+	}
+	if s.Fingerprint != m.Fingerprint() {
+		t.Fatal("stats fingerprint disagrees with Fingerprint()")
+	}
+}

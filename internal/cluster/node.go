@@ -38,6 +38,11 @@ type NodeConfig struct {
 	// epochs (0: the session default). By the session determinism
 	// contract it never changes results, only latency.
 	SessionParallelism int
+	// Model is the self-tuning scheduler state the service solves with
+	// (requests select it via "autotune": true). When set, GET /model
+	// snapshots it and GET /stats summarises it; nil runs the node
+	// without the autotune surface.
+	Model *mqopt.TuneModel
 }
 
 // Node is one solve worker: the HTTP surface over a Service, guarded by
@@ -91,10 +96,13 @@ func (n *Node) Admission() *Admission { return n.adm }
 //	DELETE /session/{id}     evict the session
 //	GET  /sessions       resident session IDs
 //	GET  /stats          service + cache + admission counters
+//	GET  /model          the scheduler model, canonical JSON (404
+//	                     when the node runs without one)
 //	GET  /healthz        liveness probe (what the router polls)
 func (n *Node) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/solve", n.handleSolve)
+	mux.HandleFunc("GET /model", n.handleModel)
 	mux.HandleFunc("POST /session", n.handleSessionCreate)
 	mux.HandleFunc("POST /session/{id}/delta", n.handleSessionDelta)
 	mux.HandleFunc("GET /session/{id}", n.handleSessionGet)
@@ -203,11 +211,25 @@ func (n *Node) solveStream(w http.ResponseWriter, r *http.Request, sreq mqopt.Re
 	}
 }
 
+// handleModel snapshots the scheduler model as canonical JSON — the
+// same bytes mqopt.LoadTuneModel reads back, so an operator can carry a
+// learned model from a running node to the next deployment.
+func (n *Node) handleModel(w http.ResponseWriter, r *http.Request) {
+	if n.cfg.Model == nil {
+		http.Error(w, "node runs without an autotune model", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	// Encoding only fails once the client is gone; nothing to report.
+	_ = n.cfg.Model.Write(w)
+}
+
 // handleStats reports the node's counters.
 func (n *Node) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := n.cfg.Service.Stats()
 	adm := n.adm.Stats()
 	writeJSON(w, StatsResponse{
+		Autotune:  tuneStatsJSON(n.cfg.Model),
 		Requests:  st.Requests,
 		Batches:   st.Batches,
 		Coalesced: st.Coalesced,

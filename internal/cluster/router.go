@@ -216,10 +216,13 @@ func (rt *Router) Ring() *Ring {
 //	                     changes because the key IS the ID prefix
 //	POST /register       body {"url": "http://host:port"} joins a worker
 //	GET  /ring           current membership + ownership table summary
+//	GET  /stats          per-worker admission/cache/solve counters
+//	                     fetched live from every alive peer, plus sums
 //	GET  /healthz        liveness probe
 func (rt *Router) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/solve", rt.handleSolve)
+	mux.HandleFunc("GET /stats", rt.handleStats)
 	mux.HandleFunc("POST /session", rt.handleSessionCreateProxy)
 	mux.HandleFunc("POST /session/{id}/delta", rt.handleSessionProxy)
 	mux.HandleFunc("GET /session/{id}", rt.handleSessionProxy)
@@ -336,6 +339,66 @@ func (rt *Router) handleRegister(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, map[string]any{"ok": true, "members": rt.Ring().Nodes()})
+}
+
+// handleStats aggregates GET /stats across the alive membership: each
+// peer is asked live (bounded by the health timeout), reachable
+// replies are summed into Totals and kept verbatim in PerPeer, and
+// peers that fail to answer are listed instead of silently dropped —
+// a partial aggregate that looks complete would hide exactly the
+// worker an operator is hunting for.
+func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
+	peers := rt.Ring().Nodes()
+	resp := RouterStatsResponse{Peers: len(peers), PerPeer: make(map[string]StatsResponse, len(peers))}
+	for _, p := range peers {
+		st, err := rt.fetchStats(r.Context(), p)
+		if err != nil {
+			resp.Unreachable = append(resp.Unreachable, p)
+			continue
+		}
+		resp.PerPeer[p] = st
+		resp.Totals.Requests += st.Requests
+		resp.Totals.Batches += st.Batches
+		resp.Totals.Coalesced += st.Coalesced
+		resp.Totals.InFlight += st.InFlight
+		resp.Totals.Cache.Hits += st.Cache.Hits
+		resp.Totals.Cache.Misses += st.Cache.Misses
+		resp.Totals.Cache.Shared += st.Cache.Shared
+		resp.Totals.Cache.Evictions += st.Cache.Evictions
+		resp.Totals.Cache.Entries += st.Cache.Entries
+		resp.Totals.Admission.Executing += st.Admission.Executing
+		resp.Totals.Admission.Queued += st.Admission.Queued
+		resp.Totals.Admission.Shed += st.Admission.Shed
+		resp.Totals.Admission.MaxConcurrent += st.Admission.MaxConcurrent
+		resp.Totals.Admission.MaxQueue += st.Admission.MaxQueue
+	}
+	sort.Strings(resp.Unreachable)
+	writeJSON(w, resp)
+}
+
+// fetchStats asks one peer for its /stats, bounded by the health
+// timeout so a wedged worker cannot stall the aggregate.
+func (rt *Router) fetchStats(ctx context.Context, peer string) (StatsResponse, error) {
+	ctx, cancel := context.WithTimeout(ctx, rt.cfg.HealthTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/stats", nil)
+	if err != nil {
+		return StatsResponse{}, err
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return StatsResponse{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return StatsResponse{}, fmt.Errorf("cluster: %s/stats: status %s", peer, resp.Status)
+	}
+	var st StatsResponse
+	if err := json.NewDecoder(io.LimitReader(resp.Body, DefaultMaxBody)).Decode(&st); err != nil {
+		return StatsResponse{}, err
+	}
+	return st, nil
 }
 
 // handleRing reports the current membership.

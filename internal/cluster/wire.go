@@ -58,6 +58,12 @@ type SolveRequest struct {
 	// Cache "off" opts this request out of the shared compilation cache
 	// (the CLI's -cache=off escape hatch; default on).
 	Cache string `json:"cache,omitempty"`
+	// Autotune selects the self-tuning portfolio: the node's learned
+	// scheduler picks the member lineup, topology, and sweep budget for
+	// this problem's shape class and records the outcome. Mutually
+	// exclusive with a conflicting Solver; explicit Members still win
+	// (they are the escape hatch).
+	Autotune bool `json:"autotune,omitempty"`
 }
 
 // SolveResponse is the POST /solve reply body (and the "result" line of
@@ -96,6 +102,44 @@ type StatsResponse struct {
 	InFlight  uint64             `json:"in_flight"`
 	Cache     CacheStatsJSON     `json:"cache"`
 	Admission AdmissionStatsJSON `json:"admission"`
+	// Autotune summarises the node's scheduler model; absent when the
+	// node runs without one.
+	Autotune *TuneStatsJSON `json:"autotune,omitempty"`
+}
+
+// TuneStatsJSON summarises a scheduler model on the wire. The
+// fingerprint is hex so it reads the same as every other rendered
+// fingerprint in the repo (JSON numbers would round 64-bit values).
+type TuneStatsJSON struct {
+	Arms         int    `json:"arms"`
+	Classes      int    `json:"classes"`
+	Observations int64  `json:"observations"`
+	Fingerprint  string `json:"fingerprint"`
+}
+
+// tuneStatsJSON renders a model summary, or nil without a model.
+func tuneStatsJSON(m *mqopt.TuneModel) *TuneStatsJSON {
+	if m == nil {
+		return nil
+	}
+	s := m.Stats()
+	return &TuneStatsJSON{
+		Arms:         s.Arms,
+		Classes:      s.Classes,
+		Observations: s.Observations,
+		Fingerprint:  fmt.Sprintf("%016x", s.Fingerprint),
+	}
+}
+
+// RouterStatsResponse is the GET /stats reply of a router: per-worker
+// counters fetched live from every alive peer, plus their sums. Model
+// fingerprints differ per worker (each learns its own shard of the
+// stream), so autotune summaries stay per-peer and are not totalled.
+type RouterStatsResponse struct {
+	Peers       int                      `json:"peers"`
+	Unreachable []string                 `json:"unreachable,omitempty"`
+	Totals      StatsResponse            `json:"totals"`
+	PerPeer     map[string]StatsResponse `json:"per_peer"`
 }
 
 // CacheStatsJSON mirrors mqopt.CacheStats on the wire.
@@ -249,7 +293,14 @@ func BuildRequest(req *SolveRequest) (mqopt.Request, error) {
 	default:
 		return bad("bad cache value %q (want on or off)", req.Cache)
 	}
-	return mqopt.Request{Problem: p, Solver: req.Solver, Options: opts}, nil
+	solver := req.Solver
+	if req.Autotune {
+		if solver != "" && solver != "autotune" {
+			return bad("autotune conflicts with solver %q", solver)
+		}
+		solver = "autotune"
+	}
+	return mqopt.Request{Problem: p, Solver: solver, Options: opts}, nil
 }
 
 // EncodeResponse renders a solve result in the wire format.

@@ -1,0 +1,335 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"repro/internal/anneal"
+	"repro/internal/autotune"
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/joingraph"
+	"repro/internal/solvers"
+	"repro/internal/splitmix"
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+// The autotune panel's Zipf stream: enough requests that popular shape
+// classes outlive their forced-exploration phase, over a pool small
+// enough that classes recur.
+const (
+	autotunePanelShapes   = 4
+	autotunePanelRequests = 40
+)
+
+// autotuneStaticArm is the static baseline of the time-to-best
+// comparison: what every request would get without the scheduler. The
+// facade's default portfolio is qa+climb+ga50, but climb and ga50
+// charge wall clocks and cannot appear in a byte-compared panel — on
+// the modeled axis the default portfolio's time-to-best is its one
+// modeled member's, qa under the default topology and sweep budget
+// (chimera, 64 sweeps), which is exactly this arm.
+const autotuneStaticArm = "qa@chimera/s64"
+
+// AutotuneRow is one request of the replayed stream.
+type AutotuneRow struct {
+	Request int
+	Shape   uint64
+	Class   string
+	Arm     string
+	// Cold reports that the class had no recorded history at pick time;
+	// Explore that the pick was forced exploration of an unplayed arm.
+	Cold, Explore bool
+	// Reward is the [0,1] score the picked arm earned on this request.
+	Reward float64
+	// CumRegret is the running sum of (best-in-hindsight static arm's
+	// reward − picked arm's reward) through this request.
+	CumRegret float64
+	// TimeToBest is the picked arm's modeled time of last improvement.
+	TimeToBest time.Duration
+}
+
+// AutotuneArmStat summarises one arm over the whole stream: its grid
+// mean (reward and ttb had it served every request) plus how often the
+// scheduler actually picked it.
+type AutotuneArmStat struct {
+	Key        string
+	MeanReward float64
+	MeanTTB    time.Duration
+	Picks      int
+}
+
+// AutotuneResult is the self-tuning panel: the full (request × arm)
+// reward grid evaluated under modeled clocks, then the bandit replayed
+// sequentially over it — so the panel is byte-identical at any
+// parallelism AND best-in-hindsight regret falls out for free.
+type AutotuneResult struct {
+	Requests, Shapes int
+	// Arms lists the modeled inventory keys in model order.
+	Arms     []string
+	ArmStats []AutotuneArmStat
+	Rows     []AutotuneRow
+	// BestStaticArm is the single arm with the highest total reward over
+	// the whole stream (the hindsight baseline), with its mean reward.
+	BestStaticArm  string
+	BestStaticMean float64
+	TunedMean      float64
+	FinalRegret    float64
+	LateRegret     float64 // regret accumulated over the last 8 requests
+	TunedTTB       time.Duration
+	StaticTTB      time.Duration // mean ttb of autotuneStaticArm over the stream
+	// SteadyTunedTTB and SteadyStaticTTB compare tuned vs static on the
+	// steady-state picks only — requests where the scheduler chose
+	// freely rather than being forced to probe an unplayed arm. This is
+	// the converged-policy comparison; the overall means above still
+	// charge exploration to the tuned side.
+	SteadyTunedTTB   time.Duration
+	SteadyStaticTTB  time.Duration
+	SteadyPicks      int
+	ColdTTB, WarmTTB time.Duration
+	ColdPicks        int
+	ExplorePicks     int
+	Classes          int
+	Observations     int64
+	ModelFingerprint uint64
+}
+
+// RunAutotune executes the autotune panel: a Zipf(1.2)-skewed stream of
+// workload-derived requests, every modeled arm evaluated on every
+// request in parallel (each task seeded by splitmix, solvers pinned to
+// Parallelism 1), then the UCB scheduler replayed sequentially over the
+// precomputed grid. Rewards, picks, and regret involve no wall clock,
+// so the rendered panel is byte-identical at cfg.Parallelism 1 vs 8.
+func (c Config) RunAutotune(ctx context.Context) (*AutotuneResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cfg := c.withDefaults()
+	arms := autotune.ModeledArms(autotune.DefaultArms())
+
+	// The request stream: shape ids drawn Zipf-skewed, shapes memoized.
+	rng := rand.New(rand.NewSource(splitmix.Split(cfg.Seed, -2)))
+	zipf := rand.NewZipf(rng, 1.2, 1, autotunePanelShapes-1)
+	shapes := map[uint64]*joingraph.Derived{}
+	stream := make([]uint64, autotunePanelRequests)
+	for t := range stream {
+		shape := zipf.Uint64()
+		stream[t] = shape
+		if _, ok := shapes[shape]; !ok {
+			w := joingraph.Generate(splitmix.Split(cfg.Seed, int64(2000+shape)), workloadGenConfig)
+			d, err := joingraph.Derive(ctx, w, joingraph.DeriveOptions{Parallelism: 1})
+			if err != nil {
+				return nil, fmt.Errorf("harness: deriving autotune shape %d: %w", shape, err)
+			}
+			shapes[shape] = d
+		}
+	}
+
+	// One graph per topology kind at the configured cell dimensions; the
+	// compile cache keys on graph and options, so sharing cfg.cache
+	// across kinds is safe (the topology panel relies on the same).
+	rows, cols := cfg.Graph.Dims()
+	graphs := map[string]topology.Graph{"": cfg.Graph}
+	for _, a := range arms {
+		if a.Topology == "" {
+			continue
+		}
+		if _, ok := graphs[a.Topology]; !ok {
+			g, err := topology.New(a.Topology, rows, cols)
+			if err != nil {
+				return nil, err
+			}
+			graphs[a.Topology] = g
+		}
+	}
+
+	build := func(a autotune.Arm, d *joingraph.Derived) solvers.Solver {
+		members := make([]solvers.Solver, 0, len(a.Members))
+		for _, m := range a.Members {
+			switch m {
+			case "qa":
+				opt := core.Options{Graph: graphs[a.Topology], Runs: cfg.QARuns, Parallelism: 1, Cache: cfg.cache}
+				if a.Sweeps > 0 {
+					sa := anneal.DefaultSA()
+					sa.Sweeps = a.Sweeps
+					opt.Sampler = sa
+				}
+				members = append(members, &core.QASolver{Opt: opt})
+			case "greedy-join":
+				members = append(members, joingraph.NewGreedyJoinSolver(d))
+			}
+		}
+		if len(members) == 1 {
+			return members[0]
+		}
+		return portfolioOf(members...)
+	}
+
+	// Phase 1: the full (request × arm) grid, in parallel.
+	type cell struct {
+		reward float64
+		ttb    time.Duration
+	}
+	nArms := len(arms)
+	grid, err := exec.Map(ctx, cfg.Parallelism, autotunePanelRequests*nArms,
+		func(tctx context.Context, task int) (cell, error) {
+			t, a := task/nArms, task%nArms
+			d := shapes[stream[t]]
+			tr := &trace.Trace{}
+			sol := build(arms[a], d).Solve(tctx, d.Problem, cfg.qaBudget(), splitmix.New(cfg.Seed, int64(5000+task)), tr)
+			if sol == nil || !d.Problem.Valid(sol) {
+				return cell{ttb: cfg.qaBudget()}, nil // reward 0: the arm failed this request
+			}
+			cost, err := d.Problem.Cost(sol)
+			if err != nil {
+				return cell{}, err
+			}
+			out := cell{ttb: cfg.qaBudget()}
+			if pts := tr.Points(); len(pts) > 0 {
+				out.ttb = pts[len(pts)-1].T
+			}
+			out.reward = autotune.Reward{
+				Baseline:   autotune.BaselineCost(d.Problem),
+				Final:      cost,
+				TimeToBest: out.ttb,
+				Budget:     cfg.qaBudget(),
+			}.Value()
+			return out, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// The hindsight baseline: the single arm with the highest total
+	// reward, had it served every request.
+	bestArm, bestTotal := 0, -1.0
+	staticIdx := -1
+	armStats := make([]AutotuneArmStat, nArms)
+	for a := 0; a < nArms; a++ {
+		total, ttbTotal := 0.0, time.Duration(0)
+		for t := 0; t < autotunePanelRequests; t++ {
+			total += grid[t*nArms+a].reward
+			ttbTotal += grid[t*nArms+a].ttb
+		}
+		armStats[a] = AutotuneArmStat{
+			Key:        arms[a].Key(),
+			MeanReward: total / float64(autotunePanelRequests),
+			MeanTTB:    ttbTotal / autotunePanelRequests,
+		}
+		if total > bestTotal {
+			bestArm, bestTotal = a, total
+		}
+		if arms[a].Key() == autotuneStaticArm {
+			staticIdx = a
+		}
+	}
+
+	// Phase 2: replay the bandit sequentially over the grid. This is
+	// the exact decision sequence a single-threaded deployment would
+	// make, independent of how phase 1 was scheduled.
+	model := autotune.NewModel(arms)
+	res := &AutotuneResult{Requests: autotunePanelRequests, Shapes: len(shapes)}
+	for _, a := range arms {
+		res.Arms = append(res.Arms, a.Key())
+	}
+	cum := 0.0
+	var tunedRewards, tunedTTB, coldTTB, warmTTB, staticTTB []float64
+	var steadyTunedTTB, steadyStaticTTB []float64
+	for t := 0; t < autotunePanelRequests; t++ {
+		d := shapes[stream[t]]
+		f := autotune.FeaturesOf(d.Problem, true)
+		pick, err := model.Pick(f)
+		if err != nil {
+			return nil, err
+		}
+		got := grid[t*nArms+pick.Index]
+		if err := model.ObserveValue(f, pick.Index, got.reward); err != nil {
+			return nil, err
+		}
+		armStats[pick.Index].Picks++
+		cum += grid[t*nArms+bestArm].reward - got.reward
+		res.Rows = append(res.Rows, AutotuneRow{
+			Request: t + 1, Shape: stream[t], Class: pick.Class, Arm: pick.Arm.Key(),
+			Cold: pick.Cold, Explore: pick.Explore, Reward: got.reward, CumRegret: cum, TimeToBest: got.ttb,
+		})
+		tunedRewards = append(tunedRewards, got.reward)
+		tunedTTB = append(tunedTTB, float64(got.ttb))
+		if pick.Cold {
+			coldTTB = append(coldTTB, float64(got.ttb))
+		} else {
+			warmTTB = append(warmTTB, float64(got.ttb))
+		}
+		if pick.Explore {
+			res.ExplorePicks++
+		}
+		if staticIdx >= 0 {
+			staticTTB = append(staticTTB, float64(grid[t*nArms+staticIdx].ttb))
+			if !pick.Explore {
+				steadyTunedTTB = append(steadyTunedTTB, float64(got.ttb))
+				steadyStaticTTB = append(steadyStaticTTB, float64(grid[t*nArms+staticIdx].ttb))
+			}
+		}
+	}
+
+	res.ArmStats = armStats
+	res.BestStaticArm = arms[bestArm].Key()
+	res.BestStaticMean = bestTotal / float64(autotunePanelRequests)
+	res.TunedMean = stats.Mean(tunedRewards)
+	res.FinalRegret = cum
+	if n := len(res.Rows); n > 8 {
+		res.LateRegret = cum - res.Rows[n-9].CumRegret
+	}
+	res.TunedTTB = time.Duration(stats.Mean(tunedTTB))
+	res.StaticTTB = time.Duration(stats.Mean(staticTTB))
+	res.SteadyTunedTTB = time.Duration(stats.Mean(steadyTunedTTB))
+	res.SteadyStaticTTB = time.Duration(stats.Mean(steadyStaticTTB))
+	res.SteadyPicks = len(steadyTunedTTB)
+	res.ColdTTB = time.Duration(stats.Mean(coldTTB))
+	res.WarmTTB = time.Duration(stats.Mean(warmTTB))
+	res.ColdPicks = len(coldTTB)
+	ms := model.Stats()
+	res.Classes = ms.Classes
+	res.Observations = ms.Observations
+	res.ModelFingerprint = ms.Fingerprint
+	return res, nil
+}
+
+// RenderAutotune writes the autotune panel as text.
+func RenderAutotune(w io.Writer, r *AutotuneResult) {
+	fmt.Fprintf(w, "AutoTune panel: %d Zipf-drawn requests over %d workload shapes, %d modeled arms (modeled clocks)\n",
+		r.Requests, r.Shapes, len(r.Arms))
+	fmt.Fprintf(w, "%4s %6s %-12s %-28s %7s %11s %13s\n",
+		"req", "shape", "class", "pick", "reward", "cum-regret", "time-to-best")
+	for _, row := range r.Rows {
+		mark := ""
+		if row.Cold {
+			mark = " *"
+		}
+		fmt.Fprintf(w, "%4d %6d %-12s %-28s %7.3f %11.3f %13v%s\n",
+			row.Request, row.Shape, row.Class, row.Arm, row.Reward, row.CumRegret, row.TimeToBest, mark)
+	}
+	fmt.Fprintf(w, "arm summary (grid means, had the arm served every request):\n")
+	fmt.Fprintf(w, "  %-28s %11s %13s %5s\n", "arm", "mean-reward", "mean-ttb", "picks")
+	for _, s := range r.ArmStats {
+		fmt.Fprintf(w, "  %-28s %11.3f %13v %5d\n", s.Key, s.MeanReward, s.MeanTTB, s.Picks)
+	}
+	fmt.Fprintf(w, "best static arm (hindsight): %s (mean reward %.3f; tuned mean %.3f)\n",
+		r.BestStaticArm, r.BestStaticMean, r.TunedMean)
+	fmt.Fprintf(w, "cumulative regret: %.3f (last 8 requests: %+.3f)\n", r.FinalRegret, r.LateRegret)
+	fmt.Fprintf(w, "time-to-best: tuned mean %v vs static default portfolio (qa+climb+ga50; modeled member %s) %v\n",
+		r.TunedTTB, autotuneStaticArm, r.StaticTTB)
+	fmt.Fprintf(w, "  steady state (%d non-exploration picks): tuned %v vs static %v\n",
+		r.SteadyPicks, r.SteadyTunedTTB, r.SteadyStaticTTB)
+	fmt.Fprintf(w, "cold picks (*): %d (mean ttb %v), warm picks: %d (mean ttb %v), forced exploration: %d\n",
+		r.ColdPicks, r.ColdTTB, r.Requests-r.ColdPicks, r.WarmTTB, r.ExplorePicks)
+	fmt.Fprintf(w, "model: %d classes, %d observations, fingerprint %016x\n",
+		r.Classes, r.Observations, r.ModelFingerprint)
+}

@@ -1,0 +1,83 @@
+package harness
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+)
+
+func autotuneTestConfig(par int) Config {
+	c := DefaultConfig()
+	c.QARuns = 120
+	c.Budget = time.Second
+	c.Parallelism = par
+	return c
+}
+
+func TestRunAutotunePanel(t *testing.T) {
+	res, err := autotuneTestConfig(4).RunAutotune(context.Background())
+	if err != nil {
+		t.Fatalf("RunAutotune: %v", err)
+	}
+	if len(res.Rows) != autotunePanelRequests {
+		t.Fatalf("panel has %d rows, want %d", len(res.Rows), autotunePanelRequests)
+	}
+	if res.Observations != int64(autotunePanelRequests) {
+		t.Fatalf("model recorded %d observations, want %d", res.Observations, autotunePanelRequests)
+	}
+	if res.Classes < 1 || res.ColdPicks < 1 {
+		t.Fatalf("stream saw %d classes, %d cold picks; want at least one of each", res.Classes, res.ColdPicks)
+	}
+	// Regret must be bounded and flattening: the tuned stream cannot
+	// trail best-in-hindsight by more than a small constant, and the
+	// last 8 requests (post-exploration) must contribute a minority of
+	// the total. This is the "regret trends to a bounded constant"
+	// acceptance rendered as an assertion.
+	if res.FinalRegret < 0 || res.FinalRegret > 2 {
+		t.Fatalf("cumulative regret %v, want bounded in [0, 2]", res.FinalRegret)
+	}
+	if res.LateRegret < 0 || res.LateRegret > res.FinalRegret/2+1e-9 {
+		t.Fatalf("last-8 regret %v of total %v — exploration should have tapered", res.LateRegret, res.FinalRegret)
+	}
+	if res.TunedMean < 0.75*res.BestStaticMean {
+		t.Fatalf("tuned mean reward %v trails hindsight-best arm %v by more than 25%%", res.TunedMean, res.BestStaticMean)
+	}
+	// In steady state — picks where the scheduler chose freely rather
+	// than being forced to probe an unplayed arm — the tuned policy must
+	// not lose to the static default lineup on modeled time-to-best.
+	// (The overall tuned mean still charges exploration to the tuned
+	// side, so it is reported but not asserted.)
+	if res.SteadyPicks < res.Requests/2 {
+		t.Fatalf("only %d of %d picks were steady-state — exploration never tapered", res.SteadyPicks, res.Requests)
+	}
+	if res.SteadyTunedTTB > res.SteadyStaticTTB {
+		t.Fatalf("steady-state tuned ttb %v worse than static default %v", res.SteadyTunedTTB, res.SteadyStaticTTB)
+	}
+	for _, s := range res.ArmStats {
+		if s.MeanReward < 0 || s.MeanReward > 1 {
+			t.Fatalf("arm %s mean reward %v outside [0,1]", s.Key, s.MeanReward)
+		}
+	}
+}
+
+// TestRunAutotuneDeterministicAcrossParallelism is the panel's
+// byte-identity contract: the grid is evaluated in parallel but the
+// bandit replays sequentially over it, so the rendered panel — picks,
+// rewards, regret, and model fingerprint — must not depend on
+// cfg.Parallelism. CI compares the same bytes against a golden file.
+func TestRunAutotuneDeterministicAcrossParallelism(t *testing.T) {
+	render := func(par int) string {
+		res, err := autotuneTestConfig(par).RunAutotune(context.Background())
+		if err != nil {
+			t.Fatalf("RunAutotune(par=%d): %v", par, err)
+		}
+		var buf bytes.Buffer
+		RenderAutotune(&buf, res)
+		return buf.String()
+	}
+	seq, con := render(1), render(8)
+	if seq != con {
+		t.Fatalf("autotune panel diverged between parallelism 1 and 8:\n--- par=1 ---\n%s--- par=8 ---\n%s", seq, con)
+	}
+}

@@ -1,0 +1,191 @@
+package mqopt
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/autotune"
+)
+
+// TuneModel is the facade handle over the self-tuning scheduler state:
+// an arm inventory (portfolio lineups with topology kind and sweep
+// budget) plus per-shape-class bandit statistics. A TuneModel is safe
+// for concurrent use; one model typically lives for the whole process
+// and accumulates history across solves.
+//
+// Determinism: given identical recorded history, Pick decisions are
+// identical at any parallelism — tie-breaks are seeded splitmix draws,
+// never wall-clock. What a concurrent deployment cannot pin down is
+// the order history is recorded in; replaying the same request stream
+// sequentially reproduces the model bit for bit.
+type TuneModel struct {
+	inner *autotune.Model
+}
+
+// NewTuneModel returns an empty model over the stock arm inventory:
+// the historical static default portfolio (qa,climb,ga50), qa
+// specialised per topology and sweep budget, and the workload-native
+// greedy-join lineups.
+func NewTuneModel() *TuneModel {
+	return &TuneModel{inner: autotune.NewModel(nil)}
+}
+
+// ReadTuneModel decodes a model artifact strictly: unknown fields,
+// trailing data, version skew, and inconsistent bandit vectors are all
+// errors, and a failed decode never yields a partially-loaded model.
+func ReadTuneModel(r io.Reader) (*TuneModel, error) {
+	m, err := autotune.Decode(r)
+	if err != nil {
+		return nil, err
+	}
+	return &TuneModel{inner: m}, nil
+}
+
+// LoadTuneModel reads a model artifact from a file.
+func LoadTuneModel(path string) (*TuneModel, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	m, err := ReadTuneModel(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return m, nil
+}
+
+// Write encodes the model canonically — fixed field order, sorted
+// class keys, trailing newline — so equal histories produce equal
+// bytes and artifacts diff cleanly.
+func (m *TuneModel) Write(w io.Writer) error { return m.inner.Encode(w) }
+
+// Fingerprint stamps the full model state (version, inventory,
+// history); GET /model and /stats report it.
+func (m *TuneModel) Fingerprint() uint64 { return m.inner.Fingerprint() }
+
+// Stats summarises the model: inventory size, shape classes seen,
+// total observations, fingerprint.
+func (m *TuneModel) Stats() TuneStats {
+	s := m.inner.Stats()
+	return TuneStats{Arms: s.Arms, Classes: s.Classes, Observations: s.Observations, Fingerprint: s.Fingerprint}
+}
+
+// TuneStats summarises a TuneModel.
+type TuneStats struct {
+	Arms         int    `json:"arms"`
+	Classes      int    `json:"classes"`
+	Observations int64  `json:"observations"`
+	Fingerprint  uint64 `json:"fingerprint"`
+}
+
+var (
+	defaultTuneModel     *TuneModel
+	defaultTuneModelOnce sync.Once
+)
+
+// DefaultTuneModel returns the process-wide shared model the
+// "autotune" registry entry learns into. Solves through the registry
+// accumulate history here; WithAutoTune substitutes an explicit model.
+func DefaultTuneModel() *TuneModel {
+	defaultTuneModelOnce.Do(func() { defaultTuneModel = NewTuneModel() })
+	return defaultTuneModel
+}
+
+// WithAutoTune hands the portfolio backend a learned scheduler: the
+// solve is classified by shape, the model picks the member lineup,
+// topology kind, and sweep budget, and the merged outcome is recorded
+// back as that class's reward. Explicit WithPortfolio names or
+// explicit portfolio members take precedence — they are the escape
+// hatch — and so do caller-set WithTopology/WithTopologyGraph/
+// WithAnnealingSweeps values, which the picked arm never overrides.
+// Solvers other than the portfolio ignore the option; WithAutoTune(nil)
+// removes a previously applied model.
+func WithAutoTune(m *TuneModel) Option {
+	return func(c *solveConfig) { c.autotune = m }
+}
+
+// NewAutoTuneSolver returns the self-tuning portfolio backend: a
+// portfolio solver that consults model before every race and learns
+// from every merge. A nil model selects DefaultTuneModel. The registry
+// wires "autotune" exactly this way.
+func NewAutoTuneSolver(resolve Resolver, model *TuneModel) Solver {
+	if model == nil {
+		model = DefaultTuneModel()
+	}
+	return &autoTuneSolver{portfolio: &portfolioSolver{resolve: resolve}, model: model}
+}
+
+// autoTuneSolver injects its model as the default WithAutoTune value
+// and defers everything else to the portfolio backend.
+type autoTuneSolver struct {
+	portfolio *portfolioSolver
+	model     *TuneModel
+}
+
+// Name implements Solver.
+func (s *autoTuneSolver) Name() string { return "AUTOTUNE" }
+
+// Solve implements Solver. The model option is prepended so an
+// explicit WithAutoTune from the caller wins.
+func (s *autoTuneSolver) Solve(ctx context.Context, p *Problem, opts ...Option) (*Result, error) {
+	return s.portfolio.Solve(ctx, p, append([]Option{WithAutoTune(s.model)}, opts...)...)
+}
+
+// TunedInfo reports the scheduling decision of a self-tuned solve.
+type TunedInfo struct {
+	// Class is the shape-class key the solve was filed under.
+	Class string
+	// Arm renders the picked configuration, e.g. "qa+greedy-join@pegasus/s32".
+	Arm string
+	// Cold reports that the class had no recorded history at pick time.
+	Cold bool
+	// Explore reports a forced-exploration pick: the class had never
+	// played this arm, so the scheduler was spending, not exploiting.
+	Explore bool
+}
+
+// tunePick consults the model for one solve. It returns armIndex < 0
+// when autotune is inactive (no model, or explicit members/names
+// pinned the lineup).
+func tunePick(cfg *solveConfig, p *Problem, explicit bool) (names []string, armIndex int, info *TunedInfo, err error) {
+	if cfg.autotune == nil || explicit || len(cfg.portfolio) > 0 {
+		return nil, -1, nil, nil
+	}
+	f := autotune.FeaturesOf(p.unwrap(), cfg.workload != nil)
+	pick, err := cfg.autotune.inner.Pick(f)
+	if err != nil {
+		return nil, -1, nil, err
+	}
+	// A caller-set topology or sweep budget is an explicit constraint;
+	// the arm fills only the axes left open.
+	if cfg.topology == nil && cfg.topoKind == "" && pick.Arm.Topology != "" {
+		cfg.topoKind = pick.Arm.Topology
+	}
+	if cfg.sweeps == 0 && pick.Arm.Sweeps > 0 {
+		cfg.sweeps = pick.Arm.Sweeps
+	}
+	return pick.Arm.Members, pick.Index, &TunedInfo{Class: pick.Class, Arm: pick.Arm.Key(), Cold: pick.Cold, Explore: pick.Explore}, nil
+}
+
+// tuneObserve records the merged outcome of a tuned solve back into
+// the model.
+func tuneObserve(cfg *solveConfig, p *Problem, armIndex int, finalCost float64, timeToBest time.Duration) {
+	if cfg.autotune == nil || armIndex < 0 {
+		return
+	}
+	f := autotune.FeaturesOf(p.unwrap(), cfg.workload != nil)
+	r := autotune.Reward{
+		Baseline:   autotune.BaselineCost(p.unwrap()),
+		Final:      finalCost,
+		TimeToBest: timeToBest,
+		Budget:     cfg.budget,
+	}
+	// The index came from this model's own Pick; out-of-range is
+	// impossible, so the error is ignored by design.
+	_ = cfg.autotune.inner.Observe(f, armIndex, r)
+}

@@ -66,6 +66,19 @@ type SessionResult = harness.SessionResult
 // SessionRow is one delta epoch of the session panel.
 type SessionRow = harness.SessionRow
 
+// AutotuneResult is the self-tuning panel: a Zipf-skewed request stream
+// replayed through the per-shape-class bandit scheduler, reporting
+// cumulative regret against the best-in-hindsight static arm and the
+// tuned-versus-static time-to-best split.
+type AutotuneResult = harness.AutotuneResult
+
+// AutotuneRow is one request of the autotune panel's replayed stream.
+type AutotuneRow = harness.AutotuneRow
+
+// AutotuneArmStat summarises one arm of the autotune panel over the
+// whole stream.
+type AutotuneArmStat = harness.AutotuneArmStat
+
 // PaperClasses are the four problem classes of the evaluation.
 var PaperClasses = mqopt.PaperClasses
 
@@ -156,6 +169,18 @@ func RunSession(ctx context.Context, cfg Config, queries, epochs int) (*SessionR
 
 // RenderSession writes the session panel as text.
 func RenderSession(w io.Writer, r *SessionResult) { harness.RenderSession(w, r) }
+
+// RunAutotune executes the self-tuning panel: a Zipf-skewed stream of
+// workload-derived requests, the full (request × arm) reward grid
+// evaluated under modeled clocks, and the UCB scheduler replayed
+// sequentially over it. The rendered panel is byte-identical at any
+// cfg.Parallelism.
+func RunAutotune(ctx context.Context, cfg Config) (*AutotuneResult, error) {
+	return cfg.RunAutotune(ctx)
+}
+
+// RenderAutotune writes the autotune panel as text.
+func RenderAutotune(w io.Writer, r *AutotuneResult) { harness.RenderAutotune(w, r) }
 
 // SolverNames lists the solver series of the anytime figures in
 // presentation order.

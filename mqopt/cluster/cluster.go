@@ -66,6 +66,14 @@ type StreamLine = cluster.StreamLine
 // StatsResponse is the GET /stats reply of a node.
 type StatsResponse = cluster.StatsResponse
 
+// TuneStatsJSON summarises a node's autotune scheduler model on the
+// wire (part of StatsResponse when the node carries a model).
+type TuneStatsJSON = cluster.TuneStatsJSON
+
+// RouterStatsResponse is the GET /stats reply of a router: live
+// per-worker counters plus their sums.
+type RouterStatsResponse = cluster.RouterStatsResponse
+
 // Session wire schema: POST /session creates an incremental session
 // (initial delta XOR replayable event log), POST /session/{id}/delta
 // applies one delta, and ?stream=1 on either streams the epoch's

@@ -100,6 +100,9 @@ type solveConfig struct {
 	// (nil: a bare instance); see WithWorkload. Only provenance-aware
 	// solvers (greedy-join) consume it; the portfolio forwards it.
 	workload *Workload
+	// autotune is the learned scheduler the portfolio backend consults
+	// (nil: static lineup); see WithAutoTune.
+	autotune *TuneModel
 }
 
 // newSolveConfig applies opts over the documented defaults.

@@ -88,12 +88,17 @@ func sourceNames(members []Solver) []string {
 	return names
 }
 
-// resolveMembers fixes the race lineup for one solve.
-func (s *portfolioSolver) resolveMembers(cfg *solveConfig) ([]Solver, error) {
+// resolveMembers fixes the race lineup for one solve. tuned carries
+// the lineup picked by the autotune scheduler; it is nil for static
+// solves and always loses to explicit members and WithPortfolio names.
+func (s *portfolioSolver) resolveMembers(cfg *solveConfig, tuned []string) ([]Solver, error) {
 	if len(s.members) > 0 {
 		return s.members, nil
 	}
 	names := cfg.portfolio
+	if len(names) == 0 {
+		names = tuned
+	}
 	if len(names) == 0 {
 		names = DefaultPortfolioMembers
 	}
@@ -121,7 +126,14 @@ func (s *portfolioSolver) Solve(ctx context.Context, p *Problem, opts ...Option)
 	if err != nil {
 		return nil, err
 	}
-	members, err := s.resolveMembers(&cfg)
+	// The learned scheduler (WithAutoTune) picks lineup, topology, and
+	// sweep budget for the shape class — unless explicit members or
+	// WithPortfolio names pinned the lineup, the documented escape hatch.
+	tunedNames, armIndex, tuned, err := tunePick(&cfg, p, len(s.members) > 0)
+	if err != nil {
+		return nil, err
+	}
+	members, err := s.resolveMembers(&cfg, tunedNames)
 	if err != nil {
 		return nil, err
 	}
@@ -162,6 +174,11 @@ func (s *portfolioSolver) Solve(ctx context.Context, p *Problem, opts ...Option)
 		}
 		if cfg.runs > 0 {
 			o = append(o, WithAnnealingRuns(cfg.runs))
+		}
+		if cfg.sweeps > 0 {
+			// Caller- or arm-selected sweep budget travels to the
+			// annealer members; classical members ignore it.
+			o = append(o, WithAnnealingSweeps(cfg.sweeps))
 		}
 		if cfg.topology != nil {
 			o = append(o, WithTopologyGraph(cfg.topology))
@@ -255,8 +272,24 @@ func (s *portfolioSolver) Solve(ctx context.Context, p *Problem, opts ...Option)
 				Winner:        winnerSource,
 				TargetReached: targetReached,
 				MemberErrors:  memberErrors,
+				Tuned:         tuned,
 			},
 		}
+		// Harvest the reward from the merged attribution: final merged
+		// cost and the modeled time of the last improvement. A cancelled
+		// solve is not graded — its truncated trace says nothing about
+		// the arm.
+		if ctx.Err() == nil || targetReached {
+			timeToBest := cfg.budget
+			if n := len(merged); n > 0 {
+				timeToBest = merged[n-1].T
+			}
+			tuneObserve(&cfg, p, armIndex, res.Cost, timeToBest)
+		}
+	} else if err := ctx.Err(); err == nil {
+		// Every member failed outright: record a zero reward so the
+		// bandit learns to route this class away from broken arms.
+		tuneObserve(&cfg, p, armIndex, math.Inf(1), cfg.budget)
 	}
 	if err := solveErr(ctx, ctx.Err()); err != nil {
 		return res, err

@@ -57,6 +57,9 @@ type PortfolioInfo struct {
 	// Members, nil entries for members that finished); a failed member
 	// loses the race but does not abort it.
 	MemberErrors []error
+	// Tuned reports the self-tuning scheduler's decision when the lineup
+	// came from WithAutoTune; nil for static portfolios.
+	Tuned *TunedInfo
 }
 
 // AnnealerInfo reports the physical-mapping and sampling artifacts of an

@@ -1,0 +1,15 @@
+package solverreg
+
+import "repro/mqopt"
+
+// The self-tuning portfolio: a portfolio whose lineup, topology kind,
+// and sweep budget come from the process-wide learned model
+// (mqopt.DefaultTuneModel) instead of a static member list. Members
+// resolve through this registry, so anything registered here can end
+// up in a tuned lineup; WithAutoTune substitutes an explicit model and
+// WithPortfolio remains the static escape hatch.
+func init() {
+	Register("autotune", func() mqopt.Solver {
+		return mqopt.NewAutoTuneSolver(New, nil)
+	})
+}
